@@ -1,0 +1,70 @@
+// Hyper-parameter ablations beyond the paper's figures (design choices
+// called out in Sec 4.3): window size w, number of attention heads, and
+// member-embedding size, each swept on one MCAR workload.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/parallel.h"
+#include "core/deepmvi.h"
+
+namespace deepmvi {
+namespace bench {
+namespace {
+
+DeepMviConfig ProfileConfig(const BenchOptions& options) {
+  DeepMviConfig config;
+  if (options.profile == BenchOptions::Profile::kQuick) {
+    config.max_epochs = 2;
+    config.samples_per_epoch = 16;
+    config.patience = 1;
+  } else if (options.profile == BenchOptions::Profile::kFull) {
+    config.max_epochs = 30;
+  } else {
+    config.max_epochs = 25;
+    config.samples_per_epoch = 96;
+    config.batch_size = 4;
+    config.patience = 3;
+  }
+  return config;
+}
+
+void Sweep(const std::string& axis, const std::vector<int>& values,
+           const BenchOptions& options) {
+  DataTensor data = MakeDataset("Electricity", options.dataset_scale(), 1);
+  ScenarioConfig scenario;
+  scenario.kind = ScenarioKind::kMcar;
+  scenario.percent_incomplete = 1.0;
+  scenario.seed = 41;
+
+  std::vector<ExperimentResult> results(values.size());
+  ParallelFor(static_cast<int>(values.size()), options.threads, [&](int i) {
+    DeepMviConfig config = ProfileConfig(options);
+    if (axis == "window") config.window = values[i];
+    if (axis == "heads") config.num_heads = values[i];
+    if (axis == "embedding_dim") config.embedding_dim = values[i];
+    DeepMviImputer imputer(config);
+    results[i] = RunExperiment(data, scenario, imputer);
+  });
+  TablePrinter table({axis, "mae", "runtime_s"});
+  for (size_t i = 0; i < values.size(); ++i) {
+    table.AddRow({std::to_string(values[i]),
+                  TablePrinter::FormatDouble(results[i].mae),
+                  TablePrinter::FormatDouble(results[i].runtime_seconds, 2)});
+  }
+  std::printf("== Hyper-parameter ablation: %s (Electricity, MCAR 100%%) ==\n",
+              axis.c_str());
+  EmitTable(table, "ablation_" + axis, options);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace deepmvi
+
+int main(int argc, char** argv) {
+  auto options = deepmvi::bench::ParseOptions(argc, argv);
+  deepmvi::bench::Sweep("window", {5, 10, 20, 40}, options);
+  deepmvi::bench::Sweep("heads", {1, 2, 4, 8}, options);
+  deepmvi::bench::Sweep("embedding_dim", {2, 10, 24}, options);
+  return 0;
+}

@@ -1,0 +1,141 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "baselines/dynammo.h"
+#include "baselines/matrix_completion.h"
+#include "baselines/simple.h"
+#include "baselines/stmvl.h"
+#include "baselines/tkcm.h"
+#include "baselines/trmf.h"
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "core/deepmvi.h"
+#include "deep/brits.h"
+#include "deep/gpvae.h"
+#include "deep/mrnn.h"
+#include "deep/transformer_imputer.h"
+
+namespace deepmvi {
+namespace bench {
+
+BenchOptions ParseOptions(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      options.profile = BenchOptions::Profile::kFull;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      options.profile = BenchOptions::Profile::kQuick;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      options.output_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      options.threads = std::atoi(argv[++i]);
+    }
+  }
+  return options;
+}
+
+std::unique_ptr<Imputer> MakeImputer(const std::string& name,
+                                     const BenchOptions& options) {
+  const bool quick = options.profile == BenchOptions::Profile::kQuick;
+  const bool full = options.profile == BenchOptions::Profile::kFull;
+
+  if (name == "Mean") return std::make_unique<MeanImputer>();
+  if (name == "LinearInterp") return std::make_unique<LinearInterpolationImputer>();
+  if (name == "SVDImp") return std::make_unique<SvdImputer>();
+  if (name == "SoftImpute") return std::make_unique<SoftImputer>();
+  if (name == "SVT") return std::make_unique<SvtImputer>();
+  if (name == "CDRec") return std::make_unique<CdRecImputer>();
+  if (name == "TRMF") {
+    TrmfImputer::Config config;
+    if (quick) config.outer_iterations = 4;
+    return std::make_unique<TrmfImputer>(config);
+  }
+  if (name == "DynaMMO") {
+    DynammoImputer::Config config;
+    if (quick) config.em_iterations = 3;
+    return std::make_unique<DynammoImputer>(config);
+  }
+  if (name == "STMVL") return std::make_unique<StmvlImputer>();
+  if (name == "TKCM") return std::make_unique<TkcmImputer>();
+  if (name == "MRNN") {
+    MrnnImputer::Config config;
+    config.max_epochs = quick ? 2 : (full ? 20 : 8);
+    return std::make_unique<MrnnImputer>(config);
+  }
+  if (name == "BRITS") {
+    BritsImputer::Config config;
+    config.max_epochs = quick ? 2 : (full ? 30 : 10);
+    config.hidden_dim = quick ? 16 : 64;
+    return std::make_unique<BritsImputer>(config);
+  }
+  if (name == "GPVAE") {
+    GpVaeImputer::Config config;
+    config.max_epochs = quick ? 2 : (full ? 40 : 20);
+    return std::make_unique<GpVaeImputer>(config);
+  }
+  if (name == "Transformer") {
+    TransformerImputer::Config config;
+    config.max_epochs = quick ? 2 : (full ? 30 : 12);
+    config.samples_per_epoch = quick ? 8 : (full ? 48 : 24);
+    return std::make_unique<TransformerImputer>(config);
+  }
+  // DeepMVI family.
+  DeepMviConfig config;
+  config.max_epochs = quick ? 2 : 30;
+  config.samples_per_epoch = quick ? 16 : 128;
+  config.batch_size = 4;
+  config.patience = quick ? 1 : 4;
+  if (name == "DeepMVI") return std::make_unique<DeepMviImputer>(config);
+  if (name == "DeepMVI1D") {
+    config.flatten_multidim = true;
+    return std::make_unique<DeepMviImputer>(config);
+  }
+  if (name == "DeepMVI-NoTT") {
+    config.use_temporal_transformer = false;
+    return std::make_unique<DeepMviImputer>(config);
+  }
+  if (name == "DeepMVI-NoContext") {
+    config.use_context_window = false;
+    return std::make_unique<DeepMviImputer>(config);
+  }
+  if (name == "DeepMVI-NoKR") {
+    config.use_kernel_regression = false;
+    return std::make_unique<DeepMviImputer>(config);
+  }
+  if (name == "DeepMVI-NoFG") {
+    config.use_fine_grained = false;
+    return std::make_unique<DeepMviImputer>(config);
+  }
+  DMVI_LOG(Fatal) << "Unknown imputer name: " << name;
+  return nullptr;
+}
+
+void RunJobs(std::vector<Job>& jobs, const BenchOptions& options) {
+  ParallelFor(static_cast<int>(jobs.size()), options.threads, [&](int i) {
+    Job& job = jobs[i];
+    DataTensor data = MakeDataset(job.dataset, options.dataset_scale(),
+                                  /*seed=*/1);
+    std::unique_ptr<Imputer> imputer = MakeImputer(job.imputer, options);
+    job.result = RunExperiment(data, job.scenario, *imputer);
+  });
+}
+
+void EmitTable(const TablePrinter& table, const std::string& name,
+               const BenchOptions& options) {
+  std::printf("%s\n", table.ToAscii().c_str());
+  std::error_code ec;
+  std::filesystem::create_directories(options.output_dir, ec);
+  const std::string path = options.output_dir + "/" + name + ".csv";
+  Status status = table.WriteCsv(path);
+  if (!status.ok()) {
+    DMVI_LOG(Warning) << "could not write " << path << ": " << status.ToString();
+  } else {
+    std::printf("wrote %s\n\n", path.c_str());
+  }
+}
+
+}  // namespace bench
+}  // namespace deepmvi

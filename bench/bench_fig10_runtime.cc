@@ -1,0 +1,96 @@
+// Figure 10a: absolute runtime per method on datasets of increasing size
+// (AirQ, Climate, Meteo, BAFU, JanataHack; MCAR with all series
+// incomplete). Figure 10b: DeepMVI runtime as a function of series length
+// (10 series, lengths swept).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/stopwatch.h"
+#include "core/deepmvi.h"
+#include "data/synthetic.h"
+
+namespace deepmvi {
+namespace bench {
+namespace {
+
+void RuntimeByDataset(const BenchOptions& options) {
+  const std::vector<std::string> datasets = {"AirQ", "Climate", "Meteo", "BAFU",
+                                             "JanataHack"};
+  const std::vector<std::string> methods = {"CDRec",       "DynaMMO", "TRMF",
+                                            "SVDImp",      "Transformer",
+                                            "DeepMVI"};
+  std::vector<Job> jobs;
+  for (const auto& dataset : datasets) {
+    for (const auto& method : methods) {
+      Job job;
+      job.dataset = dataset;
+      job.imputer = method;
+      job.scenario.kind = ScenarioKind::kMcar;
+      job.scenario.percent_incomplete = 1.0;
+      job.scenario.seed = 23;
+      jobs.push_back(job);
+    }
+  }
+  RunJobs(jobs, options);
+
+  std::vector<std::string> header = {"dataset"};
+  header.insert(header.end(), methods.begin(), methods.end());
+  TablePrinter table(header);
+  for (const auto& dataset : datasets) {
+    std::vector<std::string> row = {dataset};
+    for (const auto& method : methods) {
+      for (const Job& job : jobs) {
+        if (job.dataset == dataset && job.imputer == method) {
+          row.push_back(
+              TablePrinter::FormatDouble(job.result.runtime_seconds, 3));
+        }
+      }
+    }
+    table.AddRow(row);
+  }
+  std::printf("== Figure 10a: runtime (seconds), MCAR x=100%% ==\n");
+  EmitTable(table, "fig10a_runtime", options);
+}
+
+void RuntimeByLength(const BenchOptions& options) {
+  std::vector<int> lengths =
+      options.profile == BenchOptions::Profile::kFull
+          ? std::vector<int>{1000, 5000, 10000, 50000}
+          : std::vector<int>{500, 1000, 1500, 2000};
+  if (options.profile == BenchOptions::Profile::kQuick) {
+    lengths = {300, 600};
+  }
+
+  TablePrinter table({"length", "deepmvi_seconds"});
+  for (int length : lengths) {
+    SyntheticConfig data_config;
+    data_config.num_series = 10;
+    data_config.length = length;
+    data_config.seasonal_periods = {64.0};
+    data_config.seasonality_strength = 0.7;
+    data_config.seed = 29;
+    DataTensor data = DataTensor::FromMatrix(GenerateSeriesMatrix(data_config));
+    ScenarioConfig scenario;
+    scenario.kind = ScenarioKind::kMcar;
+    scenario.percent_incomplete = 1.0;
+    scenario.seed = 31;
+    auto imputer = MakeImputer("DeepMVI", options);
+    ExperimentResult result = RunExperiment(data, scenario, *imputer);
+    table.AddRow({std::to_string(length),
+                  TablePrinter::FormatDouble(result.runtime_seconds, 3)});
+  }
+  std::printf("== Figure 10b: DeepMVI runtime vs series length (10 series) ==\n");
+  EmitTable(table, "fig10b_scaling", options);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace deepmvi
+
+int main(int argc, char** argv) {
+  auto options = deepmvi::bench::ParseOptions(argc, argv);
+  deepmvi::bench::RuntimeByDataset(options);
+  deepmvi::bench::RuntimeByLength(options);
+  return 0;
+}

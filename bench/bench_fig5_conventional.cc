@@ -1,0 +1,65 @@
+// Figure 5: MAE of the conventional methods (CDRec, DynaMMO, TRMF, SVDImp)
+// and DeepMVI on five datasets (Chlorine, Temperature, Gas, Meteo, BAFU)
+// under all four missing scenarios with x = 10% of series incomplete.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace deepmvi {
+namespace bench {
+namespace {
+
+void Main(const BenchOptions& options) {
+  const std::vector<std::string> datasets = {"Chlorine", "Temperature", "Gas",
+                                             "Meteo", "BAFU"};
+  const std::vector<std::string> methods = {"CDRec", "DynaMMO", "TRMF",
+                                            "SVDImp", "DeepMVI"};
+
+  std::vector<Job> jobs;
+  for (ScenarioKind kind : HeadlineScenarios()) {
+    for (const auto& dataset : datasets) {
+      for (const auto& method : methods) {
+        Job job;
+        job.dataset = dataset;
+        job.imputer = method;
+        job.scenario.kind = kind;
+        job.scenario.percent_incomplete = 0.1;
+        job.scenario.block_size = 10;
+        job.scenario.seed = 42;
+        jobs.push_back(job);
+      }
+    }
+  }
+  RunJobs(jobs, options);
+
+  for (ScenarioKind kind : HeadlineScenarios()) {
+    std::vector<std::string> header = {"dataset"};
+    header.insert(header.end(), methods.begin(), methods.end());
+    TablePrinter table(header);
+    for (const auto& dataset : datasets) {
+      std::vector<std::string> row = {dataset};
+      for (const auto& method : methods) {
+        for (const Job& job : jobs) {
+          if (job.dataset == dataset && job.imputer == method &&
+              job.result.scenario_name == ScenarioName(kind)) {
+            row.push_back(TablePrinter::FormatDouble(job.result.mae));
+          }
+        }
+      }
+      table.AddRow(row);
+    }
+    std::printf("== Figure 5: MAE, scenario %s, x=10%% ==\n",
+                ScenarioName(kind).c_str());
+    EmitTable(table, "fig5_" + ScenarioName(kind), options);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace deepmvi
+
+int main(int argc, char** argv) {
+  deepmvi::bench::Main(deepmvi::bench::ParseOptions(argc, argv));
+  return 0;
+}

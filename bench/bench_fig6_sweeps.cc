@@ -1,0 +1,85 @@
+// Figure 6: MAE sweeps on AirQ, Climate, and Electricity under the four
+// scenarios. For MCAR / MissDisj / MissOver the x-axis is the percentage
+// of incomplete series; for Blackout it is the missing block size.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace deepmvi {
+namespace bench {
+namespace {
+
+void Main(const BenchOptions& options) {
+  const std::vector<std::string> datasets = {"AirQ", "Climate", "Electricity"};
+  const std::vector<std::string> methods = {"CDRec", "DynaMMO", "TRMF",
+                                            "SVDImp", "DeepMVI"};
+  const std::vector<int> percents = {10, 50, 100};
+  const std::vector<int> blackout_sizes = {10, 50, 100};
+
+  std::vector<Job> jobs;
+  for (const auto& dataset : datasets) {
+    for (ScenarioKind kind : HeadlineScenarios()) {
+      const std::vector<int>& sweep =
+          kind == ScenarioKind::kBlackout ? blackout_sizes : percents;
+      for (int value : sweep) {
+        for (const auto& method : methods) {
+          Job job;
+          job.dataset = dataset;
+          job.imputer = method;
+          job.scenario.kind = kind;
+          job.scenario.seed = 7;
+          if (kind == ScenarioKind::kBlackout) {
+            job.scenario.block_size = value;
+            job.point = "block=" + std::to_string(value);
+          } else {
+            job.scenario.percent_incomplete = value / 100.0;
+            job.scenario.block_size = 10;
+            job.point = "x=" + std::to_string(value);
+          }
+          jobs.push_back(job);
+        }
+      }
+    }
+  }
+  RunJobs(jobs, options);
+
+  for (const auto& dataset : datasets) {
+    for (ScenarioKind kind : HeadlineScenarios()) {
+      const std::vector<int>& sweep =
+          kind == ScenarioKind::kBlackout ? blackout_sizes : percents;
+      std::vector<std::string> header = {
+          kind == ScenarioKind::kBlackout ? "block_size" : "pct_incomplete"};
+      header.insert(header.end(), methods.begin(), methods.end());
+      TablePrinter table(header);
+      for (int value : sweep) {
+        const std::string point =
+            (kind == ScenarioKind::kBlackout ? "block=" : "x=") +
+            std::to_string(value);
+        std::vector<std::string> row = {std::to_string(value)};
+        for (const auto& method : methods) {
+          for (const Job& job : jobs) {
+            if (job.dataset == dataset && job.imputer == method &&
+                job.point == point &&
+                job.result.scenario_name == ScenarioName(kind)) {
+              row.push_back(TablePrinter::FormatDouble(job.result.mae));
+            }
+          }
+        }
+        table.AddRow(row);
+      }
+      std::printf("== Figure 6: %s, scenario %s ==\n", dataset.c_str(),
+                  ScenarioName(kind).c_str());
+      EmitTable(table, "fig6_" + dataset + "_" + ScenarioName(kind), options);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace deepmvi
+
+int main(int argc, char** argv) {
+  deepmvi::bench::Main(deepmvi::bench::ParseOptions(argc, argv));
+  return 0;
+}

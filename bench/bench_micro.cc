@@ -1,0 +1,105 @@
+// Micro-benchmarks (google-benchmark) for the substrates: dense matmul,
+// Jacobi SVD, centroid decomposition, autodiff attention forward/backward,
+// kernel regression features, and one DeepMVI training step.
+
+#include <benchmark/benchmark.h>
+
+#include "autodiff/ops.h"
+#include "core/kernel_regression.h"
+#include "core/temporal_transformer.h"
+#include "linalg/centroid.h"
+#include "linalg/svd.h"
+#include "nn/layers.h"
+
+namespace deepmvi {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Matrix a = Matrix::RandomGaussian(n, n, rng);
+  Matrix b = Matrix::RandomGaussian(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMul(b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{2} * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_JacobiSvd(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  Matrix a = Matrix::RandomGaussian(n, 2 * n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JacobiSvd(a));
+  }
+}
+BENCHMARK(BM_JacobiSvd)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_CentroidDecomposition(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  Matrix a = Matrix::RandomGaussian(n, 4 * n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CentroidDecomposition(a, 3));
+  }
+}
+BENCHMARK(BM_CentroidDecomposition)->Arg(16)->Arg(64);
+
+void BM_MaskedAttentionForwardBackward(benchmark::State& state) {
+  const int t_len = static_cast<int>(state.range(0));
+  Rng rng(4);
+  nn::ParameterStore store;
+  nn::MultiHeadSelfAttention attn(&store, "attn",
+                                  {.model_dim = 32, .num_heads = 4}, rng);
+  Matrix x = Matrix::RandomGaussian(t_len, 32, rng);
+  std::vector<double> avail(t_len, 1.0);
+  for (auto _ : state) {
+    ad::Tape tape;
+    ad::Var out = attn.Forward(tape, tape.Leaf(x), avail);
+    tape.Backward(ad::Sum(ad::Square(out)));
+    benchmark::DoNotOptimize(out.grad());
+  }
+}
+BENCHMARK(BM_MaskedAttentionForwardBackward)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_TemporalTransformerForward(benchmark::State& state) {
+  const int t_len = static_cast<int>(state.range(0));
+  Rng rng(5);
+  nn::ParameterStore store;
+  DeepMviConfig config;
+  config.window = 10;
+  TemporalTransformer tt(&store, config, rng);
+  Matrix series = Matrix::RandomGaussian(1, t_len, rng);
+  std::vector<double> avail(t_len / 10, 1.0);
+  for (auto _ : state) {
+    ad::Tape tape;
+    benchmark::DoNotOptimize(tt.Forward(tape, series, avail));
+  }
+}
+BENCHMARK(BM_TemporalTransformerForward)->Arg(500)->Arg(1000)->Arg(2000);
+
+void BM_KernelRegressionForward(benchmark::State& state) {
+  const int num_sib = static_cast<int>(state.range(0));
+  Rng rng(6);
+  Dimension dim{"series", {}};
+  for (int i = 0; i <= num_sib; ++i) dim.members.push_back("s" + std::to_string(i));
+  Matrix values = Matrix::RandomGaussian(num_sib + 1, 256, rng);
+  DataTensor data({dim}, values);
+  Mask mask(num_sib + 1, 256);
+  nn::ParameterStore store;
+  DeepMviConfig config;
+  KernelRegression kr(&store, data.dims(), config, rng);
+  std::vector<int> times;
+  for (int t = 100; t < 120; ++t) times.push_back(t);
+  for (auto _ : state) {
+    ad::Tape tape;
+    benchmark::DoNotOptimize(kr.Forward(tape, data, values, mask, 0, times));
+  }
+}
+BENCHMARK(BM_KernelRegressionForward)->Arg(10)->Arg(50)->Arg(200);
+
+}  // namespace
+}  // namespace deepmvi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Table 2: comparison with the deep-learning methods (BRITS, GPVAE,
+// vanilla Transformer, DeepMVI). M5 and JanataHack run MCAR with 100% of
+// series incomplete; Climate, Electricity, and Meteo run both MCAR (100%)
+// and Blackout.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace deepmvi {
+namespace bench {
+namespace {
+
+void Main(const BenchOptions& options) {
+  const std::vector<std::string> methods = {"BRITS", "GPVAE", "Transformer",
+                                            "DeepMVI"};
+  struct Column {
+    std::string dataset;
+    ScenarioKind kind;
+  };
+  // Blackout block size is 100 in the paper; the reduced profile uses 50
+  // so the block stays a small fraction of the shorter series.
+  const int blackout_block =
+      options.profile == BenchOptions::Profile::kFull ? 100 : 50;
+  const std::vector<Column> columns = {
+      {"M5", ScenarioKind::kMcar},
+      {"JanataHack", ScenarioKind::kMcar},
+      {"Climate", ScenarioKind::kMcar},
+      {"Climate", ScenarioKind::kBlackout},
+      {"Electricity", ScenarioKind::kMcar},
+      {"Electricity", ScenarioKind::kBlackout},
+      {"Meteo", ScenarioKind::kMcar},
+      {"Meteo", ScenarioKind::kBlackout},
+  };
+
+  std::vector<Job> jobs;
+  for (const auto& column : columns) {
+    for (const auto& method : methods) {
+      Job job;
+      job.dataset = column.dataset;
+      job.imputer = method;
+      job.scenario.kind = column.kind;
+      job.scenario.percent_incomplete = 1.0;
+      job.scenario.block_size =
+          column.kind == ScenarioKind::kBlackout ? blackout_block : 10;
+      job.scenario.seed = 11;
+      job.point = column.dataset + "/" + ScenarioName(column.kind);
+      jobs.push_back(job);
+    }
+  }
+  RunJobs(jobs, options);
+
+  std::vector<std::string> header = {"model"};
+  for (const auto& column : columns) {
+    header.push_back(column.dataset + " " + ScenarioName(column.kind));
+  }
+  TablePrinter table(header);
+  for (const auto& method : methods) {
+    std::vector<std::string> row = {method};
+    for (const auto& column : columns) {
+      const std::string point =
+          column.dataset + "/" + ScenarioName(column.kind);
+      for (const Job& job : jobs) {
+        if (job.imputer == method && job.point == point) {
+          row.push_back(TablePrinter::FormatDouble(job.result.mae, 2));
+        }
+      }
+    }
+    table.AddRow(row);
+  }
+  std::printf("== Table 2: MAE vs deep learning methods ==\n");
+  EmitTable(table, "table2_deep", options);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace deepmvi
+
+int main(int argc, char** argv) {
+  deepmvi::bench::Main(deepmvi::bench::ParseOptions(argc, argv));
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Retail demand imputation on a MULTIDIMENSIONAL dataset (store x product
+// x week), the setting that motivates the paper's kernel regression
+// (Sec 4.2). Shows how sibling series along each dimension carry the
+// signal, why flattening the index (DeepMVI1D) loses accuracy, and how
+// imputation quality propagates to the aggregate statistics an analyst
+// would chart (Sec 5.7).
+//
+//   build/examples/retail_sales
+
+#include <cstdio>
+
+#include "baselines/matrix_completion.h"
+#include "core/deepmvi.h"
+#include "data/presets.h"
+#include "eval/analytics.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+#include "scenario/scenarios.h"
+
+int main() {
+  using namespace deepmvi;
+
+  // JanataHack-style sales tensor: stores x SKUs x weeks, with strong
+  // coherence across stores for a given SKU.
+  DataTensor data = MakeDataset("JanataHack", DatasetScale::kReduced, 3);
+  std::printf("retail tensor: %d %ss x %d %ss x %d weeks\n",
+              data.dim(0).size(), data.dim(0).name.c_str(), data.dim(1).size(),
+              data.dim(1).name.c_str(), data.num_times());
+
+  // Every series loses 10% of its history in blocks (reporting outages).
+  ScenarioConfig scenario;
+  scenario.kind = ScenarioKind::kMcar;
+  scenario.percent_incomplete = 1.0;
+  scenario.seed = 4;
+  Mask mask = GenerateScenario(scenario, data.num_series(), data.num_times());
+
+  DeepMviConfig config;
+  config.max_epochs = 25;
+  config.samples_per_epoch = 128;
+  DeepMviImputer deepmvi(config);
+
+  DeepMviConfig flat_config = config;
+  flat_config.flatten_multidim = true;  // Ablation: drop the (store, SKU)
+                                        // structure before modelling.
+  DeepMviImputer deepmvi_1d(flat_config);
+
+  CdRecImputer cdrec;
+
+  std::printf("\n%-12s %8s %10s %22s\n", "method", "MAE", "RMSE",
+              "analytics gain vs drop");
+  for (Imputer* imputer : std::initializer_list<Imputer*>{
+           &cdrec, &deepmvi_1d, &deepmvi}) {
+    ExperimentResult result = RunExperimentWithMask(data, mask, *imputer);
+    std::printf("%-12s %8.4f %10.4f %22.5f\n", imputer->name().c_str(),
+                result.mae, result.rmse, result.analytics_gain);
+  }
+  std::printf(
+      "\nThe analytics gain is MAE(DropCell) - MAE(method) on the per-SKU\n"
+      "store-average an analyst would chart: higher (less negative) means\n"
+      "the imputed aggregate tracks the truth better. DeepMVI's\n"
+      "per-dimension embeddings beat both CDRec and the flattened\n"
+      "DeepMVI1D because sibling stores of the same SKU are informative\n"
+      "(the paper's Figure 9 / Figure 11 story).\n");
+  return 0;
+}

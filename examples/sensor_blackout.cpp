@@ -1,0 +1,95 @@
+// Recovering a sensor-network BLACKOUT: every sensor goes dark over the
+// same time range (a network outage), so no cross-series information
+// exists inside the gap — the hardest scenario in the paper's evaluation.
+// Matrix-completion methods degrade to interpolation here; DeepMVI's
+// temporal transformer can still match the gap's surrounding context
+// against repeating patterns elsewhere in each series (Sec 5.3).
+//
+//   build/examples/sensor_blackout
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/matrix_completion.h"
+#include "baselines/simple.h"
+#include "core/deepmvi.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+#include "scenario/scenarios.h"
+
+namespace {
+
+/// Tiny ASCII sparkline of a value sequence.
+std::string Sparkline(const std::vector<double>& values, int from, int to) {
+  static const char* kLevels[] = {"_", ".", "-", "=", "^", "#"};
+  double lo = 1e300, hi = -1e300;
+  for (int t = from; t < to; ++t) {
+    lo = std::min(lo, values[t]);
+    hi = std::max(hi, values[t]);
+  }
+  std::string out;
+  for (int t = from; t < to; ++t) {
+    const double frac = hi > lo ? (values[t] - lo) / (hi - lo) : 0.5;
+    out += kLevels[std::min(5, static_cast<int>(frac * 6))];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace deepmvi;
+
+  // Strongly periodic sensors (e.g. temperature with a daily cycle) with
+  // weak cross-correlation.
+  SyntheticConfig data_config;
+  data_config.num_series = 6;
+  data_config.length = 480;
+  data_config.seasonal_periods = {48.0};
+  data_config.seasonality_strength = 0.9;
+  data_config.cross_correlation = 0.2;
+  data_config.noise_level = 0.05;
+  data_config.seed = 11;
+  Matrix truth = GenerateSeriesMatrix(data_config);
+  DataTensor data = DataTensor::FromMatrix(truth, "sensor");
+
+  // Blackout of 40 steps across ALL sensors.
+  ScenarioConfig scenario;
+  scenario.kind = ScenarioKind::kBlackout;
+  scenario.block_size = 40;
+  scenario.blackout_start_fraction = 0.4;
+  scenario.seed = 12;
+  Mask mask = GenerateScenario(scenario, data.num_series(), data.num_times());
+
+  LinearInterpolationImputer interp;
+  CdRecImputer cdrec;
+  DeepMviConfig config;
+  config.max_epochs = 18;
+  DeepMviImputer deepmvi(config);
+
+  const int gap_start = static_cast<int>(0.4 * data.num_times());
+  std::printf("blackout: steps %d..%d missing in all %d sensors\n\n", gap_start,
+              gap_start + 39, data.num_series());
+  const int view_from = gap_start - 12;
+  const int view_to = gap_start + 52;
+
+  ImputedSeries reference;
+  for (Imputer* imputer :
+       std::initializer_list<Imputer*>{&interp, &cdrec, &deepmvi}) {
+    ImputedSeries series = ImputeAndExtractSeries(data, mask, *imputer, 0);
+    if (imputer == &interp) {
+      std::printf("truth        %s\n",
+                  Sparkline(series.truth, view_from, view_to).c_str());
+    }
+    Matrix imputed = imputer->Impute(data, mask);
+    std::printf("%-12s %s  (MAE %.4f)\n", imputer->name().c_str(),
+                Sparkline(series.imputed, view_from, view_to).c_str(),
+                MaeOnMissing(imputed, truth, mask));
+  }
+  std::printf(
+      "\nInterpolation draws a line through the gap; CDRec cannot use other\n"
+      "sensors (they are dark too); DeepMVI reproduces the daily cycle by\n"
+      "attending to matching windows elsewhere in the same series.\n");
+  return 0;
+}

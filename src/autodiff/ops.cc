@@ -1,0 +1,768 @@
+#include "autodiff/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deepmvi {
+namespace ad {
+namespace {
+
+Tape* SameTape(const Var& a, const Var& b) {
+  DMVI_CHECK(a.valid());
+  DMVI_CHECK(b.valid());
+  DMVI_CHECK_EQ(a.tape(), b.tape());
+  return a.tape();
+}
+
+void CheckSameShape(const Var& a, const Var& b) {
+  DMVI_CHECK_EQ(a.rows(), b.rows());
+  DMVI_CHECK_EQ(a.cols(), b.cols());
+}
+
+/// Adds `delta` into the gradient of node `index` if that node wants one.
+void Accumulate(Tape& tape, int index, const Matrix& delta) {
+  if (!tape.needs_grad(index)) return;
+  tape.grad(index) += delta;
+}
+
+bool NeedsGrad(Tape* tape, const Var& a) { return tape->needs_grad(a.index()); }
+
+/// Shared implementation for elementwise unary ops given forward values and
+/// a pointwise derivative computed from (input, output).
+Var UnaryOp(const Var& a, double (*fwd)(double),
+            double (*dfn)(double in, double out)) {
+  Tape* tape = a.tape();
+  DMVI_CHECK(a.valid());
+  const Matrix& av = a.value();
+  Matrix out(av.rows(), av.cols());
+  for (int r = 0; r < av.rows(); ++r) {
+    for (int c = 0; c < av.cols(); ++c) out(r, c) = fwd(av(r, c));
+  }
+  const int ia = a.index();
+  return tape->MakeNode(
+      std::move(out),
+      [ia, dfn](Tape& t, const Matrix& gout) {
+        const Matrix& in = t.value(ia);
+        if (!t.needs_grad(ia)) return;
+        Matrix& ga = t.grad(ia);
+        // Re-evaluating fwd would be wasteful; derivative gets both input
+        // and the (recomputed) output when it needs it.
+        for (int r = 0; r < in.rows(); ++r) {
+          for (int c = 0; c < in.cols(); ++c) {
+            ga(r, c) += gout(r, c) * dfn(in(r, c), 0.0);
+          }
+        }
+      },
+      NeedsGrad(tape, a));
+}
+
+}  // namespace
+
+// ---- Elementwise arithmetic ----------------------------------------------
+
+Var Add(const Var& a, const Var& b) {
+  Tape* tape = SameTape(a, b);
+  CheckSameShape(a, b);
+  const int ia = a.index(), ib = b.index();
+  return tape->MakeNode(
+      a.value() + b.value(),
+      [ia, ib](Tape& t, const Matrix& gout) {
+        Accumulate(t, ia, gout);
+        Accumulate(t, ib, gout);
+      },
+      NeedsGrad(tape, a) || NeedsGrad(tape, b));
+}
+
+Var Sub(const Var& a, const Var& b) {
+  Tape* tape = SameTape(a, b);
+  CheckSameShape(a, b);
+  const int ia = a.index(), ib = b.index();
+  return tape->MakeNode(
+      a.value() - b.value(),
+      [ia, ib](Tape& t, const Matrix& gout) {
+        Accumulate(t, ia, gout);
+        if (t.needs_grad(ib)) t.grad(ib) -= gout;
+      },
+      NeedsGrad(tape, a) || NeedsGrad(tape, b));
+}
+
+Var Mul(const Var& a, const Var& b) {
+  Tape* tape = SameTape(a, b);
+  CheckSameShape(a, b);
+  const int ia = a.index(), ib = b.index();
+  return tape->MakeNode(
+      a.value().CwiseProduct(b.value()),
+      [ia, ib](Tape& t, const Matrix& gout) {
+        if (t.needs_grad(ia)) t.grad(ia) += gout.CwiseProduct(t.value(ib));
+        if (t.needs_grad(ib)) t.grad(ib) += gout.CwiseProduct(t.value(ia));
+      },
+      NeedsGrad(tape, a) || NeedsGrad(tape, b));
+}
+
+Var Div(const Var& a, const Var& b) {
+  Tape* tape = SameTape(a, b);
+  CheckSameShape(a, b);
+  const int ia = a.index(), ib = b.index();
+  return tape->MakeNode(
+      a.value().CwiseQuotient(b.value()),
+      [ia, ib](Tape& t, const Matrix& gout) {
+        const Matrix& bv = t.value(ib);
+        if (t.needs_grad(ia)) t.grad(ia) += gout.CwiseQuotient(bv);
+        if (t.needs_grad(ib)) {
+          const Matrix& av = t.value(ia);
+          Matrix gb(gout.rows(), gout.cols());
+          for (int r = 0; r < gout.rows(); ++r) {
+            for (int c = 0; c < gout.cols(); ++c) {
+              gb(r, c) = -gout(r, c) * av(r, c) / (bv(r, c) * bv(r, c));
+            }
+          }
+          t.grad(ib) += gb;
+        }
+      },
+      NeedsGrad(tape, a) || NeedsGrad(tape, b));
+}
+
+Var Neg(const Var& a) { return Scale(a, -1.0); }
+
+Var Scale(const Var& a, double s) {
+  DMVI_CHECK(a.valid());
+  Tape* tape = a.tape();
+  const int ia = a.index();
+  return tape->MakeNode(
+      a.value() * s,
+      [ia, s](Tape& t, const Matrix& gout) {
+        if (t.needs_grad(ia)) t.grad(ia) += gout * s;
+      },
+      NeedsGrad(tape, a));
+}
+
+Var AddScalar(const Var& a, double s) {
+  DMVI_CHECK(a.valid());
+  Tape* tape = a.tape();
+  const int ia = a.index();
+  Matrix out = a.value();
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int c = 0; c < out.cols(); ++c) out(r, c) += s;
+  }
+  return tape->MakeNode(
+      std::move(out),
+      [ia](Tape& t, const Matrix& gout) { Accumulate(t, ia, gout); },
+      NeedsGrad(tape, a));
+}
+
+Var MulConst(const Var& a, const Matrix& m) {
+  DMVI_CHECK(a.valid());
+  DMVI_CHECK_EQ(a.rows(), m.rows());
+  DMVI_CHECK_EQ(a.cols(), m.cols());
+  Tape* tape = a.tape();
+  const int ia = a.index();
+  return tape->MakeNode(
+      a.value().CwiseProduct(m),
+      [ia, m](Tape& t, const Matrix& gout) {
+        if (t.needs_grad(ia)) t.grad(ia) += gout.CwiseProduct(m);
+      },
+      NeedsGrad(tape, a));
+}
+
+// ---- Elementwise nonlinearities -------------------------------------------
+
+Var Relu(const Var& a) {
+  return UnaryOp(
+      a, +[](double x) { return x > 0.0 ? x : 0.0; },
+      +[](double in, double) { return in > 0.0 ? 1.0 : 0.0; });
+}
+
+Var Tanh(const Var& a) {
+  return UnaryOp(
+      a, +[](double x) { return std::tanh(x); },
+      +[](double in, double) {
+        const double th = std::tanh(in);
+        return 1.0 - th * th;
+      });
+}
+
+Var Sigmoid(const Var& a) {
+  return UnaryOp(
+      a, +[](double x) { return 1.0 / (1.0 + std::exp(-x)); },
+      +[](double in, double) {
+        const double s = 1.0 / (1.0 + std::exp(-in));
+        return s * (1.0 - s);
+      });
+}
+
+Var Exp(const Var& a) {
+  return UnaryOp(
+      a, +[](double x) { return std::exp(x); },
+      +[](double in, double) { return std::exp(in); });
+}
+
+Var Log(const Var& a) {
+  return UnaryOp(
+      a, +[](double x) { return std::log(x); },
+      +[](double in, double) { return 1.0 / in; });
+}
+
+Var Square(const Var& a) {
+  return UnaryOp(
+      a, +[](double x) { return x * x; },
+      +[](double in, double) { return 2.0 * in; });
+}
+
+Var Sqrt(const Var& a, double eps) {
+  DMVI_CHECK(a.valid());
+  Tape* tape = a.tape();
+  const int ia = a.index();
+  const Matrix& av = a.value();
+  Matrix out(av.rows(), av.cols());
+  for (int r = 0; r < av.rows(); ++r) {
+    for (int c = 0; c < av.cols(); ++c) out(r, c) = std::sqrt(av(r, c) + eps);
+  }
+  return tape->MakeNode(
+      std::move(out),
+      [ia, eps](Tape& t, const Matrix& gout) {
+        if (!t.needs_grad(ia)) return;
+        const Matrix& in = t.value(ia);
+        Matrix& ga = t.grad(ia);
+        for (int r = 0; r < in.rows(); ++r) {
+          for (int c = 0; c < in.cols(); ++c) {
+            ga(r, c) += gout(r, c) * 0.5 / std::sqrt(in(r, c) + eps);
+          }
+        }
+      },
+      NeedsGrad(tape, a));
+}
+
+Var Abs(const Var& a) {
+  return UnaryOp(
+      a, +[](double x) { return std::fabs(x); },
+      +[](double in, double) { return in > 0.0 ? 1.0 : (in < 0.0 ? -1.0 : 0.0); });
+}
+
+// ---- Linear algebra -------------------------------------------------------
+
+Var MatMul(const Var& a, const Var& b) {
+  Tape* tape = SameTape(a, b);
+  DMVI_CHECK_EQ(a.cols(), b.rows());
+  const int ia = a.index(), ib = b.index();
+  return tape->MakeNode(
+      a.value().MatMul(b.value()),
+      [ia, ib](Tape& t, const Matrix& gout) {
+        if (t.needs_grad(ia)) t.grad(ia) += gout.MatMulTranspose(t.value(ib));
+        if (t.needs_grad(ib)) t.grad(ib) += t.value(ia).TransposeMatMul(gout);
+      },
+      NeedsGrad(tape, a) || NeedsGrad(tape, b));
+}
+
+Var Transpose(const Var& a) {
+  DMVI_CHECK(a.valid());
+  Tape* tape = a.tape();
+  const int ia = a.index();
+  return tape->MakeNode(
+      a.value().Transpose(),
+      [ia](Tape& t, const Matrix& gout) {
+        if (t.needs_grad(ia)) t.grad(ia) += gout.Transpose();
+      },
+      NeedsGrad(tape, a));
+}
+
+// ---- Shape manipulation ------------------------------------------------------
+
+Var Reshape(const Var& a, int rows, int cols) {
+  DMVI_CHECK(a.valid());
+  DMVI_CHECK_EQ(a.value().size(), static_cast<int64_t>(rows) * cols);
+  Tape* tape = a.tape();
+  const int ia = a.index();
+  const Matrix& av = a.value();
+  Matrix out(rows, cols);
+  std::copy(av.data(), av.data() + av.size(), out.data());
+  return tape->MakeNode(
+      std::move(out),
+      [ia](Tape& t, const Matrix& gout) {
+        if (!t.needs_grad(ia)) return;
+        Matrix& ga = t.grad(ia);
+        const double* src = gout.data();
+        double* dst = ga.data();
+        for (int64_t i = 0; i < ga.size(); ++i) dst[i] += src[i];
+      },
+      NeedsGrad(tape, a));
+}
+
+Var SliceRows(const Var& a, int r0, int count) {
+  DMVI_CHECK(a.valid());
+  Tape* tape = a.tape();
+  const int ia = a.index();
+  Matrix out = a.value().Block(r0, 0, count, a.cols());
+  return tape->MakeNode(
+      std::move(out),
+      [ia, r0](Tape& t, const Matrix& gout) {
+        if (!t.needs_grad(ia)) return;
+        Matrix& ga = t.grad(ia);
+        for (int r = 0; r < gout.rows(); ++r) {
+          double* dst = ga.row_ptr(r0 + r);
+          const double* src = gout.row_ptr(r);
+          for (int c = 0; c < gout.cols(); ++c) dst[c] += src[c];
+        }
+      },
+      NeedsGrad(tape, a));
+}
+
+Var SliceCols(const Var& a, int c0, int count) {
+  DMVI_CHECK(a.valid());
+  Tape* tape = a.tape();
+  const int ia = a.index();
+  Matrix out = a.value().Block(0, c0, a.rows(), count);
+  return tape->MakeNode(
+      std::move(out),
+      [ia, c0](Tape& t, const Matrix& gout) {
+        if (!t.needs_grad(ia)) return;
+        Matrix& ga = t.grad(ia);
+        for (int r = 0; r < gout.rows(); ++r) {
+          double* dst = ga.row_ptr(r) + c0;
+          const double* src = gout.row_ptr(r);
+          for (int c = 0; c < gout.cols(); ++c) dst[c] += src[c];
+        }
+      },
+      NeedsGrad(tape, a));
+}
+
+Var ConcatCols(const std::vector<Var>& parts) {
+  DMVI_CHECK(!parts.empty());
+  Tape* tape = parts[0].tape();
+  const int rows = parts[0].rows();
+  int total_cols = 0;
+  bool ng = false;
+  std::vector<int> indices;
+  std::vector<int> offsets;
+  for (const Var& p : parts) {
+    DMVI_CHECK_EQ(p.tape(), tape);
+    DMVI_CHECK_EQ(p.rows(), rows);
+    offsets.push_back(total_cols);
+    total_cols += p.cols();
+    indices.push_back(p.index());
+    ng = ng || tape->needs_grad(p.index());
+  }
+  Matrix out(rows, total_cols);
+  for (size_t i = 0; i < parts.size(); ++i) {
+    out.SetBlock(0, offsets[i], parts[i].value());
+  }
+  return tape->MakeNode(
+      std::move(out),
+      [indices, offsets](Tape& t, const Matrix& gout) {
+        for (size_t i = 0; i < indices.size(); ++i) {
+          const int idx = indices[i];
+          if (!t.needs_grad(idx)) continue;
+          Matrix& g = t.grad(idx);
+          for (int r = 0; r < g.rows(); ++r) {
+            const double* src = gout.row_ptr(r) + offsets[i];
+            double* dst = g.row_ptr(r);
+            for (int c = 0; c < g.cols(); ++c) dst[c] += src[c];
+          }
+        }
+      },
+      ng);
+}
+
+Var ConcatRows(const std::vector<Var>& parts) {
+  DMVI_CHECK(!parts.empty());
+  Tape* tape = parts[0].tape();
+  const int cols = parts[0].cols();
+  int total_rows = 0;
+  bool ng = false;
+  std::vector<int> indices;
+  std::vector<int> offsets;
+  for (const Var& p : parts) {
+    DMVI_CHECK_EQ(p.tape(), tape);
+    DMVI_CHECK_EQ(p.cols(), cols);
+    offsets.push_back(total_rows);
+    total_rows += p.rows();
+    indices.push_back(p.index());
+    ng = ng || tape->needs_grad(p.index());
+  }
+  Matrix out(total_rows, cols);
+  for (size_t i = 0; i < parts.size(); ++i) {
+    out.SetBlock(offsets[i], 0, parts[i].value());
+  }
+  return tape->MakeNode(
+      std::move(out),
+      [indices, offsets](Tape& t, const Matrix& gout) {
+        for (size_t i = 0; i < indices.size(); ++i) {
+          const int idx = indices[i];
+          if (!t.needs_grad(idx)) continue;
+          Matrix& g = t.grad(idx);
+          for (int r = 0; r < g.rows(); ++r) {
+            const double* src = gout.row_ptr(offsets[i] + r);
+            double* dst = g.row_ptr(r);
+            for (int c = 0; c < g.cols(); ++c) dst[c] += src[c];
+          }
+        }
+      },
+      ng);
+}
+
+Var GatherRows(const Var& a, const std::vector<int>& indices) {
+  DMVI_CHECK(a.valid());
+  Tape* tape = a.tape();
+  const int ia = a.index();
+  const Matrix& av = a.value();
+  Matrix out(static_cast<int>(indices.size()), av.cols());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    DMVI_CHECK_GE(indices[i], 0);
+    DMVI_CHECK_LT(indices[i], av.rows());
+    std::copy(av.row_ptr(indices[i]), av.row_ptr(indices[i]) + av.cols(),
+              out.row_ptr(static_cast<int>(i)));
+  }
+  return tape->MakeNode(
+      std::move(out),
+      [ia, indices](Tape& t, const Matrix& gout) {
+        if (!t.needs_grad(ia)) return;
+        Matrix& ga = t.grad(ia);
+        for (size_t i = 0; i < indices.size(); ++i) {
+          double* dst = ga.row_ptr(indices[i]);
+          const double* src = gout.row_ptr(static_cast<int>(i));
+          for (int c = 0; c < gout.cols(); ++c) dst[c] += src[c];
+        }
+      },
+      NeedsGrad(tape, a));
+}
+
+// ---- Broadcasts ----------------------------------------------------------------
+
+namespace {
+
+Var RowBroadcastOp(const Var& a, const Var& row, bool subtract) {
+  Tape* tape = SameTape(a, row);
+  DMVI_CHECK_EQ(row.rows(), 1);
+  DMVI_CHECK_EQ(row.cols(), a.cols());
+  const int ia = a.index(), ir = row.index();
+  const double sign = subtract ? -1.0 : 1.0;
+  Matrix out = a.value();
+  const Matrix& rv = row.value();
+  for (int r = 0; r < out.rows(); ++r) {
+    double* p = out.row_ptr(r);
+    for (int c = 0; c < out.cols(); ++c) p[c] += sign * rv(0, c);
+  }
+  return tape->MakeNode(
+      std::move(out),
+      [ia, ir, sign](Tape& t, const Matrix& gout) {
+        Accumulate(t, ia, gout);
+        if (t.needs_grad(ir)) {
+          Matrix& gr = t.grad(ir);
+          for (int r = 0; r < gout.rows(); ++r) {
+            const double* src = gout.row_ptr(r);
+            for (int c = 0; c < gout.cols(); ++c) gr(0, c) += sign * src[c];
+          }
+        }
+      },
+      NeedsGrad(tape, a) || NeedsGrad(tape, row));
+}
+
+}  // namespace
+
+Var AddRowVector(const Var& a, const Var& row) {
+  return RowBroadcastOp(a, row, /*subtract=*/false);
+}
+
+Var SubRowVector(const Var& a, const Var& row) {
+  return RowBroadcastOp(a, row, /*subtract=*/true);
+}
+
+Var MulRowVector(const Var& a, const Var& row) {
+  Tape* tape = SameTape(a, row);
+  DMVI_CHECK_EQ(row.rows(), 1);
+  DMVI_CHECK_EQ(row.cols(), a.cols());
+  const int ia = a.index(), ir = row.index();
+  Matrix out = a.value();
+  const Matrix& rv = row.value();
+  for (int r = 0; r < out.rows(); ++r) {
+    double* p = out.row_ptr(r);
+    for (int c = 0; c < out.cols(); ++c) p[c] *= rv(0, c);
+  }
+  return tape->MakeNode(
+      std::move(out),
+      [ia, ir](Tape& t, const Matrix& gout) {
+        const Matrix& av = t.value(ia);
+        const Matrix& rv = t.value(ir);
+        if (t.needs_grad(ia)) {
+          Matrix& ga = t.grad(ia);
+          for (int r = 0; r < gout.rows(); ++r) {
+            const double* src = gout.row_ptr(r);
+            double* dst = ga.row_ptr(r);
+            for (int c = 0; c < gout.cols(); ++c) dst[c] += src[c] * rv(0, c);
+          }
+        }
+        if (t.needs_grad(ir)) {
+          Matrix& gr = t.grad(ir);
+          for (int r = 0; r < gout.rows(); ++r) {
+            const double* src = gout.row_ptr(r);
+            const double* arow = av.row_ptr(r);
+            for (int c = 0; c < gout.cols(); ++c) gr(0, c) += src[c] * arow[c];
+          }
+        }
+      },
+      NeedsGrad(tape, a) || NeedsGrad(tape, row));
+}
+
+Var BroadcastScalar(const Var& a, int rows, int cols) {
+  DMVI_CHECK(a.valid());
+  DMVI_CHECK_EQ(a.rows(), 1);
+  DMVI_CHECK_EQ(a.cols(), 1);
+  Tape* tape = a.tape();
+  const int ia = a.index();
+  Matrix out(rows, cols, a.value()(0, 0));
+  return tape->MakeNode(
+      std::move(out),
+      [ia](Tape& t, const Matrix& gout) {
+        if (t.needs_grad(ia)) t.grad(ia)(0, 0) += gout.Sum();
+      },
+      NeedsGrad(tape, a));
+}
+
+// ---- Reductions -------------------------------------------------------------------
+
+Var Sum(const Var& a) {
+  DMVI_CHECK(a.valid());
+  Tape* tape = a.tape();
+  const int ia = a.index();
+  Matrix out(1, 1);
+  out(0, 0) = a.value().Sum();
+  return tape->MakeNode(
+      std::move(out),
+      [ia](Tape& t, const Matrix& gout) {
+        if (!t.needs_grad(ia)) return;
+        Matrix& ga = t.grad(ia);
+        const double g = gout(0, 0);
+        double* p = ga.data();
+        for (int64_t i = 0; i < ga.size(); ++i) p[i] += g;
+      },
+      NeedsGrad(tape, a));
+}
+
+Var Mean(const Var& a) {
+  DMVI_CHECK(a.valid());
+  return Scale(Sum(a), 1.0 / static_cast<double>(a.value().size()));
+}
+
+Var RowSum(const Var& a) {
+  DMVI_CHECK(a.valid());
+  Tape* tape = a.tape();
+  const int ia = a.index();
+  const Matrix& av = a.value();
+  Matrix out(av.rows(), 1);
+  for (int r = 0; r < av.rows(); ++r) {
+    const double* p = av.row_ptr(r);
+    double acc = 0.0;
+    for (int c = 0; c < av.cols(); ++c) acc += p[c];
+    out(r, 0) = acc;
+  }
+  return tape->MakeNode(
+      std::move(out),
+      [ia](Tape& t, const Matrix& gout) {
+        if (!t.needs_grad(ia)) return;
+        Matrix& ga = t.grad(ia);
+        for (int r = 0; r < ga.rows(); ++r) {
+          double* dst = ga.row_ptr(r);
+          const double g = gout(r, 0);
+          for (int c = 0; c < ga.cols(); ++c) dst[c] += g;
+        }
+      },
+      NeedsGrad(tape, a));
+}
+
+Var ColSum(const Var& a) {
+  DMVI_CHECK(a.valid());
+  Tape* tape = a.tape();
+  const int ia = a.index();
+  const Matrix& av = a.value();
+  Matrix out(1, av.cols());
+  for (int r = 0; r < av.rows(); ++r) {
+    const double* p = av.row_ptr(r);
+    for (int c = 0; c < av.cols(); ++c) out(0, c) += p[c];
+  }
+  return tape->MakeNode(
+      std::move(out),
+      [ia](Tape& t, const Matrix& gout) {
+        if (!t.needs_grad(ia)) return;
+        Matrix& ga = t.grad(ia);
+        for (int r = 0; r < ga.rows(); ++r) {
+          double* dst = ga.row_ptr(r);
+          for (int c = 0; c < ga.cols(); ++c) dst[c] += gout(0, c);
+        }
+      },
+      NeedsGrad(tape, a));
+}
+
+// ---- Softmax -----------------------------------------------------------------------
+
+Var SoftmaxRows(const Var& a) {
+  Matrix all_avail(a.rows(), a.cols(), 1.0);
+  return MaskedSoftmaxRows(a, all_avail);
+}
+
+Var MaskedSoftmaxRows(const Var& a, const Matrix& avail) {
+  DMVI_CHECK(a.valid());
+  DMVI_CHECK_EQ(a.rows(), avail.rows());
+  DMVI_CHECK_EQ(a.cols(), avail.cols());
+  Tape* tape = a.tape();
+  const int ia = a.index();
+  const Matrix& av = a.value();
+  Matrix out(av.rows(), av.cols());
+  for (int r = 0; r < av.rows(); ++r) {
+    double maxv = -1e300;
+    bool any = false;
+    for (int c = 0; c < av.cols(); ++c) {
+      if (avail(r, c) != 0.0) {
+        maxv = std::max(maxv, av(r, c));
+        any = true;
+      }
+    }
+    if (!any) continue;  // Row stays all-zero.
+    double denom = 0.0;
+    for (int c = 0; c < av.cols(); ++c) {
+      if (avail(r, c) != 0.0) {
+        out(r, c) = std::exp(av(r, c) - maxv);
+        denom += out(r, c);
+      }
+    }
+    for (int c = 0; c < av.cols(); ++c) out(r, c) /= denom;
+  }
+  const int iout = tape->num_nodes();
+  return tape->MakeNode(
+      std::move(out),
+      [ia, iout, avail](Tape& t, const Matrix& gout) {
+        if (!t.needs_grad(ia)) return;
+        const Matrix& y = t.value(iout);
+        Matrix& ga = t.grad(ia);
+        // dL/dx_rc = y_rc * (g_rc - sum_k g_rk y_rk) on available entries.
+        for (int r = 0; r < y.rows(); ++r) {
+          double dot = 0.0;
+          for (int c = 0; c < y.cols(); ++c) dot += gout(r, c) * y(r, c);
+          double* dst = ga.row_ptr(r);
+          for (int c = 0; c < y.cols(); ++c) {
+            if (avail(r, c) != 0.0) {
+              dst[c] += y(r, c) * (gout(r, c) - dot);
+            }
+          }
+        }
+      },
+      NeedsGrad(tape, a));
+}
+
+// ---- Losses ----------------------------------------------------------------------------
+
+Var WeightedMseLoss(const Var& pred, const Matrix& target, const Matrix& weight) {
+  DMVI_CHECK(pred.valid());
+  DMVI_CHECK_EQ(pred.rows(), target.rows());
+  DMVI_CHECK_EQ(pred.cols(), target.cols());
+  DMVI_CHECK_EQ(pred.rows(), weight.rows());
+  DMVI_CHECK_EQ(pred.cols(), weight.cols());
+  Tape* tape = pred.tape();
+  const int ip = pred.index();
+  const Matrix& pv = pred.value();
+  double wsum = std::max(weight.Sum(), 1.0);
+  double loss = 0.0;
+  for (int r = 0; r < pv.rows(); ++r) {
+    for (int c = 0; c < pv.cols(); ++c) {
+      const double d = pv(r, c) - target(r, c);
+      loss += weight(r, c) * d * d;
+    }
+  }
+  Matrix out(1, 1);
+  out(0, 0) = loss / wsum;
+  return tape->MakeNode(
+      std::move(out),
+      [ip, target, weight, wsum](Tape& t, const Matrix& gout) {
+        if (!t.needs_grad(ip)) return;
+        const Matrix& pv = t.value(ip);
+        Matrix& gp = t.grad(ip);
+        const double g = gout(0, 0);
+        for (int r = 0; r < pv.rows(); ++r) {
+          for (int c = 0; c < pv.cols(); ++c) {
+            gp(r, c) +=
+                g * 2.0 * weight(r, c) * (pv(r, c) - target(r, c)) / wsum;
+          }
+        }
+      },
+      NeedsGrad(tape, pred));
+}
+
+Var WeightedMaeLoss(const Var& pred, const Matrix& target, const Matrix& weight) {
+  DMVI_CHECK(pred.valid());
+  DMVI_CHECK_EQ(pred.rows(), target.rows());
+  DMVI_CHECK_EQ(pred.cols(), target.cols());
+  Tape* tape = pred.tape();
+  const int ip = pred.index();
+  const Matrix& pv = pred.value();
+  double wsum = std::max(weight.Sum(), 1.0);
+  double loss = 0.0;
+  for (int r = 0; r < pv.rows(); ++r) {
+    for (int c = 0; c < pv.cols(); ++c) {
+      loss += weight(r, c) * std::fabs(pv(r, c) - target(r, c));
+    }
+  }
+  Matrix out(1, 1);
+  out(0, 0) = loss / wsum;
+  return tape->MakeNode(
+      std::move(out),
+      [ip, target, weight, wsum](Tape& t, const Matrix& gout) {
+        if (!t.needs_grad(ip)) return;
+        const Matrix& pv = t.value(ip);
+        Matrix& gp = t.grad(ip);
+        const double g = gout(0, 0);
+        for (int r = 0; r < pv.rows(); ++r) {
+          for (int c = 0; c < pv.cols(); ++c) {
+            const double d = pv(r, c) - target(r, c);
+            const double sign = d > 0.0 ? 1.0 : (d < 0.0 ? -1.0 : 0.0);
+            gp(r, c) += g * weight(r, c) * sign / wsum;
+          }
+        }
+      },
+      NeedsGrad(tape, pred));
+}
+
+// ---- Testing utilities --------------------------------------------------------------------
+
+std::vector<Matrix> NumericalGradient(
+    const std::function<Var(Tape&, const std::vector<Var>&)>& f,
+    const std::vector<Matrix>& inputs, double eps) {
+  std::vector<Matrix> grads;
+  auto eval = [&](const std::vector<Matrix>& points) {
+    Tape tape;
+    std::vector<Var> vars;
+    vars.reserve(points.size());
+    for (const Matrix& m : points) vars.push_back(tape.Leaf(m));
+    Var loss = f(tape, vars);
+    return loss.scalar();
+  };
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    Matrix g(inputs[i].rows(), inputs[i].cols());
+    for (int r = 0; r < g.rows(); ++r) {
+      for (int c = 0; c < g.cols(); ++c) {
+        std::vector<Matrix> plus = inputs;
+        std::vector<Matrix> minus = inputs;
+        plus[i](r, c) += eps;
+        minus[i](r, c) -= eps;
+        g(r, c) = (eval(plus) - eval(minus)) / (2.0 * eps);
+      }
+    }
+    grads.push_back(std::move(g));
+  }
+  return grads;
+}
+
+std::vector<Matrix> AnalyticGradient(
+    const std::function<Var(Tape&, const std::vector<Var>&)>& f,
+    const std::vector<Matrix>& inputs) {
+  Tape tape;
+  std::vector<Var> vars;
+  vars.reserve(inputs.size());
+  for (const Matrix& m : inputs) vars.push_back(tape.Leaf(m));
+  Var loss = f(tape, vars);
+  tape.Backward(loss);
+  std::vector<Matrix> grads;
+  grads.reserve(vars.size());
+  for (const Var& v : vars) grads.push_back(v.grad());
+  return grads;
+}
+
+}  // namespace ad
+}  // namespace deepmvi

@@ -1,0 +1,87 @@
+#include "autodiff/tape.h"
+
+namespace deepmvi {
+namespace ad {
+
+const Matrix& Var::value() const {
+  DMVI_CHECK(valid());
+  return tape_->value(index_);
+}
+
+const Matrix& Var::grad() const {
+  DMVI_CHECK(valid());
+  return tape_->grad_or_zero(index_);
+}
+
+double Var::scalar() const {
+  const Matrix& v = value();
+  DMVI_CHECK_EQ(v.rows(), 1);
+  DMVI_CHECK_EQ(v.cols(), 1);
+  return v(0, 0);
+}
+
+Var Tape::Leaf(Matrix value) {
+  Node node;
+  node.value = std::move(value);
+  node.needs_grad = true;
+  nodes_.push_back(std::move(node));
+  return Var(this, static_cast<int>(nodes_.size()) - 1);
+}
+
+Var Tape::Constant(Matrix value) {
+  Node node;
+  node.value = std::move(value);
+  node.needs_grad = false;
+  nodes_.push_back(std::move(node));
+  return Var(this, static_cast<int>(nodes_.size()) - 1);
+}
+
+Var Tape::MakeNode(Matrix value, BackwardFn backward, bool needs_grad) {
+  Node node;
+  node.value = std::move(value);
+  node.needs_grad = needs_grad;
+  if (needs_grad) node.backward = std::move(backward);
+  nodes_.push_back(std::move(node));
+  return Var(this, static_cast<int>(nodes_.size()) - 1);
+}
+
+void Tape::Backward(const Var& loss) {
+  DMVI_CHECK(loss.valid());
+  DMVI_CHECK_EQ(loss.tape(), this);
+  DMVI_CHECK_EQ(loss.value().rows(), 1);
+  DMVI_CHECK_EQ(loss.value().cols(), 1);
+  grad(loss.index())(0, 0) = 1.0;
+  for (int i = loss.index(); i >= 0; --i) {
+    Node& node = nodes_[i];
+    if (!node.needs_grad || !node.backward) continue;
+    if (!node.grad_allocated) continue;  // No gradient flowed here.
+    node.backward(*this, node.grad);
+  }
+}
+
+void Tape::Reset() { nodes_.clear(); }
+
+Matrix& Tape::grad(int index) {
+  Node& node = nodes_[index];
+  if (!node.grad_allocated) {
+    node.grad = Matrix(node.value.rows(), node.value.cols());
+    node.grad_allocated = true;
+  }
+  return node.grad;
+}
+
+const Matrix& Tape::grad_or_zero(int index) const {
+  const Node& node = nodes_[index];
+  if (node.grad_allocated) return node.grad;
+  if (empty_grad_.rows() != node.value.rows() ||
+      empty_grad_.cols() != node.value.cols()) {
+    // Lazily keep a zero matrix of the right shape. const_cast is confined
+    // to this cache; callers only read.
+    const_cast<Tape*>(this)->empty_grad_ =
+        Matrix(node.value.rows(), node.value.cols());
+  }
+  return empty_grad_;
+}
+
+}  // namespace ad
+}  // namespace deepmvi

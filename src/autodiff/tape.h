@@ -1,0 +1,106 @@
+#ifndef DEEPMVI_AUTODIFF_TAPE_H_
+#define DEEPMVI_AUTODIFF_TAPE_H_
+
+#include <functional>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace deepmvi {
+namespace ad {
+
+class Tape;
+
+/// Lightweight handle to a matrix-valued node on a Tape.
+///
+/// Vars are created by Tape::Leaf / Tape::Constant and by the operator
+/// functions in ops.h. A Var is only valid while its Tape is alive and has
+/// not been Reset.
+class Var {
+ public:
+  Var() : tape_(nullptr), index_(-1) {}
+  Var(Tape* tape, int index) : tape_(tape), index_(index) {}
+
+  bool valid() const { return tape_ != nullptr; }
+  Tape* tape() const { return tape_; }
+  int index() const { return index_; }
+
+  const Matrix& value() const;
+  const Matrix& grad() const;
+  int rows() const { return value().rows(); }
+  int cols() const { return value().cols(); }
+
+  /// Value of a 1x1 node.
+  double scalar() const;
+
+ private:
+  Tape* tape_;
+  int index_;
+};
+
+/// Reverse-mode automatic differentiation tape over matrix-valued nodes.
+///
+/// Usage: create leaves (parameters / inputs), build the computation with
+/// the ops in ops.h, then call Backward on a scalar (1x1) node. Gradients
+/// accumulate into each node's grad matrix; parameter gradients are read
+/// back through the Var handles. Reset() clears the graph between steps
+/// while keeping allocated capacity.
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  /// Creates a differentiable leaf (e.g., a parameter or input).
+  Var Leaf(Matrix value);
+
+  /// Creates a non-differentiable constant node. Backward never propagates
+  /// into constants.
+  Var Constant(Matrix value);
+
+  /// Runs reverse-mode accumulation from `loss` (must be 1x1). The loss
+  /// seed gradient is 1. May be called once per graph.
+  void Backward(const Var& loss);
+
+  /// Drops all nodes. Invalidates every Var created since construction or
+  /// the previous Reset.
+  void Reset();
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  // ---- Internal API used by ops.h ---------------------------------------
+
+  /// Backward closure: receives the tape and the accumulated gradient of
+  /// the node's own output, and must add contributions into the gradients
+  /// of its input nodes.
+  using BackwardFn = std::function<void(Tape&, const Matrix& gout)>;
+
+  /// Creates an interior node with the given forward value and backward
+  /// closure. `needs_grad` should be true when any input requires grad.
+  Var MakeNode(Matrix value, BackwardFn backward, bool needs_grad);
+
+  const Matrix& value(int index) const { return nodes_[index].value; }
+  Matrix& mutable_value(int index) { return nodes_[index].value; }
+  bool needs_grad(int index) const { return nodes_[index].needs_grad; }
+
+  /// Gradient accessor; allocates a zero matrix on first touch.
+  Matrix& grad(int index);
+  const Matrix& grad_or_zero(int index) const;
+
+ private:
+  struct Node {
+    Matrix value;
+    Matrix grad;
+    bool grad_allocated = false;
+    bool needs_grad = false;
+    BackwardFn backward;  // Empty for leaves/constants.
+  };
+
+  std::vector<Node> nodes_;
+  Matrix empty_grad_;
+};
+
+}  // namespace ad
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_AUTODIFF_TAPE_H_

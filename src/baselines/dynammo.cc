@@ -1,0 +1,258 @@
+#include "baselines/dynammo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "baselines/simple.h"
+#include "common/rng.h"
+#include "linalg/solvers.h"
+
+namespace deepmvi {
+namespace internal_dynammo {
+
+std::vector<std::vector<int>> GroupSeries(const Matrix& interpolated,
+                                          int group_size) {
+  const int n = interpolated.rows();
+  std::vector<bool> assigned(n, false);
+  std::vector<std::vector<int>> groups;
+  for (int seed = 0; seed < n; ++seed) {
+    if (assigned[seed]) continue;
+    std::vector<int> group = {seed};
+    assigned[seed] = true;
+    // Rank unassigned peers by |correlation| with the seed.
+    std::vector<std::pair<double, int>> ranked;
+    for (int j = 0; j < n; ++j) {
+      if (assigned[j]) continue;
+      ranked.emplace_back(
+          std::fabs(PearsonCorrelation(interpolated.Row(seed),
+                                       interpolated.Row(j))),
+          j);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (const auto& [corr, j] : ranked) {
+      if (static_cast<int>(group.size()) >= group_size) break;
+      group.push_back(j);
+      assigned[j] = true;
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+}  // namespace internal_dynammo
+
+namespace {
+
+/// Symmetrizes and adds jitter so downstream inversions stay stable.
+Matrix Stabilize(const Matrix& m, double jitter = 1e-8) {
+  Matrix out = (m + m.Transpose()) * 0.5;
+  for (int i = 0; i < out.rows(); ++i) out(i, i) += jitter;
+  return out;
+}
+
+struct LdsParams {
+  Matrix a;    // h x h transition
+  Matrix c;    // m x h emission
+  Matrix q;    // h x h process noise
+  std::vector<double> r;  // m observation noise (diagonal)
+  Matrix mu0;  // h x 1
+  Matrix v0;   // h x h
+};
+
+struct SmoothedState {
+  std::vector<Matrix> mean;       // z_t, h x 1
+  std::vector<Matrix> cov;        // P_t, h x h
+  std::vector<Matrix> cross_cov;  // E[z_t z_{t+1}^T] - mean outer, size T-1
+};
+
+/// Kalman filter + RTS smoother over a group's observations handling
+/// missing entries by conditioning only on the observed components.
+SmoothedState KalmanSmooth(const LdsParams& p, const Matrix& x,
+                           const Mask& mask, const std::vector<int>& rows) {
+  const int t_len = x.cols();
+  const int h = p.a.rows();
+  const int m = static_cast<int>(rows.size());
+
+  std::vector<Matrix> filt_mean(t_len), filt_cov(t_len);
+  std::vector<Matrix> pred_mean(t_len), pred_cov(t_len);
+
+  Matrix z = p.mu0;
+  Matrix v = p.v0;
+  for (int t = 0; t < t_len; ++t) {
+    if (t == 0) {
+      pred_mean[t] = p.mu0;
+      pred_cov[t] = p.v0;
+    } else {
+      pred_mean[t] = p.a.MatMul(filt_mean[t - 1]);
+      pred_cov[t] = Stabilize(p.a.MatMul(filt_cov[t - 1]).MatMulTranspose(p.a) + p.q);
+    }
+    // Observed components at t.
+    std::vector<int> obs;
+    for (int j = 0; j < m; ++j) {
+      if (mask.available(rows[j], t)) obs.push_back(j);
+    }
+    if (obs.empty()) {
+      filt_mean[t] = pred_mean[t];
+      filt_cov[t] = pred_cov[t];
+      continue;
+    }
+    const int mo = static_cast<int>(obs.size());
+    Matrix c_obs(mo, h);
+    Matrix resid(mo, 1);
+    for (int a = 0; a < mo; ++a) {
+      const int j = obs[a];
+      for (int b = 0; b < h; ++b) c_obs(a, b) = p.c(j, b);
+      double pred = 0.0;
+      for (int b = 0; b < h; ++b) pred += p.c(j, b) * pred_mean[t](b, 0);
+      resid(a, 0) = x(rows[j], t) - pred;
+    }
+    Matrix s = c_obs.MatMul(pred_cov[t]).MatMulTranspose(c_obs);
+    for (int a = 0; a < mo; ++a) s(a, a) += p.r[obs[a]];
+    s = Stabilize(s);
+    // K = P C^T S^{-1}  via solving S K^T = C P.
+    Matrix kt = SolveSpd(s, c_obs.MatMul(pred_cov[t]));  // mo x h
+    Matrix k = kt.Transpose();                            // h x mo
+    filt_mean[t] = pred_mean[t] + k.MatMul(resid);
+    filt_cov[t] =
+        Stabilize(pred_cov[t] - k.MatMul(c_obs).MatMul(pred_cov[t]));
+  }
+
+  // RTS backward pass.
+  SmoothedState out;
+  out.mean.resize(t_len);
+  out.cov.resize(t_len);
+  out.cross_cov.resize(std::max(t_len - 1, 0));
+  out.mean[t_len - 1] = filt_mean[t_len - 1];
+  out.cov[t_len - 1] = filt_cov[t_len - 1];
+  for (int t = t_len - 2; t >= 0; --t) {
+    // J = P_t A^T (P_pred_{t+1})^{-1}, via solving P_pred J^T = A P_t.
+    Matrix jt = SolveSpd(Stabilize(pred_cov[t + 1]),
+                         p.a.MatMul(filt_cov[t]));  // h x h
+    Matrix j = jt.Transpose();
+    out.mean[t] =
+        filt_mean[t] + j.MatMul(out.mean[t + 1] - pred_mean[t + 1]);
+    out.cov[t] = Stabilize(
+        filt_cov[t] +
+        j.MatMul(out.cov[t + 1] - pred_cov[t + 1]).MatMulTranspose(j));
+    // E[z_t z_{t+1}^T] second central moment: J * P_s_{t+1}.
+    out.cross_cov[t] = j.MatMul(out.cov[t + 1]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Matrix DynammoImputer::Impute(const DataTensor& data, const Mask& mask) {
+  const Matrix& x = data.values();
+  const int t_len = x.cols();
+  Matrix interpolated = InterpolateMissing(x, mask);
+  auto groups = internal_dynammo::GroupSeries(interpolated, config_.group_size);
+
+  Rng rng(config_.seed);
+  Matrix out = x;
+
+  for (const auto& rows : groups) {
+    const int m = static_cast<int>(rows.size());
+    const int h = std::max(1, std::min(config_.hidden_dim, m * 2));
+
+    LdsParams p;
+    p.a = Matrix::Identity(h) * 0.98 +
+          Matrix::RandomGaussian(h, h, rng, 0.0, 0.01);
+    p.c = Matrix::RandomGaussian(m, h, rng, 0.0, 0.5);
+    p.q = Matrix::Identity(h) * 0.1;
+    p.r.assign(m, 0.1);
+    p.mu0 = Matrix(h, 1);
+    p.v0 = Matrix::Identity(h);
+
+    SmoothedState s;
+    for (int iter = 0; iter < config_.em_iterations; ++iter) {
+      // ---- E-step -----------------------------------------------------
+      s = KalmanSmooth(p, x, mask, rows);
+
+      // Sufficient statistics.
+      Matrix s00(h, h), s10(h, h), s11(h, h), szz(h, h);
+      for (int t = 0; t < t_len; ++t) {
+        Matrix ezz = s.cov[t] + s.mean[t].MatMulTranspose(s.mean[t]);
+        szz += ezz;
+        if (t > 0) s11 += ezz;
+        if (t < t_len - 1) {
+          Matrix ezz_prev = s.cov[t] + s.mean[t].MatMulTranspose(s.mean[t]);
+          s00 += ezz_prev;
+          // E[z_{t+1} z_t^T] = (cross)^T + mean_{t+1} mean_t^T.
+          s10 += s.cross_cov[t].Transpose() +
+                 s.mean[t + 1].MatMulTranspose(s.mean[t]);
+        }
+      }
+
+      // ---- M-step -----------------------------------------------------
+      // A = S10 * S00^{-1} (solve S00 A^T = S10^T).
+      Matrix at = SolveSpd(Stabilize(s00, 1e-6), s10.Transpose());
+      p.a = at.Transpose();
+      // Q = (S11 - A S10^T) / (T-1).
+      if (t_len > 1) {
+        p.q = Stabilize((s11 - p.a.MatMul(s10.Transpose())) *
+                            (1.0 / (t_len - 1)),
+                        1e-6);
+      }
+      // C: rows solved independently using expected x (observed values,
+      // smoothed expectation where missing).
+      Matrix sxz(m, h);
+      for (int t = 0; t < t_len; ++t) {
+        for (int j = 0; j < m; ++j) {
+          double xv;
+          if (mask.available(rows[j], t)) {
+            xv = x(rows[j], t);
+          } else {
+            xv = 0.0;
+            for (int b = 0; b < h; ++b) xv += p.c(j, b) * s.mean[t](b, 0);
+          }
+          for (int b = 0; b < h; ++b) sxz(j, b) += xv * s.mean[t](b, 0);
+        }
+      }
+      Matrix ct = SolveSpd(Stabilize(szz, 1e-6), sxz.Transpose());
+      Matrix c_new = ct.Transpose();
+      // R (diagonal): average squared emission residual on observed cells.
+      for (int j = 0; j < m; ++j) {
+        double acc = 0.0;
+        int count = 0;
+        for (int t = 0; t < t_len; ++t) {
+          if (!mask.available(rows[j], t)) continue;
+          double pred = 0.0;
+          for (int b = 0; b < h; ++b) pred += c_new(j, b) * s.mean[t](b, 0);
+          const double d = x(rows[j], t) - pred;
+          // Include the variance of the prediction, c_j P c_j^T.
+          double cvar = 0.0;
+          for (int a = 0; a < h; ++a) {
+            for (int b = 0; b < h; ++b) {
+              cvar += c_new(j, a) * s.cov[t](a, b) * c_new(j, b);
+            }
+          }
+          acc += d * d + cvar;
+          ++count;
+        }
+        if (count > 0) p.r[j] = std::max(acc / count, 1e-6);
+      }
+      p.c = std::move(c_new);
+      p.mu0 = s.mean[0];
+      p.v0 = Stabilize(s.cov[0], 1e-6);
+    }
+
+    // ---- Impute from the final smoothed states. -----------------------
+    for (int t = 0; t < t_len; ++t) {
+      for (int j = 0; j < m; ++j) {
+        if (mask.missing(rows[j], t)) {
+          double pred = 0.0;
+          for (int b = 0; b < p.a.rows(); ++b) {
+            pred += p.c(j, b) * s.mean[t](b, 0);
+          }
+          out(rows[j], t) = pred;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace deepmvi

@@ -1,0 +1,52 @@
+#ifndef DEEPMVI_BASELINES_DYNAMMO_H_
+#define DEEPMVI_BASELINES_DYNAMMO_H_
+
+#include <string>
+#include <vector>
+
+#include "data/imputer.h"
+
+namespace deepmvi {
+
+/// DynaMMO (Li, McCann, Pollard, Faloutsos, KDD 2009): groups co-evolving
+/// series by correlation, fits a linear dynamical system per group with EM
+/// (Kalman filter + RTS smoother handling missing observations), and
+/// imputes the missing cells from the smoothed latent states.
+///
+/// Model per group of m series:  z_{t+1} = A z_t + w,  x_t = C z_t + v
+/// with hidden dimension h. The E-step runs the standard Kalman/RTS
+/// recursions using only the observed components of each x_t; the M-step
+/// uses the closed-form complete-data updates with missing entries filled
+/// by their smoothed expectations.
+class DynammoImputer : public Imputer {
+ public:
+  struct Config {
+    /// Maximum series per group.
+    int group_size = 4;
+    /// Latent state dimension.
+    int hidden_dim = 4;
+    int em_iterations = 10;
+    uint64_t seed = 17;
+  };
+
+  DynammoImputer() = default;
+  explicit DynammoImputer(Config config) : config_(config) {}
+  std::string name() const override { return "DynaMMO"; }
+  Matrix Impute(const DataTensor& data, const Mask& mask) override;
+
+ private:
+  Config config_;
+};
+
+namespace internal_dynammo {
+
+/// Greedy correlation grouping: repeatedly seeds a group with the first
+/// unassigned series and adds its most correlated unassigned peers until
+/// `group_size` is reached. Exposed for testing.
+std::vector<std::vector<int>> GroupSeries(const Matrix& interpolated,
+                                          int group_size);
+
+}  // namespace internal_dynammo
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_BASELINES_DYNAMMO_H_

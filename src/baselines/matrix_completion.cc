@@ -1,0 +1,132 @@
+#include "baselines/matrix_completion.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/simple.h"
+#include "linalg/centroid.h"
+#include "linalg/svd.h"
+
+namespace deepmvi {
+namespace {
+
+/// Normalized Frobenius distance restricted to the missing cells.
+double MissingCellChange(const Matrix& a, const Matrix& b, const Mask& mask) {
+  double diff2 = 0.0, norm2 = 0.0;
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int t = 0; t < a.cols(); ++t) {
+      if (mask.missing(r, t)) {
+        const double d = a(r, t) - b(r, t);
+        diff2 += d * d;
+        norm2 += b(r, t) * b(r, t);
+      }
+    }
+  }
+  return std::sqrt(diff2) / std::max(std::sqrt(norm2), 1e-12);
+}
+
+/// Overwrites the missing cells of `current` with those of `reconstruction`.
+void RefreshMissing(Matrix& current, const Matrix& reconstruction,
+                    const Mask& mask) {
+  for (int r = 0; r < current.rows(); ++r) {
+    for (int t = 0; t < current.cols(); ++t) {
+      if (mask.missing(r, t)) current(r, t) = reconstruction(r, t);
+    }
+  }
+}
+
+int ClampRank(int rank, const Matrix& x) {
+  return std::clamp(rank, 1, std::min(x.rows(), x.cols()));
+}
+
+}  // namespace
+
+Matrix SvdImputer::Impute(const DataTensor& data, const Mask& mask) {
+  Matrix x = InterpolateMissing(data.values(), mask);
+  const int rank = ClampRank(config_.rank, x);
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    Matrix reconstruction = TruncatedSvdReconstruct(x, rank);
+    Matrix next = x;
+    RefreshMissing(next, reconstruction, mask);
+    const double change = MissingCellChange(next, x, mask);
+    x = std::move(next);
+    if (change < config_.tolerance) break;
+  }
+  return x;
+}
+
+Matrix SoftImputer::Impute(const DataTensor& data, const Mask& mask) {
+  Matrix x = InterpolateMissing(data.values(), mask);
+  double threshold = -1.0;
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    SvdResult svd = JacobiSvd(x);
+    if (threshold < 0.0) {
+      threshold = config_.shrinkage_fraction * svd.singular_values[0];
+    }
+    // Soft-threshold the spectrum.
+    SvdResult shrunk = svd;
+    for (auto& s : shrunk.singular_values) s = std::max(s - threshold, 0.0);
+    Matrix reconstruction = shrunk.Reconstruct();
+    Matrix next = x;
+    RefreshMissing(next, reconstruction, mask);
+    const double change = MissingCellChange(next, x, mask);
+    x = std::move(next);
+    if (change < config_.tolerance) break;
+  }
+  return x;
+}
+
+Matrix SvtImputer::Impute(const DataTensor& data, const Mask& mask) {
+  const Matrix& observed = data.values();
+  // Y accumulates the scaled residual on observed entries; X is the
+  // current thresholded reconstruction.
+  Matrix y(observed.rows(), observed.cols());
+  for (int r = 0; r < y.rows(); ++r) {
+    for (int t = 0; t < y.cols(); ++t) {
+      if (mask.available(r, t)) y(r, t) = observed(r, t);
+    }
+  }
+  double threshold = -1.0;
+  Matrix x = y;
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    SvdResult svd = JacobiSvd(y);
+    if (threshold < 0.0) {
+      threshold = config_.threshold_fraction * svd.singular_values[0];
+    }
+    SvdResult shrunk = svd;
+    for (auto& s : shrunk.singular_values) s = std::max(s - threshold, 0.0);
+    Matrix next = shrunk.Reconstruct();
+    const double change = MissingCellChange(next, x, mask);
+    x = std::move(next);
+    if (change < config_.tolerance && iter > 0) break;
+    // Gradient step on the observed residual.
+    for (int r = 0; r < y.rows(); ++r) {
+      for (int t = 0; t < y.cols(); ++t) {
+        if (mask.available(r, t)) {
+          y(r, t) += config_.step_size * (observed(r, t) - x(r, t));
+        }
+      }
+    }
+  }
+  // Keep observed entries exact.
+  Matrix out = observed;
+  RefreshMissing(out, x, mask);
+  return out;
+}
+
+Matrix CdRecImputer::Impute(const DataTensor& data, const Mask& mask) {
+  Matrix x = InterpolateMissing(data.values(), mask);
+  const int rank = ClampRank(config_.rank, x);
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    CentroidResult cd = CentroidDecomposition(x, rank);
+    Matrix reconstruction = cd.Reconstruct();
+    Matrix next = x;
+    RefreshMissing(next, reconstruction, mask);
+    const double change = MissingCellChange(next, x, mask);
+    x = std::move(next);
+    if (change < config_.tolerance) break;
+  }
+  return x;
+}
+
+}  // namespace deepmvi

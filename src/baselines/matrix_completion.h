@@ -1,0 +1,90 @@
+#ifndef DEEPMVI_BASELINES_MATRIX_COMPLETION_H_
+#define DEEPMVI_BASELINES_MATRIX_COMPLETION_H_
+
+#include <string>
+
+#include "data/imputer.h"
+
+namespace deepmvi {
+
+/// Shared knobs of the iterative matrix-completion baselines.
+struct MatrixCompletionConfig {
+  /// Truncation rank (number of kept components). Clamped to the matrix
+  /// dimensions at run time.
+  int rank = 3;
+  /// Convergence threshold on the normalized Frobenius distance between
+  /// consecutive iterates, measured on the imputed cells.
+  double tolerance = 1e-5;
+  int max_iterations = 100;
+};
+
+/// SVDImp (Troyanskaya et al., 2001): initialize with interpolation, then
+/// iterate  X_miss <- rank-k SVD reconstruction of X  until convergence.
+class SvdImputer : public Imputer {
+ public:
+  SvdImputer() = default;
+  explicit SvdImputer(MatrixCompletionConfig config) : config_(config) {}
+  std::string name() const override { return "SVDImp"; }
+  Matrix Impute(const DataTensor& data, const Mask& mask) override;
+
+ private:
+  MatrixCompletionConfig config_;
+};
+
+/// SoftImpute (Mazumder et al., 2010): iterative soft-thresholding of the
+/// singular values.
+class SoftImputer : public Imputer {
+ public:
+  struct Config {
+    /// Shrinkage applied to each singular value, as a fraction of the
+    /// largest singular value of the first iterate.
+    double shrinkage_fraction = 0.15;
+    double tolerance = 1e-5;
+    int max_iterations = 100;
+  };
+  SoftImputer() = default;
+  explicit SoftImputer(Config config) : config_(config) {}
+  std::string name() const override { return "SoftImpute"; }
+  Matrix Impute(const DataTensor& data, const Mask& mask) override;
+
+ private:
+  Config config_;
+};
+
+/// SVT (Cai et al., 2010): singular value thresholding on the observed
+/// entries with a step size, keeping components above the threshold.
+class SvtImputer : public Imputer {
+ public:
+  struct Config {
+    /// Threshold as a fraction of the largest singular value.
+    double threshold_fraction = 0.2;
+    double step_size = 1.2;
+    double tolerance = 1e-4;
+    int max_iterations = 100;
+  };
+  SvtImputer() = default;
+  explicit SvtImputer(Config config) : config_(config) {}
+  std::string name() const override { return "SVT"; }
+  Matrix Impute(const DataTensor& data, const Mask& mask) override;
+
+ private:
+  Config config_;
+};
+
+/// CDRec (Khayati et al., 2019): interpolation/extrapolation init, then
+/// iterate truncated centroid decomposition X ~= L_k R_k^T, refreshing the
+/// missing entries until the normalized Frobenius norm change is small.
+class CdRecImputer : public Imputer {
+ public:
+  CdRecImputer() = default;
+  explicit CdRecImputer(MatrixCompletionConfig config) : config_(config) {}
+  std::string name() const override { return "CDRec"; }
+  Matrix Impute(const DataTensor& data, const Mask& mask) override;
+
+ private:
+  MatrixCompletionConfig config_;
+};
+
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_BASELINES_MATRIX_COMPLETION_H_

@@ -1,0 +1,83 @@
+#include "baselines/simple.h"
+
+namespace deepmvi {
+
+Matrix MeanImputer::Impute(const DataTensor& data, const Mask& mask) {
+  const Matrix& x = data.values();
+  DMVI_CHECK_EQ(x.rows(), mask.rows());
+  DMVI_CHECK_EQ(x.cols(), mask.cols());
+
+  double global_sum = 0.0;
+  int64_t global_count = 0;
+  for (int r = 0; r < x.rows(); ++r) {
+    for (int t = 0; t < x.cols(); ++t) {
+      if (mask.available(r, t)) {
+        global_sum += x(r, t);
+        ++global_count;
+      }
+    }
+  }
+  const double global_mean = global_count > 0 ? global_sum / global_count : 0.0;
+
+  Matrix out = x;
+  for (int r = 0; r < x.rows(); ++r) {
+    double sum = 0.0;
+    int count = 0;
+    for (int t = 0; t < x.cols(); ++t) {
+      if (mask.available(r, t)) {
+        sum += x(r, t);
+        ++count;
+      }
+    }
+    const double fill = count > 0 ? sum / count : global_mean;
+    for (int t = 0; t < x.cols(); ++t) {
+      if (mask.missing(r, t)) out(r, t) = fill;
+    }
+  }
+  return out;
+}
+
+Matrix InterpolateMissing(const Matrix& values, const Mask& mask) {
+  Matrix out = values;
+  const int t_len = values.cols();
+  for (int r = 0; r < values.rows(); ++r) {
+    // Collect available positions for this series.
+    int prev = -1;
+    int t = 0;
+    while (t < t_len) {
+      if (mask.available(r, t)) {
+        prev = t;
+        ++t;
+        continue;
+      }
+      // Find the end of this missing run.
+      int next = t;
+      while (next < t_len && mask.missing(r, next)) ++next;
+      const bool has_left = prev >= 0;
+      const bool has_right = next < t_len;
+      for (int u = t; u < next; ++u) {
+        if (has_left && has_right) {
+          const double alpha = static_cast<double>(u - prev) / (next - prev);
+          out(r, u) = (1.0 - alpha) * values(r, prev) + alpha * values(r, next);
+        } else if (has_left) {
+          out(r, u) = values(r, prev);
+        } else if (has_right) {
+          out(r, u) = values(r, next);
+        } else {
+          out(r, u) = 0.0;  // Fully-missing series.
+        }
+      }
+      t = next;
+    }
+  }
+  return out;
+}
+
+Matrix LinearInterpolationImputer::Impute(const DataTensor& data,
+                                          const Mask& mask) {
+  DMVI_CHECK_EQ(data.values().rows(), mask.rows());
+  DMVI_CHECK_EQ(data.values().cols(), mask.cols());
+  return InterpolateMissing(data.values(), mask);
+}
+
+}  // namespace deepmvi

@@ -1,0 +1,33 @@
+#ifndef DEEPMVI_BASELINES_SIMPLE_H_
+#define DEEPMVI_BASELINES_SIMPLE_H_
+
+#include <string>
+
+#include "data/imputer.h"
+
+namespace deepmvi {
+
+/// Fills each missing cell with its series' mean over available cells
+/// (global mean for fully-missing series).
+class MeanImputer : public Imputer {
+ public:
+  std::string name() const override { return "Mean"; }
+  Matrix Impute(const DataTensor& data, const Mask& mask) override;
+};
+
+/// Per-series linear interpolation between the nearest available
+/// neighbours; constant extrapolation at the boundaries. This is also the
+/// initialization used by the matrix-completion baselines (CDRec et al.).
+class LinearInterpolationImputer : public Imputer {
+ public:
+  std::string name() const override { return "LinearInterp"; }
+  Matrix Impute(const DataTensor& data, const Mask& mask) override;
+};
+
+/// Stateless helper shared by the iterative matrix-completion methods:
+/// linear interpolation of the missing cells of `values`.
+Matrix InterpolateMissing(const Matrix& values, const Mask& mask);
+
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_BASELINES_SIMPLE_H_

@@ -1,0 +1,140 @@
+#include "baselines/stmvl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/solvers.h"
+
+namespace deepmvi {
+namespace {
+
+/// Pearson similarity between two series restricted to cells observed in
+/// both; 0 when the overlap is too small.
+double SeriesSimilarity(const Matrix& x, const Mask& mask, int a, int b) {
+  std::vector<double> va, vb;
+  for (int t = 0; t < x.cols(); ++t) {
+    if (mask.available(a, t) && mask.available(b, t)) {
+      va.push_back(x(a, t));
+      vb.push_back(x(b, t));
+    }
+  }
+  if (va.size() < 8) return 0.0;
+  return PearsonCorrelation(va, vb);
+}
+
+struct ViewEstimates {
+  double ucf = 0.0;
+  double ses = 0.0;
+  double icf = 0.0;
+  double tes = 0.0;
+  bool any = false;
+};
+
+}  // namespace
+
+Matrix StmvlImputer::Impute(const DataTensor& data, const Mask& mask) {
+  const Matrix& x = data.values();
+  const int n = x.rows();
+  const int t_len = x.cols();
+
+  // Precompute pairwise series similarities (positive part).
+  Matrix sim(n, n);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      const double s = std::max(SeriesSimilarity(x, mask, a, b), 0.0);
+      sim(a, b) = s;
+      sim(b, a) = s;
+    }
+  }
+
+  // Per-series mean over available cells (fallback estimate).
+  std::vector<double> series_mean(n, 0.0);
+  double global_mean = 0.0;
+  int64_t global_count = 0;
+  for (int i = 0; i < n; ++i) {
+    double sum = 0.0;
+    int count = 0;
+    for (int t = 0; t < t_len; ++t) {
+      if (mask.available(i, t)) {
+        sum += x(i, t);
+        ++count;
+        global_mean += x(i, t);
+        ++global_count;
+      }
+    }
+    series_mean[i] = count > 0 ? sum / count : 0.0;
+  }
+  if (global_count > 0) global_mean /= global_count;
+
+  auto estimate_views = [&](int i, int t, int hidden_t) {
+    ViewEstimates v;
+    // UCF / SES: other series at time t.
+    double ucf_num = 0.0, ucf_den = 0.0, ses_num = 0.0, ses_den = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (j == i || !mask.available(j, t)) continue;
+      const double s = sim(i, j);
+      if (s <= 0.0) continue;
+      ucf_num += s * x(j, t);
+      ucf_den += s;
+      const double sharp = std::pow(s, config_.similarity_power);
+      ses_num += sharp * x(j, t);
+      ses_den += sharp;
+    }
+    // ICF / TES: same series in a temporal window.
+    double icf_num = 0.0, icf_den = 0.0, tes_num = 0.0, tes_den = 0.0;
+    const int lo = std::max(t - config_.window, 0);
+    const int hi = std::min(t + config_.window, t_len - 1);
+    for (int u = lo; u <= hi; ++u) {
+      if (u == t || u == hidden_t || !mask.available(i, u)) continue;
+      const double dist = std::fabs(static_cast<double>(u - t));
+      const double idw = 1.0 / (dist * dist);
+      icf_num += idw * x(i, u);
+      icf_den += idw;
+      const double expw = std::exp(-dist / config_.temporal_decay);
+      tes_num += expw * x(i, u);
+      tes_den += expw;
+    }
+    const double fallback = series_mean[i] != 0.0 ? series_mean[i] : global_mean;
+    v.ucf = ucf_den > 0.0 ? ucf_num / ucf_den : fallback;
+    v.ses = ses_den > 0.0 ? ses_num / ses_den : fallback;
+    v.icf = icf_den > 0.0 ? icf_num / icf_den : fallback;
+    v.tes = tes_den > 0.0 ? tes_num / tes_den : fallback;
+    v.any = ucf_den > 0.0 || icf_den > 0.0;
+    return v;
+  };
+
+  // ---- Fit the view-blending weights on sampled available cells. --------
+  auto available = mask.AvailableIndices();
+  Rng rng(config_.seed);
+  const int samples = std::min<int>(config_.training_samples,
+                                    static_cast<int>(available.size()));
+  Matrix design(samples, 5);  // 4 views + bias
+  Matrix target(samples, 1);
+  for (int s = 0; s < samples; ++s) {
+    const CellIndex cell = available[rng.UniformInt(static_cast<int>(available.size()))];
+    // Hide the cell itself when computing its views.
+    ViewEstimates v = estimate_views(cell.series, cell.time, cell.time);
+    design(s, 0) = v.ucf;
+    design(s, 1) = v.ses;
+    design(s, 2) = v.icf;
+    design(s, 3) = v.tes;
+    design(s, 4) = 1.0;
+    target(s, 0) = x(cell.series, cell.time);
+  }
+  Matrix weights = RidgeSolve(design, target, 1e-3);
+
+  // ---- Impute. ------------------------------------------------------------
+  Matrix out = x;
+  for (int i = 0; i < n; ++i) {
+    for (int t = 0; t < t_len; ++t) {
+      if (!mask.missing(i, t)) continue;
+      ViewEstimates v = estimate_views(i, t, -1);
+      out(i, t) = weights(0, 0) * v.ucf + weights(1, 0) * v.ses +
+                  weights(2, 0) * v.icf + weights(3, 0) * v.tes + weights(4, 0);
+    }
+  }
+  return out;
+}
+
+}  // namespace deepmvi

@@ -1,0 +1,46 @@
+#ifndef DEEPMVI_BASELINES_STMVL_H_
+#define DEEPMVI_BASELINES_STMVL_H_
+
+#include <string>
+
+#include "data/imputer.h"
+
+namespace deepmvi {
+
+/// STMVL (Yi et al., 2016, simplified): spatio-temporal multi-view
+/// imputation. Four view estimators are computed for every cell:
+///   - UCF: cross-series collaborative filtering — weighted average of the
+///     other series' values at the same time, weighted by series
+///     similarity (Pearson correlation on commonly observed cells),
+///   - SES: like UCF but with exponentially sharpened weights,
+///   - ICF: within-series collaborative filtering over a temporal window,
+///     weighted by how similar the data columns are,
+///   - TES: temporal exponential smoothing of the series' neighbours.
+/// The views are blended by a linear model fit on available cells
+/// (each one temporarily hidden to create a training target).
+class StmvlImputer : public Imputer {
+ public:
+  struct Config {
+    /// Temporal window half-width for the ICF / TES views.
+    int window = 12;
+    /// Decay constant of the temporal exponential weights.
+    double temporal_decay = 4.0;
+    /// Power applied to series similarity in SES.
+    double similarity_power = 4.0;
+    /// Number of available cells sampled to fit the view-blending weights.
+    int training_samples = 2000;
+    uint64_t seed = 11;
+  };
+
+  StmvlImputer() = default;
+  explicit StmvlImputer(Config config) : config_(config) {}
+  std::string name() const override { return "STMVL"; }
+  Matrix Impute(const DataTensor& data, const Mask& mask) override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_BASELINES_STMVL_H_

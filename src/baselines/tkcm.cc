@@ -1,0 +1,68 @@
+#include "baselines/tkcm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/simple.h"
+
+namespace deepmvi {
+
+Matrix TkcmImputer::Impute(const DataTensor& data, const Mask& mask) {
+  const Matrix& x = data.values();
+  const int n = x.rows();
+  const int t_len = x.cols();
+  const int half = config_.pattern_half_width;
+  // Interpolated copy: pattern extraction needs complete reference values.
+  Matrix filled = InterpolateMissing(x, mask);
+
+  Matrix out = x;
+  for (int r = 0; r < n; ++r) {
+    for (int t = 0; t < t_len; ++t) {
+      if (!mask.missing(r, t)) continue;
+
+      // Pattern: other series' values in [t-half, t+half].
+      const int lo = std::max(t - half, 0);
+      const int hi = std::min(t + half, t_len - 1);
+      const int width = hi - lo + 1;
+      std::vector<double> pattern;
+      pattern.reserve(static_cast<size_t>(n - 1) * width);
+      for (int j = 0; j < n; ++j) {
+        if (j == r) continue;
+        for (int u = lo; u <= hi; ++u) pattern.push_back(filled(j, u));
+      }
+
+      // Slide over candidate anchors; a candidate is valid when series r
+      // is available at the anchor.
+      std::vector<std::pair<double, int>> matches;  // (correlation, anchor)
+      std::vector<double> candidate(pattern.size());
+      for (int c = half; c + half < t_len; ++c) {
+        if (std::abs(c - t) <= 2 * half) continue;  // Exclude the query zone.
+        if (!mask.available(r, c)) continue;
+        size_t idx = 0;
+        for (int j = 0; j < n; ++j) {
+          if (j == r) continue;
+          for (int u = c - half; u <= c - half + width - 1; ++u) {
+            candidate[idx++] = filled(j, u);
+          }
+        }
+        matches.emplace_back(PearsonCorrelation(pattern, candidate), c);
+      }
+      if (matches.empty()) {
+        // No usable history: fall back to interpolation.
+        out(r, t) = filled(r, t);
+        continue;
+      }
+      const int k = std::min<int>(config_.top_k, static_cast<int>(matches.size()));
+      std::partial_sort(matches.begin(), matches.begin() + k, matches.end(),
+                        [](const auto& a, const auto& b) {
+                          return a.first > b.first;
+                        });
+      double acc = 0.0;
+      for (int i = 0; i < k; ++i) acc += x(r, matches[i].second);
+      out(r, t) = acc / k;
+    }
+  }
+  return out;
+}
+
+}  // namespace deepmvi

@@ -1,0 +1,131 @@
+#include "baselines/trmf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/solvers.h"
+
+namespace deepmvi {
+
+Matrix TrmfImputer::Impute(const DataTensor& data, const Mask& mask) {
+  const Matrix& x = data.values();
+  const int n = x.rows();
+  const int t_len = x.cols();
+  const int k = std::clamp(config_.rank, 1, std::min(n, t_len));
+  const int max_lag =
+      config_.lags.empty() ? 0 : *std::max_element(config_.lags.begin(),
+                                                   config_.lags.end());
+
+  Rng rng(config_.seed);
+  Matrix f = Matrix::RandomGaussian(n, k, rng, 0.0, 0.1);  // series factors
+  Matrix w = Matrix::RandomGaussian(k, t_len, rng, 0.0, 0.1);  // temporal
+  // Per-factor AR coefficients, k x |lags|.
+  Matrix theta(k, static_cast<int>(config_.lags.size()));
+
+  for (int outer = 0; outer < config_.outer_iterations; ++outer) {
+    // ---- 1. Update F: per-series ridge on observed cells. ----------------
+    for (int i = 0; i < n; ++i) {
+      Matrix gram(k, k);
+      Matrix rhs(k, 1);
+      int observed = 0;
+      for (int t = 0; t < t_len; ++t) {
+        if (!mask.available(i, t)) continue;
+        ++observed;
+        for (int a = 0; a < k; ++a) {
+          rhs(a, 0) += w(a, t) * x(i, t);
+          for (int b = 0; b < k; ++b) gram(a, b) += w(a, t) * w(b, t);
+        }
+      }
+      if (observed == 0) continue;
+      for (int a = 0; a < k; ++a) gram(a, a) += config_.lambda_f;
+      Matrix fi = SolveSpd(gram, rhs);
+      for (int a = 0; a < k; ++a) f(i, a) = fi(a, 0);
+    }
+
+    // ---- 2. Update theta: per-factor least squares over lags. -----------
+    const int num_lags = static_cast<int>(config_.lags.size());
+    if (num_lags > 0) {
+      for (int r = 0; r < k; ++r) {
+        Matrix gram(num_lags, num_lags);
+        Matrix rhs(num_lags, 1);
+        for (int t = max_lag; t < t_len; ++t) {
+          for (int a = 0; a < num_lags; ++a) {
+            const double wa = w(r, t - config_.lags[a]);
+            rhs(a, 0) += wa * w(r, t);
+            for (int b = 0; b < num_lags; ++b) {
+              gram(a, b) += wa * w(r, t - config_.lags[b]);
+            }
+          }
+        }
+        for (int a = 0; a < num_lags; ++a) gram(a, a) += config_.lambda_theta;
+        Matrix th = SolveSpd(gram, rhs);
+        for (int a = 0; a < num_lags; ++a) theta(r, a) = th(a, 0);
+      }
+    }
+
+    // ---- 3. Update W: coordinate sweeps over time. ------------------------
+    for (int sweep = 0; sweep < config_.w_sweeps; ++sweep) {
+      for (int t = 0; t < t_len; ++t) {
+        // Data term: observed series at time t.
+        Matrix gram(k, k);
+        Matrix rhs(k, 1);
+        for (int i = 0; i < n; ++i) {
+          if (!mask.available(i, t)) continue;
+          for (int a = 0; a < k; ++a) {
+            rhs(a, 0) += f(i, a) * x(i, t);
+            for (int b = 0; b < k; ++b) gram(a, b) += f(i, a) * f(i, b);
+          }
+        }
+        // AR terms are separable per factor: contribute to the diagonal
+        // and the right-hand side only.
+        for (int r = 0; r < k; ++r) {
+          double diag = 1e-6;  // light ridge
+          double lin = 0.0;
+          // w_{r,t} as the AR target.
+          if (t >= max_lag && num_lags > 0) {
+            double pred = 0.0;
+            for (int a = 0; a < num_lags; ++a) {
+              pred += theta(r, a) * w(r, t - config_.lags[a]);
+            }
+            diag += config_.lambda_w;
+            lin += config_.lambda_w * pred;
+          }
+          // w_{r,t} as a regressor for later targets t + lag.
+          for (int a = 0; a < num_lags; ++a) {
+            const int target = t + config_.lags[a];
+            if (target >= max_lag && target < t_len) {
+              // Residual excluding w_{r,t}'s own contribution.
+              double rest = w(r, target);
+              for (int b = 0; b < num_lags; ++b) {
+                if (b == a) continue;
+                rest -= theta(r, b) * w(r, target - config_.lags[b]);
+              }
+              diag += config_.lambda_w * theta(r, a) * theta(r, a);
+              lin += config_.lambda_w * theta(r, a) * rest;
+            }
+          }
+          gram(r, r) += diag;
+          rhs(r, 0) += lin;
+        }
+        Matrix wt = SolveSpd(gram, rhs);
+        for (int r = 0; r < k; ++r) w(r, t) = wt(r, 0);
+      }
+    }
+  }
+
+  // Impute missing cells from the factorization.
+  Matrix out = x;
+  for (int i = 0; i < n; ++i) {
+    for (int t = 0; t < t_len; ++t) {
+      if (mask.missing(i, t)) {
+        double acc = 0.0;
+        for (int a = 0; a < k; ++a) acc += f(i, a) * w(a, t);
+        out(i, t) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace deepmvi

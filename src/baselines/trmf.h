@@ -1,0 +1,43 @@
+#ifndef DEEPMVI_BASELINES_TRMF_H_
+#define DEEPMVI_BASELINES_TRMF_H_
+
+#include <string>
+#include <vector>
+
+#include "data/imputer.h"
+
+namespace deepmvi {
+
+/// TRMF (Yu, Rao, Dhillon, NeurIPS 2016): temporal regularized matrix
+/// factorization  X ~= F W  with an autoregressive penalty on the columns
+/// of W,  w_{r,t} ~ sum_l theta_{r,l} w_{r,t-l},  fit by alternating
+/// minimization:
+///   1. series factors F: per-series ridge regression on observed cells,
+///   2. AR coefficients theta: per-factor least squares,
+///   3. temporal factors W: coordinate sweeps over time solving the
+///      per-step k x k system that couples the data term and the AR terms.
+class TrmfImputer : public Imputer {
+ public:
+  struct Config {
+    int rank = 4;
+    std::vector<int> lags = {1, 2, 3};
+    double lambda_f = 0.5;   // factor ridge
+    double lambda_w = 0.5;   // AR penalty weight
+    double lambda_theta = 1.0;
+    int outer_iterations = 12;
+    int w_sweeps = 2;  // coordinate sweeps over time per outer iteration
+    uint64_t seed = 7;
+  };
+
+  TrmfImputer() = default;
+  explicit TrmfImputer(Config config) : config_(config) {}
+  std::string name() const override { return "TRMF"; }
+  Matrix Impute(const DataTensor& data, const Mask& mask) override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_BASELINES_TRMF_H_

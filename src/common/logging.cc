@@ -1,0 +1,49 @@
+#include "common/logging.h"
+
+namespace deepmvi {
+
+LogSeverity& MinLogSeverity() {
+  static LogSeverity severity = LogSeverity::kInfo;
+  return severity;
+}
+
+namespace internal_logging {
+namespace {
+
+const char* SeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return "INFO";
+    case LogSeverity::kWarning:
+      return "WARN";
+    case LogSeverity::kError:
+      return "ERROR";
+    case LogSeverity::kFatal:
+      return "FATAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity) {
+  // Strip directories for terseness.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << SeverityName(severity) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace deepmvi

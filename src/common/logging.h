@@ -1,0 +1,59 @@
+#ifndef DEEPMVI_COMMON_LOGGING_H_
+#define DEEPMVI_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace deepmvi {
+
+/// Severity levels for the lightweight logging facility.
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+/// Returns the global minimum severity that is actually emitted.
+/// Defaults to kInfo; tests raise it to silence expected warnings.
+LogSeverity& MinLogSeverity();
+
+namespace internal_logging {
+
+/// Stream-style log message collector. Emits on destruction; aborts the
+/// process for kFatal messages (used by the DMVI_CHECK family).
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace deepmvi
+
+#define DMVI_LOG(severity)                                             \
+  ::deepmvi::internal_logging::LogMessage(                             \
+      ::deepmvi::LogSeverity::k##severity, __FILE__, __LINE__)         \
+      .stream()
+
+/// Aborts with a message when `condition` is false. Used for programmer
+/// invariants (argument shapes, index bounds); recoverable conditions use
+/// Status instead.
+#define DMVI_CHECK(condition)                                          \
+  if (!(condition))                                                    \
+  DMVI_LOG(Fatal) << "Check failed: " #condition " "
+
+#define DMVI_CHECK_EQ(a, b) DMVI_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DMVI_CHECK_NE(a, b) DMVI_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DMVI_CHECK_LT(a, b) DMVI_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DMVI_CHECK_LE(a, b) DMVI_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DMVI_CHECK_GT(a, b) DMVI_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DMVI_CHECK_GE(a, b) DMVI_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // DEEPMVI_COMMON_LOGGING_H_

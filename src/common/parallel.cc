@@ -1,0 +1,34 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace deepmvi {
+
+void ParallelFor(int n, int num_threads, const std::function<void(int)>& f) {
+  if (n <= 0) return;
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 4;
+  }
+  if (num_threads == 1 || n == 1) {
+    for (int i = 0; i < n; ++i) f(i);
+    return;
+  }
+  std::atomic<int> next{0};
+  auto worker = [&]() {
+    while (true) {
+      const int i = next.fetch_add(1);
+      if (i >= n) return;
+      f(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  const int count = std::min(num_threads, n);
+  threads.reserve(count);
+  for (int i = 0; i < count; ++i) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace deepmvi

@@ -1,0 +1,17 @@
+#ifndef DEEPMVI_COMMON_PARALLEL_H_
+#define DEEPMVI_COMMON_PARALLEL_H_
+
+#include <functional>
+
+namespace deepmvi {
+
+/// Runs f(0), ..., f(n-1) across up to `num_threads` worker threads
+/// (hardware concurrency when num_threads <= 0). Blocks until all calls
+/// complete. Tasks must be independent; the benchmark harness uses this to
+/// run (dataset, scenario, imputer) experiments concurrently — every
+/// experiment seeds its own RNGs, so results are identical to a serial run.
+void ParallelFor(int n, int num_threads, const std::function<void(int)>& f);
+
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_COMMON_PARALLEL_H_

@@ -1,0 +1,111 @@
+#ifndef DEEPMVI_COMMON_STATUS_H_
+#define DEEPMVI_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace deepmvi {
+
+/// Error category for recoverable failures (I/O, ill-posed numeric input,
+/// invalid user configuration). Invariant violations abort via DMVI_CHECK
+/// instead of returning a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+  kNotConverged,
+};
+
+/// Lightweight Status in the style of absl::Status / arrow::Status.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error result, in the style of absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit conversions mirror absl::StatusOr ergonomics.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    DMVI_CHECK(!status_.ok()) << "StatusOr constructed from OK status without value";
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DMVI_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T& value() & {
+    DMVI_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T&& value() && {
+    DMVI_CHECK(ok()) << status_.ToString();
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace deepmvi
+
+/// Propagates a non-OK Status to the caller.
+#define DMVI_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::deepmvi::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+#endif  // DEEPMVI_COMMON_STATUS_H_

@@ -1,0 +1,30 @@
+#ifndef DEEPMVI_COMMON_STOPWATCH_H_
+#define DEEPMVI_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace deepmvi {
+
+/// Monotonic wall-clock stopwatch used by the runtime experiments (Fig 10).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_COMMON_STOPWATCH_H_

@@ -1,0 +1,42 @@
+#ifndef DEEPMVI_COMMON_TABLE_PRINTER_H_
+#define DEEPMVI_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace deepmvi {
+
+/// Collects rows of strings and renders them as an aligned ASCII table
+/// (for stdout) and as CSV (for plotting). Used by every bench binary so
+/// the paper's tables and figure series are printed uniformly.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string FormatDouble(double v, int precision = 4);
+
+  /// Renders an aligned, boxed ASCII table.
+  std::string ToAscii() const;
+
+  /// Renders RFC-4180-ish CSV (fields containing commas/quotes are quoted).
+  std::string ToCsv() const;
+
+  /// Writes the CSV rendering to `path`.
+  Status WriteCsv(const std::string& path) const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,406 @@
+#include "core/deepmvi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "core/kernel_regression.h"
+#include "core/temporal_transformer.h"
+#include "nn/adam.h"
+
+namespace deepmvi {
+namespace {
+
+using ad::Tape;
+using ad::Var;
+
+/// One simulated-missing training instance (Sec 3): a synthetic block of
+/// `block_len` steps starting at `block_start` is hidden in series `row`;
+/// the same range is hidden in `blackout_rows` of other series to mimic
+/// the dataset's observed cross-series missing overlap. Loss is taken on
+/// the anchor series' hidden positions whose truth is known.
+struct TrainSample {
+  int row = 0;
+  int block_start = 0;
+  int block_len = 0;
+  std::vector<int> blackout_rows;
+  std::vector<int> target_times;
+};
+
+/// The assembled model: all modules share one parameter store.
+struct Model {
+  nn::ParameterStore store;
+  TemporalTransformer transformer;
+  KernelRegression kernel_regression;
+  nn::Linear output;
+  int feature_dim = 0;
+};
+
+/// Empirical description of the dataset's missing pattern, used to sample
+/// identically-distributed synthetic blocks.
+struct MissingShapeDistribution {
+  std::vector<int> block_lengths;
+  std::vector<double> column_fractions;
+
+  int SampleLength(Rng& rng) const {
+    if (block_lengths.empty()) return 5;
+    return block_lengths[rng.UniformInt(static_cast<int>(block_lengths.size()))];
+  }
+  double SampleColumnFraction(Rng& rng) const {
+    if (column_fractions.empty()) return 0.0;
+    return column_fractions[rng.UniformInt(
+        static_cast<int>(column_fractions.size()))];
+  }
+};
+
+MissingShapeDistribution MeasureMissingShapes(const Mask& mask) {
+  MissingShapeDistribution dist;
+  dist.block_lengths = mask.MissingBlockLengths();
+  // Fraction of series missing at the columns of (up to 256) missing cells.
+  auto missing = mask.MissingIndices();
+  const size_t stride = std::max<size_t>(missing.size() / 256, 1);
+  for (size_t i = 0; i < missing.size(); i += stride) {
+    const int t = missing[i].time;
+    int count = 0;
+    for (int r = 0; r < mask.rows(); ++r) count += mask.missing(r, t);
+    // Exclude the anchor series itself from the cross-series fraction.
+    dist.column_fractions.push_back(
+        mask.rows() > 1
+            ? static_cast<double>(count - 1) / static_cast<double>(mask.rows() - 1)
+            : 0.0);
+  }
+  return dist;
+}
+
+/// Per-position fine-grained signal (Eq. 15): masked mean of the window
+/// containing each target position.
+Matrix FineGrainedSignal(const Matrix& values, const Mask& avail, int row,
+                         int chunk_start, int window,
+                         const std::vector<int>& times) {
+  Matrix out(static_cast<int>(times.size()), 1);
+  for (size_t i = 0; i < times.size(); ++i) {
+    const int local = times[i] - chunk_start;
+    const int w0 = chunk_start + (local / window) * window;
+    double sum = 0.0;
+    int count = 0;
+    for (int t = w0; t < w0 + window; ++t) {
+      if (t >= 0 && t < values.cols() && avail.available(row, t)) {
+        sum += values(row, t);
+        ++count;
+      }
+    }
+    out(static_cast<int>(i), 0) = count > 0 ? sum / count : 0.0;
+  }
+  return out;
+}
+
+/// Chunk geometry: [start, start + len) with len a positive multiple of
+/// the window size, len <= max_context, covering as much of the series as
+/// possible around `center`.
+struct Chunk {
+  int start = 0;
+  int len = 0;
+};
+
+Chunk MakeChunk(int t_len, int window, int max_context, int center) {
+  Chunk chunk;
+  chunk.len = std::min((t_len / window) * window, (max_context / window) * window);
+  chunk.len = std::max(chunk.len, std::min(2 * window, (t_len / window) * window));
+  chunk.start = std::clamp(center - chunk.len / 2, 0, t_len - chunk.len);
+  return chunk;
+}
+
+/// Runs the full forward pass for one (series, chunk, targets) triple and
+/// returns the predictions (|targets| x 1).
+Var PredictPositions(Tape& tape, Model& model, const DeepMviConfig& config,
+                     const DataTensor& data, const Matrix& values,
+                     const Mask& avail, int row, const Chunk& chunk,
+                     const std::vector<int>& target_times) {
+  const int n_pos = static_cast<int>(target_times.size());
+  const int window = model.transformer.window();
+  const int num_windows = chunk.len / window;
+
+  std::vector<Var> features;
+
+  // ---- Temporal transformer features. ---------------------------------
+  if (config.use_temporal_transformer && num_windows >= 2) {
+    Matrix series(1, chunk.len);
+    std::vector<double> window_avail(num_windows, 1.0);
+    for (int t = 0; t < chunk.len; ++t) {
+      const int abs_t = chunk.start + t;
+      if (avail.available(row, abs_t)) {
+        series(0, t) = values(row, abs_t);
+      } else {
+        window_avail[t / window] = 0.0;
+      }
+    }
+    Var htt_all = model.transformer.Forward(tape, series, window_avail);
+    std::vector<int> local(n_pos);
+    for (int i = 0; i < n_pos; ++i) local[i] = target_times[i] - chunk.start;
+    features.push_back(ad::GatherRows(htt_all, local));
+  } else {
+    features.push_back(tape.Constant(Matrix(n_pos, config.filters)));
+  }
+
+  // ---- Fine-grained local signal. ----------------------------------------
+  if (config.use_fine_grained) {
+    features.push_back(tape.Constant(FineGrainedSignal(
+        values, avail, row, chunk.start, window, target_times)));
+  } else {
+    features.push_back(tape.Constant(Matrix(n_pos, 1)));
+  }
+
+  // ---- Kernel regression features. -----------------------------------------
+  if (config.use_kernel_regression && data.num_series() > 1) {
+    features.push_back(model.kernel_regression.Forward(tape, data, values, avail,
+                                                       row, target_times));
+  } else {
+    features.push_back(
+        tape.Constant(Matrix(n_pos, 3 * data.num_dims())));
+  }
+
+  // ---- Output head (Eq. 6). --------------------------------------------------
+  return model.output.Forward(tape, ad::ConcatCols(features));
+}
+
+/// Availability mask for a training sample: the original mask with the
+/// synthetic block applied (anchor series + blackout rows).
+Mask ApplySyntheticBlock(const Mask& mask, const TrainSample& sample) {
+  Mask out = mask;
+  out.SetMissingRange(sample.row, sample.block_start,
+                      sample.block_start + sample.block_len);
+  for (int r : sample.blackout_rows) {
+    out.SetMissingRange(r, sample.block_start,
+                        sample.block_start + sample.block_len);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DeepMviImputer::name() const {
+  if (config_.flatten_multidim) return "DeepMVI1D";
+  std::string name = "DeepMVI";
+  if (!config_.use_temporal_transformer) name += "-NoTT";
+  if (!config_.use_context_window) name += "-NoContext";
+  if (!config_.use_kernel_regression) name += "-NoKR";
+  if (!config_.use_fine_grained) name += "-NoFG";
+  return name;
+}
+
+Matrix DeepMviImputer::Impute(const DataTensor& raw_data, const Mask& mask) {
+  DMVI_CHECK_EQ(raw_data.num_series(), mask.rows());
+  DMVI_CHECK_EQ(raw_data.num_times(), mask.cols());
+
+  const DataTensor shaped =
+      config_.flatten_multidim ? raw_data.Flattened1D() : raw_data;
+
+  // Normalize per series on available cells; all modelling happens in
+  // z-score space and predictions are denormalized at the end.
+  auto stats = shaped.ComputeNormalization(mask);
+  DataTensor data = shaped.Normalized(stats);
+  const Matrix& values = data.values();
+  const int t_len = data.num_times();
+  const int num_series = data.num_series();
+
+  // ---- Resolve the window (Sec 4.3). ------------------------------------
+  DeepMviConfig config = config_;
+  if (config.window <= 0) {
+    const auto lengths = mask.MissingBlockLengths();
+    double mean_len = 0.0;
+    for (int len : lengths) mean_len += len;
+    if (!lengths.empty()) mean_len /= static_cast<double>(lengths.size());
+    config.window = mean_len > 100.0 ? 20 : 10;
+  }
+  // Degenerate short series: shrink the window so the transformer still
+  // has at least two windows.
+  while (config.window > 1 && t_len < 2 * config.window) config.window /= 2;
+  train_stats_ = TrainStats();
+  train_stats_.window_used = config.window;
+
+  Rng rng(config.seed);
+
+  // ---- Build the model. ----------------------------------------------------
+  Model model;
+  model.transformer = TemporalTransformer(&model.store, config, rng);
+  model.kernel_regression =
+      KernelRegression(&model.store, data.dims(), config, rng);
+  model.feature_dim = config.filters + 1 + 3 * data.num_dims();
+  model.output = nn::Linear(&model.store, "head", model.feature_dim, 1, rng);
+  nn::Adam adam(&model.store, {.learning_rate = config.learning_rate});
+
+  // ---- Build training + validation samples (Sec 3). -----------------------
+  MissingShapeDistribution shape_dist = MeasureMissingShapes(mask);
+  auto make_sample = [&](Rng& sample_rng) {
+    TrainSample sample;
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      sample.row = sample_rng.UniformInt(num_series);
+      sample.block_len = std::min(shape_dist.SampleLength(sample_rng), t_len / 2);
+      sample.block_len = std::max(sample.block_len, 1);
+      const int anchor = sample_rng.UniformInt(t_len);
+      sample.block_start = std::clamp(
+          anchor - sample_rng.UniformInt(sample.block_len), 0,
+          t_len - sample.block_len);
+      sample.target_times.clear();
+      for (int t = sample.block_start; t < sample.block_start + sample.block_len;
+           ++t) {
+        if (mask.available(sample.row, t)) sample.target_times.push_back(t);
+      }
+      if (sample.target_times.empty()) continue;  // Block fell on real misses.
+      // Cross-series blackout simulation.
+      sample.blackout_rows.clear();
+      const double fraction = shape_dist.SampleColumnFraction(sample_rng);
+      if (fraction > 0.0) {
+        for (int r = 0; r < num_series; ++r) {
+          if (r != sample.row && sample_rng.Bernoulli(fraction)) {
+            sample.blackout_rows.push_back(r);
+          }
+        }
+      }
+      return sample;
+    }
+    return sample;  // May have empty targets; caller skips those.
+  };
+
+  const int total_samples = config.samples_per_epoch;
+  const int val_count = std::max(
+      1, static_cast<int>(std::lround(config.validation_fraction * total_samples)));
+  std::vector<TrainSample> val_samples;
+  Rng val_rng = rng.Split();
+  for (int i = 0; i < val_count; ++i) {
+    TrainSample s = make_sample(val_rng);
+    if (!s.target_times.empty()) val_samples.push_back(std::move(s));
+  }
+
+  // Forward + loss for one sample on the given tape.
+  auto sample_loss = [&](Tape& tape, const TrainSample& sample) {
+    Mask synthetic = ApplySyntheticBlock(mask, sample);
+    Chunk chunk = MakeChunk(t_len, config.window, config.max_context,
+                            sample.block_start + sample.block_len / 2);
+    // Keep only targets inside the chunk.
+    std::vector<int> targets;
+    for (int t : sample.target_times) {
+      if (t >= chunk.start && t < chunk.start + chunk.len) targets.push_back(t);
+    }
+    if (targets.empty()) return Var();
+    Var pred = PredictPositions(tape, model, config, data, values, synthetic,
+                                sample.row, chunk, targets);
+    Matrix truth(static_cast<int>(targets.size()), 1);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      truth(static_cast<int>(i), 0) = values(sample.row, targets[i]);
+    }
+    Matrix weight(static_cast<int>(targets.size()), 1, 1.0);
+    return ad::WeightedMseLoss(pred, truth, weight);
+  };
+
+  // ---- Training loop with early stopping. ----------------------------------
+  Tape tape;
+  double best_val = 1e300;
+  int epochs_without_improvement = 0;
+  // Snapshot of the best parameters (by value).
+  std::vector<Matrix> best_params;
+  auto snapshot = [&]() {
+    best_params.clear();
+    for (const auto& p : model.store.params()) best_params.push_back(p->value());
+  };
+  auto restore = [&]() {
+    if (best_params.empty()) return;
+    for (size_t i = 0; i < best_params.size(); ++i) {
+      model.store.params()[i]->value() = best_params[i];
+    }
+  };
+  snapshot();
+
+  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    double train_loss = 0.0;
+    int train_batches = 0;
+    int made = 0;
+    while (made < total_samples) {
+      tape.Reset();
+      std::vector<Var> losses;
+      for (int b = 0; b < config.batch_size && made < total_samples; ++b, ++made) {
+        TrainSample sample = make_sample(rng);
+        if (sample.target_times.empty()) continue;
+        Var loss = sample_loss(tape, sample);
+        if (loss.valid()) losses.push_back(loss);
+      }
+      if (losses.empty()) continue;
+      Var batch_loss = losses[0];
+      for (size_t i = 1; i < losses.size(); ++i) {
+        batch_loss = ad::Add(batch_loss, losses[i]);
+      }
+      batch_loss = ad::Scale(batch_loss, 1.0 / static_cast<double>(losses.size()));
+      tape.Backward(batch_loss);
+      adam.Step(tape);
+      train_loss += batch_loss.scalar();
+      ++train_batches;
+    }
+    train_stats_.final_train_loss =
+        train_batches > 0 ? train_loss / train_batches : 0.0;
+
+    // Validation.
+    double val_loss = 0.0;
+    int val_batches = 0;
+    for (const TrainSample& sample : val_samples) {
+      tape.Reset();
+      Var loss = sample_loss(tape, sample);
+      if (loss.valid()) {
+        val_loss += loss.scalar();
+        ++val_batches;
+      }
+    }
+    tape.Reset();
+    val_loss = val_batches > 0 ? val_loss / val_batches : 0.0;
+    train_stats_.epochs_run = epoch + 1;
+
+    if (val_loss < best_val - 1e-6) {
+      best_val = val_loss;
+      train_stats_.best_validation_loss = val_loss;
+      snapshot();
+      epochs_without_improvement = 0;
+    } else if (++epochs_without_improvement >= config.patience) {
+      break;
+    }
+  }
+  restore();
+
+  // ---- Impute the real missing cells. ---------------------------------------
+  Matrix imputed = data.values();
+  for (int row = 0; row < num_series; ++row) {
+    // Collect this series' missing times and cover them chunk by chunk.
+    std::vector<int> missing;
+    for (int t = 0; t < t_len; ++t) {
+      if (mask.missing(row, t)) missing.push_back(t);
+    }
+    size_t next = 0;
+    while (next < missing.size()) {
+      Chunk chunk = MakeChunk(t_len, config.window, config.max_context,
+                              missing[next]);
+      std::vector<int> targets;
+      while (next < missing.size() &&
+             missing[next] < chunk.start + chunk.len) {
+        if (missing[next] >= chunk.start) targets.push_back(missing[next]);
+        ++next;
+      }
+      if (targets.empty()) break;  // Should not happen; guards looping.
+      tape.Reset();
+      Var pred = PredictPositions(tape, model, config, data, values, mask, row,
+                                  chunk, targets);
+      for (size_t i = 0; i < targets.size(); ++i) {
+        imputed(row, targets[i]) = pred.value()(static_cast<int>(i), 0);
+      }
+    }
+  }
+  tape.Reset();
+
+  // Denormalize and restore available cells exactly.
+  Matrix out = DataTensor::Denormalize(imputed, stats);
+  for (int r = 0; r < num_series; ++r) {
+    for (int t = 0; t < t_len; ++t) {
+      if (mask.available(r, t)) out(r, t) = raw_data.values()(r, t);
+    }
+  }
+  return out;
+}
+
+}  // namespace deepmvi

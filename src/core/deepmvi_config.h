@@ -1,0 +1,60 @@
+#ifndef DEEPMVI_CORE_DEEPMVI_CONFIG_H_
+#define DEEPMVI_CORE_DEEPMVI_CONFIG_H_
+
+#include <cstdint>
+
+namespace deepmvi {
+
+/// Hyper-parameters of DeepMVI. Defaults follow Sec 4.3 of the paper:
+/// p = 32 filters, window w = 10 (20 when the mean missing block exceeds
+/// 100), 4 attention heads, member-embedding size 10, Adam lr = 1e-3.
+struct DeepMviConfig {
+  // ---- Architecture ----------------------------------------------------
+  /// Convolution filter count p (feature width of the transformer).
+  int filters = 32;
+  /// Window size w of the non-overlapping convolution. When <= 0 the
+  /// window is chosen automatically: 10, or 20 if the mean missing block
+  /// in the dataset is larger than 100 steps.
+  int window = 0;
+  int num_heads = 4;
+  /// Embedding size d_i of each dimension's members (kernel regression).
+  int embedding_dim = 10;
+  /// RBF kernel sharpness gamma (Eq. 17).
+  double kernel_gamma = 1.0;
+  /// Pre-selection size L for large dimensions (Sec 4.2).
+  int top_siblings = 20;
+
+  // ---- Training ----------------------------------------------------------
+  double learning_rate = 1e-3;
+  int max_epochs = 30;
+  /// Training anchors sampled per epoch.
+  int samples_per_epoch = 128;
+  int batch_size = 4;
+  /// Early-stopping patience in epochs without validation improvement.
+  int patience = 4;
+  /// Fraction of sampled anchors held out for validation.
+  double validation_fraction = 0.2;
+  /// Longest context (in time steps) processed at once; longer series are
+  /// windowed around the imputation target. Keeps attention quadratic cost
+  /// bounded for 50k-step series (BAFU).
+  int max_context = 1024;
+  uint64_t seed = 123;
+
+  // ---- Ablation switches (Sec 5.5) -----------------------------------------
+  /// Disables the temporal transformer ("No Temporal Transformer").
+  bool use_temporal_transformer = true;
+  /// Replaces the context-window queries/keys by positional encodings only
+  /// ("No Context Window").
+  bool use_context_window = true;
+  /// Disables kernel regression ("No Kernel Regression").
+  bool use_kernel_regression = true;
+  /// Disables the fine-grained local signal (Sec 5.5.3).
+  bool use_fine_grained = true;
+  /// Flattens the multidimensional index before modelling (DeepMVI1D,
+  /// Sec 5.5.4). The embedding size is doubled to keep parameters equal.
+  bool flatten_multidim = false;
+};
+
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_CORE_DEEPMVI_CONFIG_H_

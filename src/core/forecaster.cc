@@ -1,0 +1,30 @@
+#include "core/forecaster.h"
+
+namespace deepmvi {
+
+Matrix DeepMviForecaster::Forecast(const DataTensor& data, const Mask& mask,
+                                   int horizon) {
+  DMVI_CHECK_GT(horizon, 0);
+  DMVI_CHECK_EQ(data.num_series(), mask.rows());
+  DMVI_CHECK_EQ(data.num_times(), mask.cols());
+  const int n = data.num_series();
+  const int t_len = data.num_times();
+
+  // Extend every series with `horizon` missing steps.
+  Matrix extended(n, t_len + horizon);
+  extended.SetBlock(0, 0, data.values());
+  Mask extended_mask(n, t_len + horizon);
+  for (int r = 0; r < n; ++r) {
+    for (int t = 0; t < t_len; ++t) {
+      extended_mask.set_available(r, t, mask.available(r, t));
+    }
+    extended_mask.SetMissingRange(r, t_len, t_len + horizon);
+  }
+  DataTensor extended_data(data.dims(), std::move(extended));
+
+  DeepMviImputer imputer(config_);
+  Matrix completed = imputer.Impute(extended_data, extended_mask);
+  return completed.Block(0, t_len, n, horizon);
+}
+
+}  // namespace deepmvi

@@ -1,0 +1,35 @@
+#ifndef DEEPMVI_CORE_FORECASTER_H_
+#define DEEPMVI_CORE_FORECASTER_H_
+
+#include "core/deepmvi.h"
+
+namespace deepmvi {
+
+/// Forecasting with the DeepMVI architecture — the paper's stated future
+/// work (Sec 6): "applying our neural architecture to other time-series
+/// tasks including forecasting".
+///
+/// A horizon-h forecast is cast as imputation of a missing block appended
+/// at the right edge of every series: the history is extended by h
+/// all-missing steps and DeepMVI fills them. The simulated-missing
+/// training procedure automatically generates right-edge blocks (blocks
+/// are placed uniformly, including flush against the series end), so the
+/// model learns to extrapolate from left context and sibling series alone.
+class DeepMviForecaster {
+ public:
+  DeepMviForecaster() = default;
+  explicit DeepMviForecaster(DeepMviConfig config) : config_(config) {}
+
+  /// Forecasts `horizon` steps past the end of every series of `data`.
+  /// `mask` marks availability of the historical values (use an
+  /// all-available mask when the history is complete). Returns a
+  /// num_series x horizon matrix of forecasts.
+  Matrix Forecast(const DataTensor& data, const Mask& mask, int horizon);
+
+ private:
+  DeepMviConfig config_;
+};
+
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_CORE_FORECASTER_H_

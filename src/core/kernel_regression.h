@@ -1,0 +1,46 @@
+#ifndef DEEPMVI_CORE_KERNEL_REGRESSION_H_
+#define DEEPMVI_CORE_KERNEL_REGRESSION_H_
+
+#include <vector>
+
+#include "core/deepmvi_config.h"
+#include "nn/layers.h"
+#include "tensor/data_tensor.h"
+
+namespace deepmvi {
+
+/// The paper's Kernel Regression module (Sec 4.2).
+///
+/// Every member of every non-time dimension gets a learned embedding; the
+/// relatedness of two series that differ in exactly one dimension
+/// ("siblings", Eq. 16) is an RBF kernel over the differing members'
+/// embeddings (Eq. 17). For a cell (k, t) the module outputs, per
+/// dimension i, the kernel-weighted average of the available sibling
+/// values at time t (Eq. 18), the total kernel weight (Eq. 19), and the
+/// sibling variance (Eq. 20), concatenated into a 3n-vector (Eq. 21).
+/// Gradients flow into the member embeddings through the kernel weights.
+class KernelRegression {
+ public:
+  KernelRegression() = default;
+  KernelRegression(nn::ParameterStore* store, const std::vector<Dimension>& dims,
+                   const DeepMviConfig& config, Rng& rng);
+
+  /// Feature width of the output (3 per dimension).
+  int feature_dim() const { return 3 * static_cast<int>(embeddings_.size()); }
+
+  /// Computes the kernel-regression features for series `row` of `data` at
+  /// the given absolute time indices. `values` / `avail` are the full
+  /// (normalized) data matrix and the availability mask used for sibling
+  /// reads. Returns a |times| x 3n matrix Var.
+  ad::Var Forward(ad::Tape& tape, const DataTensor& data, const Matrix& values,
+                  const Mask& avail, int row, const std::vector<int>& times) const;
+
+ private:
+  double gamma_ = 1.0;
+  int top_siblings_ = 20;
+  std::vector<nn::Embedding> embeddings_;  // One per dimension.
+};
+
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_CORE_KERNEL_REGRESSION_H_

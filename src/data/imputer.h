@@ -1,0 +1,33 @@
+#ifndef DEEPMVI_DATA_IMPUTER_H_
+#define DEEPMVI_DATA_IMPUTER_H_
+
+#include <memory>
+#include <string>
+
+#include "tensor/data_tensor.h"
+#include "tensor/mask.h"
+
+namespace deepmvi {
+
+/// Common interface of every imputation algorithm in this repository
+/// (conventional baselines, deep baselines, and DeepMVI itself).
+///
+/// Impute receives the dataset and the availability mask and returns a
+/// complete matrix of the same shape: available cells are passed through
+/// unchanged and missing cells are filled with the algorithm's estimates.
+/// Implementations must not read the values of missing cells (they contain
+/// ground truth retained for evaluation).
+class Imputer {
+ public:
+  virtual ~Imputer() = default;
+
+  /// Short identifier used in benchmark tables ("CDRec", "DeepMVI", ...).
+  virtual std::string name() const = 0;
+
+  /// Fills the missing cells of `data` (as indicated by `mask`).
+  virtual Matrix Impute(const DataTensor& data, const Mask& mask) = 0;
+};
+
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_DATA_IMPUTER_H_

@@ -1,0 +1,41 @@
+#ifndef DEEPMVI_DATA_IO_H_
+#define DEEPMVI_DATA_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "tensor/data_tensor.h"
+#include "tensor/mask.h"
+
+namespace deepmvi {
+
+/// CSV persistence for datasets and masks.
+///
+/// Dataset format (series-major, one row per series):
+///   # dim:<name>=<member>[|<member2>...]   (one header line per dimension)
+///   v_00,v_01,...,v_0T
+///   v_10,v_11,...
+/// Missing cells may be written as the literal `nan` or an empty field;
+/// ReadDataTensor reports them through the optional Mask output.
+///
+/// Mask format: same shape, fields are 1 (available) / 0 (missing).
+
+/// Writes `data` to `path`. Cells missing in `mask` (when provided) are
+/// written as `nan`.
+Status WriteDataTensor(const DataTensor& data, const std::string& path,
+                       const Mask* mask = nullptr);
+
+/// Reads a dataset written by WriteDataTensor (or any plain numeric CSV
+/// without the dimension headers — then a single anonymous dimension is
+/// created). When `mask_out` is non-null, cells that are empty or `nan`
+/// are marked missing (and stored as 0.0 in the tensor).
+StatusOr<DataTensor> ReadDataTensor(const std::string& path,
+                                    Mask* mask_out = nullptr);
+
+/// Writes / reads an availability mask as 0/1 CSV.
+Status WriteMask(const Mask& mask, const std::string& path);
+StatusOr<Mask> ReadMask(const std::string& path);
+
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_DATA_IO_H_

@@ -1,0 +1,204 @@
+#include "data/presets.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+
+namespace deepmvi {
+namespace {
+
+DataTensor OneDimensional(const SyntheticConfig& config, const std::string& name) {
+  Matrix values = GenerateSeriesMatrix(config);
+  Dimension dim;
+  dim.name = "station";
+  for (int i = 0; i < config.num_series; ++i) {
+    dim.members.push_back(name + "_s" + std::to_string(i));
+  }
+  return DataTensor({std::move(dim)}, std::move(values));
+}
+
+/// Two-dimensional retail-style generator (JanataHack / M5): sales of
+/// `num_items` items across `num_stores` stores. Each item has a base
+/// demand pattern; each store modulates it with a multiplicative scale and
+/// an additive offset. `store_coherence` in [0,1] controls how similar a
+/// product's series look across stores (high for JanataHack, low for M5).
+DataTensor RetailDataset(const std::string& name, int num_stores, int num_items,
+                         int length, double store_coherence, double weekly_period,
+                         uint64_t seed) {
+  Rng rng(seed);
+
+  // Base demand pattern per item: weekly seasonality + smooth trend.
+  SyntheticConfig item_config;
+  item_config.num_series = num_items;
+  item_config.length = length;
+  item_config.seasonal_periods = {weekly_period, weekly_period * 4.3};
+  item_config.seasonality_strength = 0.5;
+  item_config.cross_correlation = 0.3;
+  item_config.ar_coefficient = 0.9;
+  item_config.noise_level = 0.0;
+  item_config.seed = rng.NextUint64();
+  Matrix item_base = GenerateSeriesMatrix(item_config);
+
+  // Store effects.
+  std::vector<double> store_scale(num_stores), store_offset(num_stores);
+  for (int s = 0; s < num_stores; ++s) {
+    store_scale[s] = rng.Uniform(0.6, 1.6);
+    store_offset[s] = rng.Gaussian(0.0, 0.4);
+  }
+
+  const double idio_weight = 1.0 - store_coherence;
+  Matrix values(num_stores * num_items, length);
+  for (int s = 0; s < num_stores; ++s) {
+    for (int i = 0; i < num_items; ++i) {
+      const int row = s * num_items + i;
+      // Per-(store,item) idiosyncratic AR path.
+      double ar = 0.0;
+      Rng cell_rng(seed ^ (static_cast<uint64_t>(row) * 0x9e3779b9ULL + 7));
+      for (int t = 0; t < length; ++t) {
+        ar = 0.9 * ar + 0.44 * cell_rng.Gaussian();
+        values(row, t) = store_scale[s] * item_base(i, t) + store_offset[s] +
+                         idio_weight * ar + 0.05 * cell_rng.Gaussian();
+      }
+    }
+  }
+
+  Dimension stores{"store", {}};
+  for (int s = 0; s < num_stores; ++s) {
+    stores.members.push_back(name + "_store" + std::to_string(s));
+  }
+  Dimension items{"item", {}};
+  for (int i = 0; i < num_items; ++i) {
+    items.members.push_back(name + "_item" + std::to_string(i));
+  }
+  return DataTensor({std::move(stores), std::move(items)}, std::move(values));
+}
+
+}  // namespace
+
+DataTensor MakeDataset(const std::string& name, DatasetScale scale, uint64_t seed) {
+  const bool full = scale == DatasetScale::kFull;
+  SyntheticConfig c;
+  c.seed = seed;
+
+  if (name == "AirQ") {
+    // Repeating patterns and jumps; strong cross-series correlation.
+    c.num_series = 10;
+    c.length = full ? 1000 : 600;
+    c.seasonal_periods = {24.0, 168.0};
+    c.seasonality_strength = 0.5;  // "Moderate" repetition.
+    c.cross_correlation = 0.85;    // "High" relatedness.
+    c.jump_probability = 0.004;
+    c.jump_scale = 0.8;
+    c.noise_level = 0.1;
+    return OneDimensional(c, name);
+  }
+  if (name == "Chlorine") {
+    // Clusters of similar series with repeating trends.
+    c.num_series = full ? 50 : 20;
+    c.length = full ? 1000 : 600;
+    c.seasonal_periods = {48.0};
+    c.seasonality_strength = 0.85;  // "High".
+    c.cross_correlation = 0.8;      // "High".
+    c.num_clusters = 5;
+    c.noise_level = 0.05;
+    return OneDimensional(c, name);
+  }
+  if (name == "Gas") {
+    c.num_series = full ? 100 : 24;
+    c.length = full ? 1000 : 600;
+    c.seasonal_periods = {60.0};
+    c.seasonality_strength = 0.8;  // "High".
+    c.cross_correlation = 0.5;     // "Moderate".
+    c.noise_level = 0.1;
+    return OneDimensional(c, name);
+  }
+  if (name == "Climate") {
+    // Irregular with sporadic spikes; low relatedness.
+    c.num_series = 10;
+    c.length = full ? 5000 : 1200;
+    c.seasonal_periods = {12.0, 120.0};
+    c.seasonality_strength = 0.8;  // "High".
+    c.cross_correlation = 0.15;    // "Low".
+    c.spike_probability = 0.003;
+    c.spike_scale = 2.0;
+    c.noise_level = 0.15;
+    return OneDimensional(c, name);
+  }
+  if (name == "Electricity") {
+    c.num_series = full ? 20 : 12;
+    c.length = full ? 5000 : 1200;
+    c.seasonal_periods = {96.0};
+    c.seasonality_strength = 0.8;  // "High".
+    c.cross_correlation = 0.2;     // "Low".
+    c.noise_level = 0.12;
+    return OneDimensional(c, name);
+  }
+  if (name == "Temperature") {
+    c.num_series = full ? 50 : 20;
+    c.length = full ? 5000 : 1200;
+    c.seasonal_periods = {365.0, 30.0};
+    c.seasonality_strength = 0.8;  // "High".
+    c.cross_correlation = 0.9;     // "High" (paper: highly correlated).
+    c.noise_level = 0.08;
+    return OneDimensional(c, name);
+  }
+  if (name == "Meteo") {
+    // Weak repetition, sporadic anomalies.
+    c.num_series = 10;
+    c.length = full ? 10000 : 1600;
+    c.seasonal_periods = {300.0};
+    c.seasonality_strength = 0.2;  // "Low".
+    c.cross_correlation = 0.7;     // "Moderate".
+    c.ar_coefficient = 0.98;
+    c.spike_probability = 0.002;
+    c.spike_scale = 3.0;
+    c.noise_level = 0.15;
+    return OneDimensional(c, name);
+  }
+  if (name == "BAFU") {
+    // River discharge: synchronized irregular trends, weak seasonality.
+    c.num_series = 10;
+    c.length = full ? 50000 : 2000;
+    c.seasonal_periods = {1000.0};
+    c.seasonality_strength = 0.25;  // "Low".
+    c.cross_correlation = 0.75;     // "Moderate".
+    c.ar_coefficient = 0.995;
+    c.jump_probability = 0.001;
+    c.jump_scale = 0.6;
+    c.noise_level = 0.1;
+    return OneDimensional(c, name);
+  }
+  if (name == "JanataHack") {
+    // 76 stores x 28 SKUs x 134 weeks; high relatedness across stores.
+    const int stores = full ? 76 : 16;
+    const int items = full ? 28 : 8;
+    return RetailDataset(name, stores, items, 134, /*store_coherence=*/0.85,
+                         /*weekly_period=*/13.0, seed);
+  }
+  if (name == "M5") {
+    // 10 stores x 106 items x 1941 days; low relatedness.
+    const int stores = full ? 10 : 6;
+    const int items = full ? 106 : 20;
+    const int length = full ? 1941 : 400;
+    return RetailDataset(name, stores, items, length, /*store_coherence=*/0.2,
+                         /*weekly_period=*/7.0, seed);
+  }
+  DMVI_LOG(Fatal) << "Unknown dataset preset: " << name;
+  return DataTensor();  // Unreachable.
+}
+
+std::vector<std::string> AllDatasetNames() {
+  return {"AirQ",        "Chlorine", "Gas",   "Climate", "Electricity",
+          "Temperature", "Meteo",    "BAFU",  "JanataHack", "M5"};
+}
+
+bool IsDatasetName(const std::string& name) {
+  for (const auto& n : AllDatasetNames()) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+}  // namespace deepmvi

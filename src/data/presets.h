@@ -1,0 +1,36 @@
+#ifndef DEEPMVI_DATA_PRESETS_H_
+#define DEEPMVI_DATA_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/data_tensor.h"
+
+namespace deepmvi {
+
+/// Size mode for dataset presets. The paper's datasets range up to
+/// 50k time steps and 2128 series; kReduced scales every preset down so
+/// the whole benchmark suite runs on one CPU in minutes while keeping the
+/// qualitative structure intact. kFull matches the paper's dimensions.
+enum class DatasetScale { kReduced, kFull };
+
+/// Synthetic stand-ins for the paper's ten evaluation datasets (Table 1).
+/// Each preset reproduces the paper's qualitative axes: number of series,
+/// series length, within-series repetition, and cross-series relatedness.
+/// JanataHack and M5 are 2-dimensional (store x item/SKU).
+///
+/// Valid names: AirQ, Chlorine, Gas, Climate, Electricity, Temperature,
+/// Meteo, BAFU, JanataHack, M5.
+DataTensor MakeDataset(const std::string& name,
+                       DatasetScale scale = DatasetScale::kReduced,
+                       uint64_t seed = 1);
+
+/// All preset names in Table 1 order.
+std::vector<std::string> AllDatasetNames();
+
+/// True if `name` is a valid preset.
+bool IsDatasetName(const std::string& name);
+
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_DATA_PRESETS_H_

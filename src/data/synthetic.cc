@@ -1,0 +1,200 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace deepmvi {
+
+Matrix GenerateSeriesMatrix(const SyntheticConfig& config) {
+  DMVI_CHECK_GT(config.num_series, 0);
+  DMVI_CHECK_GT(config.length, 0);
+  Rng rng(config.seed);
+  const int n = config.num_series;
+  const int t_len = config.length;
+
+  // Shared latent factors: slow seasonal + random-walk mixtures.
+  const int f = std::max(config.num_latent_factors, 1);
+  Matrix factors(f, t_len);
+  for (int k = 0; k < f; ++k) {
+    const double period =
+        config.seasonal_periods.empty()
+            ? 64.0
+            : config.seasonal_periods[k % config.seasonal_periods.size()] *
+                  rng.Uniform(0.8, 1.2);
+    const double phase = rng.Uniform(0.0, 2.0 * M_PI);
+    double walk = 0.0;
+    for (int t = 0; t < t_len; ++t) {
+      walk = 0.99 * walk + 0.1 * rng.Gaussian();
+      factors(k, t) = std::sin(2.0 * M_PI * t / period + phase) + 0.5 * walk;
+    }
+  }
+
+  // Cluster assignment for cluster-structured datasets.
+  std::vector<int> cluster(n, 0);
+  std::vector<double> cluster_phase;
+  if (config.num_clusters > 0) {
+    for (int i = 0; i < n; ++i) cluster[i] = i % config.num_clusters;
+    for (int c = 0; c < config.num_clusters; ++c) {
+      cluster_phase.push_back(rng.Uniform(0.0, 2.0 * M_PI));
+    }
+  }
+
+  // Global phase per seasonal period: series phases concentrate around it
+  // as cross_correlation rises, so that "high relatedness" datasets are
+  // correlated through their seasonal components too (as in Temperature).
+  std::vector<double> global_phase(config.seasonal_periods.size());
+  for (auto& p : global_phase) p = rng.Uniform(0.0, 2.0 * M_PI);
+
+  const double w_shared = config.cross_correlation;
+  const double w_seasonal = config.seasonality_strength;
+  // Idiosyncratic weight shrinks as shared/seasonal structure grows, so
+  // strongly seasonal datasets actually look seasonal.
+  const double w_idio = std::max(0.1, 1.0 - w_seasonal - 0.5 * w_shared);
+
+  // Mean loading direction: series' factor loadings concentrate around it
+  // as cross_correlation rises (random directions would have near-zero
+  // expected pairwise correlation no matter the shared weight).
+  std::vector<double> mean_loading(f);
+  for (auto& v : mean_loading) v = rng.Gaussian();
+  {
+    const double norm = std::max(Norm(mean_loading), 1e-9);
+    for (auto& v : mean_loading) v /= norm;
+  }
+
+  Matrix out(n, t_len);
+  for (int i = 0; i < n; ++i) {
+    // Loadings on the shared factors: blend of the common direction and a
+    // per-series random direction, normalized to unit scale.
+    std::vector<double> loading(f);
+    for (int k = 0; k < f; ++k) {
+      loading[k] = config.cross_correlation * mean_loading[k] +
+                   (1.0 - config.cross_correlation) * rng.Gaussian(0.0, 1.0);
+    }
+    const double lnorm = std::max(Norm(loading), 1e-9);
+    for (auto& v : loading) v /= lnorm;
+
+    // Seasonal components: per-series amplitude; phase shared within a
+    // cluster when clustering is on.
+    struct Seasonal {
+      double period, phase, amplitude;
+    };
+    std::vector<Seasonal> seasonals;
+    for (size_t si = 0; si < config.seasonal_periods.size(); ++si) {
+      Seasonal s;
+      s.period = config.seasonal_periods[si];
+      if (config.num_clusters > 0) {
+        s.phase = cluster_phase[cluster[i]];
+      } else {
+        s.phase = global_phase[si] + (1.0 - config.cross_correlation) *
+                                         rng.Uniform(0.0, 2.0 * M_PI);
+      }
+      s.amplitude = rng.Uniform(0.6, 1.4);
+      seasonals.push_back(s);
+    }
+
+    const double trend_slope =
+        config.trend_strength * rng.Gaussian() / std::max(t_len, 1);
+    const double bias = rng.Gaussian(0.0, 0.3);
+
+    double ar_state = 0.0;
+    double level_shift = 0.0;
+    const double ar_innov = std::sqrt(
+        std::max(1.0 - config.ar_coefficient * config.ar_coefficient, 1e-4));
+    for (int t = 0; t < t_len; ++t) {
+      // Shared part.
+      double shared = 0.0;
+      for (int k = 0; k < f; ++k) shared += loading[k] * factors(k, t);
+      // Seasonal part.
+      double seasonal = 0.0;
+      for (const auto& s : seasonals) {
+        seasonal += s.amplitude * std::sin(2.0 * M_PI * t / s.period + s.phase);
+      }
+      if (!seasonals.empty()) {
+        seasonal /= static_cast<double>(seasonals.size());
+      }
+      // Idiosyncratic AR(1).
+      ar_state = config.ar_coefficient * ar_state + ar_innov * rng.Gaussian();
+      // Jumps and spikes.
+      if (config.jump_probability > 0.0 && rng.Bernoulli(config.jump_probability)) {
+        level_shift += rng.Gaussian(0.0, config.jump_scale);
+      }
+      double spike = 0.0;
+      if (config.spike_probability > 0.0 &&
+          rng.Bernoulli(config.spike_probability)) {
+        spike = rng.Gaussian(0.0, config.spike_scale);
+      }
+      out(i, t) = bias + trend_slope * t + w_shared * shared +
+                  w_seasonal * seasonal + w_idio * ar_state + level_shift +
+                  spike + config.noise_level * rng.Gaussian();
+    }
+  }
+  return out;
+}
+
+double Autocorrelation(const std::vector<double>& series, int lag) {
+  const int n = static_cast<int>(series.size());
+  DMVI_CHECK_GT(lag, 0);
+  if (lag >= n) return 0.0;
+  double mean = 0.0;
+  for (double v : series) mean += v;
+  mean /= n;
+  double num = 0.0, den = 0.0;
+  for (int t = 0; t < n; ++t) {
+    const double d = series[t] - mean;
+    den += d * d;
+    if (t + lag < n) num += d * (series[t + lag] - mean);
+  }
+  if (den <= 0.0) return 0.0;
+  // Unbiased normalization so a pure sinusoid scores ~1 at its period.
+  return (num / (n - lag)) / (den / n);
+}
+
+SeriesCharacteristics MeasureCharacteristics(const Matrix& series, int min_lag,
+                                             int max_lag) {
+  SeriesCharacteristics out;
+  const int n = series.rows();
+  max_lag = std::min(max_lag, series.cols() / 2);
+
+  double season_sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    auto row = series.Row(i);
+    // Seasonality = strength of the largest LOCAL MAXIMUM of the ACF.
+    // A smooth AR path has a monotonically decaying ACF (no local peak),
+    // while a periodic signal peaks at its period. This separates
+    // "repetition" from mere smoothness.
+    std::vector<double> acf(max_lag + 1, 0.0);
+    for (int lag = std::max(min_lag - 3, 1); lag <= max_lag; ++lag) {
+      acf[lag] = Autocorrelation(row, lag);
+    }
+    double best = 0.0;
+    const int margin = 3;
+    for (int lag = min_lag; lag + margin <= max_lag; ++lag) {
+      if (lag - margin < 1) continue;
+      if (acf[lag] > acf[lag - margin] + 0.01 &&
+          acf[lag] > acf[lag + margin] + 0.01) {
+        best = std::max(best, acf[lag]);
+      }
+    }
+    season_sum += best;
+  }
+  out.seasonality_score = season_sum / n;
+
+  double corr_sum = 0.0;
+  int pairs = 0;
+  // Signed correlations: same-period series with random phases would score
+  // ~2/pi under |corr| even when unrelated, so the mean signed correlation
+  // is the honest relatedness measure. Cap pairs for very wide datasets.
+  const int max_rows = std::min(n, 40);
+  for (int i = 0; i < max_rows; ++i) {
+    for (int j = i + 1; j < max_rows; ++j) {
+      corr_sum += PearsonCorrelation(series.Row(i), series.Row(j));
+      ++pairs;
+    }
+  }
+  out.relatedness_score = pairs > 0 ? std::max(corr_sum / pairs, 0.0) : 0.0;
+  return out;
+}
+
+}  // namespace deepmvi

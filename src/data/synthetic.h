@@ -1,0 +1,83 @@
+#ifndef DEEPMVI_DATA_SYNTHETIC_H_
+#define DEEPMVI_DATA_SYNTHETIC_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/matrix.h"
+
+namespace deepmvi {
+
+/// Configuration of the synthetic time-series composer.
+///
+/// Each series is a mixture of
+///   - shared latent factors (controls cross-series relatedness),
+///   - per-series seasonal components (controls repetition within series),
+///   - a smooth AR(1) idiosyncratic path,
+///   - optional linear trend, sporadic jumps (level shifts) and spikes,
+///   - white observation noise.
+///
+/// The weights are chosen so that `cross_correlation` close to 1 makes
+/// series move together while `seasonality_strength` close to 1 makes each
+/// series strongly periodic — the two qualitative axes of the paper's
+/// Table 1.
+struct SyntheticConfig {
+  int num_series = 10;
+  int length = 1000;
+
+  /// Periods of the seasonal components, in time steps.
+  std::vector<double> seasonal_periods = {50.0};
+  /// Relative weight of the seasonal components in [0, 1].
+  double seasonality_strength = 0.7;
+
+  /// Relative weight of shared latent factors in [0, 1].
+  double cross_correlation = 0.5;
+  int num_latent_factors = 3;
+
+  /// AR(1) coefficient of the idiosyncratic path (0 disables it).
+  double ar_coefficient = 0.95;
+
+  /// Stddev of additive white noise.
+  double noise_level = 0.1;
+
+  /// Slope magnitude of a per-series linear trend (0 disables).
+  double trend_strength = 0.0;
+
+  /// Per-step probability of a persistent level shift ("jump").
+  double jump_probability = 0.0;
+  double jump_scale = 2.0;
+
+  /// Per-step probability of a one-step spike ("anomaly").
+  double spike_probability = 0.0;
+  double spike_scale = 4.0;
+
+  /// When > 0, series are grouped into `num_clusters` clusters that share
+  /// seasonal phase/shape (Chlorine-style cluster structure).
+  int num_clusters = 0;
+
+  uint64_t seed = 1;
+};
+
+/// Generates a num_series x length matrix according to `config`.
+/// Deterministic given config.seed.
+Matrix GenerateSeriesMatrix(const SyntheticConfig& config);
+
+/// Measured characteristics of a generated dataset, used by the Table 1
+/// bench to verify the generators match the paper's qualitative judgments.
+struct SeriesCharacteristics {
+  /// Mean over series of the max autocorrelation over lags in
+  /// [min_lag, max_lag]: high for strongly seasonal data.
+  double seasonality_score = 0.0;
+  /// Mean absolute pairwise Pearson correlation between series.
+  double relatedness_score = 0.0;
+};
+
+SeriesCharacteristics MeasureCharacteristics(const Matrix& series,
+                                             int min_lag = 5, int max_lag = 200);
+
+/// Autocorrelation of one series at the given lag.
+double Autocorrelation(const std::vector<double>& series, int lag);
+
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_DATA_SYNTHETIC_H_

@@ -1,0 +1,164 @@
+#include "deep/brits.h"
+
+#include <algorithm>
+
+#include "nn/adam.h"
+#include "nn/layers.h"
+
+namespace deepmvi {
+namespace {
+
+using ad::Tape;
+using ad::Var;
+
+/// One direction of BRITS: GRU over columns with a pre-step regression.
+struct Rits {
+  nn::GruCell cell;
+  nn::Linear regression;  // hidden -> n (column estimate)
+
+  Rits() = default;
+  Rits(nn::ParameterStore* store, const std::string& name, int num_series,
+       int hidden_dim, Rng& rng)
+      : cell(store, name + ".gru", 2 * num_series, hidden_dim, rng),
+        regression(store, name + ".reg", hidden_dim, num_series, rng) {}
+
+  /// Runs over the columns listed in `order` (forward or reversed).
+  /// Returns per-step estimates (|order| x n, in `order`'s ordering) and
+  /// adds the observed-cell reconstruction loss into `loss_terms`.
+  Var Run(Tape& tape, const Matrix& values, const Mask& mask, int chunk_start,
+          const std::vector<int>& order, std::vector<Var>* loss_terms) const {
+    const int n = regression.out_features();
+    Var h = tape.Constant(Matrix(1, cell.hidden_dim()));
+    std::vector<Var> estimates;
+    estimates.reserve(order.size());
+    for (int idx : order) {
+      const int t = chunk_start + idx;
+      // Estimate the column from the state.
+      Var x_hat = regression.Forward(tape, h);  // 1 x n
+      estimates.push_back(x_hat);
+      // Observed values and mask as constants.
+      Matrix observed(1, n), m(1, n);
+      for (int r = 0; r < n; ++r) {
+        if (mask.available(r, t)) {
+          observed(0, r) = values(r, t);
+          m(0, r) = 1.0;
+        }
+      }
+      loss_terms->push_back(ad::WeightedMaeLoss(x_hat, observed, m));
+      // Complement: observed where available, estimate elsewhere.
+      Var complement = ad::Add(tape.Constant(observed),
+                               ad::MulConst(x_hat, Matrix(1, n, 1.0) - m));
+      Var input = ad::ConcatCols({complement, tape.Constant(m)});
+      h = cell.Forward(tape, input, h);
+    }
+    return ad::ConcatRows(estimates);
+  }
+};
+
+}  // namespace
+
+Matrix BritsImputer::Impute(const DataTensor& raw_data, const Mask& mask) {
+  auto stats = raw_data.ComputeNormalization(mask);
+  DataTensor data = raw_data.Normalized(stats);
+  const Matrix& values = data.values();
+  const int t_len = data.num_times();
+  const int n = data.num_series();
+  const int chunk_len = std::min(config_.max_chunk, t_len);
+
+  Rng rng(config_.seed);
+  nn::ParameterStore store;
+  Rits forward_rits(&store, "fwd", n, config_.hidden_dim, rng);
+  Rits backward_rits(&store, "bwd", n, config_.hidden_dim, rng);
+  nn::Adam adam(&store, {.learning_rate = config_.learning_rate});
+
+  std::vector<int> fwd_order(chunk_len), bwd_order(chunk_len);
+  for (int i = 0; i < chunk_len; ++i) {
+    fwd_order[i] = i;
+    bwd_order[i] = chunk_len - 1 - i;
+  }
+
+  auto pass_loss = [&](Tape& tape, int chunk_start) {
+    std::vector<Var> loss_terms;
+    Var est_fwd =
+        forward_rits.Run(tape, values, mask, chunk_start, fwd_order, &loss_terms);
+    Var est_bwd_rev =
+        backward_rits.Run(tape, values, mask, chunk_start, bwd_order, &loss_terms);
+    // Reverse the backward estimates to align time.
+    std::vector<Var> aligned;
+    aligned.reserve(chunk_len);
+    for (int i = chunk_len - 1; i >= 0; --i) {
+      aligned.push_back(ad::SliceRows(est_bwd_rev, i, 1));
+    }
+    Var est_bwd = ad::ConcatRows(aligned);
+    // Consistency between directions.
+    Var diff = ad::Sub(est_fwd, est_bwd);
+    loss_terms.push_back(
+        ad::Scale(ad::Mean(ad::Square(diff)), config_.consistency_weight));
+    Var total = loss_terms[0];
+    for (size_t i = 1; i < loss_terms.size(); ++i) {
+      total = ad::Add(total, loss_terms[i]);
+    }
+    return ad::Scale(total, 1.0 / static_cast<double>(loss_terms.size()));
+  };
+
+  // ---- Training. ---------------------------------------------------------
+  Tape tape;
+  double best_val = 1e300;
+  int stale = 0;
+  std::vector<Matrix> best_params;
+  auto snapshot = [&] {
+    best_params.clear();
+    for (const auto& p : store.params()) best_params.push_back(p->value());
+  };
+  snapshot();
+  const int val_chunk = t_len > chunk_len ? (t_len - chunk_len) / 2 : 0;
+
+  for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    for (int pass = 0; pass < config_.passes_per_epoch; ++pass) {
+      const int start =
+          t_len > chunk_len ? rng.UniformInt(t_len - chunk_len + 1) : 0;
+      tape.Reset();
+      Var loss = pass_loss(tape, start);
+      tape.Backward(loss);
+      adam.Step(tape);
+    }
+    tape.Reset();
+    const double val = pass_loss(tape, val_chunk).scalar();
+    tape.Reset();
+    if (val < best_val - 1e-6) {
+      best_val = val;
+      snapshot();
+      stale = 0;
+    } else if (++stale >= config_.patience) {
+      break;
+    }
+  }
+  for (size_t i = 0; i < best_params.size(); ++i) {
+    store.params()[i]->value() = best_params[i];
+  }
+
+  // ---- Imputation: average of both directions over covering chunks. ------
+  Matrix out = raw_data.values();
+  for (int start = 0; start < t_len; start += chunk_len) {
+    const int s = std::min(start, t_len - chunk_len);
+    tape.Reset();
+    std::vector<Var> unused;
+    Var est_fwd = forward_rits.Run(tape, values, mask, s, fwd_order, &unused);
+    Var est_bwd = backward_rits.Run(tape, values, mask, s, bwd_order, &unused);
+    for (int i = 0; i < chunk_len; ++i) {
+      const int t = s + i;
+      if (t < start) continue;  // Overlap from the clamped final chunk.
+      for (int r = 0; r < n; ++r) {
+        if (mask.missing(r, t)) {
+          const double estimate = 0.5 * (est_fwd.value()(i, r) +
+                                         est_bwd.value()(chunk_len - 1 - i, r));
+          out(r, t) = estimate * stats.stddev[r] + stats.mean[r];
+        }
+      }
+    }
+  }
+  tape.Reset();
+  return out;
+}
+
+}  // namespace deepmvi

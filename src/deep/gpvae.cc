@@ -1,0 +1,160 @@
+#include "deep/gpvae.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/adam.h"
+#include "nn/layers.h"
+
+namespace deepmvi {
+namespace {
+
+using ad::Tape;
+using ad::Var;
+
+struct VaeModel {
+  nn::ParameterStore store;
+  nn::Linear enc1;      // n -> hidden
+  nn::Linear enc_mu;    // hidden -> d
+  nn::Linear enc_logv;  // hidden -> d
+  nn::Linear dec1;      // d -> hidden
+  nn::Linear dec2;      // hidden -> n
+};
+
+}  // namespace
+
+Matrix GpVaeImputer::Impute(const DataTensor& raw_data, const Mask& mask) {
+  auto stats = raw_data.ComputeNormalization(mask);
+  DataTensor data = raw_data.Normalized(stats);
+  const Matrix& values = data.values();
+  const int t_len = data.num_times();
+  const int n = data.num_series();
+  const int chunk_len = std::min(config_.max_chunk, t_len);
+
+  Rng rng(config_.seed);
+  VaeModel model;
+  model.enc1 = nn::Linear(&model.store, "enc1", n, config_.hidden_dim, rng);
+  model.enc_mu = nn::Linear(&model.store, "mu", config_.hidden_dim,
+                            config_.latent_dim, rng);
+  model.enc_logv = nn::Linear(&model.store, "logv", config_.hidden_dim,
+                              config_.latent_dim, rng);
+  model.dec1 = nn::Linear(&model.store, "dec1", config_.latent_dim,
+                          config_.hidden_dim, rng);
+  model.dec2 = nn::Linear(&model.store, "dec2", config_.hidden_dim, n, rng);
+  nn::Adam adam(&model.store, {.learning_rate = config_.learning_rate});
+
+  // Columns as rows: chunk matrix is chunk_len x n with missing zeroed.
+  auto chunk_inputs = [&](int start) {
+    Matrix input(chunk_len, n), observed(chunk_len, n), weight(chunk_len, n);
+    for (int i = 0; i < chunk_len; ++i) {
+      for (int r = 0; r < n; ++r) {
+        if (mask.available(r, start + i)) {
+          input(i, r) = values(r, start + i);
+          observed(i, r) = values(r, start + i);
+          weight(i, r) = 1.0;
+        }
+      }
+    }
+    return std::make_tuple(input, observed, weight);
+  };
+
+  auto encode = [&](Tape& tape, const Matrix& input) {
+    Var h = ad::Tanh(model.enc1.Forward(tape, tape.Constant(input)));
+    Var mu = model.enc_mu.Forward(tape, h);
+    Var logv = model.enc_logv.Forward(tape, h);
+    return std::make_pair(mu, logv);
+  };
+  auto decode = [&](Tape& tape, const Var& z) {
+    return model.dec2.Forward(tape, ad::Tanh(model.dec1.Forward(tape, z)));
+  };
+
+  auto pass_loss = [&](Tape& tape, int start, Rng& noise_rng) {
+    auto [input, observed, weight] = chunk_inputs(start);
+    auto [mu, logv] = encode(tape, input);
+    // Reparameterized sample z = mu + exp(0.5 logv) * eps.
+    Matrix eps(chunk_len, config_.latent_dim);
+    for (int i = 0; i < chunk_len; ++i) {
+      for (int d = 0; d < config_.latent_dim; ++d) eps(i, d) = noise_rng.Gaussian();
+    }
+    Var std_dev = ad::Exp(ad::Scale(logv, 0.5));
+    Var z = ad::Add(mu, ad::Mul(std_dev, tape.Constant(eps)));
+    Var recon = decode(tape, z);
+    Var loss = ad::WeightedMseLoss(recon, observed, weight);
+    // KL(q || N(0, I)) = 0.5 sum(exp(logv) + mu^2 - 1 - logv).
+    Var kl = ad::Scale(
+        ad::Sum(ad::Sub(ad::Add(ad::Exp(logv), ad::Square(mu)),
+                        ad::AddScalar(logv, 1.0))),
+        0.5 / static_cast<double>(chunk_len));
+    loss = ad::Add(loss, ad::Scale(kl, config_.kl_weight));
+    // GP/Wiener smoothness prior on the latent path.
+    if (chunk_len > 1) {
+      Var diff = ad::Sub(ad::SliceRows(mu, 1, chunk_len - 1),
+                         ad::SliceRows(mu, 0, chunk_len - 1));
+      loss = ad::Add(loss,
+                     ad::Scale(ad::Mean(ad::Square(diff)),
+                               config_.smoothness_weight));
+    }
+    return loss;
+  };
+
+  // ---- Training. -----------------------------------------------------------
+  Tape tape;
+  double best_val = 1e300;
+  int stale = 0;
+  std::vector<Matrix> best_params;
+  auto snapshot = [&] {
+    best_params.clear();
+    for (const auto& p : model.store.params()) best_params.push_back(p->value());
+  };
+  snapshot();
+  const int val_start = t_len > chunk_len ? (t_len - chunk_len) / 2 : 0;
+
+  for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    for (int pass = 0; pass < config_.passes_per_epoch; ++pass) {
+      const int start =
+          t_len > chunk_len ? rng.UniformInt(t_len - chunk_len + 1) : 0;
+      tape.Reset();
+      Var loss = pass_loss(tape, start, rng);
+      tape.Backward(loss);
+      adam.Step(tape);
+    }
+    Rng val_noise(12345);  // Fixed noise for comparable validation losses.
+    tape.Reset();
+    const double val = pass_loss(tape, val_start, val_noise).scalar();
+    tape.Reset();
+    if (val < best_val - 1e-6) {
+      best_val = val;
+      snapshot();
+      stale = 0;
+    } else if (++stale >= config_.patience) {
+      break;
+    }
+  }
+  for (size_t i = 0; i < best_params.size(); ++i) {
+    model.store.params()[i]->value() = best_params[i];
+  }
+
+  // ---- Imputation from posterior means over covering chunks. --------------
+  Matrix out = raw_data.values();
+  for (int start = 0; start < t_len; start += chunk_len) {
+    const int s = std::min(start, t_len - chunk_len);
+    auto [input, observed, weight] = chunk_inputs(s);
+    tape.Reset();
+    auto [mu, logv] = encode(tape, input);
+    (void)logv;
+    Var recon = decode(tape, mu);
+    for (int i = 0; i < chunk_len; ++i) {
+      const int t = s + i;
+      if (t < start) continue;
+      for (int r = 0; r < n; ++r) {
+        if (mask.missing(r, t)) {
+          out(r, t) = recon.value()(i, r) * stats.stddev[r] + stats.mean[r];
+        }
+      }
+    }
+  }
+  tape.Reset();
+  return out;
+}
+
+}  // namespace deepmvi

@@ -1,0 +1,175 @@
+#include "deep/mrnn.h"
+
+#include <algorithm>
+
+#include "nn/adam.h"
+#include "nn/layers.h"
+
+namespace deepmvi {
+namespace {
+
+using ad::Tape;
+using ad::Var;
+
+struct MrnnModel {
+  nn::ParameterStore store;
+  nn::GruCell fwd;        // input (value, mask) -> hidden
+  nn::GruCell bwd;
+  nn::Linear interp;      // 2 * hidden -> 1
+  nn::Linear cross;       // n -> n (diagonal zeroed at every use)
+};
+
+}  // namespace
+
+Matrix MrnnImputer::Impute(const DataTensor& raw_data, const Mask& mask) {
+  auto stats = raw_data.ComputeNormalization(mask);
+  DataTensor data = raw_data.Normalized(stats);
+  const Matrix& values = data.values();
+  const int t_len = data.num_times();
+  const int n = data.num_series();
+  const int chunk_len = std::min(config_.max_chunk, t_len);
+
+  Rng rng(config_.seed);
+  MrnnModel model;
+  model.fwd = nn::GruCell(&model.store, "fwd", 2, config_.hidden_dim, rng);
+  model.bwd = nn::GruCell(&model.store, "bwd", 2, config_.hidden_dim, rng);
+  model.interp = nn::Linear(&model.store, "interp", 2 * config_.hidden_dim, 1, rng);
+  model.cross = nn::Linear(&model.store, "cross", n, n, rng);
+  nn::Adam adam(&model.store, {.learning_rate = config_.learning_rate});
+
+  // Stage 1 for one series chunk: bidirectional GRU interpolation.
+  // Returns a chunk_len x 1 estimate.
+  auto interpolate_series = [&](Tape& tape, int row, int start) {
+    // States BEFORE consuming each position, per direction: position i is
+    // estimated from the forward state after position i-1 and the
+    // backward state after position i+1, so its own value never leaks
+    // into its estimate (the usual bidirectional-imputation protocol).
+    std::vector<Var> fwd_before(chunk_len), bwd_before(chunk_len);
+    Var hf = tape.Constant(Matrix(1, config_.hidden_dim));
+    Var hb = tape.Constant(Matrix(1, config_.hidden_dim));
+    for (int i = 0; i < chunk_len; ++i) {
+      // Forward direction.
+      fwd_before[i] = hf;
+      Matrix xin_f(1, 2);
+      const int tf = start + i;
+      if (mask.available(row, tf)) {
+        xin_f(0, 0) = values(row, tf);
+        xin_f(0, 1) = 1.0;
+      }
+      hf = model.fwd.Forward(tape, tape.Constant(xin_f), hf);
+      // Backward direction.
+      bwd_before[chunk_len - 1 - i] = hb;
+      Matrix xin_b(1, 2);
+      const int tb = start + chunk_len - 1 - i;
+      if (mask.available(row, tb)) {
+        xin_b(0, 0) = values(row, tb);
+        xin_b(0, 1) = 1.0;
+      }
+      hb = model.bwd.Forward(tape, tape.Constant(xin_b), hb);
+    }
+    std::vector<Var> estimates;
+    estimates.reserve(chunk_len);
+    for (int i = 0; i < chunk_len; ++i) {
+      Var state = ad::ConcatCols({fwd_before[i], bwd_before[i]});
+      estimates.push_back(model.interp.Forward(tape, state));
+    }
+    return ad::ConcatRows(estimates);  // chunk_len x 1
+  };
+
+  // Full two-stage forward over a chunk: returns final estimates
+  // (chunk_len x n) and the training loss on observed cells.
+  auto forward_chunk = [&](Tape& tape, int start, Var* loss_out) {
+    std::vector<Var> stage1_cols;
+    stage1_cols.reserve(n);
+    for (int r = 0; r < n; ++r) {
+      stage1_cols.push_back(interpolate_series(tape, r, start));
+    }
+    Var stage1 = ad::ConcatCols(stage1_cols);  // chunk_len x n
+
+    // Complement: observed values where available, stage-1 elsewhere.
+    Matrix observed(chunk_len, n), m(chunk_len, n);
+    for (int i = 0; i < chunk_len; ++i) {
+      for (int r = 0; r < n; ++r) {
+        if (mask.available(r, start + i)) {
+          observed(i, r) = values(r, start + i);
+          m(i, r) = 1.0;
+        }
+      }
+    }
+    Var complement = ad::Add(tape.Constant(observed),
+                             ad::MulConst(stage1, Matrix(chunk_len, n, 1.0) - m));
+    // Stage 2: cross-stream regression. The identity shortcut (copying a
+    // series' own observed value through the weight diagonal) would let
+    // training ignore the other series, so the LOSS pass feeds stage-1
+    // estimates only; the IMPUTATION pass feeds the complemented column.
+    Var final_est = model.cross.Forward(tape, complement);
+    if (loss_out != nullptr) {
+      Var loss_est = model.cross.Forward(tape, stage1);
+      Var stage1_loss = ad::WeightedMseLoss(stage1, observed, m);
+      Var stage2_loss = ad::WeightedMseLoss(loss_est, observed, m);
+      *loss_out = ad::Add(stage1_loss, stage2_loss);
+    }
+    return final_est;
+  };
+
+  // ---- Training. ----------------------------------------------------------
+  Tape tape;
+  double best_val = 1e300;
+  int stale = 0;
+  std::vector<Matrix> best_params;
+  auto snapshot = [&] {
+    best_params.clear();
+    for (const auto& p : model.store.params()) best_params.push_back(p->value());
+  };
+  snapshot();
+  const int val_start = t_len > chunk_len ? (t_len - chunk_len) / 2 : 0;
+
+  for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    for (int pass = 0; pass < config_.passes_per_epoch; ++pass) {
+      const int start =
+          t_len > chunk_len ? rng.UniformInt(t_len - chunk_len + 1) : 0;
+      tape.Reset();
+      Var loss;
+      forward_chunk(tape, start, &loss);
+      tape.Backward(loss);
+      adam.Step(tape);
+    }
+    tape.Reset();
+    Var val_loss;
+    forward_chunk(tape, val_start, &val_loss);
+    const double val = val_loss.scalar();
+    tape.Reset();
+    if (val < best_val - 1e-6) {
+      best_val = val;
+      snapshot();
+      stale = 0;
+    } else if (++stale >= config_.patience) {
+      break;
+    }
+  }
+  for (size_t i = 0; i < best_params.size(); ++i) {
+    model.store.params()[i]->value() = best_params[i];
+  }
+
+  // ---- Imputation over covering chunks. ------------------------------------
+  Matrix out = raw_data.values();
+  for (int start = 0; start < t_len; start += chunk_len) {
+    const int s = std::min(start, t_len - chunk_len);
+    tape.Reset();
+    Var estimates = forward_chunk(tape, s, nullptr);
+    for (int i = 0; i < chunk_len; ++i) {
+      const int t = s + i;
+      if (t < start) continue;
+      for (int r = 0; r < n; ++r) {
+        if (mask.missing(r, t)) {
+          out(r, t) =
+              estimates.value()(i, r) * stats.stddev[r] + stats.mean[r];
+        }
+      }
+    }
+  }
+  tape.Reset();
+  return out;
+}
+
+}  // namespace deepmvi

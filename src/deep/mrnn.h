@@ -1,0 +1,52 @@
+#ifndef DEEPMVI_DEEP_MRNN_H_
+#define DEEPMVI_DEEP_MRNN_H_
+
+#include <string>
+
+#include "data/imputer.h"
+
+namespace deepmvi {
+
+/// MRNN (Yoon, Zame, van der Schaar, IEEE TBME 2019): multi-directional
+/// recurrent imputation.
+///
+/// Two stages, trained jointly:
+///  1. Within-stream interpolation: a bidirectional GRU (parameters shared
+///     across series) runs over each series' (value, mask) sequence and
+///     regresses an estimate per position from the states of both
+///     directions.
+///  2. Across-stream regression: a fully-connected layer with a zeroed
+///     diagonal maps the data column at time t (observed values where
+///     available, stage-1 estimates elsewhere) to a final estimate, so
+///     each series is predicted from the OTHER series plus its own
+///     temporal interpolation.
+///
+/// The paper's survey (Sec 2.4, citing the Mind-the-Gap study) found MRNN
+/// markedly slower and less accurate than matrix-completion methods; this
+/// implementation exists to reproduce its standing.
+class MrnnImputer : public Imputer {
+ public:
+  struct Config {
+    int hidden_dim = 16;
+    double learning_rate = 2e-3;
+    int max_epochs = 20;
+    int passes_per_epoch = 4;
+    /// Chunk of consecutive time steps per pass.
+    int max_chunk = 192;
+    int patience = 4;
+    uint64_t seed = 43;
+  };
+
+  MrnnImputer() = default;
+  explicit MrnnImputer(Config config) : config_(config) {}
+
+  std::string name() const override { return "MRNN"; }
+  Matrix Impute(const DataTensor& data, const Mask& mask) override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_DEEP_MRNN_H_

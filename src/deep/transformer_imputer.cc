@@ -1,0 +1,185 @@
+#include "deep/transformer_imputer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/adam.h"
+#include "nn/layers.h"
+
+namespace deepmvi {
+namespace {
+
+using ad::Tape;
+using ad::Var;
+
+struct TransformerModel {
+  nn::ParameterStore store;
+  nn::Linear embed;      // 1 -> p
+  nn::MultiHeadSelfAttention attention;
+  nn::FeedForward ffn;   // p -> p
+  nn::Linear head;       // p -> 1
+};
+
+}  // namespace
+
+Matrix TransformerImputer::Impute(const DataTensor& raw_data, const Mask& mask) {
+  auto stats = raw_data.ComputeNormalization(mask);
+  DataTensor data = raw_data.Normalized(stats);
+  const Matrix& values = data.values();
+  const int t_len = data.num_times();
+  const int num_series = data.num_series();
+  const int context = std::min(config_.max_context, t_len);
+
+  Rng rng(config_.seed);
+  TransformerModel model;
+  model.embed = nn::Linear(&model.store, "embed", 1, config_.model_dim, rng);
+  model.attention = nn::MultiHeadSelfAttention(
+      &model.store, "attn",
+      {.model_dim = config_.model_dim, .num_heads = config_.num_heads}, rng);
+  model.ffn = nn::FeedForward(&model.store, "ffn", config_.model_dim,
+                              2 * config_.model_dim, config_.model_dim, rng);
+  model.head = nn::Linear(&model.store, "head", config_.model_dim, 1, rng);
+  nn::Adam adam(&model.store, {.learning_rate = config_.learning_rate});
+
+  const Matrix pos_enc =
+      nn::SinusoidalPositionalEncoding(context, config_.model_dim);
+  std::vector<int> block_lengths = mask.MissingBlockLengths();
+  if (block_lengths.empty()) block_lengths = {5};
+
+  // Forward over one chunk of one series. `hidden` marks positions whose
+  // input value is zeroed (real missing plus training targets); outputs
+  // are per-position predictions (context x 1).
+  auto forward = [&](Tape& tape, int row, int start,
+                     const std::vector<bool>& hidden) {
+    Matrix input(context, 1);
+    std::vector<double> key_avail(context, 1.0);
+    for (int i = 0; i < context; ++i) {
+      // Vanilla transformer: masked inputs are zeroed but remain keys.
+      if (!hidden[i]) input(i, 0) = values(row, start + i);
+    }
+    // Scale the value embedding by sqrt(d_model) (standard practice) so
+    // the positional encoding does not drown the value signal.
+    Var e = ad::Add(ad::Scale(model.embed.Forward(tape, tape.Constant(input)),
+                              std::sqrt(static_cast<double>(config_.model_dim))),
+                    tape.Constant(pos_enc));
+    Var attended = ad::Add(e, model.attention.Forward(tape, e, key_avail));
+    Var encoded = ad::Add(attended, model.ffn.Forward(tape, attended));
+    return model.head.Forward(tape, encoded);
+  };
+
+  // ---- Training: masked-span reconstruction. ----------------------------
+  Tape tape;
+  double best_val = 1e300;
+  int stale = 0;
+  std::vector<Matrix> best_params;
+  auto snapshot = [&] {
+    best_params.clear();
+    for (const auto& p : model.store.params()) best_params.push_back(p->value());
+  };
+  snapshot();
+
+  auto make_loss = [&](Tape& t, Rng& sample_rng) {
+    const int row = sample_rng.UniformInt(num_series);
+    const int start =
+        t_len > context ? sample_rng.UniformInt(t_len - context + 1) : 0;
+    std::vector<bool> hidden(context, false);
+    std::vector<bool> synthetic(context, false);
+    Matrix target(context, 1);
+    Matrix weight(context, 1);
+    // Hide several sampled blocks per pass (more loss positions per
+    // attention computation); real missing cells stay hidden with no loss.
+    for (int span = 0; span < 4; ++span) {
+      const int len = std::min(
+          block_lengths[sample_rng.UniformInt(
+              static_cast<int>(block_lengths.size()))],
+          context / 4);
+      const int b0 = sample_rng.UniformInt(context - len + 1);
+      for (int i = b0; i < b0 + len; ++i) synthetic[i] = true;
+    }
+    for (int i = 0; i < context; ++i) {
+      const bool real_missing = mask.missing(row, start + i);
+      hidden[i] = real_missing || synthetic[i];
+      if (synthetic[i] && !real_missing) {
+        target(i, 0) = values(row, start + i);
+        weight(i, 0) = 1.0;
+      }
+    }
+    if (weight.Sum() == 0.0) return Var();
+    Var pred = forward(t, row, start, hidden);
+    return ad::WeightedMseLoss(pred, target, weight);
+  };
+
+  Rng val_rng = rng.Split();
+  for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    int made = 0;
+    while (made < config_.samples_per_epoch) {
+      tape.Reset();
+      std::vector<Var> losses;
+      for (int b = 0; b < config_.batch_size && made < config_.samples_per_epoch;
+           ++b, ++made) {
+        Var loss = make_loss(tape, rng);
+        if (loss.valid()) losses.push_back(loss);
+      }
+      if (losses.empty()) continue;
+      Var total = losses[0];
+      for (size_t i = 1; i < losses.size(); ++i) total = ad::Add(total, losses[i]);
+      total = ad::Scale(total, 1.0 / static_cast<double>(losses.size()));
+      tape.Backward(total);
+      adam.Step(tape);
+    }
+    // Validation with a fixed-seed stream.
+    Rng vr = val_rng;  // Copy: same validation draws each epoch.
+    double val = 0.0;
+    int val_count = 0;
+    for (int i = 0; i < 16; ++i) {
+      tape.Reset();
+      Var loss = make_loss(tape, vr);
+      if (loss.valid()) {
+        val += loss.scalar();
+        ++val_count;
+      }
+    }
+    tape.Reset();
+    if (val_count > 0) val /= val_count;
+    if (val < best_val - 1e-6) {
+      best_val = val;
+      snapshot();
+      stale = 0;
+    } else if (++stale >= config_.patience) {
+      break;
+    }
+  }
+  for (size_t i = 0; i < best_params.size(); ++i) {
+    model.store.params()[i]->value() = best_params[i];
+  }
+
+  // ---- Imputation. -------------------------------------------------------
+  Matrix out = raw_data.values();
+  for (int row = 0; row < num_series; ++row) {
+    std::vector<int> missing;
+    for (int t = 0; t < t_len; ++t) {
+      if (mask.missing(row, t)) missing.push_back(t);
+    }
+    size_t next = 0;
+    while (next < missing.size()) {
+      const int start =
+          std::clamp(missing[next] - context / 2, 0, t_len - context);
+      std::vector<bool> hidden(context, false);
+      for (int i = 0; i < context; ++i) {
+        hidden[i] = mask.missing(row, start + i);
+      }
+      tape.Reset();
+      Var pred = forward(tape, row, start, hidden);
+      while (next < missing.size() && missing[next] < start + context) {
+        const int t = missing[next];
+        out(row, t) =
+            pred.value()(t - start, 0) * stats.stddev[row] + stats.mean[row];
+        ++next;
+      }
+    }
+  }
+  tape.Reset();
+  return out;
+}
+
+}  // namespace deepmvi

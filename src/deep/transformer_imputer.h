@@ -1,0 +1,46 @@
+#ifndef DEEPMVI_DEEP_TRANSFORMER_IMPUTER_H_
+#define DEEPMVI_DEEP_TRANSFORMER_IMPUTER_H_
+
+#include <string>
+
+#include "data/imputer.h"
+
+namespace deepmvi {
+
+/// Vanilla Transformer baseline (Sec 2.3.2 / Sec 5.4): each series is
+/// embedded position-by-position (value -> p-dim linear embedding plus
+/// sinusoidal positional encoding), passed through standard multi-head
+/// self-attention over positions, and decoded to one value per position.
+/// Trained with masked reconstruction: random spans are hidden and the
+/// loss is computed on the hidden positions only. Unlike DeepMVI there are
+/// no window features, no neighbour-context keys, no kernel regression,
+/// and no cross-series signal.
+class TransformerImputer : public Imputer {
+ public:
+  struct Config {
+    int model_dim = 32;
+    int num_heads = 4;
+    int num_layers = 1;
+    double learning_rate = 3e-3;
+    int max_epochs = 30;
+    int samples_per_epoch = 48;
+    int batch_size = 4;
+    int patience = 4;
+    /// Longest attention context; longer series are windowed.
+    int max_context = 256;
+    uint64_t seed = 31;
+  };
+
+  TransformerImputer() = default;
+  explicit TransformerImputer(Config config) : config_(config) {}
+
+  std::string name() const override { return "Transformer"; }
+  Matrix Impute(const DataTensor& data, const Mask& mask) override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_DEEP_TRANSFORMER_IMPUTER_H_

@@ -1,0 +1,72 @@
+#include "eval/analytics.h"
+
+#include "common/logging.h"
+#include "eval/metrics.h"
+
+namespace deepmvi {
+namespace {
+
+int GroupCount(const DataTensor& data) {
+  DMVI_CHECK_GE(data.num_dims(), 1);
+  return data.num_series() / data.dim(0).size();
+}
+
+/// Row of the aggregated matrix that series `row` contributes to: the
+/// flattened index over dimensions 1..n-1. Because dimension 0 is the
+/// slowest-varying, this is simply row % GroupCount.
+int GroupOf(const DataTensor& data, int row) {
+  return row % GroupCount(data);
+}
+
+}  // namespace
+
+Matrix AggregateOverFirstDim(const DataTensor& data, const Matrix& values) {
+  DMVI_CHECK_EQ(values.rows(), data.num_series());
+  const int groups = GroupCount(data);
+  const int members = data.dim(0).size();
+  Matrix out(groups, values.cols());
+  for (int r = 0; r < values.rows(); ++r) {
+    const int g = GroupOf(data, r);
+    for (int t = 0; t < values.cols(); ++t) out(g, t) += values(r, t);
+  }
+  out *= 1.0 / members;
+  return out;
+}
+
+Matrix AggregateDropCell(const DataTensor& data, const Matrix& values,
+                         const Mask& mask) {
+  DMVI_CHECK_EQ(values.rows(), data.num_series());
+  const int groups = GroupCount(data);
+  Matrix sums(groups, values.cols());
+  Matrix counts(groups, values.cols());
+  for (int r = 0; r < values.rows(); ++r) {
+    const int g = GroupOf(data, r);
+    for (int t = 0; t < values.cols(); ++t) {
+      if (mask.available(r, t)) {
+        sums(g, t) += values(r, t);
+        counts(g, t) += 1.0;
+      }
+    }
+  }
+  Matrix fallback = AggregateOverFirstDim(data, values);
+  Matrix out(groups, values.cols());
+  for (int g = 0; g < groups; ++g) {
+    for (int t = 0; t < values.cols(); ++t) {
+      out(g, t) =
+          counts(g, t) > 0.0 ? sums(g, t) / counts(g, t) : fallback(g, t);
+    }
+  }
+  return out;
+}
+
+double AnalyticsGainOverDropCell(const DataTensor& data, const Matrix& truth,
+                                 const Matrix& imputed, const Mask& mask) {
+  Matrix truth_agg = AggregateOverFirstDim(data, truth);
+  Matrix imputed_agg = AggregateOverFirstDim(data, imputed);
+  Matrix dropcell_agg = AggregateDropCell(data, truth, mask);
+  const double mae_dropcell = Mae(dropcell_agg, truth_agg);
+  const double mae_method = Mae(imputed_agg, truth_agg);
+  return mae_dropcell - mae_method;
+}
+
+}  // namespace deepmvi

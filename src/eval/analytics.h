@@ -1,0 +1,31 @@
+#ifndef DEEPMVI_EVAL_ANALYTICS_H_
+#define DEEPMVI_EVAL_ANALYTICS_H_
+
+#include "tensor/data_tensor.h"
+
+namespace deepmvi {
+
+/// Downstream-analytics protocol of Sec 5.7: the aggregate statistic is the
+/// average over the FIRST dimension, producing an (n-1)-dimensional
+/// aggregated time series — a single series for 1-dimensional datasets, a
+/// per-item series for store x item datasets.
+
+/// Averages `values` over dimension 0 of `data`'s index space. Output is
+/// (num_series / |K_0|) x T; rows enumerate the remaining dimensions.
+Matrix AggregateOverFirstDim(const DataTensor& data, const Matrix& values);
+
+/// DropCell aggregation: like AggregateOverFirstDim but averaging only the
+/// cells available in `mask` (the default analysts use when detailed data
+/// is missing). Groups where every member is missing fall back to the
+/// all-cells average of `values`.
+Matrix AggregateDropCell(const DataTensor& data, const Matrix& values,
+                         const Mask& mask);
+
+/// MAE(DropCell) - MAE(method) for the aggregate statistic; positive means
+/// imputing with the method beats dropping missing cells (Fig 11's y-axis).
+double AnalyticsGainOverDropCell(const DataTensor& data, const Matrix& truth,
+                                 const Matrix& imputed, const Mask& mask);
+
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_EVAL_ANALYTICS_H_

@@ -1,0 +1,57 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace deepmvi {
+
+double MaeOnMissing(const Matrix& imputed, const Matrix& truth, const Mask& mask) {
+  DMVI_CHECK_EQ(imputed.rows(), truth.rows());
+  DMVI_CHECK_EQ(imputed.cols(), truth.cols());
+  DMVI_CHECK_EQ(imputed.rows(), mask.rows());
+  DMVI_CHECK_EQ(imputed.cols(), mask.cols());
+  double acc = 0.0;
+  int64_t count = 0;
+  for (int r = 0; r < imputed.rows(); ++r) {
+    for (int t = 0; t < imputed.cols(); ++t) {
+      if (mask.missing(r, t)) {
+        acc += std::fabs(imputed(r, t) - truth(r, t));
+        ++count;
+      }
+    }
+  }
+  DMVI_CHECK_GT(count, 0) << "no missing cells to evaluate";
+  return acc / static_cast<double>(count);
+}
+
+double RmseOnMissing(const Matrix& imputed, const Matrix& truth, const Mask& mask) {
+  DMVI_CHECK_EQ(imputed.rows(), truth.rows());
+  DMVI_CHECK_EQ(imputed.cols(), truth.cols());
+  double acc = 0.0;
+  int64_t count = 0;
+  for (int r = 0; r < imputed.rows(); ++r) {
+    for (int t = 0; t < imputed.cols(); ++t) {
+      if (mask.missing(r, t)) {
+        const double d = imputed(r, t) - truth(r, t);
+        acc += d * d;
+        ++count;
+      }
+    }
+  }
+  DMVI_CHECK_GT(count, 0) << "no missing cells to evaluate";
+  return std::sqrt(acc / static_cast<double>(count));
+}
+
+double Mae(const Matrix& a, const Matrix& b) {
+  DMVI_CHECK_EQ(a.rows(), b.rows());
+  DMVI_CHECK_EQ(a.cols(), b.cols());
+  DMVI_CHECK_GT(a.size(), 0);
+  double acc = 0.0;
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) acc += std::fabs(a(r, c) - b(r, c));
+  }
+  return acc / static_cast<double>(a.size());
+}
+
+}  // namespace deepmvi

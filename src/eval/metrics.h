@@ -1,0 +1,21 @@
+#ifndef DEEPMVI_EVAL_METRICS_H_
+#define DEEPMVI_EVAL_METRICS_H_
+
+#include "tensor/mask.h"
+#include "tensor/matrix.h"
+
+namespace deepmvi {
+
+/// Mean absolute error over the missing cells of `mask` (Eq. 1 with MAE).
+double MaeOnMissing(const Matrix& imputed, const Matrix& truth, const Mask& mask);
+
+/// Root mean squared error over the missing cells of `mask`.
+double RmseOnMissing(const Matrix& imputed, const Matrix& truth, const Mask& mask);
+
+/// MAE over every cell (used by downstream-analytics comparisons where the
+/// aggregated series have no mask).
+double Mae(const Matrix& a, const Matrix& b);
+
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_EVAL_METRICS_H_

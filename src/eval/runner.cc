@@ -1,0 +1,60 @@
+#include "eval/runner.h"
+
+#include "common/stopwatch.h"
+#include "eval/analytics.h"
+#include "eval/metrics.h"
+
+namespace deepmvi {
+
+ExperimentResult RunExperimentWithMask(const DataTensor& data, const Mask& mask,
+                                       Imputer& imputer) {
+  DMVI_CHECK_EQ(data.num_series(), mask.rows());
+  DMVI_CHECK_EQ(data.num_times(), mask.cols());
+
+  auto stats = data.ComputeNormalization(mask);
+  DataTensor normalized = data.Normalized(stats);
+
+  Stopwatch watch;
+  Matrix imputed = imputer.Impute(normalized, mask);
+  const double seconds = watch.ElapsedSeconds();
+  DMVI_CHECK(imputed.AllFinite())
+      << imputer.name() << " produced non-finite imputations";
+
+  ExperimentResult result;
+  result.imputer_name = imputer.name();
+  result.mae = MaeOnMissing(imputed, normalized.values(), mask);
+  result.rmse = RmseOnMissing(imputed, normalized.values(), mask);
+  result.analytics_gain = AnalyticsGainOverDropCell(
+      normalized, normalized.values(), imputed, mask);
+  result.runtime_seconds = seconds;
+  result.missing_cells = mask.CountMissing();
+  return result;
+}
+
+ExperimentResult RunExperiment(const DataTensor& data,
+                               const ScenarioConfig& scenario,
+                               Imputer& imputer) {
+  Mask mask = GenerateScenario(scenario, data.num_series(), data.num_times());
+  ExperimentResult result = RunExperimentWithMask(data, mask, imputer);
+  result.scenario_name = ScenarioName(scenario.kind);
+  return result;
+}
+
+ImputedSeries ImputeAndExtractSeries(const DataTensor& data, const Mask& mask,
+                                     Imputer& imputer, int series_row) {
+  auto stats = data.ComputeNormalization(mask);
+  DataTensor normalized = data.Normalized(stats);
+  Matrix imputed_norm = imputer.Impute(normalized, mask);
+  Matrix imputed = DataTensor::Denormalize(imputed_norm, stats);
+
+  ImputedSeries out;
+  out.truth = data.values().Row(series_row);
+  out.imputed = imputed.Row(series_row);
+  out.missing.resize(data.num_times());
+  for (int t = 0; t < data.num_times(); ++t) {
+    out.missing[t] = mask.missing(series_row, t);
+  }
+  return out;
+}
+
+}  // namespace deepmvi

@@ -1,0 +1,49 @@
+#ifndef DEEPMVI_EVAL_RUNNER_H_
+#define DEEPMVI_EVAL_RUNNER_H_
+
+#include <string>
+
+#include "data/imputer.h"
+#include "scenario/scenarios.h"
+
+namespace deepmvi {
+
+/// Outcome of one (dataset, scenario, imputer) experiment.
+struct ExperimentResult {
+  std::string imputer_name;
+  std::string scenario_name;
+  double mae = 0.0;
+  double rmse = 0.0;
+  /// Fig 11 metric: MAE(DropCell) - MAE(method) on the aggregate series.
+  double analytics_gain = 0.0;
+  double runtime_seconds = 0.0;
+  int64_t missing_cells = 0;
+};
+
+/// Runs the benchmark protocol used throughout Sec 5 (mirroring the
+/// imputation benchmark of Khayati et al. 2020):
+///   1. generate the missing-value mask for `scenario`,
+///   2. z-score normalize each series using its available cells,
+///   3. run the imputer on the normalized masked data,
+///   4. report MAE/RMSE on the missing cells in normalized units and the
+///      downstream analytics gain of Sec 5.7.
+ExperimentResult RunExperiment(const DataTensor& data,
+                               const ScenarioConfig& scenario, Imputer& imputer);
+
+/// Same protocol with a pre-built mask.
+ExperimentResult RunExperimentWithMask(const DataTensor& data, const Mask& mask,
+                                       Imputer& imputer);
+
+/// One imputed series (denormalized) together with its ground truth, for
+/// the visual-comparison figure (Fig 4).
+struct ImputedSeries {
+  std::vector<double> truth;
+  std::vector<double> imputed;
+  std::vector<bool> missing;
+};
+ImputedSeries ImputeAndExtractSeries(const DataTensor& data, const Mask& mask,
+                                     Imputer& imputer, int series_row);
+
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_EVAL_RUNNER_H_

@@ -1,0 +1,93 @@
+#include "linalg/centroid.h"
+
+#include <cmath>
+
+namespace deepmvi {
+
+std::vector<int> MaximizingSignVector(const Matrix& x, int max_flips) {
+  const int m = x.rows();
+  const int n = x.cols();
+  if (max_flips < 0) max_flips = 4 * m + 16;
+  std::vector<int> z(m, 1);
+
+  // s = X^T z, maintained incrementally. Objective = ||s||^2.
+  std::vector<double> s(n, 0.0);
+  for (int i = 0; i < m; ++i) {
+    const double* row = x.row_ptr(i);
+    for (int j = 0; j < n; ++j) s[j] += row[j];
+  }
+  // Row squared norms, reused for all flip gains.
+  std::vector<double> row_norm2(m, 0.0);
+  for (int i = 0; i < m; ++i) {
+    const double* row = x.row_ptr(i);
+    double acc = 0.0;
+    for (int j = 0; j < n; ++j) acc += row[j] * row[j];
+    row_norm2[i] = acc;
+  }
+
+  for (int flip = 0; flip < max_flips; ++flip) {
+    // Gain of flipping row i: ||s - 2 z_i x_i||^2 - ||s||^2
+    //                       = -4 z_i <x_i, s> + 4 ||x_i||^2.
+    int best = -1;
+    double best_gain = 1e-12;
+    for (int i = 0; i < m; ++i) {
+      const double* row = x.row_ptr(i);
+      double dot = 0.0;
+      for (int j = 0; j < n; ++j) dot += row[j] * s[j];
+      const double gain = -4.0 * z[i] * dot + 4.0 * row_norm2[i];
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    if (best < 0) break;
+    const double* row = x.row_ptr(best);
+    for (int j = 0; j < n; ++j) s[j] -= 2.0 * z[best] * row[j];
+    z[best] = -z[best];
+  }
+  return z;
+}
+
+CentroidResult CentroidDecomposition(const Matrix& x, int rank) {
+  DMVI_CHECK_GT(rank, 0);
+  DMVI_CHECK_LE(rank, std::min(x.rows(), x.cols()));
+  const int m = x.rows();
+  const int n = x.cols();
+  Matrix residual = x;
+  CentroidResult result;
+  result.l = Matrix(m, rank);
+  result.r = Matrix(n, rank);
+
+  for (int k = 0; k < rank; ++k) {
+    std::vector<int> z = MaximizingSignVector(residual);
+    // r_k = residual^T z / ||residual^T z||.
+    std::vector<double> r(n, 0.0);
+    for (int i = 0; i < m; ++i) {
+      const double* row = residual.row_ptr(i);
+      const double zi = z[i];
+      for (int j = 0; j < n; ++j) r[j] += zi * row[j];
+    }
+    double norm = Norm(r);
+    if (norm < 1e-300) {
+      // Residual is (numerically) zero: remaining components are zero.
+      break;
+    }
+    for (auto& v : r) v /= norm;
+    // l_k = residual * r_k, then deflate.
+    for (int i = 0; i < m; ++i) {
+      const double* row = residual.row_ptr(i);
+      double acc = 0.0;
+      for (int j = 0; j < n; ++j) acc += row[j] * r[j];
+      result.l(i, k) = acc;
+    }
+    for (int j = 0; j < n; ++j) result.r(j, k) = r[j];
+    for (int i = 0; i < m; ++i) {
+      double* row = residual.row_ptr(i);
+      const double li = result.l(i, k);
+      for (int j = 0; j < n; ++j) row[j] -= li * r[j];
+    }
+  }
+  return result;
+}
+
+}  // namespace deepmvi

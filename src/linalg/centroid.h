@@ -1,0 +1,35 @@
+#ifndef DEEPMVI_LINALG_CENTROID_H_
+#define DEEPMVI_LINALG_CENTROID_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace deepmvi {
+
+/// Centroid decomposition X ~= L * R^T of an m x n matrix, truncated to
+/// `rank` components. L is m x rank ("loading"), R is n x rank ("relevance")
+/// with unit-norm columns. This is the decomposition underlying CDRec
+/// (Khayati et al., "Scalable recovery of missing blocks in time series
+/// with high and low cross-correlations", KAIS 2019).
+struct CentroidResult {
+  Matrix l;
+  Matrix r;
+
+  Matrix Reconstruct() const { return l.MatMulTranspose(r); }
+};
+
+/// Finds the sign vector z in {-1,+1}^m maximizing ||X^T z|| using the
+/// greedy Scalable-Sign-Vector iteration: starting from all ones, flip the
+/// single sign with the largest positive gain until no flip improves the
+/// objective. Exposed for unit testing.
+std::vector<int> MaximizingSignVector(const Matrix& x, int max_flips = -1);
+
+/// Computes the rank-`rank` centroid decomposition by repeated deflation:
+/// each pass extracts the centroid direction r_i = X^T z / ||X^T z||,
+/// loading l_i = X r_i, then deflates X <- X - l_i r_i^T.
+CentroidResult CentroidDecomposition(const Matrix& x, int rank);
+
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_LINALG_CENTROID_H_

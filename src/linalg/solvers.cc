@@ -1,0 +1,222 @@
+#include "linalg/solvers.h"
+
+#include <cmath>
+
+namespace deepmvi {
+
+StatusOr<Matrix> CholeskyFactor(const Matrix& a) {
+  DMVI_CHECK_EQ(a.rows(), a.cols());
+  const int n = a.rows();
+  Matrix l(n, n);
+  for (int j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (int k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::NotConverged("Cholesky: non-positive pivot at " +
+                                  std::to_string(j));
+    }
+    l(j, j) = std::sqrt(diag);
+    const double inv = 1.0 / l(j, j);
+    for (int i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (int k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      l(i, j) = acc * inv;
+    }
+  }
+  return l;
+}
+
+Matrix CholeskySolve(const Matrix& l, const Matrix& b) {
+  DMVI_CHECK_EQ(l.rows(), l.cols());
+  DMVI_CHECK_EQ(l.rows(), b.rows());
+  const int n = l.rows();
+  Matrix x = b;
+  // Forward substitution: L y = b.
+  for (int c = 0; c < x.cols(); ++c) {
+    for (int i = 0; i < n; ++i) {
+      double acc = x(i, c);
+      for (int k = 0; k < i; ++k) acc -= l(i, k) * x(k, c);
+      x(i, c) = acc / l(i, i);
+    }
+    // Back substitution: L^T x = y.
+    for (int i = n - 1; i >= 0; --i) {
+      double acc = x(i, c);
+      for (int k = i + 1; k < n; ++k) acc -= l(k, i) * x(k, c);
+      x(i, c) = acc / l(i, i);
+    }
+  }
+  return x;
+}
+
+Matrix SolveSpd(const Matrix& a, const Matrix& b) {
+  double jitter = 0.0;
+  const double scale = std::max(a.MaxAbs(), 1e-12);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    Matrix regularized = a;
+    if (jitter > 0.0) {
+      for (int i = 0; i < a.rows(); ++i) regularized(i, i) += jitter;
+    }
+    StatusOr<Matrix> l = CholeskyFactor(regularized);
+    if (l.ok()) return CholeskySolve(*l, b);
+    jitter = jitter == 0.0 ? 1e-10 * scale : jitter * 100.0;
+  }
+  DMVI_LOG(Fatal) << "SolveSpd: matrix remained non-SPD after max jitter";
+  return b;  // Unreachable.
+}
+
+Matrix RidgeSolve(const Matrix& a, const Matrix& b, double lambda) {
+  DMVI_CHECK_GE(lambda, 0.0);
+  Matrix gram = a.TransposeMatMul(a);
+  for (int i = 0; i < gram.rows(); ++i) gram(i, i) += lambda;
+  Matrix rhs = a.TransposeMatMul(b);
+  return SolveSpd(gram, rhs);
+}
+
+QrResult HouseholderQr(const Matrix& a) {
+  DMVI_CHECK_GE(a.rows(), a.cols());
+  const int m = a.rows();
+  const int n = a.cols();
+  Matrix r = a;
+  // Accumulate Householder vectors; apply to identity afterwards.
+  std::vector<std::vector<double>> vs;
+  vs.reserve(n);
+  for (int k = 0; k < n; ++k) {
+    // Build the Householder vector for column k.
+    double norm = 0.0;
+    for (int i = k; i < m; ++i) norm += r(i, k) * r(i, k);
+    norm = std::sqrt(norm);
+    std::vector<double> v(m, 0.0);
+    if (norm < 1e-300) {
+      vs.push_back(std::move(v));
+      continue;
+    }
+    const double alpha = r(k, k) >= 0 ? -norm : norm;
+    double vnorm2 = 0.0;
+    v[k] = r(k, k) - alpha;
+    for (int i = k + 1; i < m; ++i) v[i] = r(i, k);
+    for (int i = k; i < m; ++i) vnorm2 += v[i] * v[i];
+    if (vnorm2 < 1e-300) {
+      vs.push_back(std::move(v));
+      continue;
+    }
+    const double beta = 2.0 / vnorm2;
+    // Apply H = I - beta v v^T to the trailing block of R.
+    for (int j = k; j < n; ++j) {
+      double dot = 0.0;
+      for (int i = k; i < m; ++i) dot += v[i] * r(i, j);
+      const double f = beta * dot;
+      for (int i = k; i < m; ++i) r(i, j) -= f * v[i];
+    }
+    vs.push_back(std::move(v));
+  }
+  // Build thin Q by applying the reflectors in reverse to the first n
+  // columns of the identity.
+  Matrix q(m, n);
+  for (int j = 0; j < n; ++j) q(j, j) = 1.0;
+  for (int k = n - 1; k >= 0; --k) {
+    const auto& v = vs[k];
+    double vnorm2 = 0.0;
+    for (int i = k; i < m; ++i) vnorm2 += v[i] * v[i];
+    if (vnorm2 < 1e-300) continue;
+    const double beta = 2.0 / vnorm2;
+    for (int j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (int i = k; i < m; ++i) dot += v[i] * q(i, j);
+      const double f = beta * dot;
+      for (int i = k; i < m; ++i) q(i, j) -= f * v[i];
+    }
+  }
+  QrResult result;
+  result.q = std::move(q);
+  result.r = r.Block(0, 0, n, n);
+  return result;
+}
+
+Matrix LeastSquaresSolve(const Matrix& a, const Matrix& b) {
+  DMVI_CHECK_EQ(a.rows(), b.rows());
+  if (a.rows() >= a.cols()) {
+    QrResult qr = HouseholderQr(a);
+    Matrix rhs = qr.q.TransposeMatMul(b);
+    // Back substitution with upper-triangular R.
+    const int n = qr.r.rows();
+    Matrix x = rhs;
+    for (int c = 0; c < x.cols(); ++c) {
+      for (int i = n - 1; i >= 0; --i) {
+        double acc = x(i, c);
+        for (int k = i + 1; k < n; ++k) acc -= qr.r(i, k) * x(k, c);
+        const double piv = qr.r(i, i);
+        x(i, c) = std::fabs(piv) > 1e-300 ? acc / piv : 0.0;
+      }
+    }
+    return x;
+  }
+  // Underdetermined: fall back to a light ridge for a minimum-norm-ish
+  // solution; callers in this codebase never rely on exactness here.
+  return RidgeSolve(a, b, 1e-8);
+}
+
+StatusOr<Matrix> Inverse(const Matrix& a) {
+  DMVI_CHECK_EQ(a.rows(), a.cols());
+  const int n = a.rows();
+  Matrix aug = a;
+  Matrix inv = Matrix::Identity(n);
+  for (int col = 0; col < n; ++col) {
+    // Partial pivoting.
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::fabs(aug(r, col)) > std::fabs(aug(pivot, col))) pivot = r;
+    }
+    if (std::fabs(aug(pivot, col)) < 1e-300) {
+      return Status::NotConverged("Inverse: singular matrix");
+    }
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) {
+        std::swap(aug(pivot, c), aug(col, c));
+        std::swap(inv(pivot, c), inv(col, c));
+      }
+    }
+    const double inv_piv = 1.0 / aug(col, col);
+    for (int c = 0; c < n; ++c) {
+      aug(col, c) *= inv_piv;
+      inv(col, c) *= inv_piv;
+    }
+    for (int r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = aug(r, col);
+      if (f == 0.0) continue;
+      for (int c = 0; c < n; ++c) {
+        aug(r, c) -= f * aug(col, c);
+        inv(r, c) -= f * inv(col, c);
+      }
+    }
+  }
+  return inv;
+}
+
+double Determinant(const Matrix& a) {
+  DMVI_CHECK_EQ(a.rows(), a.cols());
+  const int n = a.rows();
+  Matrix lu = a;
+  double det = 1.0;
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::fabs(lu(r, col)) > std::fabs(lu(pivot, col))) pivot = r;
+    }
+    if (std::fabs(lu(pivot, col)) < 1e-300) return 0.0;
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) std::swap(lu(pivot, c), lu(col, c));
+      det = -det;
+    }
+    det *= lu(col, col);
+    const double inv_piv = 1.0 / lu(col, col);
+    for (int r = col + 1; r < n; ++r) {
+      const double f = lu(r, col) * inv_piv;
+      if (f == 0.0) continue;
+      for (int c = col; c < n; ++c) lu(r, c) -= f * lu(col, c);
+    }
+  }
+  return det;
+}
+
+}  // namespace deepmvi

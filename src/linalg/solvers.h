@@ -1,0 +1,48 @@
+#ifndef DEEPMVI_LINALG_SOLVERS_H_
+#define DEEPMVI_LINALG_SOLVERS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/matrix.h"
+
+namespace deepmvi {
+
+/// Cholesky factorization A = L * L^T of a symmetric positive-definite
+/// matrix. Returns NotConverged when a non-positive pivot is hit (matrix
+/// not SPD within numerical tolerance).
+StatusOr<Matrix> CholeskyFactor(const Matrix& a);
+
+/// Solves L * y = b then L^T * x = y for each column of b given the lower
+/// Cholesky factor `l`.
+Matrix CholeskySolve(const Matrix& l, const Matrix& b);
+
+/// Solves the SPD system A * x = b. Adds escalating diagonal jitter when
+/// the factorization fails, which is the behaviour wanted by the iterative
+/// EM / ALS callers (DynaMMO, TRMF).
+Matrix SolveSpd(const Matrix& a, const Matrix& b);
+
+/// Ridge regression: solves (A^T A + lambda I) x = A^T b.
+Matrix RidgeSolve(const Matrix& a, const Matrix& b, double lambda);
+
+/// Thin Householder QR: A (m x n, m >= n) = Q (m x n) * R (n x n).
+struct QrResult {
+  Matrix q;
+  Matrix r;
+};
+QrResult HouseholderQr(const Matrix& a);
+
+/// General least-squares solve min ||A x - b|| via QR.
+Matrix LeastSquaresSolve(const Matrix& a, const Matrix& b);
+
+/// Inverse of a small square matrix via Gauss-Jordan with partial pivoting.
+/// Intended for the tiny (latent-dimension sized) systems in DynaMMO's
+/// Kalman recursions. Returns NotConverged on singular input.
+StatusOr<Matrix> Inverse(const Matrix& a);
+
+/// 2x2 / general determinant via LU with partial pivoting (small matrices).
+double Determinant(const Matrix& a);
+
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_LINALG_SOLVERS_H_

@@ -1,0 +1,129 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace deepmvi {
+
+Matrix SvdResult::Reconstruct(int rank) const {
+  const int r = rank < 0 ? static_cast<int>(singular_values.size())
+                         : std::min<int>(rank, singular_values.size());
+  Matrix out(u.rows(), v.rows());
+  for (int k = 0; k < r; ++k) {
+    const double s = singular_values[k];
+    if (s == 0.0) continue;
+    for (int i = 0; i < u.rows(); ++i) {
+      const double us = u(i, k) * s;
+      if (us == 0.0) continue;
+      double* out_row = out.row_ptr(i);
+      for (int j = 0; j < v.rows(); ++j) out_row[j] += us * v(j, k);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// One-sided Jacobi on a tall (m >= n) matrix. Orthogonalizes column pairs
+/// of `w` in place while accumulating rotations into `v`.
+void OneSidedJacobi(Matrix& w, Matrix& v, int max_sweeps, double tol) {
+  const int n = w.cols();
+  const int m = w.rows();
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        // Gram entries for the column pair (p, q).
+        double alpha = 0.0, beta = 0.0, gamma = 0.0;
+        for (int i = 0; i < m; ++i) {
+          const double wp = w(i, p);
+          const double wq = w(i, q);
+          alpha += wp * wp;
+          beta += wq * wq;
+          gamma += wp * wq;
+        }
+        if (std::fabs(gamma) <= tol * std::sqrt(alpha * beta) || gamma == 0.0) {
+          continue;
+        }
+        converged = false;
+        // Jacobi rotation zeroing the off-diagonal Gram entry.
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (int i = 0; i < m; ++i) {
+          const double wp = w(i, p);
+          const double wq = w(i, q);
+          w(i, p) = c * wp - s * wq;
+          w(i, q) = s * wp + c * wq;
+        }
+        for (int i = 0; i < n; ++i) {
+          const double vp = v(i, p);
+          const double vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+}
+
+}  // namespace
+
+SvdResult JacobiSvd(const Matrix& a, int max_sweeps, double tol) {
+  DMVI_CHECK_GT(a.rows(), 0);
+  DMVI_CHECK_GT(a.cols(), 0);
+  const bool transposed = a.rows() < a.cols();
+  Matrix w = transposed ? a.Transpose() : a;
+  const int m = w.rows();
+  const int n = w.cols();
+  Matrix v = Matrix::Identity(n);
+  OneSidedJacobi(w, v, max_sweeps, tol);
+
+  // Column norms of the rotated matrix are the singular values.
+  std::vector<double> sigma(n, 0.0);
+  for (int j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (int i = 0; i < m; ++i) acc += w(i, j) * w(i, j);
+    sigma[j] = std::sqrt(acc);
+  }
+
+  // Sort columns by descending singular value.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int i, int j) { return sigma[i] > sigma[j]; });
+
+  Matrix u_sorted(m, n);
+  Matrix v_sorted(n, n);
+  std::vector<double> sigma_sorted(n);
+  for (int j = 0; j < n; ++j) {
+    const int src = order[j];
+    sigma_sorted[j] = sigma[src];
+    const double inv = sigma[src] > 1e-300 ? 1.0 / sigma[src] : 0.0;
+    for (int i = 0; i < m; ++i) u_sorted(i, j) = w(i, src) * inv;
+    for (int i = 0; i < n; ++i) v_sorted(i, j) = v(i, src);
+  }
+
+  SvdResult result;
+  if (transposed) {
+    // A^T = U S V^T  =>  A = V S U^T.
+    result.u = std::move(v_sorted);
+    result.v = std::move(u_sorted);
+  } else {
+    result.u = std::move(u_sorted);
+    result.v = std::move(v_sorted);
+  }
+  result.singular_values = std::move(sigma_sorted);
+  return result;
+}
+
+Matrix TruncatedSvdReconstruct(const Matrix& a, int rank) {
+  SvdResult svd = JacobiSvd(a);
+  return svd.Reconstruct(rank);
+}
+
+}  // namespace deepmvi

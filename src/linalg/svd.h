@@ -1,0 +1,38 @@
+#ifndef DEEPMVI_LINALG_SVD_H_
+#define DEEPMVI_LINALG_SVD_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace deepmvi {
+
+/// Result of a singular value decomposition A = U * diag(S) * V^T with
+/// U (m x r), S (r), V (n x r) and r = min(m, n). Singular values are
+/// sorted in non-increasing order.
+struct SvdResult {
+  Matrix u;
+  std::vector<double> singular_values;
+  Matrix v;
+
+  /// Reconstructs U * diag(S) * V^T using the top `rank` components
+  /// (all components when rank < 0).
+  Matrix Reconstruct(int rank = -1) const;
+};
+
+/// Computes the thin SVD of `a` with the one-sided Jacobi method.
+///
+/// One-sided Jacobi is chosen over Golub-Kahan bidiagonalization because it
+/// is simple, unconditionally convergent, and accurate for the modest
+/// matrix sizes used by the imputation baselines (hundreds of series by a
+/// few thousand time steps after truncation). `max_sweeps` bounds the
+/// number of full column-pair sweeps; `tol` is the orthogonality threshold
+/// relative to the column norms.
+SvdResult JacobiSvd(const Matrix& a, int max_sweeps = 60, double tol = 1e-12);
+
+/// Rank-`rank` truncated SVD reconstruction of `a` (convenience wrapper).
+Matrix TruncatedSvdReconstruct(const Matrix& a, int rank);
+
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_LINALG_SVD_H_

@@ -1,0 +1,46 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace deepmvi {
+namespace nn {
+
+double Adam::Step(const ad::Tape& tape) {
+  ++step_;
+  // Global gradient norm across all participating parameters.
+  double norm2 = 0.0;
+  for (const auto& p : store_->params()) {
+    if (!p->on_tape(tape)) continue;
+    norm2 += p->var().grad().SquaredNorm();
+  }
+  const double norm = std::sqrt(norm2);
+  double scale = 1.0;
+  if (config_.clip_norm > 0.0 && norm > config_.clip_norm) {
+    scale = config_.clip_norm / norm;
+  }
+
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(step_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(step_));
+  for (const auto& p : store_->params()) {
+    if (!p->on_tape(tape)) continue;
+    const Matrix& g = p->var().grad();
+    Matrix& value = p->value();
+    Matrix& m = p->adam_m();
+    Matrix& v = p->adam_v();
+    for (int r = 0; r < value.rows(); ++r) {
+      for (int c = 0; c < value.cols(); ++c) {
+        const double grad = g(r, c) * scale;
+        m(r, c) = config_.beta1 * m(r, c) + (1.0 - config_.beta1) * grad;
+        v(r, c) = config_.beta2 * v(r, c) + (1.0 - config_.beta2) * grad * grad;
+        const double m_hat = m(r, c) / bc1;
+        const double v_hat = v(r, c) / bc2;
+        value(r, c) -=
+            config_.learning_rate * m_hat / (std::sqrt(v_hat) + config_.epsilon);
+      }
+    }
+  }
+  return norm;
+}
+
+}  // namespace nn
+}  // namespace deepmvi

@@ -1,0 +1,43 @@
+#ifndef DEEPMVI_NN_ADAM_H_
+#define DEEPMVI_NN_ADAM_H_
+
+#include "nn/parameter.h"
+
+namespace deepmvi {
+namespace nn {
+
+/// Adam configuration; defaults follow the paper (lr = 1e-3, Sec 4.3).
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  /// Global gradient-norm clip; <= 0 disables clipping.
+  double clip_norm = 5.0;
+};
+
+/// Adam optimizer over a ParameterStore. Parameters that did not
+/// participate in the current tape's graph are skipped.
+class Adam {
+ public:
+  explicit Adam(ParameterStore* store, AdamConfig config = {})
+      : store_(store), config_(config) {}
+
+  /// Applies one update using the gradients accumulated on `tape` by the
+  /// preceding Tape::Backward call. Returns the (pre-clip) global gradient
+  /// norm, useful for diagnostics.
+  double Step(const ad::Tape& tape);
+
+  int64_t num_steps() const { return step_; }
+  AdamConfig& config() { return config_; }
+
+ private:
+  ParameterStore* store_;
+  AdamConfig config_;
+  int64_t step_ = 0;
+};
+
+}  // namespace nn
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_NN_ADAM_H_

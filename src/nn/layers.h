@@ -1,0 +1,151 @@
+#ifndef DEEPMVI_NN_LAYERS_H_
+#define DEEPMVI_NN_LAYERS_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace deepmvi {
+namespace nn {
+
+/// Affine layer y = x W + b with x of shape N x in_features.
+class Linear {
+ public:
+  Linear() = default;
+  Linear(ParameterStore* store, const std::string& name, int in_features,
+         int out_features, Rng& rng);
+
+  ad::Var Forward(ad::Tape& tape, const ad::Var& x) const;
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+
+ private:
+  int in_features_ = 0;
+  int out_features_ = 0;
+  Parameter* weight_ = nullptr;  // in x out
+  Parameter* bias_ = nullptr;    // 1 x out
+};
+
+/// Embedding table lookup: indices -> rows of a num_embeddings x dim table.
+class Embedding {
+ public:
+  Embedding() = default;
+  Embedding(ParameterStore* store, const std::string& name, int num_embeddings,
+            int dim, Rng& rng);
+
+  ad::Var Forward(ad::Tape& tape, const std::vector<int>& indices) const;
+
+  /// Whole table on the tape (for pairwise-distance style uses).
+  ad::Var Table(ad::Tape& tape) const;
+
+  /// Read-only access to the current table values.
+  const Matrix& table_value() const { return table_->value(); }
+
+  int dim() const { return dim_; }
+  int num_embeddings() const { return num_embeddings_; }
+
+ private:
+  int num_embeddings_ = 0;
+  int dim_ = 0;
+  Parameter* table_ = nullptr;
+};
+
+/// Non-overlapping 1-D convolution (Eq. 7 of the paper): splits a length-T
+/// series into T/w contiguous windows and applies a shared linear map
+/// R^w -> R^p to each. Input is 1 x T (T divisible by w); output is
+/// (T/w) x p, one feature row per window.
+class Conv1dNonOverlap {
+ public:
+  Conv1dNonOverlap() = default;
+  Conv1dNonOverlap(ParameterStore* store, const std::string& name, int window,
+                   int filters, Rng& rng);
+
+  ad::Var Forward(ad::Tape& tape, const ad::Var& series) const;
+
+  int window() const { return window_; }
+  int filters() const { return filters_; }
+
+ private:
+  int window_ = 0;
+  int filters_ = 0;
+  Linear linear_;
+};
+
+/// Two-layer feed-forward block with ReLU activations, used by the
+/// transformer decoders (Eq. 13).
+class FeedForward {
+ public:
+  FeedForward() = default;
+  FeedForward(ParameterStore* store, const std::string& name, int in_features,
+              int hidden, int out_features, Rng& rng);
+
+  ad::Var Forward(ad::Tape& tape, const ad::Var& x) const;
+
+ private:
+  Linear fc1_;
+  Linear fc2_;
+};
+
+/// Sinusoidal positional encoding table (Eq. 2): returns a length x dim
+/// constant matrix with e[t, 2i] = sin(t / 10000^{2i/dim}) and
+/// e[t, 2i+1] = cos(t / 10000^{2i/dim}).
+Matrix SinusoidalPositionalEncoding(int length, int dim);
+
+/// Configuration for vanilla multi-head self-attention.
+struct AttentionConfig {
+  int model_dim = 32;
+  int num_heads = 4;
+};
+
+/// Standard multi-head self-attention (Sec 2.3.2), used by the vanilla
+/// Transformer baseline. Keys/queries/values are linear maps of the input;
+/// `key_avail` (length x 1, 0/1) removes unavailable key positions from
+/// every query's softmax.
+class MultiHeadSelfAttention {
+ public:
+  MultiHeadSelfAttention() = default;
+  MultiHeadSelfAttention(ParameterStore* store, const std::string& name,
+                         const AttentionConfig& config, Rng& rng);
+
+  /// x: T x model_dim. Returns T x model_dim.
+  ad::Var Forward(ad::Tape& tape, const ad::Var& x,
+                  const std::vector<double>& key_avail) const;
+
+  int model_dim() const { return config_.model_dim; }
+
+ private:
+  AttentionConfig config_;
+  int head_dim_ = 0;
+  std::vector<Linear> q_;
+  std::vector<Linear> k_;
+  std::vector<Linear> v_;
+  Linear out_;
+};
+
+/// Gated recurrent unit cell, used by the BRITS baseline.
+/// State update for input x (1 x in) and state h (1 x hidden).
+class GruCell {
+ public:
+  GruCell() = default;
+  GruCell(ParameterStore* store, const std::string& name, int input_dim,
+          int hidden_dim, Rng& rng);
+
+  ad::Var Forward(ad::Tape& tape, const ad::Var& x, const ad::Var& h) const;
+
+  int hidden_dim() const { return hidden_dim_; }
+  int input_dim() const { return input_dim_; }
+
+ private:
+  int input_dim_ = 0;
+  int hidden_dim_ = 0;
+  Linear xz_, hz_;  // update gate
+  Linear xr_, hr_;  // reset gate
+  Linear xh_, hh_;  // candidate
+};
+
+}  // namespace nn
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_NN_LAYERS_H_

@@ -1,0 +1,23 @@
+#include "nn/parameter.h"
+
+#include <cmath>
+
+namespace deepmvi {
+namespace nn {
+
+Matrix XavierUniform(int fan_in, int fan_out, Rng& rng) {
+  const double limit = std::sqrt(6.0 / (fan_in + fan_out));
+  return Matrix::RandomUniform(fan_in, fan_out, rng, -limit, limit);
+}
+
+Matrix HeNormal(int fan_in, int fan_out, Rng& rng) {
+  const double stddev = std::sqrt(2.0 / fan_in);
+  return Matrix::RandomGaussian(fan_in, fan_out, rng, 0.0, stddev);
+}
+
+Matrix GaussianInit(int rows, int cols, Rng& rng, double stddev) {
+  return Matrix::RandomGaussian(rows, cols, rng, 0.0, stddev);
+}
+
+}  // namespace nn
+}  // namespace deepmvi

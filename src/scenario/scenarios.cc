@@ -1,0 +1,113 @@
+#include "scenario/scenarios.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace deepmvi {
+namespace {
+
+/// Marks `count` cells of series `r` missing in blocks of `block_size`,
+/// placed uniformly at random without overlapping existing missing cells.
+void PlaceRandomBlocks(Mask& mask, int r, int count, int block_size, Rng& rng) {
+  const int t_len = mask.cols();
+  int placed = 0;
+  int attempts = 0;
+  const int max_attempts = 200 * (count / std::max(block_size, 1) + 4);
+  while (placed < count && attempts < max_attempts) {
+    ++attempts;
+    const int len = std::min(block_size, count - placed);
+    if (t_len - len < 0) break;
+    const int t0 = rng.UniformInt(t_len - len + 1);
+    bool clash = false;
+    for (int t = t0; t < t0 + len; ++t) {
+      if (mask.missing(r, t)) {
+        clash = true;
+        break;
+      }
+    }
+    if (clash) continue;
+    mask.SetMissingRange(r, t0, t0 + len);
+    placed += len;
+  }
+}
+
+}  // namespace
+
+Mask GenerateScenario(const ScenarioConfig& config, int num_series,
+                      int num_times) {
+  DMVI_CHECK_GT(num_series, 0);
+  DMVI_CHECK_GT(num_times, 0);
+  Rng rng(config.seed);
+  Mask mask(num_series, num_times);
+
+  const int num_incomplete = std::clamp(
+      static_cast<int>(std::lround(config.percent_incomplete * num_series)), 1,
+      num_series);
+
+  switch (config.kind) {
+    case ScenarioKind::kMcar:
+    case ScenarioKind::kMissPoint: {
+      std::vector<int> rows = rng.SampleWithoutReplacement(
+          num_series,
+          config.kind == ScenarioKind::kMissPoint ? num_series : num_incomplete);
+      for (int r : rows) {
+        const int count = std::max(
+            1, static_cast<int>(std::lround(config.missing_fraction * num_times)));
+        PlaceRandomBlocks(mask, r, count, config.block_size, rng);
+      }
+      break;
+    }
+    case ScenarioKind::kMissDisj: {
+      const int block = std::max(num_times / num_series, 1);
+      for (int i = 0; i < num_incomplete; ++i) {
+        mask.SetMissingRange(i, i * block, (i + 1) * block);
+      }
+      break;
+    }
+    case ScenarioKind::kMissOver: {
+      const int block = std::max(num_times / num_series, 1);
+      for (int i = 0; i < num_incomplete; ++i) {
+        const bool last = i == num_series - 1;
+        const int len = last ? block : 2 * block;
+        mask.SetMissingRange(i, i * block, i * block + len);
+      }
+      break;
+    }
+    case ScenarioKind::kBlackout: {
+      int t0 = static_cast<int>(std::lround(config.blackout_start_fraction *
+                                            num_times));
+      t0 = std::clamp(t0, 0, std::max(num_times - config.block_size, 0));
+      for (int r = 0; r < num_series; ++r) {
+        mask.SetMissingRange(r, t0, t0 + config.block_size);
+      }
+      break;
+    }
+  }
+  DMVI_CHECK_GT(mask.CountMissing(), 0) << "scenario produced no missing cells";
+  return mask;
+}
+
+std::string ScenarioName(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kMcar:
+      return "MCAR";
+    case ScenarioKind::kMissDisj:
+      return "MissDisj";
+    case ScenarioKind::kMissOver:
+      return "MissOver";
+    case ScenarioKind::kBlackout:
+      return "Blackout";
+    case ScenarioKind::kMissPoint:
+      return "MissPoint";
+  }
+  return "Unknown";
+}
+
+std::vector<ScenarioKind> HeadlineScenarios() {
+  return {ScenarioKind::kMcar, ScenarioKind::kMissDisj, ScenarioKind::kMissOver,
+          ScenarioKind::kBlackout};
+}
+
+}  // namespace deepmvi

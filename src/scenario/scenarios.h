@@ -1,0 +1,59 @@
+#ifndef DEEPMVI_SCENARIO_SCENARIOS_H_
+#define DEEPMVI_SCENARIO_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/mask.h"
+
+namespace deepmvi {
+
+/// The paper's missing-value scenarios (Sec 5.1.2 and 5.5.3).
+enum class ScenarioKind {
+  /// MCAR: each incomplete series loses 10% of its data in random blocks
+  /// of constant size `block_size` (default 10). `percent_incomplete`
+  /// controls how many series have missing data.
+  kMcar,
+  /// MissDisj: series i misses the range [i*T/N, (i+1)*T/N); blocks are
+  /// disjoint across series.
+  kMissDisj,
+  /// MissOver: like MissDisj but blocks are twice as long so consecutive
+  /// series overlap (the last series keeps length T/N).
+  kMissOver,
+  /// Blackout: all series miss the same range [t0, t0 + block_size).
+  kBlackout,
+  /// MissPoint: MCAR variant of Sec 5.5.3 — total missing fraction fixed
+  /// at `missing_fraction` with block size varied via `block_size`.
+  kMissPoint,
+};
+
+/// Parameters for GenerateScenario.
+struct ScenarioConfig {
+  ScenarioKind kind = ScenarioKind::kMcar;
+  /// Fraction of series that are incomplete, in (0, 1]. (MCAR / MissDisj /
+  /// MissOver; Blackout always affects all series.)
+  double percent_incomplete = 0.1;
+  /// Missing fraction within an incomplete series (MCAR, MissPoint).
+  double missing_fraction = 0.1;
+  /// Block size (MCAR block length, Blackout length, MissPoint length).
+  int block_size = 10;
+  /// Blackout start position as a fraction of T (paper fixes t = 5%).
+  double blackout_start_fraction = 0.05;
+  uint64_t seed = 1;
+};
+
+/// Builds the availability mask for `config` over an num_series x
+/// num_times dataset. Ground truth is retained by the caller (the mask
+/// only says which cells the imputation algorithms may read).
+Mask GenerateScenario(const ScenarioConfig& config, int num_series, int num_times);
+
+/// Human-readable name ("MCAR", "MissDisj", ...).
+std::string ScenarioName(ScenarioKind kind);
+
+/// The four headline scenarios of Sec 5.1.2 (excludes MissPoint).
+std::vector<ScenarioKind> HeadlineScenarios();
+
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_SCENARIO_SCENARIOS_H_

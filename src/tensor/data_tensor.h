@@ -1,0 +1,94 @@
+#ifndef DEEPMVI_TENSOR_DATA_TENSOR_H_
+#define DEEPMVI_TENSOR_DATA_TENSOR_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/mask.h"
+#include "tensor/matrix.h"
+
+namespace deepmvi {
+
+/// One non-time dimension of a multidimensional time-series dataset
+/// (Sec 2.1 of the paper): a name and its discrete members.
+struct Dimension {
+  std::string name;
+  std::vector<std::string> members;
+
+  int size() const { return static_cast<int>(members.size()); }
+};
+
+/// Multidimensional time-series dataset: the paper's (n+1)-dimensional
+/// tensor X with dimensions (K_1, ..., K_n, T). The values are stored as a
+/// flattened series-major matrix whose rows enumerate the cartesian product
+/// of the non-time dimensions in row-major (last dimension fastest) order.
+///
+/// A 1-dimensional dataset (plain collection of N series) is the n=1
+/// special case with a single anonymous dimension of N members.
+class DataTensor {
+ public:
+  DataTensor() = default;
+
+  /// Multidimensional constructor. `values` must have prod(|K_i|) rows.
+  DataTensor(std::vector<Dimension> dims, Matrix values);
+
+  /// 1-dimensional convenience constructor: rows of `values` become members
+  /// "s0", "s1", ... of a single dimension named `dim_name`.
+  static DataTensor FromMatrix(Matrix values, const std::string& dim_name = "series");
+
+  // ---- Shape ------------------------------------------------------------
+
+  int num_dims() const { return static_cast<int>(dims_.size()); }
+  const Dimension& dim(int i) const { return dims_[i]; }
+  const std::vector<Dimension>& dims() const { return dims_; }
+  /// Number of flattened series (= prod of dimension sizes).
+  int num_series() const { return values_.rows(); }
+  /// Length of the time axis.
+  int num_times() const { return values_.cols(); }
+
+  // ---- Values -------------------------------------------------------------
+
+  const Matrix& values() const { return values_; }
+  Matrix& values() { return values_; }
+
+  // ---- Index mapping --------------------------------------------------------
+
+  /// Flattens the multidimensional index k = (k_1, ..., k_n) to a row id.
+  int FlattenIndex(const std::vector<int>& k) const;
+
+  /// Expands a row id into its multidimensional index.
+  std::vector<int> UnflattenRow(int row) const;
+
+  /// All sibling rows of `row` along dimension `dim_index`: rows whose
+  /// multi-index differs from `row`'s only in dimension `dim_index`
+  /// (Eq. 16). The returned list excludes `row` itself.
+  std::vector<int> Siblings(int row, int dim_index) const;
+
+  /// Collapses all non-time dimensions into one, as done by the
+  /// DeepMVI1D ablation and by all matrix-based baselines (Sec 5.5.4).
+  DataTensor Flattened1D() const;
+
+  /// Per-series z-score normalization statistics computed over the cells
+  /// available in `mask`. Degenerate series (no available cells or zero
+  /// variance) get mean of available global data and stddev 1.
+  struct NormalizationStats {
+    std::vector<double> mean;
+    std::vector<double> stddev;
+  };
+  NormalizationStats ComputeNormalization(const Mask& mask) const;
+
+  /// Returns a copy with each series z-scored using `stats`.
+  DataTensor Normalized(const NormalizationStats& stats) const;
+
+  /// Inverse of Normalized for an arbitrary matrix of the same shape.
+  static Matrix Denormalize(const Matrix& values, const NormalizationStats& stats);
+
+ private:
+  std::vector<Dimension> dims_;
+  std::vector<int> strides_;  // row = sum_i k_i * strides_[i]
+  Matrix values_;             // num_series x num_times
+};
+
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_TENSOR_DATA_TENSOR_H_

@@ -1,0 +1,83 @@
+#include "tensor/mask.h"
+
+#include <algorithm>
+
+namespace deepmvi {
+
+Mask::Mask(int rows, int cols, bool available)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<size_t>(rows) * cols, available ? 1 : 0) {
+  DMVI_CHECK_GE(rows, 0);
+  DMVI_CHECK_GE(cols, 0);
+}
+
+void Mask::SetMissingRange(int r, int t0, int t1) {
+  t0 = std::max(t0, 0);
+  t1 = std::min(t1, cols_);
+  for (int t = t0; t < t1; ++t) set_available(r, t, false);
+}
+
+int64_t Mask::CountMissing() const {
+  int64_t count = 0;
+  for (uint8_t v : data_) count += (v == 0);
+  return count;
+}
+
+double Mask::MissingFraction() const {
+  if (size() == 0) return 0.0;
+  return static_cast<double>(CountMissing()) / static_cast<double>(size());
+}
+
+std::vector<CellIndex> Mask::MissingIndices() const {
+  std::vector<CellIndex> out;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      if (!available(r, c)) out.push_back({r, c});
+    }
+  }
+  return out;
+}
+
+std::vector<CellIndex> Mask::AvailableIndices() const {
+  std::vector<CellIndex> out;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      if (available(r, c)) out.push_back({r, c});
+    }
+  }
+  return out;
+}
+
+std::vector<int> Mask::MissingBlockLengths() const {
+  std::vector<int> out;
+  for (int r = 0; r < rows_; ++r) {
+    int run = 0;
+    for (int c = 0; c < cols_; ++c) {
+      if (!available(r, c)) {
+        ++run;
+      } else if (run > 0) {
+        out.push_back(run);
+        run = 0;
+      }
+    }
+    if (run > 0) out.push_back(run);
+  }
+  return out;
+}
+
+Mask Mask::And(const Mask& other) const {
+  DMVI_CHECK_EQ(rows_, other.rows_);
+  DMVI_CHECK_EQ(cols_, other.cols_);
+  Mask out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = (data_[i] != 0 && other.data_[i] != 0) ? 1 : 0;
+  }
+  return out;
+}
+
+bool Mask::operator==(const Mask& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+}
+
+}  // namespace deepmvi

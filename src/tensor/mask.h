@@ -1,0 +1,87 @@
+#ifndef DEEPMVI_TENSOR_MASK_H_
+#define DEEPMVI_TENSOR_MASK_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace deepmvi {
+
+/// A (series, time) cell index.
+struct CellIndex {
+  int series = 0;
+  int time = 0;
+
+  friend bool operator==(const CellIndex& a, const CellIndex& b) {
+    return a.series == b.series && a.time == b.time;
+  }
+};
+
+/// Availability mask over a series-major matrix: `available(r, t)` is true
+/// when the value X(r, t) is observed. This is the paper's tensor `A`
+/// (with `M = 1 - A` the missing mask).
+class Mask {
+ public:
+  Mask() : rows_(0), cols_(0) {}
+
+  /// All-available mask of the given shape.
+  Mask(int rows, int cols, bool available = true);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int64_t size() const { return static_cast<int64_t>(rows_) * cols_; }
+
+  bool available(int r, int c) const {
+    DMVI_CHECK_GE(r, 0);
+    DMVI_CHECK_LT(r, rows_);
+    DMVI_CHECK_GE(c, 0);
+    DMVI_CHECK_LT(c, cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c] != 0;
+  }
+  bool missing(int r, int c) const { return !available(r, c); }
+
+  void set_available(int r, int c, bool v) {
+    DMVI_CHECK_GE(r, 0);
+    DMVI_CHECK_LT(r, rows_);
+    DMVI_CHECK_GE(c, 0);
+    DMVI_CHECK_LT(c, cols_);
+    data_[static_cast<size_t>(r) * cols_ + c] = v ? 1 : 0;
+  }
+  void set_missing(int r, int c) { set_available(r, c, false); }
+
+  /// Marks the range [t0, t1) of series r as missing (clamped to bounds).
+  void SetMissingRange(int r, int t0, int t1);
+
+  /// Number of missing cells.
+  int64_t CountMissing() const;
+  /// Number of available cells.
+  int64_t CountAvailable() const { return size() - CountMissing(); }
+  /// Fraction of missing cells in [0, 1].
+  double MissingFraction() const;
+
+  /// All missing cell indices, row-major order. This is I(M) in the paper.
+  std::vector<CellIndex> MissingIndices() const;
+  /// All available cell indices, row-major order. This is I(A).
+  std::vector<CellIndex> AvailableIndices() const;
+
+  /// Lengths of maximal contiguous missing runs, per series, concatenated.
+  /// Used to sample missing-block shapes during DeepMVI training (Sec 3).
+  std::vector<int> MissingBlockLengths() const;
+
+  /// Intersection: available in both.
+  Mask And(const Mask& other) const;
+
+  /// True when every cell of `other` equals this mask.
+  bool operator==(const Mask& other) const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_TENSOR_MASK_H_

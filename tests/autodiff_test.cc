@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "autodiff/ops.h"
+#include "autodiff/tape.h"
+
+namespace deepmvi {
+namespace ad {
+namespace {
+
+using GraphFn = std::function<Var(Tape&, const std::vector<Var>&)>;
+
+/// Asserts that analytic and numerical gradients of `f` agree at `inputs`.
+void ExpectGradientsMatch(const GraphFn& f, const std::vector<Matrix>& inputs,
+                          double tol = 1e-6) {
+  std::vector<Matrix> analytic = AnalyticGradient(f, inputs);
+  std::vector<Matrix> numeric = NumericalGradient(f, inputs);
+  ASSERT_EQ(analytic.size(), numeric.size());
+  for (size_t i = 0; i < analytic.size(); ++i) {
+    ASSERT_EQ(analytic[i].rows(), numeric[i].rows());
+    ASSERT_EQ(analytic[i].cols(), numeric[i].cols());
+    for (int r = 0; r < analytic[i].rows(); ++r) {
+      for (int c = 0; c < analytic[i].cols(); ++c) {
+        EXPECT_NEAR(analytic[i](r, c), numeric[i](r, c), tol)
+            << "input " << i << " at (" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+Matrix TestInput(int rows, int cols, uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::RandomGaussian(rows, cols, rng, 0.0, 0.7);
+}
+
+TEST(TapeTest, LeafValueAndScalar) {
+  Tape tape;
+  Var v = tape.Leaf({{3.5}});
+  EXPECT_EQ(v.scalar(), 3.5);
+  EXPECT_EQ(tape.num_nodes(), 1);
+}
+
+TEST(TapeTest, ConstantsGetNoGradient) {
+  Tape tape;
+  Var c = tape.Constant({{2.0, 2.0}});
+  Var x = tape.Leaf({{1.0, 3.0}});
+  Var loss = Sum(Mul(c, x));
+  tape.Backward(loss);
+  // Gradient w.r.t. x is the constant; constant's grad stays zero.
+  EXPECT_EQ(x.grad()(0, 0), 2.0);
+  EXPECT_EQ(c.grad()(0, 0), 0.0);
+}
+
+TEST(TapeTest, GradientAccumulatesAcrossUses) {
+  Tape tape;
+  Var x = tape.Leaf({{2.0}});
+  Var y = Add(x, x);  // dy/dx = 2
+  tape.Backward(Sum(y));
+  EXPECT_EQ(x.grad()(0, 0), 2.0);
+}
+
+TEST(TapeTest, ResetInvalidatesNodes) {
+  Tape tape;
+  tape.Leaf({{1.0}});
+  EXPECT_EQ(tape.num_nodes(), 1);
+  tape.Reset();
+  EXPECT_EQ(tape.num_nodes(), 0);
+}
+
+TEST(GradCheck, Add) {
+  ExpectGradientsMatch(
+      [](Tape& t, const std::vector<Var>& v) { return Sum(Add(v[0], v[1])); },
+      {TestInput(3, 4, 1), TestInput(3, 4, 2)});
+}
+
+TEST(GradCheck, SubMulChain) {
+  ExpectGradientsMatch(
+      [](Tape& t, const std::vector<Var>& v) {
+        return Sum(Mul(Sub(v[0], v[1]), v[0]));
+      },
+      {TestInput(2, 3, 3), TestInput(2, 3, 4)});
+}
+
+TEST(GradCheck, Div) {
+  Rng rng(5);
+  Matrix denom = Matrix::RandomUniform(2, 3, rng, 1.0, 2.0);
+  ExpectGradientsMatch(
+      [](Tape& t, const std::vector<Var>& v) { return Sum(Div(v[0], v[1])); },
+      {TestInput(2, 3, 6), denom});
+}
+
+TEST(GradCheck, ScaleAddScalarNeg) {
+  ExpectGradientsMatch(
+      [](Tape& t, const std::vector<Var>& v) {
+        return Sum(Neg(AddScalar(Scale(v[0], 2.5), -1.0)));
+      },
+      {TestInput(3, 3, 7)});
+}
+
+TEST(GradCheck, MulConst) {
+  Matrix mask = {{1, 0, 1}, {0, 1, 0}};
+  ExpectGradientsMatch(
+      [mask](Tape& t, const std::vector<Var>& v) {
+        return Sum(MulConst(v[0], mask));
+      },
+      {TestInput(2, 3, 8)});
+}
+
+TEST(GradCheck, Relu) {
+  // Shift away from 0 to avoid the kink in finite differences.
+  Rng rng(9);
+  Matrix x = Matrix::RandomGaussian(3, 3, rng);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      if (std::fabs(x(r, c)) < 0.05) x(r, c) = 0.1;
+    }
+  }
+  ExpectGradientsMatch(
+      [](Tape& t, const std::vector<Var>& v) { return Sum(Relu(v[0])); }, {x});
+}
+
+TEST(GradCheck, TanhSigmoidExp) {
+  ExpectGradientsMatch(
+      [](Tape& t, const std::vector<Var>& v) {
+        return Sum(Tanh(Sigmoid(Exp(v[0]))));
+      },
+      {TestInput(2, 4, 10)});
+}
+
+TEST(GradCheck, LogSquareSqrt) {
+  Rng rng(11);
+  Matrix x = Matrix::RandomUniform(2, 3, rng, 0.5, 2.0);
+  ExpectGradientsMatch(
+      [](Tape& t, const std::vector<Var>& v) {
+        return Sum(Log(Sqrt(Square(v[0]), 1e-3)));
+      },
+      {x});
+}
+
+TEST(GradCheck, AbsAwayFromZero) {
+  Matrix x = {{0.5, -0.7}, {1.2, -2.0}};
+  ExpectGradientsMatch(
+      [](Tape& t, const std::vector<Var>& v) { return Sum(Abs(v[0])); }, {x});
+}
+
+TEST(GradCheck, MatMul) {
+  ExpectGradientsMatch(
+      [](Tape& t, const std::vector<Var>& v) {
+        return Sum(MatMul(v[0], v[1]));
+      },
+      {TestInput(3, 4, 12), TestInput(4, 2, 13)});
+}
+
+TEST(GradCheck, MatMulChainWithNonlinearity) {
+  ExpectGradientsMatch(
+      [](Tape& t, const std::vector<Var>& v) {
+        return Sum(Tanh(MatMul(Relu(MatMul(v[0], v[1])), v[2])));
+      },
+      {TestInput(2, 3, 14), TestInput(3, 4, 15), TestInput(4, 2, 16)}, 1e-5);
+}
+
+TEST(GradCheck, Transpose) {
+  ExpectGradientsMatch(
+      [](Tape& t, const std::vector<Var>& v) {
+        return Sum(MatMul(Transpose(v[0]), v[0]));
+      },
+      {TestInput(3, 2, 17)});
+}
+
+TEST(GradCheck, ReshapeSliceConcat) {
+  ExpectGradientsMatch(
+      [](Tape& t, const std::vector<Var>& v) {
+        Var reshaped = Reshape(v[0], 2, 6);
+        Var left = SliceCols(reshaped, 0, 3);
+        Var right = SliceCols(reshaped, 3, 3);
+        Var rows = ConcatRows({left, right});
+        Var top = SliceRows(rows, 0, 2);
+        return Sum(Mul(top, top));
+      },
+      {TestInput(3, 4, 18)});
+}
+
+TEST(GradCheck, ConcatColsGradientSplit) {
+  ExpectGradientsMatch(
+      [](Tape& t, const std::vector<Var>& v) {
+        return Sum(Square(ConcatCols({v[0], v[1]})));
+      },
+      {TestInput(2, 2, 19), TestInput(2, 3, 20)});
+}
+
+TEST(GradCheck, GatherRowsWithDuplicates) {
+  ExpectGradientsMatch(
+      [](Tape& t, const std::vector<Var>& v) {
+        // Row 1 appears twice: gradient must accumulate.
+        return Sum(Square(GatherRows(v[0], {1, 0, 1})));
+      },
+      {TestInput(3, 4, 21)});
+}
+
+TEST(GradCheck, RowBroadcasts) {
+  ExpectGradientsMatch(
+      [](Tape& t, const std::vector<Var>& v) {
+        Var a = AddRowVector(v[0], v[1]);
+        Var b = SubRowVector(a, v[2]);
+        Var c = MulRowVector(b, v[1]);
+        return Sum(Square(c));
+      },
+      {TestInput(3, 4, 22), TestInput(1, 4, 23), TestInput(1, 4, 24)});
+}
+
+TEST(GradCheck, BroadcastScalar) {
+  ExpectGradientsMatch(
+      [](Tape& t, const std::vector<Var>& v) {
+        Var s = Mean(v[0]);
+        return Sum(Mul(BroadcastScalar(s, 2, 3), v[1]));
+      },
+      {TestInput(2, 2, 25), TestInput(2, 3, 26)});
+}
+
+TEST(GradCheck, Reductions) {
+  ExpectGradientsMatch(
+      [](Tape& t, const std::vector<Var>& v) {
+        Var rs = RowSum(Square(v[0]));      // n x 1
+        Var cs = ColSum(Square(v[0]));      // 1 x m
+        return Add(Sum(rs), Add(Sum(cs), Mean(v[0])));
+      },
+      {TestInput(3, 4, 27)});
+}
+
+TEST(GradCheck, SoftmaxRows) {
+  ExpectGradientsMatch(
+      [](Tape& t, const std::vector<Var>& v) {
+        Var w = SoftmaxRows(v[0]);
+        // Weighted sum so the gradient is non-trivial.
+        return Sum(Mul(w, v[1]));
+      },
+      {TestInput(3, 5, 28), TestInput(3, 5, 29)});
+}
+
+TEST(GradCheck, MaskedSoftmaxRows) {
+  Matrix avail = {{1, 0, 1, 1}, {0, 1, 1, 0}, {1, 1, 1, 1}};
+  ExpectGradientsMatch(
+      [avail](Tape& t, const std::vector<Var>& v) {
+        Var w = MaskedSoftmaxRows(v[0], avail);
+        return Sum(Mul(w, v[1]));
+      },
+      {TestInput(3, 4, 30), TestInput(3, 4, 31)});
+}
+
+TEST(MaskedSoftmaxTest, UnavailableGetZeroWeight) {
+  Tape tape;
+  Var scores = tape.Leaf({{1.0, 2.0, 3.0}});
+  Matrix avail = {{1, 0, 1}};
+  Var w = MaskedSoftmaxRows(scores, avail);
+  EXPECT_EQ(w.value()(0, 1), 0.0);
+  EXPECT_NEAR(w.value()(0, 0) + w.value()(0, 2), 1.0, 1e-12);
+}
+
+TEST(MaskedSoftmaxTest, AllMaskedRowIsZero) {
+  Tape tape;
+  Var scores = tape.Leaf({{1.0, 2.0}});
+  Matrix avail = {{0, 0}};
+  Var w = MaskedSoftmaxRows(scores, avail);
+  EXPECT_EQ(w.value()(0, 0), 0.0);
+  EXPECT_EQ(w.value()(0, 1), 0.0);
+  // Backward through an all-masked row must not blow up.
+  tape.Backward(Sum(w));
+  EXPECT_TRUE(scores.grad().AllFinite());
+}
+
+TEST(GradCheck, WeightedMseLoss) {
+  Matrix target = TestInput(3, 4, 32);
+  Matrix weight = {{1, 0, 1, 1}, {1, 1, 0, 0}, {0, 0, 1, 1}};
+  ExpectGradientsMatch(
+      [target, weight](Tape& t, const std::vector<Var>& v) {
+        return WeightedMseLoss(Tanh(v[0]), target, weight);
+      },
+      {TestInput(3, 4, 33)});
+}
+
+TEST(GradCheck, WeightedMaeLoss) {
+  Matrix target = {{0.0, 0.0}, {0.0, 0.0}};
+  Matrix weight = {{1, 1}, {1, 0}};
+  // Keep predictions away from the kink at pred == target.
+  Matrix pred = {{0.5, -0.8}, {1.5, 0.3}};
+  ExpectGradientsMatch(
+      [target, weight](Tape& t, const std::vector<Var>& v) {
+        return WeightedMaeLoss(v[0], target, weight);
+      },
+      {pred});
+}
+
+TEST(LossTest, MseValueCorrect) {
+  Tape tape;
+  Var pred = tape.Leaf({{1.0, 2.0}});
+  Matrix target = {{0.0, 0.0}};
+  Matrix weight = {{1.0, 1.0}};
+  Var loss = WeightedMseLoss(pred, target, weight);
+  EXPECT_NEAR(loss.scalar(), (1.0 + 4.0) / 2.0, 1e-12);
+}
+
+TEST(LossTest, MaeIgnoresZeroWeight) {
+  Tape tape;
+  Var pred = tape.Leaf({{1.0, 100.0}});
+  Matrix target = {{0.0, 0.0}};
+  Matrix weight = {{1.0, 0.0}};
+  Var loss = WeightedMaeLoss(pred, target, weight);
+  EXPECT_NEAR(loss.scalar(), 1.0, 1e-12);
+}
+
+// A composite graph resembling one attention step, checked end to end.
+TEST(GradCheck, AttentionLikeComposite) {
+  Matrix avail = {{1, 1, 0}, {1, 1, 0}, {0, 1, 1}};
+  ExpectGradientsMatch(
+      [avail](Tape& t, const std::vector<Var>& v) {
+        Var q = MatMul(v[0], v[1]);
+        Var k = MatMul(v[0], v[2]);
+        Var scores = Scale(MatMul(q, Transpose(k)), 1.0 / std::sqrt(2.0));
+        Var w = MaskedSoftmaxRows(scores, avail);
+        Var out = MatMul(w, v[0]);
+        return Sum(Square(out));
+      },
+      {TestInput(3, 2, 34), TestInput(2, 2, 35), TestInput(2, 2, 36)}, 1e-5);
+}
+
+// Parameterized sweep: gradients of a fixed composite graph must match
+// numerics for a range of shapes.
+class GradShapeSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(GradShapeSweep, CompositeGraph) {
+  const auto [rows, cols] = GetParam();
+  ExpectGradientsMatch(
+      [](Tape& t, const std::vector<Var>& v) {
+        Var h = Tanh(v[0]);
+        Var s = RowSum(Square(h));
+        return Add(Sum(s), Mean(Mul(h, h)));
+      },
+      {TestInput(rows, cols, 100 + rows * 13 + cols)});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GradShapeSweep,
+    ::testing::Values(std::make_pair(1, 1), std::make_pair(1, 7),
+                      std::make_pair(5, 1), std::make_pair(3, 3),
+                      std::make_pair(8, 2), std::make_pair(2, 9)));
+
+}  // namespace
+}  // namespace ad
+}  // namespace deepmvi

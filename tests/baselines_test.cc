@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/dynammo.h"
+#include "baselines/matrix_completion.h"
+#include "baselines/simple.h"
+#include "baselines/stmvl.h"
+#include "baselines/trmf.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "scenario/scenarios.h"
+
+namespace deepmvi {
+namespace {
+
+/// Low-rank ground truth: X = U V^T + small noise. Matrix-completion
+/// methods should recover it well under MCAR.
+Matrix LowRankData(int n, int t_len, int rank, uint64_t seed) {
+  Rng rng(seed);
+  Matrix u = Matrix::RandomGaussian(n, rank, rng);
+  Matrix v = Matrix::RandomGaussian(t_len, rank, rng);
+  Matrix x = u.MatMulTranspose(v);
+  for (int r = 0; r < n; ++r) {
+    for (int t = 0; t < t_len; ++t) x(r, t) += 0.01 * rng.Gaussian();
+  }
+  return x;
+}
+
+Mask McarMask(int n, int t_len, double frac, uint64_t seed, int block = 5) {
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kMcar;
+  config.percent_incomplete = 1.0;
+  config.missing_fraction = frac;
+  config.block_size = block;
+  config.seed = seed;
+  return GenerateScenario(config, n, t_len);
+}
+
+/// Checks the Imputer contract: available cells pass through unchanged and
+/// the output is finite everywhere.
+void CheckImputerContract(Imputer& imputer, const DataTensor& data,
+                          const Mask& mask) {
+  Matrix imputed = imputer.Impute(data, mask);
+  ASSERT_EQ(imputed.rows(), data.num_series());
+  ASSERT_EQ(imputed.cols(), data.num_times());
+  EXPECT_TRUE(imputed.AllFinite()) << imputer.name();
+  for (int r = 0; r < imputed.rows(); ++r) {
+    for (int t = 0; t < imputed.cols(); ++t) {
+      if (mask.available(r, t)) {
+        EXPECT_EQ(imputed(r, t), data.values()(r, t))
+            << imputer.name() << " modified an available cell";
+      }
+    }
+  }
+}
+
+TEST(MeanImputerTest, FillsWithSeriesMean) {
+  Matrix values = {{1, 2, 3, 100}, {10, 10, 10, 10}};
+  Mask mask(2, 4);
+  mask.set_missing(0, 3);
+  DataTensor data = DataTensor::FromMatrix(values);
+  MeanImputer imputer;
+  Matrix out = imputer.Impute(data, mask);
+  EXPECT_NEAR(out(0, 3), 2.0, 1e-12);  // mean of {1,2,3}
+  EXPECT_EQ(out(1, 0), 10.0);
+}
+
+TEST(MeanImputerTest, FullyMissingSeriesUsesGlobalMean) {
+  Matrix values = {{4, 4}, {999, 999}};
+  Mask mask(2, 2);
+  mask.set_missing(1, 0);
+  mask.set_missing(1, 1);
+  MeanImputer imputer;
+  Matrix out = imputer.Impute(DataTensor::FromMatrix(values), mask);
+  EXPECT_NEAR(out(1, 0), 4.0, 1e-12);
+}
+
+TEST(InterpolationTest, ExactOnLinearSeries) {
+  Matrix values(1, 10);
+  for (int t = 0; t < 10; ++t) values(0, t) = 3.0 * t + 1.0;
+  Mask mask(1, 10);
+  mask.SetMissingRange(0, 3, 7);
+  LinearInterpolationImputer imputer;
+  Matrix out = imputer.Impute(DataTensor::FromMatrix(values), mask);
+  for (int t = 3; t < 7; ++t) EXPECT_NEAR(out(0, t), 3.0 * t + 1.0, 1e-9);
+}
+
+TEST(InterpolationTest, ConstantExtrapolationAtEdges) {
+  Matrix values = {{5, 6, 7, 8, 9}};
+  Mask mask(1, 5);
+  mask.set_missing(0, 0);
+  mask.set_missing(0, 4);
+  LinearInterpolationImputer imputer;
+  Matrix out = imputer.Impute(DataTensor::FromMatrix(values), mask);
+  EXPECT_EQ(out(0, 0), 6.0);  // nearest available to the right
+  EXPECT_EQ(out(0, 4), 8.0);  // nearest available to the left
+}
+
+TEST(InterpolationTest, FullyMissingSeriesGetsZero) {
+  Matrix values = {{1, 2}, {3, 4}};
+  Mask mask(2, 2);
+  mask.set_missing(1, 0);
+  mask.set_missing(1, 1);
+  LinearInterpolationImputer imputer;
+  Matrix out = imputer.Impute(DataTensor::FromMatrix(values), mask);
+  EXPECT_EQ(out(1, 0), 0.0);
+}
+
+TEST(SvdImputerTest, RecoversLowRankData) {
+  Matrix x = LowRankData(12, 80, 2, 1);
+  Mask mask = McarMask(12, 80, 0.1, 2);
+  DataTensor data = DataTensor::FromMatrix(x);
+  SvdImputer imputer({.rank = 2});
+  CheckImputerContract(imputer, data, mask);
+  Matrix out = imputer.Impute(data, mask);
+  EXPECT_LT(MaeOnMissing(out, x, mask), 0.15);
+  // Must beat mean imputation comfortably.
+  MeanImputer mean;
+  EXPECT_LT(MaeOnMissing(out, x, mask),
+            0.5 * MaeOnMissing(mean.Impute(data, mask), x, mask));
+}
+
+TEST(SoftImputerTest, RecoversLowRankData) {
+  Matrix x = LowRankData(12, 80, 2, 3);
+  Mask mask = McarMask(12, 80, 0.1, 4);
+  DataTensor data = DataTensor::FromMatrix(x);
+  SoftImputer imputer;
+  CheckImputerContract(imputer, data, mask);
+  Matrix out = imputer.Impute(data, mask);
+  MeanImputer mean;
+  EXPECT_LT(MaeOnMissing(out, x, mask),
+            MaeOnMissing(mean.Impute(data, mask), x, mask));
+}
+
+TEST(SvtImputerTest, RecoversLowRankData) {
+  Matrix x = LowRankData(12, 80, 2, 5);
+  Mask mask = McarMask(12, 80, 0.1, 6);
+  DataTensor data = DataTensor::FromMatrix(x);
+  SvtImputer imputer;
+  CheckImputerContract(imputer, data, mask);
+  Matrix out = imputer.Impute(data, mask);
+  MeanImputer mean;
+  EXPECT_LT(MaeOnMissing(out, x, mask),
+            MaeOnMissing(mean.Impute(data, mask), x, mask));
+}
+
+TEST(CdRecImputerTest, RecoversLowRankData) {
+  Matrix x = LowRankData(12, 80, 2, 7);
+  Mask mask = McarMask(12, 80, 0.1, 8);
+  DataTensor data = DataTensor::FromMatrix(x);
+  CdRecImputer imputer({.rank = 2});
+  CheckImputerContract(imputer, data, mask);
+  Matrix out = imputer.Impute(data, mask);
+  EXPECT_LT(MaeOnMissing(out, x, mask), 0.2);
+}
+
+TEST(CdRecImputerTest, ExploitsCrossSeriesCorrelation) {
+  // Correlated synthetic data: CDRec should beat pure interpolation on a
+  // long missing block because siblings carry the signal.
+  SyntheticConfig config;
+  config.num_series = 12;
+  config.length = 300;
+  config.cross_correlation = 0.95;
+  config.seasonality_strength = 0.3;
+  config.noise_level = 0.05;
+  config.seed = 9;
+  Matrix x = GenerateSeriesMatrix(config);
+  Mask mask(12, 300);
+  mask.SetMissingRange(0, 100, 160);  // Long block in series 0.
+  DataTensor data = DataTensor::FromMatrix(x);
+  CdRecImputer cdrec({.rank = 4});
+  LinearInterpolationImputer interp;
+  const double cdrec_mae = MaeOnMissing(cdrec.Impute(data, mask), x, mask);
+  const double interp_mae = MaeOnMissing(interp.Impute(data, mask), x, mask);
+  EXPECT_LT(cdrec_mae, interp_mae);
+}
+
+TEST(TrmfImputerTest, RecoversLowRankData) {
+  Matrix x = LowRankData(12, 80, 2, 11);
+  Mask mask = McarMask(12, 80, 0.1, 12);
+  DataTensor data = DataTensor::FromMatrix(x);
+  TrmfImputer imputer({.rank = 3});
+  CheckImputerContract(imputer, data, mask);
+  Matrix out = imputer.Impute(data, mask);
+  MeanImputer mean;
+  EXPECT_LT(MaeOnMissing(out, x, mask),
+            MaeOnMissing(mean.Impute(data, mask), x, mask));
+}
+
+TEST(TrmfImputerTest, ArRegularizationHelpsOnSmoothData) {
+  // Smooth AR-ish series: TRMF with lags should beat TRMF without.
+  SyntheticConfig config;
+  config.num_series = 8;
+  config.length = 240;
+  config.cross_correlation = 0.6;
+  config.seasonality_strength = 0.5;
+  config.seasonal_periods = {24.0};
+  config.noise_level = 0.05;
+  config.seed = 13;
+  Matrix x = GenerateSeriesMatrix(config);
+  Mask mask = McarMask(8, 240, 0.15, 14, /*block=*/8);
+  DataTensor data = DataTensor::FromMatrix(x);
+  TrmfImputer with_ar({.rank = 4, .lags = {1, 2, 3}});
+  TrmfImputer without_ar({.rank = 4, .lags = {}});
+  const double mae_ar = MaeOnMissing(with_ar.Impute(data, mask), x, mask);
+  const double mae_plain = MaeOnMissing(without_ar.Impute(data, mask), x, mask);
+  EXPECT_LT(mae_ar, mae_plain * 1.25);  // AR never catastrophically worse...
+  EXPECT_LT(mae_ar, 1.0);               // ...and reasonable in absolute terms.
+}
+
+TEST(DynammoGroupingTest, GroupsCorrelatedSeriesTogether) {
+  // Two families of series: sines and cosines with noise.
+  Rng rng(15);
+  Matrix x(6, 200);
+  for (int t = 0; t < 200; ++t) {
+    const double s = std::sin(2 * M_PI * t / 25.0);
+    const double c = std::cos(2 * M_PI * t / 40.0);
+    for (int i = 0; i < 3; ++i) {
+      x(i, t) = s * (1.0 + 0.1 * i) + 0.02 * rng.Gaussian();
+      x(3 + i, t) = c * (1.0 + 0.1 * i) + 0.02 * rng.Gaussian();
+    }
+  }
+  auto groups = internal_dynammo::GroupSeries(x, 3);
+  ASSERT_EQ(groups.size(), 2u);
+  // First group seeded with series 0 should contain the other sines.
+  std::set<int> g0(groups[0].begin(), groups[0].end());
+  EXPECT_TRUE(g0.count(1) == 1 && g0.count(2) == 1);
+}
+
+TEST(DynammoImputerTest, RecoversLdsGeneratedData) {
+  // Data from an actual LDS: z_{t+1} = A z_t, x = C z + noise.
+  Rng rng(16);
+  const int h = 2, n = 4, t_len = 150;
+  // Rotation dynamics (stable oscillator).
+  const double theta = 0.2;
+  Matrix a = {{std::cos(theta), -std::sin(theta)},
+              {std::sin(theta), std::cos(theta)}};
+  Matrix c = Matrix::RandomGaussian(n, h, rng);
+  Matrix z = Matrix::RandomGaussian(h, 1, rng);
+  Matrix x(n, t_len);
+  for (int t = 0; t < t_len; ++t) {
+    for (int i = 0; i < n; ++i) {
+      double v = 0.0;
+      for (int b = 0; b < h; ++b) v += c(i, b) * z(b, 0);
+      x(i, t) = v + 0.02 * rng.Gaussian();
+    }
+    z = a.MatMul(z);
+  }
+  Mask mask(n, t_len);
+  mask.SetMissingRange(1, 60, 80);
+  DataTensor data = DataTensor::FromMatrix(x);
+  DynammoImputer imputer({.group_size = 4, .hidden_dim = 4, .em_iterations = 12});
+  CheckImputerContract(imputer, data, mask);
+  Matrix out = imputer.Impute(data, mask);
+  MeanImputer mean;
+  EXPECT_LT(MaeOnMissing(out, x, mask),
+            0.7 * MaeOnMissing(mean.Impute(data, mask), x, mask));
+}
+
+TEST(StmvlImputerTest, ContractAndAccuracyOnCorrelatedData) {
+  SyntheticConfig config;
+  config.num_series = 10;
+  config.length = 250;
+  config.cross_correlation = 0.9;
+  config.seasonality_strength = 0.4;
+  config.noise_level = 0.05;
+  config.seed = 17;
+  Matrix x = GenerateSeriesMatrix(config);
+  Mask mask = McarMask(10, 250, 0.1, 18);
+  DataTensor data = DataTensor::FromMatrix(x);
+  StmvlImputer imputer;
+  CheckImputerContract(imputer, data, mask);
+  Matrix out = imputer.Impute(data, mask);
+  MeanImputer mean;
+  EXPECT_LT(MaeOnMissing(out, x, mask),
+            MaeOnMissing(mean.Impute(data, mask), x, mask));
+}
+
+// Contract sweep: every baseline honours the Imputer contract on every
+// headline scenario.
+class BaselineContractSweep : public ::testing::TestWithParam<ScenarioKind> {};
+
+TEST_P(BaselineContractSweep, AllBaselinesHonourContract) {
+  SyntheticConfig config;
+  config.num_series = 8;
+  config.length = 160;
+  config.seed = 19;
+  Matrix x = GenerateSeriesMatrix(config);
+  DataTensor data = DataTensor::FromMatrix(x);
+  ScenarioConfig scenario;
+  scenario.kind = GetParam();
+  scenario.percent_incomplete = 0.5;
+  scenario.block_size = 10;
+  scenario.seed = 20;
+  Mask mask = GenerateScenario(scenario, 8, 160);
+
+  MeanImputer mean;
+  LinearInterpolationImputer interp;
+  SvdImputer svd({.rank = 3});
+  SoftImputer soft;
+  SvtImputer svt;
+  CdRecImputer cdrec({.rank = 3});
+  TrmfImputer trmf({.rank = 3, .outer_iterations = 4});
+  DynammoImputer dynammo({.em_iterations = 4});
+  StmvlImputer stmvl;
+  for (Imputer* imputer :
+       std::initializer_list<Imputer*>{&mean, &interp, &svd, &soft, &svt,
+                                       &cdrec, &trmf, &dynammo, &stmvl}) {
+    CheckImputerContract(*imputer, data, mask);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, BaselineContractSweep,
+                         ::testing::Values(ScenarioKind::kMcar,
+                                           ScenarioKind::kMissDisj,
+                                           ScenarioKind::kMissOver,
+                                           ScenarioKind::kBlackout));
+
+}  // namespace
+}  // namespace deepmvi

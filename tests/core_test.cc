@@ -1,0 +1,390 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/simple.h"
+#include "core/deepmvi.h"
+#include "core/kernel_regression.h"
+#include "core/temporal_transformer.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "scenario/scenarios.h"
+
+namespace deepmvi {
+namespace {
+
+DeepMviConfig FastConfig() {
+  DeepMviConfig config;
+  config.max_epochs = 20;
+  config.samples_per_epoch = 96;
+  config.batch_size = 4;
+  config.patience = 4;
+  config.filters = 16;
+  config.num_heads = 2;
+  config.embedding_dim = 6;
+  config.seed = 5;
+  return config;
+}
+
+TEST(TemporalTransformerTest, OutputShape) {
+  nn::ParameterStore store;
+  Rng rng(1);
+  DeepMviConfig config;
+  config.window = 5;
+  config.filters = 8;
+  config.num_heads = 2;
+  TemporalTransformer tt(&store, config, rng);
+  ad::Tape tape;
+  Matrix series(1, 30);
+  std::vector<double> window_avail(6, 1.0);
+  ad::Var htt = tt.Forward(tape, series, window_avail);
+  EXPECT_EQ(htt.rows(), 30);
+  EXPECT_EQ(htt.cols(), 8);
+  EXPECT_TRUE(htt.value().AllFinite());
+}
+
+TEST(TemporalTransformerTest, MaskedWindowValuesCannotLeakPastNeighbours) {
+  // A window's content reaches other positions through (a) its own key and
+  // value, and (b) its neighbours' queries/keys (Eq. 8-9). When windows
+  // j-1, j, j+1 are all unavailable, every such path for window j is
+  // either key-masked or belongs to an excluded key, so positions at least
+  // two windows away must be unaffected by window j's values.
+  nn::ParameterStore store;
+  Rng rng(2);
+  DeepMviConfig config;
+  config.window = 4;
+  config.filters = 8;
+  config.num_heads = 1;
+  TemporalTransformer tt(&store, config, rng);
+
+  Matrix series1 = Matrix::RandomGaussian(1, 32, rng);
+  Matrix series2 = series1;
+  // Perturb window 3 (positions 12..15).
+  for (int t = 12; t < 16; ++t) series2(0, t) += 5.0;
+  std::vector<double> avail(8, 1.0);
+  avail[2] = avail[3] = avail[4] = 0.0;
+
+  ad::Tape t1, t2;
+  Matrix out1 = tt.Forward(t1, series1, avail).value();
+  Matrix out2 = tt.Forward(t2, series2, avail).value();
+  for (int t = 0; t < 32; ++t) {
+    if (t >= 8 && t < 24) continue;  // Windows 2..5 may change (5 via 4's query).
+    for (int c = 0; c < 8; ++c) {
+      EXPECT_NEAR(out1(t, c), out2(t, c), 1e-9) << "t=" << t;
+    }
+  }
+}
+
+TEST(TemporalTransformerTest, GradientsFlowToAllParameters) {
+  nn::ParameterStore store;
+  Rng rng(3);
+  DeepMviConfig config;
+  config.window = 5;
+  config.filters = 8;
+  config.num_heads = 2;
+  TemporalTransformer tt(&store, config, rng);
+  ad::Tape tape;
+  Matrix series = Matrix::RandomGaussian(1, 40, rng);
+  std::vector<double> avail(8, 1.0);
+  ad::Var htt = tt.Forward(tape, series, avail);
+  tape.Backward(ad::Sum(ad::Square(htt)));
+  int with_grad = 0, total = 0;
+  for (const auto& p : store.params()) {
+    ++total;
+    if (p->on_tape(tape) && p->var().grad().MaxAbs() > 0.0) ++with_grad;
+  }
+  // ReLU dead units can zero a few gradients, but most parameters must
+  // receive signal.
+  EXPECT_GT(with_grad, total / 2);
+}
+
+TEST(KernelRegressionTest, FeatureShapeAndValues) {
+  // 2 stores x 3 items.
+  Dimension stores{"store", {"s0", "s1"}};
+  Dimension items{"item", {"i0", "i1", "i2"}};
+  Matrix values(6, 4, 1.0);
+  values(3, 2) = 7.0;  // store 1, item 0 at t=2.
+  DataTensor data({stores, items}, values);
+  Mask mask(6, 4);
+
+  nn::ParameterStore store;
+  Rng rng(4);
+  DeepMviConfig config;
+  config.embedding_dim = 4;
+  KernelRegression kr(&store, data.dims(), config, rng);
+  EXPECT_EQ(kr.feature_dim(), 6);
+
+  ad::Tape tape;
+  // Row (store 0, item 0): store-sibling is (store 1, item 0) = row 3.
+  const int row = data.FlattenIndex({0, 0});
+  ad::Var features = kr.Forward(tape, data, values, mask, row, {2, 3});
+  EXPECT_EQ(features.rows(), 2);
+  EXPECT_EQ(features.cols(), 6);
+  // U along the store dimension at t=2 must equal the single sibling's
+  // value (7.0) regardless of kernel weight; at t=3 it is 1.0.
+  EXPECT_NEAR(features.value()(0, 0), 7.0, 1e-6);
+  EXPECT_NEAR(features.value()(1, 0), 1.0, 1e-6);
+  // Variance of a single sibling is 0.
+  EXPECT_NEAR(features.value()(0, 2), 0.0, 1e-12);
+}
+
+TEST(KernelRegressionTest, UnavailableSiblingsExcluded) {
+  Dimension dim{"series", {"a", "b", "c"}};
+  Matrix values = {{0, 0}, {5, 5}, {9, 9}};
+  DataTensor data({dim}, values);
+  Mask mask(3, 2);
+  mask.set_missing(2, 0);  // Series c unavailable at t=0.
+
+  nn::ParameterStore store;
+  Rng rng(5);
+  DeepMviConfig config;
+  KernelRegression kr(&store, data.dims(), config, rng);
+  ad::Tape tape;
+  ad::Var features = kr.Forward(tape, data, values, mask, 0, {0});
+  // Only series b is available at t=0: U = 5 exactly.
+  EXPECT_NEAR(features.value()(0, 0), 5.0, 1e-6);
+}
+
+TEST(KernelRegressionTest, GradientsReachEmbeddings) {
+  Dimension dim{"series", {"a", "b", "c", "d"}};
+  Rng data_rng(6);
+  Matrix values = Matrix::RandomGaussian(4, 6, data_rng);
+  DataTensor data({dim}, values);
+  Mask mask(4, 6);
+
+  nn::ParameterStore store;
+  Rng rng(7);
+  DeepMviConfig config;
+  KernelRegression kr(&store, data.dims(), config, rng);
+  ad::Tape tape;
+  ad::Var features = kr.Forward(tape, data, values, mask, 1, {0, 3});
+  tape.Backward(ad::Sum(ad::Square(features)));
+  bool embedding_got_grad = false;
+  for (const auto& p : store.params()) {
+    if (p->on_tape(tape) && p->var().grad().MaxAbs() > 0.0) {
+      embedding_got_grad = true;
+    }
+  }
+  EXPECT_TRUE(embedding_got_grad);
+}
+
+TEST(DeepMviTest, NamesReflectAblations) {
+  EXPECT_EQ(DeepMviImputer().name(), "DeepMVI");
+  DeepMviConfig no_tt;
+  no_tt.use_temporal_transformer = false;
+  EXPECT_EQ(DeepMviImputer(no_tt).name(), "DeepMVI-NoTT");
+  DeepMviConfig flat;
+  flat.flatten_multidim = true;
+  EXPECT_EQ(DeepMviImputer(flat).name(), "DeepMVI1D");
+  DeepMviConfig no_ctx;
+  no_ctx.use_context_window = false;
+  EXPECT_EQ(DeepMviImputer(no_ctx).name(), "DeepMVI-NoContext");
+}
+
+TEST(DeepMviTest, ContractOnSmallData) {
+  SyntheticConfig data_config;
+  data_config.num_series = 6;
+  data_config.length = 120;
+  data_config.seed = 8;
+  Matrix x = GenerateSeriesMatrix(data_config);
+  DataTensor data = DataTensor::FromMatrix(x);
+  ScenarioConfig scenario;
+  scenario.kind = ScenarioKind::kMcar;
+  scenario.percent_incomplete = 1.0;
+  scenario.seed = 9;
+  Mask mask = GenerateScenario(scenario, 6, 120);
+
+  DeepMviImputer imputer(FastConfig());
+  Matrix out = imputer.Impute(data, mask);
+  ASSERT_EQ(out.rows(), 6);
+  ASSERT_EQ(out.cols(), 120);
+  EXPECT_TRUE(out.AllFinite());
+  for (int r = 0; r < 6; ++r) {
+    for (int t = 0; t < 120; ++t) {
+      if (mask.available(r, t)) EXPECT_EQ(out(r, t), x(r, t));
+    }
+  }
+  EXPECT_GT(imputer.train_stats().epochs_run, 0);
+  EXPECT_EQ(imputer.train_stats().window_used, 10);
+}
+
+TEST(DeepMviTest, BeatsMeanImputationOnSeasonalData) {
+  SyntheticConfig data_config;
+  data_config.num_series = 8;
+  data_config.length = 240;
+  data_config.seasonal_periods = {24.0};
+  data_config.seasonality_strength = 0.9;
+  data_config.cross_correlation = 0.6;
+  data_config.noise_level = 0.05;
+  data_config.seed = 10;
+  Matrix x = GenerateSeriesMatrix(data_config);
+  DataTensor data = DataTensor::FromMatrix(x);
+  ScenarioConfig scenario;
+  scenario.kind = ScenarioKind::kMcar;
+  scenario.percent_incomplete = 1.0;
+  scenario.missing_fraction = 0.1;
+  scenario.seed = 11;
+  Mask mask = GenerateScenario(scenario, 8, 240);
+
+  DeepMviConfig config = FastConfig();
+  config.max_epochs = 25;
+  DeepMviImputer deep(config);
+  MeanImputer mean;
+  const double deep_mae = MaeOnMissing(deep.Impute(data, mask), x, mask);
+  const double mean_mae = MaeOnMissing(mean.Impute(data, mask), x, mask);
+  EXPECT_LT(deep_mae, 0.8 * mean_mae)
+      << "DeepMVI " << deep_mae << " vs Mean " << mean_mae;
+}
+
+TEST(DeepMviTest, KernelRegressionCarriesBlackMarketSiblingSignal) {
+  // Two nearly identical series; a long block missing in one. With cross
+  // signal the error must be far below the series' own variation.
+  Rng rng(12);
+  Matrix x(4, 200);
+  for (int t = 0; t < 200; ++t) {
+    const double base = std::sin(2 * M_PI * t / 35.0) + 0.3 * std::sin(t * 0.91);
+    for (int r = 0; r < 4; ++r) {
+      x(r, t) = base * (1.0 + 0.05 * r) + 0.02 * rng.Gaussian();
+    }
+  }
+  DataTensor data = DataTensor::FromMatrix(x);
+  Mask mask(4, 200);
+  mask.SetMissingRange(0, 80, 120);
+
+  DeepMviConfig config = FastConfig();
+  config.max_epochs = 25;
+  DeepMviImputer imputer(config);
+  Matrix out = imputer.Impute(data, mask);
+  const double mae = MaeOnMissing(out, x, mask);
+  EXPECT_LT(mae, 0.25) << "sibling signal not exploited";
+}
+
+TEST(DeepMviTest, HandlesBlackoutWithoutSiblings) {
+  // Blackout: all series missing in the same range; only within-series
+  // signal available. Seasonal data keeps it learnable.
+  SyntheticConfig data_config;
+  data_config.num_series = 5;
+  data_config.length = 300;
+  data_config.seasonal_periods = {30.0};
+  data_config.seasonality_strength = 0.95;
+  data_config.cross_correlation = 0.1;
+  data_config.noise_level = 0.05;
+  data_config.seed = 13;
+  Matrix x = GenerateSeriesMatrix(data_config);
+  DataTensor data = DataTensor::FromMatrix(x);
+  ScenarioConfig scenario;
+  scenario.kind = ScenarioKind::kBlackout;
+  scenario.block_size = 30;
+  scenario.seed = 14;
+  Mask mask = GenerateScenario(scenario, 5, 300);
+
+  DeepMviConfig config = FastConfig();
+  config.max_epochs = 25;
+  DeepMviImputer deep(config);
+  MeanImputer mean;
+  const double deep_mae = MaeOnMissing(deep.Impute(data, mask), x, mask);
+  const double mean_mae = MaeOnMissing(mean.Impute(data, mask), x, mask);
+  EXPECT_TRUE(deep.Impute(data, mask).AllFinite());
+  EXPECT_LT(deep_mae, mean_mae * 1.05)
+      << "DeepMVI " << deep_mae << " vs Mean " << mean_mae;
+}
+
+TEST(DeepMviTest, MultidimensionalSiblingsUsed) {
+  // 3 stores x 4 items with strong store coherence: sibling stores carry
+  // the signal for a missing block.
+  Rng rng(15);
+  Dimension stores{"store", {"s0", "s1", "s2"}};
+  Dimension items{"item", {"i0", "i1", "i2", "i3"}};
+  Matrix values(12, 150);
+  for (int i = 0; i < 4; ++i) {
+    std::vector<double> base(150);
+    for (int t = 0; t < 150; ++t) {
+      base[t] = std::sin(2 * M_PI * t / (20.0 + 7 * i)) + 0.1 * rng.Gaussian();
+    }
+    for (int s = 0; s < 3; ++s) {
+      for (int t = 0; t < 150; ++t) {
+        values(s * 4 + i, t) = base[t] * (1.0 + 0.1 * s) + 0.02 * rng.Gaussian();
+      }
+    }
+  }
+  DataTensor data({stores, items}, values);
+  Mask mask(12, 150);
+  mask.SetMissingRange(0, 50, 90);  // (s0, i0)
+
+  DeepMviConfig config = FastConfig();
+  DeepMviImputer imputer(config);
+  Matrix out = imputer.Impute(data, mask);
+  EXPECT_LT(MaeOnMissing(out, values, mask), 0.3);
+}
+
+TEST(DeepMviTest, AblationsRunAndHonourContract) {
+  SyntheticConfig data_config;
+  data_config.num_series = 5;
+  data_config.length = 100;
+  data_config.seed = 16;
+  Matrix x = GenerateSeriesMatrix(data_config);
+  DataTensor data = DataTensor::FromMatrix(x);
+  ScenarioConfig scenario;
+  scenario.kind = ScenarioKind::kMcar;
+  scenario.percent_incomplete = 1.0;
+  scenario.seed = 17;
+  Mask mask = GenerateScenario(scenario, 5, 100);
+
+  for (int variant = 0; variant < 4; ++variant) {
+    DeepMviConfig config = FastConfig();
+    config.max_epochs = 3;
+    if (variant == 0) config.use_temporal_transformer = false;
+    if (variant == 1) config.use_context_window = false;
+    if (variant == 2) config.use_kernel_regression = false;
+    if (variant == 3) config.use_fine_grained = false;
+    DeepMviImputer imputer(config);
+    Matrix out = imputer.Impute(data, mask);
+    EXPECT_TRUE(out.AllFinite()) << imputer.name();
+    for (int r = 0; r < 5; ++r) {
+      for (int t = 0; t < 100; ++t) {
+        if (mask.available(r, t)) {
+          ASSERT_EQ(out(r, t), x(r, t)) << imputer.name();
+        }
+      }
+    }
+  }
+}
+
+TEST(DeepMviTest, Flatten1DVariantRuns) {
+  Rng rng(18);
+  Dimension stores{"store", {"s0", "s1"}};
+  Dimension items{"item", {"i0", "i1", "i2"}};
+  Matrix values = Matrix::RandomGaussian(6, 80, rng);
+  DataTensor data({stores, items}, values);
+  Mask mask(6, 80);
+  mask.SetMissingRange(2, 20, 30);
+
+  DeepMviConfig config = FastConfig();
+  config.max_epochs = 3;
+  config.flatten_multidim = true;
+  DeepMviImputer imputer(config);
+  Matrix out = imputer.Impute(data, mask);
+  EXPECT_TRUE(out.AllFinite());
+  EXPECT_EQ(imputer.name(), "DeepMVI1D");
+}
+
+TEST(DeepMviTest, WindowAutoSelection) {
+  // Large missing blocks (mean > 100) must select w = 20.
+  SyntheticConfig data_config;
+  data_config.num_series = 4;
+  data_config.length = 600;
+  data_config.seed = 19;
+  Matrix x = GenerateSeriesMatrix(data_config);
+  DataTensor data = DataTensor::FromMatrix(x);
+  Mask mask(4, 600);
+  mask.SetMissingRange(0, 100, 250);  // Block of 150.
+
+  DeepMviConfig config = FastConfig();
+  config.max_epochs = 1;
+  DeepMviImputer imputer(config);
+  imputer.Impute(data, mask);
+  EXPECT_EQ(imputer.train_stats().window_used, 20);
+}
+
+}  // namespace
+}  // namespace deepmvi

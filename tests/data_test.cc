@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/presets.h"
+#include "data/synthetic.h"
+
+namespace deepmvi {
+namespace {
+
+TEST(SyntheticTest, ShapeMatchesConfig) {
+  SyntheticConfig c;
+  c.num_series = 7;
+  c.length = 123;
+  Matrix m = GenerateSeriesMatrix(c);
+  EXPECT_EQ(m.rows(), 7);
+  EXPECT_EQ(m.cols(), 123);
+  EXPECT_TRUE(m.AllFinite());
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticConfig c;
+  c.seed = 99;
+  Matrix a = GenerateSeriesMatrix(c);
+  Matrix b = GenerateSeriesMatrix(c);
+  EXPECT_TRUE(a.ApproxEquals(b, 0.0));
+  c.seed = 100;
+  Matrix d = GenerateSeriesMatrix(c);
+  EXPECT_FALSE(a.ApproxEquals(d, 1e-6));
+}
+
+TEST(SyntheticTest, SeasonalityStrengthRaisesAutocorrelation) {
+  SyntheticConfig weak;
+  weak.num_series = 8;
+  weak.length = 800;
+  weak.seasonal_periods = {50.0};
+  weak.seasonality_strength = 0.05;
+  weak.cross_correlation = 0.1;
+  weak.seed = 3;
+
+  SyntheticConfig strong = weak;
+  strong.seasonality_strength = 0.95;
+
+  auto weak_chars = MeasureCharacteristics(GenerateSeriesMatrix(weak));
+  auto strong_chars = MeasureCharacteristics(GenerateSeriesMatrix(strong));
+  EXPECT_GT(strong_chars.seasonality_score, weak_chars.seasonality_score);
+  EXPECT_GT(strong_chars.seasonality_score, 0.5);
+}
+
+TEST(SyntheticTest, CrossCorrelationRaisesRelatedness) {
+  SyntheticConfig low;
+  low.num_series = 10;
+  low.length = 600;
+  low.cross_correlation = 0.05;
+  low.seasonality_strength = 0.2;
+  low.seed = 4;
+
+  SyntheticConfig high = low;
+  high.cross_correlation = 0.95;
+
+  auto low_chars = MeasureCharacteristics(GenerateSeriesMatrix(low));
+  auto high_chars = MeasureCharacteristics(GenerateSeriesMatrix(high));
+  EXPECT_GT(high_chars.relatedness_score, low_chars.relatedness_score + 0.1);
+}
+
+TEST(SyntheticTest, AutocorrelationOfPureSine) {
+  std::vector<double> sine(200);
+  for (int t = 0; t < 200; ++t) sine[t] = std::sin(2 * M_PI * t / 20.0);
+  EXPECT_NEAR(Autocorrelation(sine, 20), 1.0, 0.05);
+  EXPECT_NEAR(Autocorrelation(sine, 10), -1.0, 0.05);
+}
+
+TEST(PresetTest, AllNamesConstruct) {
+  for (const auto& name : AllDatasetNames()) {
+    DataTensor data = MakeDataset(name, DatasetScale::kReduced, 1);
+    EXPECT_GT(data.num_series(), 0) << name;
+    EXPECT_GT(data.num_times(), 0) << name;
+    EXPECT_TRUE(data.values().AllFinite()) << name;
+  }
+}
+
+TEST(PresetTest, IsDatasetName) {
+  EXPECT_TRUE(IsDatasetName("AirQ"));
+  EXPECT_TRUE(IsDatasetName("M5"));
+  EXPECT_FALSE(IsDatasetName("NotADataset"));
+}
+
+TEST(PresetTest, MultidimDatasetsHaveTwoDims) {
+  DataTensor janata = MakeDataset("JanataHack");
+  EXPECT_EQ(janata.num_dims(), 2);
+  EXPECT_EQ(janata.dim(0).name, "store");
+  EXPECT_EQ(janata.dim(1).name, "item");
+  EXPECT_EQ(janata.num_series(), janata.dim(0).size() * janata.dim(1).size());
+  EXPECT_EQ(janata.num_times(), 134);
+
+  DataTensor m5 = MakeDataset("M5");
+  EXPECT_EQ(m5.num_dims(), 2);
+}
+
+TEST(PresetTest, FullScaleMatchesPaperDimensions) {
+  DataTensor airq = MakeDataset("AirQ", DatasetScale::kFull);
+  EXPECT_EQ(airq.num_series(), 10);
+  EXPECT_EQ(airq.num_times(), 1000);
+
+  DataTensor janata = MakeDataset("JanataHack", DatasetScale::kFull);
+  EXPECT_EQ(janata.dim(0).size(), 76);
+  EXPECT_EQ(janata.dim(1).size(), 28);
+  EXPECT_EQ(janata.num_times(), 134);
+}
+
+TEST(PresetTest, JanataHackMoreCoherentAcrossStoresThanM5) {
+  // JanataHack: high relatedness across stores for a given product; M5 low
+  // (Table 1). Compare correlation between sibling series along stores.
+  auto sibling_corr = [](const DataTensor& d) {
+    double acc = 0.0;
+    int count = 0;
+    const int items = d.dim(1).size();
+    for (int i = 0; i < items && count < 40; ++i) {
+      // Series of item i at stores 0 and 1.
+      auto a = d.values().Row(d.FlattenIndex({0, i}));
+      auto b = d.values().Row(d.FlattenIndex({1, i}));
+      acc += PearsonCorrelation(a, b);
+      ++count;
+    }
+    return acc / count;
+  };
+  const double janata = sibling_corr(MakeDataset("JanataHack"));
+  const double m5 = sibling_corr(MakeDataset("M5"));
+  EXPECT_GT(janata, m5);
+  EXPECT_GT(janata, 0.5);
+}
+
+TEST(PresetTest, Table1QualitativeOrdering) {
+  // Chlorine (high/high) should show more seasonality than Meteo (low) and
+  // more relatedness than Climate (low).
+  auto chlorine = MeasureCharacteristics(MakeDataset("Chlorine").values());
+  auto meteo = MeasureCharacteristics(MakeDataset("Meteo").values());
+  auto climate = MeasureCharacteristics(MakeDataset("Climate").values());
+  EXPECT_GT(chlorine.seasonality_score, meteo.seasonality_score);
+  EXPECT_GT(chlorine.relatedness_score, climate.relatedness_score);
+}
+
+}  // namespace
+}  // namespace deepmvi

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/simple.h"
+#include "data/presets.h"
+#include "eval/analytics.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+
+namespace deepmvi {
+namespace {
+
+TEST(MetricsTest, MaeOnMissingOnlyCountsMissing) {
+  Matrix truth = {{1, 2, 3}};
+  Matrix imputed = {{1, 5, 3}};  // Error of 3 at position 1.
+  Mask mask(1, 3);
+  mask.set_missing(0, 1);
+  EXPECT_NEAR(MaeOnMissing(imputed, truth, mask), 3.0, 1e-12);
+  // Errors on available cells are ignored.
+  imputed(0, 0) = 100.0;
+  EXPECT_NEAR(MaeOnMissing(imputed, truth, mask), 3.0, 1e-12);
+}
+
+TEST(MetricsTest, RmsePenalizesLargeErrors) {
+  Matrix truth = {{0, 0}};
+  Matrix imputed = {{3, 4}};
+  Mask mask(1, 2);
+  mask.set_missing(0, 0);
+  mask.set_missing(0, 1);
+  EXPECT_NEAR(MaeOnMissing(imputed, truth, mask), 3.5, 1e-12);
+  EXPECT_NEAR(RmseOnMissing(imputed, truth, mask), std::sqrt(12.5), 1e-12);
+}
+
+TEST(MetricsTest, MaeWholeMatrix) {
+  Matrix a = {{1, 1}, {1, 1}};
+  Matrix b = {{0, 2}, {1, 1}};
+  EXPECT_NEAR(Mae(a, b), 0.5, 1e-12);
+}
+
+TEST(AnalyticsTest, AggregateOverFirstDim1D) {
+  Matrix values = {{2, 4}, {4, 8}};
+  DataTensor data = DataTensor::FromMatrix(values);
+  Matrix agg = AggregateOverFirstDim(data, values);
+  EXPECT_EQ(agg.rows(), 1);
+  EXPECT_NEAR(agg(0, 0), 3.0, 1e-12);
+  EXPECT_NEAR(agg(0, 1), 6.0, 1e-12);
+}
+
+TEST(AnalyticsTest, AggregateOverFirstDim2D) {
+  // 2 stores x 3 items: aggregate over stores -> per-item series.
+  Dimension stores{"store", {"s0", "s1"}};
+  Dimension items{"item", {"i0", "i1", "i2"}};
+  Matrix values(6, 2);
+  // store 0: items get value 1, 2, 3; store 1: 3, 4, 5.
+  for (int i = 0; i < 3; ++i) {
+    values(i, 0) = values(i, 1) = i + 1;
+    values(3 + i, 0) = values(3 + i, 1) = i + 3;
+  }
+  DataTensor data({stores, items}, values);
+  Matrix agg = AggregateOverFirstDim(data, values);
+  EXPECT_EQ(agg.rows(), 3);
+  EXPECT_NEAR(agg(0, 0), 2.0, 1e-12);  // (1+3)/2
+  EXPECT_NEAR(agg(2, 1), 4.0, 1e-12);  // (3+5)/2
+}
+
+TEST(AnalyticsTest, DropCellSkipsMissing) {
+  Matrix values = {{2, 2}, {10, 4}};
+  DataTensor data = DataTensor::FromMatrix(values);
+  Mask mask(2, 2);
+  mask.set_missing(1, 0);  // Value 10 is missing.
+  Matrix agg = AggregateDropCell(data, values, mask);
+  EXPECT_NEAR(agg(0, 0), 2.0, 1e-12);  // Only the available 2 counts.
+  EXPECT_NEAR(agg(0, 1), 3.0, 1e-12);
+}
+
+TEST(AnalyticsTest, DropCellFallsBackWhenAllMissing) {
+  Matrix values = {{2, 2}, {4, 4}};
+  DataTensor data = DataTensor::FromMatrix(values);
+  Mask mask(2, 2);
+  mask.set_missing(0, 0);
+  mask.set_missing(1, 0);
+  Matrix agg = AggregateDropCell(data, values, mask);
+  EXPECT_NEAR(agg(0, 0), 3.0, 1e-12);  // Falls back to full average.
+}
+
+TEST(AnalyticsTest, PerfectImputationHasNonNegativeGain) {
+  Matrix values = {{1, 5, 3}, {2, 6, 4}};
+  DataTensor data = DataTensor::FromMatrix(values);
+  Mask mask(2, 3);
+  mask.set_missing(0, 1);
+  // Imputed == truth: method aggregate error is 0, so the gain equals
+  // DropCell's error, which is >= 0.
+  const double gain = AnalyticsGainOverDropCell(data, values, values, mask);
+  EXPECT_GE(gain, 0.0);
+  EXPECT_GT(gain, 1e-6);  // DropCell is biased here (5 dropped from avg).
+}
+
+TEST(RunnerTest, ProtocolProducesFiniteMetrics) {
+  DataTensor data = MakeDataset("AirQ", DatasetScale::kReduced, 3);
+  ScenarioConfig scenario;
+  scenario.kind = ScenarioKind::kMcar;
+  scenario.percent_incomplete = 0.5;
+  scenario.seed = 4;
+  LinearInterpolationImputer imputer;
+  ExperimentResult result = RunExperiment(data, scenario, imputer);
+  EXPECT_EQ(result.imputer_name, "LinearInterp");
+  EXPECT_EQ(result.scenario_name, "MCAR");
+  EXPECT_GT(result.mae, 0.0);
+  EXPECT_GE(result.rmse, result.mae);
+  EXPECT_GT(result.missing_cells, 0);
+  EXPECT_GE(result.runtime_seconds, 0.0);
+}
+
+TEST(RunnerTest, MeanImputerHasMaeAboutOneOnNormalizedData) {
+  // After z-scoring, series-mean imputation has expected absolute error
+  // ~E|N(0,1)| = 0.8 on MCAR cells of a noisy series; must be in a sane
+  // range.
+  DataTensor data = MakeDataset("Meteo", DatasetScale::kReduced, 5);
+  ScenarioConfig scenario;
+  scenario.kind = ScenarioKind::kMcar;
+  scenario.percent_incomplete = 1.0;
+  scenario.seed = 6;
+  MeanImputer imputer;
+  ExperimentResult result = RunExperiment(data, scenario, imputer);
+  EXPECT_GT(result.mae, 0.2);
+  EXPECT_LT(result.mae, 2.0);
+}
+
+TEST(RunnerTest, ImputeAndExtractSeriesDenormalizes) {
+  DataTensor data = MakeDataset("AirQ", DatasetScale::kReduced, 7);
+  ScenarioConfig scenario;
+  scenario.kind = ScenarioKind::kBlackout;
+  scenario.block_size = 10;
+  scenario.seed = 8;
+  Mask mask = GenerateScenario(scenario, data.num_series(), data.num_times());
+  LinearInterpolationImputer imputer;
+  ImputedSeries series = ImputeAndExtractSeries(data, mask, imputer, 0);
+  ASSERT_EQ(series.truth.size(), static_cast<size_t>(data.num_times()));
+  ASSERT_EQ(series.imputed.size(), series.truth.size());
+  // Available positions match the original data exactly (denormalized round trip).
+  for (int t = 0; t < data.num_times(); ++t) {
+    if (!series.missing[t]) {
+      EXPECT_NEAR(series.imputed[t], series.truth[t], 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace deepmvi

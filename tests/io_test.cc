@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "data/io.h"
+#include "data/presets.h"
+#include "scenario/scenarios.h"
+
+namespace deepmvi {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(IoTest, RoundTrip1D) {
+  Matrix values = {{1.5, -2.25, 3.0}, {0.0, 4.5, -6.125}};
+  DataTensor data = DataTensor::FromMatrix(values);
+  const std::string path = TempPath("roundtrip_1d.csv");
+  ASSERT_TRUE(WriteDataTensor(data, path).ok());
+
+  StatusOr<DataTensor> loaded = ReadDataTensor(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_series(), 2);
+  EXPECT_EQ(loaded->num_times(), 3);
+  EXPECT_TRUE(loaded->values().ApproxEquals(values, 0.0));
+}
+
+TEST(IoTest, RoundTripMultidimPreservesDimensions) {
+  Dimension stores{"store", {"a", "b"}};
+  Dimension items{"item", {"x", "y", "z"}};
+  Rng rng(1);
+  DataTensor data({stores, items}, Matrix::RandomGaussian(6, 4, rng));
+  const std::string path = TempPath("roundtrip_2d.csv");
+  ASSERT_TRUE(WriteDataTensor(data, path).ok());
+
+  StatusOr<DataTensor> loaded = ReadDataTensor(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_dims(), 2);
+  EXPECT_EQ(loaded->dim(0).name, "store");
+  EXPECT_EQ(loaded->dim(1).members[2], "z");
+  EXPECT_TRUE(loaded->values().ApproxEquals(data.values(), 1e-15));
+}
+
+TEST(IoTest, MissingCellsWrittenAsNanAndReadBack) {
+  Matrix values = {{1, 2, 3, 4}};
+  DataTensor data = DataTensor::FromMatrix(values);
+  Mask mask(1, 4);
+  mask.set_missing(0, 1);
+  mask.set_missing(0, 3);
+  const std::string path = TempPath("with_missing.csv");
+  ASSERT_TRUE(WriteDataTensor(data, path, &mask).ok());
+
+  Mask loaded_mask;
+  StatusOr<DataTensor> loaded = ReadDataTensor(path, &loaded_mask);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded_mask.missing(0, 1));
+  EXPECT_TRUE(loaded_mask.missing(0, 3));
+  EXPECT_TRUE(loaded_mask.available(0, 0));
+  EXPECT_EQ(loaded->values()(0, 0), 1.0);
+  EXPECT_EQ(loaded->values()(0, 1), 0.0);  // Stored as 0 under the mask.
+}
+
+TEST(IoTest, ReadsPlainCsvWithEmptyFieldsAsMissing) {
+  const std::string path = TempPath("plain.csv");
+  std::ofstream out(path);
+  out << "1.0,,3.0\n4.0,5.0,nan\n";
+  out.close();
+  Mask mask;
+  StatusOr<DataTensor> loaded = ReadDataTensor(path, &mask);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_series(), 2);
+  EXPECT_TRUE(mask.missing(0, 1));
+  EXPECT_TRUE(mask.missing(1, 2));
+  EXPECT_EQ(mask.CountMissing(), 2);
+}
+
+TEST(IoTest, RejectsRaggedRows) {
+  const std::string path = TempPath("ragged.csv");
+  std::ofstream out(path);
+  out << "1,2,3\n4,5\n";
+  out.close();
+  EXPECT_FALSE(ReadDataTensor(path).ok());
+}
+
+TEST(IoTest, RejectsNonNumeric) {
+  const std::string path = TempPath("bad.csv");
+  std::ofstream out(path);
+  out << "1,hello,3\n";
+  out.close();
+  EXPECT_FALSE(ReadDataTensor(path).ok());
+}
+
+TEST(IoTest, RejectsDimensionMismatch) {
+  const std::string path = TempPath("badshape.csv");
+  std::ofstream out(path);
+  out << "# dim:store=a|b\n# dim:item=x|y\n";  // Implies 4 series.
+  out << "1,2\n3,4\n5,6\n";                    // Only 3 rows.
+  out.close();
+  EXPECT_FALSE(ReadDataTensor(path).ok());
+}
+
+TEST(IoTest, MissingFileFails) {
+  EXPECT_FALSE(ReadDataTensor("/nonexistent/file.csv").ok());
+  EXPECT_FALSE(ReadMask("/nonexistent/file.csv").ok());
+}
+
+TEST(IoTest, MaskRoundTrip) {
+  Mask mask(3, 5);
+  mask.set_missing(0, 0);
+  mask.SetMissingRange(2, 1, 4);
+  const std::string path = TempPath("mask.csv");
+  ASSERT_TRUE(WriteMask(mask, path).ok());
+  StatusOr<Mask> loaded = ReadMask(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(*loaded == mask);
+}
+
+TEST(IoTest, MaskRejectsNonBinary) {
+  const std::string path = TempPath("badmask.csv");
+  std::ofstream out(path);
+  out << "1,0,2\n";
+  out.close();
+  EXPECT_FALSE(ReadMask(path).ok());
+}
+
+TEST(IoTest, PresetSurvivesRoundTripWithScenario) {
+  DataTensor data = MakeDataset("AirQ", DatasetScale::kReduced, 9);
+  ScenarioConfig scenario;
+  scenario.kind = ScenarioKind::kMcar;
+  scenario.percent_incomplete = 0.5;
+  scenario.seed = 10;
+  Mask mask = GenerateScenario(scenario, data.num_series(), data.num_times());
+  const std::string path = TempPath("airq.csv");
+  ASSERT_TRUE(WriteDataTensor(data, path, &mask).ok());
+
+  Mask loaded_mask;
+  StatusOr<DataTensor> loaded = ReadDataTensor(path, &loaded_mask);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded_mask == mask);
+  // Available cells match exactly.
+  for (int r = 0; r < data.num_series(); ++r) {
+    for (int t = 0; t < data.num_times(); ++t) {
+      if (mask.available(r, t)) {
+        ASSERT_DOUBLE_EQ(loaded->values()(r, t), data.values()(r, t));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace deepmvi

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/centroid.h"
+#include "linalg/solvers.h"
+#include "linalg/svd.h"
+
+namespace deepmvi {
+namespace {
+
+Matrix RandomSpd(int n, Rng& rng) {
+  Matrix a = Matrix::RandomGaussian(n, n, rng);
+  Matrix spd = a.TransposeMatMul(a);
+  for (int i = 0; i < n; ++i) spd(i, i) += n;  // Well-conditioned.
+  return spd;
+}
+
+bool ColumnsOrthonormal(const Matrix& m, double tol = 1e-8) {
+  Matrix gram = m.TransposeMatMul(m);
+  return gram.ApproxEquals(Matrix::Identity(m.cols()), tol);
+}
+
+TEST(SvdTest, ReconstructsTallMatrix) {
+  Rng rng(1);
+  Matrix a = Matrix::RandomGaussian(8, 5, rng);
+  SvdResult svd = JacobiSvd(a);
+  EXPECT_TRUE(svd.Reconstruct().ApproxEquals(a, 1e-8));
+}
+
+TEST(SvdTest, ReconstructsWideMatrix) {
+  Rng rng(2);
+  Matrix a = Matrix::RandomGaussian(4, 9, rng);
+  SvdResult svd = JacobiSvd(a);
+  EXPECT_TRUE(svd.Reconstruct().ApproxEquals(a, 1e-8));
+}
+
+TEST(SvdTest, SingularValuesSortedNonNegative) {
+  Rng rng(3);
+  Matrix a = Matrix::RandomGaussian(6, 6, rng);
+  SvdResult svd = JacobiSvd(a);
+  for (size_t i = 0; i + 1 < svd.singular_values.size(); ++i) {
+    EXPECT_GE(svd.singular_values[i], svd.singular_values[i + 1]);
+  }
+  for (double s : svd.singular_values) EXPECT_GE(s, 0.0);
+}
+
+TEST(SvdTest, FactorsOrthonormal) {
+  Rng rng(4);
+  Matrix a = Matrix::RandomGaussian(7, 5, rng);
+  SvdResult svd = JacobiSvd(a);
+  EXPECT_TRUE(ColumnsOrthonormal(svd.u));
+  EXPECT_TRUE(ColumnsOrthonormal(svd.v));
+}
+
+TEST(SvdTest, KnownDiagonalCase) {
+  Matrix a = {{3, 0}, {0, 2}};
+  SvdResult svd = JacobiSvd(a);
+  EXPECT_NEAR(svd.singular_values[0], 3.0, 1e-10);
+  EXPECT_NEAR(svd.singular_values[1], 2.0, 1e-10);
+}
+
+TEST(SvdTest, LowRankTruncationExactForLowRankInput) {
+  Rng rng(5);
+  // Build an exactly rank-2 matrix.
+  Matrix u = Matrix::RandomGaussian(10, 2, rng);
+  Matrix v = Matrix::RandomGaussian(6, 2, rng);
+  Matrix a = u.MatMulTranspose(v);
+  Matrix rec = TruncatedSvdReconstruct(a, 2);
+  EXPECT_TRUE(rec.ApproxEquals(a, 1e-8));
+  // Third singular value should be ~0.
+  SvdResult svd = JacobiSvd(a);
+  EXPECT_LT(svd.singular_values[2], 1e-8);
+}
+
+TEST(SvdTest, TruncationIsBestApproximation) {
+  Rng rng(6);
+  Matrix a = Matrix::RandomGaussian(8, 8, rng);
+  // Error of rank-k approx should decrease with k.
+  double prev = 1e18;
+  for (int k = 1; k <= 8; k *= 2) {
+    double err = (TruncatedSvdReconstruct(a, k) - a).Norm();
+    EXPECT_LE(err, prev + 1e-12);
+    prev = err;
+  }
+  EXPECT_NEAR(prev, 0.0, 1e-8);
+}
+
+TEST(CholeskyTest, FactorAndSolve) {
+  Rng rng(7);
+  Matrix a = RandomSpd(5, rng);
+  auto l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_TRUE(l->MatMulTranspose(*l).ApproxEquals(a, 1e-8));
+
+  Matrix x_true = Matrix::RandomGaussian(5, 2, rng);
+  Matrix b = a.MatMul(x_true);
+  Matrix x = CholeskySolve(*l, b);
+  EXPECT_TRUE(x.ApproxEquals(x_true, 1e-8));
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a = {{1, 0}, {0, -1}};
+  EXPECT_FALSE(CholeskyFactor(a).ok());
+}
+
+TEST(SolveSpdTest, HandlesNearSingularWithJitter) {
+  // Rank-deficient PSD matrix; SolveSpd should still return finite values.
+  Matrix a = {{1, 1}, {1, 1}};
+  Matrix b = {{2}, {2}};
+  Matrix x = SolveSpd(a, b);
+  EXPECT_TRUE(x.AllFinite());
+  EXPECT_TRUE(a.MatMul(x).ApproxEquals(b, 1e-3));
+}
+
+TEST(RidgeTest, ShrinksTowardZero) {
+  Rng rng(8);
+  Matrix a = Matrix::RandomGaussian(20, 3, rng);
+  Matrix x_true = {{1.0}, {-2.0}, {0.5}};
+  Matrix b = a.MatMul(x_true);
+  Matrix x_small = RidgeSolve(a, b, 1e-8);
+  EXPECT_TRUE(x_small.ApproxEquals(x_true, 1e-5));
+  Matrix x_large = RidgeSolve(a, b, 1e6);
+  EXPECT_LT(x_large.Norm(), x_small.Norm());
+}
+
+TEST(QrTest, Factorization) {
+  Rng rng(9);
+  Matrix a = Matrix::RandomGaussian(8, 4, rng);
+  QrResult qr = HouseholderQr(a);
+  EXPECT_TRUE(qr.q.MatMul(qr.r).ApproxEquals(a, 1e-9));
+  EXPECT_TRUE(ColumnsOrthonormal(qr.q));
+  // R upper triangular.
+  for (int r = 1; r < qr.r.rows(); ++r) {
+    for (int c = 0; c < r; ++c) EXPECT_NEAR(qr.r(r, c), 0.0, 1e-10);
+  }
+}
+
+TEST(LeastSquaresTest, RecoversExactSolution) {
+  Rng rng(10);
+  Matrix a = Matrix::RandomGaussian(12, 4, rng);
+  Matrix x_true = Matrix::RandomGaussian(4, 1, rng);
+  Matrix b = a.MatMul(x_true);
+  Matrix x = LeastSquaresSolve(a, b);
+  EXPECT_TRUE(x.ApproxEquals(x_true, 1e-8));
+}
+
+TEST(LeastSquaresTest, MinimizesResidualForOverdetermined) {
+  Rng rng(11);
+  Matrix a = Matrix::RandomGaussian(20, 3, rng);
+  Matrix b = Matrix::RandomGaussian(20, 1, rng);
+  Matrix x = LeastSquaresSolve(a, b);
+  // Perturbations should not improve the residual.
+  const double base = (a.MatMul(x) - b).SquaredNorm();
+  for (int i = 0; i < 3; ++i) {
+    Matrix xp = x;
+    xp(i, 0) += 1e-3;
+    EXPECT_GE((a.MatMul(xp) - b).SquaredNorm(), base);
+  }
+}
+
+TEST(InverseTest, MatchesIdentity) {
+  Rng rng(12);
+  Matrix a = RandomSpd(4, rng);
+  auto inv = Inverse(a);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_TRUE(a.MatMul(*inv).ApproxEquals(Matrix::Identity(4), 1e-8));
+}
+
+TEST(InverseTest, SingularFails) {
+  Matrix a = {{1, 2}, {2, 4}};
+  EXPECT_FALSE(Inverse(a).ok());
+}
+
+TEST(DeterminantTest, KnownValues) {
+  Matrix a = {{2, 0}, {0, 3}};
+  EXPECT_NEAR(Determinant(a), 6.0, 1e-12);
+  Matrix b = {{1, 2}, {2, 4}};
+  EXPECT_NEAR(Determinant(b), 0.0, 1e-12);
+  Matrix c = {{0, 1}, {1, 0}};
+  EXPECT_NEAR(Determinant(c), -1.0, 1e-12);
+}
+
+TEST(CentroidTest, SignVectorMaximizesNorm) {
+  Rng rng(13);
+  Matrix x = Matrix::RandomGaussian(6, 4, rng);
+  std::vector<int> z = MaximizingSignVector(x);
+  // Objective of returned z.
+  auto objective = [&](const std::vector<int>& sign) {
+    std::vector<double> s(x.cols(), 0.0);
+    for (int i = 0; i < x.rows(); ++i) {
+      for (int j = 0; j < x.cols(); ++j) s[j] += sign[i] * x(i, j);
+    }
+    return Dot(s, s);
+  };
+  const double obj = objective(z);
+  // Local optimality: no single flip improves.
+  for (int i = 0; i < x.rows(); ++i) {
+    auto flipped = z;
+    flipped[i] = -flipped[i];
+    EXPECT_LE(objective(flipped), obj + 1e-9);
+  }
+}
+
+TEST(CentroidTest, FullRankReconstructs) {
+  Rng rng(14);
+  Matrix x = Matrix::RandomGaussian(6, 5, rng);
+  CentroidResult cd = CentroidDecomposition(x, 5);
+  EXPECT_TRUE(cd.Reconstruct().ApproxEquals(x, 1e-6));
+}
+
+TEST(CentroidTest, RelevanceColumnsUnitNorm) {
+  Rng rng(15);
+  Matrix x = Matrix::RandomGaussian(8, 6, rng);
+  CentroidResult cd = CentroidDecomposition(x, 3);
+  for (int k = 0; k < 3; ++k) {
+    double norm2 = 0.0;
+    for (int j = 0; j < 6; ++j) norm2 += cd.r(j, k) * cd.r(j, k);
+    EXPECT_NEAR(norm2, 1.0, 1e-9);
+  }
+}
+
+TEST(CentroidTest, LowRankInputRecovered) {
+  Rng rng(16);
+  Matrix u = Matrix::RandomGaussian(10, 2, rng);
+  Matrix v = Matrix::RandomGaussian(7, 2, rng);
+  Matrix x = u.MatMulTranspose(v);
+  CentroidResult cd = CentroidDecomposition(x, 2);
+  // Centroid decomposition of a rank-2 matrix with 2 components should be
+  // near-exact (CD tracks SVD closely).
+  EXPECT_LT((cd.Reconstruct() - x).Norm() / x.Norm(), 0.2);
+}
+
+TEST(CentroidTest, TruncationReducesErrorMonotonically) {
+  Rng rng(17);
+  Matrix x = Matrix::RandomGaussian(10, 8, rng);
+  double prev = 1e18;
+  for (int k = 1; k <= 8; k += 2) {
+    CentroidResult cd = CentroidDecomposition(x, k);
+    double err = (cd.Reconstruct() - x).Norm();
+    EXPECT_LE(err, prev + 1e-9);
+    prev = err;
+  }
+}
+
+}  // namespace
+}  // namespace deepmvi

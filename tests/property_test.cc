@@ -1,0 +1,235 @@
+// Property-based suites: algebraic invariants checked over parameterized
+// random instances, complementing the per-module example-based tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autodiff/ops.h"
+#include "core/kernel_regression.h"
+#include "linalg/solvers.h"
+#include "linalg/svd.h"
+#include "scenario/scenarios.h"
+#include "tensor/matrix.h"
+
+namespace deepmvi {
+namespace {
+
+// ---- Matrix algebra over random shapes -----------------------------------
+
+class MatrixAlgebraSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatrixAlgebraSweep, TransposeOfProduct) {
+  Rng rng(GetParam());
+  const int m = rng.UniformInt(1, 8), k = rng.UniformInt(1, 8),
+            n = rng.UniformInt(1, 8);
+  Matrix a = Matrix::RandomGaussian(m, k, rng);
+  Matrix b = Matrix::RandomGaussian(k, n, rng);
+  // (AB)^T == B^T A^T.
+  EXPECT_TRUE(a.MatMul(b).Transpose().ApproxEquals(
+      b.Transpose().MatMul(a.Transpose()), 1e-11));
+}
+
+TEST_P(MatrixAlgebraSweep, DistributivityAndScaling) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  const int m = rng.UniformInt(1, 7), n = rng.UniformInt(1, 7);
+  Matrix a = Matrix::RandomGaussian(m, n, rng);
+  Matrix b = Matrix::RandomGaussian(m, n, rng);
+  Matrix c = Matrix::RandomGaussian(n, 3, rng);
+  // (A + B) C == AC + BC.
+  EXPECT_TRUE((a + b).MatMul(c).ApproxEquals(a.MatMul(c) + b.MatMul(c), 1e-11));
+  // (sA) C == s (A C).
+  EXPECT_TRUE((a * 2.5).MatMul(c).ApproxEquals(a.MatMul(c) * 2.5, 1e-11));
+}
+
+TEST_P(MatrixAlgebraSweep, NormTriangleInequality) {
+  Rng rng(GetParam() ^ 0x1234);
+  const int m = rng.UniformInt(1, 9), n = rng.UniformInt(1, 9);
+  Matrix a = Matrix::RandomGaussian(m, n, rng);
+  Matrix b = Matrix::RandomGaussian(m, n, rng);
+  EXPECT_LE((a + b).Norm(), a.Norm() + b.Norm() + 1e-12);
+}
+
+TEST_P(MatrixAlgebraSweep, IdentityIsNeutral) {
+  Rng rng(GetParam() ^ 0x777);
+  const int m = rng.UniformInt(1, 8), n = rng.UniformInt(1, 8);
+  Matrix a = Matrix::RandomGaussian(m, n, rng);
+  EXPECT_TRUE(Matrix::Identity(m).MatMul(a).ApproxEquals(a, 1e-13));
+  EXPECT_TRUE(a.MatMul(Matrix::Identity(n)).ApproxEquals(a, 1e-13));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatrixAlgebraSweep,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// ---- Numerical linear algebra --------------------------------------------
+
+class LinalgSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LinalgSweep, SvdReconstructionAndOrthogonality) {
+  Rng rng(GetParam());
+  const int m = rng.UniformInt(2, 12), n = rng.UniformInt(2, 12);
+  Matrix a = Matrix::RandomGaussian(m, n, rng);
+  SvdResult svd = JacobiSvd(a);
+  EXPECT_TRUE(svd.Reconstruct().ApproxEquals(a, 1e-7));
+  // Frobenius norm equals the l2 norm of the spectrum.
+  double spec2 = 0.0;
+  for (double s : svd.singular_values) spec2 += s * s;
+  EXPECT_NEAR(a.SquaredNorm(), spec2, 1e-7 * (1.0 + a.SquaredNorm()));
+}
+
+TEST_P(LinalgSweep, SolveSpdResidual) {
+  Rng rng(GetParam() ^ 0x55);
+  const int n = rng.UniformInt(2, 10);
+  Matrix g = Matrix::RandomGaussian(n, n, rng);
+  Matrix spd = g.TransposeMatMul(g);
+  for (int i = 0; i < n; ++i) spd(i, i) += n;
+  Matrix b = Matrix::RandomGaussian(n, 2, rng);
+  Matrix x = SolveSpd(spd, b);
+  EXPECT_LT((spd.MatMul(x) - b).MaxAbs(), 1e-8);
+}
+
+TEST_P(LinalgSweep, LeastSquaresNormalEquations) {
+  Rng rng(GetParam() ^ 0x99);
+  const int m = rng.UniformInt(6, 16);
+  const int n = rng.UniformInt(2, 5);
+  Matrix a = Matrix::RandomGaussian(m, n, rng);
+  Matrix b = Matrix::RandomGaussian(m, 1, rng);
+  Matrix x = LeastSquaresSolve(a, b);
+  // Residual orthogonal to the column space: A^T (Ax - b) == 0.
+  Matrix normal = a.TransposeMatMul(a.MatMul(x) - b);
+  EXPECT_LT(normal.MaxAbs(), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinalgSweep, ::testing::Range<uint64_t>(1, 9));
+
+// ---- Autodiff: random composite graphs -----------------------------------
+
+class AutodiffGraphSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AutodiffGraphSweep, RandomCompositeGradCheck) {
+  Rng rng(GetParam() * 7919);
+  const int m = rng.UniformInt(2, 5), n = rng.UniformInt(2, 5);
+  Matrix x0 = Matrix::RandomGaussian(m, n, rng, 0.0, 0.5);
+  Matrix x1 = Matrix::RandomGaussian(n, m, rng, 0.0, 0.5);
+  const uint64_t variant = GetParam() % 4;
+  auto graph = [variant](ad::Tape& t, const std::vector<ad::Var>& v) {
+    ad::Var h = ad::MatMul(v[0], v[1]);  // m x m
+    switch (variant) {
+      case 0:
+        h = ad::Tanh(h);
+        break;
+      case 1:
+        h = ad::Sigmoid(ad::Scale(h, 0.7));
+        break;
+      case 2:
+        h = ad::Mul(h, h);
+        break;
+      default:
+        h = ad::SoftmaxRows(h);
+        break;
+    }
+    return ad::Add(ad::Sum(ad::Square(h)), ad::Mean(v[0]));
+  };
+  auto analytic = ad::AnalyticGradient(graph, {x0, x1});
+  auto numeric = ad::NumericalGradient(graph, {x0, x1});
+  for (size_t i = 0; i < analytic.size(); ++i) {
+    for (int r = 0; r < analytic[i].rows(); ++r) {
+      for (int c = 0; c < analytic[i].cols(); ++c) {
+        EXPECT_NEAR(analytic[i](r, c), numeric[i](r, c), 1e-5)
+            << "variant " << variant;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutodiffGraphSweep,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// ---- Scenario statistics ----------------------------------------------------
+
+class McarFractionSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(McarFractionSweep, MissingFractionWithinTolerance) {
+  const auto [n, t_len] = GetParam();
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kMcar;
+  config.percent_incomplete = 1.0;
+  config.missing_fraction = 0.1;
+  config.block_size = 10;
+  config.seed = 21;
+  Mask mask = GenerateScenario(config, n, t_len);
+  // Overall missing fraction close to 10% (placement clashes allow a
+  // small shortfall).
+  EXPECT_NEAR(mask.MissingFraction(), 0.1, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, McarFractionSweep,
+    ::testing::Values(std::make_pair(5, 400), std::make_pair(20, 400),
+                      std::make_pair(10, 1000), std::make_pair(40, 250)));
+
+// ---- Kernel regression convexity ------------------------------------------
+
+TEST(KernelRegressionProperty, WeightedAverageWithinSiblingRange) {
+  // U (Eq. 18) is a convex combination of available sibling values, so it
+  // must lie inside their [min, max] for any embedding state.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    const int num_series = rng.UniformInt(3, 8);
+    const int t_len = 12;
+    Dimension dim{"series", {}};
+    for (int i = 0; i < num_series; ++i) {
+      dim.members.push_back("s" + std::to_string(i));
+    }
+    Matrix values = Matrix::RandomGaussian(num_series, t_len, rng);
+    DataTensor data({dim}, values);
+    Mask mask(num_series, t_len);
+
+    nn::ParameterStore store;
+    DeepMviConfig config;
+    config.embedding_dim = 4;
+    KernelRegression kr(&store, data.dims(), config, rng);
+    ad::Tape tape;
+    std::vector<int> times = {3, 7};
+    ad::Var features = kr.Forward(tape, data, values, mask, 0, times);
+    for (size_t p = 0; p < times.size(); ++p) {
+      double lo = 1e300, hi = -1e300;
+      for (int s = 1; s < num_series; ++s) {
+        lo = std::min(lo, values(s, times[p]));
+        hi = std::max(hi, values(s, times[p]));
+      }
+      const double u = features.value()(static_cast<int>(p), 0);
+      EXPECT_GE(u, lo - 1e-6) << "seed " << seed;
+      EXPECT_LE(u, hi + 1e-6) << "seed " << seed;
+    }
+  }
+}
+
+TEST(KernelRegressionProperty, WeightSumDecreasesWithMissingSiblings) {
+  // W (Eq. 19) sums kernel weights over AVAILABLE siblings only, so
+  // removing siblings can only decrease it.
+  Rng rng(9);
+  Dimension dim{"series", {"a", "b", "c", "d", "e"}};
+  Matrix values = Matrix::RandomGaussian(5, 6, rng);
+  DataTensor data({dim}, values);
+
+  nn::ParameterStore store;
+  DeepMviConfig config;
+  KernelRegression kr(&store, data.dims(), config, rng);
+
+  Mask all_available(5, 6);
+  ad::Tape t1;
+  double w_full = kr.Forward(t1, data, values, all_available, 0, {2})
+                      .value()(0, 1);
+  Mask degraded = all_available;
+  degraded.set_missing(1, 2);
+  degraded.set_missing(2, 2);
+  ad::Tape t2;
+  double w_less = kr.Forward(t2, data, values, degraded, 0, {2}).value()(0, 1);
+  EXPECT_LT(w_less, w_full);
+  EXPECT_GT(w_less, 0.0);
+}
+
+}  // namespace
+}  // namespace deepmvi

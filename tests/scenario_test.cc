@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "scenario/scenarios.h"
+
+namespace deepmvi {
+namespace {
+
+TEST(ScenarioTest, McarBlockSizeAndFraction) {
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kMcar;
+  config.percent_incomplete = 0.5;
+  config.missing_fraction = 0.1;
+  config.block_size = 10;
+  config.seed = 1;
+  Mask mask = GenerateScenario(config, 10, 1000);
+
+  // Exactly 5 series should be incomplete, each missing ~10%.
+  int incomplete = 0;
+  for (int r = 0; r < 10; ++r) {
+    int missing = 0;
+    for (int t = 0; t < 1000; ++t) missing += mask.missing(r, t);
+    if (missing > 0) {
+      ++incomplete;
+      EXPECT_NEAR(missing, 100, 10) << "series " << r;
+    }
+  }
+  EXPECT_EQ(incomplete, 5);
+
+  // Blocks have the configured length.
+  auto lengths = mask.MissingBlockLengths();
+  for (int len : lengths) EXPECT_LE(len, 2 * config.block_size);
+}
+
+TEST(ScenarioTest, McarDeterministicPerSeed) {
+  ScenarioConfig config;
+  config.seed = 42;
+  Mask a = GenerateScenario(config, 8, 300);
+  Mask b = GenerateScenario(config, 8, 300);
+  EXPECT_TRUE(a == b);
+  config.seed = 43;
+  Mask c = GenerateScenario(config, 8, 300);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(ScenarioTest, MissDisjBlocksAreDisjoint) {
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kMissDisj;
+  config.percent_incomplete = 1.0;
+  const int n = 8, t_len = 400;
+  Mask mask = GenerateScenario(config, n, t_len);
+  // Each time step is missing in at most one series.
+  for (int t = 0; t < t_len; ++t) {
+    int missing_count = 0;
+    for (int r = 0; r < n; ++r) missing_count += mask.missing(r, t);
+    EXPECT_LE(missing_count, 1) << "t=" << t;
+  }
+  // Series i misses exactly [i*T/N, (i+1)*T/N).
+  const int block = t_len / n;
+  EXPECT_TRUE(mask.missing(2, 2 * block));
+  EXPECT_TRUE(mask.missing(2, 3 * block - 1));
+  EXPECT_TRUE(mask.available(2, 3 * block));
+}
+
+TEST(ScenarioTest, MissOverBlocksOverlapNeighbours) {
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kMissOver;
+  config.percent_incomplete = 1.0;
+  const int n = 5, t_len = 500;
+  Mask mask = GenerateScenario(config, n, t_len);
+  const int block = t_len / n;
+  // Series 1 misses [block, 3*block): overlaps series 2's [2b, 4b).
+  EXPECT_TRUE(mask.missing(1, block));
+  EXPECT_TRUE(mask.missing(1, 3 * block - 1));
+  EXPECT_TRUE(mask.missing(2, 2 * block));
+  // Overlap region: both series missing at t in [2b, 3b).
+  EXPECT_TRUE(mask.missing(1, 2 * block + 1));
+  // Last series keeps block size T/N (runs to the end of the series).
+  EXPECT_TRUE(mask.missing(4, 4 * block));
+  EXPECT_TRUE(mask.missing(4, t_len - 1));
+}
+
+TEST(ScenarioTest, BlackoutCoversAllSeriesSameRange) {
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kBlackout;
+  config.block_size = 50;
+  const int n = 6, t_len = 1000;
+  Mask mask = GenerateScenario(config, n, t_len);
+  const int t0 = 50;  // 5% of 1000.
+  for (int r = 0; r < n; ++r) {
+    EXPECT_TRUE(mask.available(r, t0 - 1));
+    EXPECT_TRUE(mask.missing(r, t0));
+    EXPECT_TRUE(mask.missing(r, t0 + 49));
+    EXPECT_TRUE(mask.available(r, t0 + 50));
+  }
+  EXPECT_EQ(mask.CountMissing(), n * 50);
+}
+
+TEST(ScenarioTest, MissPointAffectsAllSeries) {
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kMissPoint;
+  config.missing_fraction = 0.1;
+  config.block_size = 1;
+  Mask mask = GenerateScenario(config, 10, 500);
+  for (int r = 0; r < 10; ++r) {
+    int missing = 0;
+    for (int t = 0; t < 500; ++t) missing += mask.missing(r, t);
+    EXPECT_GT(missing, 0) << "series " << r;
+  }
+}
+
+TEST(ScenarioTest, MissPointBlockSizeOne) {
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kMissPoint;
+  config.missing_fraction = 0.05;
+  config.block_size = 1;
+  config.seed = 5;
+  Mask mask = GenerateScenario(config, 4, 400);
+  // With block size 1 all runs have length 1 (unless two land adjacent).
+  auto lengths = mask.MissingBlockLengths();
+  int singles = 0;
+  for (int len : lengths) singles += (len <= 2);
+  EXPECT_GT(static_cast<double>(singles) / lengths.size(), 0.8);
+}
+
+TEST(ScenarioTest, Names) {
+  EXPECT_EQ(ScenarioName(ScenarioKind::kMcar), "MCAR");
+  EXPECT_EQ(ScenarioName(ScenarioKind::kMissDisj), "MissDisj");
+  EXPECT_EQ(ScenarioName(ScenarioKind::kMissOver), "MissOver");
+  EXPECT_EQ(ScenarioName(ScenarioKind::kBlackout), "Blackout");
+  EXPECT_EQ(ScenarioName(ScenarioKind::kMissPoint), "MissPoint");
+  EXPECT_EQ(HeadlineScenarios().size(), 4u);
+}
+
+// Property sweep: every scenario kind at several sizes produces a valid
+// non-trivial mask that retains some available data.
+class ScenarioSweep
+    : public ::testing::TestWithParam<std::tuple<ScenarioKind, int, int>> {};
+
+TEST_P(ScenarioSweep, ProducesValidMask) {
+  const auto [kind, n, t_len] = GetParam();
+  ScenarioConfig config;
+  config.kind = kind;
+  config.percent_incomplete = 1.0;
+  config.block_size = std::min(10, t_len / 4);
+  config.seed = 9;
+  Mask mask = GenerateScenario(config, n, t_len);
+  EXPECT_GT(mask.CountMissing(), 0);
+  EXPECT_GT(mask.CountAvailable(), 0);
+  EXPECT_EQ(mask.rows(), n);
+  EXPECT_EQ(mask.cols(), t_len);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAndSizes, ScenarioSweep,
+    ::testing::Combine(
+        ::testing::Values(ScenarioKind::kMcar, ScenarioKind::kMissDisj,
+                          ScenarioKind::kMissOver, ScenarioKind::kBlackout,
+                          ScenarioKind::kMissPoint),
+        ::testing::Values(2, 10, 33), ::testing::Values(60, 500)));
+
+}  // namespace
+}  // namespace deepmvi

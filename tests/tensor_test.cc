@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/data_tensor.h"
+#include "tensor/mask.h"
+#include "tensor/matrix.h"
+
+namespace deepmvi {
+namespace {
+
+TEST(MatrixTest, ConstructAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m(1, 2), 0.0);
+  m(1, 2) = 5.0;
+  EXPECT_EQ(m(1, 2), 5.0);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m = {{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 2), 6.0);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix id = Matrix::Identity(3);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, Arithmetic) {
+  Matrix a = {{1, 2}, {3, 4}};
+  Matrix b = {{5, 6}, {7, 8}};
+  Matrix sum = a + b;
+  EXPECT_EQ(sum(0, 0), 6.0);
+  EXPECT_EQ(sum(1, 1), 12.0);
+  Matrix diff = b - a;
+  EXPECT_EQ(diff(0, 0), 4.0);
+  Matrix scaled = a * 2.0;
+  EXPECT_EQ(scaled(1, 0), 6.0);
+}
+
+TEST(MatrixTest, CwiseOps) {
+  Matrix a = {{1, 2}, {3, 4}};
+  Matrix b = {{2, 2}, {2, 2}};
+  Matrix prod = a.CwiseProduct(b);
+  EXPECT_EQ(prod(1, 1), 8.0);
+  Matrix quot = a.CwiseQuotient(b);
+  EXPECT_EQ(quot(0, 1), 1.0);
+}
+
+TEST(MatrixTest, MatMulCorrectness) {
+  Matrix a = {{1, 2, 3}, {4, 5, 6}};
+  Matrix b = {{7, 8}, {9, 10}, {11, 12}};
+  Matrix c = a.MatMul(b);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.cols(), 2);
+  EXPECT_EQ(c(0, 0), 58.0);
+  EXPECT_EQ(c(0, 1), 64.0);
+  EXPECT_EQ(c(1, 0), 139.0);
+  EXPECT_EQ(c(1, 1), 154.0);
+}
+
+TEST(MatrixTest, TransposeMatMulMatchesExplicit) {
+  Rng rng(5);
+  Matrix a = Matrix::RandomGaussian(4, 3, rng);
+  Matrix b = Matrix::RandomGaussian(4, 5, rng);
+  Matrix expected = a.Transpose().MatMul(b);
+  EXPECT_TRUE(a.TransposeMatMul(b).ApproxEquals(expected, 1e-12));
+}
+
+TEST(MatrixTest, MatMulTransposeMatchesExplicit) {
+  Rng rng(6);
+  Matrix a = Matrix::RandomGaussian(4, 3, rng);
+  Matrix b = Matrix::RandomGaussian(5, 3, rng);
+  Matrix expected = a.MatMul(b.Transpose());
+  EXPECT_TRUE(a.MatMulTranspose(b).ApproxEquals(expected, 1e-12));
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Rng rng(7);
+  Matrix a = Matrix::RandomGaussian(3, 5, rng);
+  EXPECT_TRUE(a.Transpose().Transpose().ApproxEquals(a, 0.0));
+}
+
+TEST(MatrixTest, BlockAndSetBlock) {
+  Matrix m = {{1, 2, 3, 4}, {5, 6, 7, 8}, {9, 10, 11, 12}};
+  Matrix block = m.Block(1, 1, 2, 2);
+  EXPECT_EQ(block(0, 0), 6.0);
+  EXPECT_EQ(block(1, 1), 11.0);
+  Matrix patch = {{0, 0}, {0, 0}};
+  m.SetBlock(1, 1, patch);
+  EXPECT_EQ(m(1, 1), 0.0);
+  EXPECT_EQ(m(2, 2), 0.0);
+  EXPECT_EQ(m(0, 0), 1.0);
+}
+
+TEST(MatrixTest, RowColAccess) {
+  Matrix m = {{1, 2}, {3, 4}, {5, 6}};
+  auto row = m.Row(1);
+  EXPECT_EQ(row, (std::vector<double>{3, 4}));
+  auto col = m.Col(1);
+  EXPECT_EQ(col, (std::vector<double>{2, 4, 6}));
+  m.SetRow(0, {9, 9});
+  EXPECT_EQ(m(0, 1), 9.0);
+  m.SetCol(0, {1, 1, 1});
+  EXPECT_EQ(m(2, 0), 1.0);
+}
+
+TEST(MatrixTest, Reductions) {
+  Matrix m = {{1, 2}, {3, 4}};
+  EXPECT_EQ(m.Sum(), 10.0);
+  EXPECT_EQ(m.Mean(), 2.5);
+  EXPECT_EQ(m.Min(), 1.0);
+  EXPECT_EQ(m.Max(), 4.0);
+  EXPECT_NEAR(m.Norm(), std::sqrt(30.0), 1e-12);
+  EXPECT_EQ(m.MaxAbs(), 4.0);
+}
+
+TEST(MatrixTest, RowColMeans) {
+  Matrix m = {{1, 3}, {5, 7}};
+  EXPECT_EQ(m.RowMeans(), (std::vector<double>{2, 6}));
+  EXPECT_EQ(m.ColMeans(), (std::vector<double>{3, 5}));
+}
+
+TEST(MatrixTest, AllFinite) {
+  Matrix m = {{1, 2}};
+  EXPECT_TRUE(m.AllFinite());
+  m(0, 0) = std::nan("");
+  EXPECT_FALSE(m.AllFinite());
+}
+
+TEST(MatrixTest, VectorHelpers) {
+  std::vector<double> a = {1, 2, 3};
+  std::vector<double> b = {4, 5, 6};
+  EXPECT_EQ(Dot(a, b), 32.0);
+  EXPECT_NEAR(Norm(a), std::sqrt(14.0), 1e-12);
+}
+
+TEST(MatrixTest, PearsonCorrelation) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  std::vector<double> c = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+  std::vector<double> constant = {5, 5, 5, 5};
+  EXPECT_EQ(PearsonCorrelation(a, constant), 0.0);
+}
+
+TEST(MaskTest, DefaultAllAvailable) {
+  Mask m(3, 4);
+  EXPECT_EQ(m.CountMissing(), 0);
+  EXPECT_EQ(m.CountAvailable(), 12);
+  EXPECT_TRUE(m.available(2, 3));
+}
+
+TEST(MaskTest, SetMissing) {
+  Mask m(2, 5);
+  m.set_missing(1, 2);
+  EXPECT_TRUE(m.missing(1, 2));
+  EXPECT_EQ(m.CountMissing(), 1);
+  EXPECT_NEAR(m.MissingFraction(), 0.1, 1e-12);
+}
+
+TEST(MaskTest, SetMissingRangeClamps) {
+  Mask m(1, 10);
+  m.SetMissingRange(0, -5, 3);
+  EXPECT_EQ(m.CountMissing(), 3);
+  m.SetMissingRange(0, 8, 100);
+  EXPECT_EQ(m.CountMissing(), 5);
+}
+
+TEST(MaskTest, MissingIndicesOrder) {
+  Mask m(2, 2);
+  m.set_missing(0, 1);
+  m.set_missing(1, 0);
+  auto idx = m.MissingIndices();
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], (CellIndex{0, 1}));
+  EXPECT_EQ(idx[1], (CellIndex{1, 0}));
+}
+
+TEST(MaskTest, MissingBlockLengths) {
+  Mask m(2, 10);
+  m.SetMissingRange(0, 2, 5);   // block of 3
+  m.SetMissingRange(0, 8, 10);  // block of 2 (to edge)
+  m.SetMissingRange(1, 0, 1);   // block of 1
+  auto lengths = m.MissingBlockLengths();
+  ASSERT_EQ(lengths.size(), 3u);
+  EXPECT_EQ(lengths[0], 3);
+  EXPECT_EQ(lengths[1], 2);
+  EXPECT_EQ(lengths[2], 1);
+}
+
+TEST(MaskTest, AndIntersection) {
+  Mask a(1, 3), b(1, 3);
+  a.set_missing(0, 0);
+  b.set_missing(0, 2);
+  Mask c = a.And(b);
+  EXPECT_TRUE(c.missing(0, 0));
+  EXPECT_TRUE(c.available(0, 1));
+  EXPECT_TRUE(c.missing(0, 2));
+}
+
+TEST(DataTensorTest, FromMatrix1D) {
+  Matrix values = {{1, 2, 3}, {4, 5, 6}};
+  DataTensor data = DataTensor::FromMatrix(values);
+  EXPECT_EQ(data.num_dims(), 1);
+  EXPECT_EQ(data.num_series(), 2);
+  EXPECT_EQ(data.num_times(), 3);
+  EXPECT_EQ(data.dim(0).size(), 2);
+}
+
+TEST(DataTensorTest, FlattenUnflattenRoundTrip) {
+  // 3 items x 4 regions.
+  Dimension items{"item", {"i0", "i1", "i2"}};
+  Dimension regions{"region", {"r0", "r1", "r2", "r3"}};
+  DataTensor data({items, regions}, Matrix(12, 5));
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      int row = data.FlattenIndex({a, b});
+      auto k = data.UnflattenRow(row);
+      EXPECT_EQ(k[0], a);
+      EXPECT_EQ(k[1], b);
+    }
+  }
+  // Last dimension varies fastest.
+  EXPECT_EQ(data.FlattenIndex({0, 0}), 0);
+  EXPECT_EQ(data.FlattenIndex({0, 1}), 1);
+  EXPECT_EQ(data.FlattenIndex({1, 0}), 4);
+}
+
+TEST(DataTensorTest, SiblingsMatchPaperExample) {
+  // Example from Sec 4.2: items {i0,i1,i2}, regions {r0..r3}; siblings of
+  // (i1, r2) along items = {(i0,r2),(i2,r2)}; along regions =
+  // {(i1,r0),(i1,r1),(i1,r3)}.
+  Dimension items{"item", {"i0", "i1", "i2"}};
+  Dimension regions{"region", {"r0", "r1", "r2", "r3"}};
+  DataTensor data({items, regions}, Matrix(12, 5));
+  const int row = data.FlattenIndex({1, 2});
+
+  auto item_sibs = data.Siblings(row, 0);
+  ASSERT_EQ(item_sibs.size(), 2u);
+  EXPECT_EQ(item_sibs[0], data.FlattenIndex({0, 2}));
+  EXPECT_EQ(item_sibs[1], data.FlattenIndex({2, 2}));
+
+  auto region_sibs = data.Siblings(row, 1);
+  ASSERT_EQ(region_sibs.size(), 3u);
+  EXPECT_EQ(region_sibs[0], data.FlattenIndex({1, 0}));
+  EXPECT_EQ(region_sibs[1], data.FlattenIndex({1, 1}));
+  EXPECT_EQ(region_sibs[2], data.FlattenIndex({1, 3}));
+}
+
+TEST(DataTensorTest, Flattened1DPreservesValues) {
+  Dimension a{"a", {"x", "y"}};
+  Dimension b{"b", {"p", "q"}};
+  Matrix values = {{1, 2}, {3, 4}, {5, 6}, {7, 8}};
+  DataTensor data({a, b}, values);
+  DataTensor flat = data.Flattened1D();
+  EXPECT_EQ(flat.num_dims(), 1);
+  EXPECT_EQ(flat.num_series(), 4);
+  EXPECT_TRUE(flat.values().ApproxEquals(values, 0.0));
+  EXPECT_EQ(flat.dim(0).members[0], "x|p");
+  EXPECT_EQ(flat.dim(0).members[3], "y|q");
+}
+
+TEST(DataTensorTest, NormalizationRoundTrip) {
+  Matrix values = {{10, 20, 30, 40}, {5, 5, 5, 5}};
+  DataTensor data = DataTensor::FromMatrix(values);
+  Mask mask(2, 4);
+  auto stats = data.ComputeNormalization(mask);
+  EXPECT_NEAR(stats.mean[0], 25.0, 1e-12);
+  // Constant series gets stddev 1 to avoid division by zero.
+  EXPECT_EQ(stats.stddev[1], 1.0);
+
+  DataTensor normalized = data.Normalized(stats);
+  EXPECT_NEAR(normalized.values().RowMeans()[0], 0.0, 1e-12);
+  Matrix back = DataTensor::Denormalize(normalized.values(), stats);
+  EXPECT_TRUE(back.ApproxEquals(values, 1e-9));
+}
+
+TEST(DataTensorTest, NormalizationIgnoresMissing) {
+  Matrix values = {{1, 2, 1000, 3}};
+  DataTensor data = DataTensor::FromMatrix(values);
+  Mask mask(1, 4);
+  mask.set_missing(0, 2);  // Exclude the outlier.
+  auto stats = data.ComputeNormalization(mask);
+  EXPECT_NEAR(stats.mean[0], 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace deepmvi

@@ -1,0 +1,149 @@
+// dmvi_impute: command-line missing value imputation for CSV datasets.
+//
+//   dmvi_impute --input data.csv [--mask mask.csv] [--method DeepMVI]
+//               [--output imputed.csv] [--report]
+//
+// The input is a series-major CSV (one row per series); missing cells are
+// empty fields or `nan`, or supplied separately via --mask (0/1 CSV of
+// the same shape). Optional `# dim:` headers (see src/data/io.h) declare
+// a multidimensional index; without them the file is treated as a plain
+// collection of series.
+//
+// Methods: DeepMVI (default), CDRec, DynaMMO, TRMF, SVDImp, SoftImpute,
+// SVT, STMVL, BRITS, GPVAE, Transformer, Mean, LinearInterp.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "baselines/dynammo.h"
+#include "baselines/matrix_completion.h"
+#include "baselines/simple.h"
+#include "baselines/stmvl.h"
+#include "baselines/trmf.h"
+#include "common/stopwatch.h"
+#include "core/deepmvi.h"
+#include "data/io.h"
+#include "deep/brits.h"
+#include "deep/gpvae.h"
+#include "deep/transformer_imputer.h"
+
+namespace deepmvi {
+namespace {
+
+std::unique_ptr<Imputer> MakeImputer(const std::string& method) {
+  if (method == "DeepMVI") return std::make_unique<DeepMviImputer>();
+  if (method == "CDRec") return std::make_unique<CdRecImputer>();
+  if (method == "DynaMMO") return std::make_unique<DynammoImputer>();
+  if (method == "TRMF") return std::make_unique<TrmfImputer>();
+  if (method == "SVDImp") return std::make_unique<SvdImputer>();
+  if (method == "SoftImpute") return std::make_unique<SoftImputer>();
+  if (method == "SVT") return std::make_unique<SvtImputer>();
+  if (method == "STMVL") return std::make_unique<StmvlImputer>();
+  if (method == "BRITS") return std::make_unique<BritsImputer>();
+  if (method == "GPVAE") return std::make_unique<GpVaeImputer>();
+  if (method == "Transformer") return std::make_unique<TransformerImputer>();
+  if (method == "Mean") return std::make_unique<MeanImputer>();
+  if (method == "LinearInterp") {
+    return std::make_unique<LinearInterpolationImputer>();
+  }
+  return nullptr;
+}
+
+int Run(int argc, char** argv) {
+  std::string input, mask_path, output = "imputed.csv", method = "DeepMVI";
+  bool report = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--input") == 0 && i + 1 < argc) {
+      input = argv[++i];
+    } else if (std::strcmp(argv[i], "--mask") == 0 && i + 1 < argc) {
+      mask_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--output") == 0 && i + 1 < argc) {
+      output = argv[++i];
+    } else if (std::strcmp(argv[i], "--method") == 0 && i + 1 < argc) {
+      method = argv[++i];
+    } else if (std::strcmp(argv[i], "--report") == 0) {
+      report = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: dmvi_impute --input data.csv [--mask mask.csv]\n"
+          "                   [--method DeepMVI] [--output imputed.csv]\n"
+          "                   [--report]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (see --help)\n", argv[i]);
+      return 2;
+    }
+  }
+  if (input.empty()) {
+    std::fprintf(stderr, "--input is required (see --help)\n");
+    return 2;
+  }
+
+  Mask inline_mask;
+  StatusOr<DataTensor> data = ReadDataTensor(input, &inline_mask);
+  if (!data.ok()) {
+    std::fprintf(stderr, "error reading %s: %s\n", input.c_str(),
+                 data.status().ToString().c_str());
+    return 1;
+  }
+
+  Mask mask = inline_mask;
+  if (!mask_path.empty()) {
+    StatusOr<Mask> loaded = ReadMask(mask_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error reading %s: %s\n", mask_path.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    if (loaded->rows() != data->num_series() ||
+        loaded->cols() != data->num_times()) {
+      std::fprintf(stderr, "mask shape %dx%d does not match data %dx%d\n",
+                   loaded->rows(), loaded->cols(), data->num_series(),
+                   data->num_times());
+      return 1;
+    }
+    // Combine: a cell is available only if available in both.
+    mask = mask.And(*loaded);
+  }
+  if (mask.CountMissing() == 0) {
+    std::fprintf(stderr, "nothing to impute: no missing cells found\n");
+    return 1;
+  }
+
+  std::unique_ptr<Imputer> imputer = MakeImputer(method);
+  if (imputer == nullptr) {
+    std::fprintf(stderr, "unknown method '%s' (see --help)\n", method.c_str());
+    return 2;
+  }
+
+  if (report) {
+    std::printf("dataset: %d series x %d steps (%d dims), %lld missing cells"
+                " (%.2f%%)\n",
+                data->num_series(), data->num_times(), data->num_dims(),
+                static_cast<long long>(mask.CountMissing()),
+                100.0 * mask.MissingFraction());
+  }
+  Stopwatch watch;
+  Matrix imputed = imputer->Impute(*data, mask);
+  if (report) {
+    std::printf("%s finished in %.2fs\n", imputer->name().c_str(),
+                watch.ElapsedSeconds());
+  }
+
+  DataTensor result(data->dims(), std::move(imputed));
+  Status status = WriteDataTensor(result, output);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error writing %s: %s\n", output.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  if (report) std::printf("wrote %s\n", output.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace deepmvi
+
+int main(int argc, char** argv) { return deepmvi::Run(argc, argv); }
