@@ -37,80 +37,162 @@ BenchOptions ParseOptions(int argc, char** argv) {
   return options;
 }
 
-std::unique_ptr<Imputer> MakeImputer(const std::string& name,
-                                     const BenchOptions& options) {
-  const bool quick = options.profile == BenchOptions::Profile::kQuick;
-  const bool full = options.profile == BenchOptions::Profile::kFull;
+namespace {
 
-  if (name == "Mean") return std::make_unique<MeanImputer>();
-  if (name == "LinearInterp") return std::make_unique<LinearInterpolationImputer>();
-  if (name == "SVDImp") return std::make_unique<SvdImputer>();
-  if (name == "SoftImpute") return std::make_unique<SoftImputer>();
-  if (name == "SVT") return std::make_unique<SvtImputer>();
-  if (name == "CDRec") return std::make_unique<CdRecImputer>();
-  if (name == "TRMF") {
-    TrmfImputer::Config config;
-    if (quick) config.outer_iterations = 4;
-    return std::make_unique<TrmfImputer>(config);
-  }
-  if (name == "DynaMMO") {
-    DynammoImputer::Config config;
-    if (quick) config.em_iterations = 3;
-    return std::make_unique<DynammoImputer>(config);
-  }
-  if (name == "STMVL") return std::make_unique<StmvlImputer>();
-  if (name == "TKCM") return std::make_unique<TkcmImputer>();
-  if (name == "MRNN") {
-    MrnnImputer::Config config;
-    config.max_epochs = quick ? 2 : (full ? 20 : 8);
-    return std::make_unique<MrnnImputer>(config);
-  }
-  if (name == "BRITS") {
-    BritsImputer::Config config;
-    config.max_epochs = quick ? 2 : (full ? 30 : 10);
-    config.hidden_dim = quick ? 16 : 64;
-    return std::make_unique<BritsImputer>(config);
-  }
-  if (name == "GPVAE") {
-    GpVaeImputer::Config config;
-    config.max_epochs = quick ? 2 : (full ? 40 : 20);
-    return std::make_unique<GpVaeImputer>(config);
-  }
-  if (name == "Transformer") {
-    TransformerImputer::Config config;
-    config.max_epochs = quick ? 2 : (full ? 30 : 12);
-    config.samples_per_epoch = quick ? 8 : (full ? 48 : 24);
-    return std::make_unique<TransformerImputer>(config);
-  }
-  // DeepMVI family.
+bool IsQuick(const BenchOptions& options) {
+  return options.profile == BenchOptions::Profile::kQuick;
+}
+bool IsFull(const BenchOptions& options) {
+  return options.profile == BenchOptions::Profile::kFull;
+}
+
+DeepMviConfig DeepMviBenchConfig(const BenchOptions& options) {
+  const bool quick = IsQuick(options);
   DeepMviConfig config;
   config.max_epochs = quick ? 2 : 30;
   config.samples_per_epoch = quick ? 16 : 128;
   config.batch_size = 4;
   config.patience = quick ? 1 : 4;
-  if (name == "DeepMVI") return std::make_unique<DeepMviImputer>(config);
-  if (name == "DeepMVI1D") {
-    config.flatten_multidim = true;
-    return std::make_unique<DeepMviImputer>(config);
+  return config;
+}
+
+// Single registry of benchmark imputer names: both MakeImputer and
+// IsImputerName resolve against this table, so the two cannot drift.
+using ImputerFactoryFn = std::unique_ptr<Imputer> (*)(const BenchOptions&);
+struct NamedImputerFactory {
+  const char* name;
+  ImputerFactoryFn make;
+};
+
+const NamedImputerFactory kImputerFactories[] = {
+    {"Mean",
+     [](const BenchOptions&) -> std::unique_ptr<Imputer> {
+       return std::make_unique<MeanImputer>();
+     }},
+    {"LinearInterp",
+     [](const BenchOptions&) -> std::unique_ptr<Imputer> {
+       return std::make_unique<LinearInterpolationImputer>();
+     }},
+    {"SVDImp",
+     [](const BenchOptions&) -> std::unique_ptr<Imputer> {
+       return std::make_unique<SvdImputer>();
+     }},
+    {"SoftImpute",
+     [](const BenchOptions&) -> std::unique_ptr<Imputer> {
+       return std::make_unique<SoftImputer>();
+     }},
+    {"SVT",
+     [](const BenchOptions&) -> std::unique_ptr<Imputer> {
+       return std::make_unique<SvtImputer>();
+     }},
+    {"CDRec",
+     [](const BenchOptions&) -> std::unique_ptr<Imputer> {
+       return std::make_unique<CdRecImputer>();
+     }},
+    {"TRMF",
+     [](const BenchOptions& options) -> std::unique_ptr<Imputer> {
+       TrmfImputer::Config config;
+       if (IsQuick(options)) config.outer_iterations = 4;
+       return std::make_unique<TrmfImputer>(config);
+     }},
+    {"DynaMMO",
+     [](const BenchOptions& options) -> std::unique_ptr<Imputer> {
+       DynammoImputer::Config config;
+       if (IsQuick(options)) config.em_iterations = 3;
+       return std::make_unique<DynammoImputer>(config);
+     }},
+    {"STMVL",
+     [](const BenchOptions&) -> std::unique_ptr<Imputer> {
+       return std::make_unique<StmvlImputer>();
+     }},
+    {"TKCM",
+     [](const BenchOptions&) -> std::unique_ptr<Imputer> {
+       return std::make_unique<TkcmImputer>();
+     }},
+    {"MRNN",
+     [](const BenchOptions& options) -> std::unique_ptr<Imputer> {
+       MrnnImputer::Config config;
+       config.max_epochs = IsQuick(options) ? 2 : (IsFull(options) ? 20 : 8);
+       return std::make_unique<MrnnImputer>(config);
+     }},
+    {"BRITS",
+     [](const BenchOptions& options) -> std::unique_ptr<Imputer> {
+       BritsImputer::Config config;
+       config.max_epochs = IsQuick(options) ? 2 : (IsFull(options) ? 30 : 10);
+       config.hidden_dim = IsQuick(options) ? 16 : 64;
+       return std::make_unique<BritsImputer>(config);
+     }},
+    {"GPVAE",
+     [](const BenchOptions& options) -> std::unique_ptr<Imputer> {
+       GpVaeImputer::Config config;
+       config.max_epochs = IsQuick(options) ? 2 : (IsFull(options) ? 40 : 20);
+       return std::make_unique<GpVaeImputer>(config);
+     }},
+    {"Transformer",
+     [](const BenchOptions& options) -> std::unique_ptr<Imputer> {
+       TransformerImputer::Config config;
+       config.max_epochs = IsQuick(options) ? 2 : (IsFull(options) ? 30 : 12);
+       config.samples_per_epoch =
+           IsQuick(options) ? 8 : (IsFull(options) ? 48 : 24);
+       return std::make_unique<TransformerImputer>(config);
+     }},
+    {"DeepMVI",
+     [](const BenchOptions& options) -> std::unique_ptr<Imputer> {
+       return std::make_unique<DeepMviImputer>(DeepMviBenchConfig(options));
+     }},
+    {"DeepMVI1D",
+     [](const BenchOptions& options) -> std::unique_ptr<Imputer> {
+       DeepMviConfig config = DeepMviBenchConfig(options);
+       config.flatten_multidim = true;
+       return std::make_unique<DeepMviImputer>(config);
+     }},
+    {"DeepMVI-NoTT",
+     [](const BenchOptions& options) -> std::unique_ptr<Imputer> {
+       DeepMviConfig config = DeepMviBenchConfig(options);
+       config.use_temporal_transformer = false;
+       return std::make_unique<DeepMviImputer>(config);
+     }},
+    {"DeepMVI-NoContext",
+     [](const BenchOptions& options) -> std::unique_ptr<Imputer> {
+       DeepMviConfig config = DeepMviBenchConfig(options);
+       config.use_context_window = false;
+       return std::make_unique<DeepMviImputer>(config);
+     }},
+    {"DeepMVI-NoKR",
+     [](const BenchOptions& options) -> std::unique_ptr<Imputer> {
+       DeepMviConfig config = DeepMviBenchConfig(options);
+       config.use_kernel_regression = false;
+       return std::make_unique<DeepMviImputer>(config);
+     }},
+    {"DeepMVI-NoFG",
+     [](const BenchOptions& options) -> std::unique_ptr<Imputer> {
+       DeepMviConfig config = DeepMviBenchConfig(options);
+       config.use_fine_grained = false;
+       return std::make_unique<DeepMviImputer>(config);
+     }},
+};
+
+const NamedImputerFactory* FindImputerFactory(const std::string& name) {
+  for (const NamedImputerFactory& entry : kImputerFactories) {
+    if (name == entry.name) return &entry;
   }
-  if (name == "DeepMVI-NoTT") {
-    config.use_temporal_transformer = false;
-    return std::make_unique<DeepMviImputer>(config);
-  }
-  if (name == "DeepMVI-NoContext") {
-    config.use_context_window = false;
-    return std::make_unique<DeepMviImputer>(config);
-  }
-  if (name == "DeepMVI-NoKR") {
-    config.use_kernel_regression = false;
-    return std::make_unique<DeepMviImputer>(config);
-  }
-  if (name == "DeepMVI-NoFG") {
-    config.use_fine_grained = false;
-    return std::make_unique<DeepMviImputer>(config);
-  }
-  DMVI_LOG(Fatal) << "Unknown imputer name: " << name;
   return nullptr;
+}
+
+}  // namespace
+
+bool IsImputerName(const std::string& name) {
+  return FindImputerFactory(name) != nullptr;
+}
+
+std::unique_ptr<Imputer> MakeImputer(const std::string& name,
+                                     const BenchOptions& options) {
+  const NamedImputerFactory* factory = FindImputerFactory(name);
+  if (factory == nullptr) {
+    DMVI_LOG(Fatal) << "Unknown imputer name: " << name;
+    return nullptr;
+  }
+  return factory->make(options);
 }
 
 void RunJobs(std::vector<Job>& jobs, const BenchOptions& options) {

@@ -41,6 +41,10 @@ BenchOptions ParseOptions(int argc, char** argv);
 std::unique_ptr<Imputer> MakeImputer(const std::string& name,
                                      const BenchOptions& options);
 
+/// True if `name` is accepted by MakeImputer (which aborts on unknown
+/// names — check first when the name comes from user input).
+bool IsImputerName(const std::string& name);
+
 /// One experiment job of a bench grid.
 struct Job {
   std::string dataset;

@@ -6,12 +6,18 @@
 
 namespace deepmvi {
 
-void ParallelFor(int n, int num_threads, const std::function<void(int)>& f) {
-  if (n <= 0) return;
+int EffectiveThreads(int n, int num_threads) {
+  if (n <= 0) return 0;
   if (num_threads <= 0) {
     num_threads = static_cast<int>(std::thread::hardware_concurrency());
     if (num_threads <= 0) num_threads = 4;
   }
+  return std::min(num_threads, n);
+}
+
+void ParallelFor(int n, int num_threads, const std::function<void(int)>& f) {
+  if (n <= 0) return;
+  num_threads = EffectiveThreads(n, num_threads);
   if (num_threads == 1 || n == 1) {
     for (int i = 0; i < n; ++i) f(i);
     return;

@@ -12,6 +12,11 @@ namespace deepmvi {
 /// experiment seeds its own RNGs, so results are identical to a serial run.
 void ParallelFor(int n, int num_threads, const std::function<void(int)>& f);
 
+/// Number of worker threads ParallelFor(n, num_threads, ...) actually
+/// uses: hardware concurrency (fallback 4) when num_threads <= 0, clamped
+/// to n. For reporting/telemetry alongside a ParallelFor call.
+int EffectiveThreads(int n, int num_threads);
+
 }  // namespace deepmvi
 
 #endif  // DEEPMVI_COMMON_PARALLEL_H_

@@ -76,6 +76,14 @@ Mask Mask::And(const Mask& other) const {
   return out;
 }
 
+Mask Mask::Complemented() const {
+  Mask out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] != 0 ? 0 : 1;
+  }
+  return out;
+}
+
 bool Mask::operator==(const Mask& other) const {
   return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
 }

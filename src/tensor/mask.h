@@ -73,6 +73,9 @@ class Mask {
   /// Intersection: available in both.
   Mask And(const Mask& other) const;
 
+  /// Complement: every cell's availability flipped (A <-> M = 1 - A).
+  Mask Complemented() const;
+
   /// True when every cell of `other` equals this mask.
   bool operator==(const Mask& other) const;
 

@@ -5,34 +5,16 @@
 
 #include "autodiff/ops.h"
 #include "autodiff/tape.h"
+#include "testing/test_util.h"
 
 namespace deepmvi {
 namespace ad {
 namespace {
 
-using GraphFn = std::function<Var(Tape&, const std::vector<Var>&)>;
-
-/// Asserts that analytic and numerical gradients of `f` agree at `inputs`.
-void ExpectGradientsMatch(const GraphFn& f, const std::vector<Matrix>& inputs,
-                          double tol = 1e-6) {
-  std::vector<Matrix> analytic = AnalyticGradient(f, inputs);
-  std::vector<Matrix> numeric = NumericalGradient(f, inputs);
-  ASSERT_EQ(analytic.size(), numeric.size());
-  for (size_t i = 0; i < analytic.size(); ++i) {
-    ASSERT_EQ(analytic[i].rows(), numeric[i].rows());
-    ASSERT_EQ(analytic[i].cols(), numeric[i].cols());
-    for (int r = 0; r < analytic[i].rows(); ++r) {
-      for (int c = 0; c < analytic[i].cols(); ++c) {
-        EXPECT_NEAR(analytic[i](r, c), numeric[i](r, c), tol)
-            << "input " << i << " at (" << r << "," << c << ")";
-      }
-    }
-  }
-}
+using testutil::ExpectGradientsMatch;
 
 Matrix TestInput(int rows, int cols, uint64_t seed) {
-  Rng rng(seed);
-  return Matrix::RandomGaussian(rows, cols, rng, 0.0, 0.7);
+  return testutil::RandomMatrix(rows, cols, seed, 0.7);
 }
 
 TEST(TapeTest, LeafValueAndScalar) {
@@ -71,13 +53,13 @@ TEST(TapeTest, ResetInvalidatesNodes) {
 
 TEST(GradCheck, Add) {
   ExpectGradientsMatch(
-      [](Tape& t, const std::vector<Var>& v) { return Sum(Add(v[0], v[1])); },
+      [](Tape&, const std::vector<Var>& v) { return Sum(Add(v[0], v[1])); },
       {TestInput(3, 4, 1), TestInput(3, 4, 2)});
 }
 
 TEST(GradCheck, SubMulChain) {
   ExpectGradientsMatch(
-      [](Tape& t, const std::vector<Var>& v) {
+      [](Tape&, const std::vector<Var>& v) {
         return Sum(Mul(Sub(v[0], v[1]), v[0]));
       },
       {TestInput(2, 3, 3), TestInput(2, 3, 4)});
@@ -87,13 +69,13 @@ TEST(GradCheck, Div) {
   Rng rng(5);
   Matrix denom = Matrix::RandomUniform(2, 3, rng, 1.0, 2.0);
   ExpectGradientsMatch(
-      [](Tape& t, const std::vector<Var>& v) { return Sum(Div(v[0], v[1])); },
+      [](Tape&, const std::vector<Var>& v) { return Sum(Div(v[0], v[1])); },
       {TestInput(2, 3, 6), denom});
 }
 
 TEST(GradCheck, ScaleAddScalarNeg) {
   ExpectGradientsMatch(
-      [](Tape& t, const std::vector<Var>& v) {
+      [](Tape&, const std::vector<Var>& v) {
         return Sum(Neg(AddScalar(Scale(v[0], 2.5), -1.0)));
       },
       {TestInput(3, 3, 7)});
@@ -102,7 +84,7 @@ TEST(GradCheck, ScaleAddScalarNeg) {
 TEST(GradCheck, MulConst) {
   Matrix mask = {{1, 0, 1}, {0, 1, 0}};
   ExpectGradientsMatch(
-      [mask](Tape& t, const std::vector<Var>& v) {
+      [mask](Tape&, const std::vector<Var>& v) {
         return Sum(MulConst(v[0], mask));
       },
       {TestInput(2, 3, 8)});
@@ -118,12 +100,12 @@ TEST(GradCheck, Relu) {
     }
   }
   ExpectGradientsMatch(
-      [](Tape& t, const std::vector<Var>& v) { return Sum(Relu(v[0])); }, {x});
+      [](Tape&, const std::vector<Var>& v) { return Sum(Relu(v[0])); }, {x});
 }
 
 TEST(GradCheck, TanhSigmoidExp) {
   ExpectGradientsMatch(
-      [](Tape& t, const std::vector<Var>& v) {
+      [](Tape&, const std::vector<Var>& v) {
         return Sum(Tanh(Sigmoid(Exp(v[0]))));
       },
       {TestInput(2, 4, 10)});
@@ -133,7 +115,7 @@ TEST(GradCheck, LogSquareSqrt) {
   Rng rng(11);
   Matrix x = Matrix::RandomUniform(2, 3, rng, 0.5, 2.0);
   ExpectGradientsMatch(
-      [](Tape& t, const std::vector<Var>& v) {
+      [](Tape&, const std::vector<Var>& v) {
         return Sum(Log(Sqrt(Square(v[0]), 1e-3)));
       },
       {x});
@@ -142,12 +124,12 @@ TEST(GradCheck, LogSquareSqrt) {
 TEST(GradCheck, AbsAwayFromZero) {
   Matrix x = {{0.5, -0.7}, {1.2, -2.0}};
   ExpectGradientsMatch(
-      [](Tape& t, const std::vector<Var>& v) { return Sum(Abs(v[0])); }, {x});
+      [](Tape&, const std::vector<Var>& v) { return Sum(Abs(v[0])); }, {x});
 }
 
 TEST(GradCheck, MatMul) {
   ExpectGradientsMatch(
-      [](Tape& t, const std::vector<Var>& v) {
+      [](Tape&, const std::vector<Var>& v) {
         return Sum(MatMul(v[0], v[1]));
       },
       {TestInput(3, 4, 12), TestInput(4, 2, 13)});
@@ -155,7 +137,7 @@ TEST(GradCheck, MatMul) {
 
 TEST(GradCheck, MatMulChainWithNonlinearity) {
   ExpectGradientsMatch(
-      [](Tape& t, const std::vector<Var>& v) {
+      [](Tape&, const std::vector<Var>& v) {
         return Sum(Tanh(MatMul(Relu(MatMul(v[0], v[1])), v[2])));
       },
       {TestInput(2, 3, 14), TestInput(3, 4, 15), TestInput(4, 2, 16)}, 1e-5);
@@ -163,7 +145,7 @@ TEST(GradCheck, MatMulChainWithNonlinearity) {
 
 TEST(GradCheck, Transpose) {
   ExpectGradientsMatch(
-      [](Tape& t, const std::vector<Var>& v) {
+      [](Tape&, const std::vector<Var>& v) {
         return Sum(MatMul(Transpose(v[0]), v[0]));
       },
       {TestInput(3, 2, 17)});
@@ -171,7 +153,7 @@ TEST(GradCheck, Transpose) {
 
 TEST(GradCheck, ReshapeSliceConcat) {
   ExpectGradientsMatch(
-      [](Tape& t, const std::vector<Var>& v) {
+      [](Tape&, const std::vector<Var>& v) {
         Var reshaped = Reshape(v[0], 2, 6);
         Var left = SliceCols(reshaped, 0, 3);
         Var right = SliceCols(reshaped, 3, 3);
@@ -184,7 +166,7 @@ TEST(GradCheck, ReshapeSliceConcat) {
 
 TEST(GradCheck, ConcatColsGradientSplit) {
   ExpectGradientsMatch(
-      [](Tape& t, const std::vector<Var>& v) {
+      [](Tape&, const std::vector<Var>& v) {
         return Sum(Square(ConcatCols({v[0], v[1]})));
       },
       {TestInput(2, 2, 19), TestInput(2, 3, 20)});
@@ -192,7 +174,7 @@ TEST(GradCheck, ConcatColsGradientSplit) {
 
 TEST(GradCheck, GatherRowsWithDuplicates) {
   ExpectGradientsMatch(
-      [](Tape& t, const std::vector<Var>& v) {
+      [](Tape&, const std::vector<Var>& v) {
         // Row 1 appears twice: gradient must accumulate.
         return Sum(Square(GatherRows(v[0], {1, 0, 1})));
       },
@@ -201,7 +183,7 @@ TEST(GradCheck, GatherRowsWithDuplicates) {
 
 TEST(GradCheck, RowBroadcasts) {
   ExpectGradientsMatch(
-      [](Tape& t, const std::vector<Var>& v) {
+      [](Tape&, const std::vector<Var>& v) {
         Var a = AddRowVector(v[0], v[1]);
         Var b = SubRowVector(a, v[2]);
         Var c = MulRowVector(b, v[1]);
@@ -212,7 +194,7 @@ TEST(GradCheck, RowBroadcasts) {
 
 TEST(GradCheck, BroadcastScalar) {
   ExpectGradientsMatch(
-      [](Tape& t, const std::vector<Var>& v) {
+      [](Tape&, const std::vector<Var>& v) {
         Var s = Mean(v[0]);
         return Sum(Mul(BroadcastScalar(s, 2, 3), v[1]));
       },
@@ -221,7 +203,7 @@ TEST(GradCheck, BroadcastScalar) {
 
 TEST(GradCheck, Reductions) {
   ExpectGradientsMatch(
-      [](Tape& t, const std::vector<Var>& v) {
+      [](Tape&, const std::vector<Var>& v) {
         Var rs = RowSum(Square(v[0]));      // n x 1
         Var cs = ColSum(Square(v[0]));      // 1 x m
         return Add(Sum(rs), Add(Sum(cs), Mean(v[0])));
@@ -231,7 +213,7 @@ TEST(GradCheck, Reductions) {
 
 TEST(GradCheck, SoftmaxRows) {
   ExpectGradientsMatch(
-      [](Tape& t, const std::vector<Var>& v) {
+      [](Tape&, const std::vector<Var>& v) {
         Var w = SoftmaxRows(v[0]);
         // Weighted sum so the gradient is non-trivial.
         return Sum(Mul(w, v[1]));
@@ -242,7 +224,7 @@ TEST(GradCheck, SoftmaxRows) {
 TEST(GradCheck, MaskedSoftmaxRows) {
   Matrix avail = {{1, 0, 1, 1}, {0, 1, 1, 0}, {1, 1, 1, 1}};
   ExpectGradientsMatch(
-      [avail](Tape& t, const std::vector<Var>& v) {
+      [avail](Tape&, const std::vector<Var>& v) {
         Var w = MaskedSoftmaxRows(v[0], avail);
         return Sum(Mul(w, v[1]));
       },
@@ -274,7 +256,7 @@ TEST(GradCheck, WeightedMseLoss) {
   Matrix target = TestInput(3, 4, 32);
   Matrix weight = {{1, 0, 1, 1}, {1, 1, 0, 0}, {0, 0, 1, 1}};
   ExpectGradientsMatch(
-      [target, weight](Tape& t, const std::vector<Var>& v) {
+      [target, weight](Tape&, const std::vector<Var>& v) {
         return WeightedMseLoss(Tanh(v[0]), target, weight);
       },
       {TestInput(3, 4, 33)});
@@ -286,7 +268,7 @@ TEST(GradCheck, WeightedMaeLoss) {
   // Keep predictions away from the kink at pred == target.
   Matrix pred = {{0.5, -0.8}, {1.5, 0.3}};
   ExpectGradientsMatch(
-      [target, weight](Tape& t, const std::vector<Var>& v) {
+      [target, weight](Tape&, const std::vector<Var>& v) {
         return WeightedMaeLoss(v[0], target, weight);
       },
       {pred});
@@ -314,7 +296,7 @@ TEST(LossTest, MaeIgnoresZeroWeight) {
 TEST(GradCheck, AttentionLikeComposite) {
   Matrix avail = {{1, 1, 0}, {1, 1, 0}, {0, 1, 1}};
   ExpectGradientsMatch(
-      [avail](Tape& t, const std::vector<Var>& v) {
+      [avail](Tape&, const std::vector<Var>& v) {
         Var q = MatMul(v[0], v[1]);
         Var k = MatMul(v[0], v[2]);
         Var scores = Scale(MatMul(q, Transpose(k)), 1.0 / std::sqrt(2.0));
@@ -332,7 +314,7 @@ class GradShapeSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
 TEST_P(GradShapeSweep, CompositeGraph) {
   const auto [rows, cols] = GetParam();
   ExpectGradientsMatch(
-      [](Tape& t, const std::vector<Var>& v) {
+      [](Tape&, const std::vector<Var>& v) {
         Var h = Tanh(v[0]);
         Var s = RowSum(Square(h));
         return Add(Sum(s), Mean(Mul(h, h)));

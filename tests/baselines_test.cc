@@ -10,50 +10,12 @@
 #include "data/synthetic.h"
 #include "eval/metrics.h"
 #include "scenario/scenarios.h"
+#include "testing/test_util.h"
 
 namespace deepmvi {
 namespace {
 
-/// Low-rank ground truth: X = U V^T + small noise. Matrix-completion
-/// methods should recover it well under MCAR.
-Matrix LowRankData(int n, int t_len, int rank, uint64_t seed) {
-  Rng rng(seed);
-  Matrix u = Matrix::RandomGaussian(n, rank, rng);
-  Matrix v = Matrix::RandomGaussian(t_len, rank, rng);
-  Matrix x = u.MatMulTranspose(v);
-  for (int r = 0; r < n; ++r) {
-    for (int t = 0; t < t_len; ++t) x(r, t) += 0.01 * rng.Gaussian();
-  }
-  return x;
-}
-
-Mask McarMask(int n, int t_len, double frac, uint64_t seed, int block = 5) {
-  ScenarioConfig config;
-  config.kind = ScenarioKind::kMcar;
-  config.percent_incomplete = 1.0;
-  config.missing_fraction = frac;
-  config.block_size = block;
-  config.seed = seed;
-  return GenerateScenario(config, n, t_len);
-}
-
-/// Checks the Imputer contract: available cells pass through unchanged and
-/// the output is finite everywhere.
-void CheckImputerContract(Imputer& imputer, const DataTensor& data,
-                          const Mask& mask) {
-  Matrix imputed = imputer.Impute(data, mask);
-  ASSERT_EQ(imputed.rows(), data.num_series());
-  ASSERT_EQ(imputed.cols(), data.num_times());
-  EXPECT_TRUE(imputed.AllFinite()) << imputer.name();
-  for (int r = 0; r < imputed.rows(); ++r) {
-    for (int t = 0; t < imputed.cols(); ++t) {
-      if (mask.available(r, t)) {
-        EXPECT_EQ(imputed(r, t), data.values()(r, t))
-            << imputer.name() << " modified an available cell";
-      }
-    }
-  }
-}
+using namespace testutil;
 
 TEST(MeanImputerTest, FillsWithSeriesMean) {
   Matrix values = {{1, 2, 3, 100}, {10, 10, 10, 10}};

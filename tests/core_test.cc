@@ -9,22 +9,12 @@
 #include "data/synthetic.h"
 #include "eval/metrics.h"
 #include "scenario/scenarios.h"
+#include "testing/test_util.h"
 
 namespace deepmvi {
 namespace {
 
-DeepMviConfig FastConfig() {
-  DeepMviConfig config;
-  config.max_epochs = 20;
-  config.samples_per_epoch = 96;
-  config.batch_size = 4;
-  config.patience = 4;
-  config.filters = 16;
-  config.num_heads = 2;
-  config.embedding_dim = 6;
-  config.seed = 5;
-  return config;
-}
+using testutil::FastDeepMviConfig;
 
 TEST(TemporalTransformerTest, OutputShape) {
   nn::ParameterStore store;
@@ -194,14 +184,16 @@ TEST(DeepMviTest, ContractOnSmallData) {
   scenario.seed = 9;
   Mask mask = GenerateScenario(scenario, 6, 120);
 
-  DeepMviImputer imputer(FastConfig());
+  DeepMviImputer imputer(FastDeepMviConfig());
   Matrix out = imputer.Impute(data, mask);
   ASSERT_EQ(out.rows(), 6);
   ASSERT_EQ(out.cols(), 120);
   EXPECT_TRUE(out.AllFinite());
   for (int r = 0; r < 6; ++r) {
     for (int t = 0; t < 120; ++t) {
-      if (mask.available(r, t)) EXPECT_EQ(out(r, t), x(r, t));
+      if (mask.available(r, t)) {
+        EXPECT_EQ(out(r, t), x(r, t));
+      }
     }
   }
   EXPECT_GT(imputer.train_stats().epochs_run, 0);
@@ -226,7 +218,7 @@ TEST(DeepMviTest, BeatsMeanImputationOnSeasonalData) {
   scenario.seed = 11;
   Mask mask = GenerateScenario(scenario, 8, 240);
 
-  DeepMviConfig config = FastConfig();
+  DeepMviConfig config = FastDeepMviConfig();
   config.max_epochs = 25;
   DeepMviImputer deep(config);
   MeanImputer mean;
@@ -251,7 +243,7 @@ TEST(DeepMviTest, KernelRegressionCarriesBlackMarketSiblingSignal) {
   Mask mask(4, 200);
   mask.SetMissingRange(0, 80, 120);
 
-  DeepMviConfig config = FastConfig();
+  DeepMviConfig config = FastDeepMviConfig();
   config.max_epochs = 25;
   DeepMviImputer imputer(config);
   Matrix out = imputer.Impute(data, mask);
@@ -278,7 +270,7 @@ TEST(DeepMviTest, HandlesBlackoutWithoutSiblings) {
   scenario.seed = 14;
   Mask mask = GenerateScenario(scenario, 5, 300);
 
-  DeepMviConfig config = FastConfig();
+  DeepMviConfig config = FastDeepMviConfig();
   config.max_epochs = 25;
   DeepMviImputer deep(config);
   MeanImputer mean;
@@ -311,7 +303,7 @@ TEST(DeepMviTest, MultidimensionalSiblingsUsed) {
   Mask mask(12, 150);
   mask.SetMissingRange(0, 50, 90);  // (s0, i0)
 
-  DeepMviConfig config = FastConfig();
+  DeepMviConfig config = FastDeepMviConfig();
   DeepMviImputer imputer(config);
   Matrix out = imputer.Impute(data, mask);
   EXPECT_LT(MaeOnMissing(out, values, mask), 0.3);
@@ -331,7 +323,7 @@ TEST(DeepMviTest, AblationsRunAndHonourContract) {
   Mask mask = GenerateScenario(scenario, 5, 100);
 
   for (int variant = 0; variant < 4; ++variant) {
-    DeepMviConfig config = FastConfig();
+    DeepMviConfig config = FastDeepMviConfig();
     config.max_epochs = 3;
     if (variant == 0) config.use_temporal_transformer = false;
     if (variant == 1) config.use_context_window = false;
@@ -359,7 +351,7 @@ TEST(DeepMviTest, Flatten1DVariantRuns) {
   Mask mask(6, 80);
   mask.SetMissingRange(2, 20, 30);
 
-  DeepMviConfig config = FastConfig();
+  DeepMviConfig config = FastDeepMviConfig();
   config.max_epochs = 3;
   config.flatten_multidim = true;
   DeepMviImputer imputer(config);
@@ -379,11 +371,35 @@ TEST(DeepMviTest, WindowAutoSelection) {
   Mask mask(4, 600);
   mask.SetMissingRange(0, 100, 250);  // Block of 150.
 
-  DeepMviConfig config = FastConfig();
+  DeepMviConfig config = FastDeepMviConfig();
   config.max_epochs = 1;
   DeepMviImputer imputer(config);
   imputer.Impute(data, mask);
   EXPECT_EQ(imputer.train_stats().window_used, 20);
+}
+
+TEST(DeepMviTest, ImputationIsBitIdenticalForSameSeed) {
+  // Determinism regression guard: training and inference draw every random
+  // number from the config seed, so two fresh imputers with the same
+  // config must produce bit-identical matrices. Future parallelization of
+  // the training loop must preserve this (per-worker RNG streams, ordered
+  // reductions) or update this test deliberately.
+  testutil::SeasonalCase c = testutil::MakeSeasonalCase(17, 5, 120);
+  DeepMviConfig config = testutil::TinyDeepMviConfig();
+  config.seed = 99;
+
+  DeepMviImputer first(config);
+  Matrix out1 = first.Impute(c.data, c.mask);
+  DeepMviImputer second(config);
+  Matrix out2 = second.Impute(c.data, c.mask);
+
+  ASSERT_EQ(out1.rows(), out2.rows());
+  ASSERT_EQ(out1.cols(), out2.cols());
+  for (int r = 0; r < out1.rows(); ++r) {
+    for (int t = 0; t < out1.cols(); ++t) {
+      ASSERT_EQ(out1(r, t), out2(r, t)) << "(" << r << "," << t << ")";
+    }
+  }
 }
 
 }  // namespace

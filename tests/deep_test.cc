@@ -9,52 +9,19 @@
 #include "data/synthetic.h"
 #include "eval/metrics.h"
 #include "scenario/scenarios.h"
+#include "testing/test_util.h"
 
 namespace deepmvi {
 namespace {
 
-struct TestCase {
-  Matrix x;
-  DataTensor data;
-  Mask mask;
-};
+using namespace testutil;
 
-TestCase MakeSeasonalCase(uint64_t seed, int n = 6, int t_len = 200) {
-  SyntheticConfig config;
-  config.num_series = n;
-  config.length = t_len;
-  config.seasonal_periods = {25.0};
-  config.seasonality_strength = 0.85;
-  config.cross_correlation = 0.6;
-  config.noise_level = 0.05;
-  config.seed = seed;
-  TestCase out{GenerateSeriesMatrix(config), DataTensor(), Mask()};
-  out.data = DataTensor::FromMatrix(out.x);
-  ScenarioConfig scenario;
-  scenario.kind = ScenarioKind::kMcar;
-  scenario.percent_incomplete = 1.0;
-  scenario.missing_fraction = 0.1;
-  scenario.seed = seed + 1;
-  out.mask = GenerateScenario(scenario, n, t_len);
-  return out;
-}
-
-void CheckContract(Imputer& imputer, const TestCase& c) {
-  Matrix out = imputer.Impute(c.data, c.mask);
-  ASSERT_EQ(out.rows(), c.x.rows());
-  ASSERT_EQ(out.cols(), c.x.cols());
-  EXPECT_TRUE(out.AllFinite()) << imputer.name();
-  for (int r = 0; r < out.rows(); ++r) {
-    for (int t = 0; t < out.cols(); ++t) {
-      if (c.mask.available(r, t)) {
-        ASSERT_EQ(out(r, t), c.x(r, t)) << imputer.name();
-      }
-    }
-  }
+void CheckContract(Imputer& imputer, const SeasonalCase& c) {
+  CheckImputerContract(imputer, c.data, c.mask);
 }
 
 TEST(TransformerImputerTest, ContractAndAccuracy) {
-  TestCase c = MakeSeasonalCase(1);
+  SeasonalCase c = MakeSeasonalCase(1);
   TransformerImputer::Config config;
   config.max_epochs = 25;
   config.samples_per_epoch = 48;
@@ -64,7 +31,9 @@ TEST(TransformerImputerTest, ContractAndAccuracy) {
   ASSERT_TRUE(out.AllFinite());
   for (int r = 0; r < out.rows(); ++r) {
     for (int t = 0; t < out.cols(); ++t) {
-      if (c.mask.available(r, t)) ASSERT_EQ(out(r, t), c.x(r, t));
+      if (c.mask.available(r, t)) {
+        ASSERT_EQ(out(r, t), c.x(r, t));
+      }
     }
   }
   MeanImputer mean;
@@ -79,7 +48,7 @@ TEST(TransformerImputerTest, ContractAndAccuracy) {
 }
 
 TEST(TransformerImputerTest, HandlesSeriesShorterThanContext) {
-  TestCase c = MakeSeasonalCase(2, 4, 60);  // Shorter than max_context.
+  SeasonalCase c = MakeSeasonalCase(2, 4, 60);  // Shorter than max_context.
   TransformerImputer::Config config;
   config.max_epochs = 4;
   config.samples_per_epoch = 16;
@@ -88,7 +57,7 @@ TEST(TransformerImputerTest, HandlesSeriesShorterThanContext) {
 }
 
 TEST(BritsImputerTest, ContractAndAccuracy) {
-  TestCase c = MakeSeasonalCase(3);
+  SeasonalCase c = MakeSeasonalCase(3);
   BritsImputer::Config config;
   config.max_epochs = 15;
   config.hidden_dim = 32;
@@ -124,7 +93,7 @@ TEST(BritsImputerTest, UsesCrossSeriesSignal) {
 }
 
 TEST(GpVaeImputerTest, ContractAndAccuracy) {
-  TestCase c = MakeSeasonalCase(5);
+  SeasonalCase c = MakeSeasonalCase(5);
   GpVaeImputer::Config config;
   config.max_epochs = 20;
   GpVaeImputer imputer(config);
@@ -139,7 +108,7 @@ TEST(GpVaeImputerTest, ContractAndAccuracy) {
 TEST(GpVaeImputerTest, LatentSmoothnessInterpolatesBlackout) {
   // Correlated series + blackout: the VAE's latent path carries the column
   // structure across the gap.
-  TestCase c = MakeSeasonalCase(6);
+  SeasonalCase c = MakeSeasonalCase(6);
   ScenarioConfig scenario;
   scenario.kind = ScenarioKind::kBlackout;
   scenario.block_size = 15;
@@ -155,7 +124,7 @@ TEST(GpVaeImputerTest, LatentSmoothnessInterpolatesBlackout) {
 class DeepContractSweep : public ::testing::TestWithParam<ScenarioKind> {};
 
 TEST_P(DeepContractSweep, AllDeepBaselines) {
-  TestCase c = MakeSeasonalCase(8, 5, 120);
+  SeasonalCase c = MakeSeasonalCase(8, 5, 120);
   ScenarioConfig scenario;
   scenario.kind = GetParam();
   scenario.percent_incomplete = 0.6;

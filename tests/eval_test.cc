@@ -1,15 +1,44 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "baselines/simple.h"
 #include "data/presets.h"
 #include "eval/analytics.h"
 #include "eval/metrics.h"
 #include "eval/runner.h"
+#include "eval/suite.h"
 
 namespace deepmvi {
 namespace {
+
+std::unique_ptr<Imputer> SimpleFactory(const std::string& name) {
+  if (name == "Mean") return std::make_unique<MeanImputer>();
+  if (name == "LinearInterp") {
+    return std::make_unique<LinearInterpolationImputer>();
+  }
+  return nullptr;
+}
+
+SuiteSpec SmallGrid(int threads) {
+  SuiteSpec spec;
+  spec.datasets = {"AirQ", "Meteo"};
+  spec.imputers = {"Mean", "LinearInterp"};
+  ScenarioConfig mcar;
+  mcar.kind = ScenarioKind::kMcar;
+  mcar.percent_incomplete = 1.0;
+  mcar.seed = 11;
+  ScenarioConfig blackout;
+  blackout.kind = ScenarioKind::kBlackout;
+  blackout.block_size = 12;
+  blackout.seed = 11;
+  spec.scenarios = {mcar, blackout};
+  spec.factory = SimpleFactory;
+  spec.threads = threads;
+  return spec;
+}
 
 TEST(MetricsTest, MaeOnMissingOnlyCountsMissing) {
   Matrix truth = {{1, 2, 3}};
@@ -144,6 +173,94 @@ TEST(RunnerTest, ImputeAndExtractSeriesDenormalizes) {
       EXPECT_NEAR(series.imputed[t], series.truth[t], 1e-9);
     }
   }
+}
+
+TEST(SuiteTest, GridOrderIsDeterministicDatasetMajor) {
+  SuiteResult suite = RunSuite(SmallGrid(/*threads=*/2));
+  ASSERT_EQ(suite.cells.size(), 8u);  // 2 datasets x 2 scenarios x 2 imputers.
+  EXPECT_EQ(suite.cells[0].dataset, "AirQ");
+  EXPECT_EQ(suite.cells[0].scenario_name, "MCAR");
+  EXPECT_EQ(suite.cells[0].imputer, "Mean");
+  EXPECT_EQ(suite.cells[1].imputer, "LinearInterp");
+  EXPECT_EQ(suite.cells[2].scenario_name, "Blackout");
+  EXPECT_EQ(suite.cells[4].dataset, "Meteo");
+  EXPECT_GE(suite.wall_seconds, 0.0);
+  EXPECT_EQ(suite.num_failed(), 0);
+}
+
+TEST(SuiteTest, ParallelRunMatchesSerialRunExperiment) {
+  // The acceptance property of the batch runner: fanning the grid over
+  // worker threads changes nothing — every cell equals a direct serial
+  // RunExperiment with the same dataset, scenario, and imputer.
+  SuiteResult parallel = RunSuite(SmallGrid(/*threads=*/4));
+  for (const SuiteCell& cell : parallel.cells) {
+    ASSERT_TRUE(cell.ok) << cell.error;
+    DataTensor data = MakeDataset(cell.dataset, DatasetScale::kReduced, 1);
+    std::unique_ptr<Imputer> imputer = SimpleFactory(cell.imputer);
+    ExperimentResult serial = RunExperiment(data, cell.scenario, *imputer);
+    EXPECT_EQ(cell.result.mae, serial.mae) << cell.dataset << " " << cell.imputer;
+    EXPECT_EQ(cell.result.rmse, serial.rmse);
+    EXPECT_EQ(cell.result.analytics_gain, serial.analytics_gain);
+    EXPECT_EQ(cell.result.missing_cells, serial.missing_cells);
+  }
+}
+
+TEST(SuiteTest, ProgressCallbackCoversEveryCell) {
+  SuiteSpec spec = SmallGrid(/*threads=*/3);
+  int calls = 0, last_done = 0, last_total = 0;
+  spec.progress = [&](int done, int total) {
+    ++calls;
+    last_done = done;
+    last_total = total;
+  };
+  SuiteResult suite = RunSuite(spec);
+  EXPECT_EQ(calls, static_cast<int>(suite.cells.size()));
+  EXPECT_EQ(last_done, last_total);
+  EXPECT_EQ(last_total, static_cast<int>(suite.cells.size()));
+}
+
+TEST(SuiteTest, UnknownNamesBecomeFailedCellsNotCrashes) {
+  SuiteSpec spec = SmallGrid(/*threads=*/2);
+  spec.datasets = {"AirQ", "NoSuchDataset"};
+  spec.imputers = {"Mean", "NoSuchImputer"};
+  SuiteResult suite = RunSuite(spec);
+  ASSERT_EQ(suite.cells.size(), 8u);
+  EXPECT_EQ(suite.num_failed(), 6);  // Only AirQ x Mean cells succeed.
+  for (const SuiteCell& cell : suite.cells) {
+    if (cell.dataset == "AirQ" && cell.imputer == "Mean") {
+      EXPECT_TRUE(cell.ok);
+    } else {
+      EXPECT_FALSE(cell.ok);
+      EXPECT_FALSE(cell.error.empty());
+    }
+  }
+}
+
+TEST(SuiteTest, JsonAndCsvRenderEveryCell) {
+  SuiteResult suite = RunSuite(SmallGrid(/*threads=*/2));
+  const std::string json = SuiteToJson(suite);
+  EXPECT_NE(json.find("\"num_cells\": 8"), std::string::npos);
+  EXPECT_NE(json.find("\"num_failed\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"dataset\": \"Meteo\""), std::string::npos);
+  EXPECT_NE(json.find("\"mae\":"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check without a parser).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  TablePrinter table = SuiteToTable(suite);
+  EXPECT_EQ(table.num_rows(), 8);
+}
+
+TEST(SuiteTest, ParseScenarioKindInvertsScenarioName) {
+  for (ScenarioKind kind :
+       {ScenarioKind::kMcar, ScenarioKind::kMissDisj, ScenarioKind::kMissOver,
+        ScenarioKind::kBlackout, ScenarioKind::kMissPoint}) {
+    StatusOr<ScenarioKind> parsed = ParseScenarioKind(ScenarioName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ParseScenarioKind("NotAScenario").ok());
 }
 
 }  // namespace

@@ -38,7 +38,9 @@ TEST(TkcmTest, ContractOnSeasonalData) {
   EXPECT_TRUE(out.AllFinite());
   for (int r = 0; r < 6; ++r) {
     for (int t = 0; t < 240; ++t) {
-      if (mask.available(r, t)) ASSERT_EQ(out(r, t), x(r, t));
+      if (mask.available(r, t)) {
+        ASSERT_EQ(out(r, t), x(r, t));
+      }
     }
   }
   // On strongly periodic, correlated data the pattern matcher must beat
@@ -87,7 +89,9 @@ TEST(MrnnTest, ContractAndCrossSeriesAccuracy) {
   EXPECT_TRUE(out.AllFinite());
   for (int r = 0; r < 4; ++r) {
     for (int t = 0; t < 160; ++t) {
-      if (mask.available(r, t)) ASSERT_EQ(out(r, t), x(r, t));
+      if (mask.available(r, t)) {
+        ASSERT_EQ(out(r, t), x(r, t));
+      }
     }
   }
   MeanImputer mean;

@@ -20,20 +20,12 @@
 #include "eval/analytics.h"
 #include "eval/metrics.h"
 #include "eval/runner.h"
+#include "testing/test_util.h"
 
 namespace deepmvi {
 namespace {
 
-DeepMviConfig TinyDeepMviConfig() {
-  DeepMviConfig config;
-  config.max_epochs = 3;
-  config.samples_per_epoch = 24;
-  config.patience = 1;
-  config.filters = 8;
-  config.num_heads = 2;
-  config.embedding_dim = 4;
-  return config;
-}
+using testutil::TinyDeepMviConfig;
 
 TEST(IntegrationTest, FullProtocolOnEveryPreset) {
   // The whole pipeline must hold together on every dataset preset.

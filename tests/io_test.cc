@@ -5,13 +5,12 @@
 #include "data/io.h"
 #include "data/presets.h"
 #include "scenario/scenarios.h"
+#include "testing/test_util.h"
 
 namespace deepmvi {
 namespace {
 
-std::string TempPath(const std::string& name) {
-  return testing::TempDir() + "/" + name;
-}
+using testutil::TempPath;
 
 TEST(IoTest, RoundTrip1D) {
   Matrix values = {{1.5, -2.25, 3.0}, {0.0, 4.5, -6.125}};

@@ -5,21 +5,13 @@
 #include "linalg/centroid.h"
 #include "linalg/solvers.h"
 #include "linalg/svd.h"
+#include "testing/test_util.h"
 
 namespace deepmvi {
 namespace {
 
-Matrix RandomSpd(int n, Rng& rng) {
-  Matrix a = Matrix::RandomGaussian(n, n, rng);
-  Matrix spd = a.TransposeMatMul(a);
-  for (int i = 0; i < n; ++i) spd(i, i) += n;  // Well-conditioned.
-  return spd;
-}
-
-bool ColumnsOrthonormal(const Matrix& m, double tol = 1e-8) {
-  Matrix gram = m.TransposeMatMul(m);
-  return gram.ApproxEquals(Matrix::Identity(m.cols()), tol);
-}
+using testutil::ColumnsOrthonormal;
+using testutil::RandomSpd;
 
 TEST(SvdTest, ReconstructsTallMatrix) {
   Rng rng(1);

@@ -7,13 +7,17 @@
 
 #include "autodiff/ops.h"
 #include "core/kernel_regression.h"
+#include "data/io.h"
 #include "linalg/solvers.h"
 #include "linalg/svd.h"
 #include "scenario/scenarios.h"
 #include "tensor/matrix.h"
+#include "testing/test_util.h"
 
 namespace deepmvi {
 namespace {
+
+using namespace testutil;
 
 // ---- Matrix algebra over random shapes -----------------------------------
 
@@ -112,7 +116,7 @@ TEST_P(AutodiffGraphSweep, RandomCompositeGradCheck) {
   Matrix x0 = Matrix::RandomGaussian(m, n, rng, 0.0, 0.5);
   Matrix x1 = Matrix::RandomGaussian(n, m, rng, 0.0, 0.5);
   const uint64_t variant = GetParam() % 4;
-  auto graph = [variant](ad::Tape& t, const std::vector<ad::Var>& v) {
+  auto graph = [variant](ad::Tape&, const std::vector<ad::Var>& v) {
     ad::Var h = ad::MatMul(v[0], v[1]);  // m x m
     switch (variant) {
       case 0:
@@ -230,6 +234,104 @@ TEST(KernelRegressionProperty, WeightSumDecreasesWithMissingSiblings) {
   EXPECT_LT(w_less, w_full);
   EXPECT_GT(w_less, 0.0);
 }
+
+// ---- Round-trip invariants --------------------------------------------------
+
+class NormalizationSweep : public SeededRngTest {};
+
+TEST_P(NormalizationSweep, ZScoreDenormalizeIsIdentityOnAvailableCells) {
+  const int n = rng().UniformInt(2, 10), t_len = rng().UniformInt(20, 120);
+  Matrix values = Matrix::RandomGaussian(n, t_len, rng(), 3.0, 5.0);
+  DataTensor data = DataTensor::FromMatrix(values);
+  Mask mask = McarMask(n, t_len, 0.2, GetParam() ^ 0x5a5a);
+
+  auto stats = data.ComputeNormalization(mask);
+  DataTensor normalized = data.Normalized(stats);
+  Matrix restored = DataTensor::Denormalize(normalized.values(), stats);
+  for (int r = 0; r < n; ++r) {
+    for (int t = 0; t < t_len; ++t) {
+      if (mask.available(r, t)) {
+        EXPECT_NEAR(restored(r, t), values(r, t),
+                    1e-9 * (1.0 + std::abs(values(r, t))))
+            << "(" << r << "," << t << ")";
+      }
+    }
+  }
+  // Normalized available cells of a non-degenerate series are z-scored:
+  // mean 0, variance 1 over the available cells.
+  for (int r = 0; r < n; ++r) {
+    double sum = 0.0, sum2 = 0.0;
+    int count = 0;
+    for (int t = 0; t < t_len; ++t) {
+      if (!mask.available(r, t)) continue;
+      sum += normalized.values()(r, t);
+      sum2 += normalized.values()(r, t) * normalized.values()(r, t);
+      ++count;
+    }
+    if (count < 2) continue;
+    EXPECT_NEAR(sum / count, 0.0, 1e-9) << "series " << r;
+    EXPECT_NEAR(sum2 / count, 1.0, 1e-6) << "series " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalizationSweep,
+                         ::testing::Range<uint64_t>(1, 7));
+
+class MaskRoundTripSweep : public SeededRngTest {};
+
+TEST_P(MaskRoundTripSweep, ComplementAndSerializationRoundTrip) {
+  const int n = rng().UniformInt(1, 12), t_len = rng().UniformInt(5, 200);
+  Mask mask = McarMask(n, t_len, 0.15, GetParam() ^ 0xc0ffee);
+
+  // Complement is an involution and exactly swaps the two cell counts.
+  Mask complement = mask.Complemented();
+  EXPECT_EQ(complement.CountMissing(), mask.CountAvailable());
+  EXPECT_EQ(complement.CountAvailable(), mask.CountMissing());
+  EXPECT_FALSE(mask.CountMissing() > 0 && complement == mask);
+  EXPECT_TRUE(complement.Complemented() == mask);
+  // A mask and its complement intersect to nothing available.
+  EXPECT_EQ(mask.And(complement).CountAvailable(), 0);
+
+  // CSV serialization round-trips bit-exactly.
+  const std::string path =
+      TempPath("mask_roundtrip_" + std::to_string(GetParam()) + ".csv");
+  ASSERT_TRUE(WriteMask(mask, path).ok());
+  StatusOr<Mask> loaded = ReadMask(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(*loaded == mask);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaskRoundTripSweep,
+                         ::testing::Range<uint64_t>(1, 7));
+
+class SvdTruncationSweep : public SeededRngTest {};
+
+TEST_P(SvdTruncationSweep, TruncationErrorMatchesSpectralTail) {
+  // Eckart-Young: the rank-k SVD truncation error satisfies
+  // ||A - A_k||_F^2 = sum_{i > k} s_i^2, decreasing to 0 at full rank.
+  const int m = rng().UniformInt(3, 10), n = rng().UniformInt(3, 10);
+  Matrix a = Matrix::RandomGaussian(m, n, rng());
+  SvdResult svd = JacobiSvd(a);
+  const int r = static_cast<int>(svd.singular_values.size());
+  double prev_error = -1.0;
+  for (int k = 1; k <= r; ++k) {
+    const double error = (a - svd.Reconstruct(k)).SquaredNorm();
+    double tail = 0.0;
+    for (int i = k; i < r; ++i) {
+      tail += svd.singular_values[i] * svd.singular_values[i];
+    }
+    EXPECT_NEAR(error, tail, 1e-7 * (1.0 + a.SquaredNorm())) << "rank " << k;
+    if (prev_error >= 0.0) {
+      EXPECT_LE(error, prev_error + 1e-9);
+    }
+    prev_error = error;
+  }
+  EXPECT_LT((a - svd.Reconstruct(r)).SquaredNorm(),
+            1e-7 * (1.0 + a.SquaredNorm()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SvdTruncationSweep,
+                         ::testing::Range<uint64_t>(1, 9));
 
 }  // namespace
 }  // namespace deepmvi
