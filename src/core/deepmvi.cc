@@ -4,8 +4,7 @@
 #include <cmath>
 #include <memory>
 
-#include "core/kernel_regression.h"
-#include "core/temporal_transformer.h"
+#include "core/deepmvi_modules.h"
 #include "nn/adam.h"
 
 namespace deepmvi {
@@ -13,6 +12,10 @@ namespace {
 
 using ad::Tape;
 using ad::Var;
+using internal::Chunk;
+using internal::DeepMviModules;
+using internal::MakeChunk;
+using internal::PredictPositions;
 
 /// One simulated-missing training instance (Sec 3): a synthetic block of
 /// `block_len` steps starting at `block_start` is hidden in series `row`;
@@ -25,15 +28,6 @@ struct TrainSample {
   int block_len = 0;
   std::vector<int> blackout_rows;
   std::vector<int> target_times;
-};
-
-/// The assembled model: all modules share one parameter store.
-struct Model {
-  nn::ParameterStore store;
-  TemporalTransformer transformer;
-  KernelRegression kernel_regression;
-  nn::Linear output;
-  int feature_dim = 0;
 };
 
 /// Empirical description of the dataset's missing pattern, used to sample
@@ -72,97 +66,6 @@ MissingShapeDistribution MeasureMissingShapes(const Mask& mask) {
   return dist;
 }
 
-/// Per-position fine-grained signal (Eq. 15): masked mean of the window
-/// containing each target position.
-Matrix FineGrainedSignal(const Matrix& values, const Mask& avail, int row,
-                         int chunk_start, int window,
-                         const std::vector<int>& times) {
-  Matrix out(static_cast<int>(times.size()), 1);
-  for (size_t i = 0; i < times.size(); ++i) {
-    const int local = times[i] - chunk_start;
-    const int w0 = chunk_start + (local / window) * window;
-    double sum = 0.0;
-    int count = 0;
-    for (int t = w0; t < w0 + window; ++t) {
-      if (t >= 0 && t < values.cols() && avail.available(row, t)) {
-        sum += values(row, t);
-        ++count;
-      }
-    }
-    out(static_cast<int>(i), 0) = count > 0 ? sum / count : 0.0;
-  }
-  return out;
-}
-
-/// Chunk geometry: [start, start + len) with len a positive multiple of
-/// the window size, len <= max_context, covering as much of the series as
-/// possible around `center`.
-struct Chunk {
-  int start = 0;
-  int len = 0;
-};
-
-Chunk MakeChunk(int t_len, int window, int max_context, int center) {
-  Chunk chunk;
-  chunk.len = std::min((t_len / window) * window, (max_context / window) * window);
-  chunk.len = std::max(chunk.len, std::min(2 * window, (t_len / window) * window));
-  chunk.start = std::clamp(center - chunk.len / 2, 0, t_len - chunk.len);
-  return chunk;
-}
-
-/// Runs the full forward pass for one (series, chunk, targets) triple and
-/// returns the predictions (|targets| x 1).
-Var PredictPositions(Tape& tape, Model& model, const DeepMviConfig& config,
-                     const DataTensor& data, const Matrix& values,
-                     const Mask& avail, int row, const Chunk& chunk,
-                     const std::vector<int>& target_times) {
-  const int n_pos = static_cast<int>(target_times.size());
-  const int window = model.transformer.window();
-  const int num_windows = chunk.len / window;
-
-  std::vector<Var> features;
-
-  // ---- Temporal transformer features. ---------------------------------
-  if (config.use_temporal_transformer && num_windows >= 2) {
-    Matrix series(1, chunk.len);
-    std::vector<double> window_avail(num_windows, 1.0);
-    for (int t = 0; t < chunk.len; ++t) {
-      const int abs_t = chunk.start + t;
-      if (avail.available(row, abs_t)) {
-        series(0, t) = values(row, abs_t);
-      } else {
-        window_avail[t / window] = 0.0;
-      }
-    }
-    Var htt_all = model.transformer.Forward(tape, series, window_avail);
-    std::vector<int> local(n_pos);
-    for (int i = 0; i < n_pos; ++i) local[i] = target_times[i] - chunk.start;
-    features.push_back(ad::GatherRows(htt_all, local));
-  } else {
-    features.push_back(tape.Constant(Matrix(n_pos, config.filters)));
-  }
-
-  // ---- Fine-grained local signal. ----------------------------------------
-  if (config.use_fine_grained) {
-    features.push_back(tape.Constant(FineGrainedSignal(
-        values, avail, row, chunk.start, window, target_times)));
-  } else {
-    features.push_back(tape.Constant(Matrix(n_pos, 1)));
-  }
-
-  // ---- Kernel regression features. -----------------------------------------
-  if (config.use_kernel_regression && data.num_series() > 1) {
-    features.push_back(model.kernel_regression.Forward(tape, data, values, avail,
-                                                       row, target_times));
-  } else {
-    features.push_back(
-        tape.Constant(Matrix(n_pos, 3 * data.num_dims())));
-  }
-
-  // ---- Output head (Eq. 6). --------------------------------------------------
-  return model.output.Forward(tape, ad::ConcatCols(features));
-}
-
 /// Availability mask for a training sample: the original mask with the
 /// synthetic block applied (anchor series + blackout rows).
 Mask ApplySyntheticBlock(const Mask& mask, const TrainSample& sample) {
@@ -188,9 +91,13 @@ std::string DeepMviImputer::name() const {
   return name;
 }
 
-Matrix DeepMviImputer::Impute(const DataTensor& raw_data, const Mask& mask) {
+TrainedDeepMvi DeepMviImputer::Fit(const DataTensor& raw_data, const Mask& mask) {
   DMVI_CHECK_EQ(raw_data.num_series(), mask.rows());
   DMVI_CHECK_EQ(raw_data.num_times(), mask.cols());
+
+  // Imputer-contract hygiene: stale diagnostics from a previous call must
+  // not leak into this one.
+  train_stats_ = TrainStats();
 
   const DataTensor shaped =
       config_.flatten_multidim ? raw_data.Flattened1D() : raw_data;
@@ -215,19 +122,17 @@ Matrix DeepMviImputer::Impute(const DataTensor& raw_data, const Mask& mask) {
   // Degenerate short series: shrink the window so the transformer still
   // has at least two windows.
   while (config.window > 1 && t_len < 2 * config.window) config.window /= 2;
-  train_stats_ = TrainStats();
   train_stats_.window_used = config.window;
 
   Rng rng(config.seed);
 
   // ---- Build the model. ----------------------------------------------------
-  Model model;
-  model.transformer = TemporalTransformer(&model.store, config, rng);
-  model.kernel_regression =
-      KernelRegression(&model.store, data.dims(), config, rng);
-  model.feature_dim = config.filters + 1 + 3 * data.num_dims();
-  model.output = nn::Linear(&model.store, "head", model.feature_dim, 1, rng);
-  nn::Adam adam(&model.store, {.learning_rate = config.learning_rate});
+  TrainedDeepMvi trained;
+  trained.store_ = std::make_unique<nn::ParameterStore>();
+  DeepMviModules model =
+      internal::BuildDeepMviModules(trained.store_.get(), config, data.dims(), rng);
+  nn::ParameterStore& store = *trained.store_;
+  nn::Adam adam(&store, {.learning_rate = config.learning_rate});
 
   // ---- Build training + validation samples (Sec 3). -----------------------
   MissingShapeDistribution shape_dist = MeasureMissingShapes(mask);
@@ -301,12 +206,12 @@ Matrix DeepMviImputer::Impute(const DataTensor& raw_data, const Mask& mask) {
   std::vector<Matrix> best_params;
   auto snapshot = [&]() {
     best_params.clear();
-    for (const auto& p : model.store.params()) best_params.push_back(p->value());
+    for (const auto& p : store.params()) best_params.push_back(p->value());
   };
   auto restore = [&]() {
     if (best_params.empty()) return;
     for (size_t i = 0; i < best_params.size(); ++i) {
-      model.store.params()[i]->value() = best_params[i];
+      store.params()[i]->value() = best_params[i];
     }
   };
   snapshot();
@@ -364,43 +269,18 @@ Matrix DeepMviImputer::Impute(const DataTensor& raw_data, const Mask& mask) {
   }
   restore();
 
-  // ---- Impute the real missing cells. ---------------------------------------
-  Matrix imputed = data.values();
-  for (int row = 0; row < num_series; ++row) {
-    // Collect this series' missing times and cover them chunk by chunk.
-    std::vector<int> missing;
-    for (int t = 0; t < t_len; ++t) {
-      if (mask.missing(row, t)) missing.push_back(t);
-    }
-    size_t next = 0;
-    while (next < missing.size()) {
-      Chunk chunk = MakeChunk(t_len, config.window, config.max_context,
-                              missing[next]);
-      std::vector<int> targets;
-      while (next < missing.size() &&
-             missing[next] < chunk.start + chunk.len) {
-        if (missing[next] >= chunk.start) targets.push_back(missing[next]);
-        ++next;
-      }
-      if (targets.empty()) break;  // Should not happen; guards looping.
-      tape.Reset();
-      Var pred = PredictPositions(tape, model, config, data, values, mask, row,
-                                  chunk, targets);
-      for (size_t i = 0; i < targets.size(); ++i) {
-        imputed(row, targets[i]) = pred.value()(static_cast<int>(i), 0);
-      }
-    }
-  }
-  tape.Reset();
+  trained.config_ = config;
+  trained.dims_ = data.dims();
+  trained.stats_ = std::move(stats);
+  trained.modules_ = model;
+  return trained;
+}
 
-  // Denormalize and restore available cells exactly.
-  Matrix out = DataTensor::Denormalize(imputed, stats);
-  for (int r = 0; r < num_series; ++r) {
-    for (int t = 0; t < t_len; ++t) {
-      if (mask.available(r, t)) out(r, t) = raw_data.values()(r, t);
-    }
-  }
-  return out;
+Matrix DeepMviImputer::Impute(const DataTensor& raw_data, const Mask& mask) {
+  // Train-once + inference-only: identical (bit for bit) to the historical
+  // single-shot implementation; tests/core_test.cc's determinism contract
+  // locks this in.
+  return Fit(raw_data, mask).Predict(raw_data, mask);
 }
 
 }  // namespace deepmvi

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/deepmvi_config.h"
+#include "core/trained_deepmvi.h"
 #include "data/imputer.h"
 
 namespace deepmvi {
@@ -23,9 +24,13 @@ namespace deepmvi {
 /// like the real missing data (Sec 3). Training uses Adam with validation
 /// early stopping.
 ///
-/// Impute() trains a fresh model on the given dataset and returns the
-/// completed matrix; the class is stateless between calls apart from the
-/// configuration.
+/// The training/serving split: Fit() trains a fresh model on the given
+/// dataset and returns a TrainedDeepMvi (weights, normalization stats,
+/// resolved config) that answers inference-only Predict() queries and can
+/// be checkpointed via Save/Load. Impute() is Fit + Predict on the same
+/// input — one-shot behavior and bit-for-bit results are unchanged — and
+/// the class stays stateless between calls apart from the configuration
+/// (train_stats_ is diagnostics only and reset at the top of every Fit).
 class DeepMviImputer : public Imputer {
  public:
   DeepMviImputer() = default;
@@ -34,7 +39,12 @@ class DeepMviImputer : public Imputer {
   std::string name() const override;
   Matrix Impute(const DataTensor& data, const Mask& mask) override;
 
-  /// Diagnostics from the most recent Impute call.
+  /// Trains a model on `data`/`mask` (Sec 3 simulated-missing protocol,
+  /// Adam, validation early stopping) without running final inference.
+  /// Deterministic in config().seed.
+  TrainedDeepMvi Fit(const DataTensor& data, const Mask& mask);
+
+  /// Diagnostics from the most recent Fit (or Impute) call.
   struct TrainStats {
     int epochs_run = 0;
     double best_validation_loss = 0.0;

@@ -1,0 +1,321 @@
+#include "core/trained_deepmvi.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "nn/serialize.h"
+
+namespace deepmvi {
+namespace {
+
+constexpr char kCheckpointMagic[4] = {'D', 'M', 'V', 'C'};
+constexpr uint32_t kCheckpointVersion = 1;
+
+// Guards against allocating from a corrupt header.
+constexpr uint32_t kMaxDims = 64;
+constexpr uint32_t kMaxMembers = 1 << 24;
+constexpr uint32_t kMaxSeries = 1 << 26;
+
+using nn::ReadPod;
+using nn::ReadString;
+using nn::WritePod;
+using nn::WriteString;
+
+Status WriteConfig(std::ostream& os, const DeepMviConfig& config) {
+  WritePod(os, static_cast<int32_t>(config.filters));
+  WritePod(os, static_cast<int32_t>(config.window));
+  WritePod(os, static_cast<int32_t>(config.num_heads));
+  WritePod(os, static_cast<int32_t>(config.embedding_dim));
+  WritePod(os, config.kernel_gamma);
+  WritePod(os, static_cast<int32_t>(config.top_siblings));
+  WritePod(os, config.learning_rate);
+  WritePod(os, static_cast<int32_t>(config.max_epochs));
+  WritePod(os, static_cast<int32_t>(config.samples_per_epoch));
+  WritePod(os, static_cast<int32_t>(config.batch_size));
+  WritePod(os, static_cast<int32_t>(config.patience));
+  WritePod(os, config.validation_fraction);
+  WritePod(os, static_cast<int32_t>(config.max_context));
+  WritePod(os, config.seed);
+  WritePod(os, static_cast<uint8_t>(config.use_temporal_transformer));
+  WritePod(os, static_cast<uint8_t>(config.use_context_window));
+  WritePod(os, static_cast<uint8_t>(config.use_kernel_regression));
+  WritePod(os, static_cast<uint8_t>(config.use_fine_grained));
+  WritePod(os, static_cast<uint8_t>(config.flatten_multidim));
+  if (!os) return Status::IoError("write failed for checkpoint config");
+  return Status::OK();
+}
+
+Status ReadConfig(std::istream& is, DeepMviConfig* config) {
+  auto read_i32 = [&is](int* dst) {
+    int32_t v = 0;
+    if (!ReadPod(is, &v)) return false;
+    *dst = v;
+    return true;
+  };
+  auto read_bool = [&is](bool* dst) {
+    uint8_t v = 0;
+    if (!ReadPod(is, &v)) return false;
+    *dst = v != 0;
+    return true;
+  };
+  const bool ok = read_i32(&config->filters) && read_i32(&config->window) &&
+                  read_i32(&config->num_heads) &&
+                  read_i32(&config->embedding_dim) &&
+                  ReadPod(is, &config->kernel_gamma) &&
+                  read_i32(&config->top_siblings) &&
+                  ReadPod(is, &config->learning_rate) &&
+                  read_i32(&config->max_epochs) &&
+                  read_i32(&config->samples_per_epoch) &&
+                  read_i32(&config->batch_size) && read_i32(&config->patience) &&
+                  ReadPod(is, &config->validation_fraction) &&
+                  read_i32(&config->max_context) && ReadPod(is, &config->seed) &&
+                  read_bool(&config->use_temporal_transformer) &&
+                  read_bool(&config->use_context_window) &&
+                  read_bool(&config->use_kernel_regression) &&
+                  read_bool(&config->use_fine_grained) &&
+                  read_bool(&config->flatten_multidim);
+  if (!ok) return Status::IoError("truncated file: checkpoint config missing");
+  if (config->filters <= 0 || config->window <= 0 || config->num_heads <= 0 ||
+      config->embedding_dim <= 0) {
+    return Status::InvalidArgument("corrupt file: implausible model config");
+  }
+  return Status::OK();
+}
+
+Status WriteDoubles(std::ostream& os, const std::vector<double>& values) {
+  WritePod(os, static_cast<uint32_t>(values.size()));
+  os.write(reinterpret_cast<const char*>(values.data()),
+           static_cast<std::streamsize>(values.size() * sizeof(double)));
+  if (!os) return Status::IoError("write failed for double vector");
+  return Status::OK();
+}
+
+StatusOr<std::vector<double>> ReadDoubles(std::istream& is) {
+  uint32_t count = 0;
+  if (!ReadPod(is, &count)) {
+    return Status::IoError("truncated file: vector length missing");
+  }
+  if (count > kMaxSeries) {
+    return Status::InvalidArgument("corrupt file: implausible vector length " +
+                                   std::to_string(count));
+  }
+  std::vector<double> out(count);
+  const std::streamsize bytes =
+      static_cast<std::streamsize>(count * sizeof(double));
+  is.read(reinterpret_cast<char*>(out.data()), bytes);
+  if (is.gcount() != bytes) {
+    return Status::IoError("truncated file: vector body missing");
+  }
+  return out;
+}
+
+}  // namespace
+
+TrainedDeepMvi::TrainedDeepMvi() = default;
+TrainedDeepMvi::~TrainedDeepMvi() = default;
+TrainedDeepMvi::TrainedDeepMvi(TrainedDeepMvi&&) noexcept = default;
+TrainedDeepMvi& TrainedDeepMvi::operator=(TrainedDeepMvi&&) noexcept = default;
+
+int64_t TrainedDeepMvi::num_parameters() const {
+  return store_ ? store_->TotalSize() : 0;
+}
+
+Status TrainedDeepMvi::ValidateInput(const DataTensor& data,
+                                     const Mask& mask) const {
+  if (!trained()) {
+    return Status::FailedPrecondition("model has not been trained or loaded");
+  }
+  if (data.num_series() != mask.rows() || data.num_times() != mask.cols()) {
+    return Status::InvalidArgument(
+        "mask shape " + std::to_string(mask.rows()) + "x" +
+        std::to_string(mask.cols()) + " does not match data " +
+        std::to_string(data.num_series()) + "x" +
+        std::to_string(data.num_times()));
+  }
+  if (data.num_series() != num_series()) {
+    return Status::InvalidArgument(
+        "data has " + std::to_string(data.num_series()) +
+        " series, model was trained on " + std::to_string(num_series()));
+  }
+  // A flattening model collapses the dims anyway, so only the row count
+  // (checked above) matters there; otherwise every dimension must match
+  // the training dataset member for member.
+  if (!config_.flatten_multidim) {
+    if (data.num_dims() != static_cast<int>(dims_.size())) {
+      return Status::InvalidArgument(
+          "data has " + std::to_string(data.num_dims()) +
+          " dimensions, model was trained on " +
+          std::to_string(dims_.size()));
+    }
+    for (size_t i = 0; i < dims_.size(); ++i) {
+      if (data.dim(static_cast<int>(i)).size() != dims_[i].size()) {
+        return Status::InvalidArgument(
+            "dimension '" + dims_[i].name + "' has " +
+            std::to_string(data.dim(static_cast<int>(i)).size()) +
+            " members, model was trained on " +
+            std::to_string(dims_[i].size()));
+      }
+    }
+  }
+  // Below one window the chunk walk degenerates to an empty chunk and
+  // Predict would return cells unimputed with no error — reject up front.
+  // (Between one and two windows the transformer contributes nothing but
+  // the fine-grained and kernel-regression paths still impute, matching
+  // the historical Impute() behavior on degenerate-short series.)
+  if (data.num_times() < config_.window) {
+    return Status::InvalidArgument(
+        "series of length " + std::to_string(data.num_times()) +
+        " is shorter than one window (window " +
+        std::to_string(config_.window) +
+        "); the model cannot impute it — refit with a smaller window");
+  }
+  return Status::OK();
+}
+
+Matrix TrainedDeepMvi::Predict(const DataTensor& raw_data,
+                               const Mask& mask) const {
+  Status valid = ValidateInput(raw_data, mask);
+  DMVI_CHECK(valid.ok()) << valid.ToString();
+
+  const DataTensor shaped =
+      config_.flatten_multidim ? raw_data.Flattened1D() : raw_data;
+
+  // Project into the z-score space the model was trained in, using the
+  // fit-time statistics: normalization is part of the model.
+  DataTensor data = shaped.Normalized(stats_);
+  Matrix imputed = internal::ImputeMissingNormalized(modules_, config_, data,
+                                                     data.values(), mask);
+
+  // Denormalize and restore available cells exactly.
+  Matrix out = DataTensor::Denormalize(imputed, stats_);
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int t = 0; t < out.cols(); ++t) {
+      if (mask.available(r, t)) out(r, t) = raw_data.values()(r, t);
+    }
+  }
+  return out;
+}
+
+Status TrainedDeepMvi::Save(const std::string& path) const {
+  if (!trained()) {
+    return Status::FailedPrecondition("cannot save an untrained model");
+  }
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return Status::IoError("cannot open " + path + " for writing");
+
+  os.write(kCheckpointMagic, sizeof(kCheckpointMagic));
+  WritePod(os, kCheckpointVersion);
+  DMVI_RETURN_IF_ERROR(WriteConfig(os, config_));
+
+  WritePod(os, static_cast<uint32_t>(dims_.size()));
+  for (const Dimension& dim : dims_) {
+    DMVI_RETURN_IF_ERROR(WriteString(os, dim.name));
+    WritePod(os, static_cast<uint32_t>(dim.members.size()));
+    for (const std::string& member : dim.members) {
+      DMVI_RETURN_IF_ERROR(WriteString(os, member));
+    }
+  }
+
+  DMVI_RETURN_IF_ERROR(WriteDoubles(os, stats_.mean));
+  DMVI_RETURN_IF_ERROR(WriteDoubles(os, stats_.stddev));
+  DMVI_RETURN_IF_ERROR(nn::SaveParameterStore(*store_, os));
+
+  os.close();
+  if (!os) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+StatusOr<TrainedDeepMvi> TrainedDeepMvi::Load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IoError("cannot open " + path + " for reading");
+
+  char magic[4] = {};
+  is.read(magic, sizeof(magic));
+  if (is.gcount() != sizeof(magic)) {
+    return Status::IoError("truncated file: checkpoint header missing");
+  }
+  if (std::memcmp(magic, kCheckpointMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument("corrupt file: " + path +
+                                   " is not a DeepMVI checkpoint");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(is, &version)) {
+    return Status::IoError("truncated file: checkpoint version missing");
+  }
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version));
+  }
+
+  TrainedDeepMvi model;
+  DMVI_RETURN_IF_ERROR(ReadConfig(is, &model.config_));
+
+  uint32_t num_dims = 0;
+  if (!ReadPod(is, &num_dims)) {
+    return Status::IoError("truncated file: dimension count missing");
+  }
+  if (num_dims == 0 || num_dims > kMaxDims) {
+    return Status::InvalidArgument("corrupt file: implausible dimension count " +
+                                   std::to_string(num_dims));
+  }
+  for (uint32_t d = 0; d < num_dims; ++d) {
+    Dimension dim;
+    StatusOr<std::string> name = ReadString(is);
+    if (!name.ok()) return name.status();
+    dim.name = std::move(name).value();
+    uint32_t num_members = 0;
+    if (!ReadPod(is, &num_members)) {
+      return Status::IoError("truncated file: member count missing");
+    }
+    if (num_members == 0 || num_members > kMaxMembers) {
+      return Status::InvalidArgument(
+          "corrupt file: implausible member count " +
+          std::to_string(num_members));
+    }
+    dim.members.reserve(num_members);
+    for (uint32_t m = 0; m < num_members; ++m) {
+      StatusOr<std::string> member = ReadString(is);
+      if (!member.ok()) return member.status();
+      dim.members.push_back(std::move(member).value());
+    }
+    model.dims_.push_back(std::move(dim));
+  }
+
+  StatusOr<std::vector<double>> mean = ReadDoubles(is);
+  if (!mean.ok()) return mean.status();
+  model.stats_.mean = std::move(mean).value();
+  StatusOr<std::vector<double>> stddev = ReadDoubles(is);
+  if (!stddev.ok()) return stddev.status();
+  model.stats_.stddev = std::move(stddev).value();
+  if (model.stats_.mean.size() != model.stats_.stddev.size()) {
+    return Status::InvalidArgument(
+        "corrupt file: normalization vectors disagree in length");
+  }
+  // The stats are per flattened series, one per member-combination of the
+  // dims; a mismatch means a corrupt header and would otherwise surface
+  // later as an out-of-bounds embedding lookup instead of a Status.
+  uint64_t expected_series = 1;
+  for (const Dimension& dim : model.dims_) {
+    expected_series *= static_cast<uint64_t>(dim.size());
+  }
+  if (expected_series != model.stats_.mean.size()) {
+    return Status::InvalidArgument(
+        "corrupt file: dimensions imply " + std::to_string(expected_series) +
+        " series but normalization stats cover " +
+        std::to_string(model.stats_.mean.size()));
+  }
+
+  // Rebuild the model skeleton from the stored config and dimensions (the
+  // Rng only feeds initial values, which the store load overwrites), then
+  // restore every parameter by name.
+  Rng rng(model.config_.seed);
+  model.store_ = std::make_unique<nn::ParameterStore>();
+  model.modules_ = internal::BuildDeepMviModules(model.store_.get(),
+                                                 model.config_, model.dims_, rng);
+  DMVI_RETURN_IF_ERROR(nn::LoadParameterStore(is, *model.store_));
+  return model;
+}
+
+}  // namespace deepmvi

@@ -1,0 +1,88 @@
+#ifndef DEEPMVI_CORE_TRAINED_DEEPMVI_H_
+#define DEEPMVI_CORE_TRAINED_DEEPMVI_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/deepmvi_modules.h"
+
+namespace deepmvi {
+
+/// A trained DeepMVI model, the unit of the train-once/serve-many split:
+/// DeepMviImputer::Fit produces one, Predict runs inference only (no
+/// training, no RNG), and Save/Load persist it as a versioned binary
+/// checkpoint so a long-lived service can answer imputation queries
+/// without ever retraining.
+///
+/// The artifact holds everything inference needs: the parameter store
+/// (weights + Adam moments, so training could even be resumed), the
+/// resolved config (window already chosen from the training mask), the
+/// dimensions of the training dataset (member embeddings are positional in
+/// them), and the per-series normalization statistics computed at fit time
+/// — normalization is part of the model, so serving-time data is projected
+/// into the same z-score space the weights were trained in.
+///
+/// Predict applies to data of the training dataset's shape (same series,
+/// any time length >= one window — the transformer needs two to
+/// contribute, shorter chunks fall back to the local/kernel signals — and
+/// any missing pattern): the model's kernel regression embeds the
+/// *members* of the training dimensions, so a different series universe
+/// needs a new Fit.
+class TrainedDeepMvi {
+ public:
+  TrainedDeepMvi();
+  ~TrainedDeepMvi();
+  TrainedDeepMvi(TrainedDeepMvi&&) noexcept;
+  TrainedDeepMvi& operator=(TrainedDeepMvi&&) noexcept;
+  TrainedDeepMvi(const TrainedDeepMvi&) = delete;
+  TrainedDeepMvi& operator=(const TrainedDeepMvi&) = delete;
+
+  /// True once the model holds trained weights (built by Fit or Load).
+  bool trained() const { return store_ != nullptr; }
+
+  /// Recoverable validation of a prediction input: shape against the
+  /// training dataset, mask against the data. The serving layer calls this
+  /// to turn bad requests into error responses instead of aborts.
+  Status ValidateInput(const DataTensor& data, const Mask& mask) const;
+
+  /// Inference only: fills the cells of `data` missing in `mask` and
+  /// returns the completed matrix (available cells pass through
+  /// bit-unchanged). Deterministic: repeated calls with the same input are
+  /// bit-identical, and Fit(x, m).Predict(x, m) equals the historical
+  /// single-shot Impute(x, m) bit for bit. Aborts on invalid input; call
+  /// ValidateInput first when the input is untrusted.
+  Matrix Predict(const DataTensor& data, const Mask& mask) const;
+
+  /// Persists the model as a versioned binary checkpoint ("DMVC" header +
+  /// config + dimensions + normalization stats + "DMVP" parameter store).
+  Status Save(const std::string& path) const;
+
+  /// Loads a checkpoint written by Save: rebuilds the model from the
+  /// stored config/dimensions, then restores every parameter by name.
+  /// Corrupt or truncated files yield Status errors, never crashes.
+  static StatusOr<TrainedDeepMvi> Load(const std::string& path);
+
+  /// The resolved configuration (window > 0) the model was trained with.
+  const DeepMviConfig& config() const { return config_; }
+  /// Dimensions of the (possibly flattened) training dataset.
+  const std::vector<Dimension>& dims() const { return dims_; }
+  /// Number of series the model was trained on.
+  int num_series() const { return static_cast<int>(stats_.mean.size()); }
+  /// Total trainable parameter count.
+  int64_t num_parameters() const;
+
+ private:
+  friend class DeepMviImputer;
+
+  DeepMviConfig config_;            // Resolved: window > 0.
+  std::vector<Dimension> dims_;     // Of the shaped (post-flatten) data.
+  DataTensor::NormalizationStats stats_;
+  std::unique_ptr<nn::ParameterStore> store_;
+  internal::DeepMviModules modules_;  // Pointers into *store_.
+};
+
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_CORE_TRAINED_DEEPMVI_H_

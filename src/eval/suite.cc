@@ -60,6 +60,14 @@ std::string JsonNumber(double v) {
 
 }  // namespace
 
+const char* BuildGitCommit() {
+#ifdef DMVI_GIT_COMMIT
+  return DMVI_GIT_COMMIT;
+#else
+  return "unknown";
+#endif
+}
+
 int64_t SuiteResult::num_failed() const {
   int64_t failed = 0;
   for (const SuiteCell& cell : cells) {
@@ -91,6 +99,7 @@ SuiteResult RunSuite(const SuiteSpec& spec) {
 
   const int total = static_cast<int>(suite.cells.size());
   suite.threads_used = EffectiveThreads(total, spec.threads);
+  suite.git_commit = BuildGitCommit();
 
   std::mutex progress_mutex;
   int done = 0;
@@ -127,8 +136,9 @@ SuiteResult RunSuite(const SuiteSpec& spec) {
 std::string SuiteToJson(const SuiteResult& suite) {
   std::ostringstream os;
   os << "{\n";
+  os << "  \"git_commit\": \"" << JsonEscape(suite.git_commit) << "\",\n";
   os << "  \"wall_seconds\": " << JsonNumber(suite.wall_seconds) << ",\n";
-  os << "  \"threads\": " << suite.threads_used << ",\n";
+  os << "  \"effective_threads\": " << suite.threads_used << ",\n";
   os << "  \"num_cells\": " << suite.cells.size() << ",\n";
   os << "  \"num_failed\": " << suite.num_failed() << ",\n";
   os << "  \"cells\": [";

@@ -59,10 +59,18 @@ struct SuiteCell {
 struct SuiteResult {
   std::vector<SuiteCell> cells;
   double wall_seconds = 0.0;
+  /// EffectiveThreads() of the run, stamped into the JSON so BENCH_*
+  /// trajectory files record the parallelism the numbers were taken at.
   int threads_used = 1;
+  /// Git commit the suite binary was configured from ("unknown" outside a
+  /// checkout); provenance for per-PR BENCH_* files.
+  std::string git_commit;
 
   int64_t num_failed() const;
 };
+
+/// The commit hash stamped into this build at CMake configure time.
+const char* BuildGitCommit();
 
 /// Runs every cell of the grid, fanned out over ParallelFor workers. Each
 /// worker builds its own dataset and imputer and writes into its own

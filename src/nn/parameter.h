@@ -49,6 +49,8 @@ class Parameter {
 
   Matrix& adam_m() { return adam_m_; }
   Matrix& adam_v() { return adam_v_; }
+  const Matrix& adam_m() const { return adam_m_; }
+  const Matrix& adam_v() const { return adam_v_; }
 
   int64_t size() const { return value_.size(); }
 
@@ -74,6 +76,16 @@ class ParameterStore {
   }
 
   const std::vector<std::unique_ptr<Parameter>>& params() const { return params_; }
+
+  /// The parameter named `name`, or nullptr. Names are unique per store by
+  /// construction (modules qualify them with their own name); checkpoint
+  /// loading uses this to match records independent of creation order.
+  Parameter* Find(const std::string& name) const {
+    for (const auto& p : params_) {
+      if (p->name() == name) return p.get();
+    }
+    return nullptr;
+  }
 
   int64_t TotalSize() const {
     int64_t total = 0;

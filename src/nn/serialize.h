@@ -1,0 +1,89 @@
+#ifndef DEEPMVI_NN_SERIALIZE_H_
+#define DEEPMVI_NN_SERIALIZE_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/status.h"
+#include "nn/parameter.h"
+#include "tensor/matrix.h"
+
+namespace deepmvi {
+namespace nn {
+
+/// Binary (de)serialization for Matrix, Parameter, and ParameterStore —
+/// the checkpoint substrate of the train-once/serve-many split.
+///
+/// Store file layout (little-endian, raw IEEE-754 doubles, so round trips
+/// are exact to the bit):
+///
+///   magic   "DMVP" (4 bytes)
+///   version uint32 (currently 1)
+///   count   uint64 (number of parameter records)
+///   records, one per parameter:
+///     name   uint32 length + bytes
+///     value  matrix record (int32 rows, int32 cols, rows*cols doubles)
+///     adam_m matrix record
+///     adam_v matrix record
+///
+/// Records are name-keyed: LoadParameterStore matches each record to the
+/// parameter of the same name in the destination store (typically freshly
+/// built from the model config), so the store's creation order need not
+/// match the file. Corrupt headers, truncated files, and name/shape
+/// mismatches are reported as Status errors, never crashes.
+
+/// Raw little-endian POD write, the primitive every record is built from.
+/// Shared with higher-level checkpoint writers (core/trained_deepmvi.cc).
+template <typename T>
+void WritePod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+/// Raw POD read; returns false on short reads (truncated file).
+template <typename T>
+bool ReadPod(std::istream& is, T* value) {
+  is.read(reinterpret_cast<char*>(value), sizeof(T));
+  return is.gcount() == static_cast<std::streamsize>(sizeof(T));
+}
+
+/// Length-prefixed string record.
+Status WriteString(std::ostream& os, const std::string& s);
+StatusOr<std::string> ReadString(std::istream& is);
+
+/// Writes one matrix record (shape header + raw doubles) to `os`.
+Status WriteMatrix(std::ostream& os, const Matrix& matrix);
+
+/// Reads one matrix record written by WriteMatrix.
+StatusOr<Matrix> ReadMatrix(std::istream& is);
+
+/// Writes one parameter record (name + value + Adam moments).
+Status WriteParameter(std::ostream& os, const Parameter& parameter);
+
+/// Reads the next parameter record and applies it to the parameter of the
+/// same name in `store` (value and Adam moments). Returns the restored
+/// name. Fails with kNotFound for unknown names and kInvalidArgument for
+/// shape mismatches.
+StatusOr<std::string> ReadParameterInto(std::istream& is,
+                                        ParameterStore& store);
+
+/// Writes the versioned header plus every parameter of `store` to `os`.
+Status SaveParameterStore(const ParameterStore& store, std::ostream& os);
+
+/// Reads a store section written by SaveParameterStore into `store`. The
+/// destination must contain exactly the parameters named in the file (the
+/// usual pattern is to rebuild the model from its config first); missing
+/// or extra parameters are an error so a successful load is a complete
+/// restore.
+Status LoadParameterStore(std::istream& is, ParameterStore& store);
+
+/// File-path convenience wrappers.
+Status SaveParameterStoreToFile(const ParameterStore& store,
+                                const std::string& path);
+Status LoadParameterStoreFromFile(const std::string& path,
+                                  ParameterStore& store);
+
+}  // namespace nn
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_NN_SERIALIZE_H_

@@ -1,0 +1,55 @@
+#include "serve/registry.h"
+
+#include <utility>
+
+namespace deepmvi {
+namespace serve {
+
+Status ModelRegistry::Register(const std::string& name, TrainedDeepMvi model) {
+  if (name.empty()) {
+    return Status::InvalidArgument("model name must not be empty");
+  }
+  if (!model.trained()) {
+    return Status::FailedPrecondition("cannot register an untrained model '" +
+                                      name + "'");
+  }
+  auto holder = std::make_shared<const TrainedDeepMvi>(std::move(model));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = models_.find(name);
+  if (it != models_.end()) {
+    retired_.push_back(std::move(it->second));
+    it->second = std::move(holder);
+  } else {
+    models_.emplace(name, std::move(holder));
+  }
+  return Status::OK();
+}
+
+Status ModelRegistry::LoadFromFile(const std::string& name,
+                                   const std::string& path) {
+  StatusOr<TrainedDeepMvi> model = TrainedDeepMvi::Load(path);
+  if (!model.ok()) return model.status();
+  return Register(name, std::move(model).value());
+}
+
+const TrainedDeepMvi* ModelRegistry::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> ModelRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, model] : models_) names.push_back(name);
+  return names;
+}
+
+int64_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(models_.size());
+}
+
+}  // namespace serve
+}  // namespace deepmvi

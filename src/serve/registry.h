@@ -1,0 +1,55 @@
+#ifndef DEEPMVI_SERVE_REGISTRY_H_
+#define DEEPMVI_SERVE_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/trained_deepmvi.h"
+
+namespace deepmvi {
+namespace serve {
+
+/// Thread-safe registry of loaded models, keyed by caller-chosen name.
+/// Models are immutable once registered (Predict is const and
+/// deterministic), so concurrent request workers share them without
+/// locking beyond the map lookup.
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Registers a trained model under `name`. Re-registering an existing
+  /// name atomically swaps the model (a deployment update); requests
+  /// already holding the old pointer finish against the old weights.
+  Status Register(const std::string& name, TrainedDeepMvi model);
+
+  /// Loads a checkpoint from `path` (TrainedDeepMvi::Load) and registers
+  /// it under `name`.
+  Status LoadFromFile(const std::string& name, const std::string& path);
+
+  /// The model registered under `name`, or nullptr. The pointer stays
+  /// valid until the registry is destroyed (models are retired, not
+  /// deleted, on re-register — bounded by the number of deployments).
+  const TrainedDeepMvi* Get(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  int64_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const TrainedDeepMvi>> models_;
+  /// Retired generations parked so outstanding raw pointers stay valid.
+  std::vector<std::shared_ptr<const TrainedDeepMvi>> retired_;
+};
+
+}  // namespace serve
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_SERVE_REGISTRY_H_

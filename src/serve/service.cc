@@ -1,0 +1,159 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "common/parallel.h"
+
+namespace deepmvi {
+namespace serve {
+
+ImputationService::ImputationService(ServiceConfig config)
+    : config_(config) {}
+
+ImputationService::~ImputationService() { Shutdown(); }
+
+ImputationResponse ImputationService::Process(
+    const ImputationRequest& request) const {
+  ImputationResponse response;
+  try {
+    const TrainedDeepMvi* model = registry_.Get(request.model);
+    if (model == nullptr) {
+      response.status = Status::NotFound("no model registered under '" +
+                                         request.model + "'");
+      return response;
+    }
+    if (request.data == nullptr) {
+      response.status = Status::InvalidArgument("request carries no dataset");
+      return response;
+    }
+    response.status = model->ValidateInput(*request.data, request.mask);
+    if (!response.status.ok()) return response;
+    response.imputed = model->Predict(*request.data, request.mask);
+    response.cells_imputed = request.mask.CountMissing();
+    for (int r = 0; r < request.mask.rows(); ++r) {
+      for (int t = 0; t < request.mask.cols(); ++t) {
+        if (request.mask.missing(r, t)) {
+          ++response.rows_touched;
+          break;
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    response.status = Status::Internal(e.what());
+    response.imputed = Matrix();
+  }
+  return response;
+}
+
+ImputationResponse ImputationService::Impute(const ImputationRequest& request) {
+  Stopwatch watch;
+  ImputationResponse response = Process(request);
+  response.latency_seconds = watch.ElapsedSeconds();
+  telemetry_.RecordRequest(response.latency_seconds, response.rows_touched,
+                           response.cells_imputed, response.status.ok());
+  return response;
+}
+
+std::vector<ImputationResponse> ImputationService::ImputeBatch(
+    const std::vector<ImputationRequest>& requests) {
+  const int total = static_cast<int>(requests.size());
+  // Pre-allocated slots: worker i writes response i only, so the aggregate
+  // is identical to a serial run regardless of scheduling (the RunSuite
+  // pattern).
+  std::vector<ImputationResponse> responses(requests.size());
+  telemetry_.RecordBatch(total);
+  ParallelFor(total, config_.threads, [&](int i) {
+    Stopwatch watch;
+    responses[i] = Process(requests[i]);
+    responses[i].latency_seconds = watch.ElapsedSeconds();
+    telemetry_.RecordRequest(responses[i].latency_seconds,
+                             responses[i].rows_touched,
+                             responses[i].cells_imputed,
+                             responses[i].status.ok());
+  });
+  return responses;
+}
+
+std::future<ImputationResponse> ImputationService::Submit(
+    ImputationRequest request) {
+  PendingRequest pending;
+  pending.request = std::move(request);
+  std::future<ImputationResponse> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    DMVI_CHECK(!stop_) << "Submit after Shutdown";
+    queue_.push_back(std::move(pending));
+    EnsureDispatcher();
+  }
+  queue_cv_.notify_all();
+  return future;
+}
+
+void ImputationService::EnsureDispatcher() {
+  // Caller holds queue_mutex_. Lazy start keeps purely synchronous users
+  // thread-free.
+  if (dispatcher_started_) return;
+  dispatcher_started_ = true;
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+void ImputationService::RunBatch(std::vector<PendingRequest>& batch) {
+  const int total = static_cast<int>(batch.size());
+  telemetry_.RecordBatch(total);
+  ParallelFor(total, config_.threads, [&](int i) {
+    ImputationResponse response = Process(batch[i].request);
+    // Caller-observed latency: queue wait + batch formation + compute.
+    response.latency_seconds = batch[i].queued.ElapsedSeconds();
+    telemetry_.RecordRequest(response.latency_seconds, response.rows_touched,
+                             response.cells_imputed, response.status.ok());
+    batch[i].promise.set_value(std::move(response));
+  });
+}
+
+void ImputationService::DispatchLoop() {
+  for (;;) {
+    std::vector<PendingRequest> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty() && stop_) return;
+
+      // Micro-batching: after the first request arrives, linger briefly so
+      // concurrent callers coalesce into one batch (unless it is already
+      // full or the service is draining).
+      if (config_.batch_linger_ms > 0.0 && !stop_ &&
+          static_cast<int>(queue_.size()) < config_.max_batch_size) {
+        queue_cv_.wait_for(
+            lock,
+            std::chrono::duration<double, std::milli>(config_.batch_linger_ms),
+            [this] {
+              return stop_ ||
+                     static_cast<int>(queue_.size()) >= config_.max_batch_size;
+            });
+      }
+
+      const int take = std::min<int>(static_cast<int>(queue_.size()),
+                                     std::max(1, config_.max_batch_size));
+      for (int i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    if (!batch.empty()) RunBatch(batch);
+  }
+}
+
+void ImputationService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+}  // namespace serve
+}  // namespace deepmvi

@@ -1,0 +1,133 @@
+#ifndef DEEPMVI_SERVE_SERVICE_H_
+#define DEEPMVI_SERVE_SERVICE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/registry.h"
+#include "serve/telemetry.h"
+#include "tensor/data_tensor.h"
+#include "tensor/mask.h"
+
+namespace deepmvi {
+namespace serve {
+
+/// One imputation query: a dataset slice plus the availability mask whose
+/// missing cells the named model should fill. The dataset is shared, not
+/// copied — a replayed workload of N queries against one dataset must
+/// queue O(dataset) memory, not N dense copies.
+struct ImputationRequest {
+  std::string model;  // Registry key.
+  std::shared_ptr<const DataTensor> data;
+  Mask mask;
+};
+
+/// The answer to one request. `status` is non-OK for unknown models,
+/// shape mismatches, or internal failures; `imputed` is then empty.
+struct ImputationResponse {
+  Status status;
+  Matrix imputed;
+  /// Caller-observed latency: compute only on the synchronous paths,
+  /// queue + batch + compute on the Submit path.
+  double latency_seconds = 0.0;
+  int64_t cells_imputed = 0;   // Missing cells filled.
+  int64_t rows_touched = 0;    // Series rows with >= 1 filled cell.
+};
+
+/// Tuning knobs of the serving loop.
+struct ServiceConfig {
+  /// Upper bound on requests fused into one micro-batch (Submit path).
+  int max_batch_size = 8;
+  /// After the first queued request, the dispatcher lingers this long for
+  /// more arrivals before launching a partial batch. 0 dispatches
+  /// immediately.
+  double batch_linger_ms = 1.0;
+  /// Worker threads fanned over a batch (<= 0: hardware concurrency).
+  int threads = 0;
+};
+
+/// Long-lived imputation service: owns loaded models (via the registry),
+/// micro-batches concurrent requests, and fans batch inference over
+/// ParallelFor with deterministic per-slot aggregation mirroring RunSuite
+/// (src/eval/suite.cc) — each request writes only its own pre-allocated
+/// response slot, so results are bit-identical for any thread count and
+/// any batching schedule (Predict itself consumes no randomness).
+///
+/// Three entry points, all thread-safe:
+///  - Impute: synchronous single request.
+///  - ImputeBatch: synchronous, responses in request order.
+///  - Submit: enqueue and get a future; a background dispatcher fuses
+///    queued requests into micro-batches (up to max_batch_size, lingering
+///    batch_linger_ms for co-arrivals) — the serving pattern for heavy
+///    query traffic.
+class ImputationService {
+ public:
+  explicit ImputationService(ServiceConfig config = {});
+  ~ImputationService();
+  ImputationService(const ImputationService&) = delete;
+  ImputationService& operator=(const ImputationService&) = delete;
+
+  ModelRegistry& registry() { return registry_; }
+  const ServiceConfig& config() const { return config_; }
+
+  /// Synchronously answers one request.
+  ImputationResponse Impute(const ImputationRequest& request);
+
+  /// Synchronously answers a batch; response i belongs to request i.
+  std::vector<ImputationResponse> ImputeBatch(
+      const std::vector<ImputationRequest>& requests);
+
+  /// Enqueues a request for micro-batched execution. The returned future
+  /// is fulfilled by the dispatcher; safe to call from many threads.
+  std::future<ImputationResponse> Submit(ImputationRequest request);
+
+  /// Drains the queue, fulfills every outstanding future, and stops the
+  /// dispatcher. Called by the destructor; safe to call twice.
+  void Shutdown();
+
+  TelemetrySnapshot telemetry() const { return telemetry_.Snapshot(); }
+
+  /// Zeroes the counters and restarts the wall clock — for reports that
+  /// must describe only the traffic from this point on.
+  void ResetTelemetry() { telemetry_.Reset(); }
+
+ private:
+  struct PendingRequest {
+    ImputationRequest request;
+    std::promise<ImputationResponse> promise;
+    Stopwatch queued;  // Started at Submit; measures caller latency.
+  };
+
+  /// Answers one request (no telemetry, no locking): registry lookup,
+  /// validation, Predict. Exceptions become kInternal responses.
+  ImputationResponse Process(const ImputationRequest& request) const;
+
+  /// Runs `batch` through ParallelFor, fulfilling promises per slot.
+  void RunBatch(std::vector<PendingRequest>& batch);
+
+  void DispatchLoop();
+  void EnsureDispatcher();
+
+  const ServiceConfig config_;
+  ModelRegistry registry_;
+  Telemetry telemetry_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingRequest> queue_;
+  std::thread dispatcher_;
+  bool dispatcher_started_ = false;
+  bool stop_ = false;
+};
+
+}  // namespace serve
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_SERVE_SERVICE_H_

@@ -1,0 +1,127 @@
+#include "serve/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace deepmvi {
+namespace serve {
+
+void Telemetry::RecordRequest(double latency_seconds, int64_t rows,
+                              int64_t cells, bool ok) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++requests_;
+  if (!ok) ++failures_;
+  rows_served_ += rows;
+  cells_imputed_ += cells;
+  busy_seconds_ += latency_seconds;
+  latency_max_seconds_ = std::max(latency_max_seconds_, latency_seconds);
+  // Algorithm R: keep the first C latencies, then replace a uniformly
+  // chosen slot with probability C / requests_ — an unbiased sample of
+  // the whole stream in bounded memory.
+  if (static_cast<int>(latency_reservoir_.size()) < kLatencyReservoirCapacity) {
+    latency_reservoir_.push_back(latency_seconds);
+  } else {
+    const int64_t slot =
+        reservoir_rng_.UniformInt(static_cast<int>(
+            std::min<int64_t>(requests_, std::numeric_limits<int>::max())));
+    if (slot < kLatencyReservoirCapacity) {
+      latency_reservoir_[static_cast<size_t>(slot)] = latency_seconds;
+    }
+  }
+}
+
+void Telemetry::RecordBatch(int size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++batches_;
+  batched_requests_ += size;
+}
+
+TelemetrySnapshot Telemetry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TelemetrySnapshot snap;
+  snap.requests = requests_;
+  snap.failures = failures_;
+  snap.batches = batches_;
+  snap.rows_served = rows_served_;
+  snap.cells_imputed = cells_imputed_;
+  snap.busy_seconds = busy_seconds_;
+  snap.wall_seconds = since_start_.ElapsedSeconds();
+
+  std::vector<double> sorted = latency_reservoir_;
+  std::sort(sorted.begin(), sorted.end());
+  snap.latency_p50_ms = SortedPercentile(sorted, 0.50) * 1e3;
+  snap.latency_p95_ms = SortedPercentile(sorted, 0.95) * 1e3;
+  // Max comes from the exact running counter (the reservoir may have
+  // evicted the extreme).
+  snap.latency_max_ms = latency_max_seconds_ * 1e3;
+
+  if (snap.wall_seconds > 0.0) {
+    snap.requests_per_second = static_cast<double>(requests_) / snap.wall_seconds;
+    snap.rows_per_second = static_cast<double>(rows_served_) / snap.wall_seconds;
+    snap.cells_per_second =
+        static_cast<double>(cells_imputed_) / snap.wall_seconds;
+  }
+  if (batches_ > 0) {
+    snap.mean_batch_size =
+        static_cast<double>(batched_requests_) / static_cast<double>(batches_);
+  }
+  return snap;
+}
+
+void Telemetry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  requests_ = 0;
+  failures_ = 0;
+  batches_ = 0;
+  batched_requests_ = 0;
+  rows_served_ = 0;
+  cells_imputed_ = 0;
+  busy_seconds_ = 0.0;
+  latency_max_seconds_ = 0.0;
+  latency_reservoir_.clear();
+  since_start_.Reset();
+}
+
+double SortedPercentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(pos));
+  const size_t hi = static_cast<size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+std::string TelemetryToJson(const TelemetrySnapshot& snap) {
+  auto number = [](double v) -> std::string {
+    if (!std::isfinite(v)) return "null";
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+  };
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"requests\": " << snap.requests << ",\n";
+  os << "  \"failures\": " << snap.failures << ",\n";
+  os << "  \"batches\": " << snap.batches << ",\n";
+  os << "  \"rows_served\": " << snap.rows_served << ",\n";
+  os << "  \"cells_imputed\": " << snap.cells_imputed << ",\n";
+  os << "  \"busy_seconds\": " << number(snap.busy_seconds) << ",\n";
+  os << "  \"wall_seconds\": " << number(snap.wall_seconds) << ",\n";
+  os << "  \"latency_p50_ms\": " << number(snap.latency_p50_ms) << ",\n";
+  os << "  \"latency_p95_ms\": " << number(snap.latency_p95_ms) << ",\n";
+  os << "  \"latency_max_ms\": " << number(snap.latency_max_ms) << ",\n";
+  os << "  \"requests_per_second\": " << number(snap.requests_per_second)
+     << ",\n";
+  os << "  \"rows_per_second\": " << number(snap.rows_per_second) << ",\n";
+  os << "  \"cells_per_second\": " << number(snap.cells_per_second) << ",\n";
+  os << "  \"mean_batch_size\": " << number(snap.mean_batch_size) << "\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace serve
+}  // namespace deepmvi

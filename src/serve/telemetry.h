@@ -1,0 +1,84 @@
+#ifndef DEEPMVI_SERVE_TELEMETRY_H_
+#define DEEPMVI_SERVE_TELEMETRY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+namespace deepmvi {
+namespace serve {
+
+/// Point-in-time aggregate of the service counters, in the spirit of the
+/// eval layer's machine-readable outputs (eval/suite.h): every number a
+/// load test or dashboard needs, renderable as JSON via TelemetryToJson.
+struct TelemetrySnapshot {
+  int64_t requests = 0;        // Completed requests, including failures.
+  int64_t failures = 0;        // Requests answered with a non-OK status.
+  int64_t batches = 0;         // Micro-batches dispatched.
+  int64_t rows_served = 0;     // Series rows carrying >= 1 imputed cell.
+  int64_t cells_imputed = 0;   // Missing cells filled.
+  double busy_seconds = 0.0;   // Sum of per-request latencies.
+  double wall_seconds = 0.0;   // Since service start.
+  // Latency distribution over completed requests, milliseconds.
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_max_ms = 0.0;
+  // Throughput over the wall-clock window.
+  double requests_per_second = 0.0;
+  double rows_per_second = 0.0;
+  double cells_per_second = 0.0;
+  double mean_batch_size = 0.0;
+};
+
+/// Thread-safe latency/throughput counters owned by ImputationService.
+/// Counters are exact; the latency distribution is a bounded reservoir
+/// sample (Vitter's algorithm R, kLatencyReservoirCapacity entries), so a
+/// long-lived service under heavy traffic keeps O(1) memory and Snapshot
+/// stays cheap while percentiles remain an unbiased estimate.
+class Telemetry {
+ public:
+  static constexpr int kLatencyReservoirCapacity = 4096;
+
+  /// Records one completed request. `latency_seconds` should include queue
+  /// time for async requests so percentiles reflect what callers observe.
+  void RecordRequest(double latency_seconds, int64_t rows, int64_t cells,
+                     bool ok);
+
+  /// Records one dispatched micro-batch of `size` requests.
+  void RecordBatch(int size);
+
+  TelemetrySnapshot Snapshot() const;
+
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  Stopwatch since_start_;
+  int64_t requests_ = 0;
+  int64_t failures_ = 0;
+  int64_t batches_ = 0;
+  int64_t batched_requests_ = 0;
+  int64_t rows_served_ = 0;
+  int64_t cells_imputed_ = 0;
+  double busy_seconds_ = 0.0;
+  double latency_max_seconds_ = 0.0;
+  Rng reservoir_rng_{0x7e1e  /* fixed: telemetry needs no seeding API */};
+  std::vector<double> latency_reservoir_;
+};
+
+/// Linear-interpolated percentile (q in [0, 1]) of `sorted` ascending
+/// values; 0 when empty. Exposed for tests and report printing.
+double SortedPercentile(const std::vector<double>& sorted, double q);
+
+/// Renders a snapshot as a small JSON document (two-space indent, stable
+/// key order), matching the style of eval/suite.h's SuiteToJson.
+std::string TelemetryToJson(const TelemetrySnapshot& snapshot);
+
+}  // namespace serve
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_SERVE_TELEMETRY_H_

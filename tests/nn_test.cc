@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "nn/adam.h"
 #include "nn/layers.h"
 #include "nn/parameter.h"
+#include "nn/serialize.h"
+#include "testing/test_util.h"
 
 namespace deepmvi {
 namespace nn {
@@ -287,6 +292,167 @@ TEST(AdamTest, ClippingBoundsUpdateReportsNorm) {
   tape.Backward(loss);
   double norm = adam.Step(tape);
   EXPECT_NEAR(norm, 1000.0, 1e-9);
+}
+
+// ---- Serialization (nn/serialize.h) ----------------------------------------
+
+/// A store with irrational-valued parameters (every bit pattern exercised)
+/// and nonzero Adam moments.
+void FillStore(ParameterStore& store, uint64_t seed) {
+  Rng rng(seed);
+  Parameter* a = store.Create("layer.weight", Matrix::RandomGaussian(7, 3, rng));
+  Parameter* b = store.Create("layer.bias", Matrix::RandomGaussian(1, 3, rng));
+  a->adam_m() = Matrix::RandomGaussian(7, 3, rng);
+  a->adam_v() = Matrix::RandomGaussian(7, 3, rng);
+  b->adam_m() = Matrix::RandomGaussian(1, 3, rng);
+  b->adam_v() = Matrix::RandomGaussian(1, 3, rng);
+}
+
+using testutil::ExpectMatricesBitIdentical;
+
+TEST(SerializeTest, MatrixRoundTripIsExact) {
+  Rng rng(21);
+  Matrix m = Matrix::RandomGaussian(5, 9, rng);
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteMatrix(buffer, m).ok());
+  StatusOr<Matrix> back = ReadMatrix(buffer);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectMatricesBitIdentical(*back, m);
+}
+
+TEST(SerializeTest, EmptyMatrixRoundTrips) {
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteMatrix(buffer, Matrix()).ok());
+  StatusOr<Matrix> back = ReadMatrix(buffer);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->rows(), 0);
+  EXPECT_EQ(back->cols(), 0);
+}
+
+TEST(SerializeTest, StoreRoundTripsThroughFileBitIdentical) {
+  ParameterStore store;
+  FillStore(store, 22);
+  const std::string path = testutil::TempPath("store_roundtrip.dmvp");
+  ASSERT_TRUE(SaveParameterStoreToFile(store, path).ok());
+
+  // Destination rebuilt with different values; load must restore value and
+  // both Adam moments exactly.
+  ParameterStore fresh;
+  FillStore(fresh, 23);
+  Status loaded = LoadParameterStoreFromFile(path, fresh);
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
+  ASSERT_EQ(fresh.params().size(), store.params().size());
+  for (const auto& p : store.params()) {
+    Parameter* q = fresh.Find(p->name());
+    ASSERT_NE(q, nullptr) << p->name();
+    ExpectMatricesBitIdentical(q->value(), p->value());
+    ExpectMatricesBitIdentical(q->adam_m(), p->adam_m());
+    ExpectMatricesBitIdentical(q->adam_v(), p->adam_v());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadIsNameKeyedNotOrderKeyed) {
+  ParameterStore store;
+  FillStore(store, 24);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveParameterStore(store, buffer).ok());
+
+  // Same parameters created in the opposite order.
+  ParameterStore reordered;
+  reordered.Create("layer.bias", Matrix(1, 3, -1.0));
+  reordered.Create("layer.weight", Matrix(7, 3, -1.0));
+  ASSERT_TRUE(LoadParameterStore(buffer, reordered).ok());
+  ExpectMatricesBitIdentical(reordered.Find("layer.weight")->value(),
+                     store.Find("layer.weight")->value());
+  ExpectMatricesBitIdentical(reordered.Find("layer.bias")->value(),
+                     store.Find("layer.bias")->value());
+}
+
+TEST(SerializeTest, CorruptMagicIsAnErrorNotACrash) {
+  ParameterStore store;
+  FillStore(store, 25);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveParameterStore(store, buffer).ok());
+  std::string bytes = buffer.str();
+  bytes[0] = 'X';  // Break the magic.
+  std::stringstream corrupt(bytes);
+  ParameterStore dst;
+  FillStore(dst, 25);
+  Status status = LoadParameterStore(corrupt, dst);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, TruncatedFileIsAnErrorNotACrash) {
+  ParameterStore store;
+  FillStore(store, 26);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveParameterStore(store, buffer).ok());
+  const std::string bytes = buffer.str();
+  // Cut at several depths: inside the header, inside a name, inside a
+  // matrix body.
+  for (size_t cut : {size_t{2}, size_t{9}, size_t{17}, bytes.size() - 5}) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    ParameterStore dst;
+    FillStore(dst, 26);
+    Status status = LoadParameterStore(truncated, dst);
+    EXPECT_FALSE(status.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(SerializeTest, ParameterCountMismatchIsAnError) {
+  ParameterStore store;
+  FillStore(store, 27);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveParameterStore(store, buffer).ok());
+  ParameterStore smaller;
+  smaller.Create("layer.weight", Matrix(7, 3));
+  Status status = LoadParameterStore(buffer, smaller);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, ShapeMismatchIsAnError) {
+  ParameterStore store;
+  FillStore(store, 28);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveParameterStore(store, buffer).ok());
+  ParameterStore wrong_shape;
+  wrong_shape.Create("layer.weight", Matrix(7, 4));  // 3 -> 4 columns.
+  wrong_shape.Create("layer.bias", Matrix(1, 3));
+  Status status = LoadParameterStore(buffer, wrong_shape);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, DuplicateParameterRecordIsAnError) {
+  // Count equality alone would accept a file naming one parameter twice
+  // and another never — that must not count as a complete restore.
+  ParameterStore store;
+  FillStore(store, 29);
+  // Forge a store section: header (magic + version + count=2) followed by
+  // the same parameter record twice.
+  std::stringstream forged;
+  forged.write("DMVP", 4);
+  WritePod(forged, static_cast<uint32_t>(1));
+  WritePod(forged, static_cast<uint64_t>(2));
+  ASSERT_TRUE(WriteParameter(forged, *store.params()[0]).ok());
+  ASSERT_TRUE(WriteParameter(forged, *store.params()[0]).ok());
+  ParameterStore dst;
+  FillStore(dst, 29);
+  Status status = LoadParameterStore(forged, dst);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("twice"), std::string::npos);
+}
+
+TEST(SerializeTest, MissingFileIsAnIoError) {
+  ParameterStore store;
+  Status status =
+      LoadParameterStoreFromFile("/nonexistent/nowhere.dmvp", store);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
 }
 
 }  // namespace

@@ -1,0 +1,465 @@
+// Tests for the train-once/serve-many split: TrainedDeepMvi (Fit /
+// Predict / Save / Load) and the src/serve layer (registry, micro-batching
+// service, telemetry, workload helpers). The central contract is
+// determinism: Predict consumes no randomness, so repeated calls, loaded
+// checkpoints, and any thread count / batching schedule must all produce
+// bit-identical matrices.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/deepmvi.h"
+#include "serve/service.h"
+#include "serve/workload.h"
+#include "testing/test_util.h"
+
+namespace deepmvi {
+namespace {
+
+using testutil::ExpectMatricesBitIdentical;
+using testutil::MakeSeasonalCase;
+using testutil::SeasonalCase;
+using testutil::TempPath;
+using testutil::TinyDeepMviConfig;
+
+/// One small trained model shared by the expensive suites. Fit is the slow
+/// part; everything downstream is inference.
+struct TrainedCase {
+  SeasonalCase data_case;
+  TrainedDeepMvi model;
+};
+TrainedCase MakeTrainedCase(uint64_t seed = 31) {
+  TrainedCase out{MakeSeasonalCase(seed, 5, 120), TrainedDeepMvi()};
+  DeepMviConfig config = TinyDeepMviConfig();
+  config.seed = 77;
+  DeepMviImputer imputer(config);
+  out.model = imputer.Fit(out.data_case.data, out.data_case.mask);
+  return out;
+}
+
+// ---- TrainedDeepMvi ---------------------------------------------------------
+
+TEST(TrainedDeepMviTest, FitOncePredictTwiceIsBitIdentical) {
+  TrainedCase c = MakeTrainedCase();
+  Matrix first = c.model.Predict(c.data_case.data, c.data_case.mask);
+  Matrix second = c.model.Predict(c.data_case.data, c.data_case.mask);
+  ExpectMatricesBitIdentical(first, second, "repeated Predict");
+}
+
+TEST(TrainedDeepMviTest, ImputeEqualsFitPlusPredict) {
+  // The historical single-shot API must be exactly the composition, so the
+  // determinism contract in core_test keeps covering the split pipeline.
+  SeasonalCase c = MakeSeasonalCase(32, 5, 120);
+  DeepMviConfig config = TinyDeepMviConfig();
+  config.seed = 78;
+
+  DeepMviImputer one_shot(config);
+  Matrix via_impute = one_shot.Impute(c.data, c.mask);
+
+  DeepMviImputer split(config);
+  TrainedDeepMvi model = split.Fit(c.data, c.mask);
+  Matrix via_predict = model.Predict(c.data, c.mask);
+
+  ExpectMatricesBitIdentical(via_impute, via_predict, "Impute vs Fit+Predict");
+}
+
+TEST(TrainedDeepMviTest, PredictOnNewMissingPattern) {
+  // Serve-time queries hide blocks the training mask never saw.
+  TrainedCase c = MakeTrainedCase();
+  Mask query = c.data_case.mask;
+  query.SetMissingRange(2, 40, 60);
+  Matrix out = c.model.Predict(c.data_case.data, query);
+  EXPECT_TRUE(out.AllFinite());
+  for (int t = 0; t < out.cols(); ++t) {
+    if (query.available(2, t)) {
+      EXPECT_EQ(out(2, t), c.data_case.data.values()(2, t));
+    }
+  }
+}
+
+TEST(TrainedDeepMviTest, SaveLoadPredictIsBitIdentical) {
+  TrainedCase c = MakeTrainedCase();
+  Matrix direct = c.model.Predict(c.data_case.data, c.data_case.mask);
+
+  const std::string path = TempPath("trained_deepmvi.dmvi");
+  Status saved = c.model.Save(path);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+
+  StatusOr<TrainedDeepMvi> loaded = TrainedDeepMvi::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_parameters(), c.model.num_parameters());
+  EXPECT_EQ(loaded->config().window, c.model.config().window);
+  Matrix from_checkpoint = loaded->Predict(c.data_case.data, c.data_case.mask);
+  ExpectMatricesBitIdentical(direct, from_checkpoint, "after Save/Load");
+  std::remove(path.c_str());
+}
+
+TEST(TrainedDeepMviTest, LoadRejectsCorruptAndTruncatedCheckpoints) {
+  TrainedCase c = MakeTrainedCase();
+  const std::string path = TempPath("trained_corrupt.dmvi");
+  ASSERT_TRUE(c.model.Save(path).ok());
+
+  {  // Corrupt magic.
+    std::string bytes;
+    {
+      std::ifstream in(path, std::ios::binary);
+      bytes.assign(std::istreambuf_iterator<char>(in), {});
+    }
+    ASSERT_GT(bytes.size(), 100u);
+    const std::string corrupt_path = TempPath("trained_badmagic.dmvi");
+    bytes[1] = 'X';
+    std::ofstream(corrupt_path, std::ios::binary) << bytes;
+    StatusOr<TrainedDeepMvi> corrupt = TrainedDeepMvi::Load(corrupt_path);
+    EXPECT_FALSE(corrupt.ok());
+    EXPECT_EQ(corrupt.status().code(), StatusCode::kInvalidArgument);
+    std::remove(corrupt_path.c_str());
+
+    // Truncate at several depths (header, config, parameter bodies).
+    for (size_t cut : {size_t{3}, size_t{20}, size_t{70}, bytes.size() / 2}) {
+      const std::string cut_path = TempPath("trained_truncated.dmvi");
+      std::ofstream(cut_path, std::ios::binary) << bytes.substr(0, cut);
+      StatusOr<TrainedDeepMvi> truncated = TrainedDeepMvi::Load(cut_path);
+      EXPECT_FALSE(truncated.ok()) << "cut at " << cut;
+      std::remove(cut_path.c_str());
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TrainedDeepMviTest, ValidateInputRejectsWrongShapes) {
+  TrainedCase c = MakeTrainedCase();
+  EXPECT_TRUE(
+      c.model.ValidateInput(c.data_case.data, c.data_case.mask).ok());
+  // Wrong series count.
+  SeasonalCase other = MakeSeasonalCase(33, 7, 120);
+  EXPECT_FALSE(c.model.ValidateInput(other.data, other.mask).ok());
+  // Mask shape disagrees with data.
+  EXPECT_FALSE(c.model.ValidateInput(c.data_case.data, Mask(5, 60)).ok());
+  // Untrained model.
+  EXPECT_FALSE(
+      TrainedDeepMvi().ValidateInput(c.data_case.data, c.data_case.mask).ok());
+}
+
+TEST(TrainedDeepMviTest, RejectsSeriesShorterThanOneWindow) {
+  // Below one window the chunk walk degenerates and cells would come back
+  // unimputed; ValidateInput must refuse instead of silently succeeding,
+  // and the service must surface that as an error response. Between one
+  // and two windows imputation still works (transformer contributes
+  // nothing, local/kernel signals carry it) — the historical behavior.
+  TrainedCase c = MakeTrainedCase();
+  const int window = c.model.config().window;
+  ASSERT_GT(window, 1);
+  const int num_series = c.data_case.data.num_series();
+
+  DataTensor short_data =
+      DataTensor::FromMatrix(Matrix(num_series, window - 1, 1.0));
+  Mask short_mask(num_series, window - 1);
+  short_mask.set_missing(0, 0);
+  EXPECT_FALSE(c.model.ValidateInput(short_data, short_mask).ok());
+
+  DataTensor one_window =
+      DataTensor::FromMatrix(Matrix(num_series, window, 1.0));
+  Mask one_window_mask(num_series, window);
+  one_window_mask.set_missing(0, window / 2);
+  EXPECT_TRUE(c.model.ValidateInput(one_window, one_window_mask).ok());
+  EXPECT_TRUE(c.model.Predict(one_window, one_window_mask).AllFinite());
+
+  serve::ImputationService service;
+  ASSERT_TRUE(service.registry().Register("m", std::move(c.model)).ok());
+  serve::ImputationRequest request;
+  request.model = "m";
+  request.data = std::make_shared<const DataTensor>(short_data);
+  request.mask = short_mask;
+  serve::ImputationResponse response = service.Impute(request);
+  EXPECT_FALSE(response.status.ok());
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TrainedDeepMviTest, DegenerateSingleStepDatasetStillImputes) {
+  // The pre-split Impute() tolerated pathological shapes like 3 series x
+  // 1 step (window shrinks to 1); the Fit/Predict composition must not
+  // regress that into an abort.
+  DataTensor tiny = DataTensor::FromMatrix(Matrix(3, 1, 2.5));
+  Mask mask(3, 1);
+  mask.set_missing(1, 0);
+  DeepMviConfig config = TinyDeepMviConfig();
+  config.max_epochs = 1;
+  Matrix out = DeepMviImputer(config).Impute(tiny, mask);
+  EXPECT_TRUE(out.AllFinite());
+  EXPECT_EQ(out(0, 0), 2.5);
+  EXPECT_EQ(out(2, 0), 2.5);
+}
+
+// ---- Imputer state hygiene (regression for cross-call leakage) --------------
+
+TEST(DeepMviImputerTest, TrainStatsResetAtTopOfEveryCall) {
+  // First call: long blocks force window 20. Second call on small-block
+  // data must report window 10 and its own epoch count, not remnants of
+  // the first call — train_stats_ is reset at the top of Fit/Impute.
+  SyntheticConfig data_config;
+  data_config.num_series = 4;
+  data_config.length = 600;
+  data_config.seed = 34;
+  Matrix x = GenerateSeriesMatrix(data_config);
+  DataTensor big = DataTensor::FromMatrix(x);
+  Mask big_mask(4, 600);
+  big_mask.SetMissingRange(0, 100, 250);  // Mean block 150 -> window 20.
+
+  DeepMviConfig config = TinyDeepMviConfig();
+  config.max_epochs = 1;
+  DeepMviImputer reused(config);
+  reused.Impute(big, big_mask);
+  ASSERT_EQ(reused.train_stats().window_used, 20);
+
+  SeasonalCase small = MakeSeasonalCase(35, 5, 120);
+  reused.Impute(small.data, small.mask);
+  DeepMviImputer fresh(config);
+  fresh.Impute(small.data, small.mask);
+  EXPECT_EQ(reused.train_stats().window_used,
+            fresh.train_stats().window_used);
+  EXPECT_EQ(reused.train_stats().epochs_run, fresh.train_stats().epochs_run);
+  EXPECT_EQ(reused.train_stats().best_validation_loss,
+            fresh.train_stats().best_validation_loss);
+  EXPECT_EQ(reused.train_stats().final_train_loss,
+            fresh.train_stats().final_train_loss);
+}
+
+// ---- ImputationService ------------------------------------------------------
+
+TEST(ImputationServiceTest, UnknownModelYieldsNotFound) {
+  serve::ImputationService service;
+  serve::ImputationRequest request;
+  request.model = "missing";
+  serve::ImputationResponse response = service.Impute(request);
+  EXPECT_FALSE(response.status.ok());
+  EXPECT_EQ(response.status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(service.telemetry().failures, 1);
+}
+
+TEST(ImputationServiceTest, BadShapeYieldsErrorResponseNotCrash) {
+  TrainedCase c = MakeTrainedCase();
+  serve::ImputationService service;
+  ASSERT_TRUE(service.registry().Register("m", std::move(c.model)).ok());
+  serve::ImputationRequest request;
+  request.model = "m";
+  request.data = std::make_shared<const DataTensor>(c.data_case.data);
+  request.mask = Mask(2, 7);  // Nonsense shape.
+  serve::ImputationResponse response = service.Impute(request);
+  EXPECT_FALSE(response.status.ok());
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ImputationServiceTest, RegistryListsAndSwapsModels) {
+  serve::ImputationService service;
+  EXPECT_EQ(service.registry().size(), 0);
+  EXPECT_EQ(service.registry().Get("m"), nullptr);
+  EXPECT_FALSE(
+      service.registry().Register("", TrainedDeepMvi()).ok());  // Empty name.
+  EXPECT_FALSE(
+      service.registry().Register("m", TrainedDeepMvi()).ok());  // Untrained.
+
+  TrainedCase c = MakeTrainedCase();
+  ASSERT_TRUE(service.registry().Register("m", std::move(c.model)).ok());
+  const TrainedDeepMvi* first = service.registry().Get("m");
+  ASSERT_NE(first, nullptr);
+
+  // Re-register (deployment update): old pointer must stay valid.
+  TrainedCase updated = MakeTrainedCase(36);
+  ASSERT_TRUE(service.registry().Register("m", std::move(updated.model)).ok());
+  EXPECT_EQ(service.registry().size(), 1);
+  EXPECT_NE(service.registry().Get("m"), first);
+  EXPECT_GT(first->num_parameters(), 0);  // Retired, not destroyed.
+  EXPECT_EQ(service.registry().Names(),
+            std::vector<std::string>{std::string("m")});
+}
+
+/// The workload used by the determinism suites: distinct block queries.
+std::vector<serve::ImputationRequest> MakeWorkloadRequests(
+    const TrainedCase& c, int count) {
+  std::vector<serve::WorkloadQuery> queries = serve::SynthesizeWorkload(
+      count, /*max_block_len=*/12, c.data_case.data.num_series(),
+      c.data_case.data.num_times(), /*seed=*/41);
+  auto shared_data = std::make_shared<const DataTensor>(c.data_case.data);
+  std::vector<serve::ImputationRequest> requests;
+  requests.reserve(queries.size());
+  for (const serve::WorkloadQuery& query : queries) {
+    requests.push_back(
+        serve::MakeQueryRequest("m", shared_data, c.data_case.mask, query));
+  }
+  return requests;
+}
+
+TEST(ImputationServiceTest, ConcurrentBatchesMatchSingleThreadBitForBit) {
+  TrainedCase c = MakeTrainedCase();
+  std::vector<serve::ImputationRequest> requests = MakeWorkloadRequests(c, 10);
+
+  // Reference: single-threaded service, one request at a time.
+  serve::ServiceConfig serial_config;
+  serial_config.threads = 1;
+  serve::ImputationService serial(serial_config);
+  {
+    TrainedCase ref = MakeTrainedCase();
+    ASSERT_TRUE(serial.registry().Register("m", std::move(ref.model)).ok());
+  }
+  std::vector<Matrix> reference;
+  for (const auto& request : requests) {
+    serve::ImputationResponse response = serial.Impute(request);
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    reference.push_back(std::move(response.imputed));
+  }
+
+  // Same queries through the parallel sync-batch path...
+  serve::ServiceConfig parallel_config;
+  parallel_config.threads = 4;
+  serve::ImputationService parallel(parallel_config);
+  ASSERT_TRUE(parallel.registry().Register("m", std::move(c.model)).ok());
+  std::vector<serve::ImputationResponse> batched =
+      parallel.ImputeBatch(requests);
+  ASSERT_EQ(batched.size(), requests.size());
+  for (size_t i = 0; i < batched.size(); ++i) {
+    ASSERT_TRUE(batched[i].status.ok());
+    ExpectMatricesBitIdentical(batched[i].imputed, reference[i],
+                       "ImputeBatch slot " + std::to_string(i));
+  }
+
+  // ...and through the async micro-batching path, submitted from several
+  // threads at once so batches actually fuse.
+  std::vector<std::future<serve::ImputationResponse>> futures(requests.size());
+  {
+    std::vector<std::thread> submitters;
+    for (int worker = 0; worker < 2; ++worker) {
+      submitters.emplace_back([&, worker] {
+        for (size_t i = worker; i < requests.size(); i += 2) {
+          futures[i] = parallel.Submit(requests[i]);
+        }
+      });
+    }
+    for (auto& thread : submitters) thread.join();
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    serve::ImputationResponse response = futures[i].get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    ExpectMatricesBitIdentical(response.imputed, reference[i],
+                       "Submit slot " + std::to_string(i));
+    EXPECT_GT(response.latency_seconds, 0.0);
+  }
+
+  serve::TelemetrySnapshot snap = parallel.telemetry();
+  EXPECT_EQ(snap.requests, static_cast<int64_t>(2 * requests.size()));
+  EXPECT_EQ(snap.failures, 0);
+  EXPECT_GT(snap.batches, 0);
+  EXPECT_GT(snap.cells_imputed, 0);
+  EXPECT_GT(snap.latency_p95_ms, 0.0);
+  EXPECT_GE(snap.latency_p95_ms, snap.latency_p50_ms);
+  EXPECT_GE(snap.latency_max_ms, snap.latency_p95_ms);
+}
+
+TEST(ImputationServiceTest, ShutdownDrainsOutstandingFutures) {
+  TrainedCase c = MakeTrainedCase();
+  serve::ServiceConfig config;
+  config.batch_linger_ms = 50.0;  // Long linger: Shutdown must cut it short.
+  auto service = std::make_unique<serve::ImputationService>(config);
+  ASSERT_TRUE(service->registry().Register("m", std::move(c.model)).ok());
+  std::vector<serve::ImputationRequest> requests = MakeWorkloadRequests(c, 4);
+  std::vector<std::future<serve::ImputationResponse>> futures;
+  for (const auto& request : requests) {
+    futures.push_back(service->Submit(request));
+  }
+  service.reset();  // Destructor -> Shutdown -> drain.
+  for (auto& future : futures) {
+    serve::ImputationResponse response = future.get();
+    EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  }
+}
+
+// ---- Telemetry --------------------------------------------------------------
+
+TEST(TelemetryTest, PercentilesAndCounters) {
+  EXPECT_EQ(serve::SortedPercentile({}, 0.5), 0.0);
+  EXPECT_EQ(serve::SortedPercentile({3.0}, 0.95), 3.0);
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(serve::SortedPercentile(sorted, 0.5), 2.5, 1e-12);
+  EXPECT_NEAR(serve::SortedPercentile(sorted, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(serve::SortedPercentile(sorted, 1.0), 4.0, 1e-12);
+
+  serve::Telemetry telemetry;
+  telemetry.RecordRequest(0.010, 2, 20, true);
+  telemetry.RecordRequest(0.030, 1, 10, false);
+  telemetry.RecordBatch(2);
+  serve::TelemetrySnapshot snap = telemetry.Snapshot();
+  EXPECT_EQ(snap.requests, 2);
+  EXPECT_EQ(snap.failures, 1);
+  EXPECT_EQ(snap.batches, 1);
+  EXPECT_EQ(snap.rows_served, 3);
+  EXPECT_EQ(snap.cells_imputed, 30);
+  EXPECT_NEAR(snap.latency_p50_ms, 20.0, 1e-9);
+  EXPECT_NEAR(snap.mean_batch_size, 2.0, 1e-12);
+
+  const std::string json = serve::TelemetryToJson(snap);
+  EXPECT_NE(json.find("\"requests\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_p50_ms\":"), std::string::npos);
+
+  telemetry.Reset();
+  EXPECT_EQ(telemetry.Snapshot().requests, 0);
+}
+
+// ---- Workload helpers -------------------------------------------------------
+
+TEST(WorkloadTest, FileRoundTripAndErrors) {
+  std::vector<serve::WorkloadQuery> queries = {{0, 5, 10}, {3, 0, 1}};
+  const std::string path = TempPath("workload.csv");
+  ASSERT_TRUE(serve::WriteWorkload(queries, path).ok());
+  StatusOr<std::vector<serve::WorkloadQuery>> back =
+      serve::ReadWorkload(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0].row, 0);
+  EXPECT_EQ((*back)[0].t_start, 5);
+  EXPECT_EQ((*back)[0].block_len, 10);
+  EXPECT_EQ((*back)[1].row, 3);
+  std::remove(path.c_str());
+
+  const std::string bad_path = TempPath("workload_bad.csv");
+  std::ofstream(bad_path) << "# comment\n1,2\n";
+  EXPECT_FALSE(serve::ReadWorkload(bad_path).ok());
+  std::remove(bad_path.c_str());
+  EXPECT_FALSE(serve::ReadWorkload("/nonexistent/workload.csv").ok());
+}
+
+TEST(WorkloadTest, SynthesizedQueriesAreDeterministicAndInBounds) {
+  const auto a = serve::SynthesizeWorkload(50, 8, 6, 100, 9);
+  const auto b = serve::SynthesizeWorkload(50, 8, 6, 100, 9);
+  ASSERT_EQ(a.size(), 50u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].row, b[i].row);
+    EXPECT_EQ(a[i].t_start, b[i].t_start);
+    EXPECT_EQ(a[i].block_len, b[i].block_len);
+    EXPECT_GE(a[i].row, 0);
+    EXPECT_LT(a[i].row, 6);
+    EXPECT_GE(a[i].t_start, 0);
+    EXPECT_LE(a[i].t_start + a[i].block_len, 100);
+  }
+}
+
+TEST(WorkloadTest, ApplyQueryAddsBlockToBaseMask) {
+  Mask base(3, 20);
+  base.set_missing(0, 0);
+  Mask applied = serve::ApplyQuery(base, {1, 5, 4});
+  EXPECT_TRUE(applied.missing(0, 0));  // Base misses survive.
+  for (int t = 5; t < 9; ++t) EXPECT_TRUE(applied.missing(1, t));
+  EXPECT_TRUE(applied.available(1, 4));
+  EXPECT_TRUE(applied.available(1, 9));
+  // Out-of-range rows are ignored, clamped times tolerated.
+  Mask oob = serve::ApplyQuery(base, {99, 5, 4});
+  EXPECT_EQ(oob.CountMissing(), base.CountMissing());
+}
+
+}  // namespace
+}  // namespace deepmvi

@@ -43,6 +43,23 @@ inline void ExpectMatricesNear(const Matrix& actual, const Matrix& expected,
   }
 }
 
+/// Exact equality, double for double — the contract of the binary
+/// serialization round trip and of the serving determinism guarantees
+/// (ApproxEquals with tol 0 would be close, but a located message beats
+/// "false", and exact compares state the intent).
+inline void ExpectMatricesBitIdentical(const Matrix& actual,
+                                       const Matrix& expected,
+                                       const std::string& what = "") {
+  ASSERT_EQ(actual.rows(), expected.rows()) << what;
+  ASSERT_EQ(actual.cols(), expected.cols()) << what;
+  for (int r = 0; r < actual.rows(); ++r) {
+    for (int c = 0; c < actual.cols(); ++c) {
+      ASSERT_EQ(actual(r, c), expected(r, c))
+          << what << " at (" << r << "," << c << ")";
+    }
+  }
+}
+
 /// Asserts that analytic and numerical gradients of `f` agree at `inputs`.
 using GradientGraphFn =
     std::function<ad::Var(ad::Tape&, const std::vector<ad::Var>&)>;

@@ -1,0 +1,145 @@
+#ifndef DEEPMVI_TOOLS_DATASET_FLAGS_H_
+#define DEEPMVI_TOOLS_DATASET_FLAGS_H_
+
+// Shared dataset/mask assembly for dmvi_train and dmvi_serve.
+//
+// The two tools must reconstruct the *same* dataset and base mask from the
+// same flags: dmvi_serve's output is compared byte-for-byte against
+// dmvi_train's (the cross-process save/load exactness check in CI), so any
+// drift between two copies of this logic would surface as a confusing
+// `cmp` failure. Keeping it in one place makes drift impossible.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "data/io.h"
+#include "data/presets.h"
+#include "eval/suite.h"
+#include "scenario/scenarios.h"
+
+namespace deepmvi {
+namespace tools {
+
+/// Flags describing how to obtain a dataset and its base availability
+/// mask: either a Table 1 preset plus a scenario mask (presets ship
+/// complete, so missing cells are simulated), or a CSV whose inline
+/// nan/empty cells — optionally AND-combined with a 0/1 mask file — mark
+/// the missing data.
+struct DatasetSpec {
+  std::string preset;
+  std::string input;
+  std::string mask_path;
+  std::string scenario_name = "MCAR";
+  DatasetScale scale = DatasetScale::kReduced;
+  uint64_t dataset_seed = 1;
+  uint64_t scenario_seed = 7;
+};
+
+/// When argv[*i] equals `flag`, returns its value and advances *i; when
+/// the flag matches but no value follows, sets *missing_value (so callers
+/// can say "missing value for --x" instead of "unknown argument").
+/// Returns nullptr otherwise. Shared by every flag loop in the tools.
+inline const char* NextFlagValue(int argc, char** argv, int* i,
+                                 const char* flag, bool* missing_value) {
+  if (std::strcmp(argv[*i], flag) != 0) return nullptr;
+  if (*i + 1 >= argc) {
+    *missing_value = true;
+    return nullptr;
+  }
+  return argv[++*i];
+}
+
+/// Consumes argv[*i] (and its value, advancing *i) when it is one of the
+/// dataset flags: --preset, --input, --mask, --scenario, --scenario-seed,
+/// --dataset-seed, --scale, --full. Returns true when consumed. A
+/// recognized flag whose value is missing sets *missing_value and returns
+/// false so the caller can report it precisely.
+inline bool ParseDatasetFlag(int argc, char** argv, int* i, DatasetSpec* spec,
+                             bool* missing_value) {
+  auto next = [&](const char* flag) {
+    return NextFlagValue(argc, argv, i, flag, missing_value);
+  };
+  const char* value = nullptr;
+  if ((value = next("--preset"))) {
+    spec->preset = value;
+  } else if ((value = next("--input"))) {
+    spec->input = value;
+  } else if ((value = next("--mask"))) {
+    spec->mask_path = value;
+  } else if ((value = next("--scenario"))) {
+    spec->scenario_name = value;
+  } else if ((value = next("--scenario-seed"))) {
+    spec->scenario_seed = std::strtoull(value, nullptr, 10);
+  } else if ((value = next("--dataset-seed"))) {
+    spec->dataset_seed = std::strtoull(value, nullptr, 10);
+  } else if ((value = next("--scale"))) {
+    spec->scale = std::strcmp(value, "full") == 0 ? DatasetScale::kFull
+                                                  : DatasetScale::kReduced;
+  } else if (std::strcmp(argv[*i], "--full") == 0) {
+    spec->scale = DatasetScale::kFull;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Materializes the dataset and base mask described by `spec`, printing
+/// diagnostics to stderr on failure. Returns 0 on success, else the
+/// process exit code (2 for usage errors, 1 for I/O errors).
+inline int BuildDatasetAndMask(const DatasetSpec& spec, DataTensor* data,
+                               Mask* mask) {
+  if (spec.preset.empty() == spec.input.empty()) {
+    std::fprintf(stderr, "exactly one of --preset / --input is required\n");
+    return 2;
+  }
+  if (!spec.preset.empty()) {
+    if (!IsDatasetName(spec.preset)) {
+      std::fprintf(stderr, "unknown preset '%s'\n", spec.preset.c_str());
+      return 2;
+    }
+    *data = MakeDataset(spec.preset, spec.scale, spec.dataset_seed);
+    StatusOr<ScenarioKind> kind = ParseScenarioKind(spec.scenario_name);
+    if (!kind.ok()) {
+      std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+      return 2;
+    }
+    ScenarioConfig scenario;
+    scenario.kind = *kind;
+    scenario.percent_incomplete = 1.0;
+    scenario.seed = spec.scenario_seed;
+    *mask = GenerateScenario(scenario, data->num_series(), data->num_times());
+  } else {
+    Mask inline_mask;
+    StatusOr<DataTensor> loaded = ReadDataTensor(spec.input, &inline_mask);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error reading %s: %s\n", spec.input.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    *data = std::move(loaded).value();
+    *mask = inline_mask;
+    if (!spec.mask_path.empty()) {
+      StatusOr<Mask> extra = ReadMask(spec.mask_path);
+      if (!extra.ok()) {
+        std::fprintf(stderr, "error reading %s: %s\n", spec.mask_path.c_str(),
+                     extra.status().ToString().c_str());
+        return 1;
+      }
+      if (extra->rows() != data->num_series() ||
+          extra->cols() != data->num_times()) {
+        std::fprintf(stderr, "mask shape %dx%d does not match data %dx%d\n",
+                     extra->rows(), extra->cols(), data->num_series(),
+                     data->num_times());
+        return 1;
+      }
+      *mask = mask->And(*extra);
+    }
+  }
+  return 0;
+}
+
+}  // namespace tools
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_TOOLS_DATASET_FLAGS_H_

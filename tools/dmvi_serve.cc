@@ -1,0 +1,201 @@
+// dmvi_serve: load a DeepMVI checkpoint into the long-lived imputation
+// service and replay a query workload against it — the serving half of the
+// train-once/serve-many split (dmvi_train is the other half).
+//
+//   dmvi_serve --model model.dmvi --preset AirQ [--scale quick|full]
+//              [--scenario MCAR] [--scenario-seed S] [--dataset-seed S]
+//   dmvi_serve --model model.dmvi --input data.csv [--mask mask.csv]
+//
+// Workload (each query hides one block and asks the service to fill it):
+//   --workload FILE            replay `row,t_start,block_len` lines
+//   --synth N [--block B]      N random block queries (deterministic in
+//                              --workload-seed)
+// Service knobs: --batch (micro-batch cap), --linger-ms, --threads.
+// Reports p50/p95/max latency, rows/sec, and the full telemetry JSON
+// (--telemetry-json PATH to persist it).
+//
+// --impute-csv PATH sends the dataset's own base mask through the service
+// once and writes the completed matrix; for a checkpoint from dmvi_train
+// with the same dataset flags this output is byte-identical to
+// dmvi_train's --impute-csv (proving save/load exactness across
+// processes).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "data/io.h"
+#include "serve/service.h"
+#include "serve/workload.h"
+#include "tools/dataset_flags.h"
+
+namespace deepmvi {
+namespace {
+
+int Run(int argc, char** argv) {
+  std::string model_path, workload_path, impute_csv, telemetry_json;
+  tools::DatasetSpec dataset_spec;
+  uint64_t workload_seed = 11;
+  int synth = 0;
+  int block = 10;
+  serve::ServiceConfig service_config;
+  bool missing_value = false;
+  for (int i = 1; i < argc; ++i) {
+    if (tools::ParseDatasetFlag(argc, argv, &i, &dataset_spec,
+                                &missing_value)) {
+      continue;
+    }
+    auto next = [&](const char* flag) {
+      return tools::NextFlagValue(argc, argv, &i, flag, &missing_value);
+    };
+    const char* value = nullptr;
+    if ((value = next("--model"))) {
+      model_path = value;
+    } else if ((value = next("--workload"))) {
+      workload_path = value;
+    } else if ((value = next("--synth"))) {
+      synth = std::atoi(value);
+    } else if ((value = next("--block"))) {
+      block = std::atoi(value);
+    } else if ((value = next("--workload-seed"))) {
+      workload_seed = std::strtoull(value, nullptr, 10);
+    } else if ((value = next("--impute-csv"))) {
+      impute_csv = value;
+    } else if ((value = next("--telemetry-json"))) {
+      telemetry_json = value;
+    } else if ((value = next("--batch"))) {
+      service_config.max_batch_size = std::atoi(value);
+    } else if ((value = next("--linger-ms"))) {
+      service_config.batch_linger_ms = std::atof(value);
+    } else if ((value = next("--threads"))) {
+      service_config.threads = std::atoi(value);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: dmvi_serve --model model.dmvi\n"
+          "                  (--preset NAME [--scale quick|full]\n"
+          "                   [--scenario MCAR] [--scenario-seed S]\n"
+          "                   [--dataset-seed S] | --input data.csv\n"
+          "                   [--mask mask.csv])\n"
+          "                  [--workload FILE | --synth N [--block B]\n"
+          "                   [--workload-seed S]]\n"
+          "                  [--batch N] [--linger-ms X] [--threads N]\n"
+          "                  [--impute-csv out.csv] [--telemetry-json out.json]\n");
+      return 0;
+    } else if (missing_value) {
+      std::fprintf(stderr, "missing value for %s (see --help)\n", argv[i]);
+      return 2;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (see --help)\n", argv[i]);
+      return 2;
+    }
+  }
+  if (model_path.empty()) {
+    std::fprintf(stderr, "--model is required (see --help)\n");
+    return 2;
+  }
+
+  // ---- Dataset + base mask (same construction as dmvi_train). ------------
+  auto data = std::make_shared<DataTensor>();
+  Mask mask;
+  if (int exit_code =
+          tools::BuildDatasetAndMask(dataset_spec, data.get(), &mask)) {
+    return exit_code;
+  }
+
+  // ---- Bring the service up with the checkpoint. -------------------------
+  serve::ImputationService service(service_config);
+  Status loaded = service.registry().LoadFromFile("default", model_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error loading %s: %s\n", model_path.c_str(),
+                 loaded.ToString().c_str());
+    return 1;
+  }
+  const TrainedDeepMvi* model = service.registry().Get("default");
+  std::printf("serving %s: %lld parameters, %d series, window %d\n",
+              model_path.c_str(),
+              static_cast<long long>(model->num_parameters()),
+              model->num_series(), model->config().window);
+
+  // ---- One-shot full imputation (cross-process exactness check). ---------
+  if (!impute_csv.empty()) {
+    serve::ImputationRequest request;
+    request.model = "default";
+    request.data = data;
+    request.mask = mask;
+    serve::ImputationResponse response = service.Impute(request);
+    if (!response.status.ok()) {
+      std::fprintf(stderr, "imputation failed: %s\n",
+                   response.status.ToString().c_str());
+      return 1;
+    }
+    Status status = WriteDataTensor(
+        DataTensor(data->dims(), std::move(response.imputed)), impute_csv);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error writing %s: %s\n", impute_csv.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote served imputation %s (%.2f ms)\n", impute_csv.c_str(),
+                response.latency_seconds * 1e3);
+  }
+
+  // ---- Workload replay through the micro-batching path. ------------------
+  std::vector<serve::WorkloadQuery> queries;
+  if (!workload_path.empty()) {
+    StatusOr<std::vector<serve::WorkloadQuery>> read =
+        serve::ReadWorkload(workload_path);
+    if (!read.ok()) {
+      std::fprintf(stderr, "%s\n", read.status().ToString().c_str());
+      return 1;
+    }
+    queries = std::move(read).value();
+  } else if (synth > 0) {
+    queries = serve::SynthesizeWorkload(synth, block, data->num_series(),
+                                        data->num_times(), workload_seed);
+  }
+
+  if (!queries.empty()) {
+    // The replay report must describe the replay alone — not checkpoint
+    // load, not the one-shot --impute-csv request above.
+    service.ResetTelemetry();
+    std::vector<std::future<serve::ImputationResponse>> futures;
+    futures.reserve(queries.size());
+    for (const serve::WorkloadQuery& query : queries) {
+      futures.push_back(
+          service.Submit(serve::MakeQueryRequest("default", data, mask, query)));
+    }
+    int failed = 0;
+    for (auto& future : futures) {
+      if (!future.get().status.ok()) ++failed;
+    }
+    serve::TelemetrySnapshot snap = service.telemetry();
+    std::printf(
+        "replayed %zu queries (%d failed) in %.2fs: p50 %.2f ms, p95 %.2f ms, "
+        "max %.2f ms | %.1f req/s, %.1f rows/s, %.0f cells/s | mean batch "
+        "%.2f\n",
+        queries.size(), failed, snap.wall_seconds, snap.latency_p50_ms,
+        snap.latency_p95_ms, snap.latency_max_ms, snap.requests_per_second,
+        snap.rows_per_second, snap.cells_per_second, snap.mean_batch_size);
+    if (failed > 0) return 1;
+  }
+
+  if (!telemetry_json.empty()) {
+    std::ofstream out(telemetry_json);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   telemetry_json.c_str());
+      return 1;
+    }
+    out << serve::TelemetryToJson(service.telemetry());
+    std::printf("wrote telemetry %s\n", telemetry_json.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace deepmvi
+
+int main(int argc, char** argv) { return deepmvi::Run(argc, argv); }
