@@ -5,11 +5,14 @@
 #include <benchmark/benchmark.h>
 
 #include "autodiff/ops.h"
+#include "core/deepmvi.h"
 #include "core/kernel_regression.h"
 #include "core/temporal_transformer.h"
+#include "data/synthetic.h"
 #include "linalg/centroid.h"
 #include "linalg/svd.h"
 #include "nn/layers.h"
+#include "tensor/matmul_kernel.h"
 
 namespace deepmvi {
 namespace {
@@ -25,6 +28,72 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * int64_t{2} * n * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+// The naive ijk reference the blocked kernel is tested against; kept as a
+// benchmark so the blocked-vs-naive speedup stays visible PR over PR.
+void BM_MatMulNaive(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Matrix a = Matrix::RandomGaussian(n, n, rng);
+  Matrix b = Matrix::RandomGaussian(n, n, rng);
+  for (auto _ : state) {
+    Matrix c(n, n);
+    internal::MatMulNaive(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{2} * n * n * n);
+}
+BENCHMARK(BM_MatMulNaive)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_TransposeMatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Matrix a = Matrix::RandomGaussian(n, n, rng);
+  Matrix b = Matrix::RandomGaussian(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.TransposeMatMul(b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{2} * n * n * n);
+}
+BENCHMARK(BM_TransposeMatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulTranspose(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Matrix a = Matrix::RandomGaussian(n, n, rng);
+  Matrix b = Matrix::RandomGaussian(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMulTranspose(b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{2} * n * n * n);
+}
+BENCHMARK(BM_MatMulTranspose)->Arg(64)->Arg(128)->Arg(256);
+
+// One full DeepMVI training step fanned over worker threads; Arg is the
+// thread count. Results are bit-identical across Args — only time moves.
+void BM_DeepMviFitThreads(benchmark::State& state) {
+  SyntheticConfig data_config;
+  data_config.num_series = 8;
+  data_config.length = 240;
+  data_config.seed = 21;
+  Matrix x = GenerateSeriesMatrix(data_config);
+  DataTensor data = DataTensor::FromMatrix(x);
+  Mask mask(8, 240);
+  for (int r = 0; r < 8; ++r) mask.SetMissingRange(r, 30 * r, 30 * r + 12);
+  DeepMviConfig config;
+  config.max_epochs = 2;
+  config.samples_per_epoch = 32;
+  config.batch_size = 8;
+  config.patience = 1;
+  config.filters = 16;
+  config.num_heads = 2;
+  config.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    DeepMviImputer imputer(config);
+    benchmark::DoNotOptimize(imputer.Fit(data, mask));
+  }
+}
+BENCHMARK(BM_DeepMviFitThreads)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_JacobiSvd(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

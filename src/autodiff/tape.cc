@@ -28,6 +28,19 @@ Var Tape::Leaf(Matrix value) {
   return Var(this, static_cast<int>(nodes_.size()) - 1);
 }
 
+Var Tape::LeafFor(const void* key, const Matrix& value) {
+  auto it = keyed_leaves_.find(key);
+  if (it != keyed_leaves_.end()) return Var(this, it->second);
+  Var leaf = Leaf(value);
+  keyed_leaves_.emplace(key, leaf.index());
+  return leaf;
+}
+
+int Tape::LeafIndexFor(const void* key) const {
+  auto it = keyed_leaves_.find(key);
+  return it == keyed_leaves_.end() ? -1 : it->second;
+}
+
 Var Tape::Constant(Matrix value) {
   Node node;
   node.value = std::move(value);
@@ -59,7 +72,10 @@ void Tape::Backward(const Var& loss) {
   }
 }
 
-void Tape::Reset() { nodes_.clear(); }
+void Tape::Reset() {
+  nodes_.clear();
+  keyed_leaves_.clear();
+}
 
 Matrix& Tape::grad(int index) {
   Node& node = nodes_[index];
@@ -68,6 +84,11 @@ Matrix& Tape::grad(int index) {
     node.grad_allocated = true;
   }
   return node.grad;
+}
+
+const Matrix* Tape::AllocatedGrad(int index) const {
+  const Node& node = nodes_[index];
+  return node.grad_allocated ? &node.grad : nullptr;
 }
 
 const Matrix& Tape::grad_or_zero(int index) const {

@@ -2,6 +2,7 @@
 #define DEEPMVI_AUTODIFF_TAPE_H_
 
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "tensor/matrix.h"
@@ -54,6 +55,17 @@ class Tape {
   /// Creates a differentiable leaf (e.g., a parameter or input).
   Var Leaf(Matrix value);
 
+  /// Creates (or returns the previously created) leaf for `key`. A
+  /// parameter shared between submodules materializes once per tape so its
+  /// gradient accumulates correctly; the registry lives on the tape rather
+  /// than on the parameter so that several tapes can hold the same
+  /// parameter concurrently (one tape per training worker slot).
+  Var LeafFor(const void* key, const Matrix& value);
+
+  /// Node index of the keyed leaf, or -1 when `key` never materialized on
+  /// this tape (since the last Reset).
+  int LeafIndexFor(const void* key) const;
+
   /// Creates a non-differentiable constant node. Backward never propagates
   /// into constants.
   Var Constant(Matrix value);
@@ -87,6 +99,13 @@ class Tape {
   Matrix& grad(int index);
   const Matrix& grad_or_zero(int index) const;
 
+  /// The node's gradient if Backward allocated one, else nullptr. Unlike
+  /// grad_or_zero this never touches the shared zero-matrix cache, so the
+  /// returned pointer stays valid (and correctly shaped) across further
+  /// gradient queries — callers that collect pointers for several nodes
+  /// must use this.
+  const Matrix* AllocatedGrad(int index) const;
+
  private:
   struct Node {
     Matrix value;
@@ -97,6 +116,7 @@ class Tape {
   };
 
   std::vector<Node> nodes_;
+  std::unordered_map<const void*, int> keyed_leaves_;
   Matrix empty_grad_;
 };
 

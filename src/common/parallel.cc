@@ -1,6 +1,8 @@
 #include "common/parallel.h"
 
 #include <atomic>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -15,26 +17,50 @@ int EffectiveThreads(int n, int num_threads) {
   return std::min(num_threads, n);
 }
 
-void ParallelFor(int n, int num_threads, const std::function<void(int)>& f) {
+void ParallelForWithSlot(int n, int num_threads,
+                         const std::function<void(int, int)>& f) {
   if (n <= 0) return;
   num_threads = EffectiveThreads(n, num_threads);
   if (num_threads == 1 || n == 1) {
-    for (int i = 0; i < n; ++i) f(i);
+    for (int i = 0; i < n; ++i) f(i, 0);
     return;
   }
+
+  // Failure handling: the historical implementation let an exception
+  // escape a worker thread, which calls std::terminate. Instead the first
+  // exception (in completion order) is parked, the remaining iterations
+  // are abandoned, every worker is joined, and the exception rethrows on
+  // the caller.
   std::atomic<int> next{0};
-  auto worker = [&]() {
-    while (true) {
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&](int slot) {
+    while (!failed.load(std::memory_order_relaxed)) {
       const int i = next.fetch_add(1);
       if (i >= n) return;
-      f(i);
+      try {
+        f(i, slot);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
     }
   };
   std::vector<std::thread> threads;
-  const int count = std::min(num_threads, n);
-  threads.reserve(count);
-  for (int i = 0; i < count; ++i) threads.emplace_back(worker);
+  threads.reserve(num_threads);
+  for (int slot = 0; slot < num_threads; ++slot) {
+    threads.emplace_back(worker, slot);
+  }
   for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ParallelFor(int n, int num_threads, const std::function<void(int)>& f) {
+  if (n <= 0) return;
+  ParallelForWithSlot(n, num_threads, [&f](int i, int /*slot*/) { f(i); });
 }
 
 }  // namespace deepmvi

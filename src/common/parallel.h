@@ -10,7 +10,20 @@ namespace deepmvi {
 /// complete. Tasks must be independent; the benchmark harness uses this to
 /// run (dataset, scenario, imputer) experiments concurrently — every
 /// experiment seeds its own RNGs, so results are identical to a serial run.
+///
+/// Exceptions: when an f(i) throws, the first exception (in completion
+/// order) is captured, every worker is joined, and the exception is
+/// rethrown on the calling thread. Iterations not yet started when the
+/// failure is observed are skipped.
 void ParallelFor(int n, int num_threads, const std::function<void(int)>& f);
+
+/// Like ParallelFor, but each call also receives the index of the worker
+/// slot it runs on, in [0, EffectiveThreads(n, num_threads)). At most one
+/// call runs per slot at a time, so f can own per-slot scratch state (the
+/// training loop keeps one autodiff tape per slot). Same exception
+/// contract as ParallelFor.
+void ParallelForWithSlot(int n, int num_threads,
+                         const std::function<void(int i, int slot)>& f);
 
 /// Number of worker threads ParallelFor(n, num_threads, ...) actually
 /// uses: hardware concurrency (fallback 4) when num_threads <= 0, clamped

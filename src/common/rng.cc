@@ -45,8 +45,25 @@ double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
 
 int Rng::UniformInt(int n) {
   DMVI_CHECK_GT(n, 0);
-  // Rejection-free for practical n; bias is negligible for n << 2^64.
-  return static_cast<int>(NextUint64() % static_cast<uint64_t>(n));
+  // Lemire's nearly-divisionless unbiased range reduction: map the 64-bit
+  // draw into [0, n) via the high half of a 128-bit product, rejecting the
+  // (at most n-1 out of 2^64) draws that would overweight small residues.
+  // The modulo it replaces was biased toward low values for n not dividing
+  // 2^64. Seed streams stay deterministic; the values differ from the
+  // modulo-based ones.
+  const uint64_t bound = static_cast<uint64_t>(n);
+  uint64_t x = NextUint64();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    const uint64_t threshold = (0 - bound) % bound;  // 2^64 mod n.
+    while (low < threshold) {
+      x = NextUint64();
+      m = static_cast<unsigned __int128>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<int>(m >> 64);
 }
 
 int Rng::UniformInt(int lo, int hi) {

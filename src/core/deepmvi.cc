@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <vector>
 
+#include "common/parallel.h"
 #include "core/deepmvi_modules.h"
 #include "nn/adam.h"
 
@@ -199,7 +201,54 @@ TrainedDeepMvi DeepMviImputer::Fit(const DataTensor& raw_data, const Mask& mask)
   };
 
   // ---- Training loop with early stopping. ----------------------------------
-  Tape tape;
+  //
+  // Batch-level data parallelism: the per-sample forward/backward passes
+  // of each mini-batch run concurrently over worker slots, one Tape per
+  // slot (tapes are reused across batches to keep their allocations warm).
+  // Everything order-sensitive stays sequential on the calling thread —
+  // sample generation draws from the single `rng` stream before workers
+  // start, per-sample gradients reduce in sample order, and the Adam step
+  // sees one already-reduced gradient per parameter — so the result is
+  // bit-identical for every config.num_threads value, 1 included (the
+  // serial path runs the same per-sample code).
+  const auto& params = store.params();
+  const size_t num_params = params.size();
+  const int max_concurrent =
+      std::max({1, config.batch_size, static_cast<int>(val_samples.size())});
+  const int num_slots =
+      std::max(1, EffectiveThreads(max_concurrent, config.num_threads));
+  std::vector<std::unique_ptr<Tape>> slot_tapes;
+  for (int s = 0; s < num_slots; ++s) {
+    slot_tapes.push_back(std::make_unique<Tape>());
+  }
+
+  // One sample's contribution: its loss value and (for training samples)
+  // its per-parameter gradient, extracted from the worker tape so the
+  // reduction can run after the tape is reused.
+  struct SampleEval {
+    bool valid = false;
+    double loss = 0.0;
+    std::vector<Matrix> grads;  // Aligned with params; 0x0 when absent.
+  };
+  auto evaluate_sample = [&](Tape& tape, const TrainSample& sample,
+                             bool with_grads, SampleEval* out) {
+    tape.Reset();
+    Var loss = sample_loss(tape, sample);
+    if (!loss.valid()) return;
+    out->valid = true;
+    out->loss = loss.scalar();
+    if (!with_grads) return;
+    tape.Backward(loss);
+    out->grads.resize(num_params);
+    for (size_t pi = 0; pi < num_params; ++pi) {
+      const int leaf = tape.LeafIndexFor(params[pi].get());
+      if (leaf < 0) continue;
+      // Copy only gradients Backward actually produced; a materialized
+      // parameter with no loss path contributes nothing to the sum.
+      if (const Matrix* g = tape.AllocatedGrad(leaf)) out->grads[pi] = *g;
+    }
+  };
+
   double best_val = 1e300;
   int epochs_without_improvement = 0;
   // Snapshot of the best parameters (by value).
@@ -221,40 +270,76 @@ TrainedDeepMvi DeepMviImputer::Fit(const DataTensor& raw_data, const Mask& mask)
     int train_batches = 0;
     int made = 0;
     while (made < total_samples) {
-      tape.Reset();
-      std::vector<Var> losses;
+      // Sample generation consumes the shared rng stream sequentially, so
+      // it happens before the workers start.
+      std::vector<TrainSample> batch;
       for (int b = 0; b < config.batch_size && made < total_samples; ++b, ++made) {
         TrainSample sample = make_sample(rng);
         if (sample.target_times.empty()) continue;
-        Var loss = sample_loss(tape, sample);
-        if (loss.valid()) losses.push_back(loss);
+        batch.push_back(std::move(sample));
       }
-      if (losses.empty()) continue;
-      Var batch_loss = losses[0];
-      for (size_t i = 1; i < losses.size(); ++i) {
-        batch_loss = ad::Add(batch_loss, losses[i]);
+      if (batch.empty()) continue;
+
+      std::vector<SampleEval> evals(batch.size());
+      ParallelForWithSlot(
+          static_cast<int>(batch.size()), config.num_threads,
+          [&](int i, int slot) {
+            evaluate_sample(*slot_tapes[slot], batch[i], /*with_grads=*/true,
+                            &evals[i]);
+          });
+
+      // Fixed-order reduction: losses and gradients sum in sample order
+      // regardless of which slot evaluated which sample.
+      double batch_loss = 0.0;
+      int batch_count = 0;
+      std::vector<Matrix> reduced(num_params);
+      for (const SampleEval& eval : evals) {
+        if (!eval.valid) continue;
+        ++batch_count;
+        batch_loss += eval.loss;
+        for (size_t pi = 0; pi < num_params; ++pi) {
+          const Matrix& g = eval.grads[pi];
+          if (g.size() == 0) continue;
+          if (reduced[pi].size() == 0) {
+            reduced[pi] = g;
+          } else {
+            reduced[pi] += g;
+          }
+        }
       }
-      batch_loss = ad::Scale(batch_loss, 1.0 / static_cast<double>(losses.size()));
-      tape.Backward(batch_loss);
-      adam.Step(tape);
-      train_loss += batch_loss.scalar();
+      if (batch_count == 0) continue;
+      const double inv_count = 1.0 / static_cast<double>(batch_count);
+      batch_loss *= inv_count;
+      std::vector<const Matrix*> grad_ptrs(num_params, nullptr);
+      for (size_t pi = 0; pi < num_params; ++pi) {
+        if (reduced[pi].size() == 0) continue;
+        reduced[pi] *= inv_count;
+        grad_ptrs[pi] = &reduced[pi];
+      }
+      adam.StepWithGrads(grad_ptrs);
+      train_loss += batch_loss;
       ++train_batches;
     }
     train_stats_.final_train_loss =
         train_batches > 0 ? train_loss / train_batches : 0.0;
 
-    // Validation.
+    // Validation: forward-only, fanned out the same way; the loss sum runs
+    // in sample order.
+    std::vector<SampleEval> val_evals(val_samples.size());
+    ParallelForWithSlot(
+        static_cast<int>(val_samples.size()), config.num_threads,
+        [&](int i, int slot) {
+          evaluate_sample(*slot_tapes[slot], val_samples[i],
+                          /*with_grads=*/false, &val_evals[i]);
+        });
     double val_loss = 0.0;
     int val_batches = 0;
-    for (const TrainSample& sample : val_samples) {
-      tape.Reset();
-      Var loss = sample_loss(tape, sample);
-      if (loss.valid()) {
-        val_loss += loss.scalar();
+    for (const SampleEval& eval : val_evals) {
+      if (eval.valid) {
+        val_loss += eval.loss;
         ++val_batches;
       }
     }
-    tape.Reset();
     val_loss = val_batches > 0 ? val_loss / val_batches : 0.0;
     train_stats_.epochs_run = epoch + 1;
 

@@ -41,7 +41,10 @@ class DeepMviImputer : public Imputer {
 
   /// Trains a model on `data`/`mask` (Sec 3 simulated-missing protocol,
   /// Adam, validation early stopping) without running final inference.
-  /// Deterministic in config().seed.
+  /// Deterministic in config().seed; mini-batches evaluate data-parallel
+  /// over config().num_threads workers with bit-identical results for
+  /// every thread count (samples are generated from one RNG stream and
+  /// gradients reduce in sample order).
   TrainedDeepMvi Fit(const DataTensor& data, const Mask& mask);
 
   /// Diagnostics from the most recent Fit (or Impute) call.

@@ -39,6 +39,14 @@ struct DeepMviConfig {
   /// bounded for 50k-step series (BAFU).
   int max_context = 1024;
   uint64_t seed = 123;
+  /// Worker threads for batch-level data parallelism inside Fit (forward/
+  /// backward of a mini-batch's samples run concurrently, one autodiff
+  /// tape per worker slot; gradients reduce in sample order before each
+  /// optimizer step). <= 0 means hardware concurrency. Results are
+  /// bit-identical for every value — the thread count only changes
+  /// wall-clock time. Default 1 keeps nested parallelism out of callers
+  /// that already fan out (eval suite, serving).
+  int num_threads = 1;
 
   // ---- Ablation switches (Sec 5.5) -----------------------------------------
   /// Disables the temporal transformer ("No Temporal Transformer").

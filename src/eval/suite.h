@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -58,6 +59,11 @@ struct SuiteCell {
 /// then scenario, then imputer) regardless of worker interleaving.
 struct SuiteResult {
   std::vector<SuiteCell> cells;
+  /// Optional named micro-benchmark timings (seconds) recorded alongside
+  /// the grid — e.g. blocked vs naive MatMul wall time — emitted as a
+  /// "micro" object in the JSON so BENCH_* files carry kernel-level
+  /// trajectory data next to the end-to-end cells.
+  std::vector<std::pair<std::string, double>> micro;
   double wall_seconds = 0.0;
   /// EffectiveThreads() of the run, stamped into the JSON so BENCH_*
   /// trajectory files record the parallelism the numbers were taken at.

@@ -6,12 +6,38 @@ namespace deepmvi {
 namespace nn {
 
 double Adam::Step(const ad::Tape& tape) {
+  const auto& params = store_->params();
+  // Parameters on the tape whose output never reached the loss have no
+  // allocated gradient. They still step (with a zero gradient — momentum
+  // keeps decaying), but the zero must be a correctly-shaped matrix per
+  // parameter: Tape::grad_or_zero's shared cache is reshaped by every
+  // call, so pointers into it from earlier parameters would go stale.
+  std::vector<Matrix> zeros(params.size());
+  std::vector<const Matrix*> grads;
+  grads.reserve(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    const int leaf = tape.LeafIndexFor(params[i].get());
+    if (leaf < 0) {
+      grads.push_back(nullptr);
+      continue;
+    }
+    if (const Matrix* g = tape.AllocatedGrad(leaf)) {
+      grads.push_back(g);
+    } else {
+      zeros[i] = Matrix(params[i]->value().rows(), params[i]->value().cols());
+      grads.push_back(&zeros[i]);
+    }
+  }
+  return StepWithGrads(grads);
+}
+
+double Adam::StepWithGrads(const std::vector<const Matrix*>& grads) {
+  DMVI_CHECK_EQ(grads.size(), store_->params().size());
   ++step_;
   // Global gradient norm across all participating parameters.
   double norm2 = 0.0;
-  for (const auto& p : store_->params()) {
-    if (!p->on_tape(tape)) continue;
-    norm2 += p->var().grad().SquaredNorm();
+  for (const Matrix* g : grads) {
+    if (g != nullptr) norm2 += g->SquaredNorm();
   }
   const double norm = std::sqrt(norm2);
   double scale = 1.0;
@@ -21,12 +47,13 @@ double Adam::Step(const ad::Tape& tape) {
 
   const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(step_));
   const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(step_));
-  for (const auto& p : store_->params()) {
-    if (!p->on_tape(tape)) continue;
-    const Matrix& g = p->var().grad();
-    Matrix& value = p->value();
-    Matrix& m = p->adam_m();
-    Matrix& v = p->adam_v();
+  for (size_t i = 0; i < grads.size(); ++i) {
+    if (grads[i] == nullptr) continue;
+    const Matrix& g = *grads[i];
+    Parameter& p = *store_->params()[i];
+    Matrix& value = p.value();
+    Matrix& m = p.adam_m();
+    Matrix& v = p.adam_v();
     for (int r = 0; r < value.rows(); ++r) {
       for (int c = 0; c < value.cols(); ++c) {
         const double grad = g(r, c) * scale;

@@ -1,6 +1,8 @@
 #ifndef DEEPMVI_NN_ADAM_H_
 #define DEEPMVI_NN_ADAM_H_
 
+#include <vector>
+
 #include "nn/parameter.h"
 
 namespace deepmvi {
@@ -27,6 +29,14 @@ class Adam {
   /// preceding Tape::Backward call. Returns the (pre-clip) global gradient
   /// norm, useful for diagnostics.
   double Step(const ad::Tape& tape);
+
+  /// Applies one update from explicit gradients, aligned with
+  /// store->params() order; a nullptr entry means the parameter did not
+  /// participate in this step and is skipped (exactly like an off-tape
+  /// parameter in Step). The data-parallel training loop reduces per-sample
+  /// gradients into such a list before stepping, so the optimizer update
+  /// itself stays sequential and deterministic.
+  double StepWithGrads(const std::vector<const Matrix*>& grads);
 
   int64_t num_steps() const { return step_; }
   AdamConfig& config() { return config_; }

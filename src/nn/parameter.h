@@ -15,7 +15,7 @@ namespace nn {
 
 /// A trainable matrix with its Adam state. Each training step, a layer
 /// materializes the parameter on the step's tape via OnTape(); after
-/// Tape::Backward, the optimizer reads the gradient through var().
+/// Tape::Backward, the optimizer reads the gradient through grad_on().
 class Parameter {
  public:
   Parameter(std::string name, Matrix init)
@@ -30,21 +30,24 @@ class Parameter {
 
   /// Registers this parameter as a leaf on `tape` (once per step). Repeat
   /// calls on the same tape return the same Var, so that a parameter shared
-  /// between submodules accumulates gradient correctly.
-  ad::Var OnTape(ad::Tape& tape) {
-    if (var_.valid() && var_.tape() == &tape && var_.index() < tape.num_nodes()) {
-      return var_;
-    }
-    var_ = tape.Leaf(value_);
-    return var_;
+  /// between submodules accumulates gradient correctly. The binding lives
+  /// on the tape (keyed by this parameter's address), keeping Parameter
+  /// itself immutable here — several worker tapes may materialize the same
+  /// parameter concurrently during data-parallel training.
+  ad::Var OnTape(ad::Tape& tape) const { return tape.LeafFor(this, value_); }
+
+  /// True when the parameter participated in `tape`'s graph.
+  bool on_tape(const ad::Tape& tape) const {
+    return tape.LeafIndexFor(this) >= 0;
   }
 
-  /// The Var created by the latest OnTape call.
-  const ad::Var& var() const { return var_; }
-
-  /// True when the parameter participated in the current tape's graph.
-  bool on_tape(const ad::Tape& tape) const {
-    return var_.valid() && var_.tape() == &tape;
+  /// Gradient accumulated for this parameter on `tape` by the preceding
+  /// Tape::Backward call (a correctly-shaped zero matrix when no gradient
+  /// flowed). Requires on_tape(tape).
+  const Matrix& grad_on(const ad::Tape& tape) const {
+    const int leaf = tape.LeafIndexFor(this);
+    DMVI_CHECK_GE(leaf, 0) << "parameter " << name_ << " not on this tape";
+    return tape.grad_or_zero(leaf);
   }
 
   Matrix& adam_m() { return adam_m_; }
@@ -59,7 +62,6 @@ class Parameter {
   Matrix value_;
   Matrix adam_m_;
   Matrix adam_v_;
-  ad::Var var_;
 };
 
 /// Owning registry of parameters; modules create parameters through this

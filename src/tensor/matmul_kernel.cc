@@ -1,0 +1,186 @@
+#include "tensor/matmul_kernel.h"
+
+namespace deepmvi {
+namespace internal {
+namespace {
+
+// Tile sizes. kKTile rows of B (the streamed operand) are kept hot in L1/L2
+// while the full output is swept; 2 output rows x 4 k-terms are held in
+// registers by the micro kernels so each loaded B row updates two C rows.
+constexpr int kKTile = 64;
+
+/// c0/c1 get four ascending-k terms each; b rows are loaded once per j.
+inline void MicroKernel2x4(double* c0, double* c1, const double* b0,
+                           const double* b1, const double* b2, const double* b3,
+                           double a00, double a01, double a02, double a03,
+                           double a10, double a11, double a12, double a13,
+                           int n) {
+  for (int j = 0; j < n; ++j) {
+    double acc0 = c0[j];
+    acc0 += a00 * b0[j];
+    acc0 += a01 * b1[j];
+    acc0 += a02 * b2[j];
+    acc0 += a03 * b3[j];
+    c0[j] = acc0;
+    double acc1 = c1[j];
+    acc1 += a10 * b0[j];
+    acc1 += a11 * b1[j];
+    acc1 += a12 * b2[j];
+    acc1 += a13 * b3[j];
+    c1[j] = acc1;
+  }
+}
+
+inline void MicroKernel1x4(double* c0, const double* b0, const double* b1,
+                           const double* b2, const double* b3, double a00,
+                           double a01, double a02, double a03, int n) {
+  for (int j = 0; j < n; ++j) {
+    double acc = c0[j];
+    acc += a00 * b0[j];
+    acc += a01 * b1[j];
+    acc += a02 * b2[j];
+    acc += a03 * b3[j];
+    c0[j] = acc;
+  }
+}
+
+inline void MicroKernel1x1(double* c0, const double* b0, double a00, int n) {
+  for (int j = 0; j < n; ++j) c0[j] += a00 * b0[j];
+}
+
+}  // namespace
+
+void MatMulBlocked(const double* a, const double* b, double* c, int m, int k,
+                   int n) {
+  for (int k0 = 0; k0 < k; k0 += kKTile) {
+    const int k1 = k0 + kKTile < k ? k0 + kKTile : k;
+    int i = 0;
+    for (; i + 1 < m; i += 2) {
+      const double* a0 = a + static_cast<long long>(i) * k;
+      const double* a1 = a0 + k;
+      double* c0 = c + static_cast<long long>(i) * n;
+      double* c1 = c0 + n;
+      int kk = k0;
+      for (; kk + 3 < k1; kk += 4) {
+        const double* brow = b + static_cast<long long>(kk) * n;
+        MicroKernel2x4(c0, c1, brow, brow + n, brow + 2 * n, brow + 3 * n,
+                       a0[kk], a0[kk + 1], a0[kk + 2], a0[kk + 3], a1[kk],
+                       a1[kk + 1], a1[kk + 2], a1[kk + 3], n);
+      }
+      for (; kk < k1; ++kk) {
+        const double* brow = b + static_cast<long long>(kk) * n;
+        MicroKernel1x1(c0, brow, a0[kk], n);
+        MicroKernel1x1(c1, brow, a1[kk], n);
+      }
+    }
+    if (i < m) {
+      const double* a0 = a + static_cast<long long>(i) * k;
+      double* c0 = c + static_cast<long long>(i) * n;
+      int kk = k0;
+      for (; kk + 3 < k1; kk += 4) {
+        const double* brow = b + static_cast<long long>(kk) * n;
+        MicroKernel1x4(c0, brow, brow + n, brow + 2 * n, brow + 3 * n, a0[kk],
+                       a0[kk + 1], a0[kk + 2], a0[kk + 3], n);
+      }
+      for (; kk < k1; ++kk) {
+        MicroKernel1x1(c0, b + static_cast<long long>(kk) * n, a0[kk], n);
+      }
+    }
+  }
+}
+
+void TransposeMatMulBlocked(const double* a, const double* b, double* c, int m,
+                            int k, int n) {
+  // a is k x m and read transposed: the i-th output row multiplies column i
+  // of a, a stride-m gather; everything else mirrors MatMulBlocked.
+  for (int k0 = 0; k0 < k; k0 += kKTile) {
+    const int k1 = k0 + kKTile < k ? k0 + kKTile : k;
+    int i = 0;
+    for (; i + 1 < m; i += 2) {
+      double* c0 = c + static_cast<long long>(i) * n;
+      double* c1 = c0 + n;
+      int kk = k0;
+      for (; kk + 3 < k1; kk += 4) {
+        const double* acol = a + static_cast<long long>(kk) * m + i;
+        const double* brow = b + static_cast<long long>(kk) * n;
+        MicroKernel2x4(c0, c1, brow, brow + n, brow + 2 * n, brow + 3 * n,
+                       acol[0], acol[m], acol[2 * m], acol[3 * m], acol[1],
+                       acol[m + 1], acol[2 * m + 1], acol[3 * m + 1], n);
+      }
+      for (; kk < k1; ++kk) {
+        const double* acol = a + static_cast<long long>(kk) * m + i;
+        const double* brow = b + static_cast<long long>(kk) * n;
+        MicroKernel1x1(c0, brow, acol[0], n);
+        MicroKernel1x1(c1, brow, acol[1], n);
+      }
+    }
+    if (i < m) {
+      double* c0 = c + static_cast<long long>(i) * n;
+      int kk = k0;
+      for (; kk + 3 < k1; kk += 4) {
+        const double* acol = a + static_cast<long long>(kk) * m + i;
+        const double* brow = b + static_cast<long long>(kk) * n;
+        MicroKernel1x4(c0, brow, brow + n, brow + 2 * n, brow + 3 * n, acol[0],
+                       acol[m], acol[2 * m], acol[3 * m], n);
+      }
+      for (; kk < k1; ++kk) {
+        MicroKernel1x1(c0, b + static_cast<long long>(kk) * n,
+                       a[static_cast<long long>(kk) * m + i], n);
+      }
+    }
+  }
+}
+
+void MatMulTransposeBlocked(const double* a, const double* b, double* c, int m,
+                            int k, int n) {
+  // Row-times-row dot products; four B rows are swept per pass so each
+  // loaded A row feeds four accumulators. Every accumulator is one
+  // ascending-k chain, matching the naive order.
+  for (int i = 0; i < m; ++i) {
+    const double* arow = a + static_cast<long long>(i) * k;
+    double* crow = c + static_cast<long long>(i) * n;
+    int j = 0;
+    for (; j + 3 < n; j += 4) {
+      const double* b0 = b + static_cast<long long>(j) * k;
+      const double* b1 = b0 + k;
+      const double* b2 = b1 + k;
+      const double* b3 = b2 + k;
+      double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+      for (int kk = 0; kk < k; ++kk) {
+        const double av = arow[kk];
+        acc0 += av * b0[kk];
+        acc1 += av * b1[kk];
+        acc2 += av * b2[kk];
+        acc3 += av * b3[kk];
+      }
+      crow[j] += acc0;
+      crow[j + 1] += acc1;
+      crow[j + 2] += acc2;
+      crow[j + 3] += acc3;
+    }
+    for (; j < n; ++j) {
+      const double* brow = b + static_cast<long long>(j) * k;
+      double acc = 0.0;
+      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] += acc;
+    }
+  }
+}
+
+void MatMulNaive(const double* a, const double* b, double* c, int m, int k,
+                 int n) {
+  for (int i = 0; i < m; ++i) {
+    const double* arow = a + static_cast<long long>(i) * k;
+    double* crow = c + static_cast<long long>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int kk = 0; kk < k; ++kk) {
+        acc += arow[kk] * b[static_cast<long long>(kk) * n + j];
+      }
+      crow[j] += acc;
+    }
+  }
+}
+
+}  // namespace internal
+}  // namespace deepmvi

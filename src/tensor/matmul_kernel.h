@@ -1,0 +1,40 @@
+#ifndef DEEPMVI_TENSOR_MATMUL_KERNEL_H_
+#define DEEPMVI_TENSOR_MATMUL_KERNEL_H_
+
+// Blocked dense matmul kernels shared by Matrix (and through it by the
+// autodiff ops and the linalg layer). All kernels work on raw row-major
+// buffers, accumulate into `c` (callers zero-initialize), and keep the
+// per-output-element accumulation order identical to the textbook triple
+// loop: for every c[i][j] the k terms are added in ascending k with a
+// single accumulator chain. Blocking therefore only reorders *which*
+// outputs are touched when, never the floating-point sum inside one
+// output, so results are bit-identical to the naive reference — the
+// contract tests/tensor_test.cc locks in.
+//
+// Unlike the historical kernels there is no `a == 0.0` skip: a zero times
+// a NaN/Inf contributes NaN to the sum instead of silently hiding it.
+
+namespace deepmvi {
+namespace internal {
+
+/// c[m x n] += a[m x k] * b[k x n].
+void MatMulBlocked(const double* a, const double* b, double* c, int m, int k,
+                   int n);
+
+/// c[m x n] += a^T * b with a[k x m], b[k x n] (a is accessed transposed).
+void TransposeMatMulBlocked(const double* a, const double* b, double* c, int m,
+                            int k, int n);
+
+/// c[m x n] += a * b^T with a[m x k], b[n x k] (b is accessed transposed).
+void MatMulTransposeBlocked(const double* a, const double* b, double* c, int m,
+                            int k, int n);
+
+/// Textbook ijk triple loop, kept as the bit-exact reference the blocked
+/// kernels are tested and benchmarked against.
+void MatMulNaive(const double* a, const double* b, double* c, int m, int k,
+                 int n);
+
+}  // namespace internal
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_TENSOR_MATMUL_KERNEL_H_

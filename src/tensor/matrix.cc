@@ -6,6 +6,8 @@
 #include <limits>
 #include <sstream>
 
+#include "tensor/matmul_kernel.h"
+
 namespace deepmvi {
 
 Matrix::Matrix(int rows, int cols)
@@ -185,52 +187,32 @@ Matrix Matrix::Map(double (*f)(double)) const {
   return out;
 }
 
+// The three product variants share the blocked kernels in
+// matmul_kernel.cc. The historical ikj loops skipped a == 0.0 terms, which
+// silently turned 0 * NaN / 0 * Inf into 0 and hid non-finite operands;
+// the kernels carry no such branch, so non-finite values propagate.
+
 Matrix Matrix::MatMul(const Matrix& other) const {
   DMVI_CHECK_EQ(cols_, other.rows_);
   Matrix out(rows_, other.cols_);
-  // ikj loop order: streams through `other` row-wise for cache locality.
-  for (int i = 0; i < rows_; ++i) {
-    const double* a_row = row_ptr(i);
-    double* out_row = out.row_ptr(i);
-    for (int k = 0; k < cols_; ++k) {
-      const double a = a_row[k];
-      if (a == 0.0) continue;
-      const double* b_row = other.row_ptr(k);
-      for (int j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
-    }
-  }
+  internal::MatMulBlocked(data(), other.data(), out.data(), rows_, cols_,
+                          other.cols_);
   return out;
 }
 
 Matrix Matrix::TransposeMatMul(const Matrix& other) const {
   DMVI_CHECK_EQ(rows_, other.rows_);
   Matrix out(cols_, other.cols_);
-  for (int k = 0; k < rows_; ++k) {
-    const double* a_row = row_ptr(k);
-    const double* b_row = other.row_ptr(k);
-    for (int i = 0; i < cols_; ++i) {
-      const double a = a_row[i];
-      if (a == 0.0) continue;
-      double* out_row = out.row_ptr(i);
-      for (int j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
-    }
-  }
+  internal::TransposeMatMulBlocked(data(), other.data(), out.data(), cols_,
+                                   rows_, other.cols_);
   return out;
 }
 
 Matrix Matrix::MatMulTranspose(const Matrix& other) const {
   DMVI_CHECK_EQ(cols_, other.cols_);
   Matrix out(rows_, other.rows_);
-  for (int i = 0; i < rows_; ++i) {
-    const double* a_row = row_ptr(i);
-    double* out_row = out.row_ptr(i);
-    for (int j = 0; j < other.rows_; ++j) {
-      const double* b_row = other.row_ptr(j);
-      double acc = 0.0;
-      for (int k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
-      out_row[j] = acc;
-    }
-  }
+  internal::MatMulTransposeBlocked(data(), other.data(), out.data(), rows_,
+                                   cols_, other.rows_);
   return out;
 }
 

@@ -51,7 +51,7 @@ TEST(ParameterTest, SharedParameterAccumulatesGradient) {
   Var w2 = p->OnTape(tape);
   Var loss = ad::Sum(ad::Mul(w, w2));  // loss = w^2 => dloss/dw = 2w = 6.
   tape.Backward(loss);
-  EXPECT_NEAR(p->var().grad()(0, 0), 6.0, 1e-12);
+  EXPECT_NEAR(p->grad_on(tape)(0, 0), 6.0, 1e-12);
 }
 
 TEST(LinearTest, ForwardShapeAndValue) {
@@ -151,7 +151,7 @@ TEST(FeedForwardTest, ShapeAndGradientFlow) {
   // At least one parameter should get nonzero gradient.
   double total = 0.0;
   for (const auto& p : store.params()) {
-    if (p->on_tape(tape)) total += p->var().grad().MaxAbs();
+    if (p->on_tape(tape)) total += p->grad_on(tape).MaxAbs();
   }
   EXPECT_GT(total, 0.0);
 }
@@ -280,6 +280,29 @@ TEST(AdamTest, SkipsUnusedParameters) {
   adam.Step(tape);
   EXPECT_EQ(unused->value()(0, 0), 7.0);
   EXPECT_NE(used->value()(0, 0), 1.0);
+}
+
+TEST(AdamTest, HandlesSeveralOnTapeParametersWithoutGradients) {
+  // Regression: parameters materialized on the tape but disconnected from
+  // the loss have no allocated gradient. Step must hand the optimizer a
+  // correctly-shaped zero per parameter — collecting references to the
+  // tape's shared zero-matrix cache handed every such parameter the shape
+  // of the last one queried (out-of-bounds reads for differing shapes).
+  ParameterStore store;
+  Parameter* connected = store.Create("connected", Matrix(1, 1, 1.0));
+  Parameter* idle_big = store.Create("idle_big", Matrix(3, 4, 2.0));
+  Parameter* idle_small = store.Create("idle_small", Matrix(2, 3, 5.0));
+  Adam adam(&store);
+  Tape tape;
+  idle_big->OnTape(tape);
+  idle_small->OnTape(tape);
+  Var loss = ad::Sum(ad::Square(connected->OnTape(tape)));
+  tape.Backward(loss);
+  adam.Step(tape);
+  EXPECT_NE(connected->value()(0, 0), 1.0);
+  // Zero gradient + zero moments: the idle parameters stay untouched.
+  EXPECT_TRUE(idle_big->value().ApproxEquals(Matrix(3, 4, 2.0), 0.0));
+  EXPECT_TRUE(idle_small->value().ApproxEquals(Matrix(2, 3, 5.0), 0.0));
 }
 
 TEST(AdamTest, ClippingBoundsUpdateReportsNorm) {

@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <string>
 
+#include "common/rng.h"
 #include "tensor/data_tensor.h"
 #include "tensor/mask.h"
+#include "tensor/matmul_kernel.h"
 #include "tensor/matrix.h"
+#include "testing/test_util.h"
 
 namespace deepmvi {
 namespace {
@@ -82,6 +87,98 @@ TEST(MatrixTest, MatMulTransposeMatchesExplicit) {
   Matrix b = Matrix::RandomGaussian(5, 3, rng);
   Matrix expected = a.MatMul(b.Transpose());
   EXPECT_TRUE(a.MatMulTranspose(b).ApproxEquals(expected, 1e-12));
+}
+
+// ---- Blocked-kernel regression tests ---------------------------------------
+//
+// The blocked kernels (matmul_kernel.h) promise bit-identical results to
+// the textbook triple loop: blocking reorders which outputs are computed
+// when, never the ascending-k accumulation inside one output. These tests
+// sweep random and edge shapes — 0-dim, vectors, sizes off the tile
+// multiple — against the naive reference for all three product variants.
+
+void ExpectBitIdentical(const Matrix& actual, const Matrix& expected,
+                        const char* what, int m, int k, int n) {
+  testutil::ExpectMatricesBitIdentical(
+      actual, expected,
+      std::string(what) + " (" + std::to_string(m) + "x" + std::to_string(k) +
+          " * " + std::to_string(k) + "x" + std::to_string(n) + ")");
+}
+
+/// All three product variants of the same logical product a(m x k) *
+/// b(k x n) against the naive reference. TransposeMatMul runs on the
+/// materialized a^T and MatMulTranspose on the materialized b^T, so each
+/// variant consumes the operand layout it is specialized for while the
+/// expected result stays the one naive product.
+void CheckAllVariantsMatchNaive(int m, int k, int n, Rng& rng) {
+  const Matrix a = Matrix::RandomGaussian(m, k, rng);
+  const Matrix b = Matrix::RandomGaussian(k, n, rng);
+
+  Matrix expected(m, n);
+  internal::MatMulNaive(a.data(), b.data(), expected.data(), m, k, n);
+
+  ExpectBitIdentical(a.MatMul(b), expected, "MatMul", m, k, n);
+  ExpectBitIdentical(a.Transpose().TransposeMatMul(b), expected,
+                     "TransposeMatMul", m, k, n);
+  ExpectBitIdentical(a.MatMulTranspose(b.Transpose()), expected,
+                     "MatMulTranspose", m, k, n);
+}
+
+TEST(MatMulKernelTest, BlockedMatchesNaiveOnRandomShapes) {
+  Rng rng(123);
+  // Shapes straddling the tile boundaries (k-tile 64, 2-row / 4-col micro
+  // kernels): primes, exact multiples, one-off-from-multiple.
+  const int shapes[][3] = {{1, 1, 1},    {2, 4, 8},    {3, 5, 7},
+                           {7, 13, 5},   {8, 64, 8},   {9, 65, 3},
+                           {64, 64, 64}, {65, 66, 67}, {1, 128, 1},
+                           {2, 130, 31}, {33, 1, 33}};
+  for (const auto& s : shapes) {
+    CheckAllVariantsMatchNaive(s[0], s[1], s[2], rng);
+  }
+}
+
+TEST(MatMulKernelTest, HandlesZeroDimensions) {
+  Rng rng(5);
+  const int shapes[][3] = {{0, 3, 4}, {3, 0, 4}, {3, 4, 0}, {0, 0, 0}};
+  for (const auto& s : shapes) {
+    const Matrix a = Matrix::RandomGaussian(s[0], s[1], rng);
+    const Matrix b = Matrix::RandomGaussian(s[1], s[2], rng);
+    const Matrix c = a.MatMul(b);
+    EXPECT_EQ(c.rows(), s[0]);
+    EXPECT_EQ(c.cols(), s[2]);
+    for (int r = 0; r < c.rows(); ++r) {
+      for (int cc = 0; cc < c.cols(); ++cc) EXPECT_EQ(c(r, cc), 0.0);
+    }
+  }
+}
+
+TEST(MatMulKernelTest, NanAndInfPropagateThroughZeroCoefficients) {
+  // Historical regression: the ikj loops skipped a == 0.0 terms, so a zero
+  // row silently swallowed NaN/Inf in the other operand (0 * NaN became 0).
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  Matrix a(2, 2);  // All zeros.
+  Matrix b = {{nan, 1.0}, {2.0, inf}};
+  Matrix c = a.MatMul(b);
+  EXPECT_TRUE(std::isnan(c(0, 0)));
+  EXPECT_TRUE(std::isnan(c(1, 0)));
+  EXPECT_TRUE(std::isnan(c(0, 1)));  // 0 * inf = NaN.
+  EXPECT_TRUE(std::isnan(c(1, 1)));
+
+  Matrix zt(2, 2);  // Zero left operand, accessed transposed.
+  Matrix ct = zt.TransposeMatMul(b);
+  EXPECT_TRUE(std::isnan(ct(0, 0)));
+  EXPECT_TRUE(std::isnan(ct(1, 1)));
+
+  Matrix cmt = a.MatMulTranspose(b);
+  EXPECT_TRUE(std::isnan(cmt(0, 0)));
+  EXPECT_TRUE(std::isnan(cmt(1, 1)));
+
+  // Non-finite values anywhere must reach AllFinite() checks downstream.
+  Matrix spike = {{1.0, 0.0}, {0.0, 1.0}};
+  spike(0, 0) = inf;
+  EXPECT_FALSE(spike.MatMul(Matrix::Identity(2)).AllFinite());
 }
 
 TEST(MatrixTest, TransposeInvolution) {

@@ -1,0 +1,210 @@
+// bench_diff: compare two BENCH_*.json perf-trajectory files (as written
+// by eval/suite.h's WriteSuiteJson) and flag accuracy or runtime
+// regressions beyond a tolerance.
+//
+//   bench_diff BASELINE.json CURRENT.json
+//              [--mae-tol R] [--rmse-tol R]        (relative, default 0.25)
+//              [--abs-tol A]                       (absolute slack, 1e-6)
+//              [--runtime-tol R]                   (ratio, default 3.0)
+//              [--runtime-floor SECONDS]           (default 0.05)
+//              [--no-runtime]
+//
+// A cell regresses when current.metric > baseline.metric * (1 + tol) +
+// abs-tol (mae/rmse), or current.runtime > baseline.runtime * runtime-tol
+// + runtime-floor. Cells present in the baseline but missing or failed in
+// the current file are regressions too (coverage must not silently
+// shrink); cells new in the current file are reported as informational.
+// Exit codes: 0 clean, 1 regressions found, 2 usage/parse error.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace deepmvi {
+namespace {
+
+struct BenchCell {
+  bool ok = false;
+  double mae = 0.0;
+  double rmse = 0.0;
+  double runtime_seconds = 0.0;
+};
+
+using BenchFile = std::map<std::string, BenchCell>;  // key: ds|scenario|imp
+
+/// Value of `"key": <...>` inside one JSON object line; empty when absent.
+std::string FindField(const std::string& object, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = object.find(needle);
+  if (at == std::string::npos) return "";
+  size_t begin = at + needle.size();
+  while (begin < object.size() && object[begin] == ' ') ++begin;
+  size_t end = begin;
+  if (begin < object.size() && object[begin] == '"') {
+    end = object.find('"', begin + 1);
+    if (end == std::string::npos) return "";
+    return object.substr(begin + 1, end - begin - 1);
+  }
+  while (end < object.size() && object[end] != ',' && object[end] != '}') ++end;
+  return object.substr(begin, end - begin);
+}
+
+double ParseNumber(const std::string& text, double fallback) {
+  if (text.empty() || text == "null") return fallback;
+  return std::strtod(text.c_str(), nullptr);
+}
+
+/// Parses the cells array of a suite JSON file. The writer emits one cell
+/// object per line, which keeps this scanner trivial: every line holding a
+/// "dataset" field is one cell.
+bool LoadBenchFile(const std::string& path, BenchFile* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string dataset = FindField(line, "dataset");
+    if (dataset.empty()) continue;
+    const std::string scenario = FindField(line, "scenario");
+    const std::string imputer = FindField(line, "imputer");
+    if (scenario.empty() || imputer.empty()) continue;
+    BenchCell cell;
+    cell.ok = FindField(line, "ok") == "true";
+    cell.mae = ParseNumber(FindField(line, "mae"), NAN);
+    cell.rmse = ParseNumber(FindField(line, "rmse"), NAN);
+    cell.runtime_seconds = ParseNumber(FindField(line, "runtime_seconds"), NAN);
+    (*out)[dataset + "|" + scenario + "|" + imputer] = cell;
+  }
+  if (out->empty()) {
+    std::fprintf(stderr, "bench_diff: no cells found in %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::string FormatDelta(double base, double cur) {
+  std::ostringstream os;
+  os.precision(4);
+  os << base << " -> " << cur;
+  if (base > 0.0 && std::isfinite(base) && std::isfinite(cur)) {
+    os << " (" << (cur / base >= 1.0 ? "+" : "")
+       << static_cast<long long>(std::llround((cur / base - 1.0) * 100.0))
+       << "%)";
+  }
+  return os.str();
+}
+
+int Run(int argc, char** argv) {
+  std::string baseline_path, current_path;
+  double mae_tol = 0.25, rmse_tol = 0.25, abs_tol = 1e-6;
+  double runtime_tol = 3.0, runtime_floor = 0.05;
+  bool check_runtime = true;
+  for (int i = 1; i < argc; ++i) {
+    auto number_flag = [&](const char* flag, double* value) {
+      if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+        *value = std::strtod(argv[++i], nullptr);
+        return true;
+      }
+      return false;
+    };
+    if (number_flag("--mae-tol", &mae_tol) ||
+        number_flag("--rmse-tol", &rmse_tol) ||
+        number_flag("--abs-tol", &abs_tol) ||
+        number_flag("--runtime-tol", &runtime_tol) ||
+        number_flag("--runtime-floor", &runtime_floor)) {
+      continue;
+    } else if (std::strcmp(argv[i], "--no-runtime") == 0) {
+      check_runtime = false;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: bench_diff BASELINE.json CURRENT.json [--mae-tol R]\n"
+          "                  [--rmse-tol R] [--abs-tol A] [--runtime-tol R]\n"
+          "                  [--runtime-floor S] [--no-runtime]\n");
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown argument: %s (see --help)\n", argv[i]);
+      return 2;
+    } else if (baseline_path.empty()) {
+      baseline_path = argv[i];
+    } else if (current_path.empty()) {
+      current_path = argv[i];
+    } else {
+      std::fprintf(stderr, "too many positional arguments (see --help)\n");
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    std::fprintf(stderr, "bench_diff: need BASELINE.json and CURRENT.json\n");
+    return 2;
+  }
+
+  BenchFile baseline, current;
+  if (!LoadBenchFile(baseline_path, &baseline) ||
+      !LoadBenchFile(current_path, &current)) {
+    return 2;
+  }
+
+  std::vector<std::string> regressions;
+  int compared = 0;
+  for (const auto& [key, base] : baseline) {
+    const auto it = current.find(key);
+    if (it == current.end()) {
+      regressions.push_back(key + ": missing from current file");
+      continue;
+    }
+    const BenchCell& cur = it->second;
+    if (base.ok && !cur.ok) {
+      regressions.push_back(key + ": was ok in baseline, now failed");
+      continue;
+    }
+    if (!base.ok) continue;  // Nothing to compare against.
+    ++compared;
+    if (std::isfinite(base.mae) &&
+        !(cur.mae <= base.mae * (1.0 + mae_tol) + abs_tol)) {
+      regressions.push_back(key + ": mae " + FormatDelta(base.mae, cur.mae));
+    }
+    if (std::isfinite(base.rmse) &&
+        !(cur.rmse <= base.rmse * (1.0 + rmse_tol) + abs_tol)) {
+      regressions.push_back(key + ": rmse " + FormatDelta(base.rmse, cur.rmse));
+    }
+    if (check_runtime && std::isfinite(base.runtime_seconds) &&
+        !(cur.runtime_seconds <=
+          base.runtime_seconds * runtime_tol + runtime_floor)) {
+      regressions.push_back(key + ": runtime " +
+                            FormatDelta(base.runtime_seconds,
+                                        cur.runtime_seconds) +
+                            "s");
+    }
+  }
+  int added = 0;
+  for (const auto& entry : current) {
+    if (baseline.find(entry.first) == baseline.end()) {
+      std::printf("new cell (no baseline): %s\n", entry.first.c_str());
+      ++added;
+    }
+  }
+
+  std::printf("compared %d cells (%d new) of %s vs %s\n", compared, added,
+              current_path.c_str(), baseline_path.c_str());
+  if (regressions.empty()) {
+    std::printf("no regressions beyond tolerance (mae/rmse +%.0f%%, runtime "
+                "x%.1f + %.2fs)\n",
+                mae_tol * 100.0, runtime_tol, runtime_floor);
+    return 0;
+  }
+  std::printf("%zu regression(s):\n", regressions.size());
+  for (const std::string& r : regressions) std::printf("  %s\n", r.c_str());
+  return 1;
+}
+
+}  // namespace
+}  // namespace deepmvi
+
+int main(int argc, char** argv) { return deepmvi::Run(argc, argv); }

@@ -21,10 +21,53 @@
 
 #include "bench/bench_common.h"
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "eval/suite.h"
+#include "tensor/matmul_kernel.h"
 
 namespace deepmvi {
 namespace {
+
+/// Wall time of one n x n MatMul through `multiply`, medianless best-of
+/// style: repeat until ~50ms elapsed and report seconds per multiply.
+double TimeMatMul(int n, const std::function<void(const Matrix&, const Matrix&,
+                                                  Matrix*)>& multiply) {
+  Rng rng(1);
+  const Matrix a = Matrix::RandomGaussian(n, n, rng);
+  const Matrix b = Matrix::RandomGaussian(n, n, rng);
+  Matrix c(n, n);
+  multiply(a, b, &c);  // Warm-up.
+  Stopwatch watch;
+  int iterations = 0;
+  do {
+    multiply(a, b, &c);
+    ++iterations;
+  } while (watch.ElapsedSeconds() < 0.05);
+  return watch.ElapsedSeconds() / iterations;
+}
+
+/// Blocked-kernel vs naive-reference MatMul timings for the BENCH_* micro
+/// section: the kernel-level counterpart of the end-to-end cells.
+std::vector<std::pair<std::string, double>> MatMulMicroTimings() {
+  std::vector<std::pair<std::string, double>> out;
+  for (int n : {64, 128, 256}) {
+    const double blocked =
+        TimeMatMul(n, [](const Matrix& a, const Matrix& b, Matrix* c) {
+          *c = a.MatMul(b);
+        });
+    const double naive =
+        TimeMatMul(n, [](const Matrix& a, const Matrix& b, Matrix* c) {
+          *c = Matrix(a.rows(), b.cols());
+          internal::MatMulNaive(a.data(), b.data(), c->data(), a.rows(),
+                                a.cols(), b.cols());
+        });
+    const std::string suffix = std::to_string(n);
+    out.emplace_back("matmul_blocked_seconds_" + suffix, blocked);
+    out.emplace_back("matmul_naive_seconds_" + suffix, naive);
+    out.emplace_back("matmul_speedup_" + suffix, naive / blocked);
+  }
+  return out;
+}
 
 std::vector<std::string> SplitCommas(const std::string& list) {
   std::vector<std::string> out;
@@ -45,6 +88,7 @@ int Run(int argc, char** argv) {
   std::vector<std::string> scenario_names = {"MCAR", "Blackout"};
   std::string name = "suite";
   uint64_t seed = 1;
+  bool micro_matmul = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--datasets") == 0 && i + 1 < argc) {
       datasets = SplitCommas(argv[++i]);
@@ -56,12 +100,14 @@ int Run(int argc, char** argv) {
       name = argv[++i];
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--micro-matmul") == 0) {
+      micro_matmul = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: dmvi_bench_suite [--datasets A,B] [--imputers I,J]\n"
           "                        [--scenarios MCAR,Blackout] [--quick|--full]\n"
           "                        [--threads N] [--out DIR] [--seed S]\n"
-          "                        [--name NAME]\n");
+          "                        [--name NAME] [--micro-matmul]\n");
       return 0;
     }
   }
@@ -96,6 +142,12 @@ int Run(int argc, char** argv) {
   };
 
   SuiteResult suite = RunSuite(spec);
+  if (micro_matmul) {
+    suite.micro = MatMulMicroTimings();
+    for (const auto& entry : suite.micro) {
+      std::printf("micro %-28s %.6g\n", entry.first.c_str(), entry.second);
+    }
+  }
 
   std::printf("%s\n", SuiteToTable(suite).ToAscii().c_str());
   std::printf("ran %zu experiments on %d threads in %.2fs (%lld failed)\n",

@@ -7,7 +7,8 @@
 //   dmvi_train --input data.csv [--mask mask.csv] --output model.dmvi
 //
 // Model knobs: --seed, --max-epochs, --samples, --window, --filters,
-// --heads. With --impute-csv PATH the freshly trained model also imputes
+// --heads, --threads (training data-parallelism; results are bit-identical
+// for any value). With --impute-csv PATH the freshly trained model also imputes
 // the training dataset in-process and writes the result — CI compares it
 // byte-for-byte against dmvi_serve's output for the same checkpoint to
 // prove the save/load path is exact.
@@ -58,6 +59,8 @@ int Run(int argc, char** argv) {
       config.filters = std::atoi(value);
     } else if ((value = next("--heads"))) {
       config.num_heads = std::atoi(value);
+    } else if ((value = next("--threads"))) {
+      config.num_threads = std::atoi(value);
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: dmvi_train (--preset NAME [--scale quick|full]\n"
@@ -66,7 +69,8 @@ int Run(int argc, char** argv) {
           "                   [--mask mask.csv])\n"
           "                  [--output model.dmvi] [--impute-csv out.csv]\n"
           "                  [--seed N] [--max-epochs N] [--samples N]\n"
-          "                  [--window W] [--filters P] [--heads H]\n");
+          "                  [--window W] [--filters P] [--heads H]\n"
+          "                  [--threads N]\n");
       return 0;
     } else if (missing_value) {
       std::fprintf(stderr, "missing value for %s (see --help)\n", argv[i]);
