@@ -46,16 +46,6 @@ bool IsFull(const BenchOptions& options) {
   return options.profile == BenchOptions::Profile::kFull;
 }
 
-DeepMviConfig DeepMviBenchConfig(const BenchOptions& options) {
-  const bool quick = IsQuick(options);
-  DeepMviConfig config;
-  config.max_epochs = quick ? 2 : 30;
-  config.samples_per_epoch = quick ? 16 : 128;
-  config.batch_size = 4;
-  config.patience = quick ? 1 : 4;
-  return config;
-}
-
 // Single registry of benchmark imputer names: both MakeImputer and
 // IsImputerName resolve against this table, so the two cannot drift.
 using ImputerFactoryFn = std::unique_ptr<Imputer> (*)(const BenchOptions&);
@@ -180,6 +170,16 @@ const NamedImputerFactory* FindImputerFactory(const std::string& name) {
 }
 
 }  // namespace
+
+DeepMviConfig DeepMviBenchConfig(const BenchOptions& options) {
+  const bool quick = IsQuick(options);
+  DeepMviConfig config;
+  config.max_epochs = quick ? 2 : 30;
+  config.samples_per_epoch = quick ? 16 : 128;
+  config.batch_size = 4;
+  config.patience = quick ? 1 : 4;
+  return config;
+}
 
 bool IsImputerName(const std::string& name) {
   return FindImputerFactory(name) != nullptr;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/table_printer.h"
+#include "core/deepmvi_config.h"
 #include "data/imputer.h"
 #include "data/presets.h"
 #include "eval/runner.h"
@@ -40,6 +41,12 @@ BenchOptions ParseOptions(int argc, char** argv);
 /// DeepMVI1D, DeepMVI-NoTT, DeepMVI-NoContext, DeepMVI-NoKR, DeepMVI-NoFG.
 std::unique_ptr<Imputer> MakeImputer(const std::string& name,
                                      const BenchOptions& options);
+
+/// The DeepMVI training budget MakeImputer("DeepMVI", ...) uses for the
+/// selected profile; exported so the out-of-core suite path (which calls
+/// Fit on a DataSource instead of going through the Imputer interface)
+/// trains with the same budget as the in-core cells.
+DeepMviConfig DeepMviBenchConfig(const BenchOptions& options);
 
 /// True if `name` is accepted by MakeImputer (which aborts on unknown
 /// names — check first when the name comes from user input).

@@ -1,12 +1,161 @@
 #include "common/parallel.h"
 
 #include <atomic>
+#include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace deepmvi {
+namespace {
+
+/// Shared bookkeeping of one ParallelForWithSlot invocation, used by both
+/// the pooled and the spawn-per-call execution paths.
+struct Job {
+  int n = 0;
+  int num_slots = 0;
+  const std::function<void(int, int)>* f = nullptr;
+  std::atomic<int> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  /// Claims and runs iterations on worker slot `slot` until the range is
+  /// exhausted or a failure is observed. Failure handling: the first
+  /// exception (in completion order) is parked, remaining iterations are
+  /// abandoned, and the caller rethrows after every worker is done.
+  void RunSlot(int slot) {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const int i = next.fetch_add(1);
+      if (i >= n) return;
+      try {
+        (*f)(i, slot);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+};
+
+/// Marks threads that belong to the worker pool (or to a spawn-per-call
+/// fan-out), so nested ParallelFor calls never wait on the pool they are
+/// running inside of.
+thread_local bool t_inside_parallel_worker = false;
+
+/// Pool worker threads created so far (see ParallelPoolThreadsCreated).
+std::atomic<int64_t> g_pool_threads_created{0};
+
+/// Historical execution path: spawn threads for this call, join, done.
+/// Kept for nested calls and for when the pool is busy with another
+/// caller's job — the worst case is exactly the old behavior.
+void RunWithSpawnedThreads(Job& job) {
+  std::vector<std::thread> threads;
+  threads.reserve(job.num_slots);
+  for (int slot = 0; slot < job.num_slots; ++slot) {
+    threads.emplace_back([&job, slot] {
+      t_inside_parallel_worker = true;
+      job.RunSlot(slot);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+/// Persistent worker pool: threads are created on first parallel use (and
+/// grown when a call wants more slots) and then reused across calls, so
+/// per-mini-batch training fan-out stops paying a spawn/join per batch.
+/// One job runs at a time; concurrent callers fall back to spawned
+/// threads rather than queueing, preserving the old concurrency behavior.
+///
+/// The schedule stays dynamic (workers claim iterations from a shared
+/// counter) — callers own determinism by construction, as before: the
+/// training loop reduces in sample order, the eval suite writes to
+/// per-cell slots.
+class WorkerPool {
+ public:
+  static WorkerPool& Instance() {
+    static WorkerPool* pool = new WorkerPool();  // Leaked: see ~WorkerPool.
+    return *pool;
+  }
+
+  /// Tries to run `job` on the pool. Returns false when the pool is
+  /// occupied by another caller (caller should spawn its own threads).
+  bool TryRun(Job& job) {
+    std::unique_lock<std::mutex> caller(caller_mutex_, std::try_to_lock);
+    if (!caller.owns_lock()) return false;
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      EnsureThreads(job.num_slots);
+      job_ = &job;
+      active_workers_ = job.num_slots;
+      ++generation_;
+    }
+    work_ready_.notify_all();
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_done_.wait(lock, [this] { return active_workers_ == 0; });
+    job_ = nullptr;
+    return true;
+  }
+
+ private:
+  WorkerPool() = default;
+  // The singleton is intentionally leaked: worker threads may still be
+  // parked in Wait() during static destruction, and tearing down the
+  // condition variables under them is undefined. Leaking a process-wide
+  // pool at exit is benign (the OS reclaims the threads).
+  ~WorkerPool() = delete;
+
+  // Requires mutex_ held.
+  void EnsureThreads(int wanted) {
+    while (static_cast<int>(threads_.size()) < wanted) {
+      const int slot = static_cast<int>(threads_.size());
+      threads_.emplace_back([this, slot] { WorkerLoop(slot); });
+      g_pool_threads_created.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void WorkerLoop(int slot) {
+    t_inside_parallel_worker = true;
+    uint64_t seen_generation = 0;
+    while (true) {
+      Job* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_ready_.wait(lock, [&] { return generation_ != seen_generation; });
+        seen_generation = generation_;
+        // Threads beyond the job's slot count sit this round out but must
+        // still acknowledge it so active_workers_ reaches zero.
+        if (job_ != nullptr && slot < job_->num_slots) job = job_;
+      }
+      if (job != nullptr) job->RunSlot(slot);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (job != nullptr && --active_workers_ == 0) work_done_.notify_all();
+      }
+    }
+  }
+
+  /// Serializes callers: at most one job occupies the pool.
+  std::mutex caller_mutex_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::vector<std::thread> threads_;
+  Job* job_ = nullptr;
+  int active_workers_ = 0;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace
+
+int64_t ParallelPoolThreadsCreated() {
+  return g_pool_threads_created.load(std::memory_order_relaxed);
+}
 
 int EffectiveThreads(int n, int num_threads) {
   if (n <= 0) return 0;
@@ -26,36 +175,18 @@ void ParallelForWithSlot(int n, int num_threads,
     return;
   }
 
-  // Failure handling: the historical implementation let an exception
-  // escape a worker thread, which calls std::terminate. Instead the first
-  // exception (in completion order) is parked, the remaining iterations
-  // are abandoned, every worker is joined, and the exception rethrows on
-  // the caller.
-  std::atomic<int> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  Job job;
+  job.n = n;
+  job.num_slots = num_threads;
+  job.f = &f;
 
-  auto worker = [&](int slot) {
-    while (!failed.load(std::memory_order_relaxed)) {
-      const int i = next.fetch_add(1);
-      if (i >= n) return;
-      try {
-        f(i, slot);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
-      }
-    }
-  };
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads);
-  for (int slot = 0; slot < num_threads; ++slot) {
-    threads.emplace_back(worker, slot);
+  // Nested calls (f itself fanning out) must not wait on the pool they
+  // may be running inside of; they spawn their own threads, exactly as
+  // every call did before the pool existed.
+  if (t_inside_parallel_worker || !WorkerPool::Instance().TryRun(job)) {
+    RunWithSpawnedThreads(job);
   }
-  for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  if (job.first_error) std::rethrow_exception(job.first_error);
 }
 
 void ParallelFor(int n, int num_threads, const std::function<void(int)>& f) {

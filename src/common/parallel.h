@@ -30,6 +30,14 @@ void ParallelForWithSlot(int n, int num_threads,
 /// to n. For reporting/telemetry alongside a ParallelFor call.
 int EffectiveThreads(int n, int num_threads);
 
+/// Observability for the persistent worker pool behind ParallelFor /
+/// ParallelForWithSlot: total pool worker threads created since process
+/// start. Repeated parallel regions at the same width reuse the pool's
+/// threads, so this stays flat across mini-batches — the property the
+/// pool exists for (and what the common_test regression test asserts).
+/// Nested calls run on freshly spawned threads, which are not counted.
+int64_t ParallelPoolThreadsCreated();
+
 }  // namespace deepmvi
 
 #endif  // DEEPMVI_COMMON_PARALLEL_H_

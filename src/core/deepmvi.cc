@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/parallel.h"
@@ -52,33 +53,31 @@ struct MissingShapeDistribution {
 MissingShapeDistribution MeasureMissingShapes(const Mask& mask) {
   MissingShapeDistribution dist;
   dist.block_lengths = mask.MissingBlockLengths();
-  // Fraction of series missing at the columns of (up to 256) missing cells.
-  auto missing = mask.MissingIndices();
-  const size_t stride = std::max<size_t>(missing.size() / 256, 1);
-  for (size_t i = 0; i < missing.size(); i += stride) {
-    const int t = missing[i].time;
-    int count = 0;
-    for (int r = 0; r < mask.rows(); ++r) count += mask.missing(r, t);
-    // Exclude the anchor series itself from the cross-series fraction.
-    dist.column_fractions.push_back(
-        mask.rows() > 1
-            ? static_cast<double>(count - 1) / static_cast<double>(mask.rows() - 1)
-            : 0.0);
+  // Fraction of series missing at the columns of (up to 256) missing
+  // cells. The cells are every stride-th missing cell in row-major order
+  // — the same ones a materialized MissingIndices() list would yield, but
+  // walked in place: the index list of a beyond-memory dataset would cost
+  // 8 bytes per missing cell.
+  const int64_t num_missing = mask.CountMissing();
+  if (num_missing == 0) return dist;
+  const int64_t stride = std::max<int64_t>(num_missing / 256, 1);
+  int64_t seen = 0;
+  for (int r = 0; r < mask.rows(); ++r) {
+    for (int t = 0; t < mask.cols(); ++t) {
+      if (!mask.missing(r, t)) continue;
+      if (seen % stride == 0) {
+        int count = 0;
+        for (int rr = 0; rr < mask.rows(); ++rr) count += mask.missing(rr, t);
+        // Exclude the anchor series itself from the cross-series fraction.
+        dist.column_fractions.push_back(
+            mask.rows() > 1 ? static_cast<double>(count - 1) /
+                                  static_cast<double>(mask.rows() - 1)
+                            : 0.0);
+      }
+      ++seen;
+    }
   }
   return dist;
-}
-
-/// Availability mask for a training sample: the original mask with the
-/// synthetic block applied (anchor series + blackout rows).
-Mask ApplySyntheticBlock(const Mask& mask, const TrainSample& sample) {
-  Mask out = mask;
-  out.SetMissingRange(sample.row, sample.block_start,
-                      sample.block_start + sample.block_len);
-  for (int r : sample.blackout_rows) {
-    out.SetMissingRange(r, sample.block_start,
-                        sample.block_start + sample.block_len);
-  }
-  return out;
 }
 
 }  // namespace
@@ -96,21 +95,44 @@ std::string DeepMviImputer::name() const {
 TrainedDeepMvi DeepMviImputer::Fit(const DataTensor& raw_data, const Mask& mask) {
   DMVI_CHECK_EQ(raw_data.num_series(), mask.rows());
   DMVI_CHECK_EQ(raw_data.num_times(), mask.cols());
+  storage::InMemoryDataSource source(&raw_data);
+  StatusOr<TrainedDeepMvi> trained = Fit(source, mask);
+  // In-core window reads cannot fail, so any error here is a caller bug
+  // (shape mismatch) that historically aborted too.
+  DMVI_CHECK(trained.ok()) << trained.status().ToString();
+  return std::move(trained).value();
+}
+
+StatusOr<TrainedDeepMvi> DeepMviImputer::Fit(const storage::DataSource& source,
+                                             const Mask& mask) {
+  if (source.num_series() != mask.rows() || source.num_times() != mask.cols()) {
+    return Status::InvalidArgument(
+        "mask shape " + std::to_string(mask.rows()) + "x" +
+        std::to_string(mask.cols()) + " does not match data " +
+        std::to_string(source.num_series()) + "x" +
+        std::to_string(source.num_times()));
+  }
 
   // Imputer-contract hygiene: stale diagnostics from a previous call must
   // not leak into this one.
   train_stats_ = TrainStats();
 
-  const DataTensor shaped =
-      config_.flatten_multidim ? raw_data.Flattened1D() : raw_data;
+  // Flattening (DeepMVI1D) only rewrites the index metadata; the values
+  // and their row order are untouched, so it needs no data pass.
+  const std::vector<Dimension> dims = config_.flatten_multidim
+                                          ? FlattenedDims(source.dims())
+                                          : source.dims();
+  const DataTensor layout = DataTensor::LayoutOnly(dims);
+  const int t_len = source.num_times();
+  const int num_series = source.num_series();
 
   // Normalize per series on available cells; all modelling happens in
-  // z-score space and predictions are denormalized at the end.
-  auto stats = shaped.ComputeNormalization(mask);
-  DataTensor data = shaped.Normalized(stats);
-  const Matrix& values = data.values();
-  const int t_len = data.num_times();
-  const int num_series = data.num_series();
+  // z-score space (windows are normalized by the reader) and predictions
+  // are denormalized at the end.
+  StatusOr<DataTensor::NormalizationStats> stats_or =
+      source.ComputeNormalization(mask);
+  if (!stats_or.ok()) return stats_or.status();
+  DataTensor::NormalizationStats stats = std::move(stats_or).value();
 
   // ---- Resolve the window (Sec 4.3). ------------------------------------
   DeepMviConfig config = config_;
@@ -132,9 +154,16 @@ TrainedDeepMvi DeepMviImputer::Fit(const DataTensor& raw_data, const Mask& mask)
   TrainedDeepMvi trained;
   trained.store_ = std::make_unique<nn::ParameterStore>();
   DeepMviModules model =
-      internal::BuildDeepMviModules(trained.store_.get(), config, data.dims(), rng);
+      internal::BuildDeepMviModules(trained.store_.get(), config, dims, rng);
   nn::ParameterStore& store = *trained.store_;
   nn::Adam adam(&store, {.learning_rate = config.learning_rate});
+
+  // The windowed reader: every training read goes through it, fetching
+  // only the time stripe a sample's chunk spans.
+  StatusOr<std::unique_ptr<storage::WindowReader>> reader_or =
+      source.MakeReader(stats);
+  if (!reader_or.ok()) return reader_or.status();
+  const storage::WindowReader& reader = **reader_or;
 
   // ---- Build training + validation samples (Sec 3). -----------------------
   MissingShapeDistribution shape_dist = MeasureMissingShapes(mask);
@@ -179,9 +208,13 @@ TrainedDeepMvi DeepMviImputer::Fit(const DataTensor& raw_data, const Mask& mask)
     if (!s.target_times.empty()) val_samples.push_back(std::move(s));
   }
 
-  // Forward + loss for one sample on the given tape.
-  auto sample_loss = [&](Tape& tape, const TrainSample& sample) {
-    Mask synthetic = ApplySyntheticBlock(mask, sample);
+  // Forward + loss for one sample on the given tape. Reads go through a
+  // value window covering the sample's chunk and an availability overlay
+  // that applies the synthetic block without copying the mask (the
+  // historical per-sample full-mask copy was O(num_series x num_times)
+  // bytes). Window I/O errors land in *io_status.
+  auto sample_loss = [&](Tape& tape, const TrainSample& sample,
+                         Status* io_status) {
     Chunk chunk = MakeChunk(t_len, config.window, config.max_context,
                             sample.block_start + sample.block_len / 2);
     // Keep only targets inside the chunk.
@@ -190,11 +223,21 @@ TrainedDeepMvi DeepMviImputer::Fit(const DataTensor& raw_data, const Mask& mask)
       if (t >= chunk.start && t < chunk.start + chunk.len) targets.push_back(t);
     }
     if (targets.empty()) return Var();
-    Var pred = PredictPositions(tape, model, config, data, values, synthetic,
+    StatusOr<ValueWindow> window = reader.Read(chunk.start, chunk.len);
+    if (!window.ok()) {
+      *io_status = window.status();
+      return Var();
+    }
+    std::vector<uint8_t> block_rows(num_series, 0);
+    block_rows[sample.row] = 1;
+    for (int r : sample.blackout_rows) block_rows[r] = 1;
+    MaskOverlay synthetic(mask, sample.block_start,
+                          sample.block_start + sample.block_len, block_rows);
+    Var pred = PredictPositions(tape, model, config, layout, *window, synthetic,
                                 sample.row, chunk, targets);
     Matrix truth(static_cast<int>(targets.size()), 1);
     for (size_t i = 0; i < targets.size(); ++i) {
-      truth(static_cast<int>(i), 0) = values(sample.row, targets[i]);
+      truth(static_cast<int>(i), 0) = (*window)(sample.row, targets[i]);
     }
     Matrix weight(static_cast<int>(targets.size()), 1, 1.0);
     return ad::WeightedMseLoss(pred, truth, weight);
@@ -224,16 +267,18 @@ TrainedDeepMvi DeepMviImputer::Fit(const DataTensor& raw_data, const Mask& mask)
 
   // One sample's contribution: its loss value and (for training samples)
   // its per-parameter gradient, extracted from the worker tape so the
-  // reduction can run after the tape is reused.
+  // reduction can run after the tape is reused. `status` carries window
+  // read failures out of the worker.
   struct SampleEval {
     bool valid = false;
     double loss = 0.0;
     std::vector<Matrix> grads;  // Aligned with params; 0x0 when absent.
+    Status status;
   };
   auto evaluate_sample = [&](Tape& tape, const TrainSample& sample,
                              bool with_grads, SampleEval* out) {
     tape.Reset();
-    Var loss = sample_loss(tape, sample);
+    Var loss = sample_loss(tape, sample, &out->status);
     if (!loss.valid()) return;
     out->valid = true;
     out->loss = loss.scalar();
@@ -247,6 +292,14 @@ TrainedDeepMvi DeepMviImputer::Fit(const DataTensor& raw_data, const Mask& mask)
       // parameter with no loss path contributes nothing to the sum.
       if (const Matrix* g = tape.AllocatedGrad(leaf)) out->grads[pi] = *g;
     }
+  };
+  // First window-read failure of a fanned-out batch, in sample order so
+  // the surfaced error is deterministic.
+  auto first_error = [](const std::vector<SampleEval>& evals) {
+    for (const SampleEval& eval : evals) {
+      if (!eval.status.ok()) return eval.status;
+    }
+    return Status::OK();
   };
 
   double best_val = 1e300;
@@ -287,6 +340,7 @@ TrainedDeepMvi DeepMviImputer::Fit(const DataTensor& raw_data, const Mask& mask)
             evaluate_sample(*slot_tapes[slot], batch[i], /*with_grads=*/true,
                             &evals[i]);
           });
+      DMVI_RETURN_IF_ERROR(first_error(evals));
 
       // Fixed-order reduction: losses and gradients sum in sample order
       // regardless of which slot evaluated which sample.
@@ -332,6 +386,7 @@ TrainedDeepMvi DeepMviImputer::Fit(const DataTensor& raw_data, const Mask& mask)
           evaluate_sample(*slot_tapes[slot], val_samples[i],
                           /*with_grads=*/false, &val_evals[i]);
         });
+    DMVI_RETURN_IF_ERROR(first_error(val_evals));
     double val_loss = 0.0;
     int val_batches = 0;
     for (const SampleEval& eval : val_evals) {
@@ -355,7 +410,7 @@ TrainedDeepMvi DeepMviImputer::Fit(const DataTensor& raw_data, const Mask& mask)
   restore();
 
   trained.config_ = config;
-  trained.dims_ = data.dims();
+  trained.dims_ = dims;
   trained.stats_ = std::move(stats);
   trained.modules_ = model;
   return trained;

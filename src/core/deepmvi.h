@@ -6,6 +6,7 @@
 #include "core/deepmvi_config.h"
 #include "core/trained_deepmvi.h"
 #include "data/imputer.h"
+#include "storage/data_source.h"
 
 namespace deepmvi {
 
@@ -46,6 +47,17 @@ class DeepMviImputer : public Imputer {
   /// every thread count (samples are generated from one RNG stream and
   /// gradients reduce in sample order).
   TrainedDeepMvi Fit(const DataTensor& data, const Mask& mask);
+
+  /// Out-of-core variant: trains from any storage::DataSource — typically
+  /// a ChunkedDataSource over a store directory — touching only the value
+  /// windows each training sample spans, so peak residency stays bounded
+  /// by the chunk-cache budget instead of the dense tensor. The in-core
+  /// Fit above routes through this same code path (wrapped in an
+  /// InMemoryDataSource), and the two produce byte-identical checkpoints:
+  /// same RNG sample schedule, same reduction order, any num_threads.
+  /// I/O failures (corrupt or truncated chunks) surface as Status errors.
+  StatusOr<TrainedDeepMvi> Fit(const storage::DataSource& source,
+                               const Mask& mask);
 
   /// Diagnostics from the most recent Fit (or Impute) call.
   struct TrainStats {

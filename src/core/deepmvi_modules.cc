@@ -29,8 +29,8 @@ Chunk MakeChunk(int t_len, int window, int max_context, int center) {
   return chunk;
 }
 
-Matrix FineGrainedSignal(const Matrix& values, const Mask& avail, int row,
-                         int chunk_start, int window,
+Matrix FineGrainedSignal(const ValueWindow& values, const MaskOverlay& avail,
+                         int row, int chunk_start, int window,
                          const std::vector<int>& times) {
   Matrix out(static_cast<int>(times.size()), 1);
   for (size_t i = 0; i < times.size(); ++i) {
@@ -39,7 +39,8 @@ Matrix FineGrainedSignal(const Matrix& values, const Mask& avail, int row,
     double sum = 0.0;
     int count = 0;
     for (int t = w0; t < w0 + window; ++t) {
-      if (t >= 0 && t < values.cols() && avail.available(row, t)) {
+      if (t >= values.t_begin() && t < values.t_end() &&
+          avail.available(row, t)) {
         sum += values(row, t);
         ++count;
       }
@@ -51,8 +52,8 @@ Matrix FineGrainedSignal(const Matrix& values, const Mask& avail, int row,
 
 Var PredictPositions(Tape& tape, const DeepMviModules& model,
                      const DeepMviConfig& config, const DataTensor& data,
-                     const Matrix& values, const Mask& avail, int row,
-                     const Chunk& chunk,
+                     const ValueWindow& values, const MaskOverlay& avail,
+                     int row, const Chunk& chunk,
                      const std::vector<int>& target_times) {
   const int n_pos = static_cast<int>(target_times.size());
   const int window = model.transformer.window();

@@ -8,6 +8,7 @@
 #include "core/temporal_transformer.h"
 #include "nn/layers.h"
 #include "tensor/data_tensor.h"
+#include "tensor/value_window.h"
 
 namespace deepmvi {
 namespace internal {
@@ -49,18 +50,24 @@ struct Chunk {
 Chunk MakeChunk(int t_len, int window, int max_context, int center);
 
 /// Per-position fine-grained signal (Eq. 15): masked mean of the window
-/// containing each target position.
-Matrix FineGrainedSignal(const Matrix& values, const Mask& avail, int row,
-                         int chunk_start, int window,
+/// containing each target position. All windows containing a target lie
+/// inside [chunk_start, chunk_start + chunk_len) and therefore inside
+/// `values` when the window covers the chunk.
+Matrix FineGrainedSignal(const ValueWindow& values, const MaskOverlay& avail,
+                         int row, int chunk_start, int window,
                          const std::vector<int>& times);
 
 /// Runs the full forward pass for one (series, chunk, targets) triple and
-/// returns the predictions (|targets| x 1). `values` is the normalized
-/// data matrix and `avail` the availability mask the forward pass may read.
+/// returns the predictions (|targets| x 1). `values` is a normalized value
+/// window covering at least the chunk's time range (in-core callers pass
+/// the full matrix, which converts implicitly) and `avail` the
+/// availability view the forward pass may read. `data` supplies index
+/// metadata only (dims, siblings) and may be values-free (LayoutOnly):
+/// every data read goes through `values`.
 ad::Var PredictPositions(ad::Tape& tape, const DeepMviModules& model,
                          const DeepMviConfig& config, const DataTensor& data,
-                         const Matrix& values, const Mask& avail, int row,
-                         const Chunk& chunk,
+                         const ValueWindow& values, const MaskOverlay& avail,
+                         int row, const Chunk& chunk,
                          const std::vector<int>& target_times);
 
 /// Inference only: fills every cell missing in `mask` with the model's

@@ -23,7 +23,8 @@ KernelRegression::KernelRegression(nn::ParameterStore* store,
 }
 
 Var KernelRegression::Forward(Tape& tape, const DataTensor& data,
-                              const Matrix& values, const Mask& avail, int row,
+                              const ValueWindow& values,
+                              const MaskOverlay& avail, int row,
                               const std::vector<int>& times) const {
   DMVI_CHECK_EQ(static_cast<int>(embeddings_.size()), data.num_dims());
   const int n_pos = static_cast<int>(times.size());

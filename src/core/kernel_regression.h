@@ -6,6 +6,7 @@
 #include "core/deepmvi_config.h"
 #include "nn/layers.h"
 #include "tensor/data_tensor.h"
+#include "tensor/value_window.h"
 
 namespace deepmvi {
 
@@ -29,11 +30,15 @@ class KernelRegression {
   int feature_dim() const { return 3 * static_cast<int>(embeddings_.size()); }
 
   /// Computes the kernel-regression features for series `row` of `data` at
-  /// the given absolute time indices. `values` / `avail` are the full
-  /// (normalized) data matrix and the availability mask used for sibling
-  /// reads. Returns a |times| x 3n matrix Var.
-  ad::Var Forward(ad::Tape& tape, const DataTensor& data, const Matrix& values,
-                  const Mask& avail, int row, const std::vector<int>& times) const;
+  /// the given absolute time indices. `values` / `avail` are the
+  /// (normalized) value window and the availability view used for sibling
+  /// reads; every requested time must lie inside the window (a full
+  /// Matrix / plain Mask convert implicitly). `data` supplies only index
+  /// metadata (dims, siblings) and may be values-free (LayoutOnly).
+  /// Returns a |times| x 3n matrix Var.
+  ad::Var Forward(ad::Tape& tape, const DataTensor& data,
+                  const ValueWindow& values, const MaskOverlay& avail, int row,
+                  const std::vector<int>& times) const;
 
  private:
   double gamma_ = 1.0;

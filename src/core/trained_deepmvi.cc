@@ -1,5 +1,6 @@
 #include "core/trained_deepmvi.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -193,6 +194,92 @@ Matrix TrainedDeepMvi::Predict(const DataTensor& raw_data,
   for (int r = 0; r < out.rows(); ++r) {
     for (int t = 0; t < out.cols(); ++t) {
       if (mask.available(r, t)) out(r, t) = raw_data.values()(r, t);
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<double>> TrainedDeepMvi::PredictCells(
+    const storage::DataSource& source, const Mask& mask,
+    const std::vector<CellIndex>& cells) const {
+  if (!trained()) {
+    return Status::FailedPrecondition("model has not been trained or loaded");
+  }
+  if (source.num_series() != mask.rows() || source.num_times() != mask.cols()) {
+    return Status::InvalidArgument("mask shape does not match source");
+  }
+  if (source.num_series() != num_series()) {
+    return Status::InvalidArgument(
+        "source has " + std::to_string(source.num_series()) +
+        " series, model was trained on " + std::to_string(num_series()));
+  }
+  const int t_len = source.num_times();
+  if (t_len < config_.window) {
+    return Status::InvalidArgument(
+        "series of length " + std::to_string(t_len) +
+        " is shorter than one window (window " +
+        std::to_string(config_.window) + ")");
+  }
+
+  // Group the requested cells per series, ascending in time, remembering
+  // where each prediction goes in the output.
+  std::vector<std::vector<std::pair<int, size_t>>> by_row(source.num_series());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const CellIndex& cell = cells[i];
+    if (cell.series < 0 || cell.series >= source.num_series() ||
+        cell.time < 0 || cell.time >= t_len) {
+      return Status::InvalidArgument("cell out of range");
+    }
+    if (mask.available(cell.series, cell.time)) {
+      return Status::InvalidArgument(
+          "cell (" + std::to_string(cell.series) + "," +
+          std::to_string(cell.time) +
+          ") is available in the mask; PredictCells predicts missing cells");
+    }
+    by_row[cell.series].emplace_back(cell.time, i);
+  }
+
+  StatusOr<std::unique_ptr<storage::WindowReader>> reader_or =
+      source.MakeReader(stats_);
+  if (!reader_or.ok()) return reader_or.status();
+  const storage::WindowReader& reader = **reader_or;
+  const DataTensor layout = DataTensor::LayoutOnly(dims_);
+
+  std::vector<double> out(cells.size(), 0.0);
+  ad::Tape tape;
+  for (int row = 0; row < source.num_series(); ++row) {
+    auto& row_cells = by_row[row];
+    if (row_cells.empty()) continue;
+    std::sort(row_cells.begin(), row_cells.end());
+    // Cover the row's cells chunk by chunk, as Predict covers its missing
+    // cells (internal::ImputeMissingNormalized).
+    size_t next = 0;
+    while (next < row_cells.size()) {
+      internal::Chunk chunk = internal::MakeChunk(
+          t_len, config_.window, config_.max_context, row_cells[next].first);
+      std::vector<int> targets;
+      std::vector<size_t> target_outputs;
+      while (next < row_cells.size() &&
+             row_cells[next].first < chunk.start + chunk.len) {
+        if (row_cells[next].first >= chunk.start) {
+          targets.push_back(row_cells[next].first);
+          target_outputs.push_back(row_cells[next].second);
+        }
+        ++next;
+      }
+      if (targets.empty()) break;  // Should not happen; guards looping.
+      StatusOr<ValueWindow> window = reader.Read(chunk.start, chunk.len);
+      if (!window.ok()) return window.status();
+      tape.Reset();
+      ad::Var pred = internal::PredictPositions(tape, modules_, config_, layout,
+                                                *window, mask, row, chunk,
+                                                targets);
+      for (size_t i = 0; i < targets.size(); ++i) {
+        // Same denormalization expression as DataTensor::Denormalize.
+        out[target_outputs[i]] =
+            pred.value()(static_cast<int>(i), 0) * stats_.stddev[row] +
+            stats_.mean[row];
+      }
     }
   }
   return out;

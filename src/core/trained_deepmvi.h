@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "core/deepmvi_modules.h"
+#include "storage/data_source.h"
 
 namespace deepmvi {
 
@@ -54,6 +55,19 @@ class TrainedDeepMvi {
   /// single-shot Impute(x, m) bit for bit. Aborts on invalid input; call
   /// ValidateInput first when the input is untrusted.
   Matrix Predict(const DataTensor& data, const Mask& mask) const;
+
+  /// Out-of-core inference at selected cells: predicts each requested
+  /// (series, time) cell — all of which must be missing in `mask` — from a
+  /// storage::DataSource, reading only the value windows the predictions
+  /// need. Returns the predictions in `cells` order, denormalized to raw
+  /// units like Predict. Per series, cells are covered chunk by chunk
+  /// (the chunk partition follows the requested cells, as Predict's does
+  /// its missing cells), so memory stays bounded by the source's cache
+  /// budget plus one window. The eval suite uses this to score a chunked
+  /// store's hidden cells without materializing the dense tensor.
+  StatusOr<std::vector<double>> PredictCells(
+      const storage::DataSource& source, const Mask& mask,
+      const std::vector<CellIndex>& cells) const;
 
   /// Persists the model as a versioned binary checkpoint ("DMVC" header +
   /// config + dimensions + normalization stats + "DMVP" parameter store).

@@ -53,15 +53,18 @@ Status WriteDataTensor(const DataTensor& data, const std::string& path,
   return Status::OK();
 }
 
-StatusOr<DataTensor> ReadDataTensor(const std::string& path, Mask* mask_out) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open " + path);
+StatusOr<CsvSeriesReader> CsvSeriesReader::Open(const std::string& path) {
+  CsvSeriesReader reader;
+  reader.path_ = path;
+  reader.in_ = std::make_unique<std::ifstream>(path);
+  if (!*reader.in_) return Status::IoError("cannot open " + path);
+  return reader;
+}
 
-  std::vector<Dimension> dims;
-  std::vector<std::vector<double>> rows;
-  std::vector<std::vector<bool>> row_missing;
+StatusOr<bool> CsvSeriesReader::NextRow(std::vector<double>* values,
+                                        std::vector<uint8_t>* missing) {
   std::string line;
-  while (std::getline(in, line)) {
+  while (std::getline(*in_, line)) {
     if (line.empty()) continue;
     if (line.rfind("# dim:", 0) == 0) {
       const std::string spec = line.substr(6);
@@ -75,18 +78,19 @@ StatusOr<DataTensor> ReadDataTensor(const std::string& path, Mask* mask_out) {
       if (dim.members.empty()) {
         return Status::InvalidArgument("dimension with no members: " + line);
       }
-      dims.push_back(std::move(dim));
+      dims_.push_back(std::move(dim));
       continue;
     }
     if (line[0] == '#') continue;  // Other comments.
     std::vector<std::string> fields = SplitString(line, ',');
-    std::vector<double> values;
-    std::vector<bool> missing;
-    values.reserve(fields.size());
+    values->clear();
+    missing->clear();
+    values->reserve(fields.size());
+    missing->reserve(fields.size());
     for (const std::string& field : fields) {
       if (field.empty() || field == "nan" || field == "NaN" || field == "NA") {
-        values.push_back(0.0);
-        missing.push_back(true);
+        values->push_back(0.0);
+        missing->push_back(1);
         continue;
       }
       char* end = nullptr;
@@ -95,33 +99,65 @@ StatusOr<DataTensor> ReadDataTensor(const std::string& path, Mask* mask_out) {
         return Status::InvalidArgument("non-numeric field '" + field + "'");
       }
       if (std::isnan(v)) {
-        values.push_back(0.0);
-        missing.push_back(true);
+        values->push_back(0.0);
+        missing->push_back(1);
       } else {
-        values.push_back(v);
-        missing.push_back(false);
+        values->push_back(v);
+        missing->push_back(0);
       }
     }
-    if (!rows.empty() && values.size() != rows[0].size()) {
-      return Status::InvalidArgument("ragged rows in " + path);
+    if (num_cols_ < 0) {
+      num_cols_ = static_cast<int>(values->size());
+    } else if (static_cast<int>(values->size()) != num_cols_) {
+      return Status::InvalidArgument("ragged rows in " + path_);
     }
-    rows.push_back(std::move(values));
-    row_missing.push_back(std::move(missing));
+    ++rows_read_;
+    return true;
+  }
+  // getline stopped: distinguish a clean end of file from a stream I/O
+  // failure — reporting a failing disk as EOF would silently truncate a
+  // streaming conversion.
+  if (in_->bad()) {
+    return Status::IoError("read error in " + path_ + " after row " +
+                           std::to_string(rows_read_));
+  }
+  return false;
+}
+
+StatusOr<DataTensor> ReadDataTensor(const std::string& path, Mask* mask_out) {
+  // Materializing wrapper over the streaming reader: both paths parse the
+  // bytes identically, so a CSV sharded row-by-row (dmvi_shard) and one
+  // slurped in-core produce the same values cell for cell.
+  StatusOr<CsvSeriesReader> reader = CsvSeriesReader::Open(path);
+  if (!reader.ok()) return reader.status();
+
+  std::vector<std::vector<double>> rows;
+  std::vector<std::vector<uint8_t>> row_missing;
+  std::vector<double> row_values;
+  std::vector<uint8_t> row_miss;
+  while (true) {
+    StatusOr<bool> more = reader->NextRow(&row_values, &row_miss);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    // NextRow clears its outputs, so moving the buffers out is safe.
+    rows.push_back(std::move(row_values));
+    row_missing.push_back(std::move(row_miss));
   }
   if (rows.empty()) return Status::InvalidArgument("no data rows in " + path);
 
   const int n = static_cast<int>(rows.size());
-  const int t_len = static_cast<int>(rows[0].size());
+  const int t_len = reader->num_cols();
   Matrix values(n, t_len);
   Mask mask(n, t_len);
   for (int r = 0; r < n; ++r) {
     for (int t = 0; t < t_len; ++t) {
       values(r, t) = rows[r][t];
-      if (row_missing[r][t]) mask.set_missing(r, t);
+      if (row_missing[r][t] != 0) mask.set_missing(r, t);
     }
   }
   if (mask_out != nullptr) *mask_out = mask;
 
+  const std::vector<Dimension>& dims = reader->dims();
   if (dims.empty()) {
     return DataTensor::FromMatrix(std::move(values));
   }
@@ -132,7 +168,7 @@ StatusOr<DataTensor> ReadDataTensor(const std::string& path, Mask* mask_out) {
         "dimension headers imply " + std::to_string(expected) +
         " series but file has " + std::to_string(n));
   }
-  return DataTensor(std::move(dims), std::move(values));
+  return DataTensor(dims, std::move(values));
 }
 
 Status WriteMask(const Mask& mask, const std::string& path) {

@@ -1,7 +1,11 @@
 #ifndef DEEPMVI_DATA_IO_H_
 #define DEEPMVI_DATA_IO_H_
 
+#include <cstdint>
+#include <fstream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "tensor/data_tensor.h"
@@ -35,6 +39,46 @@ StatusOr<DataTensor> ReadDataTensor(const std::string& path,
 /// Writes / reads an availability mask as 0/1 CSV.
 Status WriteMask(const Mask& mask, const std::string& path);
 StatusOr<Mask> ReadMask(const std::string& path);
+
+/// Streaming row-by-row reader for the dataset CSV format: dimension
+/// headers are parsed up front, then NextRow yields one series at a time,
+/// so files larger than RAM can be converted (e.g. into a chunked store by
+/// dmvi_shard) without ever materializing the full matrix. ReadDataTensor
+/// is a thin materializing wrapper over this reader, so the two parse
+/// identically.
+class CsvSeriesReader {
+ public:
+  static StatusOr<CsvSeriesReader> Open(const std::string& path);
+
+  /// Empty (unopened) reader; StatusOr needs this. Use Open().
+  CsvSeriesReader() = default;
+
+  /// Dimension headers seen so far; in the standard format they precede
+  /// the data, so this is complete after the first NextRow (and certainly
+  /// after the last). Empty for a plain numeric CSV — the caller then
+  /// typically builds a single anonymous dimension.
+  const std::vector<Dimension>& dims() const { return dims_; }
+
+  /// Reads the next data row into `values` (missing cells stored as 0.0)
+  /// and `missing` (1 = missing). Returns false at end of file, true when
+  /// a row was produced; malformed rows (non-numeric fields, ragged
+  /// lengths) are Status errors. Vectors are reused across calls.
+  StatusOr<bool> NextRow(std::vector<double>* values,
+                         std::vector<uint8_t>* missing);
+
+  /// Number of columns, known after the first NextRow.
+  int num_cols() const { return num_cols_; }
+  /// Data rows produced so far.
+  int rows_read() const { return rows_read_; }
+
+ private:
+  std::string path_;
+  // Move-only: copies would share (and race on) one stream position.
+  std::unique_ptr<std::ifstream> in_;
+  std::vector<Dimension> dims_;
+  int num_cols_ = -1;
+  int rows_read_ = 0;
+};
 
 }  // namespace deepmvi
 

@@ -1,10 +1,13 @@
 #ifndef DEEPMVI_EVAL_RUNNER_H_
 #define DEEPMVI_EVAL_RUNNER_H_
 
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "data/imputer.h"
 #include "scenario/scenarios.h"
+#include "storage/data_source.h"
 
 namespace deepmvi {
 
@@ -43,6 +46,34 @@ struct ImputedSeries {
 };
 ImputedSeries ImputeAndExtractSeries(const DataTensor& data, const Mask& mask,
                                      Imputer& imputer, int series_row);
+
+/// Imputation callback for out-of-core experiments: trains from `source`
+/// under `train_mask` and returns raw-unit predictions for `cells` in
+/// order. Injected (like ImputerFactory in suite.h) so the eval layer
+/// stays independent of the concrete algorithm layers; the bench tools
+/// pass a DeepMVI Fit+PredictCells lambda.
+using SourceImputeFn = std::function<StatusOr<std::vector<double>>(
+    const storage::DataSource& source, const Mask& train_mask,
+    const std::vector<CellIndex>& cells)>;
+
+/// Out-of-core counterpart of RunExperiment: scores an imputer on a
+/// chunked store without ever materializing the dense tensor.
+///
+///   1. generate the scenario's missing mask and intersect it with the
+///      store's own availability (`base_mask`); the scored "hidden" cells
+///      are those available in the store but hidden by the scenario,
+///   2. compute per-series z-score stats over the training-available
+///      cells, streaming chunk by chunk,
+///   3. run `impute` on the source and training mask,
+///   4. report MAE/RMSE over the hidden cells in normalized units,
+///      reading truth through stripe-sized windows.
+///
+/// analytics_gain is not computed for store experiments (it needs the
+/// dense aggregate series) and is reported as 0.
+StatusOr<ExperimentResult> RunStoreExperiment(
+    const storage::DataSource& source, const Mask& base_mask,
+    const ScenarioConfig& scenario, const std::string& imputer_name,
+    const SourceImputeFn& impute);
 
 }  // namespace deepmvi
 

@@ -1,0 +1,81 @@
+#ifndef DEEPMVI_STORAGE_CHUNK_CACHE_H_
+#define DEEPMVI_STORAGE_CHUNK_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "tensor/matrix.h"
+
+namespace deepmvi {
+namespace storage {
+
+/// Bounded, bytes-budgeted LRU cache of store chunks, thread-safe for
+/// concurrent readers (the training loop fans samples over worker threads
+/// that all read through one cache).
+///
+/// Entries are handed out as shared_ptr<const Matrix>: eviction only drops
+/// the cache's reference, so a reader holding a chunk keeps it alive while
+/// the cache stays within budget for everything it retains. Before a new
+/// chunk is inserted, least-recently-used entries are evicted until the
+/// new total fits the budget; a single chunk larger than the whole budget
+/// is returned to the caller but never retained.
+///
+/// Loads run outside the cache lock so slow disk reads don't serialize
+/// unrelated readers; two threads racing on the same missing key may both
+/// load it, and the first insert wins (counted as one miss each).
+class ChunkCache {
+ public:
+  using ChunkPtr = std::shared_ptr<const Matrix>;
+  using Loader = std::function<StatusOr<Matrix>()>;
+
+  /// `byte_budget` <= 0 disables retention: every call loads.
+  explicit ChunkCache(int64_t byte_budget) : byte_budget_(byte_budget) {}
+
+  ChunkCache(const ChunkCache&) = delete;
+  ChunkCache& operator=(const ChunkCache&) = delete;
+
+  /// Returns the cached chunk for `key`, or runs `loader` and caches the
+  /// result. Load failures are returned and nothing is cached.
+  StatusOr<ChunkPtr> GetOrLoad(int64_t key, const Loader& loader);
+
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t bytes_cached = 0;
+    /// High-water mark of bytes_cached, for asserting the budget held.
+    int64_t peak_bytes = 0;
+  };
+  Stats stats() const;
+  int64_t byte_budget() const { return byte_budget_; }
+
+  /// Drops every retained chunk (outstanding ChunkPtrs stay valid).
+  void Clear();
+
+ private:
+  struct Entry {
+    ChunkPtr chunk;
+    int64_t bytes = 0;
+    std::list<int64_t>::iterator lru_it;
+  };
+
+  // Requires mu_ held. Evicts LRU entries until bytes_cached_ + incoming
+  // fits the budget.
+  void EvictToFit(int64_t incoming_bytes);
+
+  const int64_t byte_budget_;
+  mutable std::mutex mu_;
+  std::unordered_map<int64_t, Entry> entries_;
+  std::list<int64_t> lru_;  // Front = most recent.
+  Stats stats_;
+};
+
+}  // namespace storage
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_STORAGE_CHUNK_CACHE_H_

@@ -1,0 +1,48 @@
+#include "storage/windowed_reader.h"
+
+#include <algorithm>
+
+namespace deepmvi {
+namespace storage {
+
+StatusOr<ValueWindow> WindowedSampleReader::Read(int t0, int len) const {
+  if (t0 < 0 || len <= 0 || t0 + len > store_->num_times()) {
+    return Status::InvalidArgument(
+        "window [" + std::to_string(t0) + ", " + std::to_string(t0 + len) +
+        ") out of range for " + std::to_string(store_->num_times()) +
+        " time steps");
+  }
+  const int num_series = store_->num_series();
+  Matrix slab(num_series, len);
+
+  const int block_len = store_->times_per_chunk();
+  const int b0 = t0 / block_len;
+  const int b1 = (t0 + len - 1) / block_len;
+  for (int b = b0; b <= b1; ++b) {
+    // Overlap of block b with the requested stripe, in absolute time.
+    const int block_t0 = store_->block_begin_time(b);
+    const int lo = std::max(t0, block_t0);
+    const int hi = std::min(t0 + len, block_t0 + store_->block_num_times(b));
+    for (int g = 0; g < store_->num_row_groups(); ++g) {
+      StatusOr<ChunkCache::ChunkPtr> chunk = cache_->GetOrLoad(
+          store_->ChunkKey(g, b), [&] { return store_->ReadChunk(g, b); });
+      if (!chunk.ok()) return chunk.status();
+      const Matrix& raw = **chunk;
+      const int row0 = store_->group_begin_row(g);
+      for (int r = 0; r < raw.rows(); ++r) {
+        const int series = row0 + r;
+        const double mean = stats_.mean[series];
+        const double stddev = stats_.stddev[series];
+        const double* src = raw.row_ptr(r) + (lo - block_t0);
+        double* dst = slab.row_ptr(series) + (lo - t0);
+        // Same expression as DataTensor::Normalized, so out-of-core
+        // windows are bit-identical to slices of the normalized tensor.
+        for (int t = 0; t < hi - lo; ++t) dst[t] = (src[t] - mean) / stddev;
+      }
+    }
+  }
+  return ValueWindow::OwnedSlab(std::move(slab), t0);
+}
+
+}  // namespace storage
+}  // namespace deepmvi

@@ -67,59 +67,79 @@ std::vector<int> DataTensor::Siblings(int row, int dim_index) const {
 
 DataTensor DataTensor::Flattened1D() const {
   if (num_dims() == 1) return *this;
+  return DataTensor(FlattenedDims(dims_), values_);
+}
+
+DataTensor DataTensor::LayoutOnly(std::vector<Dimension> dims) {
+  int64_t rows = 1;
+  for (const auto& d : dims) rows *= d.size();
+  return DataTensor(std::move(dims), Matrix(static_cast<int>(rows), 0));
+}
+
+std::vector<Dimension> FlattenedDims(const std::vector<Dimension>& dims) {
+  if (dims.size() == 1) return dims;
+  // Row-major strides, as in the DataTensor constructor.
+  const int n = static_cast<int>(dims.size());
+  std::vector<int> strides(n, 1);
+  int64_t rows = 1;
+  for (int i = n - 2; i >= 0; --i) strides[i] = strides[i + 1] * dims[i + 1].size();
+  for (const auto& d : dims) rows *= d.size();
+
   Dimension flat;
   flat.name = "series";
-  flat.members.reserve(num_series());
-  for (int r = 0; r < num_series(); ++r) {
-    std::vector<int> k = UnflattenRow(r);
+  flat.members.reserve(rows);
+  for (int r = 0; r < rows; ++r) {
     std::string name;
-    for (int i = 0; i < num_dims(); ++i) {
+    int rest = r;
+    for (int i = 0; i < n; ++i) {
       if (i > 0) name += "|";
-      name += dims_[i].members[k[i]];
+      name += dims[i].members[rest / strides[i]];
+      rest %= strides[i];
     }
     flat.members.push_back(std::move(name));
   }
-  return DataTensor({std::move(flat)}, values_);
+  return {std::move(flat)};
 }
 
 DataTensor::NormalizationStats DataTensor::ComputeNormalization(
     const Mask& mask) const {
   DMVI_CHECK_EQ(mask.rows(), num_series());
   DMVI_CHECK_EQ(mask.cols(), num_times());
-  NormalizationStats stats;
-  stats.mean.assign(num_series(), 0.0);
-  stats.stddev.assign(num_series(), 1.0);
-
-  // Global mean of available cells: fallback for fully-missing series.
-  double global_sum = 0.0;
-  int64_t global_count = 0;
+  NormalizationAccumulator acc(num_series());
   for (int r = 0; r < num_series(); ++r) {
     for (int t = 0; t < num_times(); ++t) {
-      if (mask.available(r, t)) {
-        global_sum += values_(r, t);
-        ++global_count;
-      }
+      if (mask.available(r, t)) acc.Add(r, values_(r, t));
     }
+  }
+  return acc.Finalize();
+}
+
+DataTensor::NormalizationStats DataTensor::NormalizationAccumulator::Finalize()
+    const {
+  const int num_series = static_cast<int>(sum_.size());
+  NormalizationStats stats;
+  stats.mean.assign(num_series, 0.0);
+  stats.stddev.assign(num_series, 1.0);
+
+  // Global mean of available cells: fallback for fully-missing series.
+  // Summed from the per-series partials (in series order) so a chunked
+  // reader that accumulates per series reproduces it exactly.
+  double global_sum = 0.0;
+  int64_t global_count = 0;
+  for (int r = 0; r < num_series; ++r) {
+    global_sum += sum_[r];
+    global_count += count_[r];
   }
   const double global_mean = global_count > 0 ? global_sum / global_count : 0.0;
 
-  for (int r = 0; r < num_series(); ++r) {
-    double sum = 0.0, sum2 = 0.0;
-    int count = 0;
-    for (int t = 0; t < num_times(); ++t) {
-      if (mask.available(r, t)) {
-        sum += values_(r, t);
-        sum2 += values_(r, t) * values_(r, t);
-        ++count;
-      }
-    }
-    if (count == 0) {
+  for (int r = 0; r < num_series; ++r) {
+    if (count_[r] == 0) {
       stats.mean[r] = global_mean;
       stats.stddev[r] = 1.0;
       continue;
     }
-    const double mean = sum / count;
-    const double var = std::max(sum2 / count - mean * mean, 0.0);
+    const double mean = sum_[r] / count_[r];
+    const double var = std::max(sum2_[r] / count_[r] - mean * mean, 0.0);
     stats.mean[r] = mean;
     stats.stddev[r] = var > 1e-12 ? std::sqrt(var) : 1.0;
   }

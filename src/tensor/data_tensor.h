@@ -1,6 +1,7 @@
 #ifndef DEEPMVI_TENSOR_DATA_TENSOR_H_
 #define DEEPMVI_TENSOR_DATA_TENSOR_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,13 @@ class DataTensor {
   /// 1-dimensional convenience constructor: rows of `values` become members
   /// "s0", "s1", ... of a single dimension named `dim_name`.
   static DataTensor FromMatrix(Matrix values, const std::string& dim_name = "series");
+
+  /// Metadata-only tensor: the dimensions (and thus FlattenIndex/
+  /// UnflattenRow/Siblings) without any values — values() is a
+  /// num_series x 0 matrix and num_times() is 0. This is the index-mapping
+  /// layout the out-of-core training path hands to the forward pass, whose
+  /// data reads all go through a ValueWindow instead.
+  static DataTensor LayoutOnly(std::vector<Dimension> dims);
 
   // ---- Shape ------------------------------------------------------------
 
@@ -77,6 +85,31 @@ class DataTensor {
   };
   NormalizationStats ComputeNormalization(const Mask& mask) const;
 
+  /// Incremental builder behind ComputeNormalization, shared with the
+  /// chunked store so out-of-core stats are bit-identical to in-core ones:
+  /// feed every available cell per series in ascending-time order (series
+  /// may interleave — each series has its own accumulator) and Finalize.
+  class NormalizationAccumulator {
+   public:
+    explicit NormalizationAccumulator(int num_series)
+        : sum_(num_series, 0.0), sum2_(num_series, 0.0), count_(num_series, 0) {}
+
+    void Add(int series, double value) {
+      sum_[series] += value;
+      sum2_[series] += value * value;
+      ++count_[series];
+    }
+
+    /// Per-series mean/stddev with the degenerate-series fallbacks of
+    /// ComputeNormalization (global mean of available cells, stddev 1).
+    NormalizationStats Finalize() const;
+
+   private:
+    std::vector<double> sum_;
+    std::vector<double> sum2_;
+    std::vector<int64_t> count_;
+  };
+
   /// Returns a copy with each series z-scored using `stats`.
   DataTensor Normalized(const NormalizationStats& stats) const;
 
@@ -88,6 +121,12 @@ class DataTensor {
   std::vector<int> strides_;  // row = sum_i k_i * strides_[i]
   Matrix values_;             // num_series x num_times
 };
+
+/// The dimension list Flattened1D produces: one dimension named "series"
+/// whose members are the "m1|m2|..." joins of each row's member names, in
+/// row order. Shared so the out-of-core path can flatten a store's
+/// dimensions without materializing its values.
+std::vector<Dimension> FlattenedDims(const std::vector<Dimension>& dims);
 
 }  // namespace deepmvi
 

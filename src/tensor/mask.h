@@ -85,6 +85,52 @@ class Mask {
   std::vector<uint8_t> data_;
 };
 
+/// Read-only availability view: a base mask with an optional synthetic
+/// missing block overlaid on a subset of rows. This is the per-training-
+/// sample view of DeepMVI's simulated-missing protocol (Sec 3): the anchor
+/// and blackout rows have [t0, t1) forced missing on top of the dataset's
+/// real mask. Historically each sample *copied* the whole mask to apply
+/// its block — O(num_series x num_times) bytes per sample, which both
+/// slowed the in-core hot path and made out-of-core training impossible.
+/// The overlay answers the same queries in O(1) without copying.
+///
+/// Like ValueWindow, this is a call-scoped parameter type: it borrows the
+/// base mask (and the row-flag vector, when present) for the duration of a
+/// forward pass. Implicit conversion from `const Mask&` keeps plain-mask
+/// call sites (inference, tests) unchanged.
+class MaskOverlay {
+ public:
+  /// No synthetic block: behaves exactly like `base`.
+  MaskOverlay(const Mask& base) : base_(&base) {}  // NOLINT
+
+  /// `base` with [t0, t1) forced missing on every row r whose
+  /// `block_rows[r]` is nonzero. `block_rows` must have base.rows()
+  /// entries and outlive the overlay.
+  MaskOverlay(const Mask& base, int t0, int t1,
+              const std::vector<uint8_t>& block_rows)
+      : base_(&base), t0_(t0), t1_(t1), block_rows_(&block_rows) {
+    DMVI_CHECK_EQ(static_cast<int>(block_rows.size()), base.rows());
+  }
+
+  bool available(int r, int t) const {
+    if (block_rows_ != nullptr && t >= t0_ && t < t1_ &&
+        (*block_rows_)[r] != 0) {
+      return false;
+    }
+    return base_->available(r, t);
+  }
+  bool missing(int r, int t) const { return !available(r, t); }
+
+  int rows() const { return base_->rows(); }
+  int cols() const { return base_->cols(); }
+
+ private:
+  const Mask* base_;
+  int t0_ = 0;
+  int t1_ = 0;  // Empty range: no overlay.
+  const std::vector<uint8_t>* block_rows_ = nullptr;
+};
+
 }  // namespace deepmvi
 
 #endif  // DEEPMVI_TENSOR_MASK_H_

@@ -1,0 +1,65 @@
+#ifndef DEEPMVI_TENSOR_VALUE_WINDOW_H_
+#define DEEPMVI_TENSOR_VALUE_WINDOW_H_
+
+#include <utility>
+
+#include "tensor/matrix.h"
+
+namespace deepmvi {
+
+/// Read-only window onto a (normalized) series-major value matrix covering
+/// the absolute time range [t_begin, t_end) for every series. Callers index
+/// it with absolute (series, time) coordinates, exactly like the full
+/// matrix it stands in for.
+///
+/// Two flavors share this type so the training forward pass has a single
+/// code path for in-core and out-of-core data:
+///  - a zero-copy *view* of a full num_series x num_times matrix (the
+///    historical in-core path; implicit conversion from `const Matrix&`
+///    keeps those call sites unchanged), and
+///  - an *owned slab* of num_series x len values starting at time t0,
+///    assembled from store chunks by a WindowedSampleReader.
+///
+/// A view does not own the matrix it points at: it is a call-scoped
+/// parameter type (like string_view), not a storage type.
+class ValueWindow {
+ public:
+  ValueWindow() = default;
+
+  /// Zero-copy view of a full matrix; time 0 of the matrix is absolute
+  /// time 0. Implicit so existing `Forward(..., values, ...)` call sites
+  /// keep compiling with a Matrix.
+  ValueWindow(const Matrix& full) : external_(&full) {}  // NOLINT
+
+  /// Owning slab whose column 0 is absolute time `t0`.
+  static ValueWindow OwnedSlab(Matrix slab, int t0) {
+    ValueWindow out;
+    out.owned_ = std::move(slab);
+    out.t0_ = t0;
+    return out;
+  }
+
+  ValueWindow(ValueWindow&&) = default;
+  ValueWindow& operator=(ValueWindow&&) = default;
+  ValueWindow(const ValueWindow&) = default;
+  ValueWindow& operator=(const ValueWindow&) = default;
+
+  /// Value of series `r` at absolute time `t`; t must lie in
+  /// [t_begin(), t_end()).
+  double operator()(int r, int t) const { return mat()(r, t - t0_); }
+
+  int num_series() const { return mat().rows(); }
+  int t_begin() const { return t0_; }
+  int t_end() const { return t0_ + mat().cols(); }
+
+ private:
+  const Matrix& mat() const { return external_ != nullptr ? *external_ : owned_; }
+
+  Matrix owned_;
+  const Matrix* external_ = nullptr;
+  int t0_ = 0;
+};
+
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_TENSOR_VALUE_WINDOW_H_

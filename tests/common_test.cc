@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <fstream>
+#include <mutex>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/parallel.h"
@@ -233,6 +236,31 @@ TEST(ParallelForWithSlotTest, SlotsAreWithinBoundsAndExclusive) {
     in_use[slot].fetch_sub(1);
   });
   EXPECT_FALSE(overlap.load());
+}
+
+TEST(ParallelForWithSlotTest, PersistentPoolReusesWorkerThreads) {
+  // The pool keeps its worker threads across calls: after a warm-up
+  // region at a given width, further regions at that width must not
+  // create any new pool threads (the historical implementation spawned
+  // and joined a fresh set per call). Work long enough that every slot
+  // participates.
+  auto busy_region = [] {
+    ParallelForWithSlot(16, 4, [](int /*i*/, int /*slot*/) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    });
+  };
+  busy_region();  // Warm the pool to >= 4 threads.
+  const int64_t after_warm = ParallelPoolThreadsCreated();
+  EXPECT_GE(after_warm, 4);
+  for (int round = 0; round < 5; ++round) busy_region();
+  EXPECT_EQ(ParallelPoolThreadsCreated(), after_warm);
+
+  // Nested fan-out from inside a worker: every inner index still runs.
+  std::atomic<int> inner_runs{0};
+  ParallelForWithSlot(4, 2, [&](int /*i*/, int /*slot*/) {
+    ParallelFor(8, 2, [&](int /*j*/) { ++inner_runs; });
+  });
+  EXPECT_EQ(inner_runs.load(), 4 * 8);
 }
 
 TEST(StatusTest, OkStatus) {

@@ -147,5 +147,61 @@ TEST(IoTest, PresetSurvivesRoundTripWithScenario) {
   }
 }
 
+
+TEST(CsvSeriesReaderTest, StreamsRowsIdenticalToReadDataTensor) {
+  Dimension stores{"store", {"a", "b"}};
+  Dimension items{"item", {"x", "y"}};
+  Matrix values = {{1.0, 2.5}, {3.0, -4.5}, {0.25, 6.0}, {7.5, 8.0}};
+  DataTensor data({stores, items}, values);
+  Mask mask(4, 2);
+  mask.set_missing(1, 1);
+  const std::string path = TempPath("stream.csv");
+  ASSERT_TRUE(WriteDataTensor(data, path, &mask).ok());
+
+  Mask loaded_mask;
+  StatusOr<DataTensor> slurped = ReadDataTensor(path, &loaded_mask);
+  ASSERT_TRUE(slurped.ok());
+
+  StatusOr<CsvSeriesReader> reader = CsvSeriesReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  std::vector<double> row;
+  std::vector<uint8_t> missing;
+  int r = 0;
+  while (true) {
+    StatusOr<bool> more = reader->NextRow(&row, &missing);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    ASSERT_LT(r, 4);
+    for (int t = 0; t < 2; ++t) {
+      EXPECT_EQ(row[t], slurped->values()(r, t)) << r << "," << t;
+      EXPECT_EQ(missing[t] != 0, loaded_mask.missing(r, t)) << r << "," << t;
+    }
+    ++r;
+  }
+  EXPECT_EQ(r, 4);
+  EXPECT_EQ(reader->rows_read(), 4);
+  EXPECT_EQ(reader->num_cols(), 2);
+  // Dimension headers precede the data, so dims are complete.
+  ASSERT_EQ(reader->dims().size(), 2u);
+  EXPECT_EQ(reader->dims()[0].name, "store");
+  EXPECT_EQ(reader->dims()[1].members, items.members);
+}
+
+TEST(CsvSeriesReaderTest, RejectsRaggedAndNonNumericRows) {
+  const std::string path = TempPath("ragged_stream.csv");
+  std::ofstream(path) << "1,2,3\n4,5\n";
+  StatusOr<CsvSeriesReader> reader = CsvSeriesReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  std::vector<double> row;
+  std::vector<uint8_t> missing;
+  ASSERT_TRUE(reader->NextRow(&row, &missing).ok());
+  EXPECT_FALSE(reader->NextRow(&row, &missing).ok());
+
+  std::ofstream(path, std::ios::trunc) << "1,pear,3\n";
+  reader = CsvSeriesReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader->NextRow(&row, &missing).ok());
+}
+
 }  // namespace
 }  // namespace deepmvi

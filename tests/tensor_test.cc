@@ -296,6 +296,33 @@ TEST(MaskTest, MissingBlockLengths) {
   EXPECT_EQ(lengths[2], 1);
 }
 
+TEST(MaskOverlayTest, MatchesMaskWithSyntheticBlockApplied) {
+  // The overlay must answer exactly like a copied mask with
+  // SetMissingRange applied to the block rows -- the copy the training
+  // loop used to make per sample.
+  Mask base(4, 12);
+  base.set_missing(0, 3);
+  base.set_missing(2, 7);
+  std::vector<uint8_t> block_rows = {1, 0, 1, 0};
+  const int t0 = 5, t1 = 9;
+
+  Mask copied = base;
+  copied.SetMissingRange(0, t0, t1);
+  copied.SetMissingRange(2, t0, t1);
+
+  MaskOverlay overlay(base, t0, t1, block_rows);
+  MaskOverlay plain(base);
+  EXPECT_EQ(overlay.rows(), 4);
+  EXPECT_EQ(overlay.cols(), 12);
+  for (int r = 0; r < 4; ++r) {
+    for (int t = 0; t < 12; ++t) {
+      EXPECT_EQ(overlay.available(r, t), copied.available(r, t))
+          << r << "," << t;
+      EXPECT_EQ(plain.available(r, t), base.available(r, t)) << r << "," << t;
+    }
+  }
+}
+
 TEST(MaskTest, AndIntersection) {
   Mask a(1, 3), b(1, 3);
   a.set_missing(0, 0);

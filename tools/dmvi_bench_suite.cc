@@ -22,7 +22,12 @@
 #include "bench/bench_common.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "core/deepmvi.h"
+#include "data/io.h"
 #include "eval/suite.h"
+#include "storage/chunk_cache.h"
+#include "storage/chunk_store.h"
+#include "storage/data_source.h"
 #include "tensor/matmul_kernel.h"
 
 namespace deepmvi {
@@ -69,6 +74,94 @@ std::vector<std::pair<std::string, double>> MatMulMicroTimings() {
   return out;
 }
 
+/// Out-of-core cells: trains DeepMVI from a chunked store directory for
+/// every scenario of the run and appends the scored cells to the suite
+/// (dataset name "store:<dir>"). Training and scoring stream chunks
+/// through a cache_mb-bounded ChunkCache; the dense tensor is never
+/// materialized.
+void AppendStoreCells(const std::string& data_dir, int cache_mb,
+                      const bench::BenchOptions& options,
+                      const std::vector<ScenarioConfig>& scenarios,
+                      SuiteResult* suite) {
+  // Any store-level failure becomes one failed cell per scenario: the
+  // (possibly hours-long) in-core grid that already ran must still be
+  // written out, and the suite's nonzero exit on failed cells reports
+  // the problem.
+  auto fail_all = [&](const Status& status) {
+    std::fprintf(stderr, "store %s: %s\n", data_dir.c_str(),
+                 status.ToString().c_str());
+    for (const ScenarioConfig& scenario : scenarios) {
+      SuiteCell cell;
+      cell.dataset = "store:" + data_dir;
+      cell.imputer = "DeepMVI";
+      cell.scenario = scenario;
+      cell.scenario_name = ScenarioName(scenario.kind);
+      cell.error = status.ToString();
+      suite->cells.push_back(std::move(cell));
+    }
+  };
+
+  StatusOr<storage::ChunkedSeriesStore> store =
+      storage::ChunkedSeriesStore::Open(data_dir);
+  if (!store.ok()) return fail_all(store.status());
+  // A store without a mask.csv is scored against an all-available base;
+  // a mask that exists but fails to read or fit is an error — silently
+  // falling back would score the store's missing-cell placeholders as
+  // ground truth.
+  Mask base_mask(store->num_series(), store->num_times());
+  const std::string mask_path = data_dir + "/" + storage::kMaskFileName;
+  if (std::filesystem::exists(mask_path)) {
+    StatusOr<Mask> mask_or = ReadMask(mask_path);
+    if (!mask_or.ok()) return fail_all(mask_or.status());
+    base_mask = std::move(mask_or).value();
+    if (base_mask.rows() != store->num_series() ||
+        base_mask.cols() != store->num_times()) {
+      return fail_all(Status::InvalidArgument(
+          "mask shape " + std::to_string(base_mask.rows()) + "x" +
+          std::to_string(base_mask.cols()) + " does not match store " +
+          std::to_string(store->num_series()) + "x" +
+          std::to_string(store->num_times())));
+    }
+  }
+  storage::ChunkCache cache(static_cast<int64_t>(cache_mb) << 20);
+  storage::ChunkedDataSource source(&store.value(), &cache);
+
+  DeepMviConfig config = bench::DeepMviBenchConfig(options);
+  SourceImputeFn impute =
+      [&config](const storage::DataSource& src, const Mask& train_mask,
+                const std::vector<CellIndex>& cells)
+      -> StatusOr<std::vector<double>> {
+    DeepMviImputer imputer(config);
+    StatusOr<TrainedDeepMvi> trained = imputer.Fit(src, train_mask);
+    if (!trained.ok()) return trained.status();
+    return trained->PredictCells(src, train_mask, cells);
+  };
+
+  for (const ScenarioConfig& scenario : scenarios) {
+    SuiteCell cell;
+    cell.dataset = "store:" + data_dir;
+    cell.imputer = "DeepMVI";
+    cell.scenario = scenario;
+    cell.scenario_name = ScenarioName(scenario.kind);
+    StatusOr<ExperimentResult> result =
+        RunStoreExperiment(source, base_mask, scenario, "DeepMVI", impute);
+    if (result.ok()) {
+      cell.result = std::move(result).value();
+      cell.ok = true;
+    } else {
+      cell.error = result.status().ToString();
+    }
+    suite->cells.push_back(std::move(cell));
+  }
+  const storage::ChunkCache::Stats cs = cache.stats();
+  std::printf(
+      "store cells: %lld chunk hits, %lld misses, %lld evictions, peak "
+      "%.1f MiB (budget %d MiB)\n",
+      static_cast<long long>(cs.hits), static_cast<long long>(cs.misses),
+      static_cast<long long>(cs.evictions),
+      static_cast<double>(cs.peak_bytes) / (1024.0 * 1024.0), cache_mb);
+}
+
 std::vector<std::string> SplitCommas(const std::string& list) {
   std::vector<std::string> out;
   std::stringstream ss(list);
@@ -87,6 +180,8 @@ int Run(int argc, char** argv) {
                                        "CDRec"};
   std::vector<std::string> scenario_names = {"MCAR", "Blackout"};
   std::string name = "suite";
+  std::string data_dir;
+  int cache_mb = 256;
   uint64_t seed = 1;
   bool micro_matmul = false;
   for (int i = 1; i < argc; ++i) {
@@ -98,6 +193,10 @@ int Run(int argc, char** argv) {
       scenario_names = SplitCommas(argv[++i]);
     } else if (std::strcmp(argv[i], "--name") == 0 && i + 1 < argc) {
       name = argv[++i];
+    } else if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
+      data_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--cache-mb") == 0 && i + 1 < argc) {
+      cache_mb = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--micro-matmul") == 0) {
@@ -107,7 +206,8 @@ int Run(int argc, char** argv) {
           "usage: dmvi_bench_suite [--datasets A,B] [--imputers I,J]\n"
           "                        [--scenarios MCAR,Blackout] [--quick|--full]\n"
           "                        [--threads N] [--out DIR] [--seed S]\n"
-          "                        [--name NAME] [--micro-matmul]\n");
+          "                        [--name NAME] [--micro-matmul]\n"
+          "                        [--data-dir STORE [--cache-mb N]]\n");
       return 0;
     }
   }
@@ -142,6 +242,9 @@ int Run(int argc, char** argv) {
   };
 
   SuiteResult suite = RunSuite(spec);
+  if (!data_dir.empty()) {
+    AppendStoreCells(data_dir, cache_mb, options, spec.scenarios, &suite);
+  }
   if (micro_matmul) {
     suite.micro = MatMulMicroTimings();
     for (const auto& entry : suite.micro) {

@@ -5,6 +5,15 @@
 //   dmvi_train --preset AirQ [--scale quick|full] [--scenario MCAR]
 //              [--scenario-seed S] --output model.dmvi
 //   dmvi_train --input data.csv [--mask mask.csv] --output model.dmvi
+//   dmvi_train --data-dir DIR [--cache-mb N | --in-core] --output model.dmvi
+//
+// --data-dir trains from a chunked store written by dmvi_shard (the mask
+// comes from DIR/mask.csv): training streams value windows through a
+// --cache-mb-bounded chunk cache, so peak residency stays far below the
+// dense tensor and the checkpoint is byte-identical to in-core training
+// on the same data. --in-core instead materializes the store into a dense
+// tensor and runs the historical in-core path — the reference side of the
+// CI `cmp` that enforces that identity.
 //
 // Model knobs: --seed, --max-epochs, --samples, --window, --filters,
 // --heads, --threads (training data-parallelism; results are bit-identical
@@ -20,19 +29,25 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 
 #include "common/stopwatch.h"
 #include "core/deepmvi.h"
 #include "data/io.h"
+#include "storage/chunk_cache.h"
+#include "storage/chunk_store.h"
+#include "storage/data_source.h"
 #include "tools/dataset_flags.h"
 
 namespace deepmvi {
 namespace {
 
 int Run(int argc, char** argv) {
-  std::string output = "model.dmvi", impute_csv;
+  std::string output = "model.dmvi", impute_csv, data_dir;
   tools::DatasetSpec dataset_spec;
   DeepMviConfig config;
+  int cache_mb = 256;
+  bool in_core = false;
   bool missing_value = false;
   for (int i = 1; i < argc; ++i) {
     if (tools::ParseDatasetFlag(argc, argv, &i, &dataset_spec,
@@ -45,6 +60,12 @@ int Run(int argc, char** argv) {
     const char* value = nullptr;
     if ((value = next("--output"))) {
       output = value;
+    } else if ((value = next("--data-dir"))) {
+      data_dir = value;
+    } else if ((value = next("--cache-mb"))) {
+      cache_mb = std::atoi(value);
+    } else if (std::strcmp(argv[i], "--in-core") == 0) {
+      in_core = true;
     } else if ((value = next("--impute-csv"))) {
       impute_csv = value;
     } else if ((value = next("--seed"))) {
@@ -66,7 +87,8 @@ int Run(int argc, char** argv) {
           "usage: dmvi_train (--preset NAME [--scale quick|full]\n"
           "                   [--scenario MCAR] [--scenario-seed S]\n"
           "                   [--dataset-seed S] | --input data.csv\n"
-          "                   [--mask mask.csv])\n"
+          "                   [--mask mask.csv] | --data-dir DIR\n"
+          "                   [--cache-mb N | --in-core])\n"
           "                  [--output model.dmvi] [--impute-csv out.csv]\n"
           "                  [--seed N] [--max-epochs N] [--samples N]\n"
           "                  [--window W] [--filters P] [--heads H]\n"
@@ -84,7 +106,52 @@ int Run(int argc, char** argv) {
   // ---- Assemble the training dataset and mask. ---------------------------
   DataTensor data;
   Mask mask;
-  if (int exit_code = tools::BuildDatasetAndMask(dataset_spec, &data, &mask)) {
+  storage::ChunkedSeriesStore store;
+  bool chunked = false;
+  if (!data_dir.empty()) {
+    if (!dataset_spec.preset.empty() || !dataset_spec.input.empty() ||
+        !dataset_spec.mask_path.empty()) {
+      std::fprintf(stderr,
+                   "--data-dir conflicts with --preset/--input/--mask (the "
+                   "store's mask.csv is the training mask)\n");
+      return 2;
+    }
+    StatusOr<storage::ChunkedSeriesStore> opened =
+        storage::ChunkedSeriesStore::Open(data_dir);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error opening store %s: %s\n", data_dir.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    store = std::move(opened).value();
+    StatusOr<Mask> mask_or =
+        ReadMask(data_dir + "/" + storage::kMaskFileName);
+    if (!mask_or.ok()) {
+      std::fprintf(stderr, "error reading store mask: %s\n",
+                   mask_or.status().ToString().c_str());
+      return 1;
+    }
+    mask = std::move(mask_or).value();
+    if (mask.rows() != store.num_series() || mask.cols() != store.num_times()) {
+      std::fprintf(stderr, "store mask shape %dx%d does not match store %dx%d\n",
+                   mask.rows(), mask.cols(), store.num_series(),
+                   store.num_times());
+      return 1;
+    }
+    if (in_core) {
+      // Reference path: materialize the dense tensor and train in-core.
+      StatusOr<DataTensor> tensor = store.ReadTensor();
+      if (!tensor.ok()) {
+        std::fprintf(stderr, "error materializing store: %s\n",
+                     tensor.status().ToString().c_str());
+        return 1;
+      }
+      data = std::move(tensor).value();
+    } else {
+      chunked = true;
+    }
+  } else if (int exit_code =
+                 tools::BuildDatasetAndMask(dataset_spec, &data, &mask)) {
     return exit_code;
   }
   if (mask.CountMissing() == 0) {
@@ -92,14 +159,40 @@ int Run(int argc, char** argv) {
                  "training mask has no missing cells; nothing to learn from\n");
     return 1;
   }
+  if (chunked && !impute_csv.empty()) {
+    std::fprintf(stderr,
+                 "--impute-csv needs the dense tensor; combine --data-dir "
+                 "with --in-core\n");
+    return 2;
+  }
 
   // ---- Fit and checkpoint. ------------------------------------------------
-  std::printf("fitting DeepMVI on %d series x %d steps (%.2f%% missing)\n",
-              data.num_series(), data.num_times(),
-              100.0 * mask.MissingFraction());
+  std::printf("fitting DeepMVI on %d series x %d steps (%.2f%% missing)%s\n",
+              mask.rows(), mask.cols(), 100.0 * mask.MissingFraction(),
+              chunked ? " from chunked store" : "");
   DeepMviImputer imputer(config);
   Stopwatch watch;
-  TrainedDeepMvi model = imputer.Fit(data, mask);
+  TrainedDeepMvi model;
+  if (chunked) {
+    storage::ChunkCache cache(static_cast<int64_t>(cache_mb) << 20);
+    storage::ChunkedDataSource source(&store, &cache);
+    StatusOr<TrainedDeepMvi> trained = imputer.Fit(source, mask);
+    if (!trained.ok()) {
+      std::fprintf(stderr, "training failed: %s\n",
+                   trained.status().ToString().c_str());
+      return 1;
+    }
+    model = std::move(trained).value();
+    const storage::ChunkCache::Stats cs = cache.stats();
+    std::printf(
+        "chunk cache: %lld hits, %lld misses, %lld evictions, peak %.1f MiB "
+        "(budget %d MiB)\n",
+        static_cast<long long>(cs.hits), static_cast<long long>(cs.misses),
+        static_cast<long long>(cs.evictions),
+        static_cast<double>(cs.peak_bytes) / (1024.0 * 1024.0), cache_mb);
+  } else {
+    model = imputer.Fit(data, mask);
+  }
   const double fit_seconds = watch.ElapsedSeconds();
   const auto& stats = imputer.train_stats();
   std::printf(
