@@ -20,15 +20,8 @@ std::vector<std::string> SplitString(const std::string& line, char sep) {
 
 }  // namespace
 
-Status WriteDataTensor(const DataTensor& data, const std::string& path,
-                       const Mask* mask) {
-  if (mask != nullptr) {
-    if (mask->rows() != data.num_series() || mask->cols() != data.num_times()) {
-      return Status::InvalidArgument("mask shape does not match dataset");
-    }
-  }
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
+void WriteDataTensorToStream(const DataTensor& data, std::ostream& out,
+                             const Mask* mask) {
   for (const Dimension& dim : data.dims()) {
     out << "# dim:" << dim.name << "=";
     for (int m = 0; m < dim.size(); ++m) {
@@ -49,6 +42,18 @@ Status WriteDataTensor(const DataTensor& data, const std::string& path,
     }
     out << "\n";
   }
+}
+
+Status WriteDataTensor(const DataTensor& data, const std::string& path,
+                       const Mask* mask) {
+  if (mask != nullptr) {
+    if (mask->rows() != data.num_series() || mask->cols() != data.num_times()) {
+      return Status::InvalidArgument("mask shape does not match dataset");
+    }
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  WriteDataTensorToStream(data, out, mask);
   if (!out) return Status::IoError("write failed for " + path);
   return Status::OK();
 }

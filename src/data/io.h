@@ -29,6 +29,13 @@ namespace deepmvi {
 Status WriteDataTensor(const DataTensor& data, const std::string& path,
                        const Mask* mask = nullptr);
 
+/// The formatting core of WriteDataTensor, exposed so other emitters (the
+/// HTTP layer's text/csv responses) produce byte-identical output to the
+/// files the tools write — the cross-transport `cmp` checks depend on a
+/// single formatting path. `mask` must already be shape-checked.
+void WriteDataTensorToStream(const DataTensor& data, std::ostream& out,
+                             const Mask* mask = nullptr);
+
 /// Reads a dataset written by WriteDataTensor (or any plain numeric CSV
 /// without the dimension headers — then a single anonymous dimension is
 /// created). When `mask_out` is non-null, cells that are empty or `nan`

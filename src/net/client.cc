@@ -1,0 +1,174 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace deepmvi {
+namespace net {
+namespace {
+
+#ifdef MSG_NOSIGNAL
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+}  // namespace
+
+Client::Client(std::string host, int port)
+    : host_(std::move(host)), port_(port) {}
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : host_(std::move(other.host_)), port_(other.port_), fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::Connect() {
+  if (fd_ >= 0) return Status::OK();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port_));
+  // "localhost" is common enough in hand-typed targets to special-case;
+  // everything else must be a numeric IPv4 address.
+  const std::string numeric_host =
+      host_ == "localhost" ? "127.0.0.1" : host_;
+  if (::inet_pton(AF_INET, numeric_host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("cannot parse IPv4 address '" + host_ +
+                                   "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string error = std::strerror(errno);
+    Close();
+    return Status::IoError("connect " + host_ + ":" + std::to_string(port_) +
+                           ": " + error);
+  }
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+StatusOr<HttpMessage> Client::Attempt(const std::string& wire, bool* reused) {
+  *reused = fd_ >= 0;
+  DMVI_RETURN_IF_ERROR(Connect());
+
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n =
+        ::send(fd_, wire.data() + sent, wire.size() - sent, kSendFlags);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string error = std::strerror(errno);
+      Close();
+      return Status::IoError("send: " + error);
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  // The server-side body cap protects the server from hostile peers; a
+  // response this client asked for is trusted, and a full-dataset CSV can
+  // legitimately dwarf 16 MB — so the response body is effectively
+  // uncapped (the head cap stays, malformed heads are still an error).
+  ParserLimits response_limits;
+  response_limits.max_body_bytes = static_cast<size_t>(1) << 40;
+  HttpParser parser(HttpParser::Mode::kResponse, response_limits);
+  char buffer[8192];
+  while (!parser.done()) {
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string error = std::strerror(errno);
+      Close();
+      return Status::IoError("recv: " + error);
+    }
+    if (n == 0) {
+      Close();
+      return Status::IoError(parser.started()
+                                 ? "connection closed mid-response"
+                                 : "connection closed before response");
+    }
+    size_t offset = 0;
+    while (offset < static_cast<size_t>(n) && !parser.done() &&
+           !parser.failed()) {
+      offset += parser.Feed(buffer + offset, static_cast<size_t>(n) - offset);
+    }
+    if (parser.failed()) {
+      Close();
+      return Status::Internal("malformed response: " + parser.error_message());
+    }
+  }
+
+  if (!WantsKeepAlive(parser.message())) Close();
+  return parser.message();
+}
+
+StatusOr<HttpMessage> Client::RoundTrip(const HttpMessage& request) {
+  HttpMessage prepared = request;
+  if (!prepared.HasHeader("host")) {
+    prepared.SetHeader("host", host_ + ":" + std::to_string(port_));
+  }
+  const std::string wire = SerializeRequest(prepared);
+
+  bool reused = false;
+  StatusOr<HttpMessage> response = Attempt(wire, &reused);
+  if (!response.ok() && reused) {
+    // The server may have timed out the idle keep-alive connection between
+    // requests; one fresh-connection retry is safe for that case.
+    response = Attempt(wire, &reused);
+  }
+  return response;
+}
+
+StatusOr<HttpMessage> Client::Get(const std::string& target) {
+  HttpMessage request;
+  request.method = "GET";
+  request.target = target;
+  return RoundTrip(request);
+}
+
+StatusOr<HttpMessage> Client::Post(const std::string& target, std::string body,
+                                   const std::string& content_type,
+                                   const std::string& accept) {
+  HttpMessage request;
+  request.method = "POST";
+  request.target = target;
+  request.body = std::move(body);
+  request.SetHeader("content-type", content_type);
+  if (!accept.empty()) request.SetHeader("accept", accept);
+  return RoundTrip(request);
+}
+
+}  // namespace net
+}  // namespace deepmvi

@@ -1,0 +1,55 @@
+#ifndef DEEPMVI_NET_CLIENT_H_
+#define DEEPMVI_NET_CLIENT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "net/http.h"
+
+namespace deepmvi {
+namespace net {
+
+/// Tiny blocking HTTP/1.1 client for loopback tooling (dmvi_loadgen, the
+/// net_test round trips): one TCP connection, reused across requests via
+/// keep-alive, transparently reconnected when the server closed it. Not a
+/// general user agent — no TLS, no redirects, no DNS beyond numeric IPv4
+/// hosts — by design: it exists to drive this repo's own server.
+class Client {
+ public:
+  Client(std::string host, int port);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Sends `request` (host header and content-length are filled in) and
+  /// blocks for the response. IoError on connect/transport failure; a
+  /// stale keep-alive connection is retried once on a fresh connection.
+  StatusOr<HttpMessage> RoundTrip(const HttpMessage& request);
+
+  /// Convenience wrappers.
+  StatusOr<HttpMessage> Get(const std::string& target);
+  StatusOr<HttpMessage> Post(const std::string& target, std::string body,
+                             const std::string& content_type,
+                             const std::string& accept = "");
+
+  const std::string& host() const { return host_; }
+  int port() const { return port_; }
+
+ private:
+  Status Connect();
+  void Close();
+  /// One send+receive attempt on the current connection. `reused` tells
+  /// the caller whether a failure may be a stale keep-alive (retryable).
+  StatusOr<HttpMessage> Attempt(const std::string& wire, bool* reused);
+
+  std::string host_;
+  int port_ = 0;
+  int fd_ = -1;
+};
+
+}  // namespace net
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_NET_CLIENT_H_

@@ -1,0 +1,131 @@
+#include "net/endpoints.h"
+
+#include <future>
+#include <sstream>
+#include <utility>
+
+#include "net/codec.h"
+#include "serve/telemetry.h"
+#include "serve/workload.h"
+
+namespace deepmvi {
+namespace net {
+namespace {
+
+HttpMessage ErrorResponse(const Status& status) {
+  return MakeResponse(HttpStatusFor(status), EncodeErrorJson(status),
+                      "application/json");
+}
+
+HttpMessage HandleImpute(const ServingContext& ctx,
+                         const HttpMessage& request) {
+  StatusOr<ImputeApiRequest> decoded = DecodeImputeRequest(request);
+  if (!decoded.ok()) return ErrorResponse(decoded.status());
+  const ImputeApiRequest& api = *decoded;
+
+  // Build the dataset + mask in locals first: Submit consumes the request
+  // by value (the shared_ptr moves out of it), and the encoders below
+  // still need both after the response comes back.
+  std::shared_ptr<const DataTensor> data;
+  Mask mask;
+  if (api.has_inline_data) {
+    data = std::make_shared<const DataTensor>(
+        DataTensor::FromMatrix(api.inline_values));
+    mask = api.inline_mask;
+  } else {
+    if (ctx.data == nullptr) {
+      return ErrorResponse(Status::FailedPrecondition(
+          "no dataset is being served; send inline 'values'"));
+    }
+    data = ctx.data;
+    mask = api.has_query ? serve::ApplyQuery(ctx.base_mask, api.query)
+                         : ctx.base_mask;
+  }
+
+  // The Submit path — HTTP workers' concurrent requests coalesce into the
+  // same micro-batches in-process callers get, with the same
+  // deterministic per-slot aggregation.
+  serve::ImputationRequest impute;
+  impute.model = api.model;
+  impute.data = data;
+  impute.mask = mask;
+  serve::ImputationResponse response =
+      ctx.service->Submit(std::move(impute)).get();
+  if (!response.status.ok()) return ErrorResponse(response.status);
+
+  if (api.csv_response) {
+    return MakeResponse(200, EncodeImputedCsv(data->dims(), response.imputed),
+                        "text/csv");
+  }
+  return MakeResponse(200, EncodeImputedJson(response, mask),
+                      "application/json");
+}
+
+HttpMessage HandleHealthz(const ServingContext& ctx) {
+  std::ostringstream os;
+  os << "{\n  \"status\": \"ok\",\n  \"models\": [";
+  bool first = true;
+  for (const std::string& name : ctx.service->registry().Names()) {
+    os << (first ? "" : ", ") << "\"" << EscapeJson(name) << "\"";
+    first = false;
+  }
+  os << "],\n";
+  os << "  \"num_series\": " << (ctx.data ? ctx.data->num_series() : 0)
+     << ",\n";
+  os << "  \"num_times\": " << (ctx.data ? ctx.data->num_times() : 0) << "\n";
+  os << "}\n";
+  return MakeResponse(200, os.str(), "application/json");
+}
+
+HttpMessage HandleReload(const ServingContext& ctx,
+                         const HttpMessage& request) {
+  if (!ctx.reload) {
+    return ErrorResponse(
+        Status::FailedPrecondition("reload is not configured"));
+  }
+  std::string model = "default";
+  std::string path;
+  if (!request.body.empty()) {
+    StatusOr<JsonValue> parsed = ParseJson(request.body);
+    if (!parsed.ok()) return ErrorResponse(parsed.status());
+    if (!parsed->is_object()) {
+      return ErrorResponse(
+          Status::InvalidArgument("reload body must be a JSON object"));
+    }
+    if (parsed->at("model").is_string()) {
+      model = parsed->at("model").string_value();
+    }
+    if (parsed->at("path").is_string()) {
+      path = parsed->at("path").string_value();
+    }
+  }
+  Status reloaded = ctx.reload(model, path);
+  if (!reloaded.ok()) return ErrorResponse(reloaded);
+  return MakeResponse(200,
+                      "{\n  \"status\": \"ok\",\n  \"reloaded\": \"" +
+                          EscapeJson(model) + "\"\n}\n",
+                      "application/json");
+}
+
+}  // namespace
+
+void RegisterServingEndpoints(HttpServer* server, ServingContext ctx) {
+  DMVI_CHECK(ctx.service != nullptr) << "ServingContext without a service";
+  server->Handle("POST", "/v1/impute", [ctx](const HttpMessage& request) {
+    return HandleImpute(ctx, request);
+  });
+  server->Handle("GET", "/healthz", [ctx](const HttpMessage&) {
+    return HandleHealthz(ctx);
+  });
+  server->Handle("GET", "/metrics", [ctx](const HttpMessage&) {
+    return MakeResponse(200,
+                        serve::TelemetryToJson(ctx.service->telemetry()),
+                        "application/json");
+  });
+  server->Handle("POST", "/admin/reload", [ctx](const HttpMessage& request) {
+    return HandleReload(ctx, request);
+  });
+}
+
+}  // namespace net
+}  // namespace deepmvi

@@ -1,0 +1,47 @@
+#ifndef DEEPMVI_NET_ENDPOINTS_H_
+#define DEEPMVI_NET_ENDPOINTS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/server.h"
+#include "serve/service.h"
+#include "tensor/data_tensor.h"
+#include "tensor/mask.h"
+
+namespace deepmvi {
+namespace net {
+
+/// Everything the HTTP routes need to serve imputation traffic. The
+/// dataset + base mask play the same role as in dmvi_serve's in-process
+/// replay: query-mode requests hide one block on top of `base_mask` and
+/// ask the service to fill it, so the network path and the in-process path
+/// answer literally the same ImputationRequests.
+struct ServingContext {
+  serve::ImputationService* service = nullptr;
+  std::shared_ptr<const DataTensor> data;
+  Mask base_mask;
+  /// Reloads the checkpoint behind `model` from `path` (empty = the path
+  /// the model was originally loaded from) and swaps it into the registry
+  /// atomically. Wired by dmvi_serve; POST /admin/reload and SIGHUP both
+  /// call it.
+  std::function<Status(const std::string& model, const std::string& path)>
+      reload;
+};
+
+/// Registers the serving API on `server`:
+///   POST /v1/impute    data path -> ImputationService::Submit (so HTTP
+///                      requests micro-batch and fan out exactly like
+///                      in-process Submit callers)
+///   GET  /healthz      {"status":"ok", models, dataset shape}
+///   GET  /metrics      Telemetry JSON (serve/telemetry.h)
+///   POST /admin/reload warm checkpoint swap via ctx.reload
+/// `ctx` is copied into the handlers; the pointed-to service must outlive
+/// the server.
+void RegisterServingEndpoints(HttpServer* server, ServingContext ctx);
+
+}  // namespace net
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_NET_ENDPOINTS_H_

@@ -1,0 +1,286 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace deepmvi {
+namespace net {
+namespace {
+
+const std::string kEmpty;
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0, end = s.size();
+  while (begin < end && (s[begin] == ' ' || s[begin] == '\t')) ++begin;
+  while (end > begin && (s[end - 1] == ' ' || s[end - 1] == '\t')) --end;
+  return s.substr(begin, end - begin);
+}
+
+}  // namespace
+
+const std::string& HttpMessage::Header(const std::string& name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return value;
+  }
+  return kEmpty;
+}
+
+bool HttpMessage::HasHeader(const std::string& name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return true;
+  }
+  return false;
+}
+
+void HttpMessage::SetHeader(const std::string& name, std::string value) {
+  for (auto& [key, existing] : headers) {
+    if (key == name) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  headers.emplace_back(name, std::move(value));
+}
+
+const char* StatusReason(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+void HttpParser::Fail(int code, std::string message) {
+  state_ = State::kError;
+  error_code_ = code;
+  error_message_ = std::move(message);
+}
+
+bool HttpParser::ParseStartLine(const std::string& line) {
+  std::istringstream stream(line);
+  if (mode_ == Mode::kRequest) {
+    // METHOD SP TARGET SP VERSION
+    std::string extra;
+    if (!(stream >> message_.method >> message_.target >> message_.version) ||
+        (stream >> extra)) {
+      Fail(400, "malformed request line: " + line);
+      return false;
+    }
+    if (message_.version != "HTTP/1.1" && message_.version != "HTTP/1.0") {
+      Fail(400, "unsupported HTTP version: " + message_.version);
+      return false;
+    }
+    if (message_.target.empty() || message_.target[0] != '/') {
+      Fail(400, "only origin-form targets are supported: " + message_.target);
+      return false;
+    }
+  } else {
+    // VERSION SP CODE SP REASON...
+    std::string code_text;
+    if (!(stream >> message_.version >> code_text)) {
+      Fail(400, "malformed status line: " + line);
+      return false;
+    }
+    char* end = nullptr;
+    const long code = std::strtol(code_text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || code < 100 || code > 599) {
+      Fail(400, "malformed status code: " + code_text);
+      return false;
+    }
+    message_.status_code = static_cast<int>(code);
+    std::getline(stream, message_.reason);
+    message_.reason = Trim(message_.reason);
+  }
+  return true;
+}
+
+bool HttpParser::ParseHead() {
+  // Split the buffered head into lines; both CRLF and bare LF terminators
+  // are tolerated (robustness over strictness for hand-written clients).
+  std::istringstream stream(head_);
+  std::string line;
+  bool first = true;
+  while (std::getline(stream, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;  // The final blank line.
+    if (first) {
+      if (!ParseStartLine(line)) return false;
+      first = false;
+      continue;
+    }
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      Fail(400, "malformed header line: " + line);
+      return false;
+    }
+    // Whitespace between the field name and the colon is forbidden
+    // (RFC 7230 §3.2.4 — it enables request smuggling).
+    if (line[colon - 1] == ' ' || line[colon - 1] == '\t') {
+      Fail(400, "whitespace before ':' in header: " + line);
+      return false;
+    }
+    message_.headers.emplace_back(ToLower(line.substr(0, colon)),
+                                  Trim(line.substr(colon + 1)));
+  }
+  if (first) {
+    Fail(400, "empty message head");
+    return false;
+  }
+
+  // Framing: Content-Length only. Chunked bodies are refused, not
+  // misparsed.
+  const std::string transfer = ToLower(message_.Header("transfer-encoding"));
+  if (!transfer.empty() && transfer != "identity") {
+    Fail(501, "transfer-encoding '" + transfer + "' is not supported");
+    return false;
+  }
+  // Duplicate Content-Length fields with differing values are the classic
+  // request-smuggling vector (RFC 7230 §3.3.2): a front-end framing by the
+  // first value and a back-end by the last see different message
+  // boundaries. Reject the message outright.
+  std::string length_text;
+  for (const auto& [key, value] : message_.headers) {
+    if (key != "content-length") continue;
+    if (!length_text.empty() && value != length_text) {
+      Fail(400, "conflicting content-length headers: " + length_text +
+                    " vs " + value);
+      return false;
+    }
+    length_text = value;
+  }
+  if (length_text.empty()) {
+    body_expected_ = 0;
+  } else {
+    char* end = nullptr;
+    const unsigned long long length =
+        std::strtoull(length_text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || length_text.empty() ||
+        !std::isdigit(static_cast<unsigned char>(length_text[0]))) {
+      Fail(400, "malformed content-length: " + length_text);
+      return false;
+    }
+    if (length > limits_.max_body_bytes) {
+      Fail(413, "declared body of " + length_text + " bytes exceeds cap of " +
+                    std::to_string(limits_.max_body_bytes));
+      return false;
+    }
+    body_expected_ = static_cast<size_t>(length);
+  }
+  message_.body.reserve(body_expected_);
+  return true;
+}
+
+size_t HttpParser::Feed(const char* data, size_t size) {
+  size_t used = 0;
+  while (used < size && state_ != State::kDone && state_ != State::kError) {
+    started_ = true;
+    if (state_ == State::kHead) {
+      // Buffer byte by byte until the blank line; the cap bounds how much
+      // a hostile peer can make us hold before we answer 431.
+      head_.push_back(data[used++]);
+      if (head_.size() > limits_.max_header_bytes) {
+        Fail(431, "message head exceeds cap of " +
+                      std::to_string(limits_.max_header_bytes) + " bytes");
+        break;
+      }
+      const size_t n = head_.size();
+      const bool crlf_end = n >= 4 && head_.compare(n - 4, 4, "\r\n\r\n") == 0;
+      const bool lf_end = n >= 2 && head_.compare(n - 2, 2, "\n\n") == 0;
+      if (crlf_end || lf_end) {
+        if (!ParseHead()) break;
+        state_ = body_expected_ > 0 ? State::kBody : State::kDone;
+      }
+    } else {  // kBody
+      const size_t want = body_expected_ - message_.body.size();
+      const size_t take = std::min(want, size - used);
+      message_.body.append(data + used, take);
+      used += take;
+      if (message_.body.size() == body_expected_) state_ = State::kDone;
+    }
+  }
+  return used;
+}
+
+void HttpParser::Reset() {
+  state_ = State::kHead;
+  started_ = false;
+  head_.clear();
+  body_expected_ = 0;
+  error_code_ = 0;
+  error_message_.clear();
+  message_ = HttpMessage();
+}
+
+namespace {
+
+void AppendHeadersAndBody(const HttpMessage& message, std::string* out) {
+  for (const auto& [key, value] : message.headers) {
+    if (key == "content-length") {
+      // Always recomputed from the body so the two can't disagree.
+      continue;
+    }
+    *out += key;
+    *out += ": ";
+    *out += value;
+    *out += "\r\n";
+  }
+  *out += "content-length: " + std::to_string(message.body.size()) + "\r\n";
+  *out += "\r\n";
+  *out += message.body;
+}
+
+}  // namespace
+
+std::string SerializeResponse(const HttpMessage& response) {
+  std::string out = response.version + " " +
+                    std::to_string(response.status_code) + " " +
+                    (response.reason.empty() ? StatusReason(response.status_code)
+                                             : response.reason.c_str()) +
+                    "\r\n";
+  AppendHeadersAndBody(response, &out);
+  return out;
+}
+
+std::string SerializeRequest(const HttpMessage& request) {
+  std::string out =
+      request.method + " " + request.target + " " + request.version + "\r\n";
+  AppendHeadersAndBody(request, &out);
+  return out;
+}
+
+HttpMessage MakeResponse(int status, std::string body,
+                         const std::string& content_type) {
+  HttpMessage response;
+  response.status_code = status;
+  response.reason = StatusReason(status);
+  response.body = std::move(body);
+  if (!content_type.empty()) response.SetHeader("content-type", content_type);
+  return response;
+}
+
+bool WantsKeepAlive(const HttpMessage& message) {
+  const std::string connection = ToLower(message.Header("connection"));
+  if (message.version == "HTTP/1.0") return connection == "keep-alive";
+  return connection != "close";
+}
+
+}  // namespace net
+}  // namespace deepmvi

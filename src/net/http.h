@@ -1,0 +1,125 @@
+#ifndef DEEPMVI_NET_HTTP_H_
+#define DEEPMVI_NET_HTTP_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace deepmvi {
+namespace net {
+
+/// One parsed HTTP/1.1 message head plus body. Requests fill method/target,
+/// responses fill status_code/reason; both share headers and body. Header
+/// names are stored lower-cased (HTTP field names are case-insensitive),
+/// values are trimmed of surrounding whitespace.
+struct HttpMessage {
+  // Request line.
+  std::string method;   // "GET", "POST", ...
+  std::string target;   // "/v1/impute" (origin-form only).
+  // Status line.
+  int status_code = 0;
+  std::string reason;
+
+  std::string version = "HTTP/1.1";
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First value of header `name` (lower-case), or "" when absent.
+  const std::string& Header(const std::string& name) const;
+  bool HasHeader(const std::string& name) const;
+  void SetHeader(const std::string& name, std::string value);
+};
+
+/// Canonical reason phrase for a status code ("OK", "Bad Request", ...).
+const char* StatusReason(int code);
+
+/// Hard caps the parser enforces before buffering unbounded client input.
+struct ParserLimits {
+  /// Request line + all header lines, bytes. Exceeding it is a 431.
+  size_t max_header_bytes = 16 * 1024;
+  /// Declared Content-Length, bytes. Exceeding it is a 413.
+  size_t max_body_bytes = 16 * 1024 * 1024;
+};
+
+/// Incremental HTTP/1.1 message parser for Content-Length-delimited
+/// messages (the only framing this server speaks; chunked transfer coding
+/// is answered with 501). Feed() accepts bytes as the socket delivers them
+/// — a message split across arbitrarily many reads parses identically to
+/// one delivered whole, and bytes after a complete message (pipelining)
+/// are left unconsumed for the next parse.
+///
+/// Lifecycle: Feed until done() or failed(); on failure error_code() is
+/// the HTTP status the peer should be sent (400/413/431/501). Reset()
+/// reuses the parser for the next message on a keep-alive connection.
+class HttpParser {
+ public:
+  enum class Mode { kRequest, kResponse };
+
+  explicit HttpParser(Mode mode, ParserLimits limits = {})
+      : mode_(mode), limits_(limits) {}
+
+  /// Consumes up to `size` bytes, returning how many were used. Stops
+  /// consuming at the end of a complete message or at the first error.
+  size_t Feed(const char* data, size_t size);
+
+  bool done() const { return state_ == State::kDone; }
+  bool failed() const { return state_ == State::kError; }
+  /// HTTP status to answer with when failed() (400, 413, 431, 501).
+  int error_code() const { return error_code_; }
+  /// Human-readable parse error when failed().
+  const std::string& error_message() const { return error_message_; }
+
+  /// The parsed message; meaningful once done().
+  const HttpMessage& message() const { return message_; }
+  HttpMessage& mutable_message() { return message_; }
+
+  /// True once any byte of the current message has been consumed — an
+  /// EOF mid-message is a truncation error, an EOF before any byte is a
+  /// clean connection close.
+  bool started() const { return started_; }
+
+  /// Forgets the current message so the next Feed starts a fresh one.
+  void Reset();
+
+ private:
+  enum class State { kHead, kBody, kDone, kError };
+
+  void Fail(int code, std::string message);
+  /// Parses the buffered head (request/status line + headers). Returns
+  /// false when it failed.
+  bool ParseHead();
+  bool ParseStartLine(const std::string& line);
+
+  const Mode mode_;
+  const ParserLimits limits_;
+  State state_ = State::kHead;
+  bool started_ = false;
+  std::string head_;          // Bytes of the head, up to the blank line.
+  size_t body_expected_ = 0;  // Declared Content-Length.
+  int error_code_ = 0;
+  std::string error_message_;
+  HttpMessage message_;
+};
+
+/// Serializes a response: status line, headers, Content-Length (always
+/// emitted, computed from the body), blank line, body.
+std::string SerializeResponse(const HttpMessage& response);
+
+/// Serializes a request the same way (origin-form target).
+std::string SerializeRequest(const HttpMessage& request);
+
+/// Builds a response skeleton: status + reason + body, with Content-Type
+/// set when `content_type` is non-empty.
+HttpMessage MakeResponse(int status, std::string body,
+                         const std::string& content_type = "");
+
+/// True when the peer wants the connection kept open after this message:
+/// HTTP/1.1 defaults to keep-alive unless "Connection: close"; HTTP/1.0
+/// defaults to close unless "Connection: keep-alive".
+bool WantsKeepAlive(const HttpMessage& message);
+
+}  // namespace net
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_NET_HTTP_H_

@@ -1,0 +1,310 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <exception>
+
+#include "common/parallel.h"
+#include "net/codec.h"
+
+namespace deepmvi {
+namespace net {
+namespace {
+
+/// recv() flavors differ in how they suppress SIGPIPE; sends use
+/// MSG_NOSIGNAL where available and a process-wide ignore as fallback.
+#ifdef MSG_NOSIGNAL
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+void IgnoreSigpipeOnce() {
+#ifndef MSG_NOSIGNAL
+  static const bool ignored = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)ignored;
+#endif
+}
+
+/// Poll granularity for blocking reads: short enough that Stop() is
+/// observed promptly, long enough to stay off the hot path.
+constexpr double kReadPollSeconds = 0.2;
+
+void SetRecvTimeout(int fd, double seconds) {
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - tv.tv_sec) * 1e6);
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+Status ParseHostPort(const std::string& address, std::string* host,
+                     int* port) {
+  const size_t colon = address.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("expected HOST:PORT, got '" + address + "'");
+  }
+  const std::string port_text = address.substr(colon + 1);
+  char* end = nullptr;
+  const long value = std::strtol(port_text.c_str(), &end, 10);
+  if (port_text.empty() || end == nullptr || *end != '\0' || value < 0 ||
+      value > 65535) {
+    return Status::InvalidArgument("malformed port in '" + address + "'");
+  }
+  *host = address.substr(0, colon);
+  if (host->empty()) *host = "0.0.0.0";
+  *port = static_cast<int>(value);
+  return Status::OK();
+}
+
+HttpServer::HttpServer(ServerConfig config) : config_(std::move(config)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(const std::string& method, const std::string& path,
+                        Handler handler) {
+  handlers_[{method, path}] = std::move(handler);
+}
+
+std::string HttpServer::address() const {
+  return config_.host + ":" + std::to_string(port_);
+}
+
+Status HttpServer::Start() {
+  DMVI_CHECK(!running_) << "HttpServer::Start called twice";
+  IgnoreSigpipeOnce();
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("cannot parse IPv4 address '" +
+                                   config_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("bind " + config_.host + ":" +
+                           std::to_string(config_.port) + ": " + error);
+  }
+  if (::listen(listen_fd_, config_.max_pending_connections) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("listen: " + error);
+  }
+
+  // Resolve the actual port (meaningful when config asked for port 0).
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = config_.port;
+  }
+
+  stopping_ = false;
+  running_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  // The whole worker pool is one ParallelFor region: iteration i *is*
+  // worker i's service loop, so connection handling runs on the same
+  // persistent pool substrate as training fan-out. Per-connection errors
+  // are caught inside WorkerLoop; anything escaping here is a bug and
+  // ParallelFor's rethrow turns it into a loud failure.
+  const int workers = std::max(1, config_.num_workers);
+  pool_thread_ = std::thread([this, workers] {
+    ParallelFor(workers, workers, [this](int) { WorkerLoop(); });
+  });
+  return Status::OK();
+}
+
+void HttpServer::AcceptLoop() {
+  for (;;) {
+    {
+      // Backpressure: hold off accepting while the pending queue is full.
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      backpressure_cv_.wait(lock, [this] {
+        return stopping_ ||
+               static_cast<int>(pending_.size()) <
+                   config_.max_pending_connections;
+      });
+      if (stopping_) return;
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // Listen socket closed or broken: accepting is over.
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (stopping_) {
+        ::close(fd);
+        return;
+      }
+      pending_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void HttpServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stopping_ and nothing left to serve.
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    backpressure_cv_.notify_one();
+    try {
+      ServeConnection(fd);
+    } catch (const std::exception&) {
+      // Connection-scoped failure; the worker lives on.
+    }
+    ::close(fd);
+  }
+}
+
+bool HttpServer::WriteAll(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, kSendFlags);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+HttpMessage HttpServer::Dispatch(const HttpMessage& request) {
+  const auto it = handlers_.find({request.method, request.target});
+  if (it == handlers_.end()) {
+    // Same path under another method is 405, unknown path 404.
+    for (const auto& [key, handler] : handlers_) {
+      if (key.second == request.target) {
+        return MakeResponse(
+            405, EncodeErrorJson(Status::InvalidArgument(
+                     "method " + request.method + " not allowed for " +
+                     request.target)),
+            "application/json");
+      }
+    }
+    return MakeResponse(404,
+                        EncodeErrorJson(Status::NotFound(
+                            "no handler for " + request.target)),
+                        "application/json");
+  }
+  try {
+    return it->second(request);
+  } catch (const std::exception& e) {
+    return MakeResponse(500, EncodeErrorJson(Status::Internal(e.what())),
+                        "application/json");
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  const int tcp_nodelay = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &tcp_nodelay, sizeof(tcp_nodelay));
+  SetRecvTimeout(fd, kReadPollSeconds);
+
+  HttpParser parser(HttpParser::Mode::kRequest, config_.limits);
+  char buffer[8192];
+  double idle_seconds = 0.0;
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n == 0) return;  // Peer closed.
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Poll tick: leave promptly on shutdown, eventually on idleness.
+        // A read mid-message counts as idle too — a stalled sender should
+        // not pin a worker forever.
+        if (stopping_) return;
+        idle_seconds += kReadPollSeconds;
+        if (idle_seconds >= config_.idle_timeout_seconds) return;
+        continue;
+      }
+      return;  // Connection error.
+    }
+    idle_seconds = 0.0;
+
+    size_t offset = 0;
+    while (offset < static_cast<size_t>(n)) {
+      offset += parser.Feed(buffer + offset, static_cast<size_t>(n) - offset);
+      if (parser.failed()) {
+        // Framing is gone; answer and close.
+        HttpMessage error = MakeResponse(
+            parser.error_code(),
+            EncodeErrorJson(Status::InvalidArgument(parser.error_message())),
+            "application/json");
+        error.SetHeader("connection", "close");
+        WriteAll(fd, SerializeResponse(error));
+        ++requests_served_;
+        return;
+      }
+      if (!parser.done()) continue;
+
+      const bool keep_alive = WantsKeepAlive(parser.message()) && !stopping_;
+      HttpMessage response = Dispatch(parser.message());
+      response.SetHeader("connection", keep_alive ? "keep-alive" : "close");
+      if (!WriteAll(fd, SerializeResponse(response))) return;
+      ++requests_served_;
+      if (!keep_alive) return;
+      parser.Reset();
+    }
+  }
+}
+
+void HttpServer::Stop() {
+  if (!running_) return;
+  stopping_ = true;
+  // Closing the listen socket unblocks accept(); shutdown() first for
+  // platforms where close alone doesn't wake the blocked thread.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  queue_cv_.notify_all();
+  backpressure_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (pool_thread_.joinable()) pool_thread_.join();
+  // Connections that were accepted but never claimed by a worker.
+  for (const int fd : pending_) ::close(fd);
+  pending_.clear();
+  running_ = false;
+}
+
+}  // namespace net
+}  // namespace deepmvi

@@ -1,0 +1,126 @@
+#ifndef DEEPMVI_NET_SERVER_H_
+#define DEEPMVI_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "net/http.h"
+
+namespace deepmvi {
+namespace net {
+
+/// Tuning knobs of the HTTP front-end.
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  /// 0 lets the kernel pick a free port; HttpServer::port() reports it.
+  int port = 0;
+  /// Connection worker threads (each serves one connection at a time).
+  int num_workers = 4;
+  /// Accepted connections waiting for a free worker. When the backlog is
+  /// full the accept loop stops accepting — kernel-level backpressure —
+  /// rather than queueing unboundedly.
+  int max_pending_connections = 128;
+  /// Per-message parser caps (431 / 413 beyond them).
+  ParserLimits limits;
+  /// A connection idle longer than this between requests is closed. Also
+  /// bounds how long Stop() waits for workers blocked on idle reads.
+  double idle_timeout_seconds = 30.0;
+};
+
+/// Dependency-free HTTP/1.1 server on POSIX sockets: a listener + accept
+/// thread feeding a bounded queue of connections, drained by a fixed pool
+/// of connection workers that runs as one ParallelFor region over
+/// src/common/parallel — the same worker-pool substrate the training and
+/// batch-inference paths ride. Each worker owns one connection at a time:
+/// incremental request parsing (HttpParser), exact-match routing, response
+/// writing, keep-alive until the peer closes, an error, idle timeout, or
+/// server shutdown.
+///
+/// Handlers run on worker threads and must be thread-safe; a handler that
+/// throws is answered with a 500 carrying the exception message, and the
+/// connection survives. Parser-level errors (oversized head/body,
+/// malformed framing) are answered with their HTTP status (431/413/400/
+/// 501) and the connection is closed — framing is unrecoverable.
+///
+/// Stop() stops accepting (the listen socket closes), lets in-flight
+/// requests finish, then joins the pool. Start()/Stop() are not
+/// thread-safe against each other; handlers registered after Start() are
+/// not picked up.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpMessage(const HttpMessage&)>;
+
+  explicit HttpServer(ServerConfig config = {});
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for exact (method, path) matches. Unknown paths
+  /// are 404, known paths with a different method 405.
+  void Handle(const std::string& method, const std::string& path,
+              Handler handler);
+
+  /// Binds, listens, and starts the accept loop + worker pool. IoError on
+  /// bind/listen failure (address in use, bad host, privileged port) —
+  /// callers exit non-zero instead of aborting.
+  Status Start();
+
+  /// Graceful shutdown: stop accepting, finish in-flight requests, join
+  /// every thread. Idempotent; also run by the destructor.
+  void Stop();
+
+  bool running() const { return running_; }
+  /// The bound port (resolves port 0), valid after Start().
+  int port() const { return port_; }
+  /// "host:port", valid after Start().
+  std::string address() const;
+
+  /// Total requests answered (including error responses), for tests.
+  int64_t requests_served() const { return requests_served_; }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  /// Serves one connection until close/error/timeout/shutdown.
+  void ServeConnection(int fd);
+  /// Routes one parsed request (exact match, 404/405/500 fallbacks).
+  HttpMessage Dispatch(const HttpMessage& request);
+  /// Writes the full buffer; false on a broken pipe.
+  bool WriteAll(int fd, const std::string& bytes);
+
+  const ServerConfig config_;
+  std::map<std::pair<std::string, std::string>, Handler> handlers_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<int64_t> requests_served_{0};
+
+  std::thread accept_thread_;
+  std::thread pool_thread_;  // Runs the ParallelFor worker region.
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;       // Workers wait for connections.
+  std::condition_variable backpressure_cv_;  // Accept loop waits for space.
+  std::deque<int> pending_;                // Accepted fds awaiting a worker.
+};
+
+/// Splits "host:port" (host may be empty for "0.0.0.0"); InvalidArgument
+/// on a malformed or out-of-range port.
+Status ParseHostPort(const std::string& address, std::string* host,
+                     int* port);
+
+}  // namespace net
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_NET_SERVER_H_

@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "serve/registry.h"
+#include "serve/response_cache.h"
 #include "serve/telemetry.h"
 #include "tensor/data_tensor.h"
 #include "tensor/mask.h"
@@ -51,6 +52,12 @@ struct ServiceConfig {
   double batch_linger_ms = 1.0;
   /// Worker threads fanned over a batch (<= 0: hardware concurrency).
   int threads = 0;
+  /// Response cache budget in MB, keyed on (model, data fingerprint, mask
+  /// fingerprint). 0 disables caching — the default, so the determinism
+  /// suites exercise the compute path and results never depend on cache
+  /// state. Hits are bit-identical to recomputing (Predict is
+  /// deterministic); they only change latency.
+  double cache_mb = 0.0;
 };
 
 /// Long-lived imputation service: owns loaded models (via the registry),
@@ -88,9 +95,17 @@ class ImputationService {
   /// is fulfilled by the dispatcher; safe to call from many threads.
   std::future<ImputationResponse> Submit(ImputationRequest request);
 
-  /// Drains the queue, fulfills every outstanding future, and stops the
-  /// dispatcher. Called by the destructor; safe to call twice.
+  /// Drains the queue — every already-submitted request is still executed
+  /// and its future fulfilled — then stops the dispatcher. Called by the
+  /// destructor; safe to call twice. Submitting after Shutdown aborts.
   void Shutdown();
+
+  /// Graceful-stop alias of Shutdown, matching the net server's verb.
+  void Stop() { Shutdown(); }
+
+  /// The response cache, or nullptr when cache_mb is 0. Exposed for stats
+  /// reporting and tests.
+  ResponseCache* response_cache() const { return cache_.get(); }
 
   TelemetrySnapshot telemetry() const { return telemetry_.Snapshot(); }
 
@@ -105,9 +120,20 @@ class ImputationService {
     Stopwatch queued;  // Started at Submit; measures caller latency.
   };
 
-  /// Answers one request (no telemetry, no locking): registry lookup,
-  /// validation, Predict. Exceptions become kInternal responses.
-  ImputationResponse Process(const ImputationRequest& request) const;
+  /// Answers one request (no latency telemetry, no locking): registry
+  /// lookup, validation, cache probe, Predict. Exceptions become kInternal
+  /// responses.
+  ImputationResponse Process(const ImputationRequest& request);
+
+  /// FingerprintData with a one-entry memo: the serving pattern shares one
+  /// long-lived dataset across every request (workload replay, the HTTP
+  /// front-end), so hashing O(series x times) bytes per request would make
+  /// cache probes scale with dataset size instead of request size. The
+  /// memo is keyed by the shared_ptr (liveness-checked, so a recycled
+  /// address can't alias a dead dataset); a different dataset simply
+  /// re-hashes.
+  uint64_t MemoizedDataFingerprint(
+      const std::shared_ptr<const DataTensor>& data);
 
   /// Runs `batch` through ParallelFor, fulfilling promises per slot.
   void RunBatch(std::vector<PendingRequest>& batch);
@@ -118,6 +144,10 @@ class ImputationService {
   const ServiceConfig config_;
   ModelRegistry registry_;
   Telemetry telemetry_;
+  std::unique_ptr<ResponseCache> cache_;  // Null when cache_mb is 0.
+  std::mutex fingerprint_mutex_;
+  std::weak_ptr<const DataTensor> fingerprinted_data_;
+  uint64_t fingerprint_value_ = 0;
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;

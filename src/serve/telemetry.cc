@@ -38,6 +38,15 @@ void Telemetry::RecordBatch(int size) {
   batched_requests_ += size;
 }
 
+void Telemetry::RecordCacheLookup(bool hit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (hit) {
+    ++cache_hits_;
+  } else {
+    ++cache_misses_;
+  }
+}
+
 TelemetrySnapshot Telemetry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   TelemetrySnapshot snap;
@@ -46,6 +55,8 @@ TelemetrySnapshot Telemetry::Snapshot() const {
   snap.batches = batches_;
   snap.rows_served = rows_served_;
   snap.cells_imputed = cells_imputed_;
+  snap.cache_hits = cache_hits_;
+  snap.cache_misses = cache_misses_;
   snap.busy_seconds = busy_seconds_;
   snap.wall_seconds = since_start_.ElapsedSeconds();
 
@@ -78,6 +89,8 @@ void Telemetry::Reset() {
   batched_requests_ = 0;
   rows_served_ = 0;
   cells_imputed_ = 0;
+  cache_hits_ = 0;
+  cache_misses_ = 0;
   busy_seconds_ = 0.0;
   latency_max_seconds_ = 0.0;
   latency_reservoir_.clear();
@@ -109,6 +122,8 @@ std::string TelemetryToJson(const TelemetrySnapshot& snap) {
   os << "  \"batches\": " << snap.batches << ",\n";
   os << "  \"rows_served\": " << snap.rows_served << ",\n";
   os << "  \"cells_imputed\": " << snap.cells_imputed << ",\n";
+  os << "  \"cache_hits\": " << snap.cache_hits << ",\n";
+  os << "  \"cache_misses\": " << snap.cache_misses << ",\n";
   os << "  \"busy_seconds\": " << number(snap.busy_seconds) << ",\n";
   os << "  \"wall_seconds\": " << number(snap.wall_seconds) << ",\n";
   os << "  \"latency_p50_ms\": " << number(snap.latency_p50_ms) << ",\n";

@@ -32,6 +32,9 @@ struct TelemetrySnapshot {
   double rows_per_second = 0.0;
   double cells_per_second = 0.0;
   double mean_batch_size = 0.0;
+  // Response-cache lookups (0/0 when the cache is disabled).
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
 };
 
 /// Thread-safe latency/throughput counters owned by ImputationService.
@@ -51,6 +54,9 @@ class Telemetry {
   /// Records one dispatched micro-batch of `size` requests.
   void RecordBatch(int size);
 
+  /// Records one response-cache probe.
+  void RecordCacheLookup(bool hit);
+
   TelemetrySnapshot Snapshot() const;
 
   void Reset();
@@ -64,6 +70,8 @@ class Telemetry {
   int64_t batched_requests_ = 0;
   int64_t rows_served_ = 0;
   int64_t cells_imputed_ = 0;
+  int64_t cache_hits_ = 0;
+  int64_t cache_misses_ = 0;
   double busy_seconds_ = 0.0;
   double latency_max_seconds_ = 0.0;
   Rng reservoir_rng_{0x7e1e  /* fixed: telemetry needs no seeding API */};

@@ -1,0 +1,712 @@
+// Tests for the src/net HTTP front-end: the incremental HTTP/1.1 parser
+// (split reads, size caps, keep-alive), the JSON codec, and — the central
+// contract — that imputation served over a loopback socket is bit-identical
+// to calling ImputationService directly. The network layer must change
+// where bytes travel, never which bytes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/deepmvi.h"
+#include "data/io.h"
+#include "net/client.h"
+#include "net/codec.h"
+#include "net/endpoints.h"
+#include "net/http.h"
+#include "net/server.h"
+#include "serve/service.h"
+#include "serve/workload.h"
+#include "testing/test_util.h"
+
+namespace deepmvi {
+namespace {
+
+using testutil::ExpectMatricesBitIdentical;
+using testutil::MakeSeasonalCase;
+using testutil::SeasonalCase;
+using testutil::TempPath;
+using testutil::TinyDeepMviConfig;
+
+// ---- HttpParser -------------------------------------------------------------
+
+net::HttpParser RequestParser(net::ParserLimits limits = {}) {
+  return net::HttpParser(net::HttpParser::Mode::kRequest, limits);
+}
+
+TEST(HttpParserTest, ParsesSimpleRequestDeliveredWhole) {
+  const std::string wire =
+      "POST /v1/impute HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+  net::HttpParser parser = RequestParser();
+  EXPECT_EQ(parser.Feed(wire.data(), wire.size()), wire.size());
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.message().method, "POST");
+  EXPECT_EQ(parser.message().target, "/v1/impute");
+  EXPECT_EQ(parser.message().version, "HTTP/1.1");
+  EXPECT_EQ(parser.message().Header("host"), "x");  // Lower-cased name.
+  EXPECT_EQ(parser.message().body, "hello");
+}
+
+TEST(HttpParserTest, ByteAtATimeFeedParsesIdentically) {
+  // The hard case for an incremental parser: every read boundary at once.
+  const std::string wire =
+      "POST /a HTTP/1.1\r\ncontent-length: 11\r\nx-k: v\r\n\r\nsplit bodies";
+  net::HttpParser parser = RequestParser();
+  for (const char c : wire) {
+    ASSERT_FALSE(parser.failed()) << parser.error_message();
+    parser.Feed(&c, 1);
+  }
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.message().body, "split bodie");  // 11 bytes declared.
+  EXPECT_EQ(parser.message().Header("x-k"), "v");
+}
+
+TEST(HttpParserTest, PipelinedSecondRequestIsLeftUnconsumed) {
+  const std::string first = "GET /a HTTP/1.1\r\n\r\n";
+  const std::string wire = first + "GET /b HTTP/1.1\r\n\r\n";
+  net::HttpParser parser = RequestParser();
+  const size_t used = parser.Feed(wire.data(), wire.size());
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(used, first.size());
+  EXPECT_EQ(parser.message().target, "/a");
+
+  parser.Reset();
+  parser.Feed(wire.data() + used, wire.size() - used);
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.message().target, "/b");
+}
+
+TEST(HttpParserTest, OversizedHeadIs431) {
+  net::ParserLimits limits;
+  limits.max_header_bytes = 64;
+  net::HttpParser parser = RequestParser(limits);
+  const std::string wire = "GET / HTTP/1.1\r\nx-pad: " +
+                           std::string(200, 'a') + "\r\n\r\n";
+  parser.Feed(wire.data(), wire.size());
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_code(), 431);
+}
+
+TEST(HttpParserTest, OversizedDeclaredBodyIs413) {
+  net::ParserLimits limits;
+  limits.max_body_bytes = 10;
+  net::HttpParser parser = RequestParser(limits);
+  const std::string wire =
+      "POST / HTTP/1.1\r\ncontent-length: 11\r\n\r\nhello world";
+  parser.Feed(wire.data(), wire.size());
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_code(), 413);
+}
+
+TEST(HttpParserTest, MalformedFramingIs400) {
+  for (const char* wire : {
+           "GARBAGE\r\n\r\n",                                 // No target.
+           "GET /a HTTP/2.0\r\n\r\n",                         // Bad version.
+           "GET a HTTP/1.1\r\n\r\n",                          // Non-origin.
+           "GET /a HTTP/1.1\r\nbad header\r\n\r\n",           // No colon.
+           "GET /a HTTP/1.1\r\nkey : v\r\n\r\n",              // Space pre-colon.
+           "POST /a HTTP/1.1\r\ncontent-length: nan\r\n\r\n"  // Bad length.
+       }) {
+    net::HttpParser parser = RequestParser();
+    parser.Feed(wire, std::string(wire).size());
+    EXPECT_TRUE(parser.failed()) << wire;
+    EXPECT_EQ(parser.error_code(), 400) << wire;
+  }
+}
+
+TEST(HttpParserTest, ConflictingContentLengthsAre400) {
+  // The request-smuggling vector: two framings of one message.
+  const std::string wire =
+      "POST /a HTTP/1.1\r\ncontent-length: 5\r\ncontent-length: 50\r\n\r\n";
+  net::HttpParser parser = RequestParser();
+  parser.Feed(wire.data(), wire.size());
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_code(), 400);
+
+  // Equal duplicates are tolerated (RFC 7230 allows either).
+  const std::string same =
+      "POST /a HTTP/1.1\r\ncontent-length: 2\r\ncontent-length: 2\r\n\r\nok";
+  net::HttpParser tolerant = RequestParser();
+  tolerant.Feed(same.data(), same.size());
+  ASSERT_TRUE(tolerant.done());
+  EXPECT_EQ(tolerant.message().body, "ok");
+}
+
+TEST(HttpParserTest, ChunkedTransferEncodingIs501) {
+  const std::string wire =
+      "POST /a HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n";
+  net::HttpParser parser = RequestParser();
+  parser.Feed(wire.data(), wire.size());
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_code(), 501);
+}
+
+TEST(HttpParserTest, ParsesResponsesAndKeepAliveDefaults) {
+  const std::string wire =
+      "HTTP/1.1 404 Not Found\r\ncontent-length: 2\r\n\r\nno";
+  net::HttpParser parser(net::HttpParser::Mode::kResponse);
+  parser.Feed(wire.data(), wire.size());
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.message().status_code, 404);
+  EXPECT_EQ(parser.message().reason, "Not Found");
+  EXPECT_EQ(parser.message().body, "no");
+  EXPECT_TRUE(net::WantsKeepAlive(parser.message()));  // 1.1 default.
+
+  net::HttpMessage closing;
+  closing.SetHeader("connection", "close");
+  EXPECT_FALSE(net::WantsKeepAlive(closing));
+  net::HttpMessage old_version;
+  old_version.version = "HTTP/1.0";
+  EXPECT_FALSE(net::WantsKeepAlive(old_version));  // 1.0 default.
+}
+
+TEST(HttpParserTest, SerializeThenParseRoundTrips) {
+  net::HttpMessage response = net::MakeResponse(200, "payload", "text/plain");
+  const std::string wire = net::SerializeResponse(response);
+  net::HttpParser parser(net::HttpParser::Mode::kResponse);
+  parser.Feed(wire.data(), wire.size());
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.message().status_code, 200);
+  EXPECT_EQ(parser.message().body, "payload");
+  EXPECT_EQ(parser.message().Header("content-type"), "text/plain");
+  EXPECT_EQ(parser.message().Header("content-length"), "7");
+}
+
+// ---- JSON -------------------------------------------------------------------
+
+TEST(JsonTest, ParsesDocumentShapes) {
+  StatusOr<net::JsonValue> doc = net::ParseJson(
+      R"({"s": "a\"b\n", "n": -1.5e2, "t": true, "f": false, "z": null,
+          "arr": [1, 2, [3]], "obj": {"k": "v"}})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->at("s").string_value(), "a\"b\n");
+  EXPECT_EQ(doc->at("n").number_value(), -150.0);
+  EXPECT_TRUE(doc->at("t").bool_value());
+  EXPECT_FALSE(doc->at("f").bool_value());
+  EXPECT_TRUE(doc->at("z").is_null());
+  ASSERT_EQ(doc->at("arr").array_items().size(), 3u);
+  EXPECT_EQ(doc->at("arr").array_items()[2].array_items()[0].number_value(),
+            3.0);
+  EXPECT_EQ(doc->at("obj").at("k").string_value(), "v");
+  EXPECT_TRUE(doc->at("missing").is_null());  // Safe chaining.
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  for (const char* text : {"", "{", "[1,", "{\"k\" 1}", "{\"k\":}", "tru",
+                           "\"unterminated", "1 2", "{\"k\":1,}", "nul"}) {
+    StatusOr<net::JsonValue> doc = net::ParseJson(text);
+    EXPECT_FALSE(doc.ok()) << "accepted: " << text;
+    EXPECT_EQ(doc.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(JsonTest, DepthIsCapped) {
+  std::string bomb(2000, '[');
+  EXPECT_FALSE(net::ParseJson(bomb).ok());
+}
+
+TEST(JsonTest, EscapeRoundTripsThroughParser) {
+  const std::string nasty = "a\"b\\c\nd\te\x01f";
+  StatusOr<net::JsonValue> doc =
+      net::ParseJson("\"" + net::EscapeJson(nasty) + "\"");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->string_value(), nasty);
+}
+
+// ---- Impute request decoding ------------------------------------------------
+
+net::HttpMessage PostBody(std::string body, const std::string& accept = "") {
+  net::HttpMessage request;
+  request.method = "POST";
+  request.target = "/v1/impute";
+  request.body = std::move(body);
+  if (!accept.empty()) request.SetHeader("accept", accept);
+  return request;
+}
+
+TEST(CodecTest, DecodesQueryBaseAndInlineModes) {
+  StatusOr<net::ImputeApiRequest> query = net::DecodeImputeRequest(PostBody(
+      R"({"model": "m", "query": {"row": 2, "t_start": 5, "block_len": 3}})"));
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->model, "m");
+  ASSERT_TRUE(query->has_query);
+  EXPECT_EQ(query->query.row, 2);
+  EXPECT_EQ(query->query.t_start, 5);
+  EXPECT_EQ(query->query.block_len, 3);
+  EXPECT_FALSE(query->csv_response);
+
+  StatusOr<net::ImputeApiRequest> base =
+      net::DecodeImputeRequest(PostBody("", "text/csv"));
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(base->model, "default");
+  EXPECT_FALSE(base->has_query);
+  EXPECT_FALSE(base->has_inline_data);
+  EXPECT_TRUE(base->csv_response);
+
+  StatusOr<net::ImputeApiRequest> inline_mode = net::DecodeImputeRequest(
+      PostBody(R"({"values": [[1, null, 3], [4, 5, null]]})"));
+  ASSERT_TRUE(inline_mode.ok()) << inline_mode.status().ToString();
+  ASSERT_TRUE(inline_mode->has_inline_data);
+  EXPECT_EQ(inline_mode->inline_values.rows(), 2);
+  EXPECT_EQ(inline_mode->inline_values.cols(), 3);
+  EXPECT_EQ(inline_mode->inline_values(0, 0), 1.0);
+  EXPECT_TRUE(inline_mode->inline_mask.missing(0, 1));
+  EXPECT_TRUE(inline_mode->inline_mask.missing(1, 2));
+  EXPECT_EQ(inline_mode->inline_mask.CountMissing(), 2);
+
+  // "format" overrides Accept.
+  StatusOr<net::ImputeApiRequest> forced =
+      net::DecodeImputeRequest(PostBody(R"({"format": "csv"})"));
+  ASSERT_TRUE(forced.ok());
+  EXPECT_TRUE(forced->csv_response);
+}
+
+TEST(CodecTest, RejectsBadImputeBodies) {
+  for (const char* body : {
+           "not json at all",
+           "[1, 2, 3]",                                    // Not an object.
+           R"({"model": 7})",                              // Bad type.
+           R"({"query": {"row": -1}})",                    // Negative.
+           R"({"query": {"row": 0, "t_start": 0, "block_len": 0}})",
+           R"({"values": []})",                            // Empty.
+           R"({"values": [[1], [2, 3]]})",                 // Ragged.
+           R"({"values": [[1, "x"]]})",                    // Bad cell.
+           R"({"values": [[1]], "query": {"row": 0, "t_start": 0,
+               "block_len": 1}})",                         // Both modes.
+           R"({"format": "xml"})",
+       }) {
+    StatusOr<net::ImputeApiRequest> decoded =
+        net::DecodeImputeRequest(PostBody(body));
+    EXPECT_FALSE(decoded.ok()) << "accepted: " << body;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument) << body;
+  }
+}
+
+// ---- Server + client round trips --------------------------------------------
+
+/// One small trained model shared by the loopback suites.
+struct ServedCase {
+  SeasonalCase data_case;
+  serve::ImputationService service;
+  std::shared_ptr<const DataTensor> shared_data;
+
+  explicit ServedCase(serve::ServiceConfig config = {},
+                      uint64_t seed = 91)
+      : data_case(MakeSeasonalCase(seed, 5, 120)), service(config) {
+    DeepMviConfig model_config = TinyDeepMviConfig();
+    model_config.seed = 79;
+    DeepMviImputer imputer(model_config);
+    TrainedDeepMvi model = imputer.Fit(data_case.data, data_case.mask);
+    DMVI_CHECK(service.registry().Register("default", std::move(model)).ok());
+    shared_data = std::make_shared<const DataTensor>(data_case.data);
+  }
+
+  net::ServingContext Context() {
+    net::ServingContext ctx;
+    ctx.service = &service;
+    ctx.data = shared_data;
+    ctx.base_mask = data_case.mask;
+    return ctx;
+  }
+};
+
+TEST(HttpServerTest, StartStopAndBindFailureIsStatusNotAbort) {
+  net::ServerConfig config;
+  net::HttpServer server(config);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_GT(server.port(), 0);
+
+  // Second server on the same port: bind fails as a Status.
+  net::ServerConfig clash;
+  clash.port = server.port();
+  net::HttpServer other(clash);
+  Status status = other.Start();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+
+  server.Stop();
+  server.Stop();  // Idempotent.
+
+  // A bad host string also fails recoverably.
+  net::ServerConfig bad_host;
+  bad_host.host = "not-an-address";
+  EXPECT_FALSE(net::HttpServer(bad_host).Start().ok());
+}
+
+TEST(HttpServerTest, RoutesKeepAliveErrorsAndOversizedMessages) {
+  net::ServerConfig config;
+  config.limits.max_body_bytes = 1024;
+  net::HttpServer server(config);
+  server.Handle("GET", "/ping", [](const net::HttpMessage&) {
+    return net::MakeResponse(200, "pong", "text/plain");
+  });
+  server.Handle("GET", "/boom", [](const net::HttpMessage&) -> net::HttpMessage {
+    throw std::runtime_error("handler exploded");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  net::Client client("127.0.0.1", server.port());
+
+  // Keep-alive: several requests on one connection, including error
+  // responses, which must not kill it.
+  for (int i = 0; i < 3; ++i) {
+    StatusOr<net::HttpMessage> pong = client.Get("/ping");
+    ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+    EXPECT_EQ(pong->status_code, 200);
+    EXPECT_EQ(pong->body, "pong");
+    EXPECT_EQ(pong->Header("connection"), "keep-alive");
+  }
+  StatusOr<net::HttpMessage> missing = client.Get("/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status_code, 404);
+  StatusOr<net::HttpMessage> wrong_method =
+      client.Post("/ping", "", "text/plain");
+  ASSERT_TRUE(wrong_method.ok());
+  EXPECT_EQ(wrong_method->status_code, 405);
+  StatusOr<net::HttpMessage> threw = client.Get("/boom");
+  ASSERT_TRUE(threw.ok());
+  EXPECT_EQ(threw->status_code, 500);
+  EXPECT_NE(threw->body.find("handler exploded"), std::string::npos);
+
+  // Oversized body: 413 and the server closes the connection; the client
+  // survives via reconnect on the next request.
+  StatusOr<net::HttpMessage> huge =
+      client.Post("/ping", std::string(4096, 'x'), "text/plain");
+  ASSERT_TRUE(huge.ok()) << huge.status().ToString();
+  EXPECT_EQ(huge->status_code, 413);
+  EXPECT_EQ(huge->Header("connection"), "close");
+  StatusOr<net::HttpMessage> after = client.Get("/ping");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->status_code, 200);
+
+  EXPECT_GE(server.requests_served(), 7);
+  server.Stop();
+}
+
+TEST(HttpServerTest, ManyConcurrentClientsAreServed) {
+  net::ServerConfig config;
+  config.num_workers = 3;
+  net::HttpServer server(config);
+  std::atomic<int> handled{0};
+  server.Handle("GET", "/count", [&handled](const net::HttpMessage&) {
+    ++handled;
+    return net::MakeResponse(200, "ok", "text/plain");
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsEach = 5;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      net::Client client("127.0.0.1", server.port());
+      for (int i = 0; i < kRequestsEach; ++i) {
+        StatusOr<net::HttpMessage> response = client.Get("/count");
+        if (!response.ok() || response->status_code != 200) ++failures;
+      }
+      (void)c;
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(handled.load(), kClients * kRequestsEach);
+  server.Stop();
+}
+
+TEST(ServingEndpointsTest, LoopbackImputationBitMatchesDirectServiceCalls) {
+  ServedCase served;
+  net::HttpServer server;
+  net::RegisterServingEndpoints(&server, served.Context());
+  ASSERT_TRUE(server.Start().ok());
+  net::Client client("127.0.0.1", server.port());
+
+  const std::vector<serve::WorkloadQuery> queries = serve::SynthesizeWorkload(
+      6, /*max_block_len=*/10, served.data_case.data.num_series(),
+      served.data_case.data.num_times(), /*seed=*/43);
+  for (const serve::WorkloadQuery& query : queries) {
+    // Direct in-process answer.
+    serve::ImputationResponse direct = served.service.Impute(
+        serve::MakeQueryRequest("default", served.shared_data,
+                                served.data_case.mask, query));
+    ASSERT_TRUE(direct.status.ok()) << direct.status.ToString();
+
+    // Same query over the wire, JSON cells.
+    const std::string body =
+        "{\"query\": {\"row\": " + std::to_string(query.row) +
+        ", \"t_start\": " + std::to_string(query.t_start) +
+        ", \"block_len\": " + std::to_string(query.block_len) + "}}";
+    StatusOr<net::HttpMessage> response =
+        client.Post("/v1/impute", body, "application/json");
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_EQ(response->status_code, 200) << response->body;
+
+    StatusOr<net::JsonValue> doc = net::ParseJson(response->body);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    const Mask applied =
+        serve::ApplyQuery(served.data_case.mask, query);
+    ASSERT_EQ(doc->at("cells").array_items().size(),
+              static_cast<size_t>(applied.CountMissing()));
+    // Every imputed cell must equal the direct Predict bit for bit —
+    // precision-17 JSON round-trips doubles exactly.
+    for (const net::JsonValue& cell : doc->at("cells").array_items()) {
+      const int r = static_cast<int>(cell.at("series").number_value());
+      const int t = static_cast<int>(cell.at("time").number_value());
+      EXPECT_EQ(cell.at("value").number_value(), direct.imputed(r, t))
+          << "cell (" << r << "," << t << ")";
+    }
+  }
+  server.Stop();
+}
+
+TEST(ServingEndpointsTest, CsvResponseIsByteIdenticalToWriteDataTensor) {
+  ServedCase served;
+  net::HttpServer server;
+  net::RegisterServingEndpoints(&server, served.Context());
+  ASSERT_TRUE(server.Start().ok());
+  net::Client client("127.0.0.1", server.port());
+
+  // Reference: the in-process base-mask imputation, written by the same
+  // WriteDataTensor path dmvi_train/dmvi_serve --impute-csv use.
+  serve::ImputationRequest request;
+  request.model = "default";
+  request.data = served.shared_data;
+  request.mask = served.data_case.mask;
+  serve::ImputationResponse direct = served.service.Impute(request);
+  ASSERT_TRUE(direct.status.ok());
+  const std::string path = TempPath("net_reference_impute.csv");
+  ASSERT_TRUE(WriteDataTensor(DataTensor(served.shared_data->dims(),
+                                         direct.imputed),
+                              path)
+                  .ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string reference((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  std::remove(path.c_str());
+
+  StatusOr<net::HttpMessage> response = client.Post(
+      "/v1/impute", "{\"model\": \"default\"}", "application/json",
+      "text/csv");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response->status_code, 200);
+  EXPECT_EQ(response->Header("content-type"), "text/csv");
+  EXPECT_EQ(response->body, reference);  // Byte identity across transports.
+  server.Stop();
+}
+
+TEST(ServingEndpointsTest, InlineValuesModeImputesWithoutServedDataset) {
+  ServedCase served;
+  net::HttpServer server;
+  net::RegisterServingEndpoints(&server, served.Context());
+  ASSERT_TRUE(server.Start().ok());
+  net::Client client("127.0.0.1", server.port());
+
+  // The served model expects 5 series x >= window times; send a matching
+  // inline matrix with two nulls.
+  const int n = served.data_case.data.num_series();
+  const int t_len = served.data_case.data.num_times();
+  std::ostringstream body;
+  body.precision(17);
+  body << "{\"values\": [";
+  for (int r = 0; r < n; ++r) {
+    body << (r > 0 ? ", [" : "[");
+    for (int t = 0; t < t_len; ++t) {
+      if (t > 0) body << ", ";
+      if (r == 1 && (t == 7 || t == 8)) {
+        body << "null";
+      } else {
+        body << served.data_case.data.values()(r, t);
+      }
+    }
+    body << "]";
+  }
+  body << "]}";
+  StatusOr<net::HttpMessage> response =
+      client.Post("/v1/impute", body.str(), "application/json");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response->status_code, 200) << response->body;
+  StatusOr<net::JsonValue> doc = net::ParseJson(response->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->at("cells").array_items().size(), 2u);
+
+  // Inline values + CSV reply (regression: the response must be encoded
+  // from the inline dataset after the request was moved into Submit).
+  StatusOr<net::HttpMessage> csv =
+      client.Post("/v1/impute", body.str(), "application/json", "text/csv");
+  ASSERT_TRUE(csv.ok()) << csv.status().ToString();
+  ASSERT_EQ(csv->status_code, 200) << csv->body;
+  EXPECT_EQ(csv->Header("content-type"), "text/csv");
+  // One data line per series plus the anonymous dimension header.
+  EXPECT_NE(csv->body.find("# dim:"), std::string::npos);
+  EXPECT_EQ(std::count(csv->body.begin(), csv->body.end(), '\n'),
+            n + 1);
+  server.Stop();
+}
+
+TEST(ServingEndpointsTest, AdminEndpointsHealthMetricsReload) {
+  ServedCase served;
+  net::ServingContext ctx = served.Context();
+  int reloads = 0;
+  std::string last_model, last_path;
+  ctx.reload = [&](const std::string& model, const std::string& path) {
+    ++reloads;
+    last_model = model;
+    last_path = path;
+    return model == "default" ? Status::OK()
+                              : Status::NotFound("unknown model " + model);
+  };
+  net::HttpServer server;
+  net::RegisterServingEndpoints(&server, ctx);
+  ASSERT_TRUE(server.Start().ok());
+  net::Client client("127.0.0.1", server.port());
+
+  StatusOr<net::HttpMessage> health = client.Get("/healthz");
+  ASSERT_TRUE(health.ok());
+  ASSERT_EQ(health->status_code, 200);
+  StatusOr<net::JsonValue> health_doc = net::ParseJson(health->body);
+  ASSERT_TRUE(health_doc.ok());
+  EXPECT_EQ(health_doc->at("status").string_value(), "ok");
+  EXPECT_EQ(health_doc->at("num_series").number_value(),
+            served.data_case.data.num_series());
+  ASSERT_EQ(health_doc->at("models").array_items().size(), 1u);
+  EXPECT_EQ(health_doc->at("models").array_items()[0].string_value(),
+            "default");
+
+  StatusOr<net::HttpMessage> metrics = client.Get("/metrics");
+  ASSERT_TRUE(metrics.ok());
+  ASSERT_EQ(metrics->status_code, 200);
+  EXPECT_NE(metrics->body.find("\"requests\":"), std::string::npos);
+  EXPECT_NE(metrics->body.find("\"cache_hits\":"), std::string::npos);
+
+  // Reload: default model, explicit path, unknown model, malformed body.
+  EXPECT_EQ(client.Post("/admin/reload", "", "application/json")
+                ->status_code,
+            200);
+  EXPECT_EQ(reloads, 1);
+  EXPECT_EQ(last_model, "default");
+  EXPECT_EQ(last_path, "");
+  EXPECT_EQ(client
+                .Post("/admin/reload",
+                      R"({"model": "default", "path": "/tmp/other.dmvi"})",
+                      "application/json")
+                ->status_code,
+            200);
+  EXPECT_EQ(last_path, "/tmp/other.dmvi");
+  EXPECT_EQ(client
+                .Post("/admin/reload", R"({"model": "ghost"})",
+                      "application/json")
+                ->status_code,
+            404);
+  EXPECT_EQ(client.Post("/admin/reload", "{not json", "application/json")
+                ->status_code,
+            400);
+  server.Stop();
+}
+
+TEST(ServingEndpointsTest, MalformedImputeBodyIs400WithStatusMessage) {
+  ServedCase served;
+  net::HttpServer server;
+  net::RegisterServingEndpoints(&server, served.Context());
+  ASSERT_TRUE(server.Start().ok());
+  net::Client client("127.0.0.1", server.port());
+
+  StatusOr<net::HttpMessage> bad_json =
+      client.Post("/v1/impute", "{oops", "application/json");
+  ASSERT_TRUE(bad_json.ok());
+  EXPECT_EQ(bad_json->status_code, 400);
+  EXPECT_NE(bad_json->body.find("JSON parse error"), std::string::npos);
+
+  StatusOr<net::HttpMessage> bad_model = client.Post(
+      "/v1/impute", R"({"model": "ghost"})", "application/json");
+  ASSERT_TRUE(bad_model.ok());
+  EXPECT_EQ(bad_model->status_code, 404);
+  EXPECT_NE(bad_model->body.find("ghost"), std::string::npos);
+  server.Stop();
+}
+
+TEST(ServingEndpointsTest, CacheOnAndOffServeIdenticalBytesOverLoopback) {
+  // Two services over two servers: one cached, one not. Replies must be
+  // byte-identical (the cache may change latency, never bytes), and the
+  // cached service must record hits on repeats.
+  serve::ServiceConfig cached_config;
+  cached_config.cache_mb = 8.0;
+  ServedCase cached(cached_config);
+  ServedCase uncached;
+
+  net::HttpServer cached_server, uncached_server;
+  net::RegisterServingEndpoints(&cached_server, cached.Context());
+  net::RegisterServingEndpoints(&uncached_server, uncached.Context());
+  ASSERT_TRUE(cached_server.Start().ok());
+  ASSERT_TRUE(uncached_server.Start().ok());
+  net::Client cached_client("127.0.0.1", cached_server.port());
+  net::Client uncached_client("127.0.0.1", uncached_server.port());
+
+  const std::string body =
+      R"({"query": {"row": 1, "t_start": 10, "block_len": 6}})";
+  std::string first_body;
+  for (int round = 0; round < 3; ++round) {
+    StatusOr<net::HttpMessage> hot =
+        cached_client.Post("/v1/impute", body, "application/json");
+    StatusOr<net::HttpMessage> cold =
+        uncached_client.Post("/v1/impute", body, "application/json");
+    ASSERT_TRUE(hot.ok() && cold.ok());
+    ASSERT_EQ(hot->status_code, 200);
+    // Identical modulo the latency line, which is timing, not payload:
+    // compare the cells arrays.
+    auto cells = [](const std::string& text) {
+      const size_t at = text.find("\"cells\"");
+      return text.substr(at);
+    };
+    EXPECT_EQ(cells(hot->body), cells(cold->body)) << "round " << round;
+    if (round == 0) {
+      first_body = cells(hot->body);
+    } else {
+      EXPECT_EQ(cells(hot->body), first_body);
+    }
+  }
+  serve::TelemetrySnapshot snap = cached.service.telemetry();
+  EXPECT_EQ(snap.cache_misses, 1);
+  EXPECT_EQ(snap.cache_hits, 2);
+  ASSERT_NE(cached.service.response_cache(), nullptr);
+  EXPECT_EQ(cached.service.response_cache()->stats().hits, 2);
+  EXPECT_EQ(uncached.service.response_cache(), nullptr);
+  EXPECT_EQ(uncached.service.telemetry().cache_hits, 0);
+
+  cached_server.Stop();
+  uncached_server.Stop();
+}
+
+TEST(HttpServerTest, StopFinishesInFlightRequestsBeforeExiting) {
+  net::HttpServer server;
+  std::atomic<bool> handler_entered{false};
+  server.Handle("GET", "/slow", [&](const net::HttpMessage&) {
+    handler_entered = true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    return net::MakeResponse(200, "done late", "text/plain");
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  StatusOr<net::HttpMessage> response = Status::Internal("not run");
+  std::thread requester([&] {
+    net::Client client("127.0.0.1", server.port());
+    response = client.Get("/slow");
+  });
+  while (!handler_entered) std::this_thread::sleep_for(
+      std::chrono::milliseconds(5));
+  server.Stop();  // Must wait for the in-flight /slow, not cut it off.
+  requester.join();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status_code, 200);
+  EXPECT_EQ(response->body, "done late");
+}
+
+}  // namespace
+}  // namespace deepmvi

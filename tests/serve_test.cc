@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/deepmvi.h"
+#include "serve/response_cache.h"
 #include "serve/service.h"
 #include "serve/workload.h"
 #include "testing/test_util.h"
@@ -359,6 +360,119 @@ TEST(ImputationServiceTest, ConcurrentBatchesMatchSingleThreadBitForBit) {
   EXPECT_GT(snap.latency_p95_ms, 0.0);
   EXPECT_GE(snap.latency_p95_ms, snap.latency_p50_ms);
   EXPECT_GE(snap.latency_max_ms, snap.latency_p95_ms);
+}
+
+// ---- Response cache ---------------------------------------------------------
+
+serve::ResponseCache::CachedResponse MakeCached(int rows, int cols,
+                                                double fill) {
+  serve::ResponseCache::CachedResponse cached;
+  cached.imputed = Matrix(rows, cols, fill);
+  cached.cells_imputed = rows;
+  cached.rows_touched = 1;
+  return cached;
+}
+
+TEST(ResponseCacheTest, HitsMissesAndLruEvictionUnderByteBudget) {
+  // Each 8x8 entry is 8*8*8 = 512 bytes + header; budget fits two.
+  const int64_t entry_bytes =
+      8 * 8 * static_cast<int64_t>(sizeof(double)) +
+      static_cast<int64_t>(sizeof(serve::ResponseCache::CachedResponse));
+  serve::ResponseCache cache(2 * entry_bytes + 16);
+  const int model_a = 0, model_b = 0;  // Distinct addresses.
+
+  EXPECT_EQ(cache.Get(&model_a, 1, 1), nullptr);  // Miss.
+  cache.Put(&model_a, 1, 1, MakeCached(8, 8, 1.0));
+  serve::ResponseCache::ResponsePtr hit = cache.Get(&model_a, 1, 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->imputed(0, 0), 1.0);
+
+  // Same fingerprints under another model are a different key.
+  EXPECT_EQ(cache.Get(&model_b, 1, 1), nullptr);
+  cache.Put(&model_b, 1, 1, MakeCached(8, 8, 2.0));
+  // Different mask fingerprint is a different key too.
+  EXPECT_EQ(cache.Get(&model_a, 1, 2), nullptr);
+
+  // Budget holds two entries; inserting a third evicts the LRU (model_a's,
+  // since model_b's was inserted later and model_a's was touched earlier).
+  cache.Get(&model_b, 1, 1);  // model_b entry is now most recent.
+  cache.Put(&model_a, 9, 9, MakeCached(8, 8, 3.0));
+  serve::ResponseCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_LE(stats.bytes_cached, cache.byte_budget());
+  EXPECT_EQ(cache.Get(&model_a, 1, 1), nullptr);      // Evicted.
+  EXPECT_NE(cache.Get(&model_b, 1, 1), nullptr);      // Survived.
+  EXPECT_NE(cache.Get(&model_a, 9, 9), nullptr);      // New entry.
+
+  // An entry larger than the whole budget is never retained, and an
+  // outstanding pointer survives Clear().
+  cache.Put(&model_a, 7, 7, MakeCached(64, 64, 4.0));
+  EXPECT_EQ(cache.Get(&model_a, 7, 7), nullptr);
+  serve::ResponseCache::ResponsePtr pinned = cache.Get(&model_b, 1, 1);
+  cache.Clear();
+  EXPECT_EQ(cache.Get(&model_b, 1, 1), nullptr);
+  EXPECT_EQ(pinned->imputed(0, 0), 2.0);
+  EXPECT_GT(cache.stats().peak_bytes, 0);
+}
+
+TEST(ResponseCacheTest, FingerprintsSeparateDataMaskAndShape) {
+  SeasonalCase a = MakeSeasonalCase(51, 4, 60);
+  SeasonalCase b = MakeSeasonalCase(52, 4, 60);
+  EXPECT_EQ(serve::FingerprintData(a.data), serve::FingerprintData(a.data));
+  EXPECT_NE(serve::FingerprintData(a.data), serve::FingerprintData(b.data));
+  EXPECT_EQ(serve::FingerprintMask(a.mask), serve::FingerprintMask(a.mask));
+  Mask tweaked = a.mask;
+  tweaked.set_missing(0, 0);
+  EXPECT_NE(serve::FingerprintMask(a.mask), serve::FingerprintMask(tweaked));
+  // Same cell count, different shape.
+  EXPECT_NE(serve::FingerprintMask(Mask(2, 3)),
+            serve::FingerprintMask(Mask(3, 2)));
+}
+
+TEST(ImputationServiceTest, CachedResponsesAreBitIdenticalAndCounted) {
+  TrainedCase c = MakeTrainedCase();
+  serve::ServiceConfig cached_config;
+  cached_config.cache_mb = 16.0;
+  cached_config.threads = 1;
+  serve::ImputationService cached(cached_config);
+  ASSERT_TRUE(cached.registry().Register("m", std::move(c.model)).ok());
+
+  serve::ServiceConfig plain_config;
+  plain_config.threads = 1;
+  serve::ImputationService plain(plain_config);
+  {
+    TrainedCase ref = MakeTrainedCase();
+    ASSERT_TRUE(plain.registry().Register("m", std::move(ref.model)).ok());
+  }
+
+  std::vector<serve::ImputationRequest> requests = MakeWorkloadRequests(c, 6);
+  requests.push_back(requests[0]);  // Guaranteed repeats.
+  requests.push_back(requests[1]);
+  for (const serve::ImputationRequest& request : requests) {
+    serve::ImputationResponse hot = cached.Impute(request);
+    serve::ImputationResponse cold = plain.Impute(request);
+    ASSERT_TRUE(hot.status.ok()) << hot.status.ToString();
+    ExpectMatricesBitIdentical(hot.imputed, cold.imputed, "cache on vs off");
+    EXPECT_EQ(hot.cells_imputed, cold.cells_imputed);
+    EXPECT_EQ(hot.rows_touched, cold.rows_touched);
+  }
+  serve::TelemetrySnapshot snap = cached.telemetry();
+  EXPECT_EQ(snap.cache_hits, 2);
+  EXPECT_EQ(snap.cache_misses, 6);
+  EXPECT_EQ(plain.telemetry().cache_hits + plain.telemetry().cache_misses, 0);
+  ASSERT_NE(cached.response_cache(), nullptr);
+  EXPECT_EQ(cached.response_cache()->stats().hits, 2);
+  EXPECT_EQ(plain.response_cache(), nullptr);
+
+  // A model swap changes the cache key (pointer identity): the same
+  // request misses instead of serving the old weights' answer.
+  TrainedCase swapped = MakeTrainedCase(37);
+  ASSERT_TRUE(cached.registry().Register("m", std::move(swapped.model)).ok());
+  ASSERT_TRUE(cached.Impute(requests[0]).status.ok());
+  EXPECT_EQ(cached.telemetry().cache_misses, 7);
+  EXPECT_EQ(cached.telemetry().cache_hits, 2);
+
+  cached.Stop();  // Graceful-stop alias; destructor Shutdown stays safe.
 }
 
 TEST(ImputationServiceTest, ShutdownDrainsOutstandingFutures) {

@@ -1,0 +1,325 @@
+// dmvi_loadgen: concurrent load generator for the dmvi_serve HTTP
+// front-end — the measuring half of the network serving stack (dmvi_serve
+// --listen is the serving half).
+//
+//   dmvi_loadgen --target HOST:PORT [--concurrency C]
+//                (--synth N [--block B] [--workload-seed S] |
+//                 --workload FILE)
+//                [--rps R] [--json out.json] [--name LABEL]
+//                [--impute-csv out.csv] [--reload-every N]
+//
+// Queries are the same `row,t_start,block_len` block-hiding units
+// dmvi_serve replays in-process (the dataset shape is discovered via GET
+// /healthz, so synthesized workloads match the served dataset). C client
+// connections issue them concurrently over keep-alive; --rps > 0 paces
+// dispatch open-loop against a fixed schedule (requests are sent when
+// *scheduled*, late or not, so server slowdowns show up as latency rather
+// than reduced load) while --rps 0 runs closed-loop at full speed.
+//
+// Reports p50/p95/max latency and request/row throughput; --json writes a
+// suite-compatible cells file (dataset/scenario/imputer keys) so the
+// numbers ride the BENCH_* perf trajectory and bench_diff gating.
+//
+// --impute-csv fetches the served dataset's base-mask imputation as
+// text/csv and writes the body verbatim: byte-identical to dmvi_serve /
+// dmvi_train --impute-csv output for the same checkpoint + dataset flags
+// (the CI loopback smoke `cmp`s exactly this). --reload-every N posts
+// /admin/reload every N queries mid-run, proving warm reloads drop zero
+// requests.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "net/client.h"
+#include "net/codec.h"
+#include "net/server.h"
+#include "serve/telemetry.h"
+#include "serve/workload.h"
+
+namespace deepmvi {
+namespace {
+
+struct LoadgenOptions {
+  std::string host;
+  int port = 0;
+  int concurrency = 4;
+  int synth = 64;
+  int block = 10;
+  uint64_t workload_seed = 11;
+  std::string workload_path;
+  double rps = 0.0;  // 0 = closed loop, full speed.
+  std::string json_path;
+  std::string name = "loadgen";
+  std::string impute_csv;
+  int reload_every = 0;  // 0 = never.
+};
+
+/// One worker's share of the run: latencies (seconds) for its completed
+/// requests plus failure and reload counts.
+struct WorkerResult {
+  std::vector<double> latencies;
+  int64_t rows = 0;
+  int failed = 0;
+  int reloads_failed = 0;
+};
+
+std::string QueryBody(const serve::WorkloadQuery& query) {
+  return "{\"model\": \"default\", \"query\": {\"row\": " +
+         std::to_string(query.row) +
+         ", \"t_start\": " + std::to_string(query.t_start) +
+         ", \"block_len\": " + std::to_string(query.block_len) + "}}";
+}
+
+void RunWorker(const LoadgenOptions& options,
+               const std::vector<serve::WorkloadQuery>& queries, int worker,
+               const std::chrono::steady_clock::time_point& start,
+               WorkerResult* result) {
+  net::Client client(options.host, options.port);
+  for (size_t i = worker; i < queries.size(); i += options.concurrency) {
+    if (options.rps > 0.0) {
+      // Open loop: request i is *scheduled* at i / rps seconds into the
+      // run; sleep until then, never past it. A slow server makes us late
+      // (latency grows) but does not reduce the offered load.
+      const auto scheduled =
+          start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(i / options.rps));
+      std::this_thread::sleep_until(scheduled);
+    }
+    if (options.reload_every > 0 &&
+        i % static_cast<size_t>(options.reload_every) == 0 && i > 0) {
+      StatusOr<net::HttpMessage> reloaded =
+          client.Post("/admin/reload", "{}", "application/json");
+      if (!reloaded.ok() || reloaded->status_code != 200) {
+        ++result->reloads_failed;
+      }
+    }
+    Stopwatch watch;
+    StatusOr<net::HttpMessage> response = client.Post(
+        "/v1/impute", QueryBody(queries[i]), "application/json");
+    const double latency = watch.ElapsedSeconds();
+    if (!response.ok() || response->status_code != 200) {
+      ++result->failed;
+      continue;
+    }
+    result->latencies.push_back(latency);
+    result->rows += 1;  // One block query touches one series row.
+  }
+}
+
+int Run(int argc, char** argv) {
+  LoadgenOptions options;
+  std::string target, port_file;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (std::strcmp(argv[i], flag) != 0) return nullptr;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    const char* value = nullptr;
+    if ((value = next("--target"))) {
+      target = value;
+    } else if ((value = next("--port-file"))) {
+      port_file = value;
+    } else if ((value = next("--concurrency"))) {
+      options.concurrency = std::atoi(value);
+    } else if ((value = next("--synth"))) {
+      options.synth = std::atoi(value);
+    } else if ((value = next("--block"))) {
+      options.block = std::atoi(value);
+    } else if ((value = next("--workload-seed"))) {
+      options.workload_seed = std::strtoull(value, nullptr, 10);
+    } else if ((value = next("--workload"))) {
+      options.workload_path = value;
+    } else if ((value = next("--rps"))) {
+      options.rps = std::atof(value);
+    } else if ((value = next("--json"))) {
+      options.json_path = value;
+    } else if ((value = next("--name"))) {
+      options.name = value;
+    } else if ((value = next("--impute-csv"))) {
+      options.impute_csv = value;
+    } else if ((value = next("--reload-every"))) {
+      options.reload_every = std::atoi(value);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: dmvi_loadgen (--target HOST:PORT | --port-file PATH)\n"
+          "                    [--concurrency C] [--rps R]\n"
+          "                    [--synth N [--block B] [--workload-seed S]\n"
+          "                     | --workload FILE]\n"
+          "                    [--json out.json] [--name LABEL]\n"
+          "                    [--impute-csv out.csv] [--reload-every N]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (see --help)\n", argv[i]);
+      return 2;
+    }
+  }
+  if (target.empty() && !port_file.empty()) {
+    // dmvi_serve --port-file writes "host:port" once bound.
+    std::ifstream in(port_file);
+    if (!in || !std::getline(in, target)) {
+      std::fprintf(stderr, "cannot read target from %s\n", port_file.c_str());
+      return 1;
+    }
+  }
+  if (target.empty()) {
+    std::fprintf(stderr, "--target or --port-file is required (see --help)\n");
+    return 2;
+  }
+  if (Status parsed = net::ParseHostPort(target, &options.host, &options.port);
+      !parsed.ok()) {
+    std::fprintf(stderr, "--target: %s\n", parsed.ToString().c_str());
+    return 2;
+  }
+  options.concurrency = std::max(1, options.concurrency);
+
+  // ---- Discover the served dataset shape. ---------------------------------
+  net::Client probe(options.host, options.port);
+  StatusOr<net::HttpMessage> health = probe.Get("/healthz");
+  if (!health.ok()) {
+    std::fprintf(stderr, "cannot reach %s: %s\n", target.c_str(),
+                 health.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<net::JsonValue> health_doc = net::ParseJson(health->body);
+  if (!health_doc.ok() || !health_doc->at("num_series").is_number()) {
+    std::fprintf(stderr, "unexpected /healthz body: %s\n",
+                 health->body.c_str());
+    return 1;
+  }
+  const int num_series =
+      static_cast<int>(health_doc->at("num_series").number_value());
+  const int num_times =
+      static_cast<int>(health_doc->at("num_times").number_value());
+  if (num_series <= 0 || num_times <= 0) {
+    std::fprintf(stderr, "server reports no served dataset (%d x %d)\n",
+                 num_series, num_times);
+    return 1;
+  }
+
+  // ---- One-shot base-mask imputation fetch (byte-identity anchor). --------
+  if (!options.impute_csv.empty()) {
+    StatusOr<net::HttpMessage> imputed =
+        probe.Post("/v1/impute", "{\"model\": \"default\"}",
+                   "application/json", "text/csv");
+    if (!imputed.ok() || imputed->status_code != 200) {
+      std::fprintf(stderr, "base imputation fetch failed: %s\n",
+                   imputed.ok() ? imputed->body.c_str()
+                                : imputed.status().ToString().c_str());
+      return 1;
+    }
+    std::ofstream out(options.impute_csv, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   options.impute_csv.c_str());
+      return 1;
+    }
+    out << imputed->body;
+    std::printf("wrote served imputation %s (%zu bytes)\n",
+                options.impute_csv.c_str(), imputed->body.size());
+  }
+
+  // ---- Workload. ----------------------------------------------------------
+  std::vector<serve::WorkloadQuery> queries;
+  if (!options.workload_path.empty()) {
+    StatusOr<std::vector<serve::WorkloadQuery>> read =
+        serve::ReadWorkload(options.workload_path);
+    if (!read.ok()) {
+      std::fprintf(stderr, "%s\n", read.status().ToString().c_str());
+      return 1;
+    }
+    queries = std::move(read).value();
+  } else if (options.synth > 0) {
+    queries = serve::SynthesizeWorkload(options.synth, options.block,
+                                        num_series, num_times,
+                                        options.workload_seed);
+  }
+  if (queries.empty()) return 0;
+
+  // ---- Fire. --------------------------------------------------------------
+  std::vector<WorkerResult> results(options.concurrency);
+  Stopwatch wall;
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(options.concurrency);
+    for (int w = 0; w < options.concurrency; ++w) {
+      workers.emplace_back(RunWorker, std::cref(options), std::cref(queries),
+                           w, std::cref(start), &results[w]);
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  std::vector<double> latencies;
+  int64_t rows = 0;
+  int failed = 0, reloads_failed = 0;
+  for (const WorkerResult& result : results) {
+    latencies.insert(latencies.end(), result.latencies.begin(),
+                     result.latencies.end());
+    rows += result.rows;
+    failed += result.failed;
+    reloads_failed += result.reloads_failed;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double p50_ms = serve::SortedPercentile(latencies, 0.50) * 1e3;
+  const double p95_ms = serve::SortedPercentile(latencies, 0.95) * 1e3;
+  const double max_ms = latencies.empty() ? 0.0 : latencies.back() * 1e3;
+  const double rps = wall_seconds > 0.0
+                         ? static_cast<double>(latencies.size()) / wall_seconds
+                         : 0.0;
+  const double rows_per_second =
+      wall_seconds > 0.0 ? static_cast<double>(rows) / wall_seconds : 0.0;
+
+  std::printf(
+      "%zu queries over %d connections (%d failed, %d reloads failed) in "
+      "%.2fs: p50 %.2f ms, p95 %.2f ms, max %.2f ms | %.1f req/s, %.1f "
+      "rows/s\n",
+      queries.size(), options.concurrency, failed, reloads_failed,
+      wall_seconds, p50_ms, p95_ms, max_ms, rps, rows_per_second);
+
+  if (!options.json_path.empty()) {
+    // Suite-compatible cell: dataset/scenario/imputer identify the row in
+    // the BENCH trajectory; bench_diff compares runtime and flags a
+    // vanished cell, while the latency fields ride along as provenance.
+    std::ofstream out(options.json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   options.json_path.c_str());
+      return 1;
+    }
+    out.precision(17);
+    out << "{\n  \"cells\": [\n";
+    out << "    {\"dataset\": \"" << options.name
+        << "\", \"scenario\": \"loopback\", \"imputer\": \"DeepMVI-served\", "
+        << "\"ok\": " << (failed == 0 && reloads_failed == 0 ? "true" : "false")
+        << ", \"runtime_seconds\": " << wall_seconds
+        << ", \"requests\": " << queries.size() << ", \"failed\": " << failed
+        << ", \"concurrency\": " << options.concurrency
+        << ", \"latency_p50_ms\": " << p50_ms
+        << ", \"latency_p95_ms\": " << p95_ms
+        << ", \"latency_max_ms\": " << max_ms
+        << ", \"requests_per_second\": " << rps
+        << ", \"rows_per_second\": " << rows_per_second << "}\n";
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", options.json_path.c_str());
+  }
+  return failed == 0 && reloads_failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace deepmvi
+
+int main(int argc, char** argv) { return deepmvi::Run(argc, argv); }

@@ -10,9 +10,18 @@
 //   --workload FILE            replay `row,t_start,block_len` lines
 //   --synth N [--block B]      N random block queries (deterministic in
 //                              --workload-seed)
-// Service knobs: --batch (micro-batch cap), --linger-ms, --threads.
+// Service knobs: --batch (micro-batch cap), --linger-ms, --threads,
+// --cache-mb (response cache; 0 = off).
 // Reports p50/p95/max latency, rows/sec, and the full telemetry JSON
 // (--telemetry-json PATH to persist it).
+//
+// Network mode: --listen HOST:PORT starts the src/net HTTP front-end
+// (POST /v1/impute, GET /healthz, GET /metrics, POST /admin/reload) over
+// the same service and blocks until SIGINT/SIGTERM. --http-workers sets
+// the connection pool width, --port-file writes the bound HOST:PORT (port
+// 0 picks a free one) for scripts, and --reload-on-sighup makes SIGHUP
+// warm-reload the checkpoint from --model without dropping connections.
+// Bind/listen failures exit non-zero instead of aborting.
 //
 // --impute-csv PATH sends the dataset's own base mask through the service
 // once and writes the completed matrix; for a checkpoint from dmvi_train
@@ -20,14 +29,19 @@
 // dmvi_train's --impute-csv (proving save/load exactness across
 // processes).
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "data/io.h"
+#include "net/endpoints.h"
+#include "net/server.h"
 #include "serve/service.h"
 #include "serve/workload.h"
 #include "tools/dataset_flags.h"
@@ -35,8 +49,19 @@
 namespace deepmvi {
 namespace {
 
+// Signal flags polled by the --listen loop. sig_atomic_t writes are the
+// only thing a handler may do portably.
+volatile std::sig_atomic_t g_sighup = 0;
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void OnSighup(int) { g_sighup = 1; }
+void OnShutdown(int) { g_shutdown = 1; }
+
 int Run(int argc, char** argv) {
   std::string model_path, workload_path, impute_csv, telemetry_json;
+  std::string listen_address, port_file;
+  bool reload_on_sighup = false;
+  int http_workers = 4;
   tools::DatasetSpec dataset_spec;
   uint64_t workload_seed = 11;
   int synth = 0;
@@ -72,6 +97,16 @@ int Run(int argc, char** argv) {
       service_config.batch_linger_ms = std::atof(value);
     } else if ((value = next("--threads"))) {
       service_config.threads = std::atoi(value);
+    } else if ((value = next("--cache-mb"))) {
+      service_config.cache_mb = std::atof(value);
+    } else if ((value = next("--listen"))) {
+      listen_address = value;
+    } else if ((value = next("--http-workers"))) {
+      http_workers = std::atoi(value);
+    } else if ((value = next("--port-file"))) {
+      port_file = value;
+    } else if (std::strcmp(argv[i], "--reload-on-sighup") == 0) {
+      reload_on_sighup = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: dmvi_serve --model model.dmvi\n"
@@ -82,7 +117,10 @@ int Run(int argc, char** argv) {
           "                  [--workload FILE | --synth N [--block B]\n"
           "                   [--workload-seed S]]\n"
           "                  [--batch N] [--linger-ms X] [--threads N]\n"
-          "                  [--impute-csv out.csv] [--telemetry-json out.json]\n");
+          "                  [--cache-mb MB]\n"
+          "                  [--impute-csv out.csv] [--telemetry-json out.json]\n"
+          "                  [--listen HOST:PORT [--http-workers N]\n"
+          "                   [--port-file PATH] [--reload-on-sighup]]\n");
       return 0;
     } else if (missing_value) {
       std::fprintf(stderr, "missing value for %s (see --help)\n", argv[i]);
@@ -180,6 +218,79 @@ int Run(int argc, char** argv) {
         snap.latency_p95_ms, snap.latency_max_ms, snap.requests_per_second,
         snap.rows_per_second, snap.cells_per_second, snap.mean_batch_size);
     if (failed > 0) return 1;
+  }
+
+  // ---- Network front-end: serve the same queries over HTTP. --------------
+  if (!listen_address.empty()) {
+    net::ServerConfig server_config;
+    if (Status parsed = net::ParseHostPort(listen_address, &server_config.host,
+                                           &server_config.port);
+        !parsed.ok()) {
+      std::fprintf(stderr, "--listen: %s\n", parsed.ToString().c_str());
+      return 2;
+    }
+    server_config.num_workers = http_workers;
+
+    net::HttpServer server(server_config);
+    net::ServingContext context;
+    context.service = &service;
+    context.data = data;
+    context.base_mask = mask;
+    context.reload = [&service, model_path](const std::string& model,
+                                            const std::string& path) {
+      // Atomic registry swap: requests already running finish against the
+      // old weights, new requests see the new ones. The response cache
+      // keys on the model pointer, so it can never serve the old weights'
+      // results for the new model.
+      return service.registry().LoadFromFile(
+          model, path.empty() ? model_path : path);
+    };
+    net::RegisterServingEndpoints(&server, context);
+
+    if (Status started = server.Start(); !started.ok()) {
+      std::fprintf(stderr, "cannot start server on %s: %s\n",
+                   listen_address.c_str(), started.ToString().c_str());
+      return 1;
+    }
+    std::printf("listening on %s (workers %d, cache %.0f MB)\n",
+                server.address().c_str(), http_workers,
+                service_config.cache_mb);
+    std::fflush(stdout);
+    if (!port_file.empty()) {
+      std::ofstream out(port_file);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     port_file.c_str());
+        return 1;
+      }
+      out << server.address() << "\n";
+    }
+
+    std::signal(SIGINT, OnShutdown);
+    std::signal(SIGTERM, OnShutdown);
+    if (reload_on_sighup) std::signal(SIGHUP, OnSighup);
+
+    while (!g_shutdown) {
+      if (g_sighup) {
+        g_sighup = 0;
+        Status reloaded = context.reload("default", "");
+        if (reloaded.ok()) {
+          std::printf("SIGHUP: reloaded %s\n", model_path.c_str());
+        } else {
+          // Keep serving the old weights — a bad checkpoint on disk must
+          // not take the service down.
+          std::fprintf(stderr, "SIGHUP reload failed: %s\n",
+                       reloaded.ToString().c_str());
+        }
+        std::fflush(stdout);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::printf("shutting down: draining connections...\n");
+    server.Stop();
+    service.Stop();
+    std::printf("served %lld requests\n",
+                static_cast<long long>(server.requests_served()));
   }
 
   if (!telemetry_json.empty()) {
