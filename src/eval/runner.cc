@@ -37,8 +37,20 @@ ExperimentResult RunExperimentWithMask(const DataTensor& data, const Mask& mask,
 ExperimentResult RunExperiment(const DataTensor& data,
                                const ScenarioConfig& scenario,
                                Imputer& imputer) {
-  Mask mask = GenerateScenario(scenario, data.num_series(), data.num_times());
-  ExperimentResult result = RunExperimentWithMask(data, mask, imputer);
+  // Drift rewrites the ground truth (a drifting sensor, not just hidden
+  // readings): the imputer sees — and is scored against — the corrupted
+  // values. MNAR needs the effective values to correlate missingness with;
+  // every other kind goes through the same call with values ignored.
+  ExperimentResult result;
+  if (scenario.kind == ScenarioKind::kDrift) {
+    DataTensor transformed(data.dims(),
+                           ApplyScenarioTransform(scenario, data.values()));
+    Mask mask = GenerateScenarioForData(scenario, transformed.values());
+    result = RunExperimentWithMask(transformed, mask, imputer);
+  } else {
+    Mask mask = GenerateScenarioForData(scenario, data.values());
+    result = RunExperimentWithMask(data, mask, imputer);
+  }
   result.scenario_name = ScenarioName(scenario.kind);
   return result;
 }
@@ -47,6 +59,14 @@ StatusOr<ExperimentResult> RunStoreExperiment(
     const storage::DataSource& source, const Mask& base_mask,
     const ScenarioConfig& scenario, const std::string& imputer_name,
     const SourceImputeFn& impute) {
+  // Value-dependent masks (MNAR) and value transforms (Drift) need the
+  // dense tensor, which the out-of-core path never materializes.
+  if (ScenarioNeedsValues(scenario.kind) ||
+      scenario.kind == ScenarioKind::kDrift) {
+    return Status::InvalidArgument(
+        ScenarioName(scenario.kind) +
+        " is not supported for store experiments (needs the dense tensor)");
+  }
   const int n = source.num_series();
   const int t_len = source.num_times();
   if (base_mask.rows() != n || base_mask.cols() != t_len) {

@@ -210,6 +210,9 @@ StatusOr<ScenarioKind> ParseScenarioKind(const std::string& name) {
   if (name == "MissOver") return ScenarioKind::kMissOver;
   if (name == "Blackout") return ScenarioKind::kBlackout;
   if (name == "MissPoint") return ScenarioKind::kMissPoint;
+  if (name == "MultiBlackout") return ScenarioKind::kMultiBlackout;
+  if (name == "MNAR") return ScenarioKind::kMnar;
+  if (name == "Drift") return ScenarioKind::kDrift;
   return Status::InvalidArgument("unknown scenario: " + name);
 }
 

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -28,7 +29,10 @@ Client::Client(std::string host, int port)
 Client::~Client() { Close(); }
 
 Client::Client(Client&& other) noexcept
-    : host_(std::move(other.host_)), port_(other.port_), fd_(other.fd_) {
+    : host_(std::move(other.host_)),
+      port_(other.port_),
+      fd_(other.fd_),
+      fault_(std::move(other.fault_)) {
   other.fd_ = -1;
 }
 
@@ -38,9 +42,14 @@ Client& Client::operator=(Client&& other) noexcept {
     host_ = std::move(other.host_);
     port_ = other.port_;
     fd_ = other.fd_;
+    fault_ = std::move(other.fault_);
     other.fd_ = -1;
   }
   return *this;
+}
+
+void Client::SetFaultInjector(std::shared_ptr<FaultInjector> injector) {
+  fault_ = std::move(injector);
 }
 
 void Client::Close() {
@@ -86,11 +95,24 @@ StatusOr<HttpMessage> Client::Attempt(const std::string& wire, bool* reused) {
 
   size_t sent = 0;
   while (sent < wire.size()) {
-    const ssize_t n =
-        ::send(fd_, wire.data() + sent, wire.size() - sent, kSendFlags);
+    const ssize_t n = FaultySend(fault_.get(), fd_, wire.data() + sent,
+                                 wire.size() - sent, kSendFlags);
     if (n < 0) {
       if (errno == EINTR) continue;
       const std::string error = std::strerror(errno);
+      if (errno == ECONNRESET || errno == EPIPE) {
+        // The server may have rejected the request early (e.g. 413 to an
+        // oversized body) and closed its read side while we were still
+        // sending. That response is worth draining before declaring the
+        // round trip dead (RFC 7230 §6.5) — but only if it is already on
+        // the wire; a short poll bounds the wait so a silent peer cannot
+        // hang the client.
+        pollfd pending;
+        pending.fd = fd_;
+        pending.events = POLLIN;
+        pending.revents = 0;
+        if (::poll(&pending, 1, 500) > 0) break;
+      }
       Close();
       return Status::IoError("send: " + error);
     }
@@ -106,7 +128,7 @@ StatusOr<HttpMessage> Client::Attempt(const std::string& wire, bool* reused) {
   HttpParser parser(HttpParser::Mode::kResponse, response_limits);
   char buffer[8192];
   while (!parser.done()) {
-    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    const ssize_t n = FaultyRecv(fault_.get(), fd_, buffer, sizeof(buffer));
     if (n < 0) {
       if (errno == EINTR) continue;
       const std::string error = std::strerror(errno);

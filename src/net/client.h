@@ -1,9 +1,11 @@
 #ifndef DEEPMVI_NET_CLIENT_H_
 #define DEEPMVI_NET_CLIENT_H_
 
+#include <memory>
 #include <string>
 
 #include "common/status.h"
+#include "net/fault.h"
 #include "net/http.h"
 
 namespace deepmvi {
@@ -37,6 +39,12 @@ class Client {
   const std::string& host() const { return host_; }
   int port() const { return port_; }
 
+  /// Routes this client's socket I/O through a deterministic fault
+  /// schedule (net/fault.h). Null (the default) is the plain syscalls.
+  /// Tests use it to prove the client's retry paths recover from EINTR
+  /// and short transfers and surface resets as IoError.
+  void SetFaultInjector(std::shared_ptr<FaultInjector> injector);
+
  private:
   Status Connect();
   void Close();
@@ -47,6 +55,7 @@ class Client {
   std::string host_;
   int port_ = 0;
   int fd_ = -1;
+  std::shared_ptr<FaultInjector> fault_;
 };
 
 }  // namespace net

@@ -438,7 +438,13 @@ std::string EncodeImputedJson(const serve::ImputationResponse& response,
   std::ostringstream os;
   os.precision(17);
   os << "{\n";
-  os << "  \"status\": \"ok\",\n";
+  os << "  \"status\": \"" << (response.degraded ? "degraded" : "ok")
+     << "\",\n";
+  if (response.degraded) {
+    os << "  \"degraded\": true,\n";
+    os << "  \"degrade_method\": \"" << EscapeJson(response.degrade_method)
+       << "\",\n";
+  }
   os << "  \"latency_seconds\": " << response.latency_seconds << ",\n";
   os << "  \"cells_imputed\": " << response.cells_imputed << ",\n";
   os << "  \"rows_touched\": " << response.rows_touched << ",\n";

@@ -111,7 +111,10 @@ std::string EncodeImputedCsv(const std::vector<Dimension>& dims,
 
 /// JSON success body: request status, latency, and one {series, time,
 /// value} entry per cell of `mask` that was missing (precision 17, so
-/// values survive the trip bit-exactly).
+/// values survive the trip bit-exactly). A degraded answer (the admission
+/// ladder fell back to a cheap imputer under overload) says so loudly:
+/// "status" becomes "degraded" and "degraded"/"degrade_method" fields name
+/// the fallback — callers must never mistake a fallback for model output.
 std::string EncodeImputedJson(const serve::ImputationResponse& response,
                               const Mask& mask);
 

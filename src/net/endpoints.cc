@@ -53,15 +53,42 @@ HttpMessage HandleImpute(const ServingContext& ctx,
       ctx.service->Submit(std::move(impute)).get();
   if (!response.status.ok()) return ErrorResponse(response.status);
 
+  HttpMessage reply;
   if (api.csv_response) {
-    return MakeResponse(200, EncodeImputedCsv(data->dims(), response.imputed),
-                        "text/csv");
+    reply = MakeResponse(200, EncodeImputedCsv(data->dims(), response.imputed),
+                         "text/csv");
+  } else {
+    reply = MakeResponse(200, EncodeImputedJson(response, mask),
+                         "application/json");
   }
-  return MakeResponse(200, EncodeImputedJson(response, mask),
-                      "application/json");
+  // The degradation marker rides a header too so CSV responses (whose body
+  // must stay byte-identical to the dataset format) still carry it.
+  if (response.degraded) {
+    reply.SetHeader("x-dmvi-degraded", response.degrade_method);
+  }
+  return reply;
 }
 
-HttpMessage HandleHealthz(const ServingContext& ctx) {
+HttpMessage HandleHealthz(const ServingContext& ctx,
+                          const HttpServer* server) {
+  const serve::ServiceConfig& config = ctx.service->config();
+  const int queue_depth = ctx.service->queue_depth();
+  const int pending = server != nullptr ? server->pending_connections() : 0;
+  const int depth = queue_depth + pending;
+  // The same ladder Submit walks, re-derived for observers: shedding beats
+  // degrading beats ready; both watermarks at 0 means the ladder is off.
+  const char* degradation = "off";
+  if (config.shed_watermark > 0 || config.degrade_watermark > 0) {
+    if (config.shed_watermark > 0 && depth >= config.shed_watermark) {
+      degradation = "shedding";
+    } else if (config.degrade_watermark > 0 &&
+               depth >= config.degrade_watermark) {
+      degradation = "degrading";
+    } else {
+      degradation = "ready";
+    }
+  }
+
   std::ostringstream os;
   os << "{\n  \"status\": \"ok\",\n  \"models\": [";
   bool first = true;
@@ -72,7 +99,13 @@ HttpMessage HandleHealthz(const ServingContext& ctx) {
   os << "],\n";
   os << "  \"num_series\": " << (ctx.data ? ctx.data->num_series() : 0)
      << ",\n";
-  os << "  \"num_times\": " << (ctx.data ? ctx.data->num_times() : 0) << "\n";
+  os << "  \"num_times\": " << (ctx.data ? ctx.data->num_times() : 0)
+     << ",\n";
+  os << "  \"queue_depth\": " << queue_depth << ",\n";
+  os << "  \"pending_connections\": " << pending << ",\n";
+  os << "  \"degrade_watermark\": " << config.degrade_watermark << ",\n";
+  os << "  \"shed_watermark\": " << config.shed_watermark << ",\n";
+  os << "  \"degradation\": \"" << degradation << "\"\n";
   os << "}\n";
   return MakeResponse(200, os.str(), "application/json");
 }
@@ -114,8 +147,8 @@ void RegisterServingEndpoints(HttpServer* server, ServingContext ctx) {
   server->Handle("POST", "/v1/impute", [ctx](const HttpMessage& request) {
     return HandleImpute(ctx, request);
   });
-  server->Handle("GET", "/healthz", [ctx](const HttpMessage&) {
-    return HandleHealthz(ctx);
+  server->Handle("GET", "/healthz", [ctx, server](const HttpMessage&) {
+    return HandleHealthz(ctx, server);
   });
   server->Handle("GET", "/metrics", [ctx](const HttpMessage&) {
     return MakeResponse(200,

@@ -33,12 +33,20 @@ struct ServingContext {
 /// Registers the serving API on `server`:
 ///   POST /v1/impute    data path -> ImputationService::Submit (so HTTP
 ///                      requests micro-batch and fan out exactly like
-///                      in-process Submit callers)
-///   GET  /healthz      {"status":"ok", models, dataset shape}
-///   GET  /metrics      Telemetry JSON (serve/telemetry.h)
+///                      in-process Submit callers). Responses answered by
+///                      the degradation ladder carry an "x-dmvi-degraded"
+///                      header naming the fallback imputer (JSON bodies
+///                      additionally say "status": "degraded").
+///   GET  /healthz      {"status":"ok", models, dataset shape, queue
+///                      depth, pending connections, watermarks, and the
+///                      current degradation state: off/ready/degrading/
+///                      shedding}
+///   GET  /metrics      Telemetry JSON (serve/telemetry.h), including
+///                      degraded/shed counters
 ///   POST /admin/reload warm checkpoint swap via ctx.reload
-/// `ctx` is copied into the handlers; the pointed-to service must outlive
-/// the server.
+/// `ctx` is copied into the handlers and `server` itself is captured by
+/// the /healthz route (it reports the accept-queue depth); both the
+/// service and the server must outlive the registered handlers.
 void RegisterServingEndpoints(HttpServer* server, ServingContext ctx);
 
 }  // namespace net

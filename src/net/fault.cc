@@ -1,0 +1,92 @@
+#include "net/fault.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace deepmvi {
+namespace net {
+
+FaultInjector::FaultInjector(Config config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+FaultInjector::Decision FaultInjector::Next(const FaultProfile& profile,
+                                            size_t requested) {
+  // One Uniform() draw per op keeps the schedule stable when rates are
+  // tuned: the same seed visits the same decision points.
+  const double u = rng_.Uniform();
+  Decision decision;
+  if (u < profile.eintr_rate) {
+    decision.action = Action::kEintr;
+  } else if (u < profile.eintr_rate + profile.short_rate) {
+    // A short transfer needs at least 1 byte of progress (a 0-byte recv
+    // would read as EOF) and must be a strict prefix to mean anything.
+    if (requested >= 2) {
+      decision.action = Action::kShort;
+      decision.cap = 1 + static_cast<size_t>(rng_.UniformInt(
+                             static_cast<int>(requested - 1)));
+    }
+  } else if (u < profile.eintr_rate + profile.short_rate +
+                     profile.reset_rate) {
+    decision.action = Action::kReset;
+  }
+  if (decision.action != Action::kNone) ++injected_;
+  return decision;
+}
+
+FaultInjector::Decision FaultInjector::NextRead(size_t requested) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Next(config_.read, requested);
+}
+
+FaultInjector::Decision FaultInjector::NextWrite(size_t requested) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Next(config_.write, requested);
+}
+
+int64_t FaultInjector::injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return injected_;
+}
+
+ssize_t FaultyRecv(FaultInjector* injector, int fd, void* buffer,
+                   size_t length) {
+  if (injector == nullptr) return ::recv(fd, buffer, length, 0);
+  const FaultInjector::Decision decision = injector->NextRead(length);
+  switch (decision.action) {
+    case FaultInjector::Action::kEintr:
+      errno = EINTR;
+      return -1;
+    case FaultInjector::Action::kReset:
+      errno = ECONNRESET;
+      return -1;
+    case FaultInjector::Action::kShort:
+      return ::recv(fd, buffer, decision.cap, 0);
+    case FaultInjector::Action::kNone:
+      break;
+  }
+  return ::recv(fd, buffer, length, 0);
+}
+
+ssize_t FaultySend(FaultInjector* injector, int fd, const void* buffer,
+                   size_t length, int flags) {
+  if (injector == nullptr) return ::send(fd, buffer, length, flags);
+  const FaultInjector::Decision decision = injector->NextWrite(length);
+  switch (decision.action) {
+    case FaultInjector::Action::kEintr:
+      errno = EINTR;
+      return -1;
+    case FaultInjector::Action::kReset:
+      errno = ECONNRESET;
+      return -1;
+    case FaultInjector::Action::kShort:
+      return ::send(fd, buffer, decision.cap, flags);
+    case FaultInjector::Action::kNone:
+      break;
+  }
+  return ::send(fd, buffer, length, flags);
+}
+
+}  // namespace net
+}  // namespace deepmvi

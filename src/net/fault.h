@@ -1,0 +1,76 @@
+#ifndef DEEPMVI_NET_FAULT_H_
+#define DEEPMVI_NET_FAULT_H_
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "common/rng.h"
+
+namespace deepmvi {
+namespace net {
+
+/// Per-direction fault probabilities for one I/O stream. Rates are
+/// independent draws per syscall; their sum should stay <= 1.
+struct FaultProfile {
+  double eintr_rate = 0.0;  // Op fails with EINTR (caller must retry).
+  double short_rate = 0.0;  // Op transfers a random strict prefix.
+  double reset_rate = 0.0;  // Op fails with ECONNRESET (peer vanished).
+};
+
+/// Deterministic fault schedule for the socket shim below: every
+/// FaultyRecv/FaultySend consults the injector before touching the real
+/// syscall, so short reads/writes, EINTR storms, and mid-stream resets
+/// replay identically for a given seed. Thread-safe — decisions are drawn
+/// from one seeded common::Rng stream in call order, which keeps a
+/// single-connection test bit-reproducible; concurrent connections share
+/// the stream (each still sees a valid schedule, interleaving varies).
+class FaultInjector {
+ public:
+  struct Config {
+    uint64_t seed = 1;
+    FaultProfile read;
+    FaultProfile write;
+  };
+
+  enum class Action { kNone, kEintr, kShort, kReset };
+
+  struct Decision {
+    Action action = Action::kNone;
+    size_t cap = 0;  // Transfer cap for kShort (1 <= cap < requested).
+  };
+
+  explicit FaultInjector(Config config);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// The fate of the next read of up to `requested` bytes.
+  Decision NextRead(size_t requested);
+  /// The fate of the next write of `requested` bytes.
+  Decision NextWrite(size_t requested);
+
+  /// Total faults injected so far (tests assert the schedule actually
+  /// fired rather than silently passing on an all-clean run).
+  int64_t injected() const;
+
+ private:
+  Decision Next(const FaultProfile& profile, size_t requested);
+
+  const Config config_;
+  mutable std::mutex mutex_;
+  Rng rng_;
+  int64_t injected_ = 0;
+};
+
+/// recv(2)/send(2) through the injector; a null injector is the plain
+/// syscall, so production code paths pay one branch when faults are off.
+ssize_t FaultyRecv(FaultInjector* injector, int fd, void* buffer, size_t length);
+ssize_t FaultySend(FaultInjector* injector, int fd, const void* buffer,
+                   size_t length, int flags);
+
+}  // namespace net
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_NET_FAULT_H_

@@ -14,6 +14,7 @@
 
 #include "common/parallel.h"
 #include "net/codec.h"
+#include "net/fault.h"
 
 namespace deepmvi {
 namespace net {
@@ -193,11 +194,16 @@ void HttpServer::WorkerLoop() {
   }
 }
 
+int HttpServer::pending_connections() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return static_cast<int>(pending_.size());
+}
+
 bool HttpServer::WriteAll(int fd, const std::string& bytes) {
   size_t sent = 0;
   while (sent < bytes.size()) {
-    const ssize_t n =
-        ::send(fd, bytes.data() + sent, bytes.size() - sent, kSendFlags);
+    const ssize_t n = FaultySend(config_.fault.get(), fd, bytes.data() + sent,
+                                 bytes.size() - sent, kSendFlags);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -242,7 +248,8 @@ void HttpServer::ServeConnection(int fd) {
   char buffer[8192];
   double idle_seconds = 0.0;
   for (;;) {
-    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    const ssize_t n =
+        FaultyRecv(config_.fault.get(), fd, buffer, sizeof(buffer));
     if (n == 0) return;  // Peer closed.
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -269,8 +276,10 @@ void HttpServer::ServeConnection(int fd) {
             EncodeErrorJson(Status::InvalidArgument(parser.error_message())),
             "application/json");
         error.SetHeader("connection", "close");
-        WriteAll(fd, SerializeResponse(error));
+        // Count before writing: once the peer can observe the response,
+        // the counter must already cover it.
         ++requests_served_;
+        WriteAll(fd, SerializeResponse(error));
         return;
       }
       if (!parser.done()) continue;
@@ -278,8 +287,8 @@ void HttpServer::ServeConnection(int fd) {
       const bool keep_alive = WantsKeepAlive(parser.message()) && !stopping_;
       HttpMessage response = Dispatch(parser.message());
       response.SetHeader("connection", keep_alive ? "keep-alive" : "close");
-      if (!WriteAll(fd, SerializeResponse(response))) return;
       ++requests_served_;
+      if (!WriteAll(fd, SerializeResponse(response))) return;
       if (!keep_alive) return;
       parser.Reset();
     }

@@ -6,6 +6,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "net/fault.h"
 #include "net/http.h"
 
 namespace deepmvi {
@@ -34,6 +36,11 @@ struct ServerConfig {
   /// A connection idle longer than this between requests is closed. Also
   /// bounds how long Stop() waits for workers blocked on idle reads.
   double idle_timeout_seconds = 30.0;
+  /// Optional deterministic fault schedule (net/fault.h): every recv/send
+  /// on accepted connections goes through it. Null (the default) is the
+  /// plain syscalls — production pays one branch. Tests inject short
+  /// reads/writes, EINTR, and mid-stream resets reproducibly.
+  std::shared_ptr<FaultInjector> fault;
 };
 
 /// Dependency-free HTTP/1.1 server on POSIX sockets: a listener + accept
@@ -87,6 +94,11 @@ class HttpServer {
   /// Total requests answered (including error responses), for tests.
   int64_t requests_served() const { return requests_served_; }
 
+  /// Accepted connections currently waiting for a free worker — the
+  /// network half of the overload pressure signal (dmvi_serve wires it
+  /// into ImputationService::SetPressureProbe; /healthz reports it).
+  int pending_connections() const;
+
  private:
   void AcceptLoop();
   void WorkerLoop();
@@ -109,7 +121,7 @@ class HttpServer {
   std::thread accept_thread_;
   std::thread pool_thread_;  // Runs the ParallelFor worker region.
 
-  std::mutex queue_mutex_;
+  mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;       // Workers wait for connections.
   std::condition_variable backpressure_cv_;  // Accept loop waits for space.
   std::deque<int> pending_;                // Accepted fds awaiting a worker.

@@ -33,18 +33,111 @@ void PlaceRandomBlocks(Mask& mask, int r, int count, int block_size, Rng& rng) {
   }
 }
 
+int NumIncomplete(const ScenarioConfig& config, int num_series) {
+  return std::clamp(
+      static_cast<int>(std::lround(config.percent_incomplete * num_series)), 1,
+      num_series);
+}
+
+/// Per-series standard deviation (population), with a floor of 1 so a
+/// constant series still drifts by an observable amount.
+double RowStddev(const Matrix& values, int r) {
+  const int t_len = values.cols();
+  double mean = 0.0;
+  for (int t = 0; t < t_len; ++t) mean += values(r, t);
+  mean /= t_len;
+  double var = 0.0;
+  for (int t = 0; t < t_len; ++t) {
+    const double d = values(r, t) - mean;
+    var += d * d;
+  }
+  var /= t_len;
+  const double stddev = std::sqrt(var);
+  return stddev > 1e-12 ? stddev : 1.0;
+}
+
+int DriftPeriod(const ScenarioConfig& config, int num_times) {
+  if (config.recalibration_period > 0) return config.recalibration_period;
+  return std::max(num_times / 4, 2);
+}
+
+/// MNAR mask for one series: blocks anchored on cells whose value is at or
+/// above the series' `mnar_quantile` quantile, until `missing_fraction` of
+/// the series is hidden (or anchors run out).
+void PlaceMnarBlocks(Mask& mask, const Matrix& values, int r,
+                     const ScenarioConfig& config, Rng& rng) {
+  const int t_len = mask.cols();
+  std::vector<double> sorted(t_len);
+  for (int t = 0; t < t_len; ++t) sorted[t] = values(r, t);
+  std::sort(sorted.begin(), sorted.end());
+  const double q = std::clamp(config.mnar_quantile, 0.0, 1.0);
+  const int idx = std::min(static_cast<int>(std::floor(q * (t_len - 1))),
+                           t_len - 1);
+  const double threshold = sorted[std::max(idx, 0)];
+
+  std::vector<int> anchors;
+  for (int t = 0; t < t_len; ++t) {
+    if (values(r, t) >= threshold) anchors.push_back(t);
+  }
+  rng.Shuffle(anchors);
+
+  const int target = std::max(
+      1, static_cast<int>(std::lround(config.missing_fraction * t_len)));
+  const int block = std::max(config.block_size, 1);
+  int placed = 0;
+  for (const int anchor : anchors) {
+    if (placed >= target) break;
+    const int len = std::min({block, target - placed, t_len});
+    const int t0 = std::clamp(anchor - len / 2, 0, t_len - len);
+    bool clash = false;
+    for (int t = t0; t < t0 + len; ++t) {
+      if (mask.missing(r, t)) {
+        clash = true;
+        break;
+      }
+    }
+    if (clash) continue;
+    mask.SetMissingRange(r, t0, t0 + len);
+    placed += len;
+  }
+  // Anchors can be too clustered to fit the target without overlap; the
+  // rate invariant is "at most target + block - 1", enforced naturally by
+  // the len arithmetic above, with at least one block always placed.
+  if (placed == 0 && !anchors.empty()) {
+    const int len = std::min(block, t_len);
+    const int t0 = std::clamp(anchors[0] - len / 2, 0, t_len - len);
+    mask.SetMissingRange(r, t0, t0 + len);
+  }
+}
+
 }  // namespace
+
+bool ScenarioNeedsValues(ScenarioKind kind) {
+  return kind == ScenarioKind::kMnar;
+}
+
+std::vector<int> DriftRecalibrationTimes(const ScenarioConfig& config,
+                                         int num_times) {
+  const int period = DriftPeriod(config, num_times);
+  std::vector<int> jumps;
+  for (int t = period; t < num_times; t += period) jumps.push_back(t);
+  // A series too short for a full period still gets one mid-series jump so
+  // the scenario always has a discontinuity to score across.
+  if (jumps.empty()) jumps.push_back(std::max(num_times / 2, 1) % num_times);
+  return jumps;
+}
 
 Mask GenerateScenario(const ScenarioConfig& config, int num_series,
                       int num_times) {
   DMVI_CHECK_GT(num_series, 0);
   DMVI_CHECK_GT(num_times, 0);
+  DMVI_CHECK(!ScenarioNeedsValues(config.kind))
+      << ScenarioName(config.kind)
+      << " correlates missingness with values; use GenerateScenarioForData";
   Rng rng(config.seed);
   Mask mask(num_series, num_times);
 
-  const int num_incomplete = std::clamp(
-      static_cast<int>(std::lround(config.percent_incomplete * num_series)), 1,
-      num_series);
+  const int num_incomplete = NumIncomplete(config, num_series);
 
   switch (config.kind) {
     case ScenarioKind::kMcar:
@@ -84,9 +177,77 @@ Mask GenerateScenario(const ScenarioConfig& config, int num_series,
       }
       break;
     }
+    case ScenarioKind::kMultiBlackout: {
+      const int span = std::clamp(
+          static_cast<int>(std::lround(config.series_span * num_series)), 1,
+          num_series);
+      const int len = std::clamp(config.block_size, 1, num_times);
+      for (int k = 0; k < std::max(config.num_blackouts, 1); ++k) {
+        const int r0 = rng.UniformInt(num_series - span + 1);
+        const int t0 = rng.UniformInt(num_times - len + 1);
+        for (int r = r0; r < r0 + span; ++r) {
+          mask.SetMissingRange(r, t0, t0 + len);
+        }
+      }
+      break;
+    }
+    case ScenarioKind::kDrift: {
+      const std::vector<int> jumps = DriftRecalibrationTimes(config, num_times);
+      const int len = std::clamp(config.block_size, 1, num_times);
+      std::vector<int> rows =
+          rng.SampleWithoutReplacement(num_series, num_incomplete);
+      for (int r : rows) {
+        for (const int jump : jumps) {
+          const int t0 = std::clamp(jump - len / 2, 0, num_times - len);
+          mask.SetMissingRange(r, t0, t0 + len);
+        }
+      }
+      break;
+    }
+    case ScenarioKind::kMnar:
+      break;  // Unreachable: checked above.
   }
   DMVI_CHECK_GT(mask.CountMissing(), 0) << "scenario produced no missing cells";
   return mask;
+}
+
+Mask GenerateScenarioForData(const ScenarioConfig& config,
+                             const Matrix& values) {
+  if (!ScenarioNeedsValues(config.kind)) {
+    return GenerateScenario(config, values.rows(), values.cols());
+  }
+  const int num_series = values.rows();
+  const int num_times = values.cols();
+  DMVI_CHECK_GT(num_series, 0);
+  DMVI_CHECK_GT(num_times, 0);
+  Rng rng(config.seed);
+  Mask mask(num_series, num_times);
+  std::vector<int> rows =
+      rng.SampleWithoutReplacement(num_series, NumIncomplete(config, num_series));
+  for (int r : rows) {
+    PlaceMnarBlocks(mask, values, r, config, rng);
+  }
+  DMVI_CHECK_GT(mask.CountMissing(), 0) << "scenario produced no missing cells";
+  return mask;
+}
+
+Matrix ApplyScenarioTransform(const ScenarioConfig& config,
+                              const Matrix& values) {
+  if (config.kind != ScenarioKind::kDrift) return values;
+  const int num_series = values.rows();
+  const int num_times = values.cols();
+  const int period = DriftPeriod(config, num_times);
+  Matrix out = values;
+  for (int r = 0; r < num_series; ++r) {
+    const double scale = config.drift_rate * RowStddev(values, r);
+    for (int t = 0; t < num_times; ++t) {
+      // Sawtooth: drift ramps linearly to `scale` over each segment and
+      // snaps back to zero at every recalibration jump (t % period == 0).
+      const double phase = static_cast<double>(t % period) / period;
+      out(r, t) += scale * phase;
+    }
+  }
+  return out;
 }
 
 std::string ScenarioName(ScenarioKind kind) {
@@ -101,6 +262,12 @@ std::string ScenarioName(ScenarioKind kind) {
       return "Blackout";
     case ScenarioKind::kMissPoint:
       return "MissPoint";
+    case ScenarioKind::kMultiBlackout:
+      return "MultiBlackout";
+    case ScenarioKind::kMnar:
+      return "MNAR";
+    case ScenarioKind::kDrift:
+      return "Drift";
   }
   return "Unknown";
 }

@@ -6,10 +6,13 @@
 
 #include "common/rng.h"
 #include "tensor/mask.h"
+#include "tensor/matrix.h"
 
 namespace deepmvi {
 
-/// The paper's missing-value scenarios (Sec 5.1.2 and 5.5.3).
+/// The paper's missing-value scenarios (Sec 5.1.2 and 5.5.3) plus the
+/// production-reality grid (overlapping outages, value-correlated
+/// missingness, sensor drift).
 enum class ScenarioKind {
   /// MCAR: each incomplete series loses 10% of its data in random blocks
   /// of constant size `block_size` (default 10). `percent_incomplete`
@@ -26,27 +29,76 @@ enum class ScenarioKind {
   /// MissPoint: MCAR variant of Sec 5.5.3 — total missing fraction fixed
   /// at `missing_fraction` with block size varied via `block_size`.
   kMissPoint,
+  /// MultiBlackout: `num_blackouts` seeded outage windows, each hitting a
+  /// contiguous band of `series_span * N` series for `block_size` steps.
+  /// Windows are placed independently and may overlap in both axes —
+  /// the correlated multi-sensor outages a real fleet produces.
+  kMultiBlackout,
+  /// MNAR (missing not at random): missing blocks are anchored on cells
+  /// whose value is at or above the per-series `mnar_quantile` quantile,
+  /// so missingness correlates with value (saturating sensors clip high
+  /// readings). Needs the data — generate via GenerateScenarioForData.
+  kMnar,
+  /// Drift: each series accumulates sensor drift that resets at periodic
+  /// recalibration jumps (ApplyScenarioTransform rewrites the values);
+  /// the mask hides `block_size`-length blocks straddling each jump, so
+  /// imputers are scored across the discontinuity.
+  kDrift,
 };
 
 /// Parameters for GenerateScenario.
 struct ScenarioConfig {
   ScenarioKind kind = ScenarioKind::kMcar;
   /// Fraction of series that are incomplete, in (0, 1]. (MCAR / MissDisj /
-  /// MissOver; Blackout always affects all series.)
+  /// MissOver / MNAR / Drift; Blackout always affects all series.)
   double percent_incomplete = 0.1;
-  /// Missing fraction within an incomplete series (MCAR, MissPoint).
+  /// Missing fraction within an incomplete series (MCAR, MissPoint, MNAR).
   double missing_fraction = 0.1;
-  /// Block size (MCAR block length, Blackout length, MissPoint length).
+  /// Block size (MCAR block length, Blackout length, MissPoint length,
+  /// MultiBlackout window length, Drift straddle length).
   int block_size = 10;
   /// Blackout start position as a fraction of T (paper fixes t = 5%).
   double blackout_start_fraction = 0.05;
+  /// MultiBlackout: number of outage windows.
+  int num_blackouts = 4;
+  /// MultiBlackout: fraction of series each window covers, in (0, 1].
+  double series_span = 0.5;
+  /// MNAR: per-series value quantile above which cells anchor missing
+  /// blocks, in [0, 1).
+  double mnar_quantile = 0.8;
+  /// Drift: accumulated drift just before a recalibration jump, in units
+  /// of the series' own standard deviation.
+  double drift_rate = 1.0;
+  /// Drift: steps between recalibration jumps (0 = T / 4).
+  int recalibration_period = 0;
   uint64_t seed = 1;
 };
 
+/// True when the scenario's mask depends on the data values (MNAR) —
+/// such kinds must go through GenerateScenarioForData.
+bool ScenarioNeedsValues(ScenarioKind kind);
+
 /// Builds the availability mask for `config` over an num_series x
 /// num_times dataset. Ground truth is retained by the caller (the mask
-/// only says which cells the imputation algorithms may read).
+/// only says which cells the imputation algorithms may read). Aborts for
+/// value-dependent kinds (ScenarioNeedsValues).
 Mask GenerateScenario(const ScenarioConfig& config, int num_series, int num_times);
+
+/// Value-aware variant: like GenerateScenario but with the (possibly
+/// transformed) data available, so MNAR can correlate missingness with
+/// value. Value-free kinds delegate to GenerateScenario.
+Mask GenerateScenarioForData(const ScenarioConfig& config, const Matrix& values);
+
+/// Rewrites the ground-truth values for scenarios that model a corrupted
+/// sensor rather than just hidden readings: Drift adds a per-series
+/// sawtooth (linear drift resetting at each recalibration jump); every
+/// other kind returns `values` unchanged. Deterministic — no randomness.
+Matrix ApplyScenarioTransform(const ScenarioConfig& config, const Matrix& values);
+
+/// Drift's recalibration jump positions for a length-T series (exposed so
+/// tests and the mask generator agree on where the jumps are).
+std::vector<int> DriftRecalibrationTimes(const ScenarioConfig& config,
+                                         int num_times);
 
 /// Human-readable name ("MCAR", "MissDisj", ...).
 std::string ScenarioName(ScenarioKind kind);

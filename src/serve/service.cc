@@ -5,10 +5,28 @@
 #include <exception>
 #include <utility>
 
+#include "baselines/simple.h"
 #include "common/parallel.h"
 
 namespace deepmvi {
 namespace serve {
+namespace {
+
+/// Series rows carrying at least one missing (= imputed) cell.
+int64_t CountRowsTouched(const Mask& mask) {
+  int64_t rows = 0;
+  for (int r = 0; r < mask.rows(); ++r) {
+    for (int t = 0; t < mask.cols(); ++t) {
+      if (mask.missing(r, t)) {
+        ++rows;
+        break;
+      }
+    }
+  }
+  return rows;
+}
+
+}  // namespace
 
 ImputationService::ImputationService(ServiceConfig config)
     : config_(config) {
@@ -20,7 +38,8 @@ ImputationService::ImputationService(ServiceConfig config)
 
 ImputationService::~ImputationService() { Shutdown(); }
 
-ImputationResponse ImputationService::Process(const ImputationRequest& request) {
+ImputationResponse ImputationService::Process(const ImputationRequest& request,
+                                              bool degrade) {
   ImputationResponse response;
   try {
     const TrainedDeepMvi* model = registry_.Get(request.model);
@@ -35,6 +54,28 @@ ImputationResponse ImputationService::Process(const ImputationRequest& request) 
     }
     response.status = model->ValidateInput(*request.data, request.mask);
     if (!response.status.ok()) return response;
+
+    if (degrade) {
+      // Overloaded: answer with the cheap fallback imputer. The request
+      // still went through the same lookup + validation, so error
+      // behavior is identical; only the fill values differ. The cache is
+      // bypassed in both directions — a fallback answer must never be
+      // served later as a model answer or vice versa.
+      if (config_.degrade_method == "Mean") {
+        MeanImputer fallback;
+        response.imputed = fallback.Impute(*request.data, request.mask);
+      } else {
+        LinearInterpolationImputer fallback;
+        response.imputed = fallback.Impute(*request.data, request.mask);
+      }
+      response.degraded = true;
+      response.degrade_method =
+          config_.degrade_method == "Mean" ? "Mean" : "LinearInterp";
+      response.cells_imputed = request.mask.CountMissing();
+      response.rows_touched = CountRowsTouched(request.mask);
+      telemetry_.RecordDegraded();
+      return response;
+    }
 
     // Cache probe: the model pointer names one immutable set of weights
     // (registry retirements keep it unique for the process lifetime), so
@@ -56,14 +97,7 @@ ImputationResponse ImputationService::Process(const ImputationRequest& request) 
 
     response.imputed = model->Predict(*request.data, request.mask);
     response.cells_imputed = request.mask.CountMissing();
-    for (int r = 0; r < request.mask.rows(); ++r) {
-      for (int t = 0; t < request.mask.cols(); ++t) {
-        if (request.mask.missing(r, t)) {
-          ++response.rows_touched;
-          break;
-        }
-      }
-    }
+    response.rows_touched = CountRowsTouched(request.mask);
     if (cache_ != nullptr) {
       ResponseCache::CachedResponse cached;
       cached.imputed = response.imputed;
@@ -122,11 +156,63 @@ std::vector<ImputationResponse> ImputationService::ImputeBatch(
   return responses;
 }
 
+int ImputationService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return static_cast<int>(queue_.size());
+}
+
+void ImputationService::SetPressureProbe(std::function<int()> probe) {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  pressure_probe_ = std::move(probe);
+}
+
+int ImputationService::PressureDepth() const {
+  std::function<int()> probe;
+  int depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    depth = static_cast<int>(queue_.size());
+    probe = pressure_probe_;
+  }
+  // The probe runs outside queue_mutex_ — it may take its own locks (the
+  // HTTP server's accept queue) and must not be able to deadlock against
+  // Submit.
+  if (probe) depth += probe();
+  return depth;
+}
+
 std::future<ImputationResponse> ImputationService::Submit(
     ImputationRequest request) {
   PendingRequest pending;
   pending.request = std::move(request);
   std::future<ImputationResponse> future = pending.promise.get_future();
+
+  // Admission control: read the pressure signal before touching the
+  // queue. Racing Submits may see slightly stale depths — watermarks are
+  // thresholds, not exact counters, and the jitter is bounded by the
+  // number of in-flight Submits.
+  bool shed = false, degrade = false;
+  if (config_.shed_watermark > 0 || config_.degrade_watermark > 0) {
+    const int depth = PressureDepth();
+    if (config_.shed_watermark > 0 && depth >= config_.shed_watermark) {
+      shed = true;
+    } else if (config_.degrade_watermark > 0 &&
+               depth >= config_.degrade_watermark) {
+      degrade = true;
+    }
+  }
+  if (shed) {
+    ImputationResponse response;
+    response.status = Status::FailedPrecondition(
+        "overloaded: pressure depth crossed the shed watermark (" +
+        std::to_string(config_.shed_watermark) + "); retry later");
+    response.latency_seconds = pending.queued.ElapsedSeconds();
+    telemetry_.RecordShed();
+    telemetry_.RecordRequest(response.latency_seconds, 0, 0, false);
+    pending.promise.set_value(std::move(response));
+    return future;
+  }
+  pending.degrade = degrade;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     DMVI_CHECK(!stop_) << "Submit after Shutdown";
@@ -149,7 +235,7 @@ void ImputationService::RunBatch(std::vector<PendingRequest>& batch) {
   const int total = static_cast<int>(batch.size());
   telemetry_.RecordBatch(total);
   ParallelFor(total, config_.threads, [&](int i) {
-    ImputationResponse response = Process(batch[i].request);
+    ImputationResponse response = Process(batch[i].request, batch[i].degrade);
     // Caller-observed latency: queue wait + batch formation + compute.
     response.latency_seconds = batch[i].queued.ElapsedSeconds();
     telemetry_.RecordRequest(response.latency_seconds, response.rows_touched,

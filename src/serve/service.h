@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -40,6 +41,12 @@ struct ImputationResponse {
   double latency_seconds = 0.0;
   int64_t cells_imputed = 0;   // Missing cells filled.
   int64_t rows_touched = 0;    // Series rows with >= 1 filled cell.
+  /// True when the degradation ladder answered with the cheap fallback
+  /// imputer instead of the full model (overload admission control).
+  bool degraded = false;
+  /// The fallback that answered ("LinearInterp" / "Mean"); empty when
+  /// the full model ran.
+  std::string degrade_method;
 };
 
 /// Tuning knobs of the serving loop.
@@ -58,6 +65,18 @@ struct ServiceConfig {
   /// state. Hits are bit-identical to recomputing (Predict is
   /// deterministic); they only change latency.
   double cache_mb = 0.0;
+  /// Degradation ladder (Submit path only; 0 disables a rung). The
+  /// pressure signal is the service backlog plus whatever the pressure
+  /// probe reports (dmvi_serve wires the HTTP accept queue in). At or
+  /// above `degrade_watermark`, new requests are answered by the cheap
+  /// `degrade_method` imputer instead of the model — accuracy traded for
+  /// latency instead of stalling. At or above `shed_watermark`, new
+  /// requests are rejected immediately with FailedPrecondition (the HTTP
+  /// layer maps it to 503).
+  int degrade_watermark = 0;
+  int shed_watermark = 0;
+  /// Fallback imputer: "LinearInterp" (default) or "Mean".
+  std::string degrade_method = "LinearInterp";
 };
 
 /// Long-lived imputation service: owns loaded models (via the registry),
@@ -107,6 +126,21 @@ class ImputationService {
   /// reporting and tests.
   ResponseCache* response_cache() const { return cache_.get(); }
 
+  /// Requests queued for the dispatcher right now (the service half of the
+  /// overload pressure signal; /healthz reports it).
+  int queue_depth() const;
+
+  /// Extra backlog added to the watermark comparison in Submit — the HTTP
+  /// front-end wires its accept-queue depth in so admission control sees
+  /// connection pressure before those requests reach the service queue.
+  /// Set before traffic starts; the probe must be thread-safe and must not
+  /// call back into this service.
+  void SetPressureProbe(std::function<int()> probe);
+
+  /// queue_depth() plus the pressure probe — the number admission control
+  /// compares against the watermarks.
+  int PressureDepth() const;
+
   TelemetrySnapshot telemetry() const { return telemetry_.Snapshot(); }
 
   /// Zeroes the counters and restarts the wall clock — for reports that
@@ -118,12 +152,19 @@ class ImputationService {
     ImputationRequest request;
     std::promise<ImputationResponse> promise;
     Stopwatch queued;  // Started at Submit; measures caller latency.
+    /// Stamped at admission when the pressure signal crossed the degrade
+    /// watermark: the dispatcher answers with the fallback imputer.
+    bool degrade = false;
   };
 
   /// Answers one request (no latency telemetry, no locking): registry
-  /// lookup, validation, cache probe, Predict. Exceptions become kInternal
+  /// lookup, validation, cache probe, Predict. With `degrade`, the model
+  /// is still looked up and the input validated, but the configured
+  /// fallback imputer produces the answer (cache bypassed — fallback
+  /// results must never alias model results). Exceptions become kInternal
   /// responses.
-  ImputationResponse Process(const ImputationRequest& request);
+  ImputationResponse Process(const ImputationRequest& request,
+                             bool degrade = false);
 
   /// FingerprintData with a one-entry memo: the serving pattern shares one
   /// long-lived dataset across every request (workload replay, the HTTP
@@ -149,8 +190,9 @@ class ImputationService {
   std::weak_ptr<const DataTensor> fingerprinted_data_;
   uint64_t fingerprint_value_ = 0;
 
-  std::mutex queue_mutex_;
+  mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
+  std::function<int()> pressure_probe_;
   std::deque<PendingRequest> queue_;
   std::thread dispatcher_;
   bool dispatcher_started_ = false;

@@ -32,6 +32,16 @@ void Telemetry::RecordRequest(double latency_seconds, int64_t rows,
   }
 }
 
+void Telemetry::RecordDegraded() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++degraded_;
+}
+
+void Telemetry::RecordShed() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++shed_;
+}
+
 void Telemetry::RecordBatch(int size) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++batches_;
@@ -52,6 +62,8 @@ TelemetrySnapshot Telemetry::Snapshot() const {
   TelemetrySnapshot snap;
   snap.requests = requests_;
   snap.failures = failures_;
+  snap.degraded = degraded_;
+  snap.shed = shed_;
   snap.batches = batches_;
   snap.rows_served = rows_served_;
   snap.cells_imputed = cells_imputed_;
@@ -85,6 +97,8 @@ void Telemetry::Reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   requests_ = 0;
   failures_ = 0;
+  degraded_ = 0;
+  shed_ = 0;
   batches_ = 0;
   batched_requests_ = 0;
   rows_served_ = 0;
@@ -119,6 +133,8 @@ std::string TelemetryToJson(const TelemetrySnapshot& snap) {
   os << "{\n";
   os << "  \"requests\": " << snap.requests << ",\n";
   os << "  \"failures\": " << snap.failures << ",\n";
+  os << "  \"degraded\": " << snap.degraded << ",\n";
+  os << "  \"shed\": " << snap.shed << ",\n";
   os << "  \"batches\": " << snap.batches << ",\n";
   os << "  \"rows_served\": " << snap.rows_served << ",\n";
   os << "  \"cells_imputed\": " << snap.cells_imputed << ",\n";

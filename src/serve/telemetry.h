@@ -18,6 +18,8 @@ namespace serve {
 struct TelemetrySnapshot {
   int64_t requests = 0;        // Completed requests, including failures.
   int64_t failures = 0;        // Requests answered with a non-OK status.
+  int64_t degraded = 0;        // Requests answered by the fallback imputer.
+  int64_t shed = 0;            // Requests rejected at admission (503).
   int64_t batches = 0;         // Micro-batches dispatched.
   int64_t rows_served = 0;     // Series rows carrying >= 1 imputed cell.
   int64_t cells_imputed = 0;   // Missing cells filled.
@@ -54,6 +56,14 @@ class Telemetry {
   /// Records one dispatched micro-batch of `size` requests.
   void RecordBatch(int size);
 
+  /// Records one request answered by the degradation ladder's fallback
+  /// imputer instead of the full model.
+  void RecordDegraded();
+
+  /// Records one request shed at admission (also RecordRequest'ed as a
+  /// failure by the caller).
+  void RecordShed();
+
   /// Records one response-cache probe.
   void RecordCacheLookup(bool hit);
 
@@ -66,6 +76,8 @@ class Telemetry {
   Stopwatch since_start_;
   int64_t requests_ = 0;
   int64_t failures_ = 0;
+  int64_t degraded_ = 0;
+  int64_t shed_ = 0;
   int64_t batches_ = 0;
   int64_t batched_requests_ = 0;
   int64_t rows_served_ = 0;

@@ -17,9 +17,12 @@
 #include <thread>
 #include <vector>
 
+#include "baselines/simple.h"
+#include "common/rng.h"
 #include "core/deepmvi.h"
 #include "data/io.h"
 #include "net/client.h"
+#include "net/fault.h"
 #include "net/codec.h"
 #include "net/endpoints.h"
 #include "net/http.h"
@@ -181,6 +184,74 @@ TEST(HttpParserTest, SerializeThenParseRoundTrips) {
   EXPECT_EQ(parser.message().Header("content-length"), "7");
 }
 
+TEST(HttpParserTest, SplitInvarianceAtEveryByteBoundary) {
+  // Property: the parse result must not depend on where the read boundary
+  // falls. Exercise every 2-way split of a request with headers + body.
+  const std::string wire =
+      "POST /v1/impute HTTP/1.1\r\nHost: a\r\ncontent-length: 9\r\n"
+      "x-trace: zz\r\n\r\nbody bits";
+  net::HttpParser whole = RequestParser();
+  whole.Feed(wire.data(), wire.size());
+  ASSERT_TRUE(whole.done());
+
+  for (size_t split = 0; split <= wire.size(); ++split) {
+    net::HttpParser parser = RequestParser();
+    size_t used = parser.Feed(wire.data(), split);
+    if (!parser.done()) {
+      ASSERT_FALSE(parser.failed()) << "split at " << split << ": "
+                                    << parser.error_message();
+      used += parser.Feed(wire.data() + used, wire.size() - used);
+    }
+    ASSERT_TRUE(parser.done()) << "split at " << split;
+    EXPECT_EQ(parser.message().method, whole.message().method);
+    EXPECT_EQ(parser.message().target, whole.message().target);
+    EXPECT_EQ(parser.message().version, whole.message().version);
+    EXPECT_EQ(parser.message().body, whole.message().body);
+    EXPECT_EQ(parser.message().Header("host"), "a");
+    EXPECT_EQ(parser.message().Header("x-trace"), "zz");
+    EXPECT_EQ(used, wire.size()) << "split at " << split;
+  }
+}
+
+TEST(HttpParserTest, SeededMutationsNeverCrashAndFailWithKnownCodes) {
+  // Property-style fuzz: random byte mutations + truncations of a valid
+  // request, fed in random chunk sizes, must always end in done() or
+  // failed() with one of the parser's documented HTTP codes — never a
+  // crash, hang, or stray code. Seeded, so a failure replays exactly.
+  const std::string base =
+      "POST /v1/impute HTTP/1.1\r\nHost: fuzz\r\ncontent-length: 12\r\n"
+      "accept: text/csv\r\n\r\n{\"model\":1}\n";
+  Rng rng(20240807);
+  for (int iter = 0; iter < 600; ++iter) {
+    std::string wire = base;
+    const int edits = 1 + rng.UniformInt(4);
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos =
+          static_cast<size_t>(rng.UniformInt(static_cast<int>(wire.size())));
+      wire[pos] = static_cast<char>(rng.UniformInt(256));
+    }
+    if (rng.Uniform() < 0.25) {
+      wire.resize(static_cast<size_t>(
+          rng.UniformInt(static_cast<int>(wire.size()) + 1)));
+    }
+
+    net::HttpParser parser = RequestParser();
+    size_t offset = 0;
+    while (offset < wire.size() && !parser.done() && !parser.failed()) {
+      const size_t chunk = 1 + static_cast<size_t>(rng.UniformInt(7));
+      const size_t len = std::min(chunk, wire.size() - offset);
+      const size_t used = parser.Feed(wire.data() + offset, len);
+      offset += used;
+      if (used == 0) break;  // Parser refuses further input: terminal.
+    }
+    if (parser.failed()) {
+      const int code = parser.error_code();
+      EXPECT_TRUE(code == 400 || code == 413 || code == 431 || code == 501)
+          << "iter " << iter << " produced code " << code;
+    }
+  }
+}
+
 // ---- JSON -------------------------------------------------------------------
 
 TEST(JsonTest, ParsesDocumentShapes) {
@@ -220,6 +291,103 @@ TEST(JsonTest, EscapeRoundTripsThroughParser) {
       net::ParseJson("\"" + net::EscapeJson(nasty) + "\"");
   ASSERT_TRUE(doc.ok()) << doc.status().ToString();
   EXPECT_EQ(doc->string_value(), nasty);
+}
+
+TEST(JsonTest, SeededMutationsNeverCrashTheCodec) {
+  // Mutated/truncated documents through ParseJson and the full impute
+  // decoder: the only acceptable failure is InvalidArgument. Seeded for
+  // exact replay under ASan/UBSan.
+  const std::string base =
+      R"({"model": "m", "values": [[1.5, null, 3e2], [4, 5, 6]],)"
+      R"( "query": {"row": 1, "t_start": 2, "block_len": 3}, "format": "json"})";
+  Rng rng(41507);
+  for (int iter = 0; iter < 800; ++iter) {
+    std::string text = base;
+    const int edits = 1 + rng.UniformInt(5);
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos =
+          static_cast<size_t>(rng.UniformInt(static_cast<int>(text.size())));
+      text[pos] = static_cast<char>(rng.UniformInt(256));
+    }
+    if (rng.Uniform() < 0.2) {
+      text.resize(static_cast<size_t>(
+          rng.UniformInt(static_cast<int>(text.size()) + 1)));
+    }
+    StatusOr<net::JsonValue> doc = net::ParseJson(text);
+    if (!doc.ok()) {
+      EXPECT_EQ(doc.status().code(), StatusCode::kInvalidArgument)
+          << "iter " << iter;
+    }
+    net::HttpMessage request;
+    request.method = "POST";
+    request.target = "/v1/impute";
+    request.body = text;
+    StatusOr<net::ImputeApiRequest> decoded = net::DecodeImputeRequest(request);
+    if (!decoded.ok()) {
+      EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument)
+          << "iter " << iter;
+    }
+  }
+}
+
+// ---- Fault injection --------------------------------------------------------
+
+TEST(FaultInjectorTest, SameSeedReplaysIdenticalSchedule) {
+  net::FaultInjector::Config config;
+  config.seed = 1234;
+  config.read = {0.2, 0.3, 0.1};
+  config.write = {0.1, 0.4, 0.05};
+  net::FaultInjector a(config);
+  net::FaultInjector b(config);
+  config.seed = 1235;
+  net::FaultInjector c(config);
+
+  bool other_seed_differs = false;
+  for (int i = 0; i < 400; ++i) {
+    const size_t requested = 2 + static_cast<size_t>(i % 300);
+    const bool read_op = (i % 2 == 0);
+    const net::FaultInjector::Decision da =
+        read_op ? a.NextRead(requested) : a.NextWrite(requested);
+    const net::FaultInjector::Decision db =
+        read_op ? b.NextRead(requested) : b.NextWrite(requested);
+    const net::FaultInjector::Decision dc =
+        read_op ? c.NextRead(requested) : c.NextWrite(requested);
+    ASSERT_EQ(static_cast<int>(da.action), static_cast<int>(db.action))
+        << "op " << i;
+    ASSERT_EQ(da.cap, db.cap) << "op " << i;
+    if (da.action == net::FaultInjector::Action::kShort) {
+      EXPECT_GE(da.cap, 1u);
+      EXPECT_LT(da.cap, requested);  // Strict prefix.
+    }
+    if (da.action != dc.action || da.cap != dc.cap) other_seed_differs = true;
+  }
+  EXPECT_EQ(a.injected(), b.injected());
+  EXPECT_GT(a.injected(), 0);
+  EXPECT_TRUE(other_seed_differs) << "seed does not influence the schedule";
+}
+
+TEST(FaultInjectorTest, ZeroRatesAreCleanAndOneByteOpsNeverShorten) {
+  net::FaultInjector::Config clean;
+  clean.seed = 9;
+  net::FaultInjector quiet(clean);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(quiet.NextRead(64).action, net::FaultInjector::Action::kNone);
+    EXPECT_EQ(quiet.NextWrite(64).action, net::FaultInjector::Action::kNone);
+  }
+  EXPECT_EQ(quiet.injected(), 0);
+
+  net::FaultInjector::Config shorty;
+  shorty.seed = 9;
+  shorty.read.short_rate = 1.0;
+  net::FaultInjector injector(shorty);
+  for (int i = 0; i < 50; ++i) {
+    // A 1-byte read cannot be a strict prefix: the shim passes it through.
+    EXPECT_EQ(injector.NextRead(1).action, net::FaultInjector::Action::kNone);
+    const net::FaultInjector::Decision d = injector.NextRead(10);
+    EXPECT_EQ(d.action, net::FaultInjector::Action::kShort);
+    EXPECT_GE(d.cap, 1u);
+    EXPECT_LE(d.cap, 9u);
+  }
 }
 
 // ---- Impute request decoding ------------------------------------------------
@@ -419,6 +587,137 @@ TEST(HttpServerTest, ManyConcurrentClientsAreServed) {
   for (std::thread& thread : clients) thread.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(handled.load(), kClients * kRequestsEach);
+  server.Stop();
+}
+
+TEST(HttpServerTest, ShortReadsWritesAndEintrAreInvisibleToClients) {
+  // Transparent faults — short transfers and EINTR on both directions of
+  // both ends — must never change an HTTP outcome: every request succeeds
+  // and every echoed body comes back byte-identical. The injected()
+  // counters prove the schedule actually fired.
+  net::FaultInjector::Config server_faults;
+  server_faults.seed = 4242;
+  server_faults.read = {0.15, 0.25, 0.0};
+  server_faults.write = {0.15, 0.25, 0.0};
+  net::ServerConfig config;
+  config.fault = std::make_shared<net::FaultInjector>(server_faults);
+  net::HttpServer server(config);
+  server.Handle("POST", "/echo", [](const net::HttpMessage& request) {
+    return net::MakeResponse(200, request.body, "text/plain");
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  net::FaultInjector::Config client_faults;
+  client_faults.seed = 777;
+  client_faults.read = {0.1, 0.3, 0.0};
+  client_faults.write = {0.1, 0.3, 0.0};
+  auto client_fault = std::make_shared<net::FaultInjector>(client_faults);
+  net::Client client("127.0.0.1", server.port());
+  client.SetFaultInjector(client_fault);
+
+  for (int i = 0; i < 25; ++i) {
+    // Growing payloads force multi-chunk sends so short writes bite.
+    const std::string payload =
+        "payload-" + std::to_string(i) + "-" + std::string(i * 123, 'x');
+    StatusOr<net::HttpMessage> response =
+        client.Post("/echo", payload, "text/plain");
+    ASSERT_TRUE(response.ok())
+        << "request " << i << ": " << response.status().ToString();
+    EXPECT_EQ(response->status_code, 200);
+    EXPECT_EQ(response->body, payload) << "request " << i;
+  }
+  EXPECT_GT(config.fault->injected(), 0) << "server schedule never fired";
+  EXPECT_GT(client_fault->injected(), 0) << "client schedule never fired";
+  server.Stop();
+}
+
+TEST(HttpServerTest, ResetFaultsFailTheRequestNotTheServer) {
+  net::HttpServer server;
+  server.Handle("GET", "/ping", [](const net::HttpMessage&) {
+    return net::MakeResponse(200, "pong", "text/plain");
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  // Client whose every send is reset: the request fails as a Status (no
+  // crash, no hang), and a clean client on the same server still works.
+  net::FaultInjector::Config send_reset;
+  send_reset.seed = 5;
+  send_reset.write.reset_rate = 1.0;
+  net::Client faulty("127.0.0.1", server.port());
+  faulty.SetFaultInjector(std::make_shared<net::FaultInjector>(send_reset));
+  StatusOr<net::HttpMessage> broken = faulty.Get("/ping");
+  ASSERT_FALSE(broken.ok());
+  EXPECT_EQ(broken.status().code(), StatusCode::kIoError);
+
+  net::Client clean("127.0.0.1", server.port());
+  StatusOr<net::HttpMessage> pong = clean.Get("/ping");
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(pong->status_code, 200);
+  server.Stop();
+
+  // Server whose every recv is reset: connections die mid-request, the
+  // client reports IoError, and the server itself keeps running.
+  net::FaultInjector::Config recv_reset;
+  recv_reset.seed = 6;
+  recv_reset.read.reset_rate = 1.0;
+  net::ServerConfig dropping_config;
+  dropping_config.fault = std::make_shared<net::FaultInjector>(recv_reset);
+  net::HttpServer dropping(dropping_config);
+  dropping.Handle("GET", "/ping", [](const net::HttpMessage&) {
+    return net::MakeResponse(200, "pong", "text/plain");
+  });
+  ASSERT_TRUE(dropping.Start().ok());
+  net::Client victim("127.0.0.1", dropping.port());
+  StatusOr<net::HttpMessage> dropped = victim.Get("/ping");
+  EXPECT_FALSE(dropped.ok());
+  EXPECT_TRUE(dropping.running());
+  dropping.Stop();
+}
+
+TEST(HttpServerTest, AcceptQueueSaturationDelaysButNeverDropsRequests) {
+  // One worker + a one-slot backlog: with three concurrent clients the
+  // queue saturates (observable via pending_connections) and the accept
+  // loop backpressures instead of queueing unboundedly. Once the latch
+  // opens, every request completes — saturation delays, never drops.
+  net::ServerConfig config;
+  config.num_workers = 1;
+  config.max_pending_connections = 1;
+  net::HttpServer server(config);
+  std::atomic<bool> release{false};
+  std::atomic<int> entered{0};
+  server.Handle("GET", "/slow", [&](const net::HttpMessage&) {
+    ++entered;
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return net::MakeResponse(200, "ok", "text/plain");
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 3;
+  std::atomic<int> oks{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&] {
+      net::Client client("127.0.0.1", server.port());
+      StatusOr<net::HttpMessage> response = client.Get("/slow");
+      if (response.ok() && response->status_code == 200) ++oks;
+    });
+  }
+
+  int observed_pending = 0;
+  for (int spin = 0; spin < 2000; ++spin) {
+    observed_pending = std::max(observed_pending, server.pending_connections());
+    if (entered.load() >= 1 && observed_pending >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(entered.load(), 1);
+  EXPECT_EQ(observed_pending, 1) << "backlog must fill to its bound, no more";
+
+  release.store(true);
+  for (std::thread& thread : clients) thread.join();
+  EXPECT_EQ(oks.load(), kClients);
+  EXPECT_EQ(server.pending_connections(), 0);
   server.Stop();
 }
 
@@ -682,6 +981,107 @@ TEST(ServingEndpointsTest, CacheOnAndOffServeIdenticalBytesOverLoopback) {
 
   cached_server.Stop();
   uncached_server.Stop();
+}
+
+TEST(ServingEndpointsTest, HealthzReportsQueueDepthAndLadderState) {
+  // Ladder off (both watermarks 0): /healthz says so and still reports
+  // the pressure signals.
+  ServedCase off;
+  net::HttpServer off_server;
+  net::RegisterServingEndpoints(&off_server, off.Context());
+  ASSERT_TRUE(off_server.Start().ok());
+  net::Client off_client("127.0.0.1", off_server.port());
+  StatusOr<net::HttpMessage> health = off_client.Get("/healthz");
+  ASSERT_TRUE(health.ok());
+  ASSERT_EQ(health->status_code, 200);
+  StatusOr<net::JsonValue> doc = net::ParseJson(health->body);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->at("degradation").string_value(), "off");
+  EXPECT_EQ(doc->at("degrade_watermark").number_value(), 0.0);
+  EXPECT_EQ(doc->at("shed_watermark").number_value(), 0.0);
+  EXPECT_FALSE(doc->at("queue_depth").is_null());
+  EXPECT_FALSE(doc->at("pending_connections").is_null());
+  off_server.Stop();
+
+  // Ladder configured but idle: state is "ready" and the watermarks are
+  // surfaced for operators.
+  serve::ServiceConfig ladder_config;
+  ladder_config.degrade_watermark = 3;
+  ladder_config.shed_watermark = 6;
+  ServedCase ladder(ladder_config);
+  net::HttpServer ladder_server;
+  net::RegisterServingEndpoints(&ladder_server, ladder.Context());
+  ASSERT_TRUE(ladder_server.Start().ok());
+  net::Client ladder_client("127.0.0.1", ladder_server.port());
+  StatusOr<net::HttpMessage> ready = ladder_client.Get("/healthz");
+  ASSERT_TRUE(ready.ok());
+  StatusOr<net::JsonValue> ready_doc = net::ParseJson(ready->body);
+  ASSERT_TRUE(ready_doc.ok());
+  EXPECT_EQ(ready_doc->at("degradation").string_value(), "ready");
+  EXPECT_EQ(ready_doc->at("degrade_watermark").number_value(), 3.0);
+  EXPECT_EQ(ready_doc->at("shed_watermark").number_value(), 6.0);
+  ladder_server.Stop();
+}
+
+TEST(ServingEndpointsTest, DegradedResponsesCarryMarkerInJsonCsvAndMetrics) {
+  // Pressure pinned above the degrade watermark: every wire response must
+  // be the fallback imputer's bits plus an explicit marker — JSON in the
+  // body and header, CSV via the header only (its body format is fixed).
+  serve::ServiceConfig config;
+  config.degrade_watermark = 1;
+  ServedCase served(config);
+  served.service.SetPressureProbe([] { return 10; });
+  net::HttpServer server;
+  net::RegisterServingEndpoints(&server, served.Context());
+  ASSERT_TRUE(server.Start().ok());
+  net::Client client("127.0.0.1", server.port());
+
+  serve::WorkloadQuery query;
+  query.row = 1;
+  query.t_start = 10;
+  query.block_len = 6;
+  const std::string body =
+      R"({"query": {"row": 1, "t_start": 10, "block_len": 6}})";
+  StatusOr<net::HttpMessage> json =
+      client.Post("/v1/impute", body, "application/json");
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  ASSERT_EQ(json->status_code, 200) << json->body;
+  EXPECT_EQ(json->Header("x-dmvi-degraded"), "LinearInterp");
+  StatusOr<net::JsonValue> doc = net::ParseJson(json->body);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->at("status").string_value(), "degraded");
+  EXPECT_TRUE(doc->at("degraded").bool_value());
+  EXPECT_EQ(doc->at("degrade_method").string_value(), "LinearInterp");
+
+  // The degraded cells are the fallback's, bit for bit across the wire.
+  const Mask applied = serve::ApplyQuery(served.data_case.mask, query);
+  LinearInterpolationImputer fallback;
+  const Matrix expected = fallback.Impute(served.data_case.data, applied);
+  ASSERT_EQ(doc->at("cells").array_items().size(),
+            static_cast<size_t>(applied.CountMissing()));
+  for (const net::JsonValue& cell : doc->at("cells").array_items()) {
+    const int r = static_cast<int>(cell.at("series").number_value());
+    const int t = static_cast<int>(cell.at("time").number_value());
+    EXPECT_EQ(cell.at("value").number_value(), expected(r, t))
+        << "cell (" << r << "," << t << ")";
+  }
+
+  StatusOr<net::HttpMessage> csv = client.Post(
+      "/v1/impute", R"({"format": "csv"})", "application/json");
+  ASSERT_TRUE(csv.ok()) << csv.status().ToString();
+  ASSERT_EQ(csv->status_code, 200) << csv->body;
+  EXPECT_EQ(csv->Header("content-type"), "text/csv");
+  EXPECT_EQ(csv->Header("x-dmvi-degraded"), "LinearInterp");
+  EXPECT_EQ(csv->body.find("degraded"), std::string::npos)
+      << "CSV body format must not change under degradation";
+
+  StatusOr<net::HttpMessage> metrics = client.Get("/metrics");
+  ASSERT_TRUE(metrics.ok());
+  StatusOr<net::JsonValue> metrics_doc = net::ParseJson(metrics->body);
+  ASSERT_TRUE(metrics_doc.ok()) << metrics->body;
+  EXPECT_GE(metrics_doc->at("degraded").number_value(), 2.0);
+  EXPECT_EQ(metrics_doc->at("shed").number_value(), 0.0);
+  server.Stop();
 }
 
 TEST(HttpServerTest, StopFinishesInFlightRequestsBeforeExiting) {

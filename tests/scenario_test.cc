@@ -130,7 +130,181 @@ TEST(ScenarioTest, Names) {
   EXPECT_EQ(ScenarioName(ScenarioKind::kMissOver), "MissOver");
   EXPECT_EQ(ScenarioName(ScenarioKind::kBlackout), "Blackout");
   EXPECT_EQ(ScenarioName(ScenarioKind::kMissPoint), "MissPoint");
+  EXPECT_EQ(ScenarioName(ScenarioKind::kMultiBlackout), "MultiBlackout");
+  EXPECT_EQ(ScenarioName(ScenarioKind::kMnar), "MNAR");
+  EXPECT_EQ(ScenarioName(ScenarioKind::kDrift), "Drift");
   EXPECT_EQ(HeadlineScenarios().size(), 4u);
+}
+
+TEST(ScenarioTest, OnlyMnarNeedsValues) {
+  EXPECT_TRUE(ScenarioNeedsValues(ScenarioKind::kMnar));
+  EXPECT_FALSE(ScenarioNeedsValues(ScenarioKind::kMcar));
+  EXPECT_FALSE(ScenarioNeedsValues(ScenarioKind::kMultiBlackout));
+  EXPECT_FALSE(ScenarioNeedsValues(ScenarioKind::kDrift));
+}
+
+TEST(ScenarioTest, MultiBlackoutSingleWindowIsOneBand) {
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kMultiBlackout;
+  config.num_blackouts = 1;
+  config.series_span = 0.5;
+  config.block_size = 20;
+  config.seed = 3;
+  const int n = 8, t_len = 200;
+  Mask mask = GenerateScenario(config, n, t_len);
+  // One window = one contiguous band of span x block_size cells.
+  EXPECT_EQ(mask.CountMissing(), 4 * 20);
+  int rows_hit = 0;
+  for (int r = 0; r < n; ++r) {
+    int missing = 0, t_first = -1, t_last = -1;
+    for (int t = 0; t < t_len; ++t) {
+      if (!mask.missing(r, t)) continue;
+      ++missing;
+      if (t_first < 0) t_first = t;
+      t_last = t;
+    }
+    if (missing == 0) continue;
+    ++rows_hit;
+    EXPECT_EQ(missing, 20) << "series " << r;
+    EXPECT_EQ(t_last - t_first + 1, 20) << "series " << r;
+  }
+  EXPECT_EQ(rows_hit, 4);
+}
+
+TEST(ScenarioTest, MultiBlackoutDeterministicPerSeedAndMayOverlap) {
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kMultiBlackout;
+  config.num_blackouts = 6;
+  config.block_size = 30;
+  config.seed = 17;
+  Mask a = GenerateScenario(config, 10, 120);
+  Mask b = GenerateScenario(config, 10, 120);
+  EXPECT_TRUE(a == b);
+  config.seed = 18;
+  Mask c = GenerateScenario(config, 10, 120);
+  EXPECT_FALSE(a == c);
+  // Six 5x30 windows on a 10x120 grid must collide somewhere: strictly
+  // fewer missing cells than windows x window area proves overlap is
+  // allowed rather than resampled away.
+  EXPECT_GT(a.CountMissing(), 0);
+  EXPECT_LT(a.CountMissing(), 6 * 5 * 30);
+}
+
+TEST(ScenarioTest, MnarTargetsHighValues) {
+  // Values ramp 0..T-1 in every series, so the 0.8-quantile threshold
+  // sits near 0.8 * T and missing cells must concentrate up there.
+  const int n = 6, t_len = 400;
+  Matrix values(n, t_len);
+  for (int r = 0; r < n; ++r) {
+    for (int t = 0; t < t_len; ++t) values(r, t) = t;
+  }
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kMnar;
+  config.percent_incomplete = 1.0;
+  config.missing_fraction = 0.1;
+  config.mnar_quantile = 0.8;
+  config.seed = 21;
+  Mask mask = GenerateScenarioForData(config, values);
+
+  double missing_sum = 0.0, total_sum = 0.0;
+  int missing_count = 0;
+  for (int r = 0; r < n; ++r) {
+    int row_missing = 0;
+    for (int t = 0; t < t_len; ++t) {
+      total_sum += values(r, t);
+      if (mask.missing(r, t)) {
+        missing_sum += values(r, t);
+        ++missing_count;
+        ++row_missing;
+      }
+    }
+    EXPECT_GT(row_missing, 0) << "series " << r;
+    // Block placement never overshoots the per-series budget.
+    EXPECT_LE(row_missing, static_cast<int>(0.1 * t_len + 0.5)) << r;
+  }
+  ASSERT_GT(missing_count, 0);
+  const double missing_mean = missing_sum / missing_count;
+  const double overall_mean = total_sum / (n * t_len);
+  EXPECT_GT(missing_mean, 1.5 * overall_mean)
+      << "MNAR mask is not value-correlated";
+}
+
+TEST(ScenarioTest, MnarDeterministicPerSeed) {
+  Matrix values(5, 200);
+  Rng rng(7);
+  for (int r = 0; r < 5; ++r) {
+    for (int t = 0; t < 200; ++t) values(r, t) = rng.Gaussian();
+  }
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kMnar;
+  config.percent_incomplete = 1.0;
+  config.seed = 33;
+  Mask a = GenerateScenarioForData(config, values);
+  Mask b = GenerateScenarioForData(config, values);
+  EXPECT_TRUE(a == b);
+  config.seed = 34;
+  EXPECT_FALSE(a == GenerateScenarioForData(config, values));
+}
+
+TEST(ScenarioTest, DriftTransformSawtoothResetsAtJumps) {
+  const int n = 2, t_len = 100;
+  Matrix values(n, t_len);
+  Rng rng(13);
+  for (int r = 0; r < n; ++r) {
+    for (int t = 0; t < t_len; ++t) values(r, t) = rng.Gaussian();
+  }
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kDrift;
+  config.drift_rate = 2.0;
+  config.recalibration_period = 25;
+  const std::vector<int> jumps = DriftRecalibrationTimes(config, t_len);
+  ASSERT_EQ(jumps.size(), 3u);
+  EXPECT_EQ(jumps[0], 25);
+  EXPECT_EQ(jumps[2], 75);
+
+  Matrix drifted = ApplyScenarioTransform(config, values);
+  for (int r = 0; r < n; ++r) {
+    // Recalibration zeroes the drift: at every jump (and t = 0) the
+    // transformed value equals the original.
+    EXPECT_DOUBLE_EQ(drifted(r, 0), values(r, 0));
+    for (int jump : jumps) {
+      EXPECT_DOUBLE_EQ(drifted(r, jump), values(r, jump)) << "jump " << jump;
+    }
+    // Drift accumulates monotonically within a period.
+    const double early = drifted(r, 1) - values(r, 1);
+    const double late = drifted(r, 24) - values(r, 24);
+    EXPECT_GT(early, 0.0);
+    EXPECT_GT(late, early);
+  }
+  // Non-drift kinds leave the values untouched.
+  config.kind = ScenarioKind::kMcar;
+  Matrix untouched = ApplyScenarioTransform(config, values);
+  for (int t = 0; t < t_len; ++t) {
+    ASSERT_DOUBLE_EQ(untouched(0, t), values(0, t));
+  }
+}
+
+TEST(ScenarioTest, DriftMaskStraddlesEveryJump) {
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kDrift;
+  config.percent_incomplete = 1.0;
+  config.block_size = 8;
+  config.recalibration_period = 30;
+  config.seed = 5;
+  const int n = 4, t_len = 120;
+  Mask mask = GenerateScenario(config, n, t_len);
+  const std::vector<int> jumps = DriftRecalibrationTimes(config, t_len);
+  ASSERT_FALSE(jumps.empty());
+  for (int r = 0; r < n; ++r) {
+    for (int jump : jumps) {
+      EXPECT_TRUE(mask.missing(r, jump))
+          << "series " << r << " jump " << jump;
+      EXPECT_TRUE(mask.missing(r, jump - 1))
+          << "series " << r << " jump " << jump;
+    }
+  }
+  // The blocks are local to the jumps — most of the series stays visible.
+  EXPECT_LT(mask.MissingFraction(), 0.5);
 }
 
 // Property sweep: every scenario kind at several sizes produces a valid
@@ -157,7 +331,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(
         ::testing::Values(ScenarioKind::kMcar, ScenarioKind::kMissDisj,
                           ScenarioKind::kMissOver, ScenarioKind::kBlackout,
-                          ScenarioKind::kMissPoint),
+                          ScenarioKind::kMissPoint,
+                          ScenarioKind::kMultiBlackout, ScenarioKind::kDrift),
         ::testing::Values(2, 10, 33), ::testing::Values(60, 500)));
 
 }  // namespace

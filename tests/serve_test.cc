@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <future>
@@ -15,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "baselines/simple.h"
 #include "core/deepmvi.h"
 #include "serve/response_cache.h"
 #include "serve/service.h"
@@ -362,6 +365,116 @@ TEST(ImputationServiceTest, ConcurrentBatchesMatchSingleThreadBitForBit) {
   EXPECT_GE(snap.latency_max_ms, snap.latency_p95_ms);
 }
 
+// ---- Degradation ladder -----------------------------------------------------
+
+TEST(ImputationServiceTest, DegradedResponsesUseFallbackAndAreMarked) {
+  TrainedCase c = MakeTrainedCase();
+  std::vector<serve::ImputationRequest> requests = MakeWorkloadRequests(c, 3);
+  LinearInterpolationImputer fallback;
+  std::vector<Matrix> expected;
+  for (const auto& request : requests) {
+    expected.push_back(fallback.Impute(*request.data, request.mask));
+  }
+
+  serve::ServiceConfig config;
+  config.degrade_watermark = 1;
+  config.threads = 2;
+  serve::ImputationService service(config);
+  ASSERT_TRUE(service.registry().Register("m", std::move(c.model)).ok());
+  // A probe pinned far above the watermark: every Submit is admitted on
+  // the degraded rung — deterministic, no timing needed.
+  service.SetPressureProbe([] { return 100; });
+  EXPECT_GE(service.PressureDepth(), 100);
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    serve::ImputationResponse response = service.Submit(requests[i]).get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_TRUE(response.degraded);
+    EXPECT_EQ(response.degrade_method, "LinearInterp");
+    ExpectMatricesBitIdentical(response.imputed, expected[i],
+                               "degraded slot " + std::to_string(i));
+    EXPECT_EQ(response.cells_imputed, requests[i].mask.CountMissing());
+  }
+  serve::TelemetrySnapshot snap = service.telemetry();
+  EXPECT_EQ(snap.degraded, static_cast<int64_t>(requests.size()));
+  EXPECT_EQ(snap.shed, 0);
+  EXPECT_EQ(snap.failures, 0);
+}
+
+TEST(ImputationServiceTest, MeanDegradeMethodIsHonored) {
+  TrainedCase c = MakeTrainedCase();
+  std::vector<serve::ImputationRequest> requests = MakeWorkloadRequests(c, 1);
+  MeanImputer fallback;
+  const Matrix expected = fallback.Impute(*requests[0].data, requests[0].mask);
+
+  serve::ServiceConfig config;
+  config.degrade_watermark = 1;
+  config.degrade_method = "Mean";
+  serve::ImputationService service(config);
+  ASSERT_TRUE(service.registry().Register("m", std::move(c.model)).ok());
+  service.SetPressureProbe([] { return 100; });
+
+  serve::ImputationResponse response = service.Submit(requests[0]).get();
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_TRUE(response.degraded);
+  EXPECT_EQ(response.degrade_method, "Mean");
+  ExpectMatricesBitIdentical(response.imputed, expected, "Mean fallback");
+}
+
+TEST(ImputationServiceTest, ShedBeyondWatermarkIsFailedPrecondition) {
+  TrainedCase c = MakeTrainedCase();
+  std::vector<serve::ImputationRequest> requests = MakeWorkloadRequests(c, 2);
+
+  serve::ServiceConfig config;
+  config.degrade_watermark = 1;
+  config.shed_watermark = 50;
+  serve::ImputationService service(config);
+  ASSERT_TRUE(service.registry().Register("m", std::move(c.model)).ok());
+  service.SetPressureProbe([] { return 100; });  // Above both rungs.
+
+  serve::ImputationResponse response = service.Submit(requests[0]).get();
+  EXPECT_FALSE(response.status.ok());
+  EXPECT_EQ(response.status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(response.imputed.rows() == 0);
+  serve::TelemetrySnapshot snap = service.telemetry();
+  EXPECT_EQ(snap.shed, 1);
+  EXPECT_EQ(snap.degraded, 0);
+  EXPECT_EQ(snap.failures, 1);
+
+  // Dropping the pressure below both watermarks restores full service.
+  service.SetPressureProbe([] { return 0; });
+  serve::ImputationResponse healthy = service.Submit(requests[1]).get();
+  ASSERT_TRUE(healthy.status.ok()) << healthy.status.ToString();
+  EXPECT_FALSE(healthy.degraded);
+  EXPECT_TRUE(healthy.degrade_method.empty());
+}
+
+TEST(ImputationServiceTest, LadderInactiveBelowWatermarks) {
+  // Watermarks configured but pressure below them: responses must be the
+  // full model's, bit-identical to an unladdered service.
+  TrainedCase c = MakeTrainedCase();
+  std::vector<serve::ImputationRequest> requests = MakeWorkloadRequests(c, 2);
+  std::vector<Matrix> expected;
+  for (const auto& request : requests) {
+    expected.push_back(c.model.Predict(*request.data, request.mask));
+  }
+
+  serve::ServiceConfig config;
+  config.degrade_watermark = 1000;
+  config.shed_watermark = 2000;
+  serve::ImputationService service(config);
+  ASSERT_TRUE(service.registry().Register("m", std::move(c.model)).ok());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    serve::ImputationResponse response = service.Submit(requests[i]).get();
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_FALSE(response.degraded);
+    ExpectMatricesBitIdentical(response.imputed, expected[i],
+                               "below-watermark slot " + std::to_string(i));
+  }
+  EXPECT_EQ(service.telemetry().degraded, 0);
+  EXPECT_EQ(service.telemetry().shed, 0);
+}
+
 // ---- Response cache ---------------------------------------------------------
 
 serve::ResponseCache::CachedResponse MakeCached(int rows, int cols,
@@ -493,6 +606,86 @@ TEST(ImputationServiceTest, ShutdownDrainsOutstandingFutures) {
   }
 }
 
+TEST(ImputationServiceTest, CacheThrashDuringReloadRaceNeverServesStaleBytes) {
+  // A deliberately tiny cache (a couple of entries) forces constant LRU
+  // eviction while submitter threads hammer Impute and a reloader thread
+  // swaps the model through the checkpoint path. Model-identity keying
+  // means every OK response must bit-match one of the two models' outputs
+  // — never a blend, never a stale entry from the other model.
+  TrainedCase c = MakeTrainedCase();
+  DeepMviConfig alt_config = TinyDeepMviConfig();
+  alt_config.seed = 99;  // Same data, different weights.
+  DeepMviImputer alt_imputer(alt_config);
+  TrainedDeepMvi model_b = alt_imputer.Fit(c.data_case.data, c.data_case.mask);
+
+  std::vector<serve::ImputationRequest> requests = MakeWorkloadRequests(c, 8);
+  std::vector<Matrix> expect_a, expect_b;
+  for (const auto& request : requests) {
+    expect_a.push_back(c.model.Predict(*request.data, request.mask));
+    expect_b.push_back(model_b.Predict(*request.data, request.mask));
+  }
+  auto same_bits = [](const Matrix& x, const Matrix& y) {
+    if (x.rows() != y.rows() || x.cols() != y.cols()) return false;
+    for (int r = 0; r < x.rows(); ++r) {
+      for (int t = 0; t < x.cols(); ++t) {
+        if (x(r, t) != y(r, t)) return false;
+      }
+    }
+    return true;
+  };
+  ASSERT_FALSE(same_bits(expect_a[0], expect_b[0]))
+      << "seeds 77 and 99 trained identical models; race test is vacuous";
+
+  const std::string path_a = TempPath("reload_race_a.dmvi");
+  const std::string path_b = TempPath("reload_race_b.dmvi");
+  ASSERT_TRUE(c.model.Save(path_a).ok());
+  ASSERT_TRUE(model_b.Save(path_b).ok());
+
+  serve::ServiceConfig config;
+  config.cache_mb = 0.01;  // ~10KB: each 5x120 matrix is 4800B, so ~2 fit.
+  config.threads = 2;
+  serve::ImputationService service(config);
+  ASSERT_TRUE(service.registry().Register("m", std::move(c.model)).ok());
+
+  std::atomic<bool> stop{false};
+  std::thread reloader([&] {
+    int flip = 0;
+    while (!stop.load()) {
+      const std::string& path = (flip++ % 2 == 0) ? path_b : path_a;
+      Status status = service.registry().LoadFromFile("m", path);
+      ASSERT_TRUE(status.ok()) << status.ToString();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> submitters;
+  for (int worker = 0; worker < 3; ++worker) {
+    submitters.emplace_back([&] {
+      for (int iter = 0; iter < 30; ++iter) {
+        const size_t i = static_cast<size_t>(iter) % requests.size();
+        serve::ImputationResponse response = service.Impute(requests[i]);
+        ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+        if (!same_bits(response.imputed, expect_a[i]) &&
+            !same_bits(response.imputed, expect_b[i])) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+  stop.store(true);
+  reloader.join();
+
+  EXPECT_EQ(mismatches.load(), 0)
+      << "a response matched neither model's bit-exact output";
+  ASSERT_NE(service.response_cache(), nullptr);
+  serve::ResponseCache::Stats stats = service.response_cache()->stats();
+  EXPECT_GT(stats.evictions, 0) << "cache never thrashed; budget too large";
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
 // ---- Telemetry --------------------------------------------------------------
 
 TEST(TelemetryTest, PercentilesAndCounters) {
@@ -522,6 +715,27 @@ TEST(TelemetryTest, PercentilesAndCounters) {
 
   telemetry.Reset();
   EXPECT_EQ(telemetry.Snapshot().requests, 0);
+}
+
+TEST(TelemetryTest, DegradedAndShedCountersRoundTripThroughJson) {
+  serve::Telemetry telemetry;
+  EXPECT_EQ(telemetry.Snapshot().degraded, 0);
+  EXPECT_EQ(telemetry.Snapshot().shed, 0);
+
+  telemetry.RecordDegraded();
+  telemetry.RecordDegraded();
+  telemetry.RecordShed();
+  serve::TelemetrySnapshot snap = telemetry.Snapshot();
+  EXPECT_EQ(snap.degraded, 2);
+  EXPECT_EQ(snap.shed, 1);
+
+  const std::string json = serve::TelemetryToJson(snap);
+  EXPECT_NE(json.find("\"degraded\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"shed\": 1"), std::string::npos);
+
+  telemetry.Reset();
+  EXPECT_EQ(telemetry.Snapshot().degraded, 0);
+  EXPECT_EQ(telemetry.Snapshot().shed, 0);
 }
 
 // ---- Workload helpers -------------------------------------------------------

@@ -1,7 +1,7 @@
 // dmvi_bench_suite: batch experiment-suite runner.
 //
 //   dmvi_bench_suite [--datasets AirQ,Meteo] [--imputers Mean,DeepMVI]
-//                    [--scenarios MCAR,Blackout] [--quick|--full]
+//                    [--scenarios MCAR,Blackout,MNAR] [--quick|--full]
 //                    [--threads N] [--out DIR] [--seed S] [--name NAME]
 //
 // Fans the (dataset x scenario x imputer) grid out over worker threads via
@@ -10,7 +10,9 @@
 // the output is identical for any --threads value. Imputer names are the
 // benchmark names of bench/bench_common.h; dataset names are the Table 1
 // presets; scenario names are MCAR, MissDisj, MissOver, Blackout,
-// MissPoint.
+// MissPoint, MultiBlackout, MNAR, Drift. The default grid covers the
+// production scenario set (MCAR, Blackout, MultiBlackout, MNAR, Drift),
+// so BENCH_* trajectory files carry those cells.
 
 #include <cstdio>
 #include <cstring>
@@ -178,7 +180,8 @@ int Run(int argc, char** argv) {
   std::vector<std::string> datasets = {"AirQ", "Meteo"};
   std::vector<std::string> imputers = {"Mean", "LinearInterp", "SVDImp",
                                        "CDRec"};
-  std::vector<std::string> scenario_names = {"MCAR", "Blackout"};
+  std::vector<std::string> scenario_names = {"MCAR", "Blackout",
+                                             "MultiBlackout", "MNAR", "Drift"};
   std::string name = "suite";
   std::string data_dir;
   int cache_mb = 256;

@@ -7,6 +7,7 @@
 //                 --workload FILE)
 //                [--rps R] [--json out.json] [--name LABEL]
 //                [--impute-csv out.csv] [--reload-every N]
+//                [--expect-degraded] [--max-p95-ms X]
 //
 // Queries are the same `row,t_start,block_len` block-hiding units
 // dmvi_serve replays in-process (the dataset shape is discovered via GET
@@ -19,6 +20,15 @@
 // Reports p50/p95/max latency and request/row throughput; --json writes a
 // suite-compatible cells file (dataset/scenario/imputer keys) so the
 // numbers ride the BENCH_* perf trajectory and bench_diff gating.
+//
+// Overload mode: point --rps well past what the server sustains at a
+// server started with --degrade-watermark/--shed-watermark, and the
+// degradation ladder keeps every request answered — degraded responses
+// (x-dmvi-degraded header) are counted separately from failures.
+// --expect-degraded exits non-zero if the ladder never fired (the run
+// didn't actually prove anything about overload), and --max-p95-ms X
+// exits non-zero if p95 latency exceeded X — together they make "bounded
+// p95, zero failed, degraded > 0 at N x sustainable load" a CI assertion.
 //
 // --impute-csv fetches the served dataset's base-mask imputation as
 // text/csv and writes the body verbatim: byte-identical to dmvi_serve /
@@ -61,6 +71,8 @@ struct LoadgenOptions {
   std::string name = "loadgen";
   std::string impute_csv;
   int reload_every = 0;  // 0 = never.
+  bool expect_degraded = false;
+  double max_p95_ms = 0.0;  // 0 = no bound.
 };
 
 /// One worker's share of the run: latencies (seconds) for its completed
@@ -70,6 +82,7 @@ struct WorkerResult {
   int64_t rows = 0;
   int failed = 0;
   int reloads_failed = 0;
+  int64_t degraded = 0;
 };
 
 std::string QueryBody(const serve::WorkloadQuery& query) {
@@ -112,6 +125,7 @@ void RunWorker(const LoadgenOptions& options,
     }
     result->latencies.push_back(latency);
     result->rows += 1;  // One block query touches one series row.
+    if (response->HasHeader("x-dmvi-degraded")) ++result->degraded;
   }
 }
 
@@ -152,6 +166,10 @@ int Run(int argc, char** argv) {
       options.impute_csv = value;
     } else if ((value = next("--reload-every"))) {
       options.reload_every = std::atoi(value);
+    } else if ((value = next("--max-p95-ms"))) {
+      options.max_p95_ms = std::atof(value);
+    } else if (std::strcmp(argv[i], "--expect-degraded") == 0) {
+      options.expect_degraded = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: dmvi_loadgen (--target HOST:PORT | --port-file PATH)\n"
@@ -159,7 +177,8 @@ int Run(int argc, char** argv) {
           "                    [--synth N [--block B] [--workload-seed S]\n"
           "                     | --workload FILE]\n"
           "                    [--json out.json] [--name LABEL]\n"
-          "                    [--impute-csv out.csv] [--reload-every N]\n");
+          "                    [--impute-csv out.csv] [--reload-every N]\n"
+          "                    [--expect-degraded] [--max-p95-ms X]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument: %s (see --help)\n", argv[i]);
@@ -264,7 +283,7 @@ int Run(int argc, char** argv) {
   const double wall_seconds = wall.ElapsedSeconds();
 
   std::vector<double> latencies;
-  int64_t rows = 0;
+  int64_t rows = 0, degraded = 0;
   int failed = 0, reloads_failed = 0;
   for (const WorkerResult& result : results) {
     latencies.insert(latencies.end(), result.latencies.begin(),
@@ -272,6 +291,7 @@ int Run(int argc, char** argv) {
     rows += result.rows;
     failed += result.failed;
     reloads_failed += result.reloads_failed;
+    degraded += result.degraded;
   }
   std::sort(latencies.begin(), latencies.end());
   const double p50_ms = serve::SortedPercentile(latencies, 0.50) * 1e3;
@@ -284,11 +304,12 @@ int Run(int argc, char** argv) {
       wall_seconds > 0.0 ? static_cast<double>(rows) / wall_seconds : 0.0;
 
   std::printf(
-      "%zu queries over %d connections (%d failed, %d reloads failed) in "
-      "%.2fs: p50 %.2f ms, p95 %.2f ms, max %.2f ms | %.1f req/s, %.1f "
-      "rows/s\n",
+      "%zu queries over %d connections (%d failed, %d reloads failed, "
+      "%lld degraded) in %.2fs: p50 %.2f ms, p95 %.2f ms, max %.2f ms | "
+      "%.1f req/s, %.1f rows/s\n",
       queries.size(), options.concurrency, failed, reloads_failed,
-      wall_seconds, p50_ms, p95_ms, max_ms, rps, rows_per_second);
+      static_cast<long long>(degraded), wall_seconds, p50_ms, p95_ms, max_ms,
+      rps, rows_per_second);
 
   if (!options.json_path.empty()) {
     // Suite-compatible cell: dataset/scenario/imputer identify the row in
@@ -312,9 +333,21 @@ int Run(int argc, char** argv) {
         << ", \"latency_p95_ms\": " << p95_ms
         << ", \"latency_max_ms\": " << max_ms
         << ", \"requests_per_second\": " << rps
-        << ", \"rows_per_second\": " << rows_per_second << "}\n";
+        << ", \"rows_per_second\": " << rows_per_second
+        << ", \"degraded\": " << degraded << "}\n";
     out << "  ]\n}\n";
     std::printf("wrote %s\n", options.json_path.c_str());
+  }
+  if (options.expect_degraded && degraded == 0) {
+    std::fprintf(stderr,
+                 "expected the degradation ladder to fire but no response "
+                 "carried x-dmvi-degraded\n");
+    return 1;
+  }
+  if (options.max_p95_ms > 0.0 && p95_ms > options.max_p95_ms) {
+    std::fprintf(stderr, "p95 %.2f ms exceeds the bound of %.2f ms\n", p95_ms,
+                 options.max_p95_ms);
+    return 1;
   }
   return failed == 0 && reloads_failed == 0 ? 0 : 1;
 }

@@ -12,6 +12,10 @@
 //                              --workload-seed)
 // Service knobs: --batch (micro-batch cap), --linger-ms, --threads,
 // --cache-mb (response cache; 0 = off).
+// Overload ladder: --degrade-watermark N answers requests with the cheap
+// --degrade-method imputer (LinearInterp/Mean) once the backlog (service
+// queue + HTTP accept queue) reaches N; --shed-watermark M rejects with
+// 503 at depth M. 0 (default) disables a rung.
 // Reports p50/p95/max latency, rows/sec, and the full telemetry JSON
 // (--telemetry-json PATH to persist it).
 //
@@ -99,6 +103,12 @@ int Run(int argc, char** argv) {
       service_config.threads = std::atoi(value);
     } else if ((value = next("--cache-mb"))) {
       service_config.cache_mb = std::atof(value);
+    } else if ((value = next("--degrade-watermark"))) {
+      service_config.degrade_watermark = std::atoi(value);
+    } else if ((value = next("--shed-watermark"))) {
+      service_config.shed_watermark = std::atoi(value);
+    } else if ((value = next("--degrade-method"))) {
+      service_config.degrade_method = value;
     } else if ((value = next("--listen"))) {
       listen_address = value;
     } else if ((value = next("--http-workers"))) {
@@ -118,6 +128,8 @@ int Run(int argc, char** argv) {
           "                   [--workload-seed S]]\n"
           "                  [--batch N] [--linger-ms X] [--threads N]\n"
           "                  [--cache-mb MB]\n"
+          "                  [--degrade-watermark N] [--shed-watermark N]\n"
+          "                  [--degrade-method LinearInterp|Mean]\n"
           "                  [--impute-csv out.csv] [--telemetry-json out.json]\n"
           "                  [--listen HOST:PORT [--http-workers N]\n"
           "                   [--port-file PATH] [--reload-on-sighup]]\n");
@@ -246,6 +258,11 @@ int Run(int argc, char** argv) {
           model, path.empty() ? model_path : path);
     };
     net::RegisterServingEndpoints(&server, context);
+    // Admission control should see connection pressure before those
+    // requests reach the service queue: fold the accept-queue depth into
+    // the watermark comparison.
+    service.SetPressureProbe(
+        [&server] { return server.pending_connections(); });
 
     if (Status started = server.Start(); !started.ok()) {
       std::fprintf(stderr, "cannot start server on %s: %s\n",
