@@ -1,5 +1,8 @@
 #include "common/logging.h"
 
+#include <cstdio>
+#include <mutex>
+
 namespace deepmvi {
 
 LogSeverity& MinLogSeverity() {
@@ -7,11 +10,43 @@ LogSeverity& MinLogSeverity() {
   return severity;
 }
 
-namespace internal_logging {
-namespace {
+LogFormat& GlobalLogFormat() {
+  static LogFormat format = LogFormat::kPlain;
+  return format;
+}
 
-const char* SeverityName(LogSeverity severity) {
+bool ParseLogSeverity(const std::string& text, LogSeverity* out) {
+  if (text == "debug") {
+    *out = LogSeverity::kDebug;
+  } else if (text == "info") {
+    *out = LogSeverity::kInfo;
+  } else if (text == "warning" || text == "warn") {
+    *out = LogSeverity::kWarning;
+  } else if (text == "error") {
+    *out = LogSeverity::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseLogFormat(const std::string& text, LogFormat* out) {
+  if (text == "plain") {
+    *out = LogFormat::kPlain;
+  } else if (text == "kv" || text == "keyvalue") {
+    *out = LogFormat::kKeyValue;
+  } else if (text == "json") {
+    *out = LogFormat::kJson;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* LogSeverityName(LogSeverity severity) {
   switch (severity) {
+    case LogSeverity::kDebug:
+      return "DEBUG";
     case LogSeverity::kInfo:
       return "INFO";
     case LogSeverity::kWarning:
@@ -24,7 +59,124 @@ const char* SeverityName(LogSeverity severity) {
   return "UNKNOWN";
 }
 
+namespace {
+
+/// Serializes emission so lines from concurrent request workers never
+/// interleave mid-line.
+std::mutex& EmitMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& value) {
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+bool NeedsKvQuoting(const std::string& value) {
+  if (value.empty()) return true;
+  for (char c : value) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\\' || c == '\n' ||
+        c == '\t') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AppendKvValue(std::string* out, const std::string& value) {
+  if (!NeedsKvQuoting(value)) {
+    *out += value;
+    return;
+  }
+  *out += '"';
+  AppendJsonEscaped(out, value);
+  *out += '"';
+}
+
 }  // namespace
+
+std::string FormatLogEvent(const LogEvent& event, LogFormat format) {
+  std::string out;
+  switch (format) {
+    case LogFormat::kPlain: {
+      out += "[";
+      out += LogSeverityName(event.severity);
+      out += " ";
+      out += event.source;
+      out += "] ";
+      out += event.message;
+      for (const LogField& field : event.fields) {
+        out += " ";
+        out += field.key;
+        out += "=";
+        AppendKvValue(&out, field.value);
+      }
+      break;
+    }
+    case LogFormat::kKeyValue: {
+      out += "level=";
+      out += LogSeverityName(event.severity);
+      out += " src=";
+      out += event.source;
+      out += " msg=";
+      AppendKvValue(&out, event.message);
+      for (const LogField& field : event.fields) {
+        out += " ";
+        out += field.key;
+        out += "=";
+        AppendKvValue(&out, field.value);
+      }
+      break;
+    }
+    case LogFormat::kJson: {
+      out += "{\"level\":\"";
+      out += LogSeverityName(event.severity);
+      out += "\",\"src\":\"";
+      AppendJsonEscaped(&out, event.source);
+      out += "\",\"msg\":\"";
+      AppendJsonEscaped(&out, event.message);
+      out += "\"";
+      for (const LogField& field : event.fields) {
+        out += ",\"";
+        AppendJsonEscaped(&out, field.key);
+        out += "\":\"";
+        AppendJsonEscaped(&out, field.value);
+        out += "\"";
+      }
+      out += "}";
+      break;
+    }
+  }
+  return out;
+}
+
+namespace internal_logging {
 
 LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
     : severity_(severity) {
@@ -33,12 +185,23 @@ LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
   for (const char* p = file; *p != '\0'; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << SeverityName(severity) << " " << base << ":" << line << "] ";
+  source_ = base;
+  source_ += ":";
+  source_ += std::to_string(line);
 }
 
 LogMessage::~LogMessage() {
   if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
-    std::cerr << stream_.str() << std::endl;
+    LogEvent event;
+    event.severity = severity_;
+    event.source = source_;
+    event.message = stream_.str();
+    event.fields = std::move(fields_);
+    const std::string line = FormatLogEvent(event, GlobalLogFormat());
+    {
+      std::lock_guard<std::mutex> lock(EmitMutex());
+      std::cerr << line << std::endl;
+    }
   }
   if (severity_ == LogSeverity::kFatal) {
     std::abort();

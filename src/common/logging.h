@@ -5,20 +5,72 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace deepmvi {
 
-/// Severity levels for the lightweight logging facility.
-enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+/// Severity levels for the logging facility. kDebug is below the default
+/// threshold: per-request logs live there so a serving binary is quiet
+/// unless --log-level debug is given.
+enum class LogSeverity {
+  kDebug = -1,
+  kInfo = 0,
+  kWarning = 1,
+  kError = 2,
+  kFatal = 3
+};
 
 /// Returns the global minimum severity that is actually emitted.
-/// Defaults to kInfo; tests raise it to silence expected warnings.
+/// Defaults to kInfo; tests raise it to silence expected warnings, tools
+/// lower it via --log-level debug.
 LogSeverity& MinLogSeverity();
+
+/// How emitted lines are rendered. kPlain is the historical human format;
+/// kKeyValue and kJson are machine-parseable structured lines where every
+/// attached field (request_id, path, status, ...) becomes its own column.
+enum class LogFormat { kPlain = 0, kKeyValue = 1, kJson = 2 };
+
+/// Global output format, defaulting to kPlain; tools set it from
+/// --log-format.
+LogFormat& GlobalLogFormat();
+
+/// Parses "debug" / "info" / "warning" ("warn") / "error". Returns false
+/// (and leaves `out` alone) on unknown input.
+bool ParseLogSeverity(const std::string& text, LogSeverity* out);
+/// Parses "plain" / "kv" ("keyvalue") / "json". Returns false on unknown.
+bool ParseLogFormat(const std::string& text, LogFormat* out);
+
+/// One structured field attached to a log line.
+struct LogField {
+  std::string key;
+  std::string value;
+};
+
+/// A fully assembled log line before rendering. `source` is file:line
+/// with directories stripped.
+struct LogEvent {
+  LogSeverity severity = LogSeverity::kInfo;
+  std::string source;
+  std::string message;
+  std::vector<LogField> fields;
+};
+
+const char* LogSeverityName(LogSeverity severity);
+
+/// Renders an event in the given format — pure function, so tests can pin
+/// the exact output. kPlain: `[INFO file:line] message key=value`.
+/// kKeyValue: `level=INFO src=file:line msg="message" key="value"`.
+/// kJson: one JSON object per line with "level", "src", "msg", and one
+/// member per field.
+std::string FormatLogEvent(const LogEvent& event, LogFormat format);
 
 namespace internal_logging {
 
-/// Stream-style log message collector. Emits on destruction; aborts the
-/// process for kFatal messages (used by the DMVI_CHECK family).
+/// Stream-style log message collector. Emits on destruction (rendered via
+/// FormatLogEvent in the global format, serialized by a process-wide
+/// mutex so concurrent workers never interleave); aborts the process for
+/// kFatal messages (used by the DMVI_CHECK family).
 class LogMessage {
  public:
   LogMessage(LogSeverity severity, const char* file, int line);
@@ -29,9 +81,18 @@ class LogMessage {
 
   std::ostream& stream() { return stream_; }
 
+  /// Attaches a structured field; in kPlain format fields trail the
+  /// message as key=value pairs.
+  LogMessage& Field(std::string key, std::string value) {
+    fields_.push_back(LogField{std::move(key), std::move(value)});
+    return *this;
+  }
+
  private:
   LogSeverity severity_;
+  std::string source_;
   std::ostringstream stream_;
+  std::vector<LogField> fields_;
 };
 
 }  // namespace internal_logging
@@ -41,6 +102,13 @@ class LogMessage {
   ::deepmvi::internal_logging::LogMessage(                             \
       ::deepmvi::LogSeverity::k##severity, __FILE__, __LINE__)         \
       .stream()
+
+/// Structured variant: yields the LogMessage itself so fields can be
+/// chained before streaming the message text:
+///   DMVI_SLOG(Debug).Field("request_id", id).stream() << "served";
+#define DMVI_SLOG(severity)                                            \
+  ::deepmvi::internal_logging::LogMessage(                             \
+      ::deepmvi::LogSeverity::k##severity, __FILE__, __LINE__)
 
 /// Aborts with a message when `condition` is false. Used for programmer
 /// invariants (argument shapes, index bounds); recoverable conditions use

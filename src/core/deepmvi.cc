@@ -9,6 +9,7 @@
 #include "common/parallel.h"
 #include "core/deepmvi_modules.h"
 #include "nn/adam.h"
+#include "obs/trace.h"
 
 namespace deepmvi {
 namespace {
@@ -116,6 +117,12 @@ StatusOr<TrainedDeepMvi> DeepMviImputer::Fit(const storage::DataSource& source,
   // Imputer-contract hygiene: stale diagnostics from a previous call must
   // not leak into this one.
   train_stats_ = TrainStats();
+
+  obs::Span fit_span = obs::GlobalSpan("train.fit");
+  if (fit_span.active()) {
+    fit_span.AddArg("num_series", std::to_string(source.num_series()));
+    fit_span.AddArg("num_times", std::to_string(source.num_times()));
+  }
 
   // Flattening (DeepMVI1D) only rewrites the index metadata; the values
   // and their row order are untouched, so it needs no data pass.
@@ -319,10 +326,13 @@ StatusOr<TrainedDeepMvi> DeepMviImputer::Fit(const storage::DataSource& source,
   snapshot();
 
   for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    obs::Span epoch_span = obs::GlobalSpan("train.epoch");
+    if (epoch_span.active()) epoch_span.AddArg("epoch", std::to_string(epoch));
     double train_loss = 0.0;
     int train_batches = 0;
     int made = 0;
     while (made < total_samples) {
+      obs::Span batch_span = obs::GlobalSpan("train.batch");
       // Sample generation consumes the shared rng stream sequentially, so
       // it happens before the workers start.
       std::vector<TrainSample> batch;
@@ -332,6 +342,9 @@ StatusOr<TrainedDeepMvi> DeepMviImputer::Fit(const storage::DataSource& source,
         batch.push_back(std::move(sample));
       }
       if (batch.empty()) continue;
+      if (batch_span.active()) {
+        batch_span.AddArg("batch_size", std::to_string(batch.size()));
+      }
 
       std::vector<SampleEval> evals(batch.size());
       ParallelForWithSlot(
@@ -379,6 +392,7 @@ StatusOr<TrainedDeepMvi> DeepMviImputer::Fit(const storage::DataSource& source,
 
     // Validation: forward-only, fanned out the same way; the loss sum runs
     // in sample order.
+    obs::Span val_span = obs::GlobalSpan("train.validate");
     std::vector<SampleEval> val_evals(val_samples.size());
     ParallelForWithSlot(
         static_cast<int>(val_samples.size()), config.num_threads,
@@ -396,6 +410,7 @@ StatusOr<TrainedDeepMvi> DeepMviImputer::Fit(const storage::DataSource& source,
       }
     }
     val_loss = val_batches > 0 ? val_loss / val_batches : 0.0;
+    val_span.End();
     train_stats_.epochs_run = epoch + 1;
 
     if (val_loss < best_val - 1e-6) {

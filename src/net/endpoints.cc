@@ -4,7 +4,10 @@
 #include <sstream>
 #include <utility>
 
+#include "common/stopwatch.h"
 #include "net/codec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/telemetry.h"
 #include "serve/workload.h"
 
@@ -19,7 +22,29 @@ HttpMessage ErrorResponse(const Status& status) {
 
 HttpMessage HandleImpute(const ServingContext& ctx,
                          const HttpMessage& request) {
-  StatusOr<ImputeApiRequest> decoded = DecodeImputeRequest(request);
+  const std::string& request_id = request.Header("x-request-id");
+  obs::Histogram* stage_decode =
+      ctx.metrics != nullptr
+          ? ctx.metrics->HistogramNamed(
+                "dmvi_stage_decode_seconds",
+                "Impute request body decode time per request.")
+          : nullptr;
+  obs::Histogram* stage_encode =
+      ctx.metrics != nullptr
+          ? ctx.metrics->HistogramNamed(
+                "dmvi_stage_encode_seconds",
+                "Impute response body encode time per request.")
+          : nullptr;
+
+  Stopwatch decode_watch;
+  StatusOr<ImputeApiRequest> decoded = [&] {
+    obs::Span decode_span(ctx.tracer, "impute.decode");
+    if (decode_span.active()) decode_span.set_request_id(request_id);
+    return DecodeImputeRequest(request);
+  }();
+  if (stage_decode != nullptr) {
+    stage_decode->Observe(decode_watch.ElapsedSeconds());
+  }
   if (!decoded.ok()) return ErrorResponse(decoded.status());
   const ImputeApiRequest& api = *decoded;
 
@@ -49,17 +74,31 @@ HttpMessage HandleImpute(const ServingContext& ctx,
   impute.model = api.model;
   impute.data = data;
   impute.mask = mask;
+  impute.request_id = request_id;
+  // Parent the service-side spans (queue.wait, service.process, ...) to
+  // the enclosing http.handle span even though they run on the dispatcher
+  // thread, not this worker.
+  if (ctx.tracer != nullptr) impute.trace_parent = ctx.tracer->CurrentContext();
   serve::ImputationResponse response =
       ctx.service->Submit(std::move(impute)).get();
   if (!response.status.ok()) return ErrorResponse(response.status);
 
+  Stopwatch encode_watch;
   HttpMessage reply;
-  if (api.csv_response) {
-    reply = MakeResponse(200, EncodeImputedCsv(data->dims(), response.imputed),
-                         "text/csv");
-  } else {
-    reply = MakeResponse(200, EncodeImputedJson(response, mask),
-                         "application/json");
+  {
+    obs::Span encode_span(ctx.tracer, "impute.encode");
+    if (encode_span.active()) encode_span.set_request_id(request_id);
+    if (api.csv_response) {
+      reply = MakeResponse(200,
+                           EncodeImputedCsv(data->dims(), response.imputed),
+                           "text/csv");
+    } else {
+      reply = MakeResponse(200, EncodeImputedJson(response, mask),
+                           "application/json");
+    }
+  }
+  if (stage_encode != nullptr) {
+    stage_encode->Observe(encode_watch.ElapsedSeconds());
   }
   // The degradation marker rides a header too so CSV responses (whose body
   // must stay byte-identical to the dataset format) still carry it.
@@ -150,7 +189,25 @@ void RegisterServingEndpoints(HttpServer* server, ServingContext ctx) {
   server->Handle("GET", "/healthz", [ctx, server](const HttpMessage&) {
     return HandleHealthz(ctx, server);
   });
-  server->Handle("GET", "/metrics", [ctx](const HttpMessage&) {
+  server->Handle("GET", "/metrics", [ctx, server](const HttpMessage&) {
+    // Prometheus text exposition: telemetry counters + latency histogram,
+    // live pressure gauges, then whatever the shared registry carries
+    // (stage histograms, HTTP counters).
+    std::ostringstream os;
+    os << serve::TelemetryToPrometheus(ctx.service->telemetry());
+    obs::AppendPrometheusGauge(
+        os, "dmvi_queue_depth",
+        "Requests queued for the batch dispatcher right now.",
+        static_cast<double>(ctx.service->queue_depth()));
+    obs::AppendPrometheusGauge(
+        os, "dmvi_pending_connections",
+        "Accepted connections waiting for a free worker right now.",
+        server != nullptr ? static_cast<double>(server->pending_connections())
+                          : 0.0);
+    if (ctx.metrics != nullptr) os << ctx.metrics->PrometheusText();
+    return MakeResponse(200, os.str(), "text/plain; version=0.0.4");
+  });
+  server->Handle("GET", "/metrics.json", [ctx](const HttpMessage&) {
     return MakeResponse(200,
                         serve::TelemetryToJson(ctx.service->telemetry()),
                         "application/json");

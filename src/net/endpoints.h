@@ -28,6 +28,13 @@ struct ServingContext {
   /// call it.
   std::function<Status(const std::string& model, const std::string& path)>
       reload;
+  /// Optional observability hooks (borrowed; null disables). The registry
+  /// contributes its metrics to GET /metrics and receives the decode /
+  /// encode stage histograms; the tracer wraps request decoding and
+  /// response encoding in spans and threads the current HTTP span into
+  /// ImputationRequest::trace_parent.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Registers the serving API on `server`:
@@ -41,8 +48,14 @@ struct ServingContext {
 ///                      depth, pending connections, watermarks, and the
 ///                      current degradation state: off/ready/degrading/
 ///                      shedding}
-///   GET  /metrics      Telemetry JSON (serve/telemetry.h), including
-///                      degraded/shed counters
+///   GET  /metrics      Prometheus text exposition: the telemetry counters
+///                      as dmvi_*_total, the request-latency histogram,
+///                      live queue-depth / pending-connections gauges, and
+///                      everything in ctx.metrics (stage histograms, HTTP
+///                      counters)
+///   GET  /metrics.json Telemetry JSON (serve/telemetry.h), including
+///                      degraded/shed counters — the pre-Prometheus
+///                      /metrics payload, kept for scripted consumers
 ///   POST /admin/reload warm checkpoint swap via ctx.reload
 /// `ctx` is copied into the handlers and `server` itself is captured by
 /// the /healthz route (it reports the accept-queue depth); both the

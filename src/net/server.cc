@@ -70,7 +70,22 @@ Status ParseHostPort(const std::string& address, std::string* host,
   return Status::OK();
 }
 
-HttpServer::HttpServer(ServerConfig config) : config_(std::move(config)) {}
+HttpServer::HttpServer(ServerConfig config) : config_(std::move(config)) {
+  if (config_.metrics != nullptr) {
+    http_requests_total_ = config_.metrics->CounterNamed(
+        "dmvi_http_requests_total",
+        "HTTP responses written, error responses included.");
+    stage_read_ = config_.metrics->HistogramNamed(
+        "dmvi_stage_http_read_seconds",
+        "First byte to fully parsed request, per request.");
+    stage_handle_ = config_.metrics->HistogramNamed(
+        "dmvi_stage_http_handle_seconds",
+        "Handler dispatch time per request (routing included).");
+    stage_write_ = config_.metrics->HistogramNamed(
+        "dmvi_stage_http_write_seconds",
+        "Response serialization and socket write time per request.");
+  }
+}
 
 HttpServer::~HttpServer() { Stop(); }
 
@@ -213,6 +228,14 @@ bool HttpServer::WriteAll(int fd, const std::string& bytes) {
   return true;
 }
 
+std::string HttpServer::RequestIdFor(const HttpMessage& request) {
+  const std::string& supplied = request.Header("x-request-id");
+  if (!supplied.empty()) return supplied;
+  return "req-" + std::to_string(
+                      next_request_number_.fetch_add(1,
+                                                     std::memory_order_relaxed));
+}
+
 HttpMessage HttpServer::Dispatch(const HttpMessage& request) {
   const auto it = handlers_.find({request.method, request.target});
   if (it == handlers_.end()) {
@@ -247,6 +270,13 @@ void HttpServer::ServeConnection(int fd) {
   HttpParser parser(HttpParser::Mode::kRequest, config_.limits);
   char buffer[8192];
   double idle_seconds = 0.0;
+  obs::Tracer* tracer = config_.tracer;
+  const bool traced = tracer != nullptr && tracer->enabled();
+  // Read-stage timing opens at the first byte of each message, not at the
+  // recv loop — idle keep-alive time is not read time.
+  Stopwatch read_watch;
+  double trace_read_start = 0.0;
+  bool message_open = false;
   for (;;) {
     const ssize_t n =
         FaultyRecv(config_.fault.get(), fd, buffer, sizeof(buffer));
@@ -268,6 +298,11 @@ void HttpServer::ServeConnection(int fd) {
 
     size_t offset = 0;
     while (offset < static_cast<size_t>(n)) {
+      if (!message_open) {
+        message_open = true;
+        read_watch.Reset();
+        if (traced) trace_read_start = tracer->Now();
+      }
       offset += parser.Feed(buffer + offset, static_cast<size_t>(n) - offset);
       if (parser.failed()) {
         // Framing is gone; answer and close.
@@ -279,18 +314,80 @@ void HttpServer::ServeConnection(int fd) {
         // Count before writing: once the peer can observe the response,
         // the counter must already cover it.
         ++requests_served_;
+        if (http_requests_total_ != nullptr) http_requests_total_->Increment();
         WriteAll(fd, SerializeResponse(error));
         return;
       }
       if (!parser.done()) continue;
 
       const bool keep_alive = WantsKeepAlive(parser.message()) && !stopping_;
-      HttpMessage response = Dispatch(parser.message());
+      const std::string request_id = RequestIdFor(parser.message());
+      // Stamp the resolved id back onto the request so handlers see one
+      // authoritative value whether or not the client supplied it.
+      parser.mutable_message().SetHeader("x-request-id", request_id);
+      if (stage_read_ != nullptr) {
+        stage_read_->Observe(read_watch.ElapsedSeconds());
+      }
+      obs::SpanContext root;
+      if (traced) {
+        root.trace_id = tracer->NewId();
+        root.span_id = tracer->NewId();
+        obs::SpanContext read_ctx;
+        read_ctx.trace_id = root.trace_id;
+        read_ctx.span_id = tracer->NewId();
+        tracer->RecordSpan("http.read", read_ctx, root.span_id,
+                           trace_read_start,
+                           tracer->Now() - trace_read_start, request_id);
+      }
+
+      Stopwatch handle_watch;
+      HttpMessage response;
+      {
+        // Live scope so handlers find it via Tracer::CurrentContext() and
+        // parent their service-side spans across the dispatcher hop.
+        obs::Span handle_span(traced ? tracer : nullptr, "http.handle", root);
+        if (handle_span.active()) handle_span.set_request_id(request_id);
+        response = Dispatch(parser.message());
+      }
+      if (stage_handle_ != nullptr) {
+        stage_handle_->Observe(handle_watch.ElapsedSeconds());
+      }
       response.SetHeader("connection", keep_alive ? "keep-alive" : "close");
+      response.SetHeader("x-dmvi-request-id", request_id);
       ++requests_served_;
-      if (!WriteAll(fd, SerializeResponse(response))) return;
+      if (http_requests_total_ != nullptr) http_requests_total_->Increment();
+
+      Stopwatch write_watch;
+      const double trace_write_start = traced ? tracer->Now() : 0.0;
+      const bool wrote = WriteAll(fd, SerializeResponse(response));
+      if (stage_write_ != nullptr) {
+        stage_write_->Observe(write_watch.ElapsedSeconds());
+      }
+      if (traced) {
+        obs::SpanContext write_ctx;
+        write_ctx.trace_id = root.trace_id;
+        write_ctx.span_id = tracer->NewId();
+        tracer->RecordSpan("http.write", write_ctx, root.span_id,
+                           trace_write_start,
+                           tracer->Now() - trace_write_start, request_id);
+        tracer->RecordSpan(
+            "http.request", root, 0, trace_read_start,
+            tracer->Now() - trace_read_start, request_id,
+            {{"method", parser.message().method},
+             {"path", parser.message().target},
+             {"status", std::to_string(response.status_code)}});
+      }
+      DMVI_SLOG(Debug)
+          .Field("request_id", request_id)
+          .Field("method", parser.message().method)
+          .Field("path", parser.message().target)
+          .Field("status", std::to_string(response.status_code))
+          .stream()
+          << "http request served";
+      if (!wrote) return;
       if (!keep_alive) return;
       parser.Reset();
+      message_open = false;
     }
   }
 }

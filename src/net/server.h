@@ -16,6 +16,8 @@
 #include "common/status.h"
 #include "net/fault.h"
 #include "net/http.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace deepmvi {
 namespace net {
@@ -41,6 +43,13 @@ struct ServerConfig {
   /// plain syscalls — production pays one branch. Tests inject short
   /// reads/writes, EINTR, and mid-stream resets reproducibly.
   std::shared_ptr<FaultInjector> fault;
+  /// Optional observability hooks, both borrowed (must outlive the
+  /// server; null disables). The registry receives dmvi_http_requests_total
+  /// and per-stage histograms (read, handle, write); the tracer receives
+  /// the http.request / http.read / http.handle / http.write span family,
+  /// one tree per request.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Dependency-free HTTP/1.1 server on POSIX sockets: a listener + accept
@@ -106,11 +115,20 @@ class HttpServer {
   void ServeConnection(int fd);
   /// Routes one parsed request (exact match, 404/405/500 fallbacks).
   HttpMessage Dispatch(const HttpMessage& request);
+  /// The id every span and response header of this request carries: the
+  /// client's x-request-id when given, else a generated "req-<n>".
+  std::string RequestIdFor(const HttpMessage& request);
   /// Writes the full buffer; false on a broken pipe.
   bool WriteAll(int fd, const std::string& bytes);
 
   const ServerConfig config_;
   std::map<std::pair<std::string, std::string>, Handler> handlers_;
+  std::atomic<int64_t> next_request_number_{1};
+  // From config_.metrics; null when no registry is wired in.
+  obs::Counter* http_requests_total_ = nullptr;
+  obs::Histogram* stage_read_ = nullptr;
+  obs::Histogram* stage_handle_ = nullptr;
+  obs::Histogram* stage_write_ = nullptr;
 
   int listen_fd_ = -1;
   int port_ = 0;

@@ -1,0 +1,70 @@
+#ifndef DEEPMVI_OBS_HISTOGRAM_H_
+#define DEEPMVI_OBS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace deepmvi {
+namespace obs {
+
+/// Point-in-time copy of a Histogram. `counts` has one entry per bucket
+/// (kNumBounds finite buckets plus the overflow bucket); everything a
+/// percentile estimate or a Prometheus exposition needs is here, so
+/// renderers never touch the live histogram's lock twice.
+struct HistogramSnapshot {
+  std::vector<int64_t> counts;  // kNumBounds + 1 entries.
+  int64_t count = 0;            // Total observations.
+  double sum = 0.0;             // Exact running sum.
+  double min = 0.0;             // Exact; 0 when empty.
+  double max = 0.0;             // Exact; 0 when empty.
+
+  /// Deterministic percentile estimate (q in [0, 1]). The rank is mapped
+  /// to its bucket and linearly interpolated between the bucket bounds
+  /// (clamped to the exact observed min/max), so the estimate of a value
+  /// in bucket b is always within [lower(b), upper(b)] — at most one
+  /// bucket-growth factor from the exact order statistic. Unlike a
+  /// reservoir sample, the same observations always yield the same
+  /// estimate, in any arrival order.
+  double Percentile(double q) const;
+};
+
+/// Thread-safe latency histogram over a fixed exponential bucket layout
+/// shared by every instance: bucket i covers values in
+/// (UpperBound(i-1), UpperBound(i)] with UpperBound(i) = 1e-6 * sqrt(2)^i
+/// seconds, i in [0, kNumBounds) — 1 microsecond up to ~50 minutes at a
+/// guaranteed <= sqrt(2) relative quantile error — plus one overflow
+/// bucket. The fixed layout makes histograms mergeable by bucket-wise
+/// addition and keeps percentile estimates deterministic, replacing the
+/// serving layer's reservoir sampling as the source of p50/p95.
+class Histogram {
+ public:
+  static constexpr int kNumBounds = 64;
+
+  /// Upper bound (inclusive, Prometheus `le` semantics) of bucket i.
+  static double UpperBound(int i);
+  /// Lower bound (exclusive) of bucket i; 0 for the first bucket.
+  static double LowerBound(int i);
+  /// Index of the bucket `value` falls into (kNumBounds = overflow).
+  static int BucketIndex(double value);
+
+  void Observe(double value);
+  /// Adds every observation of `other` (bucket-wise; exact min/max/sum
+  /// merge exactly).
+  void Merge(const HistogramSnapshot& other);
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<int64_t> counts_ = std::vector<int64_t>(kNumBounds + 1, 0);
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace obs
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_OBS_HISTOGRAM_H_

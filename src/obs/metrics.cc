@@ -1,0 +1,128 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace deepmvi {
+namespace obs {
+namespace {
+
+/// Numbers in exposition lines: enough digits to round-trip a latency
+/// bound, no trailing-zero noise ("1e-06", "0.25", "192").
+std::string FormatNumber(double value) {
+  if (!std::isfinite(value)) return value > 0 ? "+Inf" : "-Inf";
+  std::ostringstream os;
+  os.precision(9);
+  os << value;
+  return os.str();
+}
+
+}  // namespace
+
+MetricsRegistry::Entry& MetricsRegistry::EntryNamed(const std::string& name,
+                                                    const std::string& help,
+                                                    Kind kind) {
+  // Caller holds mutex_.
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = kind;
+    entry.help = help;
+    switch (kind) {
+      case Kind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        entry.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = entries_.emplace(name, std::move(entry)).first;
+  }
+  DMVI_CHECK(it->second.kind == kind)
+      << "metric '" << name << "' registered twice with different kinds";
+  return it->second;
+}
+
+Counter* MetricsRegistry::CounterNamed(const std::string& name,
+                                       const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return EntryNamed(name, help, Kind::kCounter).counter.get();
+}
+
+Gauge* MetricsRegistry::GaugeNamed(const std::string& name,
+                                   const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return EntryNamed(name, help, Kind::kGauge).gauge.get();
+}
+
+Histogram* MetricsRegistry::HistogramNamed(const std::string& name,
+                                           const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return EntryNamed(name, help, Kind::kHistogram).histogram.get();
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  // std::map iteration is already name-sorted — stable exposition order.
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        AppendPrometheusCounter(os, name, entry.help, entry.counter->value());
+        break;
+      case Kind::kGauge:
+        AppendPrometheusGauge(os, name, entry.help, entry.gauge->value());
+        break;
+      case Kind::kHistogram:
+        AppendPrometheusHistogram(os, name, entry.help,
+                                  entry.histogram->Snapshot());
+        break;
+    }
+  }
+  return os.str();
+}
+
+void AppendPrometheusCounter(std::ostream& os, const std::string& name,
+                             const std::string& help, int64_t value) {
+  os << "# HELP " << name << " " << help << "\n";
+  os << "# TYPE " << name << " counter\n";
+  os << name << " " << value << "\n";
+}
+
+void AppendPrometheusGauge(std::ostream& os, const std::string& name,
+                           const std::string& help, double value) {
+  os << "# HELP " << name << " " << help << "\n";
+  os << "# TYPE " << name << " gauge\n";
+  os << name << " " << FormatNumber(value) << "\n";
+}
+
+void AppendPrometheusHistogram(std::ostream& os, const std::string& name,
+                               const std::string& help,
+                               const HistogramSnapshot& snapshot) {
+  os << "# HELP " << name << " " << help << "\n";
+  os << "# TYPE " << name << " histogram\n";
+  // Cumulative buckets up to the last non-empty one; the +Inf bucket is
+  // mandatory and always carries the total count.
+  int last = -1;
+  for (size_t b = 0; b < snapshot.counts.size(); ++b) {
+    if (snapshot.counts[b] > 0) last = static_cast<int>(b);
+  }
+  int64_t cumulative = 0;
+  const int finite_last = std::min(last, Histogram::kNumBounds - 1);
+  for (int b = 0; b <= finite_last; ++b) {
+    cumulative += snapshot.counts[static_cast<size_t>(b)];
+    os << name << "_bucket{le=\"" << FormatNumber(Histogram::UpperBound(b))
+       << "\"} " << cumulative << "\n";
+  }
+  os << name << "_bucket{le=\"+Inf\"} " << snapshot.count << "\n";
+  os << name << "_sum " << FormatNumber(snapshot.sum) << "\n";
+  os << name << "_count " << snapshot.count << "\n";
+}
+
+}  // namespace obs
+}  // namespace deepmvi

@@ -1,0 +1,205 @@
+#ifndef DEEPMVI_OBS_TRACE_H_
+#define DEEPMVI_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace deepmvi {
+namespace obs {
+
+/// Identity of one span inside one trace. trace_id groups every span of a
+/// request (or a training run); span_id names this span so children can
+/// point at it. A zero trace_id means "no trace": spans started under it
+/// open a fresh trace.
+struct SpanContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+};
+
+/// One finished span, as handed to the sink. Timestamps are seconds on
+/// the owning tracer's monotonic clock (epoch = tracer construction), so
+/// a trace file is internally consistent even across threads.
+struct SpanRecord {
+  std::string name;
+  std::string request_id;  // Empty when the span has no request identity.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;  // 0 = root.
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  int thread_index = 0;  // Small stable per-thread index (trace "tid").
+  /// Free-form annotations ("epoch" = "3", "batch_size" = "8").
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Where finished spans go. Record() is called from every instrumented
+/// thread and must be thread-safe.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Record(SpanRecord record) = 0;
+};
+
+/// Bounded in-memory sink: keeps the first `capacity` spans, counts the
+/// rest as dropped — a long training run with kernel scopes cannot grow
+/// memory without bound.
+class CollectingTraceSink : public TraceSink {
+ public:
+  explicit CollectingTraceSink(size_t capacity = 1 << 20)
+      : capacity_(capacity) {}
+
+  void Record(SpanRecord record) override;
+  std::vector<SpanRecord> records() const;
+  int64_t dropped() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> records_;
+  int64_t dropped_ = 0;
+};
+
+/// How deep the instrumentation reaches. kRequest covers the serving and
+/// training control flow (requests, epochs, batches); kKernel adds the
+/// hot execution units (blocked MatMul calls, storage chunk loads) —
+/// higher volume, for perfetto deep dives.
+enum class TraceLevel { kRequest = 0, kKernel = 1 };
+
+/// Hands out span identities, timestamps, and the thread-local implicit
+/// parent stack. One tracer per process is the normal arrangement
+/// (tools create it when --trace-out is given); a null tracer pointer is
+/// the disabled state and every instrumentation site pays one branch.
+class Tracer {
+ public:
+  explicit Tracer(TraceSink* sink, TraceLevel level = TraceLevel::kRequest)
+      : sink_(sink), level_(level) {}
+
+  bool enabled(TraceLevel level = TraceLevel::kRequest) const {
+    return sink_ != nullptr && static_cast<int>(level) <= static_cast<int>(level_);
+  }
+  TraceLevel level() const { return level_; }
+
+  /// Fresh process-unique id (shared counter for trace and span ids).
+  uint64_t NewId() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+  /// Seconds since tracer construction (monotonic).
+  double Now() const { return epoch_.ElapsedSeconds(); }
+  /// Small dense index for the calling thread, stable for its lifetime.
+  static int CurrentThreadIndex();
+
+  /// The innermost live Span on this thread (zero context when none) —
+  /// how request handlers hand their span to work that crosses threads.
+  SpanContext CurrentContext() const;
+
+  /// Low-level emission for retrospective spans whose start predates the
+  /// call (queue waits, whole-request roots).
+  void RecordSpan(std::string name, SpanContext context,
+                  uint64_t parent_span_id, double start_seconds,
+                  double duration_seconds, std::string request_id = "",
+                  std::vector<std::pair<std::string, std::string>> args = {});
+
+ private:
+  friend class Span;
+  void PushContext(SpanContext context);
+  void PopContext(SpanContext context);
+
+  TraceSink* const sink_;
+  const TraceLevel level_;
+  Stopwatch epoch_;
+  std::atomic<uint64_t> next_id_{1};
+};
+
+/// RAII trace scope. A default-constructed (or disabled-tracer) Span is
+/// inert: no allocation, no clock read, no sink traffic — the form every
+/// instrumentation site takes when tracing is off, which is what keeps
+/// the traced and untraced paths bit-identical and the overhead a branch.
+///
+/// Parentage: the explicit-parent constructor starts a child of `parent`
+/// (or a fresh trace when parent.trace_id is 0); the implicit constructor
+/// parents to the innermost live Span on this thread. Spans must end in
+/// LIFO order per thread (natural scoping); they are deliberately
+/// non-copyable and non-movable so the thread-local stack cannot be
+/// reordered behind the tracer's back.
+class Span {
+ public:
+  Span() = default;
+  /// Implicit parent: the current thread's innermost span.
+  Span(Tracer* tracer, const char* name,
+       TraceLevel level = TraceLevel::kRequest);
+  /// Explicit parent, for spans continuing a trace across threads.
+  Span(Tracer* tracer, const char* name, SpanContext parent,
+       TraceLevel level = TraceLevel::kRequest);
+  ~Span() { End(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return tracer_ != nullptr; }
+  SpanContext context() const { return context_; }
+  void set_request_id(std::string request_id) {
+    request_id_ = std::move(request_id);
+  }
+  void AddArg(std::string key, std::string value) {
+    if (tracer_ != nullptr) args_.emplace_back(std::move(key), std::move(value));
+  }
+
+  /// Records the span now (idempotent; the destructor calls it).
+  void End();
+
+ private:
+  void Begin(Tracer* tracer, const char* name, SpanContext parent,
+             TraceLevel level);
+
+  Tracer* tracer_ = nullptr;  // Null = inert.
+  const char* name_ = "";
+  SpanContext context_;
+  uint64_t parent_span_id_ = 0;
+  double start_seconds_ = 0.0;
+  std::string request_id_;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+/// Process-global tracer used by instrumentation sites too deep to thread
+/// a tracer through (MatMul kernels, storage chunk loads, the training
+/// loop). Null by default — every deep scope is then inert. Tools install
+/// their tracer before work starts; not synchronized against concurrent
+/// instrumentation, so set it during single-threaded startup.
+Tracer* GlobalTracer();
+void SetGlobalTracer(Tracer* tracer);
+
+/// Kernel-level scope against the global tracer: inert unless a global
+/// tracer exists and traces at kKernel.
+inline Span KernelSpan(const char* name) {
+  Tracer* tracer = GlobalTracer();
+  if (tracer == nullptr || !tracer->enabled(TraceLevel::kKernel)) {
+    return Span();
+  }
+  return Span(tracer, name, TraceLevel::kKernel);
+}
+
+/// Request-level scope against the global tracer.
+inline Span GlobalSpan(const char* name) {
+  Tracer* tracer = GlobalTracer();
+  if (tracer == nullptr || !tracer->enabled(TraceLevel::kRequest)) {
+    return Span();
+  }
+  return Span(tracer, name, TraceLevel::kRequest);
+}
+
+/// Chrome trace-event JSON ("traceEvents" array of complete "X" events,
+/// microsecond timestamps), loadable in perfetto / chrome://tracing.
+/// Span identities and the request id ride in each event's "args".
+std::string ChromeTraceJson(const std::vector<SpanRecord>& records);
+Status WriteChromeTrace(const std::vector<SpanRecord>& records,
+                        const std::string& path);
+
+}  // namespace obs
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_OBS_TRACE_H_

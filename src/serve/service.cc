@@ -34,12 +34,33 @@ ImputationService::ImputationService(ServiceConfig config)
     cache_ = std::make_unique<ResponseCache>(
         static_cast<int64_t>(config_.cache_mb * 1024.0 * 1024.0));
   }
+  if (config_.metrics != nullptr) {
+    stage_queue_wait_ = config_.metrics->HistogramNamed(
+        "dmvi_stage_queue_wait_seconds",
+        "Time a submitted request spent queued before its batch started.");
+    stage_batch_assemble_ = config_.metrics->HistogramNamed(
+        "dmvi_stage_batch_assemble_seconds",
+        "Dispatcher time from wake-up to a dispatched batch (linger included).");
+    stage_predict_ = config_.metrics->HistogramNamed(
+        "dmvi_stage_predict_seconds",
+        "Full-model Predict time per request.");
+    stage_cache_probe_ = config_.metrics->HistogramNamed(
+        "dmvi_stage_cache_probe_seconds",
+        "Response-cache lookup time per probed request.");
+    stage_fallback_ = config_.metrics->HistogramNamed(
+        "dmvi_stage_fallback_seconds",
+        "Degraded-mode fallback imputer time per request.");
+  }
 }
 
 ImputationService::~ImputationService() { Shutdown(); }
 
 ImputationResponse ImputationService::Process(const ImputationRequest& request,
                                               bool degrade) {
+  obs::Span span(config_.tracer, "service.process", request.trace_parent);
+  if (span.active() && !request.request_id.empty()) {
+    span.set_request_id(request.request_id);
+  }
   ImputationResponse response;
   try {
     const TrainedDeepMvi* model = registry_.Get(request.model);
@@ -61,12 +82,22 @@ ImputationResponse ImputationService::Process(const ImputationRequest& request,
       // behavior is identical; only the fill values differ. The cache is
       // bypassed in both directions — a fallback answer must never be
       // served later as a model answer or vice versa.
-      if (config_.degrade_method == "Mean") {
-        MeanImputer fallback;
-        response.imputed = fallback.Impute(*request.data, request.mask);
-      } else {
-        LinearInterpolationImputer fallback;
-        response.imputed = fallback.Impute(*request.data, request.mask);
+      {
+        obs::Span fallback_span(config_.tracer, "degrade.fallback");
+        if (fallback_span.active()) {
+          fallback_span.set_request_id(request.request_id);
+        }
+        Stopwatch fallback_watch;
+        if (config_.degrade_method == "Mean") {
+          MeanImputer fallback;
+          response.imputed = fallback.Impute(*request.data, request.mask);
+        } else {
+          LinearInterpolationImputer fallback;
+          response.imputed = fallback.Impute(*request.data, request.mask);
+        }
+        if (stage_fallback_ != nullptr) {
+          stage_fallback_->Observe(fallback_watch.ElapsedSeconds());
+        }
       }
       response.degraded = true;
       response.degrade_method =
@@ -82,10 +113,19 @@ ImputationResponse ImputationService::Process(const ImputationRequest& request,
     // a hit is bit-identical to recomputing.
     uint64_t data_fp = 0, mask_fp = 0;
     if (cache_ != nullptr) {
+      obs::Span probe_span(config_.tracer, "cache.probe");
+      if (probe_span.active()) probe_span.set_request_id(request.request_id);
+      Stopwatch probe_watch;
       data_fp = MemoizedDataFingerprint(request.data);
       mask_fp = FingerprintMask(request.mask);
-      if (ResponseCache::ResponsePtr hit =
-              cache_->Get(model, data_fp, mask_fp)) {
+      ResponseCache::ResponsePtr hit = cache_->Get(model, data_fp, mask_fp);
+      if (stage_cache_probe_ != nullptr) {
+        stage_cache_probe_->Observe(probe_watch.ElapsedSeconds());
+      }
+      if (probe_span.active()) {
+        probe_span.AddArg("hit", hit != nullptr ? "true" : "false");
+      }
+      if (hit != nullptr) {
         telemetry_.RecordCacheLookup(true);
         response.imputed = hit->imputed;
         response.cells_imputed = hit->cells_imputed;
@@ -95,7 +135,15 @@ ImputationResponse ImputationService::Process(const ImputationRequest& request,
       telemetry_.RecordCacheLookup(false);
     }
 
-    response.imputed = model->Predict(*request.data, request.mask);
+    {
+      obs::Span predict_span(config_.tracer, "model.predict");
+      if (predict_span.active()) predict_span.set_request_id(request.request_id);
+      Stopwatch predict_watch;
+      response.imputed = model->Predict(*request.data, request.mask);
+      if (stage_predict_ != nullptr) {
+        stage_predict_->Observe(predict_watch.ElapsedSeconds());
+      }
+    }
     response.cells_imputed = request.mask.CountMissing();
     response.rows_touched = CountRowsTouched(request.mask);
     if (cache_ != nullptr) {
@@ -213,6 +261,9 @@ std::future<ImputationResponse> ImputationService::Submit(
     return future;
   }
   pending.degrade = degrade;
+  if (config_.tracer != nullptr && config_.tracer->enabled()) {
+    pending.submitted_at = config_.tracer->Now();
+  }
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     DMVI_CHECK(!stop_) << "Submit after Shutdown";
@@ -234,7 +285,28 @@ void ImputationService::EnsureDispatcher() {
 void ImputationService::RunBatch(std::vector<PendingRequest>& batch) {
   const int total = static_cast<int>(batch.size());
   telemetry_.RecordBatch(total);
+  obs::Span batch_span(config_.tracer, "batch.run");
+  if (batch_span.active()) {
+    batch_span.AddArg("batch_size", std::to_string(total));
+  }
   ParallelFor(total, config_.threads, [&](int i) {
+    // Queue wait ends when its batch starts: record it retrospectively as
+    // a sibling preceding service.process under the request's parent.
+    if (stage_queue_wait_ != nullptr) {
+      stage_queue_wait_->Observe(batch[i].queued.ElapsedSeconds());
+    }
+    obs::Tracer* tracer = config_.tracer;
+    if (tracer != nullptr && tracer->enabled()) {
+      obs::SpanContext parent = batch[i].request.trace_parent;
+      obs::SpanContext wait;
+      wait.trace_id = parent.trace_id != 0 ? parent.trace_id : tracer->NewId();
+      wait.span_id = tracer->NewId();
+      tracer->RecordSpan("queue.wait", wait,
+                         parent.trace_id != 0 ? parent.span_id : 0,
+                         batch[i].submitted_at,
+                         tracer->Now() - batch[i].submitted_at,
+                         batch[i].request.request_id);
+    }
     ImputationResponse response = Process(batch[i].request, batch[i].degrade);
     // Caller-observed latency: queue wait + batch formation + compute.
     response.latency_seconds = batch[i].queued.ElapsedSeconds();
@@ -251,6 +323,7 @@ void ImputationService::DispatchLoop() {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty() && stop_) return;
+      Stopwatch assemble_watch;
 
       // Micro-batching: after the first request arrives, linger briefly so
       // concurrent callers coalesce into one batch (unless it is already
@@ -271,6 +344,9 @@ void ImputationService::DispatchLoop() {
       for (int i = 0; i < take; ++i) {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
+      }
+      if (stage_batch_assemble_ != nullptr && !batch.empty()) {
+        stage_batch_assemble_->Observe(assemble_watch.ElapsedSeconds());
       }
     }
     if (!batch.empty()) RunBatch(batch);

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/registry.h"
 #include "serve/response_cache.h"
 #include "serve/telemetry.h"
@@ -29,6 +31,14 @@ struct ImputationRequest {
   std::string model;  // Registry key.
   std::shared_ptr<const DataTensor> data;
   Mask mask;
+  /// Correlation id stamped on every span this request produces (the HTTP
+  /// layer echoes it as x-dmvi-request-id). Empty is fine: spans are then
+  /// anonymous.
+  std::string request_id;
+  /// Span the request's service-side work should parent to — set by the
+  /// HTTP handler so the span tree stays connected across the worker /
+  /// dispatcher thread hop. Zero means "start a fresh trace".
+  obs::SpanContext trace_parent;
 };
 
 /// The answer to one request. `status` is non-OK for unknown models,
@@ -77,6 +87,12 @@ struct ServiceConfig {
   int shed_watermark = 0;
   /// Fallback imputer: "LinearInterp" (default) or "Mean".
   std::string degrade_method = "LinearInterp";
+  /// Optional observability hooks, both borrowed (must outlive the
+  /// service; null disables). The registry receives per-stage latency
+  /// histograms (queue wait, batch assembly, predict, cache probe,
+  /// fallback); the tracer receives per-request spans.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Long-lived imputation service: owns loaded models (via the registry),
@@ -155,6 +171,10 @@ class ImputationService {
     /// Stamped at admission when the pressure signal crossed the degrade
     /// watermark: the dispatcher answers with the fallback imputer.
     bool degrade = false;
+    /// Tracer timestamp at Submit, for the retrospective queue.wait span
+    /// recorded when the batch picks the request up. Meaningless (and
+    /// unused) without a tracer.
+    double submitted_at = 0.0;
   };
 
   /// Answers one request (no latency telemetry, no locking): registry
@@ -185,6 +205,13 @@ class ImputationService {
   const ServiceConfig config_;
   ModelRegistry registry_;
   Telemetry telemetry_;
+  // Stage-latency histograms from config_.metrics; null when no registry
+  // is wired in (every observation site is then one branch).
+  obs::Histogram* stage_queue_wait_ = nullptr;
+  obs::Histogram* stage_batch_assemble_ = nullptr;
+  obs::Histogram* stage_predict_ = nullptr;
+  obs::Histogram* stage_cache_probe_ = nullptr;
+  obs::Histogram* stage_fallback_ = nullptr;
   std::unique_ptr<ResponseCache> cache_;  // Null when cache_mb is 0.
   std::mutex fingerprint_mutex_;
   std::weak_ptr<const DataTensor> fingerprinted_data_;

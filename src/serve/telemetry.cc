@@ -5,21 +5,32 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace deepmvi {
 namespace serve {
+
+void Telemetry::TouchClock() {
+  if (clock_started_) return;
+  clock_started_ = true;
+  since_start_.Reset();
+}
 
 void Telemetry::RecordRequest(double latency_seconds, int64_t rows,
                               int64_t cells, bool ok) {
   std::lock_guard<std::mutex> lock(mutex_);
+  TouchClock();
   ++requests_;
   if (!ok) ++failures_;
   rows_served_ += rows;
   cells_imputed_ += cells;
   busy_seconds_ += latency_seconds;
   latency_max_seconds_ = std::max(latency_max_seconds_, latency_seconds);
+  latency_histogram_.Observe(latency_seconds);
   // Algorithm R: keep the first C latencies, then replace a uniformly
   // chosen slot with probability C / requests_ — an unbiased sample of
-  // the whole stream in bounded memory.
+  // the whole stream in bounded memory. Retained as a cross-check for
+  // the histogram estimate, not as the percentile source.
   if (static_cast<int>(latency_reservoir_.size()) < kLatencyReservoirCapacity) {
     latency_reservoir_.push_back(latency_seconds);
   } else {
@@ -34,22 +45,26 @@ void Telemetry::RecordRequest(double latency_seconds, int64_t rows,
 
 void Telemetry::RecordDegraded() {
   std::lock_guard<std::mutex> lock(mutex_);
+  TouchClock();
   ++degraded_;
 }
 
 void Telemetry::RecordShed() {
   std::lock_guard<std::mutex> lock(mutex_);
+  TouchClock();
   ++shed_;
 }
 
 void Telemetry::RecordBatch(int size) {
   std::lock_guard<std::mutex> lock(mutex_);
+  TouchClock();
   ++batches_;
   batched_requests_ += size;
 }
 
 void Telemetry::RecordCacheLookup(bool hit) {
   std::lock_guard<std::mutex> lock(mutex_);
+  TouchClock();
   if (hit) {
     ++cache_hits_;
   } else {
@@ -70,15 +85,21 @@ TelemetrySnapshot Telemetry::Snapshot() const {
   snap.cache_hits = cache_hits_;
   snap.cache_misses = cache_misses_;
   snap.busy_seconds = busy_seconds_;
-  snap.wall_seconds = since_start_.ElapsedSeconds();
+  snap.wall_seconds = clock_started_ ? since_start_.ElapsedSeconds() : 0.0;
+
+  // Histogram estimates are the served percentiles: deterministic for a
+  // given set of observations, in any arrival order.
+  snap.latency_histogram = latency_histogram_.Snapshot();
+  snap.latency_p50_ms = snap.latency_histogram.Percentile(0.50) * 1e3;
+  snap.latency_p95_ms = snap.latency_histogram.Percentile(0.95) * 1e3;
+  // Max comes from the exact running counter (a bucket bound would round
+  // it up, the reservoir may have evicted the extreme).
+  snap.latency_max_ms = latency_max_seconds_ * 1e3;
 
   std::vector<double> sorted = latency_reservoir_;
   std::sort(sorted.begin(), sorted.end());
-  snap.latency_p50_ms = SortedPercentile(sorted, 0.50) * 1e3;
-  snap.latency_p95_ms = SortedPercentile(sorted, 0.95) * 1e3;
-  // Max comes from the exact running counter (the reservoir may have
-  // evicted the extreme).
-  snap.latency_max_ms = latency_max_seconds_ * 1e3;
+  snap.reservoir_p50_ms = SortedPercentile(sorted, 0.50) * 1e3;
+  snap.reservoir_p95_ms = SortedPercentile(sorted, 0.95) * 1e3;
 
   if (snap.wall_seconds > 0.0) {
     snap.requests_per_second = static_cast<double>(requests_) / snap.wall_seconds;
@@ -107,7 +128,12 @@ void Telemetry::Reset() {
   cache_misses_ = 0;
   busy_seconds_ = 0.0;
   latency_max_seconds_ = 0.0;
+  latency_histogram_.Reset();
   latency_reservoir_.clear();
+  // The wall clock restarts lazily: it stays at zero until the next
+  // recorded event, so throughput derived from wall_seconds reflects the
+  // post-Reset traffic window only.
+  clock_started_ = false;
   since_start_.Reset();
 }
 
@@ -145,12 +171,63 @@ std::string TelemetryToJson(const TelemetrySnapshot& snap) {
   os << "  \"latency_p50_ms\": " << number(snap.latency_p50_ms) << ",\n";
   os << "  \"latency_p95_ms\": " << number(snap.latency_p95_ms) << ",\n";
   os << "  \"latency_max_ms\": " << number(snap.latency_max_ms) << ",\n";
+  os << "  \"reservoir_p50_ms\": " << number(snap.reservoir_p50_ms) << ",\n";
+  os << "  \"reservoir_p95_ms\": " << number(snap.reservoir_p95_ms) << ",\n";
   os << "  \"requests_per_second\": " << number(snap.requests_per_second)
      << ",\n";
   os << "  \"rows_per_second\": " << number(snap.rows_per_second) << ",\n";
   os << "  \"cells_per_second\": " << number(snap.cells_per_second) << ",\n";
   os << "  \"mean_batch_size\": " << number(snap.mean_batch_size) << "\n";
   os << "}\n";
+  return os.str();
+}
+
+std::string TelemetryToPrometheus(const TelemetrySnapshot& snap) {
+  std::ostringstream os;
+  obs::AppendPrometheusCounter(os, "dmvi_requests_total",
+                               "Completed requests, including failures.",
+                               snap.requests);
+  obs::AppendPrometheusCounter(os, "dmvi_failures_total",
+                               "Requests answered with a non-OK status.",
+                               snap.failures);
+  obs::AppendPrometheusCounter(
+      os, "dmvi_degraded_total",
+      "Requests answered by the degradation-ladder fallback imputer.",
+      snap.degraded);
+  obs::AppendPrometheusCounter(os, "dmvi_shed_total",
+                               "Requests rejected at admission (503).",
+                               snap.shed);
+  obs::AppendPrometheusCounter(os, "dmvi_batches_total",
+                               "Micro-batches dispatched.", snap.batches);
+  obs::AppendPrometheusCounter(os, "dmvi_rows_served_total",
+                               "Series rows carrying at least one imputed cell.",
+                               snap.rows_served);
+  obs::AppendPrometheusCounter(os, "dmvi_cells_imputed_total",
+                               "Missing cells filled.", snap.cells_imputed);
+  obs::AppendPrometheusCounter(os, "dmvi_cache_hits_total",
+                               "Response-cache hits.", snap.cache_hits);
+  obs::AppendPrometheusCounter(os, "dmvi_cache_misses_total",
+                               "Response-cache misses.", snap.cache_misses);
+  obs::AppendPrometheusHistogram(
+      os, "dmvi_request_latency_seconds",
+      "End-to-end request latency, queue time included.",
+      snap.latency_histogram);
+  obs::AppendPrometheusGauge(os, "dmvi_busy_seconds",
+                             "Sum of per-request latencies.",
+                             snap.busy_seconds);
+  obs::AppendPrometheusGauge(
+      os, "dmvi_wall_seconds",
+      "Seconds since the first recorded event after start or reset.",
+      snap.wall_seconds);
+  obs::AppendPrometheusGauge(os, "dmvi_requests_per_second",
+                             "Request throughput over the wall-clock window.",
+                             snap.requests_per_second);
+  obs::AppendPrometheusGauge(os, "dmvi_mean_batch_size",
+                             "Mean dispatched micro-batch size.",
+                             snap.mean_batch_size);
+  obs::AppendPrometheusGauge(os, "dmvi_request_latency_max_seconds",
+                             "Largest observed request latency.",
+                             snap.latency_max_ms / 1e3);
   return os.str();
 }
 

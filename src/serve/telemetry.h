@@ -8,13 +8,15 @@
 
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "obs/histogram.h"
 
 namespace deepmvi {
 namespace serve {
 
 /// Point-in-time aggregate of the service counters, in the spirit of the
 /// eval layer's machine-readable outputs (eval/suite.h): every number a
-/// load test or dashboard needs, renderable as JSON via TelemetryToJson.
+/// load test or dashboard needs, renderable as JSON via TelemetryToJson
+/// or as Prometheus text via TelemetryToPrometheus.
 struct TelemetrySnapshot {
   int64_t requests = 0;        // Completed requests, including failures.
   int64_t failures = 0;        // Requests answered with a non-OK status.
@@ -24,11 +26,15 @@ struct TelemetrySnapshot {
   int64_t rows_served = 0;     // Series rows carrying >= 1 imputed cell.
   int64_t cells_imputed = 0;   // Missing cells filled.
   double busy_seconds = 0.0;   // Sum of per-request latencies.
-  double wall_seconds = 0.0;   // Since service start.
-  // Latency distribution over completed requests, milliseconds.
+  double wall_seconds = 0.0;   // Since the first event after start/Reset.
+  // Latency distribution over completed requests, milliseconds. p50/p95
+  // are deterministic histogram estimates; the reservoir_* pair is the
+  // legacy sampled estimate, kept as a cross-check.
   double latency_p50_ms = 0.0;
   double latency_p95_ms = 0.0;
   double latency_max_ms = 0.0;
+  double reservoir_p50_ms = 0.0;
+  double reservoir_p95_ms = 0.0;
   // Throughput over the wall-clock window.
   double requests_per_second = 0.0;
   double rows_per_second = 0.0;
@@ -37,13 +43,22 @@ struct TelemetrySnapshot {
   // Response-cache lookups (0/0 when the cache is disabled).
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
+  // Full request-latency distribution (seconds).
+  obs::HistogramSnapshot latency_histogram;
 };
 
 /// Thread-safe latency/throughput counters owned by ImputationService.
-/// Counters are exact; the latency distribution is a bounded reservoir
-/// sample (Vitter's algorithm R, kLatencyReservoirCapacity entries), so a
-/// long-lived service under heavy traffic keeps O(1) memory and Snapshot
-/// stays cheap while percentiles remain an unbiased estimate.
+/// Counters are exact. The latency distribution is kept two ways: a
+/// fixed-bucket obs::Histogram — the authoritative, deterministic source
+/// of the p50/p95 in snapshots — and a bounded reservoir sample (Vitter's
+/// algorithm R), retained only as an independent cross-check that tests
+/// compare against the histogram estimate.
+///
+/// The wall clock is lazy: it starts at the first recorded event after
+/// construction or Reset(), so wall_seconds (and the derived throughput
+/// rates) measure the traffic window, not the idle time before it —
+/// Reset() followed by a quiet stretch reports zero throughput decay
+/// instead of a shrinking rate.
 class Telemetry {
  public:
   static constexpr int kLatencyReservoirCapacity = 4096;
@@ -72,8 +87,12 @@ class Telemetry {
   void Reset();
 
  private:
+  /// Starts the lazy wall clock on the first event. Caller holds mutex_.
+  void TouchClock();
+
   mutable std::mutex mutex_;
   Stopwatch since_start_;
+  bool clock_started_ = false;
   int64_t requests_ = 0;
   int64_t failures_ = 0;
   int64_t degraded_ = 0;
@@ -86,6 +105,7 @@ class Telemetry {
   int64_t cache_misses_ = 0;
   double busy_seconds_ = 0.0;
   double latency_max_seconds_ = 0.0;
+  obs::Histogram latency_histogram_;
   Rng reservoir_rng_{0x7e1e  /* fixed: telemetry needs no seeding API */};
   std::vector<double> latency_reservoir_;
 };
@@ -97,6 +117,12 @@ double SortedPercentile(const std::vector<double>& sorted, double q);
 /// Renders a snapshot as a small JSON document (two-space indent, stable
 /// key order), matching the style of eval/suite.h's SuiteToJson.
 std::string TelemetryToJson(const TelemetrySnapshot& snapshot);
+
+/// Renders a snapshot in Prometheus text exposition format: the exact
+/// counters as dmvi_*_total, the latency distribution as the
+/// dmvi_request_latency_seconds histogram, and the derived rates as
+/// gauges.
+std::string TelemetryToPrometheus(const TelemetrySnapshot& snapshot);
 
 }  // namespace serve
 }  // namespace deepmvi

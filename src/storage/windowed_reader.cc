@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace deepmvi {
 namespace storage {
 
@@ -11,6 +13,11 @@ StatusOr<ValueWindow> WindowedSampleReader::Read(int t0, int len) const {
         "window [" + std::to_string(t0) + ", " + std::to_string(t0 + len) +
         ") out of range for " + std::to_string(store_->num_times()) +
         " time steps");
+  }
+  obs::Span span = obs::KernelSpan("storage.window_read");
+  if (span.active()) {
+    span.AddArg("t0", std::to_string(t0));
+    span.AddArg("len", std::to_string(len));
   }
   const int num_series = store_->num_series();
   Matrix slab(num_series, len);
@@ -25,7 +32,15 @@ StatusOr<ValueWindow> WindowedSampleReader::Read(int t0, int len) const {
     const int hi = std::min(t0 + len, block_t0 + store_->block_num_times(b));
     for (int g = 0; g < store_->num_row_groups(); ++g) {
       StatusOr<ChunkCache::ChunkPtr> chunk = cache_->GetOrLoad(
-          store_->ChunkKey(g, b), [&] { return store_->ReadChunk(g, b); });
+          store_->ChunkKey(g, b), [&] {
+            // Spans only cache misses: a hit never reaches this loader.
+            obs::Span load = obs::KernelSpan("storage.chunk_load");
+            if (load.active()) {
+              load.AddArg("group", std::to_string(g));
+              load.AddArg("block", std::to_string(b));
+            }
+            return store_->ReadChunk(g, b);
+          });
       if (!chunk.ok()) return chunk.status();
       const Matrix& raw = **chunk;
       const int row0 = store_->group_begin_row(g);

@@ -1,8 +1,22 @@
 #include "tensor/matmul_kernel.h"
 
+#include <string>
+
+#include "obs/trace.h"
+
 namespace deepmvi {
 namespace internal {
 namespace {
+
+/// Kernel-level trace scope: inert (one atomic load + branch) unless a
+/// global tracer at TraceLevel::kKernel is installed. Dimension strings
+/// are only built when the span is live.
+inline void AnnotateDims(obs::Span& span, int m, int k, int n) {
+  if (!span.active()) return;
+  span.AddArg("m", std::to_string(m));
+  span.AddArg("k", std::to_string(k));
+  span.AddArg("n", std::to_string(n));
+}
 
 // Tile sizes. kKTile rows of B (the streamed operand) are kept hot in L1/L2
 // while the full output is swept; 2 output rows x 4 k-terms are held in
@@ -52,6 +66,8 @@ inline void MicroKernel1x1(double* c0, const double* b0, double a00, int n) {
 
 void MatMulBlocked(const double* a, const double* b, double* c, int m, int k,
                    int n) {
+  obs::Span span = obs::KernelSpan("matmul.blocked");
+  AnnotateDims(span, m, k, n);
   for (int k0 = 0; k0 < k; k0 += kKTile) {
     const int k1 = k0 + kKTile < k ? k0 + kKTile : k;
     int i = 0;
@@ -93,6 +109,8 @@ void TransposeMatMulBlocked(const double* a, const double* b, double* c, int m,
                             int k, int n) {
   // a is k x m and read transposed: the i-th output row multiplies column i
   // of a, a stride-m gather; everything else mirrors MatMulBlocked.
+  obs::Span span = obs::KernelSpan("matmul.transpose_a");
+  AnnotateDims(span, m, k, n);
   for (int k0 = 0; k0 < k; k0 += kKTile) {
     const int k1 = k0 + kKTile < k ? k0 + kKTile : k;
     int i = 0;
@@ -136,6 +154,8 @@ void MatMulTransposeBlocked(const double* a, const double* b, double* c, int m,
   // Row-times-row dot products; four B rows are swept per pass so each
   // loaded A row feeds four accumulators. Every accumulator is one
   // ascending-k chain, matching the naive order.
+  obs::Span span = obs::KernelSpan("matmul.transpose_b");
+  AnnotateDims(span, m, k, n);
   for (int i = 0; i < m; ++i) {
     const double* arow = a + static_cast<long long>(i) * k;
     double* crow = c + static_cast<long long>(i) * n;

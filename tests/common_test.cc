@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -317,6 +318,96 @@ TEST(TablePrinterTest, CsvRoundTrip) {
 TEST(TablePrinterTest, FormatDouble) {
   EXPECT_EQ(TablePrinter::FormatDouble(0.123456, 3), "0.123");
   EXPECT_EQ(TablePrinter::FormatDouble(2.0, 1), "2.0");
+}
+
+TEST(LoggingTest, ParseLogSeverity) {
+  LogSeverity severity = LogSeverity::kInfo;
+  EXPECT_TRUE(ParseLogSeverity("debug", &severity));
+  EXPECT_EQ(severity, LogSeverity::kDebug);
+  EXPECT_TRUE(ParseLogSeverity("warn", &severity));
+  EXPECT_EQ(severity, LogSeverity::kWarning);
+  EXPECT_TRUE(ParseLogSeverity("warning", &severity));
+  EXPECT_EQ(severity, LogSeverity::kWarning);
+  EXPECT_TRUE(ParseLogSeverity("error", &severity));
+  EXPECT_EQ(severity, LogSeverity::kError);
+  // Unknown input leaves the output untouched.
+  EXPECT_FALSE(ParseLogSeverity("verbose", &severity));
+  EXPECT_EQ(severity, LogSeverity::kError);
+}
+
+TEST(LoggingTest, ParseLogFormat) {
+  LogFormat format = LogFormat::kPlain;
+  EXPECT_TRUE(ParseLogFormat("json", &format));
+  EXPECT_EQ(format, LogFormat::kJson);
+  EXPECT_TRUE(ParseLogFormat("kv", &format));
+  EXPECT_EQ(format, LogFormat::kKeyValue);
+  EXPECT_TRUE(ParseLogFormat("keyvalue", &format));
+  EXPECT_EQ(format, LogFormat::kKeyValue);
+  EXPECT_TRUE(ParseLogFormat("plain", &format));
+  EXPECT_EQ(format, LogFormat::kPlain);
+  EXPECT_FALSE(ParseLogFormat("xml", &format));
+  EXPECT_EQ(format, LogFormat::kPlain);
+}
+
+LogEvent RequestLogEvent() {
+  LogEvent event;
+  event.severity = LogSeverity::kInfo;
+  event.source = "server.cc:42";
+  event.message = "http request served";
+  event.fields = {{"request_id", "req-7"}, {"path", "/v1/impute"}};
+  return event;
+}
+
+TEST(LoggingTest, FormatPlainGolden) {
+  EXPECT_EQ(FormatLogEvent(RequestLogEvent(), LogFormat::kPlain),
+            "[INFO server.cc:42] http request served "
+            "request_id=req-7 path=/v1/impute");
+}
+
+TEST(LoggingTest, FormatKeyValueGolden) {
+  EXPECT_EQ(FormatLogEvent(RequestLogEvent(), LogFormat::kKeyValue),
+            "level=INFO src=server.cc:42 msg=\"http request served\" "
+            "request_id=req-7 path=/v1/impute");
+}
+
+TEST(LoggingTest, FormatJsonGolden) {
+  EXPECT_EQ(FormatLogEvent(RequestLogEvent(), LogFormat::kJson),
+            "{\"level\":\"INFO\",\"src\":\"server.cc:42\","
+            "\"msg\":\"http request served\","
+            "\"request_id\":\"req-7\",\"path\":\"/v1/impute\"}");
+}
+
+TEST(LoggingTest, KeyValueQuotesAndEscapesAwkwardValues) {
+  LogEvent event;
+  event.severity = LogSeverity::kWarning;
+  event.source = "s:1";
+  event.message = "m";
+  event.fields = {{"a", "has space"}, {"b", ""}, {"c", "tab\there"},
+                  {"d", "plain"}};
+  EXPECT_EQ(FormatLogEvent(event, LogFormat::kKeyValue),
+            "level=WARN src=s:1 msg=m "
+            "a=\"has space\" b=\"\" c=\"tab\\there\" d=plain");
+}
+
+TEST(LoggingTest, JsonEscapesControlCharactersAndQuotes) {
+  LogEvent event;
+  event.severity = LogSeverity::kError;
+  event.source = "s:1";
+  event.message = "quote \" backslash \\ newline \n bell \x07";
+  EXPECT_EQ(FormatLogEvent(event, LogFormat::kJson),
+            "{\"level\":\"ERROR\",\"src\":\"s:1\","
+            "\"msg\":\"quote \\\" backslash \\\\ newline \\n bell "
+            "\\u0007\"}");
+}
+
+TEST(LoggingTest, DebugIsBelowDefaultThreshold) {
+  EXPECT_LT(static_cast<int>(LogSeverity::kDebug),
+            static_cast<int>(LogSeverity::kInfo));
+  LogSeverity severity = LogSeverity::kInfo;
+  ASSERT_TRUE(ParseLogSeverity("debug", &severity));
+  // Lowering the threshold to debug admits every severity.
+  EXPECT_GE(static_cast<int>(LogSeverity::kError),
+            static_cast<int>(severity));
 }
 
 TEST(TablePrinterTest, WriteCsvCreatesFile) {

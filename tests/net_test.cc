@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -27,6 +28,8 @@
 #include "net/endpoints.h"
 #include "net/http.h"
 #include "net/server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/service.h"
 #include "serve/workload.h"
 #include "testing/test_util.h"
@@ -879,11 +882,26 @@ TEST(ServingEndpointsTest, AdminEndpointsHealthMetricsReload) {
   EXPECT_EQ(health_doc->at("models").array_items()[0].string_value(),
             "default");
 
+  // /metrics is Prometheus text exposition now; the legacy JSON payload
+  // moved to /metrics.json.
   StatusOr<net::HttpMessage> metrics = client.Get("/metrics");
   ASSERT_TRUE(metrics.ok());
   ASSERT_EQ(metrics->status_code, 200);
-  EXPECT_NE(metrics->body.find("\"requests\":"), std::string::npos);
-  EXPECT_NE(metrics->body.find("\"cache_hits\":"), std::string::npos);
+  EXPECT_EQ(metrics->Header("content-type"), "text/plain; version=0.0.4");
+  EXPECT_NE(metrics->body.find("# TYPE dmvi_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("dmvi_cache_hits_total"), std::string::npos);
+  EXPECT_NE(metrics->body.find("dmvi_request_latency_seconds_bucket"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("dmvi_queue_depth"), std::string::npos);
+
+  StatusOr<net::HttpMessage> metrics_json = client.Get("/metrics.json");
+  ASSERT_TRUE(metrics_json.ok());
+  ASSERT_EQ(metrics_json->status_code, 200);
+  StatusOr<net::JsonValue> metrics_doc = net::ParseJson(metrics_json->body);
+  ASSERT_TRUE(metrics_doc.ok()) << metrics_json->body;
+  EXPECT_TRUE(metrics_doc->at("requests").is_number());
+  EXPECT_TRUE(metrics_doc->at("cache_hits").is_number());
 
   // Reload: default model, explicit path, unknown model, malformed body.
   EXPECT_EQ(client.Post("/admin/reload", "", "application/json")
@@ -1075,12 +1093,19 @@ TEST(ServingEndpointsTest, DegradedResponsesCarryMarkerInJsonCsvAndMetrics) {
   EXPECT_EQ(csv->body.find("degraded"), std::string::npos)
       << "CSV body format must not change under degradation";
 
-  StatusOr<net::HttpMessage> metrics = client.Get("/metrics");
+  StatusOr<net::HttpMessage> metrics = client.Get("/metrics.json");
   ASSERT_TRUE(metrics.ok());
   StatusOr<net::JsonValue> metrics_doc = net::ParseJson(metrics->body);
   ASSERT_TRUE(metrics_doc.ok()) << metrics->body;
   EXPECT_GE(metrics_doc->at("degraded").number_value(), 2.0);
   EXPECT_EQ(metrics_doc->at("shed").number_value(), 0.0);
+  // The Prometheus exposition carries the same counters.
+  StatusOr<net::HttpMessage> prom = client.Get("/metrics");
+  ASSERT_TRUE(prom.ok());
+  EXPECT_NE(prom->body.find("# TYPE dmvi_degraded_total counter"),
+            std::string::npos)
+      << prom->body;
+  EXPECT_NE(prom->body.find("dmvi_shed_total 0"), std::string::npos);
   server.Stop();
 }
 
@@ -1106,6 +1131,175 @@ TEST(HttpServerTest, StopFinishesInFlightRequestsBeforeExiting) {
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   EXPECT_EQ(response->status_code, 200);
   EXPECT_EQ(response->body, "done late");
+}
+
+// ---- Observability: request ids, spans, bit-identity ------------------------
+
+TEST(HttpServerTest, EveryResponseCarriesARequestId) {
+  net::HttpServer server;
+  server.Handle("GET", "/ping", [](const net::HttpMessage& request) {
+    // Handlers see the id too (the server stamps it onto the request).
+    net::HttpMessage response =
+        net::MakeResponse(200, request.Header("x-request-id"), "text/plain");
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  net::Client client("127.0.0.1", server.port());
+
+  // Client-supplied id is honored and echoed.
+  net::HttpMessage request;
+  request.method = "GET";
+  request.target = "/ping";
+  request.SetHeader("x-request-id", "client-id-1");
+  StatusOr<net::HttpMessage> supplied = client.RoundTrip(request);
+  ASSERT_TRUE(supplied.ok());
+  EXPECT_EQ(supplied->Header("x-dmvi-request-id"), "client-id-1");
+  EXPECT_EQ(supplied->body, "client-id-1");
+
+  // Without one the server mints req-<n>, distinct per request.
+  StatusOr<net::HttpMessage> first = client.Get("/ping");
+  StatusOr<net::HttpMessage> second = client.Get("/ping");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->Header("x-dmvi-request-id").rfind("req-", 0), 0u);
+  EXPECT_NE(first->Header("x-dmvi-request-id"),
+            second->Header("x-dmvi-request-id"));
+  server.Stop();
+}
+
+TEST(HttpServerTest, RequestSpanFamilyCoversTheWholeRequestPath) {
+  obs::CollectingTraceSink sink;
+  obs::Tracer tracer(&sink);
+  obs::MetricsRegistry metrics;
+
+  serve::ServiceConfig service_config;
+  service_config.tracer = &tracer;
+  service_config.metrics = &metrics;
+  ServedCase served(service_config);
+  net::ServerConfig server_config;
+  server_config.tracer = &tracer;
+  server_config.metrics = &metrics;
+  net::HttpServer server(server_config);
+  net::ServingContext ctx = served.Context();
+  ctx.tracer = &tracer;
+  ctx.metrics = &metrics;
+  net::RegisterServingEndpoints(&server, ctx);
+  ASSERT_TRUE(server.Start().ok());
+  net::Client client("127.0.0.1", server.port());
+
+  net::HttpMessage request;
+  request.method = "POST";
+  request.target = "/v1/impute";
+  request.body = "{\"model\": \"default\"}";
+  request.SetHeader("content-type", "application/json");
+  request.SetHeader("x-request-id", "traced-1");
+  ASSERT_EQ(client.RoundTrip(request)->status_code, 200);
+  server.Stop();
+
+  // Expected family: one root http.request with read/handle/write
+  // children, and the handler chain (decode, queue.wait, service.process
+  // with model.predict inside, encode) all under http.handle — one
+  // connected trace stamped with the request id.
+  std::vector<obs::SpanRecord> records = sink.records();
+  std::map<std::string, obs::SpanRecord> by_name;
+  for (const obs::SpanRecord& record : records) {
+    if (record.request_id == "traced-1" || record.name == "model.predict") {
+      by_name[record.name] = record;
+    }
+  }
+  for (const char* name :
+       {"http.request", "http.read", "http.handle", "http.write",
+        "impute.decode", "queue.wait", "service.process", "model.predict",
+        "impute.encode"}) {
+    EXPECT_TRUE(by_name.count(name)) << "missing span " << name;
+  }
+  const obs::SpanRecord& root = by_name.at("http.request");
+  EXPECT_EQ(root.parent_span_id, 0u);
+  for (const auto& [name, record] : by_name) {
+    EXPECT_EQ(record.trace_id, root.trace_id) << name;
+  }
+  const uint64_t handle_id = by_name.at("http.handle").span_id;
+  EXPECT_EQ(by_name.at("http.read").parent_span_id, root.span_id);
+  EXPECT_EQ(by_name.at("http.write").parent_span_id, root.span_id);
+  EXPECT_EQ(by_name.at("impute.decode").parent_span_id, handle_id);
+  EXPECT_EQ(by_name.at("queue.wait").parent_span_id, handle_id);
+  EXPECT_EQ(by_name.at("service.process").parent_span_id, handle_id);
+  EXPECT_EQ(by_name.at("model.predict").parent_span_id,
+            by_name.at("service.process").span_id);
+
+  // The shared registry saw the HTTP counter and stage histograms.
+  EXPECT_GE(metrics.CounterNamed("dmvi_http_requests_total", "")->value(), 1);
+  EXPECT_GT(metrics.HistogramNamed("dmvi_stage_http_handle_seconds", "")
+                ->Snapshot()
+                .count,
+            0);
+}
+
+TEST(ServingEndpointsTest, TracingDoesNotChangeServedBytes) {
+  // Serve the identical base-mask imputation twice — once plain, once with
+  // tracing + metrics wired through server, context, and service — and
+  // compare the response bodies byte for byte (the same bar CI enforces
+  // with cmp on the loadgen CSV).
+  auto fetch = [](bool traced, std::string* csv_body, std::string* json_body) {
+    obs::CollectingTraceSink sink;
+    obs::Tracer tracer(&sink, obs::TraceLevel::kKernel);
+    obs::MetricsRegistry metrics;
+
+    serve::ServiceConfig service_config;
+    if (traced) {
+      service_config.tracer = &tracer;
+      service_config.metrics = &metrics;
+    }
+    ServedCase served(service_config);
+    net::ServerConfig server_config;
+    if (traced) {
+      server_config.tracer = &tracer;
+      server_config.metrics = &metrics;
+    }
+    net::HttpServer server(server_config);
+    net::ServingContext ctx = served.Context();
+    if (traced) {
+      ctx.tracer = &tracer;
+      ctx.metrics = &metrics;
+    }
+    net::RegisterServingEndpoints(&server, ctx);
+    ASSERT_TRUE(server.Start().ok());
+    net::Client client("127.0.0.1", server.port());
+    StatusOr<net::HttpMessage> csv = client.Post(
+        "/v1/impute", "{\"model\": \"default\"}", "application/json",
+        "text/csv");
+    ASSERT_TRUE(csv.ok());
+    ASSERT_EQ(csv->status_code, 200);
+    *csv_body = csv->body;
+    StatusOr<net::HttpMessage> json = client.Post(
+        "/v1/impute", "{\"model\": \"default\"}", "application/json");
+    ASSERT_TRUE(json.ok());
+    ASSERT_EQ(json->status_code, 200);
+    *json_body = json->body;
+    server.Stop();
+    if (traced) {
+      EXPECT_FALSE(sink.records().empty());
+    }
+  };
+
+  std::string plain_csv, plain_json, traced_csv, traced_json;
+  fetch(false, &plain_csv, &plain_json);
+  fetch(true, &traced_csv, &traced_json);
+  EXPECT_EQ(plain_csv, traced_csv) << "tracing changed CSV response bytes";
+  // The JSON body embeds latency_seconds — a wall-clock reading that
+  // differs between any two runs regardless of tracing. Strip that one
+  // line; every other byte (every imputed value) must match exactly.
+  auto without_latency_line = [](std::string body) {
+    const size_t at = body.find("\"latency_seconds\"");
+    if (at == std::string::npos) return body;
+    const size_t line_start = body.rfind('\n', at) + 1;
+    const size_t line_end = body.find('\n', at);
+    body.erase(line_start, line_end - line_start + 1);
+    return body;
+  };
+  EXPECT_EQ(without_latency_line(plain_json),
+            without_latency_line(traced_json))
+      << "tracing changed JSON response bytes";
 }
 
 }  // namespace

@@ -1,0 +1,487 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/codec.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/telemetry.h"
+
+namespace deepmvi {
+namespace {
+
+// ---- Histogram bucket layout ----------------------------------------------
+
+TEST(HistogramTest, BucketBoundsGrowBySqrtTwo) {
+  EXPECT_DOUBLE_EQ(obs::Histogram::UpperBound(0), 1e-6);
+  for (int i = 1; i < obs::Histogram::kNumBounds; ++i) {
+    const double ratio =
+        obs::Histogram::UpperBound(i) / obs::Histogram::UpperBound(i - 1);
+    EXPECT_NEAR(ratio, std::sqrt(2.0), 1e-12) << "bucket " << i;
+    EXPECT_DOUBLE_EQ(obs::Histogram::LowerBound(i),
+                     obs::Histogram::UpperBound(i - 1));
+  }
+  EXPECT_DOUBLE_EQ(obs::Histogram::LowerBound(0), 0.0);
+  // The layout spans 1 microsecond to ~50 minutes.
+  EXPECT_GT(obs::Histogram::UpperBound(obs::Histogram::kNumBounds - 1),
+            45.0 * 60.0);
+}
+
+TEST(HistogramTest, BucketIndexRespectsInclusiveUpperBounds) {
+  for (int i = 0; i < obs::Histogram::kNumBounds; ++i) {
+    const double bound = obs::Histogram::UpperBound(i);
+    // Prometheus `le` semantics: the bound itself belongs to bucket i,
+    // anything just above it to bucket i + 1 (or overflow).
+    EXPECT_EQ(obs::Histogram::BucketIndex(bound), i);
+    EXPECT_EQ(obs::Histogram::BucketIndex(bound * 1.000001),
+              std::min(i + 1, obs::Histogram::kNumBounds));
+  }
+}
+
+TEST(HistogramTest, BucketIndexEdgeValues) {
+  EXPECT_EQ(obs::Histogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(obs::Histogram::BucketIndex(-1.0), 0);
+  EXPECT_EQ(obs::Histogram::BucketIndex(std::nan("")), 0);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1e-9), 0);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1e9), obs::Histogram::kNumBounds);
+  EXPECT_EQ(
+      obs::Histogram::BucketIndex(std::numeric_limits<double>::infinity()),
+      obs::Histogram::kNumBounds);
+}
+
+TEST(HistogramTest, SnapshotTracksExactMomenta) {
+  obs::Histogram histogram;
+  histogram.Observe(0.010);
+  histogram.Observe(0.002);
+  histogram.Observe(0.500);
+  const obs::HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 3);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.512);
+  EXPECT_DOUBLE_EQ(snap.min, 0.002);
+  EXPECT_DOUBLE_EQ(snap.max, 0.500);
+  int64_t total = 0;
+  for (int64_t c : snap.counts) total += c;
+  EXPECT_EQ(total, 3);
+}
+
+TEST(HistogramTest, ResetClears) {
+  obs::Histogram histogram;
+  histogram.Observe(0.1);
+  histogram.Reset();
+  const obs::HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.95), 0.0);
+}
+
+// ---- Merge ----------------------------------------------------------------
+
+TEST(HistogramTest, MergeMatchesCombinedObservation) {
+  Rng rng(17);
+  obs::Histogram left, right, combined;
+  for (int i = 0; i < 500; ++i) {
+    // Log-uniform latencies across five decades.
+    const double value = 1e-5 * std::pow(10.0, 4.0 * rng.Uniform());
+    (i % 2 == 0 ? left : right).Observe(value);
+    combined.Observe(value);
+  }
+  obs::Histogram merged;
+  merged.Merge(left.Snapshot());
+  merged.Merge(right.Snapshot());
+
+  const obs::HistogramSnapshot a = merged.Snapshot();
+  const obs::HistogramSnapshot b = combined.Snapshot();
+  EXPECT_EQ(a.counts, b.counts);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_DOUBLE_EQ(a.min, b.min);
+  EXPECT_DOUBLE_EQ(a.max, b.max);
+  EXPECT_NEAR(a.sum, b.sum, 1e-9 * std::abs(b.sum));
+  for (double q : {0.0, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.Percentile(q), b.Percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, MergeIntoEmptyPreservesMinMax) {
+  obs::Histogram source, target;
+  source.Observe(0.25);
+  source.Observe(0.75);
+  target.Merge(source.Snapshot());
+  const obs::HistogramSnapshot snap = target.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.min, 0.25);
+  EXPECT_DOUBLE_EQ(snap.max, 0.75);
+  EXPECT_EQ(snap.count, 2);
+}
+
+// ---- Percentiles ----------------------------------------------------------
+
+TEST(HistogramTest, PercentileOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(obs::Histogram().Snapshot().Percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, PercentileOfSingleValueIsExact) {
+  obs::Histogram histogram;
+  histogram.Observe(0.0371);
+  const obs::HistogramSnapshot snap = histogram.Snapshot();
+  for (double q : {0.0, 0.25, 0.5, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(snap.Percentile(q), 0.0371) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, PercentileWithinBucketFactorOfExactOrderStatistic) {
+  // The histogram replaces reservoir sampling as the percentile source;
+  // its contract is a deterministic estimate within one bucket-growth
+  // factor (sqrt 2) of the exact order statistic.
+  Rng rng(29);
+  obs::Histogram histogram;
+  std::vector<double> values;
+  for (int i = 0; i < 2000; ++i) {
+    const double value = 1e-4 * std::pow(10.0, 3.0 * rng.Uniform());
+    values.push_back(value);
+    histogram.Observe(value);
+  }
+  std::sort(values.begin(), values.end());
+  const obs::HistogramSnapshot snap = histogram.Snapshot();
+  for (double q : {0.05, 0.25, 0.50, 0.90, 0.95, 0.99}) {
+    const double exact = serve::SortedPercentile(values, q);
+    const double estimate = snap.Percentile(q);
+    EXPECT_GE(estimate, exact / std::sqrt(2.0) - 1e-12) << "q=" << q;
+    EXPECT_LE(estimate, exact * std::sqrt(2.0) + 1e-12) << "q=" << q;
+  }
+  // The extreme quantiles clamp to the exact observed range.
+  EXPECT_GE(snap.Percentile(0.0), values.front());
+  EXPECT_LE(snap.Percentile(1.0), values.back());
+}
+
+TEST(HistogramTest, PercentileIsOrderIndependent) {
+  // Unlike the reservoir, the estimate cannot depend on arrival order:
+  // feed the same values forward and backward and compare exactly.
+  std::vector<double> values;
+  Rng rng(31);
+  for (int i = 0; i < 257; ++i) values.push_back(0.001 + rng.Uniform());
+  obs::Histogram forward, backward;
+  for (double v : values) forward.Observe(v);
+  for (auto it = values.rbegin(); it != values.rend(); ++it) {
+    backward.Observe(*it);
+  }
+  for (double q : {0.5, 0.95, 0.999}) {
+    EXPECT_DOUBLE_EQ(forward.Snapshot().Percentile(q),
+                     backward.Snapshot().Percentile(q));
+  }
+}
+
+// ---- Metrics registry and Prometheus exposition ---------------------------
+
+TEST(MetricsTest, RegistryIsIdempotentPerName) {
+  obs::MetricsRegistry registry;
+  obs::Counter* a = registry.CounterNamed("dmvi_x_total", "help");
+  obs::Counter* b = registry.CounterNamed("dmvi_x_total", "other help");
+  EXPECT_EQ(a, b);
+  a->Increment(2);
+  EXPECT_EQ(b->value(), 2);
+  EXPECT_EQ(registry.HistogramNamed("dmvi_h_seconds", "h"),
+            registry.HistogramNamed("dmvi_h_seconds", "h"));
+}
+
+TEST(MetricsTest, CounterIsThreadSafe) {
+  obs::Counter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < 10000; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), 40000);
+}
+
+TEST(MetricsTest, PrometheusExpositionGolden) {
+  obs::MetricsRegistry registry;
+  registry.CounterNamed("dmvi_requests_total", "Completed requests.")
+      ->Increment(3);
+  registry.GaugeNamed("dmvi_queue_depth", "Queued right now.")->Set(2.5);
+  // Two sub-microsecond observations keep the bucket list to exactly one
+  // finite bucket, so the full text is stable enough to pin.
+  obs::Histogram* histogram =
+      registry.HistogramNamed("dmvi_tiny_seconds", "Tiny timings.");
+  histogram->Observe(5e-7);
+  histogram->Observe(5e-7);
+
+  // std::map ordering: dmvi_q... < dmvi_r... < dmvi_t...
+  EXPECT_EQ(registry.PrometheusText(),
+            "# HELP dmvi_queue_depth Queued right now.\n"
+            "# TYPE dmvi_queue_depth gauge\n"
+            "dmvi_queue_depth 2.5\n"
+            "# HELP dmvi_requests_total Completed requests.\n"
+            "# TYPE dmvi_requests_total counter\n"
+            "dmvi_requests_total 3\n"
+            "# HELP dmvi_tiny_seconds Tiny timings.\n"
+            "# TYPE dmvi_tiny_seconds histogram\n"
+            "dmvi_tiny_seconds_bucket{le=\"1e-06\"} 2\n"
+            "dmvi_tiny_seconds_bucket{le=\"+Inf\"} 2\n"
+            "dmvi_tiny_seconds_sum 1e-06\n"
+            "dmvi_tiny_seconds_count 2\n");
+}
+
+TEST(MetricsTest, PrometheusHistogramBucketsAreCumulative) {
+  obs::Histogram histogram;
+  histogram.Observe(0.001);
+  histogram.Observe(0.010);
+  histogram.Observe(0.010);
+  histogram.Observe(0.100);
+  std::ostringstream os;
+  obs::AppendPrometheusHistogram(os, "dmvi_lat_seconds", "h",
+                                 histogram.Snapshot());
+  const std::string text = os.str();
+
+  // Parse the `le` bucket lines back out and check monotonicity and the
+  // mandatory +Inf == _count invariant Prometheus scrapers rely on.
+  int64_t previous = 0;
+  int64_t inf_value = -1;
+  size_t buckets = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t brace = line.find("_bucket{le=\"");
+    if (brace == std::string::npos) continue;
+    const size_t value_at = line.rfind(' ');
+    const int64_t cumulative = std::stoll(line.substr(value_at + 1));
+    EXPECT_GE(cumulative, previous) << line;
+    previous = cumulative;
+    ++buckets;
+    if (line.find("+Inf") != std::string::npos) inf_value = cumulative;
+  }
+  EXPECT_GE(buckets, 2u);
+  EXPECT_EQ(inf_value, 4);
+  EXPECT_NE(text.find("dmvi_lat_seconds_count 4\n"), std::string::npos);
+}
+
+// ---- Trace spans ----------------------------------------------------------
+
+TEST(TraceTest, DisabledTracerYieldsInertSpans) {
+  obs::Span inert(nullptr, "anything");
+  EXPECT_FALSE(inert.active());
+  inert.AddArg("k", "v");  // Must be a no-op, not a crash.
+  EXPECT_EQ(inert.context().trace_id, 0u);
+
+  obs::SetGlobalTracer(nullptr);
+  obs::Span kernel = obs::KernelSpan("matmul.blocked");
+  EXPECT_FALSE(kernel.active());
+}
+
+TEST(TraceTest, RequestLevelTracerDropsKernelSpans) {
+  obs::CollectingTraceSink sink;
+  obs::Tracer tracer(&sink, obs::TraceLevel::kRequest);
+  EXPECT_TRUE(tracer.enabled(obs::TraceLevel::kRequest));
+  EXPECT_FALSE(tracer.enabled(obs::TraceLevel::kKernel));
+  {
+    obs::Span request_span(&tracer, "service.process");
+    obs::Span kernel_span(&tracer, "matmul.blocked",
+                          obs::TraceLevel::kKernel);
+    EXPECT_TRUE(request_span.active());
+    EXPECT_FALSE(kernel_span.active());
+  }
+  EXPECT_EQ(sink.records().size(), 1u);
+  EXPECT_EQ(sink.records()[0].name, "service.process");
+}
+
+TEST(TraceTest, NestedSpansFormOneTrace) {
+  obs::CollectingTraceSink sink;
+  obs::Tracer tracer(&sink, obs::TraceLevel::kKernel);
+  {
+    obs::Span root(&tracer, "http.request");
+    root.set_request_id("req-1");
+    {
+      obs::Span child(&tracer, "service.process");
+      obs::Span grandchild(&tracer, "model.predict");
+      EXPECT_EQ(grandchild.context().trace_id, root.context().trace_id);
+    }
+    obs::Span sibling(&tracer, "http.write");
+    EXPECT_EQ(sibling.context().trace_id, root.context().trace_id);
+  }
+  std::vector<obs::SpanRecord> records = sink.records();
+  ASSERT_EQ(records.size(), 4u);
+  // Records arrive innermost-first (scope exit order).
+  std::map<std::string, obs::SpanRecord> by_name;
+  for (const obs::SpanRecord& record : records) by_name[record.name] = record;
+  const obs::SpanRecord& root = by_name.at("http.request");
+  EXPECT_EQ(root.parent_span_id, 0u);
+  EXPECT_EQ(root.request_id, "req-1");
+  EXPECT_EQ(by_name.at("service.process").parent_span_id, root.span_id);
+  EXPECT_EQ(by_name.at("model.predict").parent_span_id,
+            by_name.at("service.process").span_id);
+  EXPECT_EQ(by_name.at("http.write").parent_span_id, root.span_id);
+  for (const auto& [name, record] : by_name) {
+    EXPECT_EQ(record.trace_id, root.trace_id) << name;
+    EXPECT_GE(record.duration_seconds, 0.0) << name;
+  }
+  // Children start no earlier than the root and end no later.
+  const double root_end = root.start_seconds + root.duration_seconds;
+  for (const auto& [name, record] : by_name) {
+    EXPECT_GE(record.start_seconds, root.start_seconds - 1e-9) << name;
+    EXPECT_LE(record.start_seconds + record.duration_seconds,
+              root_end + 1e-9)
+        << name;
+  }
+}
+
+TEST(TraceTest, ExplicitParentLinksAcrossThreads) {
+  obs::CollectingTraceSink sink;
+  obs::Tracer tracer(&sink);
+  obs::SpanContext handoff;
+  {
+    obs::Span root(&tracer, "http.handle");
+    handoff = tracer.CurrentContext();
+    EXPECT_EQ(handoff.span_id, root.context().span_id);
+    std::thread worker([&tracer, handoff] {
+      obs::Span remote(&tracer, "service.process", handoff);
+      EXPECT_EQ(remote.context().trace_id, handoff.trace_id);
+    });
+    worker.join();
+  }
+  std::vector<obs::SpanRecord> records = sink.records();
+  ASSERT_EQ(records.size(), 2u);
+  std::map<std::string, obs::SpanRecord> by_name;
+  for (const obs::SpanRecord& record : records) by_name[record.name] = record;
+  EXPECT_EQ(by_name.at("service.process").parent_span_id,
+            by_name.at("http.handle").span_id);
+  EXPECT_EQ(by_name.at("service.process").trace_id,
+            by_name.at("http.handle").trace_id);
+  EXPECT_NE(by_name.at("service.process").thread_index,
+            by_name.at("http.handle").thread_index);
+}
+
+TEST(TraceTest, RetrospectiveRecordSpanCarriesGivenTimes) {
+  obs::CollectingTraceSink sink;
+  obs::Tracer tracer(&sink);
+  obs::SpanContext context{tracer.NewId(), tracer.NewId()};
+  tracer.RecordSpan("queue.wait", context, 7, 1.25, 0.5, "req-9",
+                    {{"depth", "3"}});
+  std::vector<obs::SpanRecord> records = sink.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "queue.wait");
+  EXPECT_EQ(records[0].parent_span_id, 7u);
+  EXPECT_DOUBLE_EQ(records[0].start_seconds, 1.25);
+  EXPECT_DOUBLE_EQ(records[0].duration_seconds, 0.5);
+  EXPECT_EQ(records[0].request_id, "req-9");
+  ASSERT_EQ(records[0].args.size(), 1u);
+  EXPECT_EQ(records[0].args[0].first, "depth");
+}
+
+TEST(TraceTest, SinkCapacityBoundsMemory) {
+  obs::CollectingTraceSink sink(/*capacity=*/2);
+  obs::Tracer tracer(&sink);
+  for (int i = 0; i < 5; ++i) {
+    obs::Span span(&tracer, "s");
+  }
+  EXPECT_EQ(sink.records().size(), 2u);
+  EXPECT_EQ(sink.dropped(), 3);
+}
+
+/// Runs a fixed two-level workload and returns (name, parent-index) pairs
+/// where parent-index is the position of the parent span in the same list
+/// (-1 for roots) — the structural shape of the trace, ids abstracted out.
+std::vector<std::pair<std::string, int>> WorkloadShape() {
+  obs::CollectingTraceSink sink;
+  obs::Tracer tracer(&sink);
+  for (int request = 0; request < 3; ++request) {
+    obs::Span root(&tracer, "http.request");
+    root.set_request_id("req-" + std::to_string(request));
+    obs::Span handle(&tracer, "service.process");
+    obs::Span predict(&tracer, "model.predict");
+  }
+  std::vector<obs::SpanRecord> records = sink.records();
+  std::map<uint64_t, int> index_of;
+  for (size_t i = 0; i < records.size(); ++i) {
+    index_of[records[i].span_id] = static_cast<int>(i);
+  }
+  std::vector<std::pair<std::string, int>> shape;
+  for (const obs::SpanRecord& record : records) {
+    const auto parent = index_of.find(record.parent_span_id);
+    shape.emplace_back(record.name,
+                       parent == index_of.end() ? -1 : parent->second);
+  }
+  return shape;
+}
+
+TEST(TraceTest, SpanTreeIsStructurallyDeterministic) {
+  // Two independent runs of the same workload must produce the same span
+  // names in the same order with the same parent structure — ids and
+  // timestamps differ, the tree does not.
+  EXPECT_EQ(WorkloadShape(), WorkloadShape());
+}
+
+// ---- Chrome trace-event export --------------------------------------------
+
+TEST(TraceTest, ChromeTraceJsonParsesAndNests) {
+  obs::CollectingTraceSink sink;
+  obs::Tracer tracer(&sink, obs::TraceLevel::kKernel);
+  {
+    obs::Span root(&tracer, "train.epoch");
+    root.set_request_id("epoch-0");
+    root.AddArg("epoch", "0");
+    obs::Span child(&tracer, "matmul.blocked", obs::TraceLevel::kKernel);
+    child.AddArg("m", "8");
+  }
+  const std::string json = obs::ChromeTraceJson(sink.records());
+  StatusOr<net::JsonValue> parsed = net::ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const net::JsonValue& events = parsed->at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_EQ(events.array_items().size(), 2u);
+
+  std::map<std::string, const net::JsonValue*> by_name;
+  for (const net::JsonValue& event : events.array_items()) {
+    for (const char* key : {"name", "cat", "ph", "ts", "dur", "pid", "tid"}) {
+      EXPECT_FALSE(event.at(key).is_null()) << "missing " << key;
+    }
+    EXPECT_EQ(event.at("ph").string_value(), "X");
+    EXPECT_EQ(event.at("cat").string_value(), "dmvi");
+    by_name[event.at("name").string_value()] = &event;
+  }
+  const net::JsonValue& epoch = *by_name.at("train.epoch");
+  const net::JsonValue& matmul = *by_name.at("matmul.blocked");
+  // Identity rides in args; the child's parent_span_id is the root's
+  // span_id and both share a trace.
+  EXPECT_EQ(matmul.at("args").at("parent_span_id").number_value(),
+            epoch.at("args").at("span_id").number_value());
+  EXPECT_EQ(matmul.at("args").at("trace_id").number_value(),
+            epoch.at("args").at("trace_id").number_value());
+  EXPECT_EQ(epoch.at("args").at("request_id").string_value(), "epoch-0");
+  EXPECT_EQ(epoch.at("args").at("epoch").string_value(), "0");
+  // Timestamps are microseconds; the child nests inside the root.
+  const double root_start = epoch.at("ts").number_value();
+  const double root_end = root_start + epoch.at("dur").number_value();
+  EXPECT_GE(matmul.at("ts").number_value(), root_start - 1e-3);
+  EXPECT_LE(matmul.at("ts").number_value() + matmul.at("dur").number_value(),
+            root_end + 1e-3);
+}
+
+TEST(TraceTest, ChromeTraceJsonEscapesStrings) {
+  obs::CollectingTraceSink sink;
+  obs::Tracer tracer(&sink);
+  {
+    obs::Span span(&tracer, "s");
+    span.set_request_id("a\"b\\c\n");
+  }
+  StatusOr<net::JsonValue> parsed =
+      net::ParseJson(obs::ChromeTraceJson(sink.records()));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->at("traceEvents")
+                .array_items()[0]
+                .at("args")
+                .at("request_id")
+                .string_value(),
+            "a\"b\\c\n");
+}
+
+}  // namespace
+}  // namespace deepmvi

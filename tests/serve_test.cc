@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <future>
@@ -19,6 +20,8 @@
 
 #include "baselines/simple.h"
 #include "core/deepmvi.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/response_cache.h"
 #include "serve/service.h"
 #include "serve/workload.h"
@@ -706,7 +709,11 @@ TEST(TelemetryTest, PercentilesAndCounters) {
   EXPECT_EQ(snap.batches, 1);
   EXPECT_EQ(snap.rows_served, 3);
   EXPECT_EQ(snap.cells_imputed, 30);
-  EXPECT_NEAR(snap.latency_p50_ms, 20.0, 1e-9);
+  // The reservoir cross-check is exact interpolation; the histogram
+  // estimate is deterministic but only bucket-accurate (within sqrt 2).
+  EXPECT_NEAR(snap.reservoir_p50_ms, 20.0, 1e-9);
+  EXPECT_GE(snap.latency_p50_ms, 20.0 / std::sqrt(2.0));
+  EXPECT_LE(snap.latency_p50_ms, 20.0 * std::sqrt(2.0));
   EXPECT_NEAR(snap.mean_batch_size, 2.0, 1e-12);
 
   const std::string json = serve::TelemetryToJson(snap);
@@ -736,6 +743,128 @@ TEST(TelemetryTest, DegradedAndShedCountersRoundTripThroughJson) {
   telemetry.Reset();
   EXPECT_EQ(telemetry.Snapshot().degraded, 0);
   EXPECT_EQ(telemetry.Snapshot().shed, 0);
+}
+
+TEST(TelemetryTest, HistogramAndReservoirPercentilesStayConsistent) {
+  // The histogram is the percentile source of record; the reservoir stays
+  // as a cross-check. On identical observations both are exact; on spread
+  // observations the histogram must stay within its bucket-growth factor
+  // of the reservoir's exact interpolation.
+  serve::Telemetry uniform;
+  for (int i = 0; i < 100; ++i) uniform.RecordRequest(0.025, 1, 1, true);
+  serve::TelemetrySnapshot usnap = uniform.Snapshot();
+  EXPECT_NEAR(usnap.latency_p50_ms, 25.0, 1e-9);
+  EXPECT_NEAR(usnap.latency_p95_ms, 25.0, 1e-9);
+  EXPECT_NEAR(usnap.reservoir_p95_ms, 25.0, 1e-9);
+
+  serve::Telemetry spread;
+  for (int i = 1; i <= 200; ++i) {
+    spread.RecordRequest(1e-3 * static_cast<double>(i), 1, 1, true);
+  }
+  serve::TelemetrySnapshot snap = spread.Snapshot();
+  for (const auto& [histogram_ms, reservoir_ms] :
+       {std::pair<double, double>{snap.latency_p50_ms, snap.reservoir_p50_ms},
+        std::pair<double, double>{snap.latency_p95_ms,
+                                  snap.reservoir_p95_ms}}) {
+    EXPECT_GT(reservoir_ms, 0.0);
+    EXPECT_GE(histogram_ms, reservoir_ms / std::sqrt(2.0));
+    EXPECT_LE(histogram_ms, reservoir_ms * std::sqrt(2.0));
+  }
+  // The histogram snapshot rides along for exposition.
+  EXPECT_EQ(snap.latency_histogram.count, 200);
+}
+
+TEST(TelemetryTest, ResetRestartsWallClockLazily) {
+  serve::Telemetry telemetry;
+  // No events yet: the wall clock has not started, so an idle process
+  // reports zero elapsed time and zero throughput instead of its age.
+  EXPECT_EQ(telemetry.Snapshot().wall_seconds, 0.0);
+  EXPECT_EQ(telemetry.Snapshot().requests_per_second, 0.0);
+
+  telemetry.RecordRequest(0.001, 1, 1, true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  serve::TelemetrySnapshot live = telemetry.Snapshot();
+  EXPECT_GT(live.wall_seconds, 0.0);
+  EXPECT_GT(live.requests_per_second, 0.0);
+
+  // Reset rewinds everything including the clock; wall time stays zero
+  // until the next recorded event, so post-reset throughput is derived
+  // from the new epoch, not the process lifetime.
+  telemetry.Reset();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  serve::TelemetrySnapshot idle = telemetry.Snapshot();
+  EXPECT_EQ(idle.wall_seconds, 0.0);
+  EXPECT_EQ(idle.requests_per_second, 0.0);
+  EXPECT_EQ(idle.latency_histogram.count, 0);
+
+  telemetry.RecordRequest(0.001, 1, 1, true);
+  serve::TelemetrySnapshot restarted = telemetry.Snapshot();
+  // The new epoch started at the post-reset event: well under the 20 ms
+  // sleep that preceded it.
+  EXPECT_LT(restarted.wall_seconds, 0.015);
+  EXPECT_GT(restarted.requests_per_second, 0.0);
+}
+
+TEST(ImputationServiceTest, TracingAndMetricsDoNotChangeResponseBytes) {
+  // The observability bar: running the identical workload with tracing
+  // and metrics wired in must not move a single response bit.
+  TrainedCase c = MakeTrainedCase();
+  auto run = [&](serve::ServiceConfig config) {
+    config.max_batch_size = 4;
+    serve::ImputationService service(config);
+    // Fit is deterministic, so a re-trained copy is the identical model.
+    EXPECT_TRUE(
+        service.registry().Register("default", MakeTrainedCase().model).ok());
+    std::vector<Matrix> imputed;
+    std::vector<std::future<serve::ImputationResponse>> futures;
+    auto data = std::make_shared<const DataTensor>(c.data_case.data);
+    for (int i = 0; i < 6; ++i) {
+      serve::ImputationRequest request;
+      request.model = "default";
+      request.data = data;
+      request.mask = c.data_case.mask;
+      request.request_id = "req-" + std::to_string(i);
+      futures.push_back(service.Submit(std::move(request)));
+    }
+    for (auto& future : futures) {
+      serve::ImputationResponse response = future.get();
+      EXPECT_TRUE(response.status.ok());
+      imputed.push_back(std::move(response.imputed));
+    }
+    return imputed;
+  };
+
+  std::vector<Matrix> plain = run(serve::ServiceConfig());
+
+  obs::CollectingTraceSink sink;
+  obs::Tracer tracer(&sink, obs::TraceLevel::kKernel);
+  obs::MetricsRegistry metrics;
+  serve::ServiceConfig traced_config;
+  traced_config.tracer = &tracer;
+  traced_config.metrics = &metrics;
+  std::vector<Matrix> traced = run(traced_config);
+
+  ASSERT_EQ(plain.size(), traced.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    ExpectMatricesBitIdentical(plain[i], traced[i], "traced vs plain");
+  }
+  // The traced run actually produced spans and stage observations.
+  std::vector<obs::SpanRecord> records = sink.records();
+  EXPECT_FALSE(records.empty());
+  int process_spans = 0, wait_spans = 0;
+  for (const obs::SpanRecord& record : records) {
+    if (record.name == "service.process") ++process_spans;
+    if (record.name == "queue.wait") ++wait_spans;
+    if (record.name == "service.process") {
+      EXPECT_FALSE(record.request_id.empty());
+    }
+  }
+  EXPECT_EQ(process_spans, 6);
+  EXPECT_EQ(wait_spans, 6);
+  EXPECT_GT(metrics.HistogramNamed("dmvi_stage_predict_seconds", "")
+                ->Snapshot()
+                .count,
+            0);
 }
 
 // ---- Workload helpers -------------------------------------------------------

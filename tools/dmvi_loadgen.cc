@@ -36,6 +36,21 @@
 // (the CI loopback smoke `cmp`s exactly this). --reload-every N posts
 // /admin/reload every N queries mid-run, proving warm reloads drop zero
 // requests.
+//
+// Observability hooks: --request-id-prefix P stamps request i with
+// `x-request-id: P-i` and checks the echoed x-dmvi-request-id — the same
+// IDs appear in the server's --trace-out file, so any client-side latency
+// outlier can be looked up as a span tree. --check-server-counters scrapes
+// GET /metrics (Prometheus text) before and after the run and asserts the
+// server-side counter deltas match what this process observed exactly:
+// requests_total grew by completed + shed, degraded_total by the
+// x-dmvi-degraded count, shed_total by the 503 count. The report also
+// fetches /metrics.json afterwards and prints server-observed p50/p95
+// (queue + compute, from the server's histogram) beside client-observed
+// p50/p95 (adds HTTP encode/transport) — the gap between them is the
+// network front-end's cost. --scrape-metrics FILE is a standalone mode:
+// fetch /metrics, write it verbatim, exit (CI uses it to snapshot a
+// server mid-run from a second process).
 
 #include <algorithm>
 #include <atomic>
@@ -48,6 +63,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "net/client.h"
 #include "net/codec.h"
@@ -73,6 +89,9 @@ struct LoadgenOptions {
   int reload_every = 0;  // 0 = never.
   bool expect_degraded = false;
   double max_p95_ms = 0.0;  // 0 = no bound.
+  std::string request_id_prefix;  // empty = let the server mint IDs.
+  bool check_server_counters = false;
+  std::string scrape_metrics;  // non-empty = standalone scrape mode.
 };
 
 /// One worker's share of the run: latencies (seconds) for its completed
@@ -83,6 +102,8 @@ struct WorkerResult {
   int failed = 0;
   int reloads_failed = 0;
   int64_t degraded = 0;
+  int64_t shed = 0;           // 503 responses (a subset of `failed`).
+  int64_t id_mismatches = 0;  // x-dmvi-request-id did not echo ours.
 };
 
 std::string QueryBody(const serve::WorkloadQuery& query) {
@@ -115,18 +136,62 @@ void RunWorker(const LoadgenOptions& options,
         ++result->reloads_failed;
       }
     }
+    net::HttpMessage request;
+    request.method = "POST";
+    request.target = "/v1/impute";
+    request.body = QueryBody(queries[i]);
+    request.SetHeader("content-type", "application/json");
+    std::string request_id;
+    if (!options.request_id_prefix.empty()) {
+      // Deterministic per-query IDs (P-0, P-1, ...) that the server echoes
+      // back and stamps onto every span of this request in --trace-out.
+      request_id = options.request_id_prefix + "-" + std::to_string(i);
+      request.SetHeader("x-request-id", request_id);
+    }
     Stopwatch watch;
-    StatusOr<net::HttpMessage> response = client.Post(
-        "/v1/impute", QueryBody(queries[i]), "application/json");
+    StatusOr<net::HttpMessage> response = client.RoundTrip(request);
     const double latency = watch.ElapsedSeconds();
+    if (!request_id.empty() && response.ok() &&
+        response->Header("x-dmvi-request-id") != request_id) {
+      ++result->id_mismatches;
+    }
     if (!response.ok() || response->status_code != 200) {
       ++result->failed;
+      if (response.ok() && response->status_code == 503) ++result->shed;
       continue;
     }
     result->latencies.push_back(latency);
     result->rows += 1;  // One block query touches one series row.
     if (response->HasHeader("x-dmvi-degraded")) ++result->degraded;
   }
+}
+
+/// Fetches GET /metrics and returns the Prometheus text body.
+StatusOr<std::string> ScrapeMetrics(net::Client* client) {
+  StatusOr<net::HttpMessage> scraped = client->Get("/metrics");
+  if (!scraped.ok()) return scraped.status();
+  if (scraped->status_code != 200) {
+    return Status::Internal("GET /metrics returned " +
+                            std::to_string(scraped->status_code));
+  }
+  return std::move(scraped->body);
+}
+
+/// Value of an unlabeled sample line `name value` in Prometheus text
+/// exposition, or -1 when the metric is absent.
+double PrometheusValue(const std::string& text, const std::string& name) {
+  const std::string prefix = name + " ";
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t end = text.find('\n', pos);
+    const size_t len = (end == std::string::npos ? text.size() : end) - pos;
+    if (len > prefix.size() && text.compare(pos, prefix.size(), prefix) == 0) {
+      return std::atof(text.c_str() + pos + prefix.size());
+    }
+    if (end == std::string::npos) break;
+    pos = end + 1;
+  }
+  return -1.0;
 }
 
 int Run(int argc, char** argv) {
@@ -168,6 +233,23 @@ int Run(int argc, char** argv) {
       options.reload_every = std::atoi(value);
     } else if ((value = next("--max-p95-ms"))) {
       options.max_p95_ms = std::atof(value);
+    } else if ((value = next("--request-id-prefix"))) {
+      options.request_id_prefix = value;
+    } else if ((value = next("--scrape-metrics"))) {
+      options.scrape_metrics = value;
+    } else if ((value = next("--log-level"))) {
+      if (!ParseLogSeverity(value, &MinLogSeverity())) {
+        std::fprintf(stderr,
+                     "--log-level must be debug, info, warning, or error\n");
+        return 2;
+      }
+    } else if ((value = next("--log-format"))) {
+      if (!ParseLogFormat(value, &GlobalLogFormat())) {
+        std::fprintf(stderr, "--log-format must be plain, kv, or json\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--check-server-counters") == 0) {
+      options.check_server_counters = true;
     } else if (std::strcmp(argv[i], "--expect-degraded") == 0) {
       options.expect_degraded = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -178,7 +260,12 @@ int Run(int argc, char** argv) {
           "                     | --workload FILE]\n"
           "                    [--json out.json] [--name LABEL]\n"
           "                    [--impute-csv out.csv] [--reload-every N]\n"
-          "                    [--expect-degraded] [--max-p95-ms X]\n");
+          "                    [--expect-degraded] [--max-p95-ms X]\n"
+          "                    [--request-id-prefix P]\n"
+          "                    [--check-server-counters]\n"
+          "                    [--scrape-metrics FILE]\n"
+          "                    [--log-level debug|info|warning|error]\n"
+          "                    [--log-format plain|kv|json]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument: %s (see --help)\n", argv[i]);
@@ -203,6 +290,29 @@ int Run(int argc, char** argv) {
     return 2;
   }
   options.concurrency = std::max(1, options.concurrency);
+
+  // ---- Standalone scrape: snapshot /metrics and exit. ---------------------
+  // Runs before the /healthz shape probe so a second loadgen process can
+  // snapshot a server mid-run without generating any load of its own.
+  if (!options.scrape_metrics.empty()) {
+    net::Client scraper(options.host, options.port);
+    StatusOr<std::string> text = ScrapeMetrics(&scraper);
+    if (!text.ok()) {
+      std::fprintf(stderr, "metrics scrape failed: %s\n",
+                   text.status().ToString().c_str());
+      return 1;
+    }
+    std::ofstream out(options.scrape_metrics, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   options.scrape_metrics.c_str());
+      return 1;
+    }
+    out << *text;
+    std::printf("wrote metrics snapshot %s (%zu bytes)\n",
+                options.scrape_metrics.c_str(), text->size());
+    return 0;
+  }
 
   // ---- Discover the served dataset shape. ---------------------------------
   net::Client probe(options.host, options.port);
@@ -267,6 +377,19 @@ int Run(int argc, char** argv) {
   }
   if (queries.empty()) return 0;
 
+  // ---- Counter baseline (taken after the --impute-csv fetch so that
+  // one-shot request is excluded from the delta). --------------------------
+  std::string metrics_before;
+  if (options.check_server_counters) {
+    StatusOr<std::string> text = ScrapeMetrics(&probe);
+    if (!text.ok()) {
+      std::fprintf(stderr, "pre-run metrics scrape failed: %s\n",
+                   text.status().ToString().c_str());
+      return 1;
+    }
+    metrics_before = std::move(text).value();
+  }
+
   // ---- Fire. --------------------------------------------------------------
   std::vector<WorkerResult> results(options.concurrency);
   Stopwatch wall;
@@ -283,7 +406,7 @@ int Run(int argc, char** argv) {
   const double wall_seconds = wall.ElapsedSeconds();
 
   std::vector<double> latencies;
-  int64_t rows = 0, degraded = 0;
+  int64_t rows = 0, degraded = 0, shed = 0, id_mismatches = 0;
   int failed = 0, reloads_failed = 0;
   for (const WorkerResult& result : results) {
     latencies.insert(latencies.end(), result.latencies.begin(),
@@ -292,6 +415,8 @@ int Run(int argc, char** argv) {
     failed += result.failed;
     reloads_failed += result.reloads_failed;
     degraded += result.degraded;
+    shed += result.shed;
+    id_mismatches += result.id_mismatches;
   }
   std::sort(latencies.begin(), latencies.end());
   const double p50_ms = serve::SortedPercentile(latencies, 0.50) * 1e3;
@@ -304,12 +429,89 @@ int Run(int argc, char** argv) {
       wall_seconds > 0.0 ? static_cast<double>(rows) / wall_seconds : 0.0;
 
   std::printf(
-      "%zu queries over %d connections (%d failed, %d reloads failed, "
-      "%lld degraded) in %.2fs: p50 %.2f ms, p95 %.2f ms, max %.2f ms | "
-      "%.1f req/s, %.1f rows/s\n",
-      queries.size(), options.concurrency, failed, reloads_failed,
+      "%zu queries over %d connections (%d failed of which %lld shed, "
+      "%d reloads failed, %lld degraded) in %.2fs: p50 %.2f ms, p95 %.2f ms, "
+      "max %.2f ms | %.1f req/s, %.1f rows/s\n",
+      queries.size(), options.concurrency, failed,
+      static_cast<long long>(shed), reloads_failed,
       static_cast<long long>(degraded), wall_seconds, p50_ms, p95_ms, max_ms,
       rps, rows_per_second);
+
+  // ---- Server-observed latency beside client-observed. --------------------
+  // The server's histogram covers queue wait + batch compute; the client's
+  // stopwatch additionally sees HTTP decode/encode and the loopback
+  // transport — the gap between the two p95s is the front-end's cost.
+  double server_p50_ms = -1.0, server_p95_ms = -1.0;
+  {
+    StatusOr<net::HttpMessage> stats = probe.Get("/metrics.json");
+    if (stats.ok() && stats->status_code == 200) {
+      StatusOr<net::JsonValue> doc = net::ParseJson(stats->body);
+      if (doc.ok() && doc->at("latency_p95_ms").is_number()) {
+        server_p50_ms = doc->at("latency_p50_ms").number_value();
+        server_p95_ms = doc->at("latency_p95_ms").number_value();
+        std::printf(
+            "latency attribution: server-observed p50 %.2f ms, p95 %.2f ms "
+            "(queue + compute) vs client-observed p50 %.2f ms, p95 %.2f ms "
+            "(adds HTTP + transport)\n",
+            server_p50_ms, server_p95_ms, p50_ms, p95_ms);
+      }
+    }
+  }
+  if (!options.request_id_prefix.empty()) {
+    std::printf("request IDs: %s-0..%s-%zu, %lld echo mismatches\n",
+                options.request_id_prefix.c_str(),
+                options.request_id_prefix.c_str(), queries.size() - 1,
+                static_cast<long long>(id_mismatches));
+  }
+
+  // ---- Counter consistency: server deltas must equal what we observed. ----
+  bool counters_ok = true;
+  if (options.check_server_counters) {
+    StatusOr<std::string> text = ScrapeMetrics(&probe);
+    if (!text.ok()) {
+      std::fprintf(stderr, "post-run metrics scrape failed: %s\n",
+                   text.status().ToString().c_str());
+      return 1;
+    }
+    // Requests that never reached the service (connect/parse failures) are
+    // invisible to its counters: expected requests delta is completions
+    // plus sheds (a shed is RecordRequest'ed as a failure server-side).
+    struct Check {
+      const char* metric;
+      int64_t expected_delta;
+    };
+    const Check checks[] = {
+        {"dmvi_requests_total",
+         static_cast<int64_t>(latencies.size()) + shed},
+        {"dmvi_degraded_total", degraded},
+        {"dmvi_shed_total", shed},
+    };
+    for (const Check& check : checks) {
+      const double before = PrometheusValue(metrics_before, check.metric);
+      const double after = PrometheusValue(*text, check.metric);
+      if (before < 0.0 || after < 0.0) {
+        std::fprintf(stderr, "counter check: %s missing from /metrics\n",
+                     check.metric);
+        counters_ok = false;
+        continue;
+      }
+      const int64_t delta = static_cast<int64_t>(after - before);
+      if (delta != check.expected_delta) {
+        std::fprintf(stderr,
+                     "counter check: %s grew by %lld, loadgen observed %lld\n",
+                     check.metric, static_cast<long long>(delta),
+                     static_cast<long long>(check.expected_delta));
+        counters_ok = false;
+      }
+    }
+    if (counters_ok) {
+      std::printf(
+          "counter check: server deltas match (requests %lld, degraded %lld, "
+          "shed %lld)\n",
+          static_cast<long long>(latencies.size()) + shed,
+          static_cast<long long>(degraded), static_cast<long long>(shed));
+    }
+  }
 
   if (!options.json_path.empty()) {
     // Suite-compatible cell: dataset/scenario/imputer identify the row in
@@ -334,7 +536,12 @@ int Run(int argc, char** argv) {
         << ", \"latency_max_ms\": " << max_ms
         << ", \"requests_per_second\": " << rps
         << ", \"rows_per_second\": " << rows_per_second
-        << ", \"degraded\": " << degraded << "}\n";
+        << ", \"degraded\": " << degraded << ", \"shed\": " << shed;
+    if (server_p95_ms >= 0.0) {
+      out << ", \"server_latency_p50_ms\": " << server_p50_ms
+          << ", \"server_latency_p95_ms\": " << server_p95_ms;
+    }
+    out << "}\n";
     out << "  ]\n}\n";
     std::printf("wrote %s\n", options.json_path.c_str());
   }
@@ -349,6 +556,13 @@ int Run(int argc, char** argv) {
                  options.max_p95_ms);
     return 1;
   }
+  if (id_mismatches > 0) {
+    std::fprintf(stderr,
+                 "%lld responses failed to echo the client x-request-id\n",
+                 static_cast<long long>(id_mismatches));
+    return 1;
+  }
+  if (!counters_ok) return 1;
   return failed == 0 && reloads_failed == 0 ? 0 : 1;
 }
 

@@ -20,12 +20,18 @@
 // (--telemetry-json PATH to persist it).
 //
 // Network mode: --listen HOST:PORT starts the src/net HTTP front-end
-// (POST /v1/impute, GET /healthz, GET /metrics, POST /admin/reload) over
-// the same service and blocks until SIGINT/SIGTERM. --http-workers sets
-// the connection pool width, --port-file writes the bound HOST:PORT (port
-// 0 picks a free one) for scripts, and --reload-on-sighup makes SIGHUP
+// (POST /v1/impute, GET /healthz, GET /metrics — Prometheus text,
+// GET /metrics.json — telemetry JSON, POST /admin/reload) over the same
+// service and blocks until SIGINT/SIGTERM. --http-workers sets the
+// connection pool width, --port-file writes the bound HOST:PORT (port 0
+// picks a free one) for scripts, and --reload-on-sighup makes SIGHUP
 // warm-reload the checkpoint from --model without dropping connections.
 // Bind/listen failures exit non-zero instead of aborting.
+// Observability: --trace-out FILE exports Chrome trace-event JSON of the
+// per-request span tree on shutdown (open in Perfetto); every response
+// carries x-dmvi-request-id (client x-request-id honored); --log-level /
+// --log-format control the structured access log. Instrumentation never
+// changes response bytes.
 //
 // --impute-csv PATH sends the dataset's own base mask through the service
 // once and writes the completed matrix; for a checkpoint from dmvi_train
@@ -46,6 +52,8 @@
 #include "data/io.h"
 #include "net/endpoints.h"
 #include "net/server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/service.h"
 #include "serve/workload.h"
 #include "tools/dataset_flags.h"
@@ -64,6 +72,8 @@ void OnShutdown(int) { g_shutdown = 1; }
 int Run(int argc, char** argv) {
   std::string model_path, workload_path, impute_csv, telemetry_json;
   std::string listen_address, port_file;
+  std::string trace_out;
+  obs::TraceLevel trace_level = obs::TraceLevel::kRequest;
   bool reload_on_sighup = false;
   int http_workers = 4;
   tools::DatasetSpec dataset_spec;
@@ -115,6 +125,28 @@ int Run(int argc, char** argv) {
       http_workers = std::atoi(value);
     } else if ((value = next("--port-file"))) {
       port_file = value;
+    } else if ((value = next("--trace-out"))) {
+      trace_out = value;
+    } else if ((value = next("--trace-level"))) {
+      if (std::strcmp(value, "request") == 0) {
+        trace_level = obs::TraceLevel::kRequest;
+      } else if (std::strcmp(value, "kernel") == 0) {
+        trace_level = obs::TraceLevel::kKernel;
+      } else {
+        std::fprintf(stderr, "--trace-level must be request or kernel\n");
+        return 2;
+      }
+    } else if ((value = next("--log-level"))) {
+      if (!ParseLogSeverity(value, &MinLogSeverity())) {
+        std::fprintf(stderr,
+                     "--log-level must be debug, info, warning, or error\n");
+        return 2;
+      }
+    } else if ((value = next("--log-format"))) {
+      if (!ParseLogFormat(value, &GlobalLogFormat())) {
+        std::fprintf(stderr, "--log-format must be plain, kv, or json\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--reload-on-sighup") == 0) {
       reload_on_sighup = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -132,7 +164,11 @@ int Run(int argc, char** argv) {
           "                  [--degrade-method LinearInterp|Mean]\n"
           "                  [--impute-csv out.csv] [--telemetry-json out.json]\n"
           "                  [--listen HOST:PORT [--http-workers N]\n"
-          "                   [--port-file PATH] [--reload-on-sighup]]\n");
+          "                   [--port-file PATH] [--reload-on-sighup]]\n"
+          "                  [--trace-out trace.json\n"
+          "                   [--trace-level request|kernel]]\n"
+          "                  [--log-level debug|info|warning|error]\n"
+          "                  [--log-format plain|kv|json]\n");
       return 0;
     } else if (missing_value) {
       std::fprintf(stderr, "missing value for %s (see --help)\n", argv[i]);
@@ -154,6 +190,24 @@ int Run(int argc, char** argv) {
           tools::BuildDatasetAndMask(dataset_spec, data.get(), &mask)) {
     return exit_code;
   }
+
+  // ---- Observability: metrics always on, tracing behind --trace-out. -----
+  // The registry is cheap (atomics + one mutex per scrape) and /metrics
+  // needs the stage histograms, so it is wired unconditionally. The tracer
+  // exists only when a trace file was requested; everywhere else pays one
+  // branch.
+  obs::MetricsRegistry metrics;
+  std::unique_ptr<obs::CollectingTraceSink> trace_sink;
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!trace_out.empty()) {
+    trace_sink = std::make_unique<obs::CollectingTraceSink>();
+    tracer = std::make_unique<obs::Tracer>(trace_sink.get(), trace_level);
+    // Deep instrumentation (matmul kernels, storage loads) reaches the
+    // tracer through the process global.
+    obs::SetGlobalTracer(tracer.get());
+  }
+  service_config.metrics = &metrics;
+  service_config.tracer = tracer.get();
 
   // ---- Bring the service up with the checkpoint. -------------------------
   serve::ImputationService service(service_config);
@@ -242,12 +296,16 @@ int Run(int argc, char** argv) {
       return 2;
     }
     server_config.num_workers = http_workers;
+    server_config.metrics = &metrics;
+    server_config.tracer = tracer.get();
 
     net::HttpServer server(server_config);
     net::ServingContext context;
     context.service = &service;
     context.data = data;
     context.base_mask = mask;
+    context.metrics = &metrics;
+    context.tracer = tracer.get();
     context.reload = [&service, model_path](const std::string& model,
                                             const std::string& path) {
       // Atomic registry swap: requests already running finish against the
@@ -319,6 +377,20 @@ int Run(int argc, char** argv) {
     }
     out << serve::TelemetryToJson(service.telemetry());
     std::printf("wrote telemetry %s\n", telemetry_json.c_str());
+  }
+
+  if (tracer != nullptr) {
+    obs::SetGlobalTracer(nullptr);
+    const std::vector<obs::SpanRecord> records = trace_sink->records();
+    Status written = obs::WriteChromeTrace(records, trace_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error writing trace: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote trace %s (%zu spans, %lld dropped)\n",
+                trace_out.c_str(), records.size(),
+                static_cast<long long>(trace_sink->dropped()));
   }
   return 0;
 }

@@ -28,12 +28,15 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/stopwatch.h"
 #include "core/deepmvi.h"
 #include "data/io.h"
+#include "obs/trace.h"
 #include "storage/chunk_cache.h"
 #include "storage/chunk_store.h"
 #include "storage/data_source.h"
@@ -43,7 +46,8 @@ namespace deepmvi {
 namespace {
 
 int Run(int argc, char** argv) {
-  std::string output = "model.dmvi", impute_csv, data_dir;
+  std::string output = "model.dmvi", impute_csv, data_dir, trace_out;
+  obs::TraceLevel trace_level = obs::TraceLevel::kKernel;
   tools::DatasetSpec dataset_spec;
   DeepMviConfig config;
   int cache_mb = 256;
@@ -82,6 +86,28 @@ int Run(int argc, char** argv) {
       config.num_heads = std::atoi(value);
     } else if ((value = next("--threads"))) {
       config.num_threads = std::atoi(value);
+    } else if ((value = next("--trace-out"))) {
+      trace_out = value;
+    } else if ((value = next("--trace-level"))) {
+      if (std::strcmp(value, "request") == 0) {
+        trace_level = obs::TraceLevel::kRequest;
+      } else if (std::strcmp(value, "kernel") == 0) {
+        trace_level = obs::TraceLevel::kKernel;
+      } else {
+        std::fprintf(stderr, "--trace-level must be request or kernel\n");
+        return 2;
+      }
+    } else if ((value = next("--log-level"))) {
+      if (!ParseLogSeverity(value, &MinLogSeverity())) {
+        std::fprintf(stderr,
+                     "--log-level must be debug, info, warning, or error\n");
+        return 2;
+      }
+    } else if ((value = next("--log-format"))) {
+      if (!ParseLogFormat(value, &GlobalLogFormat())) {
+        std::fprintf(stderr, "--log-format must be plain, kv, or json\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: dmvi_train (--preset NAME [--scale quick|full]\n"
@@ -92,7 +118,11 @@ int Run(int argc, char** argv) {
           "                  [--output model.dmvi] [--impute-csv out.csv]\n"
           "                  [--seed N] [--max-epochs N] [--samples N]\n"
           "                  [--window W] [--filters P] [--heads H]\n"
-          "                  [--threads N]\n");
+          "                  [--threads N]\n"
+          "                  [--trace-out trace.json\n"
+          "                   [--trace-level request|kernel]]\n"
+          "                  [--log-level debug|info|warning|error]\n"
+          "                  [--log-format plain|kv|json]\n");
       return 0;
     } else if (missing_value) {
       std::fprintf(stderr, "missing value for %s (see --help)\n", argv[i]);
@@ -166,6 +196,19 @@ int Run(int argc, char** argv) {
     return 2;
   }
 
+  // ---- Tracing: training spans (epochs, batches, kernels) via the
+  // process-global tracer; kernel level is the default here because the
+  // blocked MatMul and storage chunk loads are what a training trace is
+  // for. Tracing never touches the numerics — the checkpoint is
+  // byte-identical either way.
+  std::unique_ptr<obs::CollectingTraceSink> trace_sink;
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!trace_out.empty()) {
+    trace_sink = std::make_unique<obs::CollectingTraceSink>();
+    tracer = std::make_unique<obs::Tracer>(trace_sink.get(), trace_level);
+    obs::SetGlobalTracer(tracer.get());
+  }
+
   // ---- Fit and checkpoint. ------------------------------------------------
   std::printf("fitting DeepMVI on %d series x %d steps (%.2f%% missing)%s\n",
               mask.rows(), mask.cols(), 100.0 * mask.MissingFraction(),
@@ -194,6 +237,19 @@ int Run(int argc, char** argv) {
     model = imputer.Fit(data, mask);
   }
   const double fit_seconds = watch.ElapsedSeconds();
+  if (tracer != nullptr) {
+    obs::SetGlobalTracer(nullptr);
+    const std::vector<obs::SpanRecord> records = trace_sink->records();
+    Status written = obs::WriteChromeTrace(records, trace_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error writing trace: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote trace %s (%zu spans, %lld dropped)\n",
+                trace_out.c_str(), records.size(),
+                static_cast<long long>(trace_sink->dropped()));
+  }
   const auto& stats = imputer.train_stats();
   std::printf(
       "fit in %.2fs: %d epochs, window %d, best validation loss %.6f, "
