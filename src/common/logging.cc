@@ -1,7 +1,9 @@
 #include "common/logging.h"
 
 #include <cstdio>
-#include <mutex>
+#include <iostream>
+
+#include "common/mutex.h"
 
 namespace deepmvi {
 
@@ -63,8 +65,8 @@ namespace {
 
 /// Serializes emission so lines from concurrent request workers never
 /// interleave mid-line.
-std::mutex& EmitMutex() {
-  static std::mutex mutex;
+Mutex& EmitMutex() {
+  static Mutex mutex;
   return mutex;
 }
 
@@ -199,7 +201,7 @@ LogMessage::~LogMessage() {
     event.fields = std::move(fields_);
     const std::string line = FormatLogEvent(event, GlobalLogFormat());
     {
-      std::lock_guard<std::mutex> lock(EmitMutex());
+      MutexLock lock(&EmitMutex());
       std::cerr << line << std::endl;
     }
   }

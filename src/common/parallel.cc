@@ -1,11 +1,12 @@
 #include "common/parallel.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace deepmvi {
 namespace {
@@ -18,8 +19,8 @@ struct Job {
   const std::function<void(int, int)>* f = nullptr;
   std::atomic<int> next{0};
   std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
+  std::exception_ptr first_error DMVI_GUARDED_BY(error_mutex);
 
   /// Claims and runs iterations on worker slot `slot` until the range is
   /// exhausted or a failure is observed. Failure handling: the first
@@ -32,11 +33,19 @@ struct Job {
       try {
         (*f)(i, slot);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        MutexLock lock(&error_mutex);
         if (!first_error) first_error = std::current_exception();
         failed.store(true, std::memory_order_relaxed);
       }
     }
+  }
+
+  /// The parked exception, if any. Called after every worker is joined /
+  /// acknowledged, but takes the lock anyway — cheap, and it keeps the
+  /// field's GUARDED_BY contract unconditional.
+  std::exception_ptr TakeError() {
+    MutexLock lock(&error_mutex);
+    return first_error;
   }
 };
 
@@ -82,22 +91,24 @@ class WorkerPool {
 
   /// Tries to run `job` on the pool. Returns false when the pool is
   /// occupied by another caller (caller should spawn its own threads).
-  bool TryRun(Job& job) {
-    std::unique_lock<std::mutex> caller(caller_mutex_, std::try_to_lock);
-    if (!caller.owns_lock()) return false;
+  bool TryRun(Job& job) DMVI_EXCLUDES(caller_mutex_, mutex_) {
+    if (!caller_mutex_.TryLock()) return false;
 
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      EnsureThreads(job.num_slots);
+      MutexLock lock(&mutex_);
+      EnsureThreadsLocked(job.num_slots);
       job_ = &job;
       active_workers_ = job.num_slots;
       ++generation_;
     }
-    work_ready_.notify_all();
+    work_ready_.SignalAll();
 
-    std::unique_lock<std::mutex> lock(mutex_);
-    work_done_.wait(lock, [this] { return active_workers_ == 0; });
-    job_ = nullptr;
+    {
+      MutexLock lock(&mutex_);
+      while (active_workers_ != 0) work_done_.Wait(&mutex_);
+      job_ = nullptr;
+    }
+    caller_mutex_.Unlock();
     return true;
   }
 
@@ -109,8 +120,7 @@ class WorkerPool {
   // pool at exit is benign (the OS reclaims the threads).
   ~WorkerPool() = delete;
 
-  // Requires mutex_ held.
-  void EnsureThreads(int wanted) {
+  void EnsureThreadsLocked(int wanted) DMVI_REQUIRES(mutex_) {
     while (static_cast<int>(threads_.size()) < wanted) {
       const int slot = static_cast<int>(threads_.size());
       threads_.emplace_back([this, slot] { WorkerLoop(slot); });
@@ -118,14 +128,14 @@ class WorkerPool {
     }
   }
 
-  void WorkerLoop(int slot) {
+  void WorkerLoop(int slot) DMVI_EXCLUDES(mutex_) {
     t_inside_parallel_worker = true;
     uint64_t seen_generation = 0;
     while (true) {
       Job* job = nullptr;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        work_ready_.wait(lock, [&] { return generation_ != seen_generation; });
+        MutexLock lock(&mutex_);
+        while (generation_ == seen_generation) work_ready_.Wait(&mutex_);
         seen_generation = generation_;
         // Threads beyond the job's slot count sit this round out but must
         // still acknowledge it so active_workers_ reaches zero.
@@ -133,22 +143,23 @@ class WorkerPool {
       }
       if (job != nullptr) job->RunSlot(slot);
       {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (job != nullptr && --active_workers_ == 0) work_done_.notify_all();
+        MutexLock lock(&mutex_);
+        if (job != nullptr && --active_workers_ == 0) work_done_.SignalAll();
       }
     }
   }
 
-  /// Serializes callers: at most one job occupies the pool.
-  std::mutex caller_mutex_;
+  /// Serializes callers: at most one job occupies the pool. Always taken
+  /// before mutex_ (TryRun is the only acquirer of both).
+  Mutex caller_mutex_ DMVI_ACQUIRED_BEFORE(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
-  std::vector<std::thread> threads_;
-  Job* job_ = nullptr;
-  int active_workers_ = 0;
-  uint64_t generation_ = 0;
+  Mutex mutex_;
+  CondVar work_ready_;
+  CondVar work_done_;
+  std::vector<std::thread> threads_ DMVI_GUARDED_BY(mutex_);
+  Job* job_ DMVI_GUARDED_BY(mutex_) = nullptr;
+  int active_workers_ DMVI_GUARDED_BY(mutex_) = 0;
+  uint64_t generation_ DMVI_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace
@@ -186,7 +197,9 @@ void ParallelForWithSlot(int n, int num_threads,
   if (t_inside_parallel_worker || !WorkerPool::Instance().TryRun(job)) {
     RunWithSpawnedThreads(job);
   }
-  if (job.first_error) std::rethrow_exception(job.first_error);
+  if (std::exception_ptr error = job.TakeError()) {
+    std::rethrow_exception(error);
+  }
 }
 
 void ParallelFor(int n, int num_threads, const std::function<void(int)>& f) {

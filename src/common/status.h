@@ -23,7 +23,10 @@ enum class StatusCode {
 };
 
 /// Lightweight Status in the style of absl::Status / arrow::Status.
-class Status {
+/// [[nodiscard]] on the class makes every function returning a Status
+/// warn when the result is silently dropped — callers must check, return,
+/// or explicitly discard with a (void) cast.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -65,7 +68,7 @@ class Status {
 
 /// Value-or-error result, in the style of absl::StatusOr.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Implicit conversions mirror absl::StatusOr ergonomics.
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT

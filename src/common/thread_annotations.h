@@ -1,0 +1,84 @@
+#ifndef DEEPMVI_COMMON_THREAD_ANNOTATIONS_H_
+#define DEEPMVI_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attributes (no-ops on other compilers).
+///
+/// These macros declare the lock discipline of a class in its header so
+/// `clang -Wthread-safety -Werror` (the CI `thread-safety` job) proves at
+/// compile time that every access to a guarded field happens with the
+/// right mutex held. Conventions in this repo:
+///
+///   - every mutex is a `common::Mutex` (see common/mutex.h) — the raw
+///     std primitives are banned outside the wrapper by tools/dmvi_lint;
+///   - every field a mutex protects is annotated
+///     `DMVI_GUARDED_BY(mu_)`;
+///   - private helpers that assume the lock is already held are named
+///     `*Locked()` and annotated `DMVI_REQUIRES(mu_)`;
+///   - public entry points that must not be called with the lock held
+///     (they take it themselves) may add `DMVI_EXCLUDES(mu_)` where a
+///     re-entrant call is a plausible bug.
+///
+/// The spelling mirrors the macro layer used by absel/LLVM so the
+/// annotations read familiarly; only the DMVI_ prefix is ours.
+#if defined(__clang__)
+#define DMVI_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DMVI_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Declares a type to be a lockable capability ("mutex" in diagnostics).
+#define DMVI_CAPABILITY(x) DMVI_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type whose lifetime acquires/releases a capability.
+#define DMVI_SCOPED_CAPABILITY DMVI_THREAD_ANNOTATION(scoped_lockable)
+
+/// The annotated field may only be read or written with `x` held.
+#define DMVI_GUARDED_BY(x) DMVI_THREAD_ANNOTATION(guarded_by(x))
+
+/// The annotated pointer field's pointee is protected by `x` (the pointer
+/// itself is not).
+#define DMVI_PT_GUARDED_BY(x) DMVI_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The annotated function must be called with the listed capabilities
+/// held (and does not release them).
+#define DMVI_REQUIRES(...) \
+  DMVI_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The annotated function must be called *without* the listed
+/// capabilities held (it acquires them itself; calling with them held
+/// would self-deadlock).
+#define DMVI_EXCLUDES(...) \
+  DMVI_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The annotated function acquires the capability and holds it on return.
+#define DMVI_ACQUIRE(...) \
+  DMVI_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The annotated function releases a held capability.
+#define DMVI_RELEASE(...) \
+  DMVI_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The annotated function tries to acquire the capability; holds it on
+/// return iff the return value equals `b`.
+#define DMVI_TRY_ACQUIRE(b, ...) \
+  DMVI_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Lock-ordering declaration: this mutex must be acquired after / before
+/// the listed ones (clang checks declared orders for inversions).
+#define DMVI_ACQUIRED_AFTER(...) \
+  DMVI_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define DMVI_ACQUIRED_BEFORE(...) \
+  DMVI_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/// The annotated function returns a reference to the given capability
+/// (accessor for a member mutex).
+#define DMVI_RETURN_CAPABILITY(x) \
+  DMVI_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for functions whose locking is deliberately invisible to
+/// the analysis (condition-variable internals, test shims). Use sparingly
+/// and say why at the site.
+#define DMVI_NO_THREAD_SAFETY_ANALYSIS \
+  DMVI_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // DEEPMVI_COMMON_THREAD_ANNOTATIONS_H_

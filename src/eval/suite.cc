@@ -5,9 +5,9 @@
 #include <cstdio>
 #include <exception>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 
+#include "common/mutex.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
 
@@ -101,7 +101,7 @@ SuiteResult RunSuite(const SuiteSpec& spec) {
   suite.threads_used = EffectiveThreads(total, spec.threads);
   suite.git_commit = BuildGitCommit();
 
-  std::mutex progress_mutex;
+  Mutex progress_mutex;
   int done = 0;
 
   Stopwatch watch;
@@ -125,7 +125,7 @@ SuiteResult RunSuite(const SuiteSpec& spec) {
       cell.error = e.what();
     }
     if (spec.progress) {
-      std::lock_guard<std::mutex> lock(progress_mutex);
+      MutexLock lock(&progress_mutex);
       spec.progress(++done, total);
     }
   });

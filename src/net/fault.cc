@@ -11,8 +11,8 @@ namespace net {
 FaultInjector::FaultInjector(Config config)
     : config_(std::move(config)), rng_(config_.seed) {}
 
-FaultInjector::Decision FaultInjector::Next(const FaultProfile& profile,
-                                            size_t requested) {
+FaultInjector::Decision FaultInjector::NextLocked(
+    const FaultProfile& profile, size_t requested) {
   // One Uniform() draw per op keeps the schedule stable when rates are
   // tuned: the same seed visits the same decision points.
   const double u = rng_.Uniform();
@@ -36,17 +36,17 @@ FaultInjector::Decision FaultInjector::Next(const FaultProfile& profile,
 }
 
 FaultInjector::Decision FaultInjector::NextRead(size_t requested) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return Next(config_.read, requested);
+  MutexLock lock(&mutex_);
+  return NextLocked(config_.read, requested);
 }
 
 FaultInjector::Decision FaultInjector::NextWrite(size_t requested) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return Next(config_.write, requested);
+  MutexLock lock(&mutex_);
+  return NextLocked(config_.write, requested);
 }
 
 int64_t FaultInjector::injected() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return injected_;
 }
 

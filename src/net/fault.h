@@ -5,9 +5,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 
 namespace deepmvi {
 namespace net {
@@ -56,12 +57,13 @@ class FaultInjector {
   int64_t injected() const;
 
  private:
-  Decision Next(const FaultProfile& profile, size_t requested);
+  Decision NextLocked(const FaultProfile& profile, size_t requested)
+      DMVI_REQUIRES(mutex_);
 
   const Config config_;
-  mutable std::mutex mutex_;
-  Rng rng_;
-  int64_t injected_ = 0;
+  mutable Mutex mutex_;
+  Rng rng_ DMVI_GUARDED_BY(mutex_);
+  int64_t injected_ DMVI_GUARDED_BY(mutex_) = 0;
 };
 
 /// recv(2)/send(2) through the injector; a null injector is the plain

@@ -163,12 +163,11 @@ void HttpServer::AcceptLoop() {
   for (;;) {
     {
       // Backpressure: hold off accepting while the pending queue is full.
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      backpressure_cv_.wait(lock, [this] {
-        return stopping_ ||
-               static_cast<int>(pending_.size()) <
-                   config_.max_pending_connections;
-      });
+      MutexLock lock(&queue_mutex_);
+      while (!stopping_ && static_cast<int>(pending_.size()) >=
+                               config_.max_pending_connections) {
+        backpressure_cv_.Wait(&queue_mutex_);
+      }
       if (stopping_) return;
     }
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
@@ -178,14 +177,14 @@ void HttpServer::AcceptLoop() {
       return;  // Listen socket closed or broken: accepting is over.
     }
     {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
+      MutexLock lock(&queue_mutex_);
       if (stopping_) {
         ::close(fd);
         return;
       }
       pending_.push_back(fd);
     }
-    queue_cv_.notify_one();
+    queue_cv_.Signal();
   }
 }
 
@@ -193,13 +192,13 @@ void HttpServer::WorkerLoop() {
   for (;;) {
     int fd = -1;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      MutexLock lock(&queue_mutex_);
+      while (!stopping_ && pending_.empty()) queue_cv_.Wait(&queue_mutex_);
       if (pending_.empty()) return;  // stopping_ and nothing left to serve.
       fd = pending_.front();
       pending_.pop_front();
     }
-    backpressure_cv_.notify_one();
+    backpressure_cv_.Signal();
     try {
       ServeConnection(fd);
     } catch (const std::exception&) {
@@ -210,7 +209,7 @@ void HttpServer::WorkerLoop() {
 }
 
 int HttpServer::pending_connections() const {
-  std::lock_guard<std::mutex> lock(queue_mutex_);
+  MutexLock lock(&queue_mutex_);
   return static_cast<int>(pending_.size());
 }
 
@@ -402,13 +401,18 @@ void HttpServer::Stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  queue_cv_.notify_all();
-  backpressure_cv_.notify_all();
+  queue_cv_.SignalAll();
+  backpressure_cv_.SignalAll();
   if (accept_thread_.joinable()) accept_thread_.join();
   if (pool_thread_.joinable()) pool_thread_.join();
-  // Connections that were accepted but never claimed by a worker.
-  for (const int fd : pending_) ::close(fd);
-  pending_.clear();
+  // Connections that were accepted but never claimed by a worker. Every
+  // other thread has been joined, but take the lock anyway: it is cheap,
+  // uncontended, and keeps the guarded-field discipline uniform.
+  {
+    MutexLock lock(&queue_mutex_);
+    for (const int fd : pending_) ::close(fd);
+    pending_.clear();
+  }
   running_ = false;
 }
 

@@ -2,18 +2,18 @@
 #define DEEPMVI_NET_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "net/fault.h"
 #include "net/http.h"
 #include "obs/metrics.h"
@@ -109,8 +109,8 @@ class HttpServer {
   int pending_connections() const;
 
  private:
-  void AcceptLoop();
-  void WorkerLoop();
+  void AcceptLoop() DMVI_EXCLUDES(queue_mutex_);
+  void WorkerLoop() DMVI_EXCLUDES(queue_mutex_);
   /// Serves one connection until close/error/timeout/shutdown.
   void ServeConnection(int fd);
   /// Routes one parsed request (exact match, 404/405/500 fallbacks).
@@ -139,10 +139,11 @@ class HttpServer {
   std::thread accept_thread_;
   std::thread pool_thread_;  // Runs the ParallelFor worker region.
 
-  mutable std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;       // Workers wait for connections.
-  std::condition_variable backpressure_cv_;  // Accept loop waits for space.
-  std::deque<int> pending_;                // Accepted fds awaiting a worker.
+  mutable Mutex queue_mutex_;
+  CondVar queue_cv_;         // Workers wait for connections.
+  CondVar backpressure_cv_;  // Accept loop waits for space.
+  // Accepted fds awaiting a worker.
+  std::deque<int> pending_ DMVI_GUARDED_BY(queue_mutex_);
 };
 
 /// Splits "host:port" (host may be empty for "0.0.0.0"); InvalidArgument

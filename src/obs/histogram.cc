@@ -50,7 +50,7 @@ int Histogram::BucketIndex(double value) {
 void Histogram::Observe(double value) {
   if (std::isnan(value)) value = 0.0;
   const int bucket = BucketIndex(value);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   ++counts_[static_cast<size_t>(bucket)];
   if (count_ == 0) {
     min_ = max_ = value;
@@ -63,7 +63,7 @@ void Histogram::Observe(double value) {
 }
 
 void Histogram::Merge(const HistogramSnapshot& other) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   DMVI_CHECK_EQ(static_cast<int>(other.counts.size()), kNumBounds + 1);
   for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts[i];
   if (other.count > 0) {
@@ -80,7 +80,7 @@ void Histogram::Merge(const HistogramSnapshot& other) {
 }
 
 HistogramSnapshot Histogram::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   HistogramSnapshot snap;
   snap.counts = counts_;
   snap.count = count_;
@@ -91,7 +91,7 @@ HistogramSnapshot Histogram::Snapshot() const {
 }
 
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;
   sum_ = 0.0;

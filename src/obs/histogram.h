@@ -2,8 +2,10 @@
 #define DEEPMVI_OBS_HISTOGRAM_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace deepmvi {
 namespace obs {
@@ -56,12 +58,13 @@ class Histogram {
   void Reset();
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<int64_t> counts_ = std::vector<int64_t>(kNumBounds + 1, 0);
-  int64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  mutable Mutex mutex_;
+  std::vector<int64_t> counts_ DMVI_GUARDED_BY(mutex_) =
+      std::vector<int64_t>(kNumBounds + 1, 0);
+  int64_t count_ DMVI_GUARDED_BY(mutex_) = 0;
+  double sum_ DMVI_GUARDED_BY(mutex_) = 0.0;
+  double min_ DMVI_GUARDED_BY(mutex_) = 0.0;
+  double max_ DMVI_GUARDED_BY(mutex_) = 0.0;
 };
 
 }  // namespace obs

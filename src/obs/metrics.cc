@@ -21,10 +21,8 @@ std::string FormatNumber(double value) {
 
 }  // namespace
 
-MetricsRegistry::Entry& MetricsRegistry::EntryNamed(const std::string& name,
-                                                    const std::string& help,
-                                                    Kind kind) {
-  // Caller holds mutex_.
+MetricsRegistry::Entry& MetricsRegistry::EntryNamedLocked(
+    const std::string& name, const std::string& help, Kind kind) {
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     Entry entry;
@@ -50,24 +48,24 @@ MetricsRegistry::Entry& MetricsRegistry::EntryNamed(const std::string& name,
 
 Counter* MetricsRegistry::CounterNamed(const std::string& name,
                                        const std::string& help) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return EntryNamed(name, help, Kind::kCounter).counter.get();
+  MutexLock lock(&mutex_);
+  return EntryNamedLocked(name, help, Kind::kCounter).counter.get();
 }
 
 Gauge* MetricsRegistry::GaugeNamed(const std::string& name,
                                    const std::string& help) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return EntryNamed(name, help, Kind::kGauge).gauge.get();
+  MutexLock lock(&mutex_);
+  return EntryNamedLocked(name, help, Kind::kGauge).gauge.get();
 }
 
 Histogram* MetricsRegistry::HistogramNamed(const std::string& name,
                                            const std::string& help) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return EntryNamed(name, help, Kind::kHistogram).histogram.get();
+  MutexLock lock(&mutex_);
+  return EntryNamedLocked(name, help, Kind::kHistogram).histogram.get();
 }
 
 std::string MetricsRegistry::PrometheusText() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::ostringstream os;
   // std::map iteration is already name-sorted — stable exposition order.
   for (const auto& [name, entry] : entries_) {

@@ -8,6 +8,8 @@
 #include <ostream>
 #include <string>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/histogram.h"
 
 namespace deepmvi {
@@ -69,11 +71,11 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  Entry& EntryNamed(const std::string& name, const std::string& help,
-                    Kind kind);
+  Entry& EntryNamedLocked(const std::string& name, const std::string& help,
+                          Kind kind) DMVI_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;
+  mutable Mutex mutex_;
+  std::map<std::string, Entry> entries_ DMVI_GUARDED_BY(mutex_);
 };
 
 /// Exposition building blocks, shared with renderers that carry their

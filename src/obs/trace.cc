@@ -69,7 +69,7 @@ std::string Micros(double seconds) {
 }  // namespace
 
 void CollectingTraceSink::Record(SpanRecord record) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (records_.size() >= capacity_) {
     ++dropped_;
     return;
@@ -78,12 +78,12 @@ void CollectingTraceSink::Record(SpanRecord record) {
 }
 
 std::vector<SpanRecord> CollectingTraceSink::records() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return records_;
 }
 
 int64_t CollectingTraceSink::dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return dropped_;
 }
 

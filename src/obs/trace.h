@@ -3,13 +3,14 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 
 namespace deepmvi {
 namespace obs {
@@ -61,9 +62,9 @@ class CollectingTraceSink : public TraceSink {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::vector<SpanRecord> records_;
-  int64_t dropped_ = 0;
+  mutable Mutex mutex_;
+  std::vector<SpanRecord> records_ DMVI_GUARDED_BY(mutex_);
+  int64_t dropped_ DMVI_GUARDED_BY(mutex_) = 0;
 };
 
 /// How deep the instrumentation reaches. kRequest covers the serving and

@@ -14,7 +14,7 @@ Status ModelRegistry::Register(const std::string& name, TrainedDeepMvi model) {
                                       name + "'");
   }
   auto holder = std::make_shared<const TrainedDeepMvi>(std::move(model));
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = models_.find(name);
   if (it != models_.end()) {
     retired_.push_back(std::move(it->second));
@@ -33,13 +33,13 @@ Status ModelRegistry::LoadFromFile(const std::string& name,
 }
 
 const TrainedDeepMvi* ModelRegistry::Get(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = models_.find(name);
   return it == models_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::string> ModelRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<std::string> names;
   names.reserve(models_.size());
   for (const auto& [name, model] : models_) names.push_back(name);
@@ -47,7 +47,7 @@ std::vector<std::string> ModelRegistry::Names() const {
 }
 
 int64_t ModelRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return static_cast<int64_t>(models_.size());
 }
 

@@ -3,11 +3,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/trained_deepmvi.h"
 
 namespace deepmvi {
@@ -43,10 +44,12 @@ class ModelRegistry {
   int64_t size() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<const TrainedDeepMvi>> models_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::shared_ptr<const TrainedDeepMvi>> models_
+      DMVI_GUARDED_BY(mutex_);
   /// Retired generations parked so outstanding raw pointers stay valid.
-  std::vector<std::shared_ptr<const TrainedDeepMvi>> retired_;
+  std::vector<std::shared_ptr<const TrainedDeepMvi>> retired_
+      DMVI_GUARDED_BY(mutex_);
 };
 
 }  // namespace serve

@@ -12,7 +12,7 @@ ResponseCache::ResponsePtr ResponseCache::Get(const void* model,
                                               uint64_t data_fingerprint,
                                               uint64_t mask_fingerprint) {
   const Key key{model, data_fingerprint, mask_fingerprint};
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
@@ -32,16 +32,16 @@ void ResponseCache::Put(const void* model, uint64_t data_fingerprint,
           static_cast<int64_t>(sizeof(double));
   if (bytes > byte_budget_) return;  // Never retain a budget-buster.
   auto holder = std::make_shared<const CachedResponse>(std::move(response));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (entries_.find(key) != entries_.end()) return;  // First insert wins.
-  EvictToFit(bytes);
+  EvictToFitLocked(bytes);
   lru_.push_front(key);
   entries_.emplace(key, Entry{std::move(holder), bytes, lru_.begin()});
   stats_.bytes_cached += bytes;
   stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.bytes_cached);
 }
 
-void ResponseCache::EvictToFit(int64_t incoming_bytes) {
+void ResponseCache::EvictToFitLocked(int64_t incoming_bytes) {
   while (!lru_.empty() && stats_.bytes_cached + incoming_bytes > byte_budget_) {
     const Key& victim = lru_.back();
     const auto it = entries_.find(victim);
@@ -53,12 +53,12 @@ void ResponseCache::EvictToFit(int64_t incoming_bytes) {
 }
 
 ResponseCache::Stats ResponseCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 void ResponseCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entries_.clear();
   lru_.clear();
   stats_.bytes_cached = 0;

@@ -4,10 +4,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "tensor/data_tensor.h"
 #include "tensor/mask.h"
 
@@ -96,14 +97,13 @@ class ResponseCache {
     std::list<Key>::iterator lru_it;
   };
 
-  // Requires mu_ held.
-  void EvictToFit(int64_t incoming_bytes);
+  void EvictToFitLocked(int64_t incoming_bytes) DMVI_REQUIRES(mu_);
 
   const int64_t byte_budget_;
-  mutable std::mutex mu_;
-  std::unordered_map<Key, Entry, KeyHash> entries_;
-  std::list<Key> lru_;  // Front = most recent.
-  Stats stats_;
+  mutable Mutex mu_;
+  std::unordered_map<Key, Entry, KeyHash> entries_ DMVI_GUARDED_BY(mu_);
+  std::list<Key> lru_ DMVI_GUARDED_BY(mu_);  // Front = most recent.
+  Stats stats_ DMVI_GUARDED_BY(mu_);
 };
 
 /// FNV-1a 64 fingerprints of the raw cell bytes, shared by the service's

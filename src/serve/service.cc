@@ -163,13 +163,13 @@ ImputationResponse ImputationService::Process(const ImputationRequest& request,
 uint64_t ImputationService::MemoizedDataFingerprint(
     const std::shared_ptr<const DataTensor>& data) {
   {
-    std::lock_guard<std::mutex> lock(fingerprint_mutex_);
+    MutexLock lock(&fingerprint_mutex_);
     // lock() proves the memoized dataset is still alive, so its address
     // cannot have been recycled for a different tensor.
     if (fingerprinted_data_.lock() == data) return fingerprint_value_;
   }
   const uint64_t fingerprint = FingerprintData(*data);
-  std::lock_guard<std::mutex> lock(fingerprint_mutex_);
+  MutexLock lock(&fingerprint_mutex_);
   fingerprinted_data_ = data;
   fingerprint_value_ = fingerprint;
   return fingerprint;
@@ -205,12 +205,12 @@ std::vector<ImputationResponse> ImputationService::ImputeBatch(
 }
 
 int ImputationService::queue_depth() const {
-  std::lock_guard<std::mutex> lock(queue_mutex_);
+  MutexLock lock(&queue_mutex_);
   return static_cast<int>(queue_.size());
 }
 
 void ImputationService::SetPressureProbe(std::function<int()> probe) {
-  std::lock_guard<std::mutex> lock(queue_mutex_);
+  MutexLock lock(&queue_mutex_);
   pressure_probe_ = std::move(probe);
 }
 
@@ -218,7 +218,7 @@ int ImputationService::PressureDepth() const {
   std::function<int()> probe;
   int depth = 0;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(&queue_mutex_);
     depth = static_cast<int>(queue_.size());
     probe = pressure_probe_;
   }
@@ -265,18 +265,17 @@ std::future<ImputationResponse> ImputationService::Submit(
     pending.submitted_at = config_.tracer->Now();
   }
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(&queue_mutex_);
     DMVI_CHECK(!stop_) << "Submit after Shutdown";
     queue_.push_back(std::move(pending));
-    EnsureDispatcher();
+    EnsureDispatcherLocked();
   }
-  queue_cv_.notify_all();
+  queue_cv_.SignalAll();
   return future;
 }
 
-void ImputationService::EnsureDispatcher() {
-  // Caller holds queue_mutex_. Lazy start keeps purely synchronous users
-  // thread-free.
+void ImputationService::EnsureDispatcherLocked() {
+  // Lazy start keeps purely synchronous users thread-free.
   if (dispatcher_started_) return;
   dispatcher_started_ = true;
   dispatcher_ = std::thread([this] { DispatchLoop(); });
@@ -320,8 +319,10 @@ void ImputationService::DispatchLoop() {
   for (;;) {
     std::vector<PendingRequest> batch;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&queue_mutex_);
+      // Explicit wait loops (rather than predicate overloads) so the
+      // thread-safety analysis sees the lock across the whole condition.
+      while (!stop_ && queue_.empty()) queue_cv_.Wait(&queue_mutex_);
       if (queue_.empty() && stop_) return;
       Stopwatch assemble_watch;
 
@@ -330,13 +331,15 @@ void ImputationService::DispatchLoop() {
       // full or the service is draining).
       if (config_.batch_linger_ms > 0.0 && !stop_ &&
           static_cast<int>(queue_.size()) < config_.max_batch_size) {
-        queue_cv_.wait_for(
-            lock,
-            std::chrono::duration<double, std::milli>(config_.batch_linger_ms),
-            [this] {
-              return stop_ ||
-                     static_cast<int>(queue_.size()) >= config_.max_batch_size;
-            });
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double, std::milli>(
+                    config_.batch_linger_ms));
+        while (!stop_ &&
+               static_cast<int>(queue_.size()) < config_.max_batch_size) {
+          if (!queue_cv_.WaitUntil(&queue_mutex_, deadline)) break;
+        }
       }
 
       const int take = std::min<int>(static_cast<int>(queue_.size()),
@@ -354,12 +357,17 @@ void ImputationService::DispatchLoop() {
 }
 
 void ImputationService::Shutdown() {
+  // The thread handle is moved out under the lock (it is written by
+  // EnsureDispatcherLocked under the same lock) and joined outside it, so
+  // the join cannot deadlock against the dispatcher draining the queue.
+  std::thread dispatcher;
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(&queue_mutex_);
     stop_ = true;
+    dispatcher = std::move(dispatcher_);
   }
-  queue_cv_.notify_all();
-  if (dispatcher_.joinable()) dispatcher_.join();
+  queue_cv_.SignalAll();
+  if (dispatcher.joinable()) dispatcher.join();
 }
 
 }  // namespace serve

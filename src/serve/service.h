@@ -1,17 +1,17 @@
 #ifndef DEEPMVI_SERVE_SERVICE_H_
 #define DEEPMVI_SERVE_SERVICE_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/registry.h"
@@ -199,8 +199,8 @@ class ImputationService {
   /// Runs `batch` through ParallelFor, fulfilling promises per slot.
   void RunBatch(std::vector<PendingRequest>& batch);
 
-  void DispatchLoop();
-  void EnsureDispatcher();
+  void DispatchLoop() DMVI_EXCLUDES(queue_mutex_);
+  void EnsureDispatcherLocked() DMVI_REQUIRES(queue_mutex_);
 
   const ServiceConfig config_;
   ModelRegistry registry_;
@@ -213,17 +213,18 @@ class ImputationService {
   obs::Histogram* stage_cache_probe_ = nullptr;
   obs::Histogram* stage_fallback_ = nullptr;
   std::unique_ptr<ResponseCache> cache_;  // Null when cache_mb is 0.
-  std::mutex fingerprint_mutex_;
-  std::weak_ptr<const DataTensor> fingerprinted_data_;
-  uint64_t fingerprint_value_ = 0;
+  Mutex fingerprint_mutex_;
+  std::weak_ptr<const DataTensor> fingerprinted_data_
+      DMVI_GUARDED_BY(fingerprint_mutex_);
+  uint64_t fingerprint_value_ DMVI_GUARDED_BY(fingerprint_mutex_) = 0;
 
-  mutable std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::function<int()> pressure_probe_;
-  std::deque<PendingRequest> queue_;
-  std::thread dispatcher_;
-  bool dispatcher_started_ = false;
-  bool stop_ = false;
+  mutable Mutex queue_mutex_;
+  CondVar queue_cv_;
+  std::function<int()> pressure_probe_ DMVI_GUARDED_BY(queue_mutex_);
+  std::deque<PendingRequest> queue_ DMVI_GUARDED_BY(queue_mutex_);
+  std::thread dispatcher_ DMVI_GUARDED_BY(queue_mutex_);
+  bool dispatcher_started_ DMVI_GUARDED_BY(queue_mutex_) = false;
+  bool stop_ DMVI_GUARDED_BY(queue_mutex_) = false;
 };
 
 }  // namespace serve

@@ -10,7 +10,7 @@
 namespace deepmvi {
 namespace serve {
 
-void Telemetry::TouchClock() {
+void Telemetry::TouchClockLocked() {
   if (clock_started_) return;
   clock_started_ = true;
   since_start_.Reset();
@@ -18,8 +18,8 @@ void Telemetry::TouchClock() {
 
 void Telemetry::RecordRequest(double latency_seconds, int64_t rows,
                               int64_t cells, bool ok) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  TouchClock();
+  MutexLock lock(&mutex_);
+  TouchClockLocked();
   ++requests_;
   if (!ok) ++failures_;
   rows_served_ += rows;
@@ -44,27 +44,27 @@ void Telemetry::RecordRequest(double latency_seconds, int64_t rows,
 }
 
 void Telemetry::RecordDegraded() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  TouchClock();
+  MutexLock lock(&mutex_);
+  TouchClockLocked();
   ++degraded_;
 }
 
 void Telemetry::RecordShed() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  TouchClock();
+  MutexLock lock(&mutex_);
+  TouchClockLocked();
   ++shed_;
 }
 
 void Telemetry::RecordBatch(int size) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  TouchClock();
+  MutexLock lock(&mutex_);
+  TouchClockLocked();
   ++batches_;
   batched_requests_ += size;
 }
 
 void Telemetry::RecordCacheLookup(bool hit) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  TouchClock();
+  MutexLock lock(&mutex_);
+  TouchClockLocked();
   if (hit) {
     ++cache_hits_;
   } else {
@@ -73,7 +73,7 @@ void Telemetry::RecordCacheLookup(bool hit) {
 }
 
 TelemetrySnapshot Telemetry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   TelemetrySnapshot snap;
   snap.requests = requests_;
   snap.failures = failures_;
@@ -115,7 +115,7 @@ TelemetrySnapshot Telemetry::Snapshot() const {
 }
 
 void Telemetry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   requests_ = 0;
   failures_ = 0;
   degraded_ = 0;

@@ -2,12 +2,13 @@
 #define DEEPMVI_SERVE_TELEMETRY_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 #include "obs/histogram.h"
 
 namespace deepmvi {
@@ -87,27 +88,31 @@ class Telemetry {
   void Reset();
 
  private:
-  /// Starts the lazy wall clock on the first event. Caller holds mutex_.
-  void TouchClock();
+  /// Starts the lazy wall clock on the first event.
+  void TouchClockLocked() DMVI_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  Stopwatch since_start_;
-  bool clock_started_ = false;
-  int64_t requests_ = 0;
-  int64_t failures_ = 0;
-  int64_t degraded_ = 0;
-  int64_t shed_ = 0;
-  int64_t batches_ = 0;
-  int64_t batched_requests_ = 0;
-  int64_t rows_served_ = 0;
-  int64_t cells_imputed_ = 0;
-  int64_t cache_hits_ = 0;
-  int64_t cache_misses_ = 0;
-  double busy_seconds_ = 0.0;
-  double latency_max_seconds_ = 0.0;
+  mutable Mutex mutex_;
+  Stopwatch since_start_ DMVI_GUARDED_BY(mutex_);
+  bool clock_started_ DMVI_GUARDED_BY(mutex_) = false;
+  int64_t requests_ DMVI_GUARDED_BY(mutex_) = 0;
+  int64_t failures_ DMVI_GUARDED_BY(mutex_) = 0;
+  int64_t degraded_ DMVI_GUARDED_BY(mutex_) = 0;
+  int64_t shed_ DMVI_GUARDED_BY(mutex_) = 0;
+  int64_t batches_ DMVI_GUARDED_BY(mutex_) = 0;
+  int64_t batched_requests_ DMVI_GUARDED_BY(mutex_) = 0;
+  int64_t rows_served_ DMVI_GUARDED_BY(mutex_) = 0;
+  int64_t cells_imputed_ DMVI_GUARDED_BY(mutex_) = 0;
+  int64_t cache_hits_ DMVI_GUARDED_BY(mutex_) = 0;
+  int64_t cache_misses_ DMVI_GUARDED_BY(mutex_) = 0;
+  double busy_seconds_ DMVI_GUARDED_BY(mutex_) = 0.0;
+  double latency_max_seconds_ DMVI_GUARDED_BY(mutex_) = 0.0;
+  /// The histogram is itself thread-safe, but every write rides the same
+  /// critical section as the exact counters so a Snapshot is one
+  /// consistent cut across all of them.
   obs::Histogram latency_histogram_;
-  Rng reservoir_rng_{0x7e1e  /* fixed: telemetry needs no seeding API */};
-  std::vector<double> latency_reservoir_;
+  Rng reservoir_rng_ DMVI_GUARDED_BY(mutex_){
+      0x7e1e /* fixed: telemetry needs no seeding API */};
+  std::vector<double> latency_reservoir_ DMVI_GUARDED_BY(mutex_);
 };
 
 /// Linear-interpolated percentile (q in [0, 1]) of `sorted` ascending

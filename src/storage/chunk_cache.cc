@@ -9,7 +9,7 @@ namespace storage {
 StatusOr<ChunkCache::ChunkPtr> ChunkCache::GetOrLoad(int64_t key,
                                                      const Loader& loader) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
@@ -26,7 +26,7 @@ StatusOr<ChunkCache::ChunkPtr> ChunkCache::GetOrLoad(int64_t key,
       static_cast<int64_t>(loaded->size()) * static_cast<int64_t>(sizeof(double));
   auto chunk = std::make_shared<const Matrix>(std::move(loaded).value());
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     // A racing loader inserted first; use its copy and drop ours.
@@ -38,7 +38,7 @@ StatusOr<ChunkCache::ChunkPtr> ChunkCache::GetOrLoad(int64_t key,
     // so bytes_cached_ can't exceed the budget.
     return ChunkPtr(chunk);
   }
-  EvictToFit(bytes);
+  EvictToFitLocked(bytes);
   lru_.push_front(key);
   entries_[key] = Entry{chunk, bytes, lru_.begin()};
   stats_.bytes_cached += bytes;
@@ -46,7 +46,7 @@ StatusOr<ChunkCache::ChunkPtr> ChunkCache::GetOrLoad(int64_t key,
   return ChunkPtr(chunk);
 }
 
-void ChunkCache::EvictToFit(int64_t incoming_bytes) {
+void ChunkCache::EvictToFitLocked(int64_t incoming_bytes) {
   while (!lru_.empty() && stats_.bytes_cached + incoming_bytes > byte_budget_) {
     const int64_t victim = lru_.back();
     lru_.pop_back();
@@ -58,12 +58,12 @@ void ChunkCache::EvictToFit(int64_t incoming_bytes) {
 }
 
 ChunkCache::Stats ChunkCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 void ChunkCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   stats_.evictions += static_cast<int64_t>(entries_.size());
   entries_.clear();
   lru_.clear();

@@ -5,10 +5,11 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "tensor/matrix.h"
 
 namespace deepmvi {
@@ -64,15 +65,14 @@ class ChunkCache {
     std::list<int64_t>::iterator lru_it;
   };
 
-  // Requires mu_ held. Evicts LRU entries until bytes_cached_ + incoming
-  // fits the budget.
-  void EvictToFit(int64_t incoming_bytes);
+  // Evicts LRU entries until bytes_cached_ + incoming fits the budget.
+  void EvictToFitLocked(int64_t incoming_bytes) DMVI_REQUIRES(mu_);
 
   const int64_t byte_budget_;
-  mutable std::mutex mu_;
-  std::unordered_map<int64_t, Entry> entries_;
-  std::list<int64_t> lru_;  // Front = most recent.
-  Stats stats_;
+  mutable Mutex mu_;
+  std::unordered_map<int64_t, Entry> entries_ DMVI_GUARDED_BY(mu_);
+  std::list<int64_t> lru_ DMVI_GUARDED_BY(mu_);  // Front = most recent.
+  Stats stats_ DMVI_GUARDED_BY(mu_);
 };
 
 }  // namespace storage

@@ -4,7 +4,6 @@
 #include <chrono>
 #include <cmath>
 #include <fstream>
-#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>

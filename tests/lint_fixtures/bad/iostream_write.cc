@@ -1,0 +1,8 @@
+// Golden fixture: process-stream writes from library code. Linted under a
+// src/ path these must trip the iostream rule; under tools/ they must not.
+#include <iostream>
+
+void BadReport(int value) {
+  std::cout << "value=" << value << "\n";
+  std::cerr << "oops\n";
+}

@@ -1,0 +1,7 @@
+// Golden fixture: upward include through the layer DAG. Linted as a
+// src/tensor/ file, both includes reach layers tensor must not see.
+#include "serve/service.h"
+#include "net/server.h"
+#include "common/status.h"
+
+int Fine() { return 0; }

@@ -1,0 +1,14 @@
+// Golden fixture: raw synchronization primitives. Every line below must
+// trip the sync-primitive rule when linted as library code.
+#include <mutex>
+#include <condition_variable>
+
+struct BadLocking {
+  void Touch() {
+    std::lock_guard<std::mutex> lock(mu);
+    ++value;
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  int value = 0;
+};

@@ -1,0 +1,9 @@
+// Golden fixture: raw randomness. Both the engine type and the libc call
+// must trip the raw-rng rule.
+#include <random>
+
+int BadRandom() {
+  std::mt19937 engine(42);
+  std::random_device device;
+  return static_cast<int>(engine()) + static_cast<int>(device()) + rand();
+}

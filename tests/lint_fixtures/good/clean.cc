@@ -1,0 +1,20 @@
+// Golden fixture: the approved idioms — wrapper mutex, seeded Rng,
+// structured logging, downward includes only. Must lint clean under any
+// src/ path that may include common/.
+#include "common/logging.h"
+#include "common/mutex.h"
+#include "common/rng.h"
+
+struct GoodLocking {
+  int Bump() {
+    deepmvi::MutexLock lock(&mu);
+    return ++value;
+  }
+  deepmvi::Mutex mu;
+  int value = 0;
+};
+
+double GoodRandom() {
+  deepmvi::Rng rng(1234);
+  return rng.Uniform();
+}

@@ -1,0 +1,9 @@
+// Golden fixture: the per-line exemption marker and comment stripping.
+// The banned include is waived by its marker; banned tokens inside
+// comments must never count. The whole file lints clean.
+#include <mutex>  // dmvi-lint: allow-sync-primitive
+
+/* A block comment mentioning std::mutex and rand() must never count. */
+// Neither must a line comment: std::condition_variable, std::cout.
+
+int Fine() { return 0; }

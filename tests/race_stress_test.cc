@@ -1,0 +1,383 @@
+// Deterministically-sized concurrency stress suite, built to run under
+// ThreadSanitizer (and -fsanitize=address) in CI: every test hammers one
+// contended path of the serving stack with a small, fixed workload and
+// asserts the aggregate outcome, so a pass means "no data races and no
+// lost updates" rather than "nothing crashed".
+//
+// Sizing: thin by default (CI budgets, and TSan costs ~10x). Set
+// DMVI_RACE_STRESS_ITERS=<multiplier> to scale every loop up for soak
+// runs (e.g. 20 for a minutes-long local hunt).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "core/deepmvi.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/service.h"
+#include "storage/chunk_cache.h"
+#include "testing/test_util.h"
+
+namespace deepmvi {
+namespace {
+
+using testutil::MakeSeasonalCase;
+using testutil::SeasonalCase;
+using testutil::TempPath;
+using testutil::TinyDeepMviConfig;
+
+using serve::ImputationRequest;
+using serve::ImputationResponse;
+using serve::ImputationService;
+using serve::ResponseCache;
+using serve::ServiceConfig;
+using serve::TelemetrySnapshot;
+
+/// Iteration multiplier from DMVI_RACE_STRESS_ITERS (default 1 = thin).
+int StressScale() {
+  static const int scale = [] {
+    const char* env = std::getenv("DMVI_RACE_STRESS_ITERS");
+    if (env == nullptr) return 1;
+    const int value = std::atoi(env);
+    return value > 0 ? value : 1;
+  }();
+  return scale;
+}
+
+/// One tiny trained model, fit once and parked as a checkpoint so tests
+/// can reload it cheaply (registry reloads deserialize instead of
+/// retraining).
+struct SharedModel {
+  SeasonalCase data_case;
+  std::string checkpoint_path;
+  std::shared_ptr<const DataTensor> data;
+};
+const SharedModel& GetSharedModel() {
+  static const SharedModel* shared = [] {
+    auto* out = new SharedModel{MakeSeasonalCase(31, 5, 120),
+                                TempPath("race_stress_model.dmvi"), nullptr};
+    DeepMviConfig config = TinyDeepMviConfig();
+    config.seed = 77;
+    DeepMviImputer imputer(config);
+    TrainedDeepMvi model = imputer.Fit(out->data_case.data,
+                                       out->data_case.mask);
+    Status saved = model.Save(out->checkpoint_path);
+    DMVI_CHECK(saved.ok()) << saved.ToString();
+    out->data = std::make_shared<DataTensor>(out->data_case.data);
+    return out;
+  }();
+  return *shared;
+}
+
+/// A handful of distinct masks (distinct cache fingerprints) so cache
+/// probes alternate between keys and a tiny budget actually evicts.
+std::vector<Mask> DistinctMasks(int count) {
+  const SharedModel& shared = GetSharedModel();
+  std::vector<Mask> masks;
+  for (int v = 0; v < count; ++v) {
+    Mask mask = shared.data_case.mask;
+    mask.SetMissingRange(v % mask.rows(), 10 + 5 * v, 14 + 5 * v);
+    masks.push_back(std::move(mask));
+  }
+  return masks;
+}
+
+// ---- Service: Submit vs. registry reload vs. cache eviction -----------------
+
+// The flagship scenario: request traffic, warm model reloads, and response
+// cache eviction all running at once — the production shape of a
+// deployment update under load. Every future must still resolve OK.
+TEST(RaceStressTest, SubmitDuringRegistryReloadAndCacheThrash) {
+  const SharedModel& shared = GetSharedModel();
+  ServiceConfig config;
+  config.max_batch_size = 4;
+  config.batch_linger_ms = 0.2;
+  config.threads = 2;
+  // Budget of a couple of responses: probes constantly evict.
+  config.cache_mb = 12.0 * 1024.0 / (1024.0 * 1024.0);
+  ImputationService service(config);
+  ASSERT_TRUE(
+      service.registry().LoadFromFile("m", shared.checkpoint_path).ok());
+
+  const std::vector<Mask> masks = DistinctMasks(6);
+  const int submits_per_thread = 25 * StressScale();
+  const int reloads = 15 * StressScale();
+  const int scrapes = 60 * StressScale();
+
+  std::vector<std::future<ImputationResponse>> futures[2];
+  std::atomic<bool> done{false};
+
+  std::thread submitters[2];
+  for (int t = 0; t < 2; ++t) {
+    submitters[t] = std::thread([&, t] {
+      for (int i = 0; i < submits_per_thread; ++i) {
+        ImputationRequest request;
+        request.model = "m";
+        request.data = shared.data;
+        request.mask = masks[(t * submits_per_thread + i) % masks.size()];
+        futures[t].push_back(service.Submit(std::move(request)));
+      }
+    });
+  }
+  // Warm reloads: each swaps in a freshly deserialized model while
+  // requests are in flight (old weights stay valid via retirement).
+  std::thread reloader([&] {
+    for (int i = 0; i < reloads; ++i) {
+      ASSERT_TRUE(
+          service.registry().LoadFromFile("m", shared.checkpoint_path).ok());
+    }
+  });
+  // Observability scrape riding the same locks as the hot path.
+  std::thread scraper([&] {
+    for (int i = 0; i < scrapes && !done.load(); ++i) {
+      TelemetrySnapshot snapshot = service.telemetry();
+      EXPECT_GE(snapshot.requests, 0);
+      (void)service.queue_depth();
+      (void)service.PressureDepth();
+      if (service.response_cache() != nullptr) {
+        ResponseCache::Stats stats = service.response_cache()->stats();
+        EXPECT_GE(stats.hits + stats.misses, 0);
+      }
+    }
+  });
+
+  for (auto& submitter : submitters) submitter.join();
+  reloader.join();
+  int64_t answered = 0;
+  for (auto& lane : futures) {
+    for (auto& future : lane) {
+      ImputationResponse response = future.get();
+      EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+      ++answered;
+    }
+  }
+  done = true;
+  scraper.join();
+  EXPECT_EQ(answered, 2 * submits_per_thread);
+  service.Shutdown();
+  EXPECT_EQ(service.telemetry().requests, 2 * submits_per_thread);
+}
+
+// Shutdown racing the dispatcher's lazy start: the dispatcher thread
+// handle is written by the first Submit and consumed by Shutdown; every
+// already-submitted future must still be drained. Regression shape for
+// the unlocked dispatcher_ read Shutdown used to do.
+TEST(RaceStressTest, ShutdownDrainsRacingSubmits) {
+  const SharedModel& shared = GetSharedModel();
+  const int rounds = 10 * StressScale();
+  for (int round = 0; round < rounds; ++round) {
+    ServiceConfig config;
+    config.max_batch_size = 2;
+    config.batch_linger_ms = 0.0;
+    config.threads = 1;
+    ImputationService service(config);
+    ASSERT_TRUE(
+        service.registry().LoadFromFile("m", shared.checkpoint_path).ok());
+    std::vector<std::future<ImputationResponse>> futures;
+    for (int i = 0; i < 3; ++i) {
+      ImputationRequest request;
+      request.model = "m";
+      request.data = shared.data;
+      request.mask = shared.data_case.mask;
+      futures.push_back(service.Submit(std::move(request)));
+    }
+    // Shutdown from another thread while the dispatcher may still be
+    // between "started" and "first batch".
+    std::thread stopper([&] { service.Shutdown(); });
+    stopper.join();
+    for (auto& future : futures) {
+      ImputationResponse response = future.get();
+      EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+    }
+  }
+}
+
+// ---- Metrics: scrape during load --------------------------------------------
+
+TEST(RaceStressTest, MetricsScrapeDuringCounterAndHistogramStorm) {
+  obs::MetricsRegistry registry;
+  const int writers = 4;
+  const int iters = 400 * StressScale();
+  std::atomic<bool> done{false};
+  // Registered up front so the scraper always has something to render
+  // (writers then keep re-asking by name, the contended path).
+  registry.CounterNamed("dmvi_stress_events_total", "Stress-loop events.");
+  // Scraper renders the full exposition while writers register and bump
+  // instruments (registration is idempotent, so every writer asks for the
+  // instruments by name every iteration — the contended path).
+  std::thread scraper([&] {
+    while (!done.load()) {
+      const std::string text = registry.PrometheusText();
+      EXPECT_NE(text.find("dmvi_"), std::string::npos);
+    }
+  });
+  ParallelFor(writers, writers, [&](int w) {
+    for (int i = 0; i < iters; ++i) {
+      registry
+          .CounterNamed("dmvi_stress_events_total", "Stress-loop events.")
+          ->Increment();
+      registry
+          .HistogramNamed("dmvi_stress_latency_seconds", "Stress latencies.")
+          ->Observe(1e-4 * ((w * iters + i) % 100));
+      registry.GaugeNamed("dmvi_stress_depth", "Stress depth.")
+          ->Set(static_cast<double>(i));
+    }
+  });
+  done = true;
+  scraper.join();
+  EXPECT_EQ(
+      registry.CounterNamed("dmvi_stress_events_total", "Stress-loop events.")
+          ->value(),
+      static_cast<int64_t>(writers) * iters);
+}
+
+// ---- Tracer: span storm into a bounded sink ---------------------------------
+
+TEST(RaceStressTest, TraceSinkSpanStormWithConcurrentReaders) {
+  obs::CollectingTraceSink sink(/*capacity=*/128);
+  obs::Tracer tracer(&sink);
+  const int threads = 4;
+  const int spans_per_thread = 300 * StressScale();
+  std::atomic<bool> done{false};
+  // Reader drains snapshots while the storm runs: records() copies under
+  // the sink lock, dropped() reads the counter the storm is bumping.
+  std::thread reader([&] {
+    while (!done.load()) {
+      EXPECT_LE(sink.records().size(), 128u);
+      EXPECT_GE(sink.dropped(), 0);
+    }
+  });
+  ParallelFor(threads, threads, [&](int t) {
+    for (int i = 0; i < spans_per_thread; ++i) {
+      obs::Span outer(&tracer, "storm.outer");
+      outer.AddArg("thread", std::to_string(t));
+      obs::Span inner(&tracer, "storm.inner");  // Implicit child of outer.
+    }
+  });
+  done = true;
+  reader.join();
+  const int64_t total =
+      static_cast<int64_t>(threads) * spans_per_thread * 2;
+  EXPECT_EQ(static_cast<int64_t>(sink.records().size()) + sink.dropped(),
+            total);
+  EXPECT_LE(sink.records().size(), 128u);
+}
+
+// ---- Worker pool: nested regions and error teardown -------------------------
+
+TEST(RaceStressTest, NestedParallelForAndExceptionTeardown) {
+  const int rounds = 6 * StressScale();
+  for (int round = 0; round < rounds; ++round) {
+    std::atomic<int64_t> sum{0};
+    // Width varies across rounds so the persistent pool keeps growing /
+    // reusing threads; the inner region always runs on fresh threads.
+    const int outer = 2 + (round % 3);
+    ParallelFor(outer * 2, outer, [&](int i) {
+      ParallelFor(4, 2, [&](int j) { sum.fetch_add(i * 4 + j); });
+    });
+    const int n = outer * 2 * 4;
+    EXPECT_EQ(sum.load(), static_cast<int64_t>(n) * (n - 1) / 2);
+
+    // Error path: one iteration throws; the rethrow must not corrupt the
+    // pool for the next round (workers drained, job cleared).
+    EXPECT_THROW(
+        ParallelFor(8, 2,
+                    [&](int i) {
+                      if (i == 5) throw std::runtime_error("boom");
+                    }),
+        std::runtime_error);
+  }
+  // Pool still serves clean work after repeated teardowns.
+  std::atomic<int> after{0};
+  ParallelFor(8, 4, [&](int) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 8);
+}
+
+// ---- Telemetry: record / snapshot / reset -----------------------------------
+
+TEST(RaceStressTest, TelemetryRecordSnapshotResetStorm) {
+  serve::Telemetry telemetry;
+  const int writers = 3;
+  const int iters = 500 * StressScale();
+  std::atomic<bool> done{false};
+  std::thread snapshotter([&] {
+    while (!done.load()) {
+      serve::TelemetrySnapshot snapshot = telemetry.Snapshot();
+      // Internal consistency of one cut: failures never exceed requests.
+      EXPECT_LE(snapshot.failures, snapshot.requests);
+      EXPECT_GE(snapshot.wall_seconds, 0.0);
+    }
+  });
+  std::thread resetter([&] {
+    for (int i = 0; i < 20 * StressScale(); ++i) telemetry.Reset();
+  });
+  ParallelFor(writers, writers, [&](int w) {
+    for (int i = 0; i < iters; ++i) {
+      telemetry.RecordRequest(1e-4 * (i % 50), /*rows=*/1, /*cells=*/3,
+                              /*ok=*/i % 7 != 0);
+      if (i % 16 == 0) telemetry.RecordBatch(4);
+      if (i % 5 == 0) telemetry.RecordCacheLookup(i % 10 == 0);
+      if (i % 11 == 0) telemetry.RecordDegraded();
+      (void)w;
+    }
+  });
+  done = true;
+  snapshotter.join();
+  resetter.join();
+  // Deterministic epilogue: after a final reset the counters are exact.
+  telemetry.Reset();
+  telemetry.RecordRequest(0.001, 2, 5, true);
+  telemetry.RecordRequest(0.002, 1, 4, false);
+  serve::TelemetrySnapshot snapshot = telemetry.Snapshot();
+  EXPECT_EQ(snapshot.requests, 2);
+  EXPECT_EQ(snapshot.failures, 1);
+  EXPECT_EQ(snapshot.rows_served, 3);
+  EXPECT_EQ(snapshot.cells_imputed, 9);
+}
+
+// ---- Chunk cache: loads vs. Clear -------------------------------------------
+
+TEST(RaceStressTest, ChunkCacheLoadClearThrash) {
+  storage::ChunkCache cache(/*byte_budget=*/4096);  // ~8 512-byte chunks.
+  const int readers = 3;
+  const int iters = 300 * StressScale();
+  std::atomic<bool> done{false};
+  std::thread clearer([&] {
+    while (!done.load()) {
+      cache.Clear();
+      storage::ChunkCache::Stats stats = cache.stats();
+      EXPECT_GE(stats.bytes_cached, 0);
+      EXPECT_LE(stats.bytes_cached, cache.byte_budget());
+    }
+  });
+  std::atomic<int64_t> calls{0};
+  ParallelFor(readers, readers, [&](int r) {
+    for (int i = 0; i < iters; ++i) {
+      const int64_t key = (r * 7 + i) % 32;
+      StatusOr<storage::ChunkCache::ChunkPtr> chunk =
+          cache.GetOrLoad(key, [key]() -> StatusOr<Matrix> {
+            return Matrix(8, 8, static_cast<double>(key));
+          });
+      ASSERT_TRUE(chunk.ok());
+      // A race that mixed up entries would hand back the wrong payload.
+      EXPECT_EQ((*chunk.value())(0, 0), static_cast<double>(key));
+      calls.fetch_add(1);
+    }
+  });
+  done = true;
+  clearer.join();
+  storage::ChunkCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, calls.load());
+  EXPECT_LE(stats.peak_bytes, cache.byte_budget());
+}
+
+}  // namespace
+}  // namespace deepmvi

@@ -58,7 +58,6 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
