@@ -1,12 +1,20 @@
 #include "net/endpoints.h"
 
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
 #include <future>
 #include <sstream>
+#include <thread>
 #include <utility>
 
+#include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "net/codec.h"
 #include "obs/metrics.h"
+#include "obs/process_stats.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "serve/telemetry.h"
 #include "serve/workload.h"
@@ -149,6 +157,101 @@ HttpMessage HandleHealthz(const ServingContext& ctx,
   return MakeResponse(200, os.str(), "application/json");
 }
 
+/// Integer query parameter with a default and clamping — the /debug
+/// routes take small operator-typed numbers, so out-of-range input snaps
+/// to the nearest bound instead of failing the request.
+int IntQueryParameter(const HttpMessage& request, const std::string& key,
+                      int fallback, int lo, int hi) {
+  const std::string text = QueryParameter(request.target, key);
+  if (text.empty()) return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return fallback;
+  if (value < lo) return lo;
+  if (value > hi) return hi;
+  return static_cast<int>(value);
+}
+
+HttpMessage HandleDebugProfile(const HttpMessage& request) {
+  const int seconds = IntQueryParameter(request, "seconds", 2, 1, 30);
+  const int hz = IntQueryParameter(request, "hz", obs::CpuProfiler::kDefaultHz,
+                                   1, obs::CpuProfiler::kMaxHz);
+  Status started = obs::CpuProfiler::Start(hz);
+  if (!started.ok()) return ErrorResponse(started);
+  // Blocking this worker for the window is the point: the endpoint is an
+  // operator tool, and the remaining workers keep serving traffic — which
+  // is exactly what the profile observes.
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  obs::ProfileResult profile = obs::CpuProfiler::Stop();
+  HttpMessage reply =
+      MakeResponse(200, std::move(profile.collapsed), "text/plain");
+  // The window's vitals ride headers so the body stays pure collapsed
+  // stacks (pipe it straight into flamegraph.pl).
+  reply.SetHeader("x-dmvi-profile-samples", std::to_string(profile.samples));
+  reply.SetHeader("x-dmvi-profile-dropped", std::to_string(profile.dropped));
+  reply.SetHeader("x-dmvi-profile-hz", std::to_string(profile.hz));
+  reply.SetHeader("x-dmvi-profile-seconds",
+                  std::to_string(profile.duration_seconds));
+  return reply;
+}
+
+HttpMessage HandleDebugRequests(const ServingContext& ctx, bool slow_only) {
+  if (ctx.recorder == nullptr) {
+    return ErrorResponse(
+        Status::FailedPrecondition("no flight recorder is configured"));
+  }
+  std::ostringstream os;
+  os.precision(9);
+  os << "{\n  \"slow_threshold_seconds\": "
+     << ctx.recorder->slow_threshold_seconds()
+     << ",\n  \"capacity\": " << ctx.recorder->capacity()
+     << ",\n  \"total_recorded\": " << ctx.recorder->total_recorded()
+     << ",\n  \"total_slow\": " << ctx.recorder->total_slow()
+     << ",\n  \"records\": "
+     << obs::FlightRecordsJson(slow_only ? ctx.recorder->SlowSnapshot()
+                                         : ctx.recorder->Snapshot())
+     << "}\n";
+  return MakeResponse(200, os.str(), "application/json");
+}
+
+/// Refreshes the dmvi_process_* gauges from /proc/self; registration is
+/// idempotent, so the scrape and /debug/state paths share the names.
+void RefreshProcessGauges(obs::MetricsRegistry* metrics,
+                          const obs::ProcessStats& stats) {
+  if (metrics == nullptr || !stats.ok) return;
+  metrics
+      ->GaugeNamed("dmvi_process_resident_bytes",
+                   "Resident set size of the serving process.")
+      ->Set(stats.rss_bytes);
+  metrics
+      ->GaugeNamed("dmvi_process_cpu_seconds",
+                   "User plus system CPU time consumed by the process.")
+      ->Set(stats.cpu_seconds);
+  metrics
+      ->GaugeNamed("dmvi_process_open_fds",
+                   "Open file descriptors in the serving process.")
+      ->Set(static_cast<double>(stats.open_fds));
+}
+
+HttpMessage HandleDebugState(const ServingContext& ctx) {
+  const obs::ProcessStats stats = obs::ReadProcessStats();
+  RefreshProcessGauges(ctx.metrics, stats);
+  std::ostringstream os;
+  os.precision(9);
+  os << "{\n";
+  os << "  \"build_commit\": \"" << EscapeJson(ctx.build_commit) << "\",\n";
+  os << "  \"uptime_seconds\": " << ctx.started.ElapsedSeconds() << ",\n";
+  os << "  \"pid\": " << ::getpid() << ",\n";
+  os << "  \"profiler_running\": "
+     << (obs::CpuProfiler::IsRunning() ? "true" : "false") << ",\n";
+  os << "  \"process_stats_ok\": " << (stats.ok ? "true" : "false") << ",\n";
+  os << "  \"rss_bytes\": " << stats.rss_bytes << ",\n";
+  os << "  \"cpu_seconds\": " << stats.cpu_seconds << ",\n";
+  os << "  \"open_fds\": " << stats.open_fds << "\n";
+  os << "}\n";
+  return MakeResponse(200, os.str(), "application/json");
+}
+
 HttpMessage HandleReload(const ServingContext& ctx,
                          const HttpMessage& request) {
   if (!ctx.reload) {
@@ -204,6 +307,26 @@ void RegisterServingEndpoints(HttpServer* server, ServingContext ctx) {
         "Accepted connections waiting for a free worker right now.",
         server != nullptr ? static_cast<double>(server->pending_connections())
                           : 0.0);
+    obs::AppendPrometheusGauge(
+        os, "dmvi_accept_queue_high_water",
+        "Largest accept-queue depth observed since start (saturation "
+        "headroom against max_pending_connections).",
+        server != nullptr
+            ? static_cast<double>(server->accept_queue_high_water())
+            : 0.0);
+    obs::AppendPrometheusCounter(
+        os, "dmvi_pool_threads_created_total",
+        "Worker threads the shared parallel pool has created.",
+        ParallelPoolThreadsCreated());
+    if (ctx.trace_sink != nullptr) {
+      obs::AppendPrometheusCounter(
+          os, "dmvi_trace_dropped_spans_total",
+          "Spans dropped because the collecting trace sink was full.",
+          ctx.trace_sink->dropped());
+    }
+    // Self-observation gauges refresh at scrape time (procfs reads are
+    // three file touches, not worth a poller thread).
+    RefreshProcessGauges(ctx.metrics, obs::ReadProcessStats());
     if (ctx.metrics != nullptr) os << ctx.metrics->PrometheusText();
     return MakeResponse(200, os.str(), "text/plain; version=0.0.4");
   });
@@ -214,6 +337,18 @@ void RegisterServingEndpoints(HttpServer* server, ServingContext ctx) {
   });
   server->Handle("POST", "/admin/reload", [ctx](const HttpMessage& request) {
     return HandleReload(ctx, request);
+  });
+  server->Handle("GET", "/debug/profile", [](const HttpMessage& request) {
+    return HandleDebugProfile(request);
+  });
+  server->Handle("GET", "/debug/requests", [ctx](const HttpMessage&) {
+    return HandleDebugRequests(ctx, /*slow_only=*/false);
+  });
+  server->Handle("GET", "/debug/slow", [ctx](const HttpMessage&) {
+    return HandleDebugRequests(ctx, /*slow_only=*/true);
+  });
+  server->Handle("GET", "/debug/state", [ctx](const HttpMessage&) {
+    return HandleDebugState(ctx);
   });
 }
 

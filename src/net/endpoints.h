@@ -5,7 +5,10 @@
 #include <memory>
 #include <string>
 
+#include "common/stopwatch.h"
 #include "net/server.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "serve/service.h"
 #include "tensor/data_tensor.h"
 #include "tensor/mask.h"
@@ -35,6 +38,19 @@ struct ServingContext {
   /// ImputationRequest::trace_parent.
   obs::MetricsRegistry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
+  /// Optional flight recorder (borrowed; null answers the /debug/requests
+  /// and /debug/slow routes with 503). Feeding it is the service's job —
+  /// wire the same pointer into ServiceConfig::recorder.
+  obs::FlightRecorder* recorder = nullptr;
+  /// Optional collecting sink behind `tracer`, so /metrics can export the
+  /// dropped-span count (borrowed; null skips the metric).
+  obs::CollectingTraceSink* trace_sink = nullptr;
+  /// Build provenance for GET /debug/state ("unknown" when the binary was
+  /// built outside a checkout).
+  std::string build_commit = "unknown";
+  /// Uptime epoch: default-constructed when the context is built, copied
+  /// into the handlers — /debug/state reports seconds since then.
+  Stopwatch started;
 };
 
 /// Registers the serving API on `server`:
@@ -57,6 +73,17 @@ struct ServingContext {
 ///                      degraded/shed counters — the pre-Prometheus
 ///                      /metrics payload, kept for scripted consumers
 ///   POST /admin/reload warm checkpoint swap via ctx.reload
+///   GET  /debug/profile?seconds=N&hz=H   on-demand CPU profiling window:
+///                      blocks for N seconds (default 2, max 30) sampling
+///                      at H Hz (default 99), then answers with collapsed
+///                      stacks (flamegraph.pl format); 503 while another
+///                      window is open
+///   GET  /debug/requests  flight-recorder ring as JSON (last N requests)
+///   GET  /debug/slow      the slow-request ring (above the recorder's
+///                      threshold), same shape
+///   GET  /debug/state  build hash, uptime, pid, and /proc/self gauges
+///                      (RSS, CPU seconds, open fds) — the same numbers
+///                      exported as dmvi_process_* via /metrics
 /// `ctx` is copied into the handlers and `server` itself is captured by
 /// the /healthz route (it reports the accept-queue depth); both the
 /// service and the server must outlive the registered handlers.

@@ -282,5 +282,29 @@ bool WantsKeepAlive(const HttpMessage& message) {
   return connection != "close";
 }
 
+std::string TargetPath(const std::string& target) {
+  const size_t question = target.find('?');
+  return question == std::string::npos ? target : target.substr(0, question);
+}
+
+std::string QueryParameter(const std::string& target, const std::string& key) {
+  const size_t question = target.find('?');
+  if (question == std::string::npos) return "";
+  size_t start = question + 1;
+  while (start < target.size()) {
+    size_t end = target.find('&', start);
+    if (end == std::string::npos) end = target.size();
+    const std::string pair = target.substr(start, end - start);
+    const size_t equals = pair.find('=');
+    const std::string name =
+        equals == std::string::npos ? pair : pair.substr(0, equals);
+    if (name == key) {
+      return equals == std::string::npos ? "" : pair.substr(equals + 1);
+    }
+    start = end + 1;
+  }
+  return "";
+}
+
 }  // namespace net
 }  // namespace deepmvi

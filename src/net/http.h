@@ -119,6 +119,16 @@ HttpMessage MakeResponse(int status, std::string body,
 /// defaults to close unless "Connection: keep-alive".
 bool WantsKeepAlive(const HttpMessage& message);
 
+/// The path part of an origin-form target: "/debug/profile?seconds=2"
+/// yields "/debug/profile". Routing matches on this so query parameters
+/// never change which handler answers.
+std::string TargetPath(const std::string& target);
+
+/// First value of query parameter `key` in `target` ("" when absent or
+/// valueless). Splits on '&' and '='; no percent-decoding — the admin
+/// endpoints take plain numbers and identifiers.
+std::string QueryParameter(const std::string& target, const std::string& key);
+
 }  // namespace net
 }  // namespace deepmvi
 

@@ -183,6 +183,9 @@ void HttpServer::AcceptLoop() {
         return;
       }
       pending_.push_back(fd);
+      if (static_cast<int>(pending_.size()) > pending_high_water_) {
+        pending_high_water_ = static_cast<int>(pending_.size());
+      }
     }
     queue_cv_.Signal();
   }
@@ -213,6 +216,11 @@ int HttpServer::pending_connections() const {
   return static_cast<int>(pending_.size());
 }
 
+int HttpServer::accept_queue_high_water() const {
+  MutexLock lock(&queue_mutex_);
+  return pending_high_water_;
+}
+
 bool HttpServer::WriteAll(int fd, const std::string& bytes) {
   size_t sent = 0;
   while (sent < bytes.size()) {
@@ -236,11 +244,14 @@ std::string HttpServer::RequestIdFor(const HttpMessage& request) {
 }
 
 HttpMessage HttpServer::Dispatch(const HttpMessage& request) {
-  const auto it = handlers_.find({request.method, request.target});
+  // Route on the path alone so query parameters select behavior inside a
+  // handler, never which handler answers.
+  const std::string path = TargetPath(request.target);
+  const auto it = handlers_.find({request.method, path});
   if (it == handlers_.end()) {
     // Same path under another method is 405, unknown path 404.
     for (const auto& [key, handler] : handlers_) {
-      if (key.second == request.target) {
+      if (key.second == path) {
         return MakeResponse(
             405, EncodeErrorJson(Status::InvalidArgument(
                      "method " + request.method + " not allowed for " +

@@ -108,6 +108,11 @@ class HttpServer {
   /// into ImputationService::SetPressureProbe; /healthz reports it).
   int pending_connections() const;
 
+  /// Largest accept-queue depth ever observed — how close the front-end
+  /// has come to its max_pending_connections backpressure ceiling
+  /// (exported as the dmvi_accept_queue_high_water gauge).
+  int accept_queue_high_water() const;
+
  private:
   void AcceptLoop() DMVI_EXCLUDES(queue_mutex_);
   void WorkerLoop() DMVI_EXCLUDES(queue_mutex_);
@@ -144,6 +149,7 @@ class HttpServer {
   CondVar backpressure_cv_;  // Accept loop waits for space.
   // Accepted fds awaiting a worker.
   std::deque<int> pending_ DMVI_GUARDED_BY(queue_mutex_);
+  int pending_high_water_ DMVI_GUARDED_BY(queue_mutex_) = 0;
 };
 
 /// Splits "host:port" (host may be empty for "0.0.0.0"); InvalidArgument

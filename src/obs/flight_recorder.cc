@@ -1,0 +1,152 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace deepmvi {
+namespace obs {
+namespace {
+
+/// Minimal JSON string escaping (obs cannot reach the net codec — the
+/// layer DAG points the other way; trace.cc keeps its own copy for the
+/// same reason).
+std::string EscapeJsonString(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendNumber(std::ostringstream& os, double value) {
+  if (!std::isfinite(value)) {
+    os << "null";
+    return;
+  }
+  os << value;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(int capacity, double slow_threshold_seconds,
+                               int slow_capacity)
+    : capacity_(capacity),
+      slow_threshold_seconds_(slow_threshold_seconds),
+      slow_capacity_(slow_capacity) {
+  DMVI_CHECK_GT(capacity_, 0);
+  DMVI_CHECK_GT(slow_capacity_, 0);
+  MutexLock lock(&mutex_);
+  ring_.resize(static_cast<size_t>(capacity_));
+  slow_ring_.resize(static_cast<size_t>(slow_capacity_));
+}
+
+void FlightRecorder::Record(RequestRecord record) {
+  record.completed_seconds = clock_.ElapsedSeconds();
+  const bool slow = slow_threshold_seconds_ > 0.0 &&
+                    record.latency_seconds >= slow_threshold_seconds_;
+  MutexLock lock(&mutex_);
+  const size_t slot = static_cast<size_t>(total_ % capacity_);
+  ++total_;
+  if (slow) {
+    const size_t slow_slot = static_cast<size_t>(slow_total_ % slow_capacity_);
+    ++slow_total_;
+    slow_ring_[slow_slot] = record;  // Copy: the main ring gets the move.
+  }
+  ring_[slot] = std::move(record);
+}
+
+std::vector<RequestRecord> FlightRecorder::UnrollRing(
+    const std::vector<RequestRecord>& ring, int64_t total, int capacity) {
+  std::vector<RequestRecord> out;
+  const int64_t retained = std::min<int64_t>(total, capacity);
+  out.reserve(static_cast<size_t>(retained));
+  for (int64_t i = total - retained; i < total; ++i) {
+    out.push_back(ring[static_cast<size_t>(i % capacity)]);
+  }
+  return out;
+}
+
+std::vector<RequestRecord> FlightRecorder::Snapshot() const {
+  MutexLock lock(&mutex_);
+  return UnrollRing(ring_, total_, capacity_);
+}
+
+std::vector<RequestRecord> FlightRecorder::SlowSnapshot() const {
+  MutexLock lock(&mutex_);
+  return UnrollRing(slow_ring_, slow_total_, slow_capacity_);
+}
+
+int64_t FlightRecorder::total_recorded() const {
+  MutexLock lock(&mutex_);
+  return total_;
+}
+
+int64_t FlightRecorder::total_slow() const {
+  MutexLock lock(&mutex_);
+  return slow_total_;
+}
+
+std::string FlightRecordsJson(const std::vector<RequestRecord>& records) {
+  std::ostringstream os;
+  os.precision(9);
+  os << "[";
+  bool first = true;
+  for (const RequestRecord& record : records) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "  {\"request_id\": \"" << EscapeJsonString(record.request_id)
+       << "\", \"model\": \"" << EscapeJsonString(record.model)
+       << "\", \"status\": \"" << EscapeJsonString(record.status)
+       << "\", \"ok\": " << (record.ok ? "true" : "false")
+       << ", \"latency_seconds\": ";
+    AppendNumber(os, record.latency_seconds);
+    os << ", \"queue_seconds\": ";
+    AppendNumber(os, record.queue_seconds);
+    os << ", \"predict_seconds\": ";
+    AppendNumber(os, record.predict_seconds);
+    os << ", \"cells_imputed\": " << record.cells_imputed
+       << ", \"cache_hit\": " << (record.cache_hit ? "true" : "false")
+       << ", \"degraded\": " << (record.degraded ? "true" : "false")
+       << ", \"degrade_method\": \""
+       << EscapeJsonString(record.degrade_method)
+       << "\", \"shed\": " << (record.shed ? "true" : "false")
+       << ", \"completed_seconds\": ";
+    AppendNumber(os, record.completed_seconds);
+    os << "}";
+  }
+  os << (first ? "]\n" : "\n]\n");
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace deepmvi

@@ -48,9 +48,20 @@ int Histogram::BucketIndex(double value) {
 }
 
 void Histogram::Observe(double value) {
+  MutexLock lock(&mutex_);
+  ObserveLocked(value, nullptr);
+}
+
+void Histogram::ObserveWithExemplar(double value,
+                                    const std::string& exemplar_label) {
+  MutexLock lock(&mutex_);
+  ObserveLocked(value, exemplar_label.empty() ? nullptr : &exemplar_label);
+}
+
+void Histogram::ObserveLocked(double value,
+                              const std::string* exemplar_label) {
   if (std::isnan(value)) value = 0.0;
   const int bucket = BucketIndex(value);
-  MutexLock lock(&mutex_);
   ++counts_[static_cast<size_t>(bucket)];
   if (count_ == 0) {
     min_ = max_ = value;
@@ -60,6 +71,14 @@ void Histogram::Observe(double value) {
   }
   ++count_;
   sum_ += value;
+  if (exemplar_label != nullptr) {
+    if (exemplar_labels_.empty()) {
+      exemplar_labels_.resize(static_cast<size_t>(kNumBounds) + 1);
+      exemplar_values_.resize(static_cast<size_t>(kNumBounds) + 1, 0.0);
+    }
+    exemplar_labels_[static_cast<size_t>(bucket)] = *exemplar_label;
+    exemplar_values_[static_cast<size_t>(bucket)] = value;
+  }
 }
 
 void Histogram::Merge(const HistogramSnapshot& other) {
@@ -77,6 +96,20 @@ void Histogram::Merge(const HistogramSnapshot& other) {
   }
   count_ += other.count;
   sum_ += other.sum;
+  if (!other.exemplar_labels.empty()) {
+    if (exemplar_labels_.empty()) {
+      exemplar_labels_.resize(static_cast<size_t>(kNumBounds) + 1);
+      exemplar_values_.resize(static_cast<size_t>(kNumBounds) + 1, 0.0);
+    }
+    for (size_t b = 0; b < exemplar_labels_.size() &&
+                       b < other.exemplar_labels.size();
+         ++b) {
+      if (!other.exemplar_labels[b].empty()) {
+        exemplar_labels_[b] = other.exemplar_labels[b];
+        exemplar_values_[b] = other.exemplar_values[b];
+      }
+    }
+  }
 }
 
 HistogramSnapshot Histogram::Snapshot() const {
@@ -87,6 +120,8 @@ HistogramSnapshot Histogram::Snapshot() const {
   snap.sum = sum_;
   snap.min = min_;
   snap.max = max_;
+  snap.exemplar_labels = exemplar_labels_;
+  snap.exemplar_values = exemplar_values_;
   return snap;
 }
 
@@ -97,6 +132,8 @@ void Histogram::Reset() {
   sum_ = 0.0;
   min_ = 0.0;
   max_ = 0.0;
+  exemplar_labels_.clear();
+  exemplar_values_.clear();
 }
 
 double HistogramSnapshot::Percentile(double q) const {

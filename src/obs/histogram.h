@@ -20,6 +20,13 @@ struct HistogramSnapshot {
   double sum = 0.0;             // Exact running sum.
   double min = 0.0;             // Exact; 0 when empty.
   double max = 0.0;             // Exact; 0 when empty.
+  /// Per-bucket exemplars (kNumBounds + 1 entries, parallel to `counts`;
+  /// both empty when no observation carried one): the label — by
+  /// convention a request id — and exact value of the most recent
+  /// ObserveWithExemplar landing in each bucket. A p99 bucket in the
+  /// exposition then names a concrete replayable request.
+  std::vector<std::string> exemplar_labels;
+  std::vector<double> exemplar_values;
 
   /// Deterministic percentile estimate (q in [0, 1]). The rank is mapped
   /// to its bucket and linearly interpolated between the bucket bounds
@@ -51,13 +58,19 @@ class Histogram {
   static int BucketIndex(double value);
 
   void Observe(double value);
+  /// Observe plus an exemplar: remembers (label, value) as the bucket's
+  /// most recent exemplar. An empty label is a plain Observe.
+  void ObserveWithExemplar(double value, const std::string& exemplar_label);
   /// Adds every observation of `other` (bucket-wise; exact min/max/sum
-  /// merge exactly).
+  /// merge exactly). Buckets where `other` carries an exemplar adopt it.
   void Merge(const HistogramSnapshot& other);
   HistogramSnapshot Snapshot() const;
   void Reset();
 
  private:
+  void ObserveLocked(double value, const std::string* exemplar_label)
+      DMVI_REQUIRES(mutex_);
+
   mutable Mutex mutex_;
   std::vector<int64_t> counts_ DMVI_GUARDED_BY(mutex_) =
       std::vector<int64_t>(kNumBounds + 1, 0);
@@ -65,6 +78,10 @@ class Histogram {
   double sum_ DMVI_GUARDED_BY(mutex_) = 0.0;
   double min_ DMVI_GUARDED_BY(mutex_) = 0.0;
   double max_ DMVI_GUARDED_BY(mutex_) = 0.0;
+  // Lazily sized on the first exemplar; empty until then so plain
+  // histograms pay nothing.
+  std::vector<std::string> exemplar_labels_ DMVI_GUARDED_BY(mutex_);
+  std::vector<double> exemplar_values_ DMVI_GUARDED_BY(mutex_);
 };
 
 }  // namespace obs

@@ -19,6 +19,37 @@ std::string FormatNumber(double value) {
   return os.str();
 }
 
+/// Exemplar label values are request ids; escape the characters the
+/// exposition grammar reserves anyway.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// OpenMetrics exemplar suffix for one bucket line, empty when bucket b
+/// carries none: ` # {request_id="..."} value`. Plain-text scrapers split
+/// on whitespace and read the first two fields, so the suffix is
+/// invisible to them.
+std::string ExemplarSuffix(const HistogramSnapshot& snapshot, int b) {
+  const size_t bucket = static_cast<size_t>(b);
+  if (bucket >= snapshot.exemplar_labels.size() ||
+      snapshot.exemplar_labels[bucket].empty()) {
+    return "";
+  }
+  return " # {request_id=\"" +
+         EscapeLabelValue(snapshot.exemplar_labels[bucket]) + "\"} " +
+         FormatNumber(snapshot.exemplar_values[bucket]);
+}
+
 }  // namespace
 
 MetricsRegistry::Entry& MetricsRegistry::EntryNamedLocked(
@@ -115,9 +146,10 @@ void AppendPrometheusHistogram(std::ostream& os, const std::string& name,
   for (int b = 0; b <= finite_last; ++b) {
     cumulative += snapshot.counts[static_cast<size_t>(b)];
     os << name << "_bucket{le=\"" << FormatNumber(Histogram::UpperBound(b))
-       << "\"} " << cumulative << "\n";
+       << "\"} " << cumulative << ExemplarSuffix(snapshot, b) << "\n";
   }
-  os << name << "_bucket{le=\"+Inf\"} " << snapshot.count << "\n";
+  os << name << "_bucket{le=\"+Inf\"} " << snapshot.count
+     << ExemplarSuffix(snapshot, Histogram::kNumBounds) << "\n";
   os << name << "_sum " << FormatNumber(snapshot.sum) << "\n";
   os << name << "_count " << snapshot.count << "\n";
 }

@@ -1,0 +1,70 @@
+#include "obs/process_stats.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#if defined(__linux__)
+#include <dirent.h>
+#include <unistd.h>
+#endif
+
+namespace deepmvi {
+namespace obs {
+
+ProcessStats ReadProcessStats() {
+  ProcessStats stats;
+#if defined(__linux__)
+  const double page_bytes = static_cast<double>(sysconf(_SC_PAGESIZE));
+  const double ticks_per_second = static_cast<double>(sysconf(_SC_CLK_TCK));
+
+  // /proc/self/statm: total and resident program size, in pages.
+  {
+    std::ifstream statm("/proc/self/statm");
+    long long total_pages = 0, resident_pages = 0;
+    if (statm >> total_pages >> resident_pages) {
+      stats.rss_bytes = static_cast<double>(resident_pages) * page_bytes;
+      stats.ok = true;
+    }
+  }
+
+  // /proc/self/stat: utime and stime are fields 14 and 15 — but field 2
+  // (comm) is a parenthesized name that may itself contain spaces or
+  // parens, so parse from the last ')' onward.
+  {
+    std::ifstream stat("/proc/self/stat");
+    std::string line;
+    if (std::getline(stat, line)) {
+      const size_t close = line.rfind(')');
+      if (close != std::string::npos) {
+        std::istringstream rest(line.substr(close + 1));
+        std::string field;
+        // After ')': state is field 3; utime is field 14, stime field 15.
+        long long utime = 0, stime = 0;
+        bool parsed = true;
+        for (int i = 3; i <= 13 && parsed; ++i) parsed = !!(rest >> field);
+        if (parsed && (rest >> utime >> stime) && ticks_per_second > 0) {
+          stats.cpu_seconds =
+              static_cast<double>(utime + stime) / ticks_per_second;
+        }
+      }
+    }
+  }
+
+  // /proc/self/fd: one entry per open descriptor (minus ".", "..", and
+  // the directory handle doing the counting).
+  if (DIR* dir = opendir("/proc/self/fd")) {
+    int64_t count = 0;
+    while (const dirent* entry = readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") ++count;
+    }
+    closedir(dir);
+    stats.open_fds = count > 0 ? count - 1 : 0;  // Exclude our own handle.
+  }
+#endif  // __linux__
+  return stats;
+}
+
+}  // namespace obs
+}  // namespace deepmvi

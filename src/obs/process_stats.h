@@ -1,0 +1,27 @@
+#ifndef DEEPMVI_OBS_PROCESS_STATS_H_
+#define DEEPMVI_OBS_PROCESS_STATS_H_
+
+#include <cstdint>
+
+namespace deepmvi {
+namespace obs {
+
+/// Point-in-time self-observation of the serving process, read from
+/// /proc/self — the numbers GET /debug/state reports and the
+/// dmvi_process_* gauges export. `ok` is false where procfs is absent
+/// (non-Linux); the fields are then zero.
+struct ProcessStats {
+  bool ok = false;
+  double rss_bytes = 0.0;      // Resident set size.
+  double cpu_seconds = 0.0;    // User + system time consumed so far.
+  int64_t open_fds = 0;        // Open file descriptors.
+};
+
+/// Reads the current stats. Cheap (three procfs touches); callers refresh
+/// on demand at scrape time rather than polling.
+ProcessStats ReadProcessStats();
+
+}  // namespace obs
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_OBS_PROCESS_STATS_H_

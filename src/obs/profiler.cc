@@ -1,0 +1,374 @@
+#include "obs/profiler.h"
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <map>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+// The sampling backend needs POSIX CPU-clock timers (timer_create on
+// CLOCK_PROCESS_CPUTIME_ID) and the glibc unwinder; both are Linux-only
+// here. Other platforms compile the API but Start reports
+// FailedPrecondition.
+#if defined(__linux__)
+#define DMVI_PROFILER_BACKEND 1
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#endif
+
+// Under TSan the backtrace() unwinder inside a signal handler trips the
+// runtime's signal-safety checks; samples then carry label stacks only.
+#if defined(__SANITIZE_THREAD__)
+#define DMVI_PROFILER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DMVI_PROFILER_TSAN 1
+#endif
+#endif
+#ifndef DMVI_PROFILER_TSAN
+#define DMVI_PROFILER_TSAN 0
+#endif
+
+namespace deepmvi {
+namespace obs {
+namespace {
+
+constexpr int kMaxNativeFrames = 48;
+constexpr int kMaxLabels = ProfileLabelScope::kMaxDepth;
+/// Sample capacity per window. At the default 99 Hz per CPU-second this
+/// absorbs minutes of fully-busy multicore time; overflow increments
+/// `dropped` instead of growing memory on the signal path.
+constexpr int64_t kMaxSamples = 1 << 16;
+
+/// One captured stack. Fixed-size so the signal handler writes plain
+/// slots it claimed with a single fetch_add.
+struct RawSample {
+  int num_labels;
+  int num_frames;
+  const char* labels[kMaxLabels];
+  void* frames[kMaxNativeFrames];
+};
+
+/// Per-thread annotation stack. The SIGPROF handler runs on the
+/// interrupted thread and reads that same thread's stack, so the only
+/// hazard is compiler reordering between the label store and the depth
+/// store — fenced with atomic_signal_fence below.
+struct LabelStack {
+  const char* labels[kMaxLabels];
+  std::atomic<int> depth{0};
+};
+
+LabelStack& ThreadLabels() {
+  // Constant-initializable POD: no TLS guard, safe to touch from the
+  // signal handler even on a thread's first sample.
+  static thread_local LabelStack stack;
+  return stack;
+}
+
+/// State of the open window, allocated by Start and torn down by Stop.
+struct ProfilerState {
+  RawSample* slab = nullptr;
+  std::atomic<int64_t> next{0};  // Slots claimed (may exceed kMaxSamples).
+  Stopwatch started;
+  int hz = 0;
+#if DMVI_PROFILER_BACKEND
+  timer_t timer{};
+#endif
+};
+
+/// kRunning serializes whole windows (Start..Stop); kArmed tells the
+/// handler whether to record; kInHandler counts in-flight handlers so
+/// Stop can establish happens-before with every sample write before it
+/// reads the slab.
+std::atomic<bool> g_running{false};
+std::atomic<bool> g_armed{false};
+std::atomic<int> g_in_handler{0};
+std::atomic<ProfilerState*> g_state{nullptr};
+
+#if DMVI_PROFILER_BACKEND
+
+void ProfilerSignalHandler(int /*signo*/, siginfo_t* /*info*/,
+                           void* /*ucontext*/) {
+  const int saved_errno = errno;
+  g_in_handler.fetch_add(1, std::memory_order_acquire);
+  ProfilerState* state = g_state.load(std::memory_order_acquire);
+  if (g_armed.load(std::memory_order_acquire) && state != nullptr) {
+    const int64_t slot = state->next.fetch_add(1, std::memory_order_relaxed);
+    if (slot < kMaxSamples) {
+      RawSample& sample = state->slab[slot];
+      LabelStack& labels = ThreadLabels();
+      int depth = labels.depth.load(std::memory_order_relaxed);
+      std::atomic_signal_fence(std::memory_order_acquire);
+      if (depth > kMaxLabels) depth = kMaxLabels;
+      if (depth < 0) depth = 0;
+      sample.num_labels = depth;
+      for (int i = 0; i < depth; ++i) sample.labels[i] = labels.labels[i];
+#if !DMVI_PROFILER_TSAN
+      // Not formally async-signal-safe, but safe after the Start-time
+      // priming call forced libgcc's one-time setup outside the handler —
+      // the approach every sampling profiler on glibc takes.
+      sample.num_frames = backtrace(sample.frames, kMaxNativeFrames);
+#else
+      sample.num_frames = 0;
+#endif
+    }
+    // Overflow: the claim above already advanced `next`; Stop derives the
+    // drop count from the overshoot.
+  }
+  g_in_handler.fetch_sub(1, std::memory_order_release);
+  errno = saved_errno;
+}
+
+void InstallHandlerOnce() {
+  // Installed once and left in place: disarmed it is inert, and never
+  // restoring the default action closes the window where a late-delivered
+  // SIGPROF would terminate the process.
+  static const bool installed = [] {
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_sigaction = ProfilerSignalHandler;
+    action.sa_flags = SA_SIGINFO | SA_RESTART;
+    sigemptyset(&action.sa_mask);
+    sigaction(SIGPROF, &action, nullptr);
+    return true;
+  }();
+  (void)installed;
+}
+
+std::string HexAddress(uintptr_t value) {
+  static const char kDigits[] = "0123456789abcdef";
+  if (value == 0) return "0x0";
+  char buffer[2 + 2 * sizeof(uintptr_t)];
+  int i = sizeof(buffer);
+  while (value != 0) {
+    buffer[--i] = kDigits[value & 0xF];
+    value >>= 4;
+  }
+  return "0x" + std::string(buffer + i, buffer + sizeof(buffer));
+}
+
+std::string Basename(const char* path) {
+  const std::string text = path != nullptr ? path : "";
+  const size_t slash = text.rfind('/');
+  return slash == std::string::npos ? text : text.substr(slash + 1);
+}
+
+/// Best-effort name for one program counter: dynamic symbol (demangled)
+/// when dladdr finds one, else `module+0xoffset`. Static and inlined
+/// functions are invisible to dladdr — the label scopes exist so hot
+/// kernels stay identifiable regardless.
+std::string SymbolizePc(void* pc) {
+  Dl_info info;
+  std::memset(&info, 0, sizeof(info));
+  if (dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
+    int status = -1;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    std::string name = (status == 0 && demangled != nullptr)
+                           ? std::string(demangled)
+                           : std::string(info.dli_sname);
+    std::free(demangled);
+    return name;
+  }
+  if (info.dli_fname != nullptr) {
+    const uintptr_t offset = reinterpret_cast<uintptr_t>(pc) -
+                             reinterpret_cast<uintptr_t>(info.dli_fbase);
+    return Basename(info.dli_fname) + "+" + HexAddress(offset);
+  }
+  return HexAddress(reinterpret_cast<uintptr_t>(pc));
+}
+
+/// Frames of the sampling machinery itself, trimmed from the leaf end so
+/// flames end at the interrupted code, not at the handler.
+bool IsProfilerFrame(const std::string& name) {
+  return name.find("ProfilerSignalHandler") != std::string::npos ||
+         name.find("__restore_rt") != std::string::npos ||
+         name == "backtrace";
+}
+
+#endif  // DMVI_PROFILER_BACKEND
+
+}  // namespace
+
+ProfileLabelScope::ProfileLabelScope(const char* label) {
+  LabelStack& stack = ThreadLabels();
+  const int depth = stack.depth.load(std::memory_order_relaxed);
+  if (depth >= 0 && depth < kMaxLabels) stack.labels[depth] = label;
+  // The label must be visible before the depth that exposes it — a signal
+  // between the two stores sees the old depth and skips the new slot.
+  std::atomic_signal_fence(std::memory_order_release);
+  stack.depth.store(depth + 1, std::memory_order_relaxed);
+}
+
+ProfileLabelScope::~ProfileLabelScope() {
+  LabelStack& stack = ThreadLabels();
+  stack.depth.store(stack.depth.load(std::memory_order_relaxed) - 1,
+                    std::memory_order_relaxed);
+}
+
+bool CpuProfiler::IsRunning() {
+  return g_running.load(std::memory_order_acquire);
+}
+
+Status CpuProfiler::Start(int hz) {
+  if (hz < 1 || hz > kMaxHz) {
+    return Status::InvalidArgument("profiler rate must be in [1, " +
+                                   std::to_string(kMaxHz) + "] Hz, got " +
+                                   std::to_string(hz));
+  }
+#if !DMVI_PROFILER_BACKEND
+  return Status::FailedPrecondition(
+      "the sampling profiler needs POSIX CPU-clock timers (Linux only)");
+#else
+  bool expected = false;
+  if (!g_running.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    return Status::FailedPrecondition(
+        "a profiling window is already open; retry after it closes");
+  }
+  auto* state = new ProfilerState;
+  state->slab = new RawSample[kMaxSamples];
+  state->hz = hz;
+#if !DMVI_PROFILER_TSAN
+  // Prime the unwinder: backtrace's first call loads libgcc and may
+  // allocate — force that one-time work outside the signal handler.
+  void* prime[4];
+  (void)backtrace(prime, 4);
+#endif
+  InstallHandlerOnce();
+
+  struct sigevent event;
+  std::memset(&event, 0, sizeof(event));
+  event.sigev_notify = SIGEV_SIGNAL;
+  event.sigev_signo = SIGPROF;
+  if (timer_create(CLOCK_PROCESS_CPUTIME_ID, &event, &state->timer) != 0) {
+    const std::string error = std::strerror(errno);
+    delete[] state->slab;
+    delete state;
+    g_running.store(false, std::memory_order_release);
+    return Status::IoError("timer_create(CLOCK_PROCESS_CPUTIME_ID): " + error);
+  }
+
+  g_state.store(state, std::memory_order_release);
+  g_armed.store(true, std::memory_order_release);
+  state->started.Reset();
+
+  const long interval_ns = 1000000000L / hz;
+  struct itimerspec spec;
+  spec.it_interval.tv_sec = interval_ns / 1000000000L;
+  spec.it_interval.tv_nsec = interval_ns % 1000000000L;
+  spec.it_value = spec.it_interval;
+  if (timer_settime(state->timer, 0, &spec, nullptr) != 0) {
+    const std::string error = std::strerror(errno);
+    g_armed.store(false, std::memory_order_release);
+    g_state.store(nullptr, std::memory_order_release);
+    timer_delete(state->timer);
+    delete[] state->slab;
+    delete state;
+    g_running.store(false, std::memory_order_release);
+    return Status::IoError("timer_settime: " + error);
+  }
+  return Status::OK();
+#endif  // DMVI_PROFILER_BACKEND
+}
+
+ProfileResult CpuProfiler::Stop() {
+  ProfileResult result;
+  DMVI_CHECK(g_running.load(std::memory_order_acquire))
+      << "CpuProfiler::Stop without a matching Start";
+#if DMVI_PROFILER_BACKEND
+  ProfilerState* state = g_state.load(std::memory_order_acquire);
+  DMVI_CHECK(state != nullptr);
+
+  // Teardown order: silence the timer, stand the handler down, then wait
+  // for in-flight handlers — their release decrements synchronize with
+  // this acquire loop, so every sample write happens-before the reads
+  // below.
+  struct itimerspec zero;
+  std::memset(&zero, 0, sizeof(zero));
+  timer_settime(state->timer, 0, &zero, nullptr);
+  g_armed.store(false, std::memory_order_seq_cst);
+  timer_delete(state->timer);
+  while (g_in_handler.load(std::memory_order_acquire) != 0) {
+    // A handler runs a few dozen instructions; spinning is shorter than a
+    // sleep syscall.
+  }
+
+  result.duration_seconds = state->started.ElapsedSeconds();
+  result.hz = state->hz;
+  const int64_t claimed = state->next.load(std::memory_order_acquire);
+  result.samples = claimed < kMaxSamples ? claimed : kMaxSamples;
+  result.dropped = claimed > kMaxSamples ? claimed - kMaxSamples : 0;
+
+  // Symbolize once per distinct pc (samples repeat hot frames heavily),
+  // then fold: labels outermost-first, native frames root-first beneath
+  // them, machinery frames trimmed from the leaf end.
+  std::map<void*, std::string> symbol_cache;
+  auto symbol_for = [&symbol_cache](void* pc) -> const std::string& {
+    auto it = symbol_cache.find(pc);
+    if (it == symbol_cache.end()) {
+      it = symbol_cache.emplace(pc, SymbolizePc(pc)).first;
+    }
+    return it->second;
+  };
+  std::vector<std::vector<std::string>> stacks;
+  stacks.reserve(static_cast<size_t>(result.samples));
+  for (int64_t s = 0; s < result.samples; ++s) {
+    const RawSample& sample = state->slab[s];
+    std::vector<std::string> frames;
+    for (int i = 0; i < sample.num_labels; ++i) {
+      frames.emplace_back(sample.labels[i]);
+    }
+    int innermost = 0;
+    while (innermost < sample.num_frames &&
+           IsProfilerFrame(symbol_for(sample.frames[innermost]))) {
+      ++innermost;
+    }
+    for (int i = sample.num_frames - 1; i >= innermost; --i) {
+      frames.push_back(symbol_for(sample.frames[i]));
+    }
+    stacks.push_back(std::move(frames));
+  }
+  result.collapsed = CollapseStacks(stacks);
+
+  g_state.store(nullptr, std::memory_order_release);
+  delete[] state->slab;
+  delete state;
+#endif  // DMVI_PROFILER_BACKEND
+  g_running.store(false, std::memory_order_release);
+  return result;
+}
+
+std::string CollapseStacks(
+    const std::vector<std::vector<std::string>>& stacks) {
+  std::map<std::string, int64_t> folded;
+  for (const std::vector<std::string>& stack : stacks) {
+    std::string line;
+    for (const std::string& frame : stack) {
+      if (!line.empty()) line += ';';
+      // Frame names must not smuggle in the fold separators.
+      for (const char c : frame) {
+        line += (c == ';' || c == '\n') ? '_' : c;
+      }
+    }
+    if (line.empty()) line = "(unresolved)";
+    ++folded[line];
+  }
+  std::string out;
+  for (const auto& [line, count] : folded) {
+    out += line;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace deepmvi

@@ -1,0 +1,87 @@
+#ifndef DEEPMVI_OBS_PROFILER_H_
+#define DEEPMVI_OBS_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace deepmvi {
+namespace obs {
+
+/// The output of one profiling window, ready to render: `collapsed` is
+/// flamegraph.pl "collapsed stack" text — one `frame;frame;... count`
+/// line per distinct stack, root frame first, sorted by stack — which
+/// both flamegraph.pl and speedscope ingest directly.
+struct ProfileResult {
+  std::string collapsed;
+  int64_t samples = 0;        // Stacks captured into the sample buffer.
+  int64_t dropped = 0;        // Ticks lost because the buffer was full.
+  double duration_seconds = 0.0;  // Wall time between Start and Stop.
+  int hz = 0;                 // Requested sampling rate (per CPU-second).
+};
+
+/// Process-wide sampling CPU profiler: a POSIX interval timer on the
+/// process CPU clock delivers SIGPROF `hz` times per consumed CPU-second,
+/// and the signal handler appends the interrupted thread's stack (its
+/// ProfileLabelScope annotations plus the native backtrace) to a
+/// preallocated sample buffer — one atomic slot claim, no locks, no
+/// allocation on the signal path. Symbolization (dladdr + demangling) and
+/// folding happen once, at Stop.
+///
+/// One window at a time: Start while a window is open (from any thread)
+/// returns FailedPrecondition, which the /debug/profile endpoint maps to
+/// 503 — concurrent operators share the profiler rather than corrupting
+/// each other's samples. The profiler only observes; it never perturbs
+/// results (the byte-identity suites run with it on).
+///
+/// Under ThreadSanitizer the native unwinder is not async-signal-safe
+/// enough to trust, so samples carry only the label stacks; everywhere
+/// else labels are prepended to the native frames.
+class CpuProfiler {
+ public:
+  static constexpr int kDefaultHz = 99;  // Prime: avoids lockstep bias.
+  static constexpr int kMaxHz = 1000;
+
+  /// Arms the timer and starts sampling at `hz`. FailedPrecondition when
+  /// a window is already open (or the platform has no POSIX CPU-clock
+  /// timers), InvalidArgument for a rate outside [1, kMaxHz].
+  static Status Start(int hz = kDefaultHz);
+
+  /// Disarms the timer, waits for in-flight handlers, symbolizes and
+  /// folds the samples. Must pair with a successful Start.
+  static ProfileResult Stop();
+
+  /// True between a successful Start and its Stop.
+  static bool IsRunning();
+};
+
+/// Annotates the calling thread's stack for the profiler: while the scope
+/// is alive, every sample taken on this thread carries `label` (root
+/// first when scopes nest). Labels must be string literals or otherwise
+/// outlive the scope — the signal handler copies the pointer, not the
+/// bytes. Always on and cheap enough for hot kernels (two thread-local
+/// stores); guarantees semantically-named frames ("matmul.blocked") even
+/// where native symbolization cannot see static or inlined functions.
+class ProfileLabelScope {
+ public:
+  static constexpr int kMaxDepth = 8;
+
+  explicit ProfileLabelScope(const char* label);
+  ~ProfileLabelScope();
+  ProfileLabelScope(const ProfileLabelScope&) = delete;
+  ProfileLabelScope& operator=(const ProfileLabelScope&) = delete;
+};
+
+/// Folds stacks (each one a root-first frame list) into collapsed-stack
+/// text: identical stacks aggregate into one `a;b;c count` line, lines
+/// sorted lexicographically. A stack with no frames folds under
+/// "(unresolved)". Exposed separately from the profiler so aggregation is
+/// testable with a deterministic injected sampler.
+std::string CollapseStacks(const std::vector<std::vector<std::string>>& stacks);
+
+}  // namespace obs
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_OBS_PROFILER_H_

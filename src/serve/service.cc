@@ -7,6 +7,7 @@
 
 #include "baselines/simple.h"
 #include "common/parallel.h"
+#include "obs/profiler.h"
 
 namespace deepmvi {
 namespace serve {
@@ -57,6 +58,7 @@ ImputationService::~ImputationService() { Shutdown(); }
 
 ImputationResponse ImputationService::Process(const ImputationRequest& request,
                                               bool degrade) {
+  obs::ProfileLabelScope profile_label("service.process");
   obs::Span span(config_.tracer, "service.process", request.trace_parent);
   if (span.active() && !request.request_id.empty()) {
     span.set_request_id(request.request_id);
@@ -127,6 +129,7 @@ ImputationResponse ImputationService::Process(const ImputationRequest& request,
       }
       if (hit != nullptr) {
         telemetry_.RecordCacheLookup(true);
+        response.cache_hit = true;
         response.imputed = hit->imputed;
         response.cells_imputed = hit->cells_imputed;
         response.rows_touched = hit->rows_touched;
@@ -140,8 +143,9 @@ ImputationResponse ImputationService::Process(const ImputationRequest& request,
       if (predict_span.active()) predict_span.set_request_id(request.request_id);
       Stopwatch predict_watch;
       response.imputed = model->Predict(*request.data, request.mask);
+      response.predict_seconds = predict_watch.ElapsedSeconds();
       if (stage_predict_ != nullptr) {
-        stage_predict_->Observe(predict_watch.ElapsedSeconds());
+        stage_predict_->Observe(response.predict_seconds);
       }
     }
     response.cells_imputed = request.mask.CountMissing();
@@ -175,12 +179,34 @@ uint64_t ImputationService::MemoizedDataFingerprint(
   return fingerprint;
 }
 
+void ImputationService::RecordFlight(const ImputationRequest& request,
+                                     const ImputationResponse& response,
+                                     bool shed) {
+  if (config_.recorder == nullptr) return;
+  obs::RequestRecord record;
+  record.request_id = request.request_id;
+  record.model = request.model;
+  record.status = response.status.ToString();
+  record.ok = response.status.ok();
+  record.latency_seconds = response.latency_seconds;
+  record.queue_seconds = response.queue_seconds;
+  record.predict_seconds = response.predict_seconds;
+  record.cells_imputed = response.cells_imputed;
+  record.cache_hit = response.cache_hit;
+  record.degraded = response.degraded;
+  record.degrade_method = response.degrade_method;
+  record.shed = shed;
+  config_.recorder->Record(std::move(record));
+}
+
 ImputationResponse ImputationService::Impute(const ImputationRequest& request) {
   Stopwatch watch;
   ImputationResponse response = Process(request);
   response.latency_seconds = watch.ElapsedSeconds();
   telemetry_.RecordRequest(response.latency_seconds, response.rows_touched,
-                           response.cells_imputed, response.status.ok());
+                           response.cells_imputed, response.status.ok(),
+                           request.request_id);
+  RecordFlight(request, response, /*shed=*/false);
   return response;
 }
 
@@ -199,7 +225,9 @@ std::vector<ImputationResponse> ImputationService::ImputeBatch(
     telemetry_.RecordRequest(responses[i].latency_seconds,
                              responses[i].rows_touched,
                              responses[i].cells_imputed,
-                             responses[i].status.ok());
+                             responses[i].status.ok(),
+                             requests[i].request_id);
+    RecordFlight(requests[i], responses[i], /*shed=*/false);
   });
   return responses;
 }
@@ -256,7 +284,9 @@ std::future<ImputationResponse> ImputationService::Submit(
         std::to_string(config_.shed_watermark) + "); retry later");
     response.latency_seconds = pending.queued.ElapsedSeconds();
     telemetry_.RecordShed();
-    telemetry_.RecordRequest(response.latency_seconds, 0, 0, false);
+    telemetry_.RecordRequest(response.latency_seconds, 0, 0, false,
+                             pending.request.request_id);
+    RecordFlight(pending.request, response, /*shed=*/true);
     pending.promise.set_value(std::move(response));
     return future;
   }
@@ -291,8 +321,9 @@ void ImputationService::RunBatch(std::vector<PendingRequest>& batch) {
   ParallelFor(total, config_.threads, [&](int i) {
     // Queue wait ends when its batch starts: record it retrospectively as
     // a sibling preceding service.process under the request's parent.
+    const double queue_seconds = batch[i].queued.ElapsedSeconds();
     if (stage_queue_wait_ != nullptr) {
-      stage_queue_wait_->Observe(batch[i].queued.ElapsedSeconds());
+      stage_queue_wait_->Observe(queue_seconds);
     }
     obs::Tracer* tracer = config_.tracer;
     if (tracer != nullptr && tracer->enabled()) {
@@ -309,8 +340,11 @@ void ImputationService::RunBatch(std::vector<PendingRequest>& batch) {
     ImputationResponse response = Process(batch[i].request, batch[i].degrade);
     // Caller-observed latency: queue wait + batch formation + compute.
     response.latency_seconds = batch[i].queued.ElapsedSeconds();
+    response.queue_seconds = queue_seconds;
     telemetry_.RecordRequest(response.latency_seconds, response.rows_touched,
-                             response.cells_imputed, response.status.ok());
+                             response.cells_imputed, response.status.ok(),
+                             batch[i].request.request_id);
+    RecordFlight(batch[i].request, response, /*shed=*/false);
     batch[i].promise.set_value(std::move(response));
   });
 }

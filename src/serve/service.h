@@ -12,6 +12,7 @@
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/registry.h"
@@ -57,6 +58,13 @@ struct ImputationResponse {
   /// The fallback that answered ("LinearInterp" / "Mean"); empty when
   /// the full model ran.
   std::string degrade_method;
+  /// True when the response cache answered (bit-identical to recomputing;
+  /// only the latency differs).
+  bool cache_hit = false;
+  /// Full-model Predict time; 0 on cache hits, fallback, and errors.
+  double predict_seconds = 0.0;
+  /// Dispatcher queue wait (Submit path; 0 on the synchronous paths).
+  double queue_seconds = 0.0;
 };
 
 /// Tuning knobs of the serving loop.
@@ -93,6 +101,11 @@ struct ServiceConfig {
   /// fallback); the tracer receives per-request spans.
   obs::MetricsRegistry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
+  /// Optional flight recorder, borrowed like the hooks above (null
+  /// disables). Every completed request — including cache hits, degraded
+  /// answers, and sheds — appends one RequestRecord; recording never
+  /// touches response bytes, so the byte-identity bar holds with it on.
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 /// Long-lived imputation service: owns loaded models (via the registry),
@@ -198,6 +211,11 @@ class ImputationService {
 
   /// Runs `batch` through ParallelFor, fulfilling promises per slot.
   void RunBatch(std::vector<PendingRequest>& batch);
+
+  /// Appends the request's flight-recorder record (no-op without a
+  /// recorder). `shed` marks admission-control rejections.
+  void RecordFlight(const ImputationRequest& request,
+                    const ImputationResponse& response, bool shed);
 
   void DispatchLoop() DMVI_EXCLUDES(queue_mutex_);
   void EnsureDispatcherLocked() DMVI_REQUIRES(queue_mutex_);

@@ -17,7 +17,8 @@ void Telemetry::TouchClockLocked() {
 }
 
 void Telemetry::RecordRequest(double latency_seconds, int64_t rows,
-                              int64_t cells, bool ok) {
+                              int64_t cells, bool ok,
+                              const std::string& request_id) {
   MutexLock lock(&mutex_);
   TouchClockLocked();
   ++requests_;
@@ -26,7 +27,7 @@ void Telemetry::RecordRequest(double latency_seconds, int64_t rows,
   cells_imputed_ += cells;
   busy_seconds_ += latency_seconds;
   latency_max_seconds_ = std::max(latency_max_seconds_, latency_seconds);
-  latency_histogram_.Observe(latency_seconds);
+  latency_histogram_.ObserveWithExemplar(latency_seconds, request_id);
   // Algorithm R: keep the first C latencies, then replace a uniformly
   // chosen slot with probability C / requests_ — an unbiased sample of
   // the whole stream in bounded memory. Retained as a cross-check for

@@ -66,8 +66,11 @@ class Telemetry {
 
   /// Records one completed request. `latency_seconds` should include queue
   /// time for async requests so percentiles reflect what callers observe.
+  /// A non-empty `request_id` becomes the latency histogram's bucket
+  /// exemplar, so the exposition links slow buckets to replayable
+  /// requests.
   void RecordRequest(double latency_seconds, int64_t rows, int64_t cells,
-                     bool ok);
+                     bool ok, const std::string& request_id = std::string());
 
   /// Records one dispatched micro-batch of `size` requests.
   void RecordBatch(int size);

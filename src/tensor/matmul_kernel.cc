@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace deepmvi {
@@ -66,6 +67,7 @@ inline void MicroKernel1x1(double* c0, const double* b0, double a00, int n) {
 
 void MatMulBlocked(const double* a, const double* b, double* c, int m, int k,
                    int n) {
+  obs::ProfileLabelScope profile_label("matmul.blocked");
   obs::Span span = obs::KernelSpan("matmul.blocked");
   AnnotateDims(span, m, k, n);
   for (int k0 = 0; k0 < k; k0 += kKTile) {
@@ -109,6 +111,7 @@ void TransposeMatMulBlocked(const double* a, const double* b, double* c, int m,
                             int k, int n) {
   // a is k x m and read transposed: the i-th output row multiplies column i
   // of a, a stride-m gather; everything else mirrors MatMulBlocked.
+  obs::ProfileLabelScope profile_label("matmul.transpose_a");
   obs::Span span = obs::KernelSpan("matmul.transpose_a");
   AnnotateDims(span, m, k, n);
   for (int k0 = 0; k0 < k; k0 += kKTile) {
@@ -154,6 +157,7 @@ void MatMulTransposeBlocked(const double* a, const double* b, double* c, int m,
   // Row-times-row dot products; four B rows are swept per pass so each
   // loaded A row feeds four accumulators. Every accumulator is one
   // ascending-k chain, matching the naive order.
+  obs::ProfileLabelScope profile_label("matmul.transpose_b");
   obs::Span span = obs::KernelSpan("matmul.transpose_b");
   AnnotateDims(span, m, k, n);
   for (int i = 0; i < m; ++i) {

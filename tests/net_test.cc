@@ -28,7 +28,9 @@
 #include "net/endpoints.h"
 #include "net/http.h"
 #include "net/server.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "serve/service.h"
 #include "serve/workload.h"
@@ -562,6 +564,36 @@ TEST(HttpServerTest, RoutesKeepAliveErrorsAndOversizedMessages) {
   server.Stop();
 }
 
+TEST(HttpTest, TargetPathAndQueryParameter) {
+  EXPECT_EQ(net::TargetPath("/debug/profile?seconds=2"), "/debug/profile");
+  EXPECT_EQ(net::TargetPath("/healthz"), "/healthz");
+  EXPECT_EQ(net::TargetPath("/a?"), "/a");
+  EXPECT_EQ(net::QueryParameter("/p?seconds=2&hz=500", "seconds"), "2");
+  EXPECT_EQ(net::QueryParameter("/p?seconds=2&hz=500", "hz"), "500");
+  EXPECT_EQ(net::QueryParameter("/p?seconds=2", "missing"), "");
+  EXPECT_EQ(net::QueryParameter("/p?flag&x=1", "flag"), "");
+  EXPECT_EQ(net::QueryParameter("/p", "x"), "");
+}
+
+TEST(HttpServerTest, QueryStringsRouteToTheBarePath) {
+  net::HttpServer server;
+  server.Handle("GET", "/echo", [](const net::HttpMessage& request) {
+    return net::MakeResponse(
+        200, net::QueryParameter(request.target, "v"), "text/plain");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  net::Client client("127.0.0.1", server.port());
+
+  StatusOr<net::HttpMessage> with_query = client.Get("/echo?v=42");
+  ASSERT_TRUE(with_query.ok()) << with_query.status().ToString();
+  EXPECT_EQ(with_query->status_code, 200);
+  EXPECT_EQ(with_query->body, "42");
+  // The query string affects neither 404 nor 405 classification.
+  EXPECT_EQ(client.Get("/nope?v=1")->status_code, 404);
+  EXPECT_EQ(client.Post("/echo?v=1", "", "text/plain")->status_code, 405);
+  server.Stop();
+}
+
 TEST(HttpServerTest, ManyConcurrentClientsAreServed) {
   net::ServerConfig config;
   config.num_workers = 3;
@@ -925,6 +957,175 @@ TEST(ServingEndpointsTest, AdminEndpointsHealthMetricsReload) {
   EXPECT_EQ(client.Post("/admin/reload", "{not json", "application/json")
                 ->status_code,
             400);
+  server.Stop();
+}
+
+TEST(ServingEndpointsTest, DebugEndpointsServeRecorderAndState) {
+  obs::FlightRecorder recorder(/*capacity=*/8,
+                               /*slow_threshold_seconds=*/1e-9);
+  serve::ServiceConfig service_config;
+  service_config.recorder = &recorder;
+  ServedCase served(service_config);
+  obs::MetricsRegistry metrics;
+  net::ServingContext ctx = served.Context();
+  ctx.recorder = &recorder;
+  ctx.metrics = &metrics;
+  ctx.build_commit = "cafef00d";
+  net::HttpServer server;
+  net::RegisterServingEndpoints(&server, ctx);
+  ASSERT_TRUE(server.Start().ok());
+  net::Client client("127.0.0.1", server.port());
+
+  // Drive one request through so the recorder has something to show.
+  net::HttpMessage impute;
+  impute.method = "POST";
+  impute.target = "/v1/impute";
+  impute.body = R"({"model": "default",
+                    "query": {"row": 1, "t_start": 10, "block_len": 4}})";
+  impute.SetHeader("content-type", "application/json");
+  impute.SetHeader("x-request-id", "debug-req-0");
+  StatusOr<net::HttpMessage> response = client.RoundTrip(impute);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response->status_code, 200);
+
+  StatusOr<net::HttpMessage> requests = client.Get("/debug/requests");
+  ASSERT_TRUE(requests.ok());
+  ASSERT_EQ(requests->status_code, 200);
+  EXPECT_EQ(requests->Header("content-type"), "application/json");
+  StatusOr<net::JsonValue> doc = net::ParseJson(requests->body);
+  ASSERT_TRUE(doc.ok()) << requests->body;
+  EXPECT_EQ(doc->at("capacity").number_value(), 8);
+  EXPECT_DOUBLE_EQ(doc->at("slow_threshold_seconds").number_value(), 1e-9);
+  EXPECT_EQ(doc->at("total_recorded").number_value(), 1);
+  ASSERT_EQ(doc->at("records").array_items().size(), 1u);
+  const net::JsonValue& record = doc->at("records").array_items()[0];
+  EXPECT_EQ(record.at("request_id").string_value(), "debug-req-0");
+  EXPECT_TRUE(record.at("ok").bool_value());
+  EXPECT_GT(record.at("latency_seconds").number_value(), 0.0);
+
+  // A nanosecond threshold makes every request slow.
+  StatusOr<net::HttpMessage> slow = client.Get("/debug/slow");
+  ASSERT_TRUE(slow.ok());
+  ASSERT_EQ(slow->status_code, 200);
+  StatusOr<net::JsonValue> slow_doc = net::ParseJson(slow->body);
+  ASSERT_TRUE(slow_doc.ok()) << slow->body;
+  EXPECT_EQ(slow_doc->at("total_slow").number_value(), 1);
+  ASSERT_EQ(slow_doc->at("records").array_items().size(), 1u);
+
+  StatusOr<net::HttpMessage> state = client.Get("/debug/state");
+  ASSERT_TRUE(state.ok());
+  ASSERT_EQ(state->status_code, 200);
+  StatusOr<net::JsonValue> state_doc = net::ParseJson(state->body);
+  ASSERT_TRUE(state_doc.ok()) << state->body;
+  EXPECT_EQ(state_doc->at("build_commit").string_value(), "cafef00d");
+  EXPECT_GE(state_doc->at("uptime_seconds").number_value(), 0.0);
+  EXPECT_GT(state_doc->at("pid").number_value(), 0);
+  EXPECT_FALSE(state_doc->at("profiler_running").bool_value());
+#if defined(__linux__)
+  EXPECT_TRUE(state_doc->at("process_stats_ok").bool_value());
+  EXPECT_GT(state_doc->at("rss_bytes").number_value(), 0);
+  EXPECT_GT(state_doc->at("open_fds").number_value(), 0);
+#endif
+  server.Stop();
+}
+
+TEST(ServingEndpointsTest, DebugRequestsWithoutRecorderIs503) {
+  ServedCase served;
+  net::HttpServer server;
+  net::RegisterServingEndpoints(&server, served.Context());
+  ASSERT_TRUE(server.Start().ok());
+  net::Client client("127.0.0.1", server.port());
+  for (const char* path : {"/debug/requests", "/debug/slow"}) {
+    StatusOr<net::HttpMessage> response = client.Get(path);
+    ASSERT_TRUE(response.ok()) << path;
+    EXPECT_EQ(response->status_code, 503) << path;
+  }
+  // /debug/state needs no recorder.
+  EXPECT_EQ(client.Get("/debug/state")->status_code, 200);
+  server.Stop();
+}
+
+TEST(ServingEndpointsTest, DebugProfileAnswersCollapsedStacksOrBusy) {
+  ServedCase served;
+  net::HttpServer server;
+  net::RegisterServingEndpoints(&server, served.Context());
+  ASSERT_TRUE(server.Start().ok());
+  net::Client client("127.0.0.1", server.port());
+
+  // Invalid parameters clamp rather than fail; the window itself may be
+  // FailedPrecondition (503) where CPU-clock timers are unavailable.
+  StatusOr<net::HttpMessage> profile =
+      client.Get("/debug/profile?seconds=1&hz=200");
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  ASSERT_TRUE(profile->status_code == 200 || profile->status_code == 503)
+      << profile->status_code << " " << profile->body;
+  if (profile->status_code == 200) {
+    EXPECT_EQ(profile->Header("x-dmvi-profile-hz"), "200");
+    // The seconds header reports the measured window, >= the requested 1s.
+    EXPECT_GE(std::atof(profile->Header("x-dmvi-profile-seconds").c_str()),
+              1.0);
+    EXPECT_FALSE(profile->Header("x-dmvi-profile-samples").empty());
+    // An idle server consumes no CPU, so zero samples (empty body) is
+    // legitimate; any samples must fold into collapsed-stack lines.
+    if (!profile->body.empty()) {
+      EXPECT_NE(profile->body.find(' '), std::string::npos);
+    }
+    EXPECT_FALSE(obs::CpuProfiler::IsRunning());
+  }
+  server.Stop();
+}
+
+TEST(ServingEndpointsTest, MetricsExportProcessPoolAndTraceGauges) {
+  obs::CollectingTraceSink sink;
+  ServedCase served;
+  obs::MetricsRegistry metrics;
+  net::ServingContext ctx = served.Context();
+  ctx.metrics = &metrics;
+  ctx.trace_sink = &sink;
+  net::HttpServer server;
+  net::RegisterServingEndpoints(&server, ctx);
+  ASSERT_TRUE(server.Start().ok());
+  net::Client client("127.0.0.1", server.port());
+
+  StatusOr<net::HttpMessage> scraped = client.Get("/metrics");
+  ASSERT_TRUE(scraped.ok());
+  ASSERT_EQ(scraped->status_code, 200);
+  const std::string& text = scraped->body;
+  for (const char* metric :
+       {"# TYPE dmvi_accept_queue_high_water gauge",
+        "# TYPE dmvi_pool_threads_created_total counter",
+        "# TYPE dmvi_trace_dropped_spans_total counter",
+        "# TYPE dmvi_process_resident_bytes gauge",
+        "# TYPE dmvi_process_cpu_seconds gauge",
+        "# TYPE dmvi_process_open_fds gauge"}) {
+    EXPECT_NE(text.find(metric), std::string::npos) << metric;
+  }
+  server.Stop();
+}
+
+TEST(ServingEndpointsTest, LatencyHistogramCarriesRequestIdExemplars) {
+  ServedCase served;
+  net::HttpServer server;
+  net::RegisterServingEndpoints(&server, served.Context());
+  ASSERT_TRUE(server.Start().ok());
+  net::Client client("127.0.0.1", server.port());
+
+  net::HttpMessage impute;
+  impute.method = "POST";
+  impute.target = "/v1/impute";
+  impute.body = R"({"model": "default",
+                    "query": {"row": 0, "t_start": 5, "block_len": 3}})";
+  impute.SetHeader("content-type", "application/json");
+  impute.SetHeader("x-request-id", "exemplar-7");
+  ASSERT_EQ(client.RoundTrip(impute)->status_code, 200);
+
+  StatusOr<net::HttpMessage> scraped = client.Get("/metrics");
+  ASSERT_TRUE(scraped.ok());
+  // The latency bucket the request landed in cites it by id, OpenMetrics
+  // exemplar syntax: `... } <count> # {request_id="exemplar-7"} <value>`.
+  EXPECT_NE(scraped->body.find("# {request_id=\"exemplar-7\"}"),
+            std::string::npos)
+      << scraped->body;
   server.Stop();
 }
 

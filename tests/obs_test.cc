@@ -1,18 +1,24 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "net/codec.h"
+#include "obs/flight_recorder.h"
 #include "obs/histogram.h"
 #include "obs/metrics.h"
+#include "obs/process_stats.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "serve/telemetry.h"
 
@@ -463,6 +469,292 @@ TEST(TraceTest, ChromeTraceJsonParsesAndNests) {
   EXPECT_GE(matmul.at("ts").number_value(), root_start - 1e-3);
   EXPECT_LE(matmul.at("ts").number_value() + matmul.at("dur").number_value(),
             root_end + 1e-3);
+}
+
+// ---- Histogram exemplars ---------------------------------------------------
+
+TEST(ExemplarTest, ExpositionGolden) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* histogram =
+      registry.HistogramNamed("dmvi_tiny_seconds", "Tiny timings.");
+  // Sub-microsecond observations pin the bucket list to one finite bucket;
+  // the second observation's exemplar wins (most recent per bucket).
+  histogram->ObserveWithExemplar(5e-7, "req-1");
+  histogram->ObserveWithExemplar(6e-7, "req-7");
+  EXPECT_EQ(registry.PrometheusText(),
+            "# HELP dmvi_tiny_seconds Tiny timings.\n"
+            "# TYPE dmvi_tiny_seconds histogram\n"
+            "dmvi_tiny_seconds_bucket{le=\"1e-06\"} 2"
+            " # {request_id=\"req-7\"} 6e-07\n"
+            // Exemplars attach to the bucket the value landed in; the
+            // +Inf slot only fills when an observation overflows.
+            "dmvi_tiny_seconds_bucket{le=\"+Inf\"} 2\n"
+            "dmvi_tiny_seconds_sum 1.1e-06\n"
+            "dmvi_tiny_seconds_count 2\n");
+}
+
+TEST(ExemplarTest, PlainObservationsRenderWithoutSuffix) {
+  obs::Histogram histogram;
+  histogram.Observe(5e-7);
+  std::ostringstream os;
+  obs::AppendPrometheusHistogram(os, "dmvi_tiny_seconds", "h",
+                                 histogram.Snapshot());
+  EXPECT_EQ(os.str().find('#', os.str().find("TYPE") + 4), std::string::npos)
+      << os.str();
+}
+
+TEST(ExemplarTest, SuffixIsInvisibleToWhitespaceSplittingParsers) {
+  // dmvi_loadgen's PrometheusValue (and the CI greps) read `name value`
+  // from the first two whitespace-separated fields; an exemplar suffix on
+  // a bucket line must not perturb the _count/_sum lines they consume.
+  obs::MetricsRegistry registry;
+  registry.HistogramNamed("dmvi_lat_seconds", "h")
+      ->ObserveWithExemplar(0.002, "req-3");
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("dmvi_lat_seconds_count 1\n"), std::string::npos);
+  EXPECT_NE(text.find("# {request_id=\"req-3\"} 0.002"), std::string::npos);
+}
+
+TEST(ExemplarTest, LabelValuesAreEscaped) {
+  obs::Histogram histogram;
+  histogram.ObserveWithExemplar(5e-7, "a\"b\\c");
+  std::ostringstream os;
+  obs::AppendPrometheusHistogram(os, "dmvi_x_seconds", "h",
+                                 histogram.Snapshot());
+  EXPECT_NE(os.str().find("request_id=\"a\\\"b\\\\c\""), std::string::npos)
+      << os.str();
+}
+
+TEST(ExemplarTest, MergeAdoptsSourceExemplars) {
+  obs::Histogram source, target;
+  source.ObserveWithExemplar(5e-7, "req-42");
+  target.Merge(source.Snapshot());
+  const obs::HistogramSnapshot snap = target.Snapshot();
+  ASSERT_FALSE(snap.exemplar_labels.empty());
+  EXPECT_EQ(snap.exemplar_labels[0], "req-42");
+  EXPECT_DOUBLE_EQ(snap.exemplar_values[0], 5e-7);
+}
+
+// ---- Collapsed-stack folding ----------------------------------------------
+
+TEST(ProfilerTest, CollapseStacksFoldsAndSorts) {
+  // Deterministic injected sampler: the aggregation contract is testable
+  // without any signals — identical stacks fold into one counted line,
+  // lines sort lexicographically, frames join root-first with ';'.
+  const std::string collapsed = obs::CollapseStacks({
+      {"main", "Fit", "MatMul"},
+      {"main", "Fit"},
+      {"main", "Fit", "MatMul"},
+      {"main", "Encode"},
+  });
+  EXPECT_EQ(collapsed,
+            "main;Encode 1\n"
+            "main;Fit 1\n"
+            "main;Fit;MatMul 2\n");
+}
+
+TEST(ProfilerTest, CollapseStacksHandlesEmpty) {
+  EXPECT_EQ(obs::CollapseStacks({}), "");
+  EXPECT_EQ(obs::CollapseStacks({{}, {}}), "(unresolved) 2\n");
+}
+
+// ---- Sampling profiler ------------------------------------------------------
+
+TEST(ProfilerTest, StartRejectsBadRates) {
+  EXPECT_EQ(obs::CpuProfiler::Start(0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(obs::CpuProfiler::Start(obs::CpuProfiler::kMaxHz + 1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(obs::CpuProfiler::IsRunning());
+}
+
+TEST(ProfilerTest, OneWindowAtATime) {
+  Status started = obs::CpuProfiler::Start();
+  if (started.code() == StatusCode::kFailedPrecondition) {
+    GTEST_SKIP() << "no CPU-clock timers here: " << started.ToString();
+  }
+  ASSERT_TRUE(started.ok()) << started.ToString();
+  EXPECT_TRUE(obs::CpuProfiler::IsRunning());
+  EXPECT_EQ(obs::CpuProfiler::Start().code(),
+            StatusCode::kFailedPrecondition);
+  const obs::ProfileResult result = obs::CpuProfiler::Stop();
+  EXPECT_FALSE(obs::CpuProfiler::IsRunning());
+  EXPECT_EQ(result.hz, obs::CpuProfiler::kDefaultHz);
+}
+
+TEST(ProfilerTest, SamplesLabeledCpuBurn) {
+  Status started = obs::CpuProfiler::Start(/*hz=*/997);
+  if (started.code() == StatusCode::kFailedPrecondition) {
+    GTEST_SKIP() << "no CPU-clock timers here: " << started.ToString();
+  }
+  ASSERT_TRUE(started.ok()) << started.ToString();
+  // Burn CPU under a label until samples must have landed (the timer
+  // ticks on consumed CPU time, so wall-clock sleeps would never
+  // sample). volatile keeps the loop from folding away.
+  volatile double sink_value = 0.0;
+  {
+    obs::ProfileLabelScope label("obs_test.burn");
+    Stopwatch watch;
+    while (watch.ElapsedSeconds() < 0.25) {
+      for (int i = 0; i < 1000; ++i) sink_value = sink_value + std::sqrt(i);
+    }
+  }
+  const obs::ProfileResult result = obs::CpuProfiler::Stop();
+  EXPECT_GT(result.samples, 0);
+  EXPECT_GT(result.duration_seconds, 0.0);
+  ASSERT_FALSE(result.collapsed.empty());
+  // The label is the root-most frame of every sample taken in the scope.
+  EXPECT_NE(result.collapsed.find("obs_test.burn"), std::string::npos)
+      << result.collapsed;
+  // Restartable: a second window opens cleanly after Stop.
+  ASSERT_TRUE(obs::CpuProfiler::Start().ok());
+  obs::CpuProfiler::Stop();
+}
+
+TEST(ProfilerTest, LabelScopesNestRootFirst) {
+  // Pure label mechanics (no sampling): nesting and unwinding must be
+  // balanced even when depth exceeds kMaxDepth.
+  obs::ProfileLabelScope outer("outer");
+  {
+    std::vector<std::unique_ptr<obs::ProfileLabelScope>> deep;
+    for (int i = 0; i < obs::ProfileLabelScope::kMaxDepth + 4; ++i) {
+      deep.push_back(std::make_unique<obs::ProfileLabelScope>("deep"));
+    }
+  }
+  obs::ProfileLabelScope inner("inner");
+}
+
+// ---- Flight recorder --------------------------------------------------------
+
+obs::RequestRecord MakeRecord(int i, double latency) {
+  obs::RequestRecord record;
+  record.request_id = "req-" + std::to_string(i);
+  record.model = "default";
+  record.status = "OK";
+  record.latency_seconds = latency;
+  record.cells_imputed = i;
+  return record;
+}
+
+TEST(FlightRecorderTest, RingWrapsKeepingNewestOldestFirst) {
+  obs::FlightRecorder recorder(/*capacity=*/4, /*slow_threshold_seconds=*/1.0);
+  for (int i = 0; i < 10; ++i) recorder.Record(MakeRecord(i, 0.001));
+  EXPECT_EQ(recorder.total_recorded(), 10);
+  const std::vector<obs::RequestRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(records[static_cast<size_t>(i)].request_id,
+              "req-" + std::to_string(6 + i));
+  }
+  // completed_seconds is stamped by Record and never decreases.
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_GE(records[i].completed_seconds, records[i - 1].completed_seconds);
+  }
+}
+
+TEST(FlightRecorderTest, PartialRingReadsBackInOrder) {
+  obs::FlightRecorder recorder(/*capacity=*/8, /*slow_threshold_seconds=*/1.0);
+  for (int i = 0; i < 3; ++i) recorder.Record(MakeRecord(i, 0.001));
+  const std::vector<obs::RequestRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].request_id, "req-0");
+  EXPECT_EQ(records[2].request_id, "req-2");
+  EXPECT_TRUE(recorder.SlowSnapshot().empty());
+}
+
+TEST(FlightRecorderTest, SlowRingCapturesThresholdCrossers) {
+  obs::FlightRecorder recorder(/*capacity=*/16,
+                               /*slow_threshold_seconds=*/0.010,
+                               /*slow_capacity=*/2);
+  recorder.Record(MakeRecord(0, 0.001));
+  recorder.Record(MakeRecord(1, 0.020));
+  recorder.Record(MakeRecord(2, 0.010));  // At threshold: slow.
+  recorder.Record(MakeRecord(3, 0.009));
+  recorder.Record(MakeRecord(4, 0.500));
+  EXPECT_EQ(recorder.total_slow(), 3);
+  const std::vector<obs::RequestRecord> slow = recorder.SlowSnapshot();
+  // Bounded at slow_capacity, newest retained.
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_EQ(slow[0].request_id, "req-2");
+  EXPECT_EQ(slow[1].request_id, "req-4");
+  // The main ring still has everything.
+  EXPECT_EQ(recorder.Snapshot().size(), 5u);
+}
+
+TEST(FlightRecorderTest, ConcurrentAppendAndSnapshot) {
+  obs::FlightRecorder recorder(/*capacity=*/32,
+                               /*slow_threshold_seconds=*/0.010);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::atomic<bool> stop{false};
+  std::thread reader([&recorder, &stop] {
+    while (!stop.load()) {
+      // Every interleaving must observe well-formed records.
+      for (const obs::RequestRecord& record : recorder.Snapshot()) {
+        ASSERT_EQ(record.model, "default");
+        ASSERT_EQ(record.request_id.compare(0, 4, "req-"), 0);
+      }
+      recorder.SlowSnapshot();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        recorder.Record(MakeRecord(t * kPerThread + i,
+                                   i % 7 == 0 ? 0.020 : 0.001));
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(recorder.total_recorded(), kThreads * kPerThread);
+  EXPECT_EQ(recorder.Snapshot().size(), 32u);
+}
+
+TEST(FlightRecorderTest, JsonRendersAllFieldsAndEscapes) {
+  obs::RequestRecord record = MakeRecord(0, 0.125);
+  record.request_id = "req \"quoted\"\n";
+  record.status = "NotFound: no model";
+  record.ok = false;
+  record.queue_seconds = 0.25;
+  record.predict_seconds = 0.0625;
+  record.cache_hit = true;
+  record.degraded = true;
+  record.degrade_method = "LinearInterp";
+  record.shed = false;
+  record.completed_seconds = 1.5;
+  StatusOr<net::JsonValue> parsed =
+      net::ParseJson(obs::FlightRecordsJson({record}));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->is_array());
+  const net::JsonValue& entry = parsed->array_items()[0];
+  EXPECT_EQ(entry.at("request_id").string_value(), "req \"quoted\"\n");
+  EXPECT_EQ(entry.at("status").string_value(), "NotFound: no model");
+  EXPECT_FALSE(entry.at("ok").bool_value());
+  EXPECT_DOUBLE_EQ(entry.at("latency_seconds").number_value(), 0.125);
+  EXPECT_DOUBLE_EQ(entry.at("queue_seconds").number_value(), 0.25);
+  EXPECT_DOUBLE_EQ(entry.at("predict_seconds").number_value(), 0.0625);
+  EXPECT_TRUE(entry.at("cache_hit").bool_value());
+  EXPECT_TRUE(entry.at("degraded").bool_value());
+  EXPECT_EQ(entry.at("degrade_method").string_value(), "LinearInterp");
+  EXPECT_FALSE(entry.at("shed").bool_value());
+  EXPECT_DOUBLE_EQ(entry.at("completed_seconds").number_value(), 1.5);
+  EXPECT_EQ(obs::FlightRecordsJson({}), "[]\n");
+}
+
+// ---- Process stats ----------------------------------------------------------
+
+TEST(ProcessStatsTest, LinuxSelfReadIsSane) {
+  const obs::ProcessStats stats = obs::ReadProcessStats();
+#if defined(__linux__)
+  ASSERT_TRUE(stats.ok);
+  EXPECT_GT(stats.rss_bytes, 1 << 20);  // A C++ test binary exceeds 1 MiB.
+  EXPECT_GE(stats.cpu_seconds, 0.0);
+  EXPECT_GT(stats.open_fds, 0);  // stdio at minimum.
+#else
+  EXPECT_FALSE(stats.ok);
+#endif
 }
 
 TEST(TraceTest, ChromeTraceJsonEscapesStrings) {

@@ -20,7 +20,9 @@
 
 #include "common/parallel.h"
 #include "core/deepmvi.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "serve/service.h"
 #include "storage/chunk_cache.h"
@@ -341,6 +343,93 @@ TEST(RaceStressTest, TelemetryRecordSnapshotResetStorm) {
   EXPECT_EQ(snapshot.failures, 1);
   EXPECT_EQ(snapshot.rows_served, 3);
   EXPECT_EQ(snapshot.cells_imputed, 9);
+}
+
+// ---- Profiler: windows vs. scrapes vs. request storm ------------------------
+
+// The always-on observability trio running at once: profiler windows
+// opening and closing (timer arm/disarm, sample slab swap), /metrics-style
+// registry scrapes, and a request storm feeding the flight recorder. The
+// profiler's Stop must synchronize with its signal handler, and label
+// scopes on the storm threads race the handler's TLS reads by design —
+// TSan gets a labels-only handler, everywhere else the native unwinder
+// runs. Every future still resolves OK and the recorder's totals are
+// exact.
+TEST(RaceStressTest, ProfilerWindowsDuringScrapeAndRequestStorm) {
+  const SharedModel& shared = GetSharedModel();
+  obs::FlightRecorder recorder(/*capacity=*/64,
+                               /*slow_threshold_seconds=*/0.5);
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.max_batch_size = 4;
+  config.batch_linger_ms = 0.2;
+  config.threads = 2;
+  config.recorder = &recorder;
+  config.metrics = &registry;
+  ImputationService service(config);
+  ASSERT_TRUE(
+      service.registry().LoadFromFile("m", shared.checkpoint_path).ok());
+
+  const std::vector<Mask> masks = DistinctMasks(6);
+  const int submits_per_thread = 20 * StressScale();
+  const int windows = 8 * StressScale();
+  std::atomic<bool> done{false};
+
+  // Profiler windows churn while requests run: every Start either opens a
+  // window (then its Stop folds cleanly) or reports one is already open.
+  std::thread profiler_churn([&] {
+    for (int i = 0; i < windows; ++i) {
+      Status started = obs::CpuProfiler::Start(/*hz=*/499);
+      if (started.ok()) {
+        const obs::ProfileResult result = obs::CpuProfiler::Stop();
+        EXPECT_GE(result.samples, 0);
+        EXPECT_GE(result.dropped, 0);
+      } else {
+        EXPECT_EQ(started.code(), StatusCode::kFailedPrecondition);
+      }
+    }
+  });
+  std::thread scraper([&] {
+    while (!done.load()) {
+      const std::string text = registry.PrometheusText();
+      EXPECT_NE(text.find("dmvi_"), std::string::npos);
+      (void)recorder.Snapshot();
+      (void)recorder.total_slow();
+    }
+  });
+
+  std::vector<std::future<ImputationResponse>> futures[2];
+  std::thread submitters[2];
+  for (int t = 0; t < 2; ++t) {
+    submitters[t] = std::thread([&, t] {
+      for (int i = 0; i < submits_per_thread; ++i) {
+        obs::ProfileLabelScope label("race_stress.submit");
+        ImputationRequest request;
+        request.model = "m";
+        request.request_id =
+            "rs-" + std::to_string(t) + "-" + std::to_string(i);
+        request.data = shared.data;
+        request.mask = masks[(t * submits_per_thread + i) % masks.size()];
+        futures[t].push_back(service.Submit(std::move(request)));
+      }
+    });
+  }
+  for (auto& submitter : submitters) submitter.join();
+  int64_t answered = 0;
+  for (auto& lane : futures) {
+    for (auto& future : lane) {
+      ImputationResponse response = future.get();
+      EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+      ++answered;
+    }
+  }
+  profiler_churn.join();
+  done = true;
+  scraper.join();
+  service.Shutdown();
+  EXPECT_EQ(answered, 2 * submits_per_thread);
+  EXPECT_EQ(recorder.total_recorded(), 2 * submits_per_thread);
+  EXPECT_FALSE(obs::CpuProfiler::IsRunning());
 }
 
 // ---- Chunk cache: loads vs. Clear -------------------------------------------

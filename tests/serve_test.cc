@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <fstream>
 #include <future>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -20,7 +21,9 @@
 
 #include "baselines/simple.h"
 #include "core/deepmvi.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "serve/response_cache.h"
 #include "serve/service.h"
@@ -865,6 +868,115 @@ TEST(ImputationServiceTest, TracingAndMetricsDoNotChangeResponseBytes) {
                 ->Snapshot()
                 .count,
             0);
+}
+
+TEST(ImputationServiceTest, FlightRecorderSeesEveryOutcomeKind) {
+  TrainedCase c = MakeTrainedCase();
+  std::vector<serve::ImputationRequest> requests = MakeWorkloadRequests(c, 3);
+
+  obs::FlightRecorder recorder(/*capacity=*/16,
+                               /*slow_threshold_seconds=*/1e-9);
+  serve::ServiceConfig config;
+  config.recorder = &recorder;
+  config.cache_mb = 4.0;
+  config.shed_watermark = 1;
+  serve::ImputationService service(config);
+  ASSERT_TRUE(service.registry().Register("m", std::move(c.model)).ok());
+
+  // Full predict, then the identical request again: a cache hit.
+  requests[0].request_id = "fr-predict";
+  ASSERT_TRUE(service.Impute(requests[0]).status.ok());
+  requests[0].request_id = "fr-cached";
+  ASSERT_TRUE(service.Impute(requests[0]).status.ok());
+  // Queue path.
+  requests[1].request_id = "fr-queued";
+  ASSERT_TRUE(service.Submit(requests[1]).get().status.ok());
+  // Failure.
+  serve::ImputationRequest unknown;
+  unknown.model = "missing";
+  unknown.request_id = "fr-failed";
+  EXPECT_FALSE(service.Impute(unknown).status.ok());
+  // Shed at admission.
+  service.SetPressureProbe([] { return 100; });
+  requests[2].request_id = "fr-shed";
+  EXPECT_EQ(service.Submit(requests[2]).get().status.code(),
+            StatusCode::kFailedPrecondition);
+
+  const std::vector<obs::RequestRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), 5u);
+  EXPECT_EQ(recorder.total_recorded(), 5);
+  std::map<std::string, obs::RequestRecord> by_id;
+  for (const obs::RequestRecord& record : records) {
+    by_id[record.request_id] = record;
+  }
+  const obs::RequestRecord& predicted = by_id.at("fr-predict");
+  EXPECT_TRUE(predicted.ok);
+  EXPECT_FALSE(predicted.cache_hit);
+  EXPECT_GT(predicted.predict_seconds, 0.0);
+  EXPECT_GT(predicted.cells_imputed, 0);
+  EXPECT_EQ(predicted.model, "m");
+  const obs::RequestRecord& cached = by_id.at("fr-cached");
+  EXPECT_TRUE(cached.ok);
+  EXPECT_TRUE(cached.cache_hit);
+  EXPECT_DOUBLE_EQ(cached.predict_seconds, 0.0);
+  const obs::RequestRecord& queued = by_id.at("fr-queued");
+  EXPECT_TRUE(queued.ok);
+  EXPECT_GE(queued.queue_seconds, 0.0);
+  EXPECT_GE(queued.latency_seconds, queued.queue_seconds);
+  const obs::RequestRecord& failed = by_id.at("fr-failed");
+  EXPECT_FALSE(failed.ok);
+  EXPECT_NE(failed.status.find("NotFound"), std::string::npos);
+  const obs::RequestRecord& shed = by_id.at("fr-shed");
+  EXPECT_TRUE(shed.shed);
+  EXPECT_FALSE(shed.ok);
+  // With a nanosecond threshold every real request is "slow".
+  EXPECT_EQ(recorder.total_slow(), 5);
+}
+
+TEST(ImputationServiceTest, ProfilerAndRecorderDoNotChangeResponseBytes) {
+  // PR 9's byte-identity bar: the sampling profiler and the flight
+  // recorder observe the same workload the tracing/metrics bar covers,
+  // and must not move a single response bit either.
+  TrainedCase c = MakeTrainedCase();
+  auto run = [&](serve::ServiceConfig config) {
+    config.max_batch_size = 4;
+    serve::ImputationService service(config);
+    EXPECT_TRUE(
+        service.registry().Register("default", MakeTrainedCase().model).ok());
+    std::vector<Matrix> imputed;
+    std::vector<std::future<serve::ImputationResponse>> futures;
+    auto data = std::make_shared<const DataTensor>(c.data_case.data);
+    for (int i = 0; i < 6; ++i) {
+      serve::ImputationRequest request;
+      request.model = "default";
+      request.data = data;
+      request.mask = c.data_case.mask;
+      request.request_id = "req-" + std::to_string(i);
+      futures.push_back(service.Submit(std::move(request)));
+    }
+    for (auto& future : futures) {
+      serve::ImputationResponse response = future.get();
+      EXPECT_TRUE(response.status.ok());
+      imputed.push_back(std::move(response.imputed));
+    }
+    return imputed;
+  };
+
+  std::vector<Matrix> plain = run(serve::ServiceConfig());
+
+  obs::FlightRecorder recorder;
+  serve::ServiceConfig observed_config;
+  observed_config.recorder = &recorder;
+  const bool profiling = obs::CpuProfiler::Start().ok();
+  std::vector<Matrix> observed = run(observed_config);
+  if (profiling) obs::CpuProfiler::Stop();
+
+  ASSERT_EQ(plain.size(), observed.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    ExpectMatricesBitIdentical(plain[i], observed[i],
+                               "profiled+recorded vs plain");
+  }
+  EXPECT_EQ(recorder.total_recorded(), 6);
 }
 
 // ---- Workload helpers -------------------------------------------------------

@@ -50,7 +50,13 @@
 // p50/p95 (adds HTTP encode/transport) — the gap between them is the
 // network front-end's cost. --scrape-metrics FILE is a standalone mode:
 // fetch /metrics, write it verbatim, exit (CI uses it to snapshot a
-// server mid-run from a second process).
+// server mid-run from a second process). --fetch PATH [--fetch-out FILE]
+// generalizes it to any GET path — CI pulls /debug/profile?seconds=N
+// mid-run this way. --slow-ms X (with --request-id-prefix) reports every
+// request over X ms, then fetches the server's /debug/slow flight-recorder
+// ring and cross-checks it: each server-recorded slow request with our
+// prefix must be one we completed, at a client latency >= the
+// server-observed one.
 
 #include <algorithm>
 #include <atomic>
@@ -58,8 +64,10 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -91,6 +99,9 @@ struct LoadgenOptions {
   std::string request_id_prefix;  // empty = let the server mint IDs.
   bool check_server_counters = false;
   std::string scrape_metrics;  // non-empty = standalone scrape mode.
+  std::string fetch;           // non-empty = standalone GET mode.
+  std::string fetch_out;       // body destination ("" = stdout).
+  double slow_ms = 0.0;        // 0 = no slow-request reporting.
 };
 
 /// One worker's share of the run: latencies (seconds) for its completed
@@ -103,6 +114,10 @@ struct WorkerResult {
   int64_t degraded = 0;
   int64_t shed = 0;           // 503 responses (a subset of `failed`).
   int64_t id_mismatches = 0;  // x-dmvi-request-id did not echo ours.
+  /// Client-observed latency per completed request id (only collected
+  /// under --slow-ms, which requires --request-id-prefix): the data the
+  /// /debug/slow cross-check needs.
+  std::vector<std::pair<std::string, double>> latency_by_id;
 };
 
 std::string QueryBody(const serve::WorkloadQuery& query) {
@@ -162,6 +177,9 @@ void RunWorker(const LoadgenOptions& options,
     result->latencies.push_back(latency);
     result->rows += 1;  // One block query touches one series row.
     if (response->HasHeader("x-dmvi-degraded")) ++result->degraded;
+    if (options.slow_ms > 0.0 && !request_id.empty()) {
+      result->latency_by_id.emplace_back(request_id, latency);
+    }
   }
 }
 
@@ -236,6 +254,12 @@ int Run(int argc, char** argv) {
       options.request_id_prefix = value;
     } else if ((value = next("--scrape-metrics"))) {
       options.scrape_metrics = value;
+    } else if ((value = next("--fetch"))) {
+      options.fetch = value;
+    } else if ((value = next("--fetch-out"))) {
+      options.fetch_out = value;
+    } else if ((value = next("--slow-ms"))) {
+      options.slow_ms = std::atof(value);
     } else if ((value = next("--log-level"))) {
       if (!ParseLogSeverity(value, &MinLogSeverity())) {
         std::fprintf(stderr,
@@ -262,7 +286,9 @@ int Run(int argc, char** argv) {
           "                    [--expect-degraded] [--max-p95-ms X]\n"
           "                    [--request-id-prefix P]\n"
           "                    [--check-server-counters]\n"
+          "                    [--slow-ms X]\n"
           "                    [--scrape-metrics FILE]\n"
+          "                    [--fetch PATH [--fetch-out FILE]]\n"
           "                    [--log-level debug|info|warning|error]\n"
           "                    [--log-format plain|kv|json]\n");
       return 0;
@@ -289,6 +315,12 @@ int Run(int argc, char** argv) {
     return 2;
   }
   options.concurrency = std::max(1, options.concurrency);
+  if (options.slow_ms > 0.0 && options.request_id_prefix.empty()) {
+    std::fprintf(stderr,
+                 "--slow-ms needs --request-id-prefix (the /debug/slow "
+                 "cross-check matches requests by id)\n");
+    return 2;
+  }
 
   // ---- Standalone scrape: snapshot /metrics and exit. ---------------------
   // Runs before the /healthz shape probe so a second loadgen process can
@@ -310,6 +342,39 @@ int Run(int argc, char** argv) {
     out << *text;
     std::printf("wrote metrics snapshot %s (%zu bytes)\n",
                 options.scrape_metrics.c_str(), text->size());
+    return 0;
+  }
+
+  // ---- Standalone fetch: GET an arbitrary path and exit. ------------------
+  // CI uses it to pull /debug/profile?seconds=N (which blocks server-side
+  // for the whole window) and the /debug/* JSON from a second process while
+  // a loadgen run is in flight. Non-200 is a failure.
+  if (!options.fetch.empty()) {
+    net::Client fetcher(options.host, options.port);
+    StatusOr<net::HttpMessage> fetched = fetcher.Get(options.fetch);
+    if (!fetched.ok()) {
+      std::fprintf(stderr, "GET %s failed: %s\n", options.fetch.c_str(),
+                   fetched.status().ToString().c_str());
+      return 1;
+    }
+    if (fetched->status_code != 200) {
+      std::fprintf(stderr, "GET %s returned %d: %s\n", options.fetch.c_str(),
+                   fetched->status_code, fetched->body.c_str());
+      return 1;
+    }
+    if (options.fetch_out.empty()) {
+      std::fwrite(fetched->body.data(), 1, fetched->body.size(), stdout);
+    } else {
+      std::ofstream out(options.fetch_out, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     options.fetch_out.c_str());
+        return 1;
+      }
+      out << fetched->body;
+      std::printf("wrote %s (%zu bytes from %s)\n", options.fetch_out.c_str(),
+                  fetched->body.size(), options.fetch.c_str());
+    }
     return 0;
   }
 
@@ -405,6 +470,7 @@ int Run(int argc, char** argv) {
   const double wall_seconds = wall.ElapsedSeconds();
 
   std::vector<double> latencies;
+  std::map<std::string, double> latency_by_id;
   int64_t rows = 0, degraded = 0, shed = 0, id_mismatches = 0;
   int failed = 0, reloads_failed = 0;
   for (const WorkerResult& result : results) {
@@ -416,6 +482,9 @@ int Run(int argc, char** argv) {
     degraded += result.degraded;
     shed += result.shed;
     id_mismatches += result.id_mismatches;
+    for (const auto& [id, latency] : result.latency_by_id) {
+      latency_by_id[id] = latency;
+    }
   }
   std::sort(latencies.begin(), latencies.end());
   const double p50_ms = serve::SortedPercentile(latencies, 0.50) * 1e3;
@@ -461,6 +530,69 @@ int Run(int argc, char** argv) {
                 options.request_id_prefix.c_str(),
                 options.request_id_prefix.c_str(), queries.size() - 1,
                 static_cast<long long>(id_mismatches));
+  }
+
+  // ---- Slow-request report + /debug/slow cross-check. ---------------------
+  // The client stopwatch encloses the server's (it adds HTTP + transport),
+  // so every request the server's flight recorder calls slow must show a
+  // client latency at least as large — any violation means the recorder
+  // and the client disagree about what happened, which is a bug.
+  bool slow_ok = true;
+  if (options.slow_ms > 0.0) {
+    int64_t client_slow = 0;
+    for (const auto& [id, latency] : latency_by_id) {
+      if (latency * 1e3 >= options.slow_ms) {
+        ++client_slow;
+        std::printf("slow (client): %s %.2f ms\n", id.c_str(), latency * 1e3);
+      }
+    }
+    std::printf("%lld of %zu requests over %.1f ms client-side\n",
+                static_cast<long long>(client_slow), latency_by_id.size(),
+                options.slow_ms);
+    StatusOr<net::HttpMessage> slow = probe.Get("/debug/slow");
+    if (!slow.ok() || slow->status_code != 200) {
+      std::fprintf(stderr, "GET /debug/slow failed: %s\n",
+                   slow.ok() ? slow->body.c_str()
+                             : slow.status().ToString().c_str());
+      slow_ok = false;
+    } else {
+      StatusOr<net::JsonValue> doc = net::ParseJson(slow->body);
+      if (!doc.ok() || !doc->at("records").is_array()) {
+        std::fprintf(stderr, "unexpected /debug/slow body: %s\n",
+                     slow->body.c_str());
+        slow_ok = false;
+      } else {
+        const std::string id_prefix = options.request_id_prefix + "-";
+        for (const net::JsonValue& record : doc->at("records").array_items()) {
+          const std::string& id = record.at("request_id").string_value();
+          if (id.compare(0, id_prefix.size(), id_prefix) != 0) continue;
+          const double server_latency =
+              record.at("latency_seconds").number_value();
+          std::printf("slow (server): %s %.2f ms\n", id.c_str(),
+                      server_latency * 1e3);
+          const auto it = latency_by_id.find(id);
+          if (it == latency_by_id.end()) {
+            std::fprintf(stderr,
+                         "slow check: server recorded %s but this client "
+                         "never completed it\n",
+                         id.c_str());
+            slow_ok = false;
+          } else if (it->second + 1e-6 < server_latency) {
+            std::fprintf(stderr,
+                         "slow check: %s client latency %.3f ms below the "
+                         "server-observed %.3f ms\n",
+                         id.c_str(), it->second * 1e3, server_latency * 1e3);
+            slow_ok = false;
+          }
+        }
+        if (slow_ok) {
+          std::printf(
+              "slow check: every server-recorded slow request is accounted "
+              "for client-side (threshold %.6f s)\n",
+              doc->at("slow_threshold_seconds").number_value());
+        }
+      }
+    }
   }
 
   // ---- Counter consistency: server deltas must equal what we observed. ----
@@ -561,7 +693,7 @@ int Run(int argc, char** argv) {
                  static_cast<long long>(id_mismatches));
     return 1;
   }
-  if (!counters_ok) return 1;
+  if (!counters_ok || !slow_ok) return 1;
   return failed == 0 && reloads_failed == 0 ? 0 : 1;
 }
 

@@ -30,7 +30,12 @@
 // Observability: --trace-out FILE exports Chrome trace-event JSON of the
 // per-request span tree on shutdown (open in Perfetto); every response
 // carries x-dmvi-request-id (client x-request-id honored); --log-level /
-// --log-format control the structured access log. Instrumentation never
+// --log-format control the structured access log. A flight recorder is
+// always on: the last --flight-records requests (default 256) and those
+// slower than --slow-ms (default 500) are answered live by GET
+// /debug/requests and /debug/slow, GET /debug/profile?seconds=N serves
+// on-demand CPU profiles as collapsed stacks, and GET /debug/state
+// reports build hash + uptime + /proc gauges. Instrumentation never
 // changes response bytes.
 //
 // --impute-csv PATH sends the dataset's own base mask through the service
@@ -52,11 +57,18 @@
 #include "data/io.h"
 #include "net/endpoints.h"
 #include "net/server.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/service.h"
 #include "serve/workload.h"
 #include "tools/dataset_flags.h"
+
+// Build provenance for GET /debug/state; the definition comes from
+// tools/CMakeLists.txt (same configure-time plumbing as dmvi_eval).
+#ifndef DMVI_GIT_COMMIT
+#define DMVI_GIT_COMMIT "unknown"
+#endif
 
 namespace deepmvi {
 namespace {
@@ -76,6 +88,8 @@ int Run(int argc, char** argv) {
   obs::TraceLevel trace_level = obs::TraceLevel::kRequest;
   bool reload_on_sighup = false;
   int http_workers = 4;
+  int flight_records = obs::FlightRecorder::kDefaultCapacity;
+  double slow_ms = obs::FlightRecorder::kDefaultSlowThresholdSeconds * 1e3;
   tools::DatasetSpec dataset_spec;
   uint64_t workload_seed = 11;
   int synth = 0;
@@ -125,6 +139,10 @@ int Run(int argc, char** argv) {
       http_workers = std::atoi(value);
     } else if ((value = next("--port-file"))) {
       port_file = value;
+    } else if ((value = next("--flight-records"))) {
+      flight_records = std::atoi(value);
+    } else if ((value = next("--slow-ms"))) {
+      slow_ms = std::atof(value);
     } else if ((value = next("--trace-out"))) {
       trace_out = value;
     } else if ((value = next("--trace-level"))) {
@@ -165,6 +183,7 @@ int Run(int argc, char** argv) {
           "                  [--impute-csv out.csv] [--telemetry-json out.json]\n"
           "                  [--listen HOST:PORT [--http-workers N]\n"
           "                   [--port-file PATH] [--reload-on-sighup]]\n"
+          "                  [--flight-records N] [--slow-ms X]\n"
           "                  [--trace-out trace.json\n"
           "                   [--trace-level request|kernel]]\n"
           "                  [--log-level debug|info|warning|error]\n"
@@ -208,6 +227,12 @@ int Run(int argc, char** argv) {
   }
   service_config.metrics = &metrics;
   service_config.tracer = tracer.get();
+
+  // Flight recorder: always on (bounded memory, one mutex-guarded slot
+  // write per request), sized by --flight-records with --slow-ms as the
+  // slow-ring threshold. /debug/requests and /debug/slow read it live.
+  obs::FlightRecorder recorder(flight_records, slow_ms / 1e3);
+  service_config.recorder = &recorder;
 
   // ---- Bring the service up with the checkpoint. -------------------------
   serve::ImputationService service(service_config);
@@ -306,6 +331,9 @@ int Run(int argc, char** argv) {
     context.base_mask = mask;
     context.metrics = &metrics;
     context.tracer = tracer.get();
+    context.recorder = &recorder;
+    context.trace_sink = trace_sink.get();
+    context.build_commit = DMVI_GIT_COMMIT;
     context.reload = [&service, model_path](const std::string& model,
                                             const std::string& path) {
       // Atomic registry swap: requests already running finish against the

@@ -25,9 +25,15 @@
 // Presets have no missing values of their own, so a scenario mask
 // (default MCAR, seed 7) supplies the training missing pattern; CSV
 // inputs use their inline nan/empty cells plus an optional --mask file.
+//
+// --profile-out FILE samples the fit with the obs CPU profiler (at
+// --profile-hz, default 99) and writes collapsed stacks — feed the file to
+// flamegraph.pl or speedscope. Profiling, like tracing, never changes the
+// checkpoint bytes.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <utility>
@@ -36,6 +42,7 @@
 #include "common/stopwatch.h"
 #include "core/deepmvi.h"
 #include "data/io.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "storage/chunk_cache.h"
 #include "storage/chunk_store.h"
@@ -47,6 +54,8 @@ namespace {
 
 int Run(int argc, char** argv) {
   std::string output = "model.dmvi", impute_csv, data_dir, trace_out;
+  std::string profile_out;
+  int profile_hz = obs::CpuProfiler::kDefaultHz;
   obs::TraceLevel trace_level = obs::TraceLevel::kKernel;
   tools::DatasetSpec dataset_spec;
   DeepMviConfig config;
@@ -86,6 +95,10 @@ int Run(int argc, char** argv) {
       config.num_heads = std::atoi(value);
     } else if ((value = next("--threads"))) {
       config.num_threads = std::atoi(value);
+    } else if ((value = next("--profile-out"))) {
+      profile_out = value;
+    } else if ((value = next("--profile-hz"))) {
+      profile_hz = std::atoi(value);
     } else if ((value = next("--trace-out"))) {
       trace_out = value;
     } else if ((value = next("--trace-level"))) {
@@ -119,6 +132,7 @@ int Run(int argc, char** argv) {
           "                  [--seed N] [--max-epochs N] [--samples N]\n"
           "                  [--window W] [--filters P] [--heads H]\n"
           "                  [--threads N]\n"
+          "                  [--profile-out stacks.txt [--profile-hz N]]\n"
           "                  [--trace-out trace.json\n"
           "                   [--trace-level request|kernel]]\n"
           "                  [--log-level debug|info|warning|error]\n"
@@ -209,6 +223,17 @@ int Run(int argc, char** argv) {
     obs::SetGlobalTracer(tracer.get());
   }
 
+  // ---- Profiling: sample the fit and write collapsed stacks. Like
+  // tracing, the profiler only observes — the checkpoint is byte-identical
+  // with or without --profile-out (CI cmp-enforces this).
+  if (!profile_out.empty()) {
+    if (Status started = obs::CpuProfiler::Start(profile_hz); !started.ok()) {
+      std::fprintf(stderr, "cannot start profiler: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+  }
+
   // ---- Fit and checkpoint. ------------------------------------------------
   std::printf("fitting DeepMVI on %d series x %d steps (%.2f%% missing)%s\n",
               mask.rows(), mask.cols(), 100.0 * mask.MissingFraction(),
@@ -237,6 +262,20 @@ int Run(int argc, char** argv) {
     model = imputer.Fit(data, mask);
   }
   const double fit_seconds = watch.ElapsedSeconds();
+  if (!profile_out.empty()) {
+    const obs::ProfileResult profile = obs::CpuProfiler::Stop();
+    std::ofstream out(profile_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", profile_out.c_str());
+      return 1;
+    }
+    out << profile.collapsed;
+    std::printf(
+        "wrote profile %s (%lld samples at %d Hz over %.2fs, %lld dropped)\n",
+        profile_out.c_str(), static_cast<long long>(profile.samples),
+        profile.hz, profile.duration_seconds,
+        static_cast<long long>(profile.dropped));
+  }
   if (tracer != nullptr) {
     obs::SetGlobalTracer(nullptr);
     const std::vector<obs::SpanRecord> records = trace_sink->records();
