@@ -8,6 +8,7 @@
 
 #include "common/parallel.h"
 #include "core/deepmvi_modules.h"
+#include "core/quality_profile.h"
 #include "nn/adam.h"
 #include "obs/trace.h"
 
@@ -423,6 +424,18 @@ StatusOr<TrainedDeepMvi> DeepMviImputer::Fit(const storage::DataSource& source,
     }
   }
   restore();
+
+  // Reference profile for serving-time drift detection. Single-threaded
+  // streaming pass in fixed stripes over the same source, so the record —
+  // and therefore the checkpoint bytes — is identical across thread
+  // counts and between in-core and chunked training.
+  {
+    obs::Span profile_span = obs::GlobalSpan("train.quality_profile");
+    StatusOr<QualityProfile> profile = ComputeQualityProfile(source, mask);
+    if (!profile.ok()) return profile.status();
+    trained.profile_ = std::move(profile).value();
+    trained.has_profile_ = true;
+  }
 
   trained.config_ = config;
   trained.dims_ = dims;

@@ -308,6 +308,11 @@ Status TrainedDeepMvi::Save(const std::string& path) const {
   DMVI_RETURN_IF_ERROR(WriteDoubles(os, stats_.mean));
   DMVI_RETURN_IF_ERROR(WriteDoubles(os, stats_.stddev));
   DMVI_RETURN_IF_ERROR(nn::SaveParameterStore(*store_, os));
+  // Trailing record: models without a profile (legacy loads) re-save
+  // without one, so the legacy byte layout round-trips unchanged.
+  if (has_profile_) {
+    DMVI_RETURN_IF_ERROR(AppendQualityProfileRecord(os, profile_));
+  }
 
   os.close();
   if (!os) return Status::IoError("write failed for " + path);
@@ -402,6 +407,19 @@ StatusOr<TrainedDeepMvi> TrainedDeepMvi::Load(const std::string& path) {
   model.modules_ = internal::BuildDeepMviModules(model.store_.get(),
                                                  model.config_, model.dims_, rng);
   DMVI_RETURN_IF_ERROR(nn::LoadParameterStore(is, *model.store_));
+
+  // Optional trailing quality-profile record. Checkpoints written before
+  // the record existed end right here; they load with no profile.
+  StatusOr<bool> has_profile = ReadQualityProfileRecord(is, &model.profile_);
+  if (!has_profile.ok()) return has_profile.status();
+  model.has_profile_ = has_profile.value();
+  if (model.has_profile_ &&
+      model.profile_.series.size() != model.stats_.mean.size()) {
+    return Status::InvalidArgument(
+        "corrupt file: quality profile covers " +
+        std::to_string(model.profile_.series.size()) + " series but model has " +
+        std::to_string(model.stats_.mean.size()));
+  }
   return model;
 }
 

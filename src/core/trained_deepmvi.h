@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "core/deepmvi_modules.h"
+#include "core/quality_profile.h"
 #include "storage/data_source.h"
 
 namespace deepmvi {
@@ -87,6 +88,15 @@ class TrainedDeepMvi {
   /// Total trainable parameter count.
   int64_t num_parameters() const;
 
+  /// Training-data reference profile (per-series moments + decile edges)
+  /// computed at Fit time and persisted in the checkpoint's trailing
+  /// "DMVQ" record. nullptr for checkpoints written before the record
+  /// existed — such models still serve; drift scoring is simply
+  /// unavailable for them.
+  const QualityProfile* quality_profile() const {
+    return has_profile_ ? &profile_ : nullptr;
+  }
+
  private:
   friend class DeepMviImputer;
 
@@ -95,6 +105,8 @@ class TrainedDeepMvi {
   DataTensor::NormalizationStats stats_;
   std::unique_ptr<nn::ParameterStore> store_;
   internal::DeepMviModules modules_;  // Pointers into *store_.
+  QualityProfile profile_;          // Valid only when has_profile_.
+  bool has_profile_ = false;
 };
 
 }  // namespace deepmvi

@@ -116,6 +116,84 @@ HttpMessage HandleImpute(const ServingContext& ctx,
   return reply;
 }
 
+/// Overall quality rung for /healthz and /debug/quality: "off" without a
+/// monitor, "no-reference" when no observed model carries a training
+/// profile (legacy checkpoints), else "ok"/"drifting" against the
+/// context's PSI threshold.
+const char* QualityStatus(const serve::QualitySnapshot& snapshot,
+                          double drift_threshold, bool have_monitor) {
+  if (!have_monitor) return "off";
+  if (snapshot.max_drift_score < 0.0) return "no-reference";
+  return snapshot.max_drift_score >= drift_threshold ? "drifting" : "ok";
+}
+
+HttpMessage HandleDebugQuality(const ServingContext& ctx) {
+  if (ctx.quality == nullptr) {
+    return ErrorResponse(
+        Status::FailedPrecondition("no quality monitor is configured"));
+  }
+  const serve::QualitySnapshot snapshot = ctx.quality->Snapshot();
+  std::ostringstream os;
+  os.precision(9);
+  os << "{\n";
+  os << "  \"drift_threshold\": " << ctx.drift_threshold << ",\n";
+  os << "  \"quality\": \""
+     << QualityStatus(snapshot, ctx.drift_threshold, true) << "\",\n";
+  os << "  \"models\": [";
+  bool first_model = true;
+  for (const serve::ModelQualitySnapshot& model : snapshot.models) {
+    os << (first_model ? "\n" : ",\n");
+    first_model = false;
+    const char* status = !model.has_reference
+                             ? "no-reference"
+                             : (model.drift_score >= ctx.drift_threshold
+                                    ? "drifting"
+                                    : "ok");
+    os << "    {\"model\": \"" << EscapeJson(model.model) << "\",\n";
+    os << "     \"status\": \"" << status << "\",\n";
+    os << "     \"has_reference\": "
+       << (model.has_reference ? "true" : "false") << ",\n";
+    os << "     \"requests_observed\": " << model.requests_observed << ",\n";
+    os << "     \"cells_observed\": " << model.cells_observed << ",\n";
+    os << "     \"cells_missing\": " << model.cells_missing << ",\n";
+    os << "     \"input_missing_rate\": " << model.input_missing_rate
+       << ",\n";
+    os << "     \"reference_missing_rate\": "
+       << model.reference_missing_rate << ",\n";
+    os << "     \"drift_score\": " << model.drift_score << ",\n";
+    os << "     \"drift_ks\": " << model.drift_ks << ",\n";
+    os << "     \"series_scored\": " << model.series_scored << ",\n";
+    os << "     \"series\": [";
+    bool first_series = true;
+    for (const serve::SeriesDriftInfo& series : model.series) {
+      os << (first_series ? "" : ", ") << "{\"series\": " << series.series
+         << ", \"psi\": " << series.psi << ", \"ks\": " << series.ks
+         << ", \"live_count\": " << series.live_count
+         << ", \"ref_mean\": " << series.ref_mean
+         << ", \"live_mean\": " << series.live_mean << ", \"scored\": "
+         << (series.scored ? "true" : "false") << "}";
+      first_series = false;
+    }
+    os << "],\n";
+    os << "     \"selfscore\": {\"rounds\": " << model.selfscore_rounds
+       << ", \"cells\": " << model.selfscore_cells
+       << ", \"mae_mean\": " << model.selfscore_mae_mean
+       << ", \"rmse_mean\": " << model.selfscore_rmse_mean
+       << ", \"history\": [";
+    bool first_record = true;
+    for (const serve::SelfScoreRecord& record : model.selfscore_history) {
+      os << (first_record ? "" : ", ") << "{\"request_id\": \""
+         << EscapeJson(record.request_id) << "\", \"cells\": " << record.cells
+         << ", \"mae\": " << record.mae << ", \"rmse\": " << record.rmse
+         << ", \"at_seconds\": " << record.at_seconds << "}";
+      first_record = false;
+    }
+    os << "]}}";
+  }
+  os << (first_model ? "]\n" : "\n  ]\n") << "}\n";
+  return MakeResponse(200, os.str(), "application/json");
+}
+
 HttpMessage HandleHealthz(const ServingContext& ctx,
                           const HttpServer* server) {
   const serve::ServiceConfig& config = ctx.service->config();
@@ -152,7 +230,15 @@ HttpMessage HandleHealthz(const ServingContext& ctx,
   os << "  \"pending_connections\": " << pending << ",\n";
   os << "  \"degrade_watermark\": " << config.degrade_watermark << ",\n";
   os << "  \"shed_watermark\": " << config.shed_watermark << ",\n";
-  os << "  \"degradation\": \"" << degradation << "\"\n";
+  os << "  \"degradation\": \"" << degradation << "\",\n";
+  // Model-quality rung: live drift against the training reference.
+  const char* quality = "off";
+  if (ctx.quality != nullptr) {
+    quality = QualityStatus(ctx.quality->Snapshot(), ctx.drift_threshold,
+                            true);
+  }
+  os << "  \"drift_threshold\": " << ctx.drift_threshold << ",\n";
+  os << "  \"quality\": \"" << quality << "\"\n";
   os << "}\n";
   return MakeResponse(200, os.str(), "application/json");
 }
@@ -247,7 +333,14 @@ HttpMessage HandleDebugState(const ServingContext& ctx) {
   os << "  \"process_stats_ok\": " << (stats.ok ? "true" : "false") << ",\n";
   os << "  \"rss_bytes\": " << stats.rss_bytes << ",\n";
   os << "  \"cpu_seconds\": " << stats.cpu_seconds << ",\n";
-  os << "  \"open_fds\": " << stats.open_fds << "\n";
+  os << "  \"open_fds\": " << stats.open_fds << ",\n";
+  const serve::ModelRegistry::ReloadInfo reloads =
+      ctx.service->registry().reload_info();
+  os << "  \"model_registrations\": " << reloads.registrations << ",\n";
+  os << "  \"model_reloads\": " << reloads.reloads << ",\n";
+  os << "  \"last_registered_model\": \"" << EscapeJson(reloads.last_model)
+     << "\",\n";
+  os << "  \"model_age_seconds\": " << reloads.model_age_seconds << "\n";
   os << "}\n";
   return MakeResponse(200, os.str(), "application/json");
 }
@@ -324,6 +417,45 @@ void RegisterServingEndpoints(HttpServer* server, ServingContext ctx) {
           "Spans dropped because the collecting trace sink was full.",
           ctx.trace_sink->dropped());
     }
+    // Model deployment accounting: how often checkpoints were swapped in
+    // and how stale the newest one is.
+    const serve::ModelRegistry::ReloadInfo reloads =
+        ctx.service->registry().reload_info();
+    obs::AppendPrometheusCounter(
+        os, "dmvi_model_reloads_total",
+        "Registry re-registrations that swapped a live model.",
+        reloads.reloads);
+    obs::AppendPrometheusGauge(
+        os, "dmvi_model_age_seconds",
+        "Seconds since the most recent model (re)registration.",
+        reloads.model_age_seconds);
+    // Model-quality gauges refresh at scrape time like the process
+    // gauges below. The drift gauge is registered only once a reference
+    // profile exists — legacy profile-less checkpoints scrape without it.
+    if (ctx.quality != nullptr && ctx.metrics != nullptr) {
+      const serve::QualitySnapshot snapshot = ctx.quality->Snapshot();
+      int64_t cells = 0;
+      int64_t missing = 0;
+      for (const serve::ModelQualitySnapshot& model : snapshot.models) {
+        cells += model.cells_observed;
+        missing += model.cells_missing;
+      }
+      if (cells + missing > 0) {
+        ctx.metrics
+            ->GaugeNamed("dmvi_model_input_missing_rate",
+                         "Missing-cell fraction of live request inputs "
+                         "across models.")
+            ->Set(static_cast<double>(missing) /
+                  static_cast<double>(cells + missing));
+      }
+      if (snapshot.max_drift_score >= 0.0) {
+        ctx.metrics
+            ->GaugeNamed("dmvi_model_drift_score",
+                         "Max PSI of live inputs vs the training reference "
+                         "profile over models and series.")
+            ->Set(snapshot.max_drift_score);
+      }
+    }
     // Self-observation gauges refresh at scrape time (procfs reads are
     // three file touches, not worth a poller thread).
     RefreshProcessGauges(ctx.metrics, obs::ReadProcessStats());
@@ -349,6 +481,9 @@ void RegisterServingEndpoints(HttpServer* server, ServingContext ctx) {
   });
   server->Handle("GET", "/debug/state", [ctx](const HttpMessage&) {
     return HandleDebugState(ctx);
+  });
+  server->Handle("GET", "/debug/quality", [ctx](const HttpMessage&) {
+    return HandleDebugQuality(ctx);
   });
 }
 

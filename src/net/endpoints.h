@@ -45,6 +45,15 @@ struct ServingContext {
   /// Optional collecting sink behind `tracer`, so /metrics can export the
   /// dropped-span count (borrowed; null skips the metric).
   obs::CollectingTraceSink* trace_sink = nullptr;
+  /// Optional model-quality monitor (borrowed; null answers GET
+  /// /debug/quality with 503 and reports the /healthz quality rung as
+  /// "off"). Feeding it is the service's job — wire the same pointer
+  /// into ServiceConfig::quality.
+  serve::QualityMonitor* quality = nullptr;
+  /// PSI above which the /healthz quality rung reports "drifting" (and
+  /// /debug/quality marks the model). The conventional PSI reading:
+  /// < 0.1 stable, > 0.25 drifted; the default splits the difference.
+  double drift_threshold = 0.2;
   /// Build provenance for GET /debug/state ("unknown" when the binary was
   /// built outside a checkout).
   std::string build_commit = "unknown";
@@ -83,7 +92,13 @@ struct ServingContext {
 ///                      threshold), same shape
 ///   GET  /debug/state  build hash, uptime, pid, and /proc/self gauges
 ///                      (RSS, CPU seconds, open fds) — the same numbers
-///                      exported as dmvi_process_* via /metrics
+///                      exported as dmvi_process_* via /metrics — plus
+///                      model reload accounting (count, age, last name)
+///   GET  /debug/quality  model-quality view: per-model per-series
+///                      PSI/KS drift breakdown against the checkpoint's
+///                      training reference profile, live input missing
+///                      rates, and the masked self-scoring history; 503
+///                      without a monitor
 /// `ctx` is copied into the handlers and `server` itself is captured by
 /// the /healthz route (it reports the accept-queue depth); both the
 /// service and the server must outlive the registered handlers.

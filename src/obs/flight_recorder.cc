@@ -1,7 +1,10 @@
 #include "obs/flight_recorder.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <ctime>
 #include <sstream>
 #include <utility>
 
@@ -56,6 +59,23 @@ void AppendNumber(std::ostringstream& os, double value) {
   os << value;
 }
 
+/// ISO-8601 UTC rendering of a unix-epoch timestamp with millisecond
+/// precision ("2026-08-07T12:34:56.789Z"); empty for unset/invalid
+/// stamps so records built by hand (tests) stay renderable.
+std::string IsoUtc(double unix_seconds) {
+  if (!std::isfinite(unix_seconds) || unix_seconds <= 0.0) return "";
+  const time_t whole = static_cast<time_t>(unix_seconds);
+  std::tm parts{};
+  if (gmtime_r(&whole, &parts) == nullptr) return "";
+  const int millis = std::min(
+      999, static_cast<int>((unix_seconds - static_cast<double>(whole)) * 1e3));
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                parts.tm_year + 1900, parts.tm_mon + 1, parts.tm_mday,
+                parts.tm_hour, parts.tm_min, parts.tm_sec, millis);
+  return buffer;
+}
+
 }  // namespace
 
 FlightRecorder::FlightRecorder(int capacity, double slow_threshold_seconds,
@@ -72,6 +92,10 @@ FlightRecorder::FlightRecorder(int capacity, double slow_threshold_seconds,
 
 void FlightRecorder::Record(RequestRecord record) {
   record.completed_seconds = clock_.ElapsedSeconds();
+  record.unix_seconds =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
   const bool slow = slow_threshold_seconds_ > 0.0 &&
                     record.latency_seconds >= slow_threshold_seconds_;
   MutexLock lock(&mutex_);
@@ -118,7 +142,9 @@ int64_t FlightRecorder::total_slow() const {
 
 std::string FlightRecordsJson(const std::vector<RequestRecord>& records) {
   std::ostringstream os;
-  os.precision(9);
+  // 15 significant digits: unix-epoch stamps need ~13 for millisecond
+  // resolution; latencies render the same up to harmless extra digits.
+  os.precision(15);
   os << "[";
   bool first = true;
   for (const RequestRecord& record : records) {
@@ -142,7 +168,9 @@ std::string FlightRecordsJson(const std::vector<RequestRecord>& records) {
        << "\", \"shed\": " << (record.shed ? "true" : "false")
        << ", \"completed_seconds\": ";
     AppendNumber(os, record.completed_seconds);
-    os << "}";
+    os << ", \"unix_seconds\": ";
+    AppendNumber(os, record.unix_seconds);
+    os << ", \"time\": \"" << IsoUtc(record.unix_seconds) << "\"}";
   }
   os << (first ? "]\n" : "\n]\n");
   return os.str();

@@ -32,6 +32,11 @@ struct RequestRecord {
   /// Seconds since the recorder was created, stamped by Record — a
   /// monotonic in-process timeline for ordering and age math.
   double completed_seconds = 0.0;
+  /// Wall-clock completion time (unix epoch seconds, system clock),
+  /// stamped by Record alongside completed_seconds so ring entries can
+  /// be correlated with logs and external systems. Rendered in JSON both
+  /// raw ("unix_seconds") and as ISO-8601 UTC ("time").
+  double unix_seconds = 0.0;
 };
 
 /// Bounded ring of the last `capacity` completed requests plus a second

@@ -1,0 +1,197 @@
+#include "obs/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace deepmvi {
+namespace obs {
+
+QuantileSketch::QuantileSketch(int capacity) : capacity_(capacity) {
+  DMVI_CHECK(capacity_ >= 2);
+  // One spare slot so Insert can exceed capacity momentarily before
+  // Compress runs; after this reserve the observe path never allocates.
+  centroids_.reserve(static_cast<size_t>(capacity_) + 1);
+}
+
+void QuantileSketch::Observe(double value) {
+  if (std::isnan(value)) {
+    ++nan_count_;
+    return;
+  }
+  Insert(value, 1);
+}
+
+void QuantileSketch::Insert(double value, int64_t count) {
+  if (total_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  total_ += count;
+
+  auto it = std::lower_bound(
+      centroids_.begin(), centroids_.end(), value,
+      [](const Centroid& c, double v) { return c.value < v; });
+  if (it != centroids_.end() && it->value == value) {
+    it->count += count;  // Exact duplicates coalesce; no growth.
+    return;
+  }
+  centroids_.insert(it, Centroid{value, count});
+  if (static_cast<int>(centroids_.size()) > capacity_) Compress();
+}
+
+void QuantileSketch::Compress() {
+  // Merge the adjacent pair with the smallest value gap; on ties the
+  // lowest index wins so compression is a deterministic function of the
+  // centroid list alone.
+  size_t best = 0;
+  double best_gap = centroids_[1].value - centroids_[0].value;
+  for (size_t i = 1; i + 1 < centroids_.size(); ++i) {
+    const double gap = centroids_[i + 1].value - centroids_[i].value;
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = i;
+    }
+  }
+  Centroid& lo = centroids_[best];
+  const Centroid& hi = centroids_[best + 1];
+  const int64_t merged = lo.count + hi.count;
+  // Weighted mean, written to be symmetric in the pair so the result
+  // depends only on the two centroids.
+  lo.value = (lo.value * static_cast<double>(lo.count) +
+              hi.value * static_cast<double>(hi.count)) /
+             static_cast<double>(merged);
+  lo.count = merged;
+  centroids_.erase(centroids_.begin() + static_cast<ptrdiff_t>(best) + 1);
+}
+
+void QuantileSketch::Merge(const QuantileSketch& other) {
+  // Replay the other side's centroids in ascending value order; each
+  // insert may trigger one compression, so peak size never exceeds the
+  // reserved capacity + 1.
+  for (const Centroid& c : other.centroids_) Insert(c.value, c.count);
+  nan_count_ += other.nan_count_;
+}
+
+double QuantileSketch::Quantile(double q) const {
+  if (total_ <= 0 || centroids_.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  if (centroids_.size() == 1) return centroids_[0].value;
+
+  // Centroid i is treated as sitting at cumulative rank
+  // (count before i) + count_i / 2; interpolate linearly between the
+  // bracketing centroids and clamp to the exact observed range.
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  double prev_center = 0.0;
+  double prev_value = min_;
+  for (size_t i = 0; i < centroids_.size(); ++i) {
+    const double center = cum + static_cast<double>(centroids_[i].count) / 2.0;
+    if (target <= center) {
+      if (i == 0) return std::max(min_, std::min(centroids_[0].value, max_));
+      const double span = center - prev_center;
+      const double frac = span > 0.0 ? (target - prev_center) / span : 0.0;
+      const double est =
+          prev_value + frac * (centroids_[i].value - prev_value);
+      return std::max(min_, std::min(est, max_));
+    }
+    cum += static_cast<double>(centroids_[i].count);
+    prev_center = center;
+    prev_value = centroids_[i].value;
+  }
+  return max_;
+}
+
+DistributionSummary::DistributionSummary(int sketch_capacity)
+    : sketch_(sketch_capacity) {}
+
+void DistributionSummary::Observe(double value) {
+  sketch_.Observe(value);
+  if (std::isnan(value)) return;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void DistributionSummary::Merge(const DistributionSummary& other) {
+  sketch_.Merge(other.sketch_);
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    count_ = other.count_;
+    mean_ = other.mean_;
+    m2_ = other.m2_;
+    min_ = other.min_;
+    max_ = other.max_;
+    return;
+  }
+  // Chan et al. parallel combination of (count, mean, M2).
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double DistributionSummary::stddev() const { return std::sqrt(variance()); }
+
+namespace {
+constexpr double kBinEpsilon = 1e-6;
+}  // namespace
+
+double PopulationStabilityIndex(const std::vector<double>& expected_fractions,
+                                const std::vector<int64_t>& observed_counts) {
+  if (expected_fractions.empty() ||
+      expected_fractions.size() != observed_counts.size()) {
+    return 0.0;
+  }
+  int64_t total = 0;
+  for (int64_t c : observed_counts) total += c;
+  if (total <= 0) return 0.0;
+  double psi = 0.0;
+  for (size_t i = 0; i < expected_fractions.size(); ++i) {
+    const double e = std::max(expected_fractions[i], kBinEpsilon);
+    const double p = std::max(
+        static_cast<double>(observed_counts[i]) / static_cast<double>(total),
+        kBinEpsilon);
+    psi += (p - e) * std::log(p / e);
+  }
+  return psi;
+}
+
+double KolmogorovSmirnovStatistic(const std::vector<double>& expected_fractions,
+                                  const std::vector<int64_t>& observed_counts) {
+  if (expected_fractions.empty() ||
+      expected_fractions.size() != observed_counts.size()) {
+    return 0.0;
+  }
+  int64_t total = 0;
+  for (int64_t c : observed_counts) total += c;
+  if (total <= 0) return 0.0;
+  double ks = 0.0;
+  double cum_e = 0.0;
+  double cum_p = 0.0;
+  for (size_t i = 0; i < expected_fractions.size(); ++i) {
+    cum_e += expected_fractions[i];
+    cum_p += static_cast<double>(observed_counts[i]) /
+             static_cast<double>(total);
+    ks = std::max(ks, std::abs(cum_p - cum_e));
+  }
+  return ks;
+}
+
+}  // namespace obs
+}  // namespace deepmvi

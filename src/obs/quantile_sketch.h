@@ -1,0 +1,122 @@
+#ifndef DEEPMVI_OBS_QUANTILE_SKETCH_H_
+#define DEEPMVI_OBS_QUANTILE_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace deepmvi {
+namespace obs {
+
+/// Fixed-size streaming quantile sketch in the P²/Ben-Haim–Yom-Tov
+/// family: a sorted list of at most `capacity` (value, count) centroids.
+/// Observing a value inserts a unit centroid (coalescing exact
+/// duplicates) and, when the list would overflow, merges the closest
+/// adjacent pair — ties broken by the lower index — so the result is a
+/// pure function of the observation sequence. Storage for capacity + 1
+/// centroids is reserved up front; the observe path never allocates.
+///
+/// Two sketches are mergeable (`Merge` replays the other side's
+/// centroids in value order), and the rank error of `Quantile` is
+/// bounded by the largest centroid weight — O(n / capacity) on
+/// non-adversarial streams, covered by property tests in obs_test.
+///
+/// Not thread-safe; callers own synchronization (the serving layer
+/// folds per-request summaries into per-model sketches under a lock).
+class QuantileSketch {
+ public:
+  static constexpr int kDefaultCapacity = 64;
+
+  explicit QuantileSketch(int capacity = kDefaultCapacity);
+
+  /// Folds one value in. NaN is ignored (counted in nan_count());
+  /// +/-inf is clamped out of quantile interpolation via min/max.
+  void Observe(double value);
+
+  /// Folds every centroid of `other` in, in ascending value order.
+  /// Merge(a, b) == Merge(a, b) for equal inputs (deterministic), and
+  /// Merge order only moves quantile estimates within the rank-error
+  /// bound, never the total count.
+  void Merge(const QuantileSketch& other);
+
+  /// Deterministic quantile estimate for q in [0, 1], interpolated over
+  /// cumulative centroid weight and clamped to [min(), max()]. Returns
+  /// 0 when empty.
+  double Quantile(double q) const;
+
+  int64_t count() const { return total_; }
+  int64_t nan_count() const { return nan_count_; }
+  double min() const { return total_ > 0 ? min_ : 0.0; }
+  double max() const { return total_ > 0 ? max_ : 0.0; }
+  int capacity() const { return capacity_; }
+  /// Number of live centroids (<= capacity()); exposed for tests.
+  int num_centroids() const { return static_cast<int>(centroids_.size()); }
+
+ private:
+  struct Centroid {
+    double value = 0.0;
+    int64_t count = 0;
+  };
+
+  void Insert(double value, int64_t count);
+  /// Merges the closest adjacent pair (lowest index on ties); called
+  /// only when size() == capacity_ + 1.
+  void Compress();
+
+  int capacity_;
+  std::vector<Centroid> centroids_;  // Sorted by value; size <= capacity_.
+  int64_t total_ = 0;
+  int64_t nan_count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Streaming moment + quantile summary of one distribution: count, mean
+/// and variance (Welford), exact min/max, and an embedded QuantileSketch.
+/// Deterministic for a fixed observation order and mergeable like the
+/// sketch. This is the unit the training-data reference profile and the
+/// serving-path live summaries are both built from.
+class DistributionSummary {
+ public:
+  explicit DistributionSummary(int sketch_capacity =
+                                   QuantileSketch::kDefaultCapacity);
+
+  void Observe(double value);
+  void Merge(const DistributionSummary& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance (sum of squared deviations / count).
+  double variance() const { return count_ > 0 ? m2_ / count_ : 0.0; }
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  const QuantileSketch& sketch() const { return sketch_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  QuantileSketch sketch_;
+};
+
+/// Population Stability Index of observed bin counts against expected
+/// bin fractions: sum over bins of (p_i - e_i) * ln(p_i / e_i), with
+/// both fractions floored at a small epsilon so empty bins stay finite.
+/// Conventional reading: < 0.1 stable, 0.1-0.25 moderate shift, > 0.25
+/// drifted. Returns 0 when the observed counts are empty or the shapes
+/// disagree.
+double PopulationStabilityIndex(const std::vector<double>& expected_fractions,
+                                const std::vector<int64_t>& observed_counts);
+
+/// Kolmogorov-Smirnov statistic over the same binning: the maximum
+/// absolute difference between the expected and observed CDFs evaluated
+/// at the bin boundaries. In [0, 1]; 0 when empty or mismatched.
+double KolmogorovSmirnovStatistic(const std::vector<double>& expected_fractions,
+                                  const std::vector<int64_t>& observed_counts);
+
+}  // namespace obs
+}  // namespace deepmvi
+
+#endif  // DEEPMVI_OBS_QUANTILE_SKETCH_H_

@@ -19,9 +19,13 @@ Status ModelRegistry::Register(const std::string& name, TrainedDeepMvi model) {
   if (it != models_.end()) {
     retired_.push_back(std::move(it->second));
     it->second = std::move(holder);
+    ++reloads_;
   } else {
     models_.emplace(name, std::move(holder));
   }
+  ++registrations_;
+  last_model_ = name;
+  last_registered_at_ = clock_.ElapsedSeconds();
   return Status::OK();
 }
 
@@ -49,6 +53,18 @@ std::vector<std::string> ModelRegistry::Names() const {
 int64_t ModelRegistry::size() const {
   MutexLock lock(&mutex_);
   return static_cast<int64_t>(models_.size());
+}
+
+ModelRegistry::ReloadInfo ModelRegistry::reload_info() const {
+  MutexLock lock(&mutex_);
+  ReloadInfo info;
+  info.registrations = registrations_;
+  info.reloads = reloads_;
+  info.last_model = last_model_;
+  if (registrations_ > 0) {
+    info.model_age_seconds = clock_.ElapsedSeconds() - last_registered_at_;
+  }
+  return info;
 }
 
 }  // namespace serve

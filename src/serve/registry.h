@@ -8,6 +8,7 @@
 
 #include "common/mutex.h"
 #include "common/status.h"
+#include "common/stopwatch.h"
 #include "common/thread_annotations.h"
 #include "core/trained_deepmvi.h"
 
@@ -43,13 +44,30 @@ class ModelRegistry {
 
   int64_t size() const;
 
+  /// Registration/reload accounting for /metrics and /debug/state: how
+  /// often models were (re)registered and how stale the newest one is.
+  struct ReloadInfo {
+    int64_t registrations = 0;  // All successful Register calls.
+    int64_t reloads = 0;        // Re-registers that swapped a live model.
+    std::string last_model;     // Name of the most recent registration.
+    /// Seconds since the most recent registration; -1 when none happened
+    /// (0 would falsely read as "just loaded").
+    double model_age_seconds = -1.0;
+  };
+  ReloadInfo reload_info() const;
+
  private:
   mutable Mutex mutex_;
+  const Stopwatch clock_;
   std::map<std::string, std::shared_ptr<const TrainedDeepMvi>> models_
       DMVI_GUARDED_BY(mutex_);
   /// Retired generations parked so outstanding raw pointers stay valid.
   std::vector<std::shared_ptr<const TrainedDeepMvi>> retired_
       DMVI_GUARDED_BY(mutex_);
+  int64_t registrations_ DMVI_GUARDED_BY(mutex_) = 0;
+  int64_t reloads_ DMVI_GUARDED_BY(mutex_) = 0;
+  std::string last_model_ DMVI_GUARDED_BY(mutex_);
+  double last_registered_at_ DMVI_GUARDED_BY(mutex_) = 0.0;
 };
 
 }  // namespace serve

@@ -78,6 +78,14 @@ ImputationResponse ImputationService::Process(const ImputationRequest& request,
     response.status = model->ValidateInput(*request.data, request.mask);
     if (!response.status.ok()) return response;
 
+    // Quality monitoring folds the validated input into per-model live
+    // distributions. Strictly observational: nothing below reads monitor
+    // state, so responses are byte-identical with the monitor off.
+    if (config_.quality != nullptr) {
+      config_.quality->ObserveInput(request.model, model, *request.data,
+                                    request.mask);
+    }
+
     if (degrade) {
       // Overloaded: answer with the cheap fallback imputer. The request
       // still went through the same lookup + validation, so error
@@ -156,6 +164,20 @@ ImputationResponse ImputationService::Process(const ImputationRequest& request,
       cached.cells_imputed = response.cells_imputed;
       cached.rows_touched = response.rows_touched;
       cache_->Put(model, data_fp, mask_fp, std::move(cached));
+    }
+    // Masked self-scoring rides every Nth successful full-model predict
+    // (cache hits, degraded answers, and errors returned above). Seeded
+    // from the request fingerprints so a replayed request hides the same
+    // cells; the response is already complete and is never touched.
+    if (config_.quality != nullptr &&
+        config_.quality->SelfScoreDue(request.model)) {
+      obs::Span score_span(config_.tracer, "quality.selfscore");
+      if (score_span.active()) score_span.set_request_id(request.request_id);
+      const uint64_t seed =
+          MemoizedDataFingerprint(request.data) ^
+          (FingerprintMask(request.mask) * 0x9E3779B97F4A7C15ULL);
+      config_.quality->SelfScore(request.model, model, request.data,
+                                 request.mask, seed, request.request_id);
     }
   } catch (const std::exception& e) {
     response.status = Status::Internal(e.what());

@@ -15,6 +15,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/quality_monitor.h"
 #include "serve/registry.h"
 #include "serve/response_cache.h"
 #include "serve/telemetry.h"
@@ -106,6 +107,13 @@ struct ServiceConfig {
   /// answers, and sheds — appends one RequestRecord; recording never
   /// touches response bytes, so the byte-identity bar holds with it on.
   obs::FlightRecorder* recorder = nullptr;
+  /// Optional model-quality monitor, borrowed like the hooks above (null
+  /// disables). Every validated request input is folded into the
+  /// monitor's live distributions, and every Nth successful full-model
+  /// predict triggers a masked self-scoring round on a side copy of the
+  /// mask. Strictly read-only for serving: responses are cmp-identical
+  /// with the monitor on or off.
+  QualityMonitor* quality = nullptr;
 };
 
 /// Long-lived imputation service: owns loaded models (via the registry),

@@ -1,9 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "baselines/simple.h"
 #include "core/deepmvi.h"
+#include "core/quality_profile.h"
+#include "core/trained_deepmvi.h"
 #include "core/kernel_regression.h"
 #include "core/temporal_transformer.h"
 #include "data/synthetic.h"
@@ -419,6 +425,176 @@ TEST(DeepMviTest, TrainingIsBitIdenticalAcrossThreadCounts) {
     testutil::ExpectMatricesBitIdentical(
         parallel, serial, "threads=" + std::to_string(threads));
   }
+}
+
+// ---- Training reference profile ---------------------------------------------
+
+std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(QualityProfileTest, FitAttachesProfileMatchingTrainingData) {
+  testutil::SeasonalCase c = testutil::MakeSeasonalCase(71, 5, 120);
+  DeepMviConfig config = testutil::TinyDeepMviConfig();
+  TrainedDeepMvi trained = DeepMviImputer(config).Fit(c.data, c.mask);
+
+  const QualityProfile* profile = trained.quality_profile();
+  ASSERT_NE(profile, nullptr);
+  ASSERT_EQ(profile->num_series(), 5);
+  for (int r = 0; r < 5; ++r) {
+    const QualityProfile::Series& series =
+        profile->series[static_cast<size_t>(r)];
+    // Counts partition the timeline by the training mask.
+    int64_t available = 0;
+    for (int t = 0; t < 120; ++t) {
+      if (!c.mask.missing(r, t)) ++available;
+    }
+    EXPECT_EQ(series.count, available) << "series " << r;
+    EXPECT_EQ(series.count + series.missing, 120) << "series " << r;
+    ASSERT_EQ(series.decile_edges.size(),
+              static_cast<size_t>(QualityProfile::kNumDecileEdges));
+    // Moments are over raw (unnormalized) available values.
+    double mean = 0.0, lo = 0.0, hi = 0.0;
+    bool first = true;
+    for (int t = 0; t < 120; ++t) {
+      if (c.mask.missing(r, t)) continue;
+      const double v = c.data.values()(r, t);
+      mean += v;
+      lo = first ? v : std::min(lo, v);
+      hi = first ? v : std::max(hi, v);
+      first = false;
+    }
+    mean /= static_cast<double>(available);
+    EXPECT_NEAR(series.mean, mean, 1e-9) << "series " << r;
+    EXPECT_DOUBLE_EQ(series.min, lo) << "series " << r;
+    EXPECT_DOUBLE_EQ(series.max, hi) << "series " << r;
+    // Decile edges are nondecreasing and inside the observed range.
+    for (size_t d = 0; d < series.decile_edges.size(); ++d) {
+      EXPECT_GE(series.decile_edges[d], lo);
+      EXPECT_LE(series.decile_edges[d], hi);
+      if (d > 0) EXPECT_GE(series.decile_edges[d], series.decile_edges[d - 1]);
+    }
+  }
+  EXPECT_NEAR(profile->MissingRate(), 0.1, 0.05);
+}
+
+TEST(QualityProfileTest, RecordSurvivesSaveLoadRoundTrip) {
+  testutil::SeasonalCase c = testutil::MakeSeasonalCase(73, 5, 120);
+  TrainedDeepMvi trained =
+      DeepMviImputer(testutil::TinyDeepMviConfig()).Fit(c.data, c.mask);
+  const std::string path = testutil::TempPath("profile_roundtrip.dmvi");
+  ASSERT_TRUE(trained.Save(path).ok());
+
+  StatusOr<TrainedDeepMvi> loaded = TrainedDeepMvi::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const QualityProfile* original = trained.quality_profile();
+  const QualityProfile* restored = loaded->quality_profile();
+  ASSERT_NE(restored, nullptr);
+  ASSERT_EQ(restored->num_series(), original->num_series());
+  for (int r = 0; r < original->num_series(); ++r) {
+    const auto& want = original->series[static_cast<size_t>(r)];
+    const auto& got = restored->series[static_cast<size_t>(r)];
+    EXPECT_EQ(got.count, want.count);
+    EXPECT_EQ(got.missing, want.missing);
+    EXPECT_EQ(got.mean, want.mean);        // Bit-exact: doubles round-trip.
+    EXPECT_EQ(got.stddev, want.stddev);
+    EXPECT_EQ(got.min, want.min);
+    EXPECT_EQ(got.max, want.max);
+    EXPECT_EQ(got.decile_edges, want.decile_edges);
+  }
+
+  // Re-saving the loaded model reproduces the original file exactly —
+  // the profile record is part of the checkpoint's byte identity.
+  const std::string resaved = testutil::TempPath("profile_resave.dmvi");
+  ASSERT_TRUE(loaded->Save(resaved).ok());
+  EXPECT_EQ(FileBytes(path), FileBytes(resaved));
+}
+
+TEST(QualityProfileTest, LegacyCheckpointWithoutRecordLoadsAndServes) {
+  testutil::SeasonalCase c = testutil::MakeSeasonalCase(79, 5, 120);
+  TrainedDeepMvi trained =
+      DeepMviImputer(testutil::TinyDeepMviConfig()).Fit(c.data, c.mask);
+  const std::string full_path = testutil::TempPath("profile_full.dmvi");
+  ASSERT_TRUE(trained.Save(full_path).ok());
+
+  // Synthesize a pre-profile checkpoint by stripping the trailing DMVQ
+  // record: serialize the model's own profile to learn the record's exact
+  // size, then truncate the file by that many bytes.
+  std::ostringstream record;
+  ASSERT_TRUE(
+      AppendQualityProfileRecord(record, *trained.quality_profile()).ok());
+  const std::string full_bytes = FileBytes(full_path);
+  ASSERT_GT(full_bytes.size(), record.str().size());
+  const std::string legacy_bytes =
+      full_bytes.substr(0, full_bytes.size() - record.str().size());
+  const std::string legacy_path = testutil::TempPath("profile_legacy.dmvi");
+  {
+    std::ofstream out(legacy_path, std::ios::binary);
+    out << legacy_bytes;
+  }
+
+  StatusOr<TrainedDeepMvi> legacy = TrainedDeepMvi::Load(legacy_path);
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  EXPECT_EQ(legacy->quality_profile(), nullptr);
+  // Inference is untouched by the missing profile.
+  testutil::ExpectMatricesBitIdentical(legacy->Predict(c.data, c.mask),
+                                       trained.Predict(c.data, c.mask),
+                                       "legacy predict");
+  // Re-saving a legacy model writes legacy bytes: loading never invents a
+  // profile, so old checkpoints stay byte-stable through load/save cycles.
+  const std::string legacy_resaved =
+      testutil::TempPath("profile_legacy_resave.dmvi");
+  ASSERT_TRUE(legacy->Save(legacy_resaved).ok());
+  EXPECT_EQ(FileBytes(legacy_resaved), legacy_bytes);
+}
+
+TEST(QualityProfileTest, CorruptTrailingRecordIsAnError) {
+  testutil::SeasonalCase c = testutil::MakeSeasonalCase(83, 5, 120);
+  TrainedDeepMvi trained =
+      DeepMviImputer(testutil::TinyDeepMviConfig()).Fit(c.data, c.mask);
+  const std::string path = testutil::TempPath("profile_corrupt.dmvi");
+  ASSERT_TRUE(trained.Save(path).ok());
+  std::string bytes = FileBytes(path);
+  // Chop mid-record: a partial DMVQ body must fail loudly, not silently
+  // degrade to "no profile".
+  bytes.resize(bytes.size() - 3);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << bytes;
+  }
+  EXPECT_FALSE(TrainedDeepMvi::Load(path).ok());
+}
+
+TEST(QualityProfileTest, ComputeIsMaskAware) {
+  // Direct unit check of the computation: a hand-built source with known
+  // values, one masked cell, and one NaN in an *available* slot — the NaN
+  // is excluded from moments but still counted as available.
+  Matrix values(2, 6);
+  for (int t = 0; t < 6; ++t) {
+    values(0, t) = static_cast<double>(t + 1);  // 1..6
+    values(1, t) = 10.0;
+  }
+  values(1, 2) = std::nan("");
+  DataTensor data = DataTensor::FromMatrix(values);
+  Mask mask(2, 6);
+  mask.set_missing(0, 3);
+  storage::InMemoryDataSource source(&data);
+
+  StatusOr<QualityProfile> profile = ComputeQualityProfile(source, mask);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  ASSERT_EQ(profile->num_series(), 2);
+  EXPECT_EQ(profile->series[0].count, 5);
+  EXPECT_EQ(profile->series[0].missing, 1);
+  EXPECT_NEAR(profile->series[0].mean, (1 + 2 + 3 + 5 + 6) / 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(profile->series[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(profile->series[0].max, 6.0);
+  EXPECT_EQ(profile->series[1].count, 6);  // NaN slot is still "available".
+  EXPECT_EQ(profile->series[1].missing, 0);
+  EXPECT_DOUBLE_EQ(profile->series[1].mean, 10.0);
+  EXPECT_DOUBLE_EQ(profile->series[1].stddev, 0.0);
 }
 
 }  // namespace

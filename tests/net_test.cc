@@ -32,6 +32,8 @@
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
+#include "scenario/scenarios.h"
+#include "serve/quality_monitor.h"
 #include "serve/service.h"
 #include "serve/workload.h"
 #include "testing/test_util.h"
@@ -1501,6 +1503,154 @@ TEST(ServingEndpointsTest, TracingDoesNotChangeServedBytes) {
   EXPECT_EQ(without_latency_line(plain_json),
             without_latency_line(traced_json))
       << "tracing changed JSON response bytes";
+}
+
+// ---- Model-quality endpoints ------------------------------------------------
+
+/// Inline-values /v1/impute body for `values` at precision 17, with one
+/// null cell so there is something to impute.
+std::string InlineBody(const Matrix& values) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"model\": \"default\", \"values\": [";
+  for (int r = 0; r < values.rows(); ++r) {
+    os << (r == 0 ? "[" : ", [");
+    for (int t = 0; t < values.cols(); ++t) {
+      if (t > 0) os << ", ";
+      if (r == 0 && t == 0) {
+        os << "null";
+      } else {
+        os << values(r, t);
+      }
+    }
+    os << "]";
+  }
+  os << "]}";
+  return os.str();
+}
+
+TEST(ServingEndpointsTest, QualityEndpointsScoreDriftAcrossTheStack) {
+  serve::QualityMonitor monitor;
+  serve::ServiceConfig service_config;
+  service_config.quality = &monitor;
+  ServedCase served(service_config);
+  obs::MetricsRegistry metrics;
+  net::ServingContext ctx = served.Context();
+  ctx.quality = &monitor;
+  ctx.metrics = &metrics;
+  net::HttpServer server;
+  net::RegisterServingEndpoints(&server, ctx);
+  ASSERT_TRUE(server.Start().ok());
+  net::Client client("127.0.0.1", server.port());
+
+  // No traffic yet: the monitor exists but holds no model state, so the
+  // health rung reports the absence of a scored reference, not a fault.
+  StatusOr<net::HttpMessage> health = client.Get("/healthz");
+  ASSERT_TRUE(health.ok());
+  StatusOr<net::JsonValue> health_doc = net::ParseJson(health->body);
+  ASSERT_TRUE(health_doc.ok()) << health->body;
+  EXPECT_EQ(health_doc->at("quality").string_value(), "no-reference");
+  EXPECT_DOUBLE_EQ(health_doc->at("drift_threshold").number_value(), 0.2);
+
+  // Matched traffic: a query-mode request observes the served dataset —
+  // the very distribution the reference profile was trained on.
+  net::HttpMessage impute;
+  impute.method = "POST";
+  impute.target = "/v1/impute";
+  impute.body = R"({"model": "default",
+                    "query": {"row": 1, "t_start": 10, "block_len": 4}})";
+  impute.SetHeader("content-type", "application/json");
+  ASSERT_EQ(client.RoundTrip(impute)->status_code, 200);
+
+  health_doc = net::ParseJson(client.Get("/healthz")->body);
+  ASSERT_TRUE(health_doc.ok());
+  EXPECT_EQ(health_doc->at("quality").string_value(), "ok");
+
+  StatusOr<net::HttpMessage> quality = client.Get("/debug/quality");
+  ASSERT_TRUE(quality.ok());
+  ASSERT_EQ(quality->status_code, 200);
+  EXPECT_EQ(quality->Header("content-type"), "application/json");
+  StatusOr<net::JsonValue> doc = net::ParseJson(quality->body);
+  ASSERT_TRUE(doc.ok()) << quality->body;
+  EXPECT_EQ(doc->at("quality").string_value(), "ok");
+  ASSERT_EQ(doc->at("models").array_items().size(), 1u);
+  {
+    const net::JsonValue& model = doc->at("models").array_items()[0];
+    EXPECT_EQ(model.at("model").string_value(), "default");
+    EXPECT_EQ(model.at("status").string_value(), "ok");
+    EXPECT_TRUE(model.at("has_reference").bool_value());
+    EXPECT_EQ(model.at("requests_observed").number_value(), 1);
+    EXPECT_LT(model.at("drift_score").number_value(), 0.1);
+    EXPECT_EQ(model.at("series").array_items().size(), 5u);
+    const net::JsonValue& series = model.at("series").array_items()[0];
+    EXPECT_TRUE(series.at("scored").bool_value());
+    EXPECT_GE(series.at("live_count").number_value(), 50);
+    EXPECT_TRUE(model.at("selfscore").at("history").is_array());
+  }
+  // The drift gauge and missing-rate gauge are exported once scored.
+  StatusOr<net::HttpMessage> metrics_text = client.Get("/metrics");
+  ASSERT_TRUE(metrics_text.ok());
+  EXPECT_NE(metrics_text->body.find("dmvi_model_drift_score"),
+            std::string::npos);
+  EXPECT_NE(metrics_text->body.find("dmvi_model_input_missing_rate"),
+            std::string::npos);
+  EXPECT_NE(metrics_text->body.find("dmvi_model_reloads_total 0"),
+            std::string::npos);
+  EXPECT_NE(metrics_text->body.find("dmvi_model_age_seconds"),
+            std::string::npos);
+
+  // Drifted traffic: inline-values requests carrying a 3-sigma sensor
+  // drift shift the live bins past the threshold; the rung flips.
+  ScenarioConfig drift;
+  drift.kind = ScenarioKind::kDrift;
+  drift.percent_incomplete = 1.0;
+  drift.drift_rate = 3.0;
+  const Matrix shifted =
+      ApplyScenarioTransform(drift, served.data_case.data.values());
+  const std::string drifted_body = InlineBody(shifted);
+  for (int i = 0; i < 3; ++i) {
+    net::HttpMessage inline_request;
+    inline_request.method = "POST";
+    inline_request.target = "/v1/impute";
+    inline_request.body = drifted_body;
+    inline_request.SetHeader("content-type", "application/json");
+    ASSERT_EQ(client.RoundTrip(inline_request)->status_code, 200);
+  }
+  doc = net::ParseJson(client.Get("/debug/quality")->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->at("quality").string_value(), "drifting");
+  EXPECT_GT(doc->at("models").array_items()[0].at("drift_score")
+                .number_value(),
+            0.2);
+  health_doc = net::ParseJson(client.Get("/healthz")->body);
+  ASSERT_TRUE(health_doc.ok());
+  EXPECT_EQ(health_doc->at("quality").string_value(), "drifting");
+  server.Stop();
+}
+
+TEST(ServingEndpointsTest, QualityEndpointsWithoutMonitor) {
+  ServedCase served;
+  net::HttpServer server;
+  net::RegisterServingEndpoints(&server, served.Context());
+  ASSERT_TRUE(server.Start().ok());
+  net::Client client("127.0.0.1", server.port());
+  StatusOr<net::HttpMessage> quality = client.Get("/debug/quality");
+  ASSERT_TRUE(quality.ok());
+  EXPECT_EQ(quality->status_code, 503);
+  StatusOr<net::JsonValue> health_doc =
+      net::ParseJson(client.Get("/healthz")->body);
+  ASSERT_TRUE(health_doc.ok());
+  EXPECT_EQ(health_doc->at("quality").string_value(), "off");
+  // /debug/state carries the reload accounting with or without a monitor.
+  StatusOr<net::JsonValue> state_doc =
+      net::ParseJson(client.Get("/debug/state")->body);
+  ASSERT_TRUE(state_doc.ok());
+  EXPECT_EQ(state_doc->at("model_registrations").number_value(), 1);
+  EXPECT_EQ(state_doc->at("model_reloads").number_value(), 0);
+  EXPECT_EQ(state_doc->at("last_registered_model").string_value(),
+            "default");
+  EXPECT_GE(state_doc->at("model_age_seconds").number_value(), 0.0);
+  server.Stop();
 }
 
 }  // namespace

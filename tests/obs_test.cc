@@ -19,6 +19,7 @@
 #include "obs/metrics.h"
 #include "obs/process_stats.h"
 #include "obs/profiler.h"
+#include "obs/quantile_sketch.h"
 #include "obs/trace.h"
 #include "serve/telemetry.h"
 
@@ -740,7 +741,292 @@ TEST(FlightRecorderTest, JsonRendersAllFieldsAndEscapes) {
   EXPECT_EQ(entry.at("degrade_method").string_value(), "LinearInterp");
   EXPECT_FALSE(entry.at("shed").bool_value());
   EXPECT_DOUBLE_EQ(entry.at("completed_seconds").number_value(), 1.5);
+  // A hand-built record has no wall-clock stamp: unix_seconds renders as
+  // its zero default and the ISO form is empty rather than a fake epoch.
+  EXPECT_DOUBLE_EQ(entry.at("unix_seconds").number_value(), 0.0);
+  EXPECT_EQ(entry.at("time").string_value(), "");
   EXPECT_EQ(obs::FlightRecordsJson({}), "[]\n");
+}
+
+TEST(FlightRecorderTest, RecordStampsWallClockRenderedAsIso8601) {
+  obs::FlightRecorder recorder(/*capacity=*/4, /*slow_threshold_seconds=*/1.0);
+  recorder.Record(MakeRecord(0, 0.001));
+  recorder.Record(MakeRecord(1, 0.001));
+  const std::vector<obs::RequestRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  // Stamped from the system clock: a plausible unix epoch (after
+  // 2020-01-01, i.e. > 1.5e9 s) that never decreases across records.
+  EXPECT_GT(records[0].unix_seconds, 1.5e9);
+  EXPECT_GE(records[1].unix_seconds, records[0].unix_seconds);
+  // JSON renders it both raw (at full precision: parsing back must not
+  // lose whole seconds) and as ISO-8601 UTC.
+  StatusOr<net::JsonValue> parsed =
+      net::ParseJson(obs::FlightRecordsJson(records));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const net::JsonValue& entry = parsed->array_items()[0];
+  EXPECT_NEAR(entry.at("unix_seconds").number_value(),
+              records[0].unix_seconds, 0.5);
+  const std::string& iso = entry.at("time").string_value();
+  ASSERT_EQ(iso.size(), 24u) << iso;  // "YYYY-MM-DDThh:mm:ss.mmmZ"
+  EXPECT_EQ(iso[4], '-');
+  EXPECT_EQ(iso[10], 'T');
+  EXPECT_EQ(iso[19], '.');
+  EXPECT_EQ(iso.back(), 'Z');
+  EXPECT_GE(iso.substr(0, 4), "2020");
+}
+
+// ---- Quantile sketch --------------------------------------------------------
+
+/// Rank of `value` in sorted `data`: the number of elements <= value.
+/// The sketch's quantile answers are judged by how far this rank is from
+/// the requested one — the natural error measure for a mergeable sketch.
+double RankOf(const std::vector<double>& sorted, double value) {
+  return static_cast<double>(
+      std::upper_bound(sorted.begin(), sorted.end(), value) - sorted.begin());
+}
+
+/// Asserts every decile of `sketch` lands within `tolerance` (a rank
+/// fraction) of the exact order statistic of `data`.
+void ExpectQuantilesWithinRankError(const obs::QuantileSketch& sketch,
+                                    std::vector<double> data,
+                                    double tolerance) {
+  std::sort(data.begin(), data.end());
+  const double n = static_cast<double>(data.size());
+  for (int d = 0; d <= 10; ++d) {
+    const double q = static_cast<double>(d) / 10.0;
+    const double estimate = sketch.Quantile(q);
+    const double rank = RankOf(data, estimate) / n;
+    EXPECT_NEAR(rank, q, tolerance)
+        << "q=" << q << " estimate=" << estimate << " n=" << n;
+  }
+}
+
+TEST(QuantileSketchTest, ExactWhileUnderCapacity) {
+  // Fewer distinct values than centroids: nothing is ever compressed, so
+  // min/max/median are exact.
+  obs::QuantileSketch sketch;
+  for (int i = 63; i >= 1; --i) sketch.Observe(static_cast<double>(i));
+  EXPECT_EQ(sketch.count(), 63);
+  EXPECT_EQ(sketch.num_centroids(), 63);
+  EXPECT_DOUBLE_EQ(sketch.min(), 1.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 63.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(1.0), 63.0);
+  EXPECT_NEAR(sketch.Quantile(0.5), 32.0, 1.0);
+}
+
+TEST(QuantileSketchTest, RankErrorBoundedOnRandomInput) {
+  Rng rng(17);
+  std::vector<double> data;
+  obs::QuantileSketch sketch;
+  for (int i = 0; i < 10000; ++i) {
+    const double value = rng.Gaussian(5.0, 2.0);
+    data.push_back(value);
+    sketch.Observe(value);
+  }
+  EXPECT_EQ(sketch.count(), 10000);
+  EXPECT_LE(sketch.num_centroids(), sketch.capacity());
+  // 64 centroids over 10k points: deciles should sit well within a few
+  // percent of the true ranks.
+  ExpectQuantilesWithinRankError(sketch, data, 0.05);
+}
+
+TEST(QuantileSketchTest, RankErrorBoundedOnSortedInput) {
+  // Monotone streams are the classic failure mode for naive reservoir
+  // schemes; the gap-based compression must not care about insert order.
+  std::vector<double> data;
+  obs::QuantileSketch ascending, descending;
+  for (int i = 0; i < 5000; ++i) {
+    const double value = std::sqrt(static_cast<double>(i));
+    data.push_back(value);
+    ascending.Observe(value);
+  }
+  for (int i = 4999; i >= 0; --i) {
+    descending.Observe(std::sqrt(static_cast<double>(i)));
+  }
+  ExpectQuantilesWithinRankError(ascending, data, 0.05);
+  ExpectQuantilesWithinRankError(descending, data, 0.05);
+}
+
+TEST(QuantileSketchTest, RankErrorBoundedOnAdversarialInput) {
+  // Two far-apart clusters with a lone outlier between them, fed in an
+  // alternating order that maximizes churn near the capacity boundary.
+  Rng rng(29);
+  std::vector<double> data;
+  obs::QuantileSketch sketch;
+  for (int i = 0; i < 4000; ++i) {
+    const double value = (i % 2 == 0 ? 0.0 : 1000.0) + rng.Uniform();
+    data.push_back(value);
+    sketch.Observe(value);
+  }
+  data.push_back(500.0);
+  sketch.Observe(500.0);
+  ExpectQuantilesWithinRankError(sketch, data, 0.05);
+  EXPECT_DOUBLE_EQ(sketch.min(), *std::min_element(data.begin(), data.end()));
+  EXPECT_DOUBLE_EQ(sketch.max(), *std::max_element(data.begin(), data.end()));
+}
+
+TEST(QuantileSketchTest, NanObservationsAreCountedNotMixedIn) {
+  obs::QuantileSketch sketch;
+  sketch.Observe(1.0);
+  sketch.Observe(std::numeric_limits<double>::quiet_NaN());
+  sketch.Observe(3.0);
+  EXPECT_EQ(sketch.count(), 2);
+  EXPECT_EQ(sketch.nan_count(), 1);
+  EXPECT_DOUBLE_EQ(sketch.min(), 1.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 3.0);
+  EXPECT_FALSE(std::isnan(sketch.Quantile(0.5)));
+}
+
+TEST(QuantileSketchTest, ObservationIsDeterministic) {
+  // Same stream twice -> bit-identical quantiles: the sketch is part of
+  // checkpointed reference profiles, so any nondeterminism would break
+  // checkpoint byte-identity.
+  Rng rng_a(7), rng_b(7);
+  obs::QuantileSketch a, b;
+  for (int i = 0; i < 3000; ++i) a.Observe(rng_a.Gaussian(0.0, 1.0));
+  for (int i = 0; i < 3000; ++i) b.Observe(rng_b.Gaussian(0.0, 1.0));
+  ASSERT_EQ(a.num_centroids(), b.num_centroids());
+  for (int d = 0; d <= 10; ++d) {
+    const double q = static_cast<double>(d) / 10.0;
+    EXPECT_EQ(a.Quantile(q), b.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketchTest, MergeApproximatesCombinedStream) {
+  Rng rng(41);
+  std::vector<double> data;
+  std::vector<obs::QuantileSketch> parts(4);
+  for (int p = 0; p < 4; ++p) {
+    for (int i = 0; i < 2000; ++i) {
+      const double value = rng.Gaussian(static_cast<double>(p), 1.0);
+      data.push_back(value);
+      parts[static_cast<size_t>(p)].Observe(value);
+    }
+  }
+  obs::QuantileSketch merged;
+  for (const obs::QuantileSketch& part : parts) merged.Merge(part);
+  EXPECT_EQ(merged.count(), 8000);
+  ExpectQuantilesWithinRankError(merged, data, 0.06);
+
+  // Merging is deterministic: the same parts merged again in the same
+  // order reproduce identical quantiles, and any merge order stays within
+  // the rank-error bound (centroid layouts may differ across orders; the
+  // answers they give must not drift).
+  obs::QuantileSketch again;
+  for (const obs::QuantileSketch& part : parts) again.Merge(part);
+  for (int d = 0; d <= 10; ++d) {
+    const double q = static_cast<double>(d) / 10.0;
+    EXPECT_EQ(merged.Quantile(q), again.Quantile(q));
+  }
+  obs::QuantileSketch reversed;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    reversed.Merge(*it);
+  }
+  EXPECT_EQ(reversed.count(), 8000);
+  ExpectQuantilesWithinRankError(reversed, data, 0.06);
+}
+
+TEST(DistributionSummaryTest, MomentsMatchExactComputation) {
+  Rng rng(53);
+  std::vector<double> data;
+  obs::DistributionSummary summary;
+  for (int i = 0; i < 2500; ++i) {
+    const double value = rng.Gaussian(10.0, 3.0);
+    data.push_back(value);
+    summary.Observe(value);
+  }
+  double mean = 0.0;
+  for (double v : data) mean += v;
+  mean /= static_cast<double>(data.size());
+  double var = 0.0;
+  for (double v : data) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(data.size());
+  EXPECT_EQ(summary.count(), 2500);
+  EXPECT_NEAR(summary.mean(), mean, 1e-9);
+  EXPECT_NEAR(summary.variance(), var, 1e-7);
+  EXPECT_NEAR(summary.stddev(), std::sqrt(var), 1e-8);
+  EXPECT_DOUBLE_EQ(summary.min(),
+                   *std::min_element(data.begin(), data.end()));
+  EXPECT_DOUBLE_EQ(summary.max(),
+                   *std::max_element(data.begin(), data.end()));
+}
+
+TEST(DistributionSummaryTest, MergeMatchesSingleStream) {
+  Rng rng(61);
+  obs::DistributionSummary whole, left, right;
+  for (int i = 0; i < 3000; ++i) {
+    const double value = rng.Gaussian(0.0, 1.0) + (i % 3 == 0 ? 5.0 : 0.0);
+    whole.Observe(value);
+    (i < 1000 ? left : right).Observe(value);
+  }
+  obs::DistributionSummary merged = left;
+  merged.Merge(right);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+  // Merging an empty summary is a no-op in both directions.
+  obs::DistributionSummary empty;
+  merged.Merge(empty);
+  EXPECT_EQ(merged.count(), whole.count());
+  obs::DistributionSummary adopted;
+  adopted.Merge(whole);
+  EXPECT_NEAR(adopted.mean(), whole.mean(), 1e-12);
+}
+
+// ---- Drift statistics -------------------------------------------------------
+
+TEST(DriftStatTest, MatchedDistributionScoresZero) {
+  const std::vector<double> expected = {0.25, 0.25, 0.25, 0.25};
+  const std::vector<int64_t> observed = {100, 100, 100, 100};
+  EXPECT_NEAR(obs::PopulationStabilityIndex(expected, observed), 0.0, 1e-12);
+  EXPECT_NEAR(obs::KolmogorovSmirnovStatistic(expected, observed), 0.0,
+              1e-12);
+}
+
+TEST(DriftStatTest, KnownShiftMatchesHandComputation) {
+  // Two bins, mass moved from 50/50 to 75/25:
+  //   PSI = 0.25*ln(1.5) + (-0.25)*ln(0.5) = 0.27465307...
+  //   KS  = |0.75 - 0.50| = 0.25.
+  const std::vector<double> expected = {0.5, 0.5};
+  const std::vector<int64_t> observed = {75, 25};
+  EXPECT_NEAR(obs::PopulationStabilityIndex(expected, observed),
+              0.25 * std::log(1.5) - 0.25 * std::log(0.5), 1e-12);
+  EXPECT_NEAR(obs::KolmogorovSmirnovStatistic(expected, observed), 0.25,
+              1e-12);
+}
+
+TEST(DriftStatTest, LargerShiftScoresHigher) {
+  const std::vector<double> expected = {0.25, 0.25, 0.25, 0.25};
+  const std::vector<int64_t> small_shift = {110, 100, 100, 90};
+  const std::vector<int64_t> big_shift = {250, 100, 40, 10};
+  const double small_psi =
+      obs::PopulationStabilityIndex(expected, small_shift);
+  const double big_psi = obs::PopulationStabilityIndex(expected, big_shift);
+  EXPECT_GT(small_psi, 0.0);
+  EXPECT_GT(big_psi, small_psi);
+  EXPECT_GT(big_psi, 0.25);  // Conventional "drifted" territory.
+  const double ks = obs::KolmogorovSmirnovStatistic(expected, big_shift);
+  EXPECT_GT(ks, 0.0);
+  EXPECT_LE(ks, 1.0);
+}
+
+TEST(DriftStatTest, DegenerateInputsScoreZero) {
+  // Empty, mismatched lengths, and all-zero observations are all "no
+  // evidence", never NaN/inf: the monitor calls these on live bins that
+  // may not have filled yet.
+  EXPECT_DOUBLE_EQ(obs::PopulationStabilityIndex({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(obs::PopulationStabilityIndex({0.5, 0.5}, {1}), 0.0);
+  EXPECT_DOUBLE_EQ(obs::PopulationStabilityIndex({0.5, 0.5}, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(obs::KolmogorovSmirnovStatistic({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(obs::KolmogorovSmirnovStatistic({0.5, 0.5}, {0, 0}), 0.0);
+  // An empty expected bin does not blow up PSI (epsilon floor).
+  const double psi =
+      obs::PopulationStabilityIndex({0.0, 1.0}, {50, 50});
+  EXPECT_TRUE(std::isfinite(psi));
+  EXPECT_GT(psi, 0.0);
 }
 
 // ---- Process stats ----------------------------------------------------------

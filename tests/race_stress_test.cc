@@ -24,6 +24,8 @@
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
+#include "serve/quality_monitor.h"
+#include "serve/registry.h"
 #include "serve/service.h"
 #include "storage/chunk_cache.h"
 #include "testing/test_util.h"
@@ -466,6 +468,99 @@ TEST(RaceStressTest, ChunkCacheLoadClearThrash) {
   storage::ChunkCache::Stats stats = cache.stats();
   EXPECT_EQ(stats.hits + stats.misses, calls.load());
   EXPECT_LE(stats.peak_bytes, cache.byte_budget());
+}
+
+// ---- QualityMonitor: observe / self-score / snapshot / reload ---------------
+
+// Quality monitoring rides every request, so its lock discipline gets the
+// same treatment as the hot path: two threads folding inputs and running
+// masked self-scoring, a registry reloader swapping the model pointer
+// (which resets live state mid-stream), and a snapshot scraper reading
+// everything concurrently. Invariants: snapshots are internally
+// consistent at every instant, and nothing tears or deadlocks.
+TEST(RaceStressTest, QualityMonitorObserveSelfScoreSnapshotStorm) {
+  const SharedModel& shared = GetSharedModel();
+  serve::ModelRegistry registry;
+  ASSERT_TRUE(registry.LoadFromFile("m", shared.checkpoint_path).ok());
+
+  serve::QualityMonitorOptions qopts;
+  qopts.selfscore_every = 3;  // Fire often so rounds overlap observes.
+  qopts.selfscore_history = 8;
+  serve::QualityMonitor monitor(qopts);
+
+  const std::vector<Mask> masks = DistinctMasks(6);
+  const int observes_per_thread = 40 * StressScale();
+  const int reloads = 10 * StressScale();
+  std::atomic<bool> done{false};
+
+  std::thread observers[2];
+  for (int t = 0; t < 2; ++t) {
+    observers[t] = std::thread([&, t] {
+      for (int i = 0; i < observes_per_thread; ++i) {
+        // Re-fetch per iteration: the reloader swaps the registered
+        // model underneath us, and a changed pointer must reset the
+        // monitor's live state rather than corrupt it.
+        const TrainedDeepMvi* model = registry.Get("m");
+        ASSERT_NE(model, nullptr);
+        const Mask& mask = masks[(t * observes_per_thread + i) %
+                                 masks.size()];
+        monitor.ObserveInput("m", model, *shared.data, mask);
+        if (monitor.SelfScoreDue("m")) {
+          monitor.SelfScore("m", model, shared.data, mask,
+                            /*seed=*/static_cast<uint64_t>(t * 1000 + i),
+                            "race-" + std::to_string(i));
+        }
+      }
+    });
+  }
+  std::thread reloader([&] {
+    for (int i = 0; i < reloads; ++i) {
+      ASSERT_TRUE(
+          registry.LoadFromFile("m", shared.checkpoint_path).ok());
+    }
+  });
+  std::thread scraper([&] {
+    while (!done.load()) {
+      serve::QualitySnapshot snapshot = monitor.Snapshot();
+      ASSERT_LE(snapshot.models.size(), 1u);
+      if (snapshot.models.empty()) continue;
+      const serve::ModelQualitySnapshot& m = snapshot.models[0];
+      EXPECT_EQ(m.model, "m");
+      EXPECT_TRUE(m.has_reference);
+      EXPECT_GE(m.requests_observed, 0);
+      EXPECT_GE(m.cells_observed, 0);
+      EXPECT_GE(m.input_missing_rate, 0.0);
+      EXPECT_LE(m.input_missing_rate, 1.0);
+      EXPECT_GE(m.drift_score, 0.0);
+      EXPECT_GE(m.selfscore_rounds, 0);
+      EXPECT_LE(m.selfscore_history.size(),
+                static_cast<size_t>(qopts.selfscore_history));
+      for (const serve::SelfScoreRecord& record : m.selfscore_history) {
+        EXPECT_GE(record.cells, 0);
+        EXPECT_GE(record.rmse, record.mae);
+      }
+    }
+  });
+
+  for (auto& observer : observers) observer.join();
+  reloader.join();
+  done = true;
+  scraper.join();
+
+  serve::QualitySnapshot final_snapshot = monitor.Snapshot();
+  ASSERT_EQ(final_snapshot.models.size(), 1u);
+  const serve::ModelQualitySnapshot& m = final_snapshot.models[0];
+  // Reloads reset live counters, so the exact totals depend on thread
+  // interleaving; they must still be coherent — cells split cleanly into
+  // observed + missing, and live traffic matches the served dataset.
+  EXPECT_TRUE(m.has_reference);
+  EXPECT_GE(m.requests_observed, 1);
+  EXPECT_LE(m.requests_observed, 2 * observes_per_thread);
+  const int64_t cells_per_request =
+      static_cast<int64_t>(shared.data->num_series()) *
+      shared.data->num_times();
+  EXPECT_EQ((m.cells_observed + m.cells_missing) % cells_per_request, 0);
+  EXPECT_GE(final_snapshot.max_drift_score, 0.0);
 }
 
 }  // namespace

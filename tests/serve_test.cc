@@ -21,7 +21,10 @@
 
 #include "baselines/simple.h"
 #include "core/deepmvi.h"
+#include "core/quality_profile.h"
 #include "obs/flight_recorder.h"
+#include "scenario/scenarios.h"
+#include "serve/quality_monitor.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
@@ -980,6 +983,209 @@ TEST(ImputationServiceTest, ProfilerAndRecorderDoNotChangeResponseBytes) {
 }
 
 // ---- Workload helpers -------------------------------------------------------
+
+// ---- Quality monitor --------------------------------------------------------
+
+TEST(QualityMonitorTest, MatchedInputStaysQuietDriftedInputScores) {
+  TrainedCase c = MakeTrainedCase(47);
+  serve::QualityMonitor monitor;
+
+  // Matched: the training data itself flows back in.
+  monitor.ObserveInput("m", &c.model, c.data_case.data, c.data_case.mask);
+  serve::QualitySnapshot quiet = monitor.Snapshot();
+  ASSERT_EQ(quiet.models.size(), 1u);
+  EXPECT_TRUE(quiet.models[0].has_reference);
+  EXPECT_EQ(quiet.models[0].requests_observed, 1);
+  EXPECT_GT(quiet.models[0].series_scored, 0);
+  EXPECT_LT(quiet.models[0].drift_score, 0.1) << "training data drifted?";
+  EXPECT_EQ(quiet.max_drift_score, quiet.models[0].drift_score);
+
+  // Drifted: the kDrift sensor-drift transform shifts every series by a
+  // sawtooth of 2 stddevs — PSI must land in drifted territory.
+  ScenarioConfig drift;
+  drift.kind = ScenarioKind::kDrift;
+  drift.percent_incomplete = 1.0;
+  drift.drift_rate = 2.0;
+  const Matrix shifted =
+      ApplyScenarioTransform(drift, c.data_case.data.values());
+  const DataTensor shifted_data = DataTensor::FromMatrix(shifted);
+  serve::QualityMonitor fresh;
+  fresh.ObserveInput("m", &c.model, shifted_data, c.data_case.mask);
+  serve::QualitySnapshot drifted = fresh.Snapshot();
+  ASSERT_EQ(drifted.models.size(), 1u);
+  EXPECT_GT(drifted.models[0].drift_score, 0.2);
+  EXPECT_GT(drifted.models[0].drift_score, quiet.models[0].drift_score);
+  EXPECT_GT(drifted.models[0].drift_ks, 0.0);
+
+  // Missing-rate accounting: available + missing covers the matrix.
+  const auto& model_snapshot = drifted.models[0];
+  EXPECT_EQ(model_snapshot.cells_observed + model_snapshot.cells_missing,
+            static_cast<int64_t>(c.data_case.data.num_series()) *
+                c.data_case.data.num_times());
+  EXPECT_NEAR(model_snapshot.input_missing_rate, 0.1, 0.05);
+}
+
+TEST(QualityMonitorTest, ReloadedModelPointerResetsLiveState) {
+  TrainedCase c = MakeTrainedCase(47);
+  serve::QualityMonitor monitor;
+  monitor.ObserveInput("m", &c.model, c.data_case.data, c.data_case.mask);
+  monitor.ObserveInput("m", &c.model, c.data_case.data, c.data_case.mask);
+  EXPECT_EQ(monitor.Snapshot().models[0].requests_observed, 2);
+
+  // A different TrainedDeepMvi instance for the same name is a registry
+  // reload: live distributions restart against the new reference.
+  TrainedCase reloaded = MakeTrainedCase(47);
+  monitor.ObserveInput("m", &reloaded.model, reloaded.data_case.data,
+                       reloaded.data_case.mask);
+  serve::QualitySnapshot snapshot = monitor.Snapshot();
+  EXPECT_EQ(snapshot.models[0].requests_observed, 1);
+}
+
+TEST(QualityMonitorTest, SelfScoreIsDeterministicForFixedSeed) {
+  TrainedCase c = MakeTrainedCase(47);
+  auto data = std::make_shared<const DataTensor>(c.data_case.data);
+
+  auto run_once = [&](uint64_t seed) {
+    serve::QualityMonitor monitor;
+    monitor.SelfScore("m", &c.model, data, c.data_case.mask, seed, "req-0");
+    serve::QualitySnapshot snapshot = monitor.Snapshot();
+    EXPECT_EQ(snapshot.models.size(), 1u);
+    EXPECT_EQ(snapshot.models[0].selfscore_rounds, 1);
+    EXPECT_GE(snapshot.models[0].selfscore_cells, 1);
+    return snapshot.models[0];
+  };
+  const serve::ModelQualitySnapshot first = run_once(1234);
+  const serve::ModelQualitySnapshot second = run_once(1234);
+  EXPECT_EQ(first.selfscore_cells, second.selfscore_cells);
+  ASSERT_EQ(first.selfscore_history.size(), 1u);
+  ASSERT_EQ(second.selfscore_history.size(), 1u);
+  // Bit-equal errors: same seed -> same hidden cells -> same prediction.
+  EXPECT_EQ(first.selfscore_history[0].mae, second.selfscore_history[0].mae);
+  EXPECT_EQ(first.selfscore_history[0].rmse,
+            second.selfscore_history[0].rmse);
+  EXPECT_GE(first.selfscore_history[0].mae, 0.0);
+  EXPECT_GE(first.selfscore_history[0].rmse,
+            first.selfscore_history[0].mae);
+}
+
+TEST(QualityMonitorTest, SelfScoreCadenceFollowsOption) {
+  serve::QualityMonitorOptions options;
+  options.selfscore_every = 3;
+  serve::QualityMonitor monitor(options);
+  std::vector<bool> due;
+  due.reserve(9);
+  for (int i = 0; i < 9; ++i) due.push_back(monitor.SelfScoreDue("m"));
+  EXPECT_EQ(due, std::vector<bool>({false, false, true, false, false, true,
+                                    false, false, true}));
+  // Per-model counters: a second model has its own cadence.
+  EXPECT_FALSE(monitor.SelfScoreDue("other"));
+}
+
+TEST(QualityMonitorTest, LegacyModelWithoutProfileStillSelfScores) {
+  TrainedCase c = MakeTrainedCase(47);
+  // Strip the trailing profile record through a save/truncate/load cycle,
+  // exactly how a pre-profile checkpoint presents itself.
+  const std::string path = TempPath("quality_legacy.dmvi");
+  ASSERT_TRUE(c.model.Save(path).ok());
+  std::ostringstream record;
+  ASSERT_TRUE(
+      AppendQualityProfileRecord(record, *c.model.quality_profile()).ok());
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string bytes = buffer.str();
+    bytes.resize(bytes.size() - record.str().size());
+    std::ofstream out(path, std::ios::binary);
+    out << bytes;
+  }
+  StatusOr<TrainedDeepMvi> legacy = TrainedDeepMvi::Load(path);
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  ASSERT_EQ(legacy->quality_profile(), nullptr);
+
+  serve::QualityMonitor monitor;
+  monitor.ObserveInput("m", &legacy.value(), c.data_case.data,
+                       c.data_case.mask);
+  auto data = std::make_shared<const DataTensor>(c.data_case.data);
+  monitor.SelfScore("m", &legacy.value(), data, c.data_case.mask, 99,
+                    "req-legacy");
+  serve::QualitySnapshot snapshot = monitor.Snapshot();
+  ASSERT_EQ(snapshot.models.size(), 1u);
+  // No reference: drift is unscored and the snapshot-level max stays at
+  // its "no model has a reference" sentinel...
+  EXPECT_FALSE(snapshot.models[0].has_reference);
+  EXPECT_EQ(snapshot.models[0].series_scored, 0);
+  EXPECT_DOUBLE_EQ(snapshot.max_drift_score, -1.0);
+  // ...but live accounting and self-scoring work regardless.
+  EXPECT_EQ(snapshot.models[0].requests_observed, 1);
+  EXPECT_EQ(snapshot.models[0].selfscore_rounds, 1);
+}
+
+TEST(ImputationServiceTest, QualityMonitorDoesNotChangeResponseBytes) {
+  // The tentpole bar: the monitor observes, scores, and self-scores on
+  // the live path, yet every served byte is identical with it on or off.
+  TrainedCase c = MakeTrainedCase();
+  auto run = [&](serve::ServiceConfig config) {
+    config.max_batch_size = 4;
+    serve::ImputationService service(config);
+    EXPECT_TRUE(
+        service.registry().Register("default", MakeTrainedCase().model).ok());
+    std::vector<serve::ImputationRequest> requests =
+        MakeWorkloadRequests(c, 12);
+    std::vector<Matrix> imputed;
+    for (serve::ImputationRequest& request : requests) {
+      request.model = "default";
+      serve::ImputationResponse response =
+          service.Submit(std::move(request)).get();
+      EXPECT_TRUE(response.status.ok());
+      imputed.push_back(std::move(response.imputed));
+    }
+    return imputed;
+  };
+
+  std::vector<Matrix> plain = run(serve::ServiceConfig());
+
+  serve::QualityMonitorOptions options;
+  options.selfscore_every = 4;  // Several self-score rounds inside the run.
+  serve::QualityMonitor monitor(options);
+  serve::ServiceConfig monitored_config;
+  monitored_config.quality = &monitor;
+  std::vector<Matrix> monitored = run(monitored_config);
+
+  ASSERT_EQ(plain.size(), monitored.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    ExpectMatricesBitIdentical(plain[i], monitored[i],
+                               "quality-monitored vs plain");
+  }
+  // The monitored run really exercised the monitor.
+  serve::QualitySnapshot snapshot = monitor.Snapshot();
+  ASSERT_EQ(snapshot.models.size(), 1u);
+  EXPECT_EQ(snapshot.models[0].requests_observed, 12);
+  EXPECT_TRUE(snapshot.models[0].has_reference);
+  EXPECT_EQ(snapshot.models[0].selfscore_rounds, 3);
+}
+
+TEST(RegistryTest, ReloadInfoCountsRegistrationsAndSwaps) {
+  serve::ModelRegistry registry;
+  serve::ModelRegistry::ReloadInfo empty = registry.reload_info();
+  EXPECT_EQ(empty.registrations, 0);
+  EXPECT_EQ(empty.reloads, 0);
+  EXPECT_EQ(empty.model_age_seconds, -1.0);  // Nothing registered yet.
+
+  ASSERT_TRUE(registry.Register("a", MakeTrainedCase().model).ok());
+  serve::ModelRegistry::ReloadInfo first = registry.reload_info();
+  EXPECT_EQ(first.registrations, 1);
+  EXPECT_EQ(first.reloads, 0);
+  EXPECT_EQ(first.last_model, "a");
+  EXPECT_GE(first.model_age_seconds, 0.0);
+
+  ASSERT_TRUE(registry.Register("b", MakeTrainedCase().model).ok());
+  ASSERT_TRUE(registry.Register("a", MakeTrainedCase().model).ok());  // Swap.
+  serve::ModelRegistry::ReloadInfo after = registry.reload_info();
+  EXPECT_EQ(after.registrations, 3);
+  EXPECT_EQ(after.reloads, 1);
+  EXPECT_EQ(after.last_model, "a");
+}
 
 TEST(WorkloadTest, FileRoundTripAndErrors) {
   std::vector<serve::WorkloadQuery> queries = {{0, 5, 10}, {3, 0, 1}};

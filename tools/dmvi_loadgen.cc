@@ -57,11 +57,22 @@
 // ring and cross-checks it: each server-recorded slow request with our
 // prefix must be one we completed, at a client latency >= the
 // server-observed one.
+//
+// --check-quality quiet|drifted exercises the server's model-quality
+// monitor end to end: fetch the served dataset's completed matrix as CSV,
+// optionally apply the kDrift sensor-drift transform (--drift-rate sets
+// the sawtooth amplitude in per-series stddev units), replay the workload
+// as inline-values requests (the monitor observes the *request's*
+// distribution, which query mode never shifts), then assert the
+// /debug/quality verdict: "drifting" for a drifted replay, "ok" for a
+// matched one. Exits non-zero on the wrong verdict, so CI proves the
+// detector both fires and stays silent.
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -75,8 +86,10 @@
 #include "net/client.h"
 #include "net/codec.h"
 #include "net/server.h"
+#include "scenario/scenarios.h"
 #include "serve/telemetry.h"
 #include "serve/workload.h"
+#include "tensor/matrix.h"
 
 namespace deepmvi {
 namespace {
@@ -102,6 +115,12 @@ struct LoadgenOptions {
   std::string fetch;           // non-empty = standalone GET mode.
   std::string fetch_out;       // body destination ("" = stdout).
   double slow_ms = 0.0;        // 0 = no slow-request reporting.
+  /// "quiet" or "drifted": drift-detector end-to-end check mode. Replays
+  /// the synthesized workload as inline-values requests built from the
+  /// served dataset (optionally kDrift-transformed), then asserts the
+  /// server's /debug/quality verdict.
+  std::string check_quality;
+  double drift_rate = 1.0;  // kDrift sawtooth amplitude (stddev units).
 };
 
 /// One worker's share of the run: latencies (seconds) for its completed
@@ -183,6 +202,75 @@ void RunWorker(const LoadgenOptions& options,
   }
 }
 
+/// Parses a WriteDataTensor-format CSV body ('#'-prefixed dimension header
+/// lines, then one comma-separated row of numbers per series) into a
+/// Matrix. The loadgen keeps its own tiny parser because data/io.h reads
+/// from paths, not strings, and the body never leaves memory here.
+StatusOr<Matrix> ParseCsvBody(const std::string& body) {
+  std::vector<std::vector<double>> rows;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t end = body.find('\n', pos);
+    if (end == std::string::npos) end = body.size();
+    if (end > pos && body[pos] != '#') {
+      std::vector<double> row;
+      const char* cursor = body.c_str() + pos;
+      const char* line_end = body.c_str() + end;
+      while (cursor < line_end) {
+        char* after = nullptr;
+        row.push_back(std::strtod(cursor, &after));
+        if (after == cursor) {
+          return Status::InvalidArgument("unparseable CSV cell at byte " +
+                                         std::to_string(cursor - body.c_str()));
+        }
+        cursor = after;
+        if (cursor < line_end && *cursor == ',') ++cursor;
+      }
+      if (!rows.empty() && row.size() != rows.front().size()) {
+        return Status::InvalidArgument("ragged CSV row " +
+                                       std::to_string(rows.size()));
+      }
+      if (!row.empty()) rows.push_back(std::move(row));
+    }
+    pos = end + 1;
+  }
+  if (rows.empty()) return Status::InvalidArgument("CSV body holds no rows");
+  Matrix values(static_cast<int>(rows.size()),
+                static_cast<int>(rows.front().size()));
+  for (int r = 0; r < values.rows(); ++r) {
+    for (int t = 0; t < values.cols(); ++t) {
+      values(r, t) = rows[static_cast<size_t>(r)][static_cast<size_t>(t)];
+    }
+  }
+  return values;
+}
+
+/// Inline-values /v1/impute body: the full matrix rendered at %.17g with
+/// `null` at the query's hidden block — a self-contained request whose
+/// input distribution the server's quality monitor observes (unlike query
+/// mode, which reads the server's own dataset and so can never drift).
+std::string InlineQueryBody(const Matrix& values,
+                            const serve::WorkloadQuery& query) {
+  std::string body = "{\"model\": \"default\", \"values\": [";
+  char cell[40];
+  for (int r = 0; r < values.rows(); ++r) {
+    body += r == 0 ? "[" : ", [";
+    for (int t = 0; t < values.cols(); ++t) {
+      if (t > 0) body += ", ";
+      if (r == query.row && t >= query.t_start &&
+          t < query.t_start + query.block_len) {
+        body += "null";
+      } else {
+        std::snprintf(cell, sizeof(cell), "%.17g", values(r, t));
+        body += cell;
+      }
+    }
+    body += "]";
+  }
+  body += "]}";
+  return body;
+}
+
 /// Fetches GET /metrics and returns the Prometheus text body.
 StatusOr<std::string> ScrapeMetrics(net::Client* client) {
   StatusOr<net::HttpMessage> scraped = client->Get("/metrics");
@@ -260,6 +348,15 @@ int Run(int argc, char** argv) {
       options.fetch_out = value;
     } else if ((value = next("--slow-ms"))) {
       options.slow_ms = std::atof(value);
+    } else if ((value = next("--check-quality"))) {
+      options.check_quality = value;
+      if (options.check_quality != "quiet" &&
+          options.check_quality != "drifted") {
+        std::fprintf(stderr, "--check-quality must be quiet or drifted\n");
+        return 2;
+      }
+    } else if ((value = next("--drift-rate"))) {
+      options.drift_rate = std::atof(value);
     } else if ((value = next("--log-level"))) {
       if (!ParseLogSeverity(value, &MinLogSeverity())) {
         std::fprintf(stderr,
@@ -287,6 +384,8 @@ int Run(int argc, char** argv) {
           "                    [--request-id-prefix P]\n"
           "                    [--check-server-counters]\n"
           "                    [--slow-ms X]\n"
+          "                    [--check-quality quiet|drifted "
+          "[--drift-rate R]]\n"
           "                    [--scrape-metrics FILE]\n"
           "                    [--fetch PATH [--fetch-out FILE]]\n"
           "                    [--log-level debug|info|warning|error]\n"
@@ -440,6 +539,93 @@ int Run(int argc, char** argv) {
                                         options.workload_seed);
   }
   if (queries.empty()) return 0;
+
+  // ---- Drift-detector end-to-end check. -----------------------------------
+  // Fetches the served dataset's completed matrix, optionally applies the
+  // kDrift sensor-drift transform (deterministic per-series sawtooth), and
+  // replays the workload as inline-values requests so the quality monitor
+  // observes *this* distribution rather than the server's own dataset.
+  // Afterwards the server's /debug/quality verdict must be "drifting"
+  // (mode drifted) or "ok" (mode quiet) — both directions are asserted so
+  // CI proves the detector fires AND stays silent on matched input.
+  if (!options.check_quality.empty()) {
+    StatusOr<net::HttpMessage> base =
+        probe.Post("/v1/impute", "{\"model\": \"default\"}",
+                   "application/json", "text/csv");
+    if (!base.ok() || base->status_code != 200) {
+      std::fprintf(stderr, "base imputation fetch failed: %s\n",
+                   base.ok() ? base->body.c_str()
+                             : base.status().ToString().c_str());
+      return 1;
+    }
+    StatusOr<Matrix> parsed = ParseCsvBody(base->body);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "cannot parse served CSV: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    Matrix values = std::move(parsed).value();
+    if (options.check_quality == "drifted") {
+      ScenarioConfig drift;
+      drift.kind = ScenarioKind::kDrift;
+      drift.percent_incomplete = 1.0;
+      drift.drift_rate = options.drift_rate;
+      values = ApplyScenarioTransform(drift, values);
+    }
+    int sent = 0, check_failed = 0;
+    for (const serve::WorkloadQuery& query : queries) {
+      net::HttpMessage request;
+      request.method = "POST";
+      request.target = "/v1/impute";
+      request.body = InlineQueryBody(values, query);
+      request.SetHeader("content-type", "application/json");
+      StatusOr<net::HttpMessage> response = probe.RoundTrip(request);
+      ++sent;
+      if (!response.ok() || response->status_code != 200) ++check_failed;
+    }
+    if (check_failed > 0) {
+      std::fprintf(stderr, "quality check: %d of %d inline requests failed\n",
+                   check_failed, sent);
+      return 1;
+    }
+    StatusOr<net::HttpMessage> quality = probe.Get("/debug/quality");
+    if (!quality.ok() || quality->status_code != 200) {
+      std::fprintf(stderr, "GET /debug/quality failed: %s\n",
+                   quality.ok() ? quality->body.c_str()
+                                : quality.status().ToString().c_str());
+      return 1;
+    }
+    StatusOr<net::JsonValue> doc = net::ParseJson(quality->body);
+    if (!doc.ok() || !doc->at("quality").is_string()) {
+      std::fprintf(stderr, "unexpected /debug/quality body: %s\n",
+                   quality->body.c_str());
+      return 1;
+    }
+    const std::string& verdict = doc->at("quality").string_value();
+    double max_drift = -1.0;
+    for (const net::JsonValue& model : doc->at("models").array_items()) {
+      if (model.at("drift_score").is_number()) {
+        max_drift = std::max(max_drift,
+                             model.at("drift_score").number_value());
+      }
+    }
+    const std::string expected =
+        options.check_quality == "drifted" ? "drifting" : "ok";
+    std::printf(
+        "quality check (%s): %d inline requests, server verdict \"%s\", "
+        "max drift score %.4f (threshold %.4f)\n",
+        options.check_quality.c_str(), sent, verdict.c_str(), max_drift,
+        doc->at("drift_threshold").number_value());
+    if (verdict != expected) {
+      std::fprintf(stderr,
+                   "quality check: expected verdict \"%s\" for a %s "
+                   "workload, server reports \"%s\"\n",
+                   expected.c_str(), options.check_quality.c_str(),
+                   verdict.c_str());
+      return 1;
+    }
+    return 0;
+  }
 
   // ---- Counter baseline (taken after the --impute-csv fetch so that
   // one-shot request is excluded from the delta). --------------------------

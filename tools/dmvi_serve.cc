@@ -35,8 +35,13 @@
 // slower than --slow-ms (default 500) are answered live by GET
 // /debug/requests and /debug/slow, GET /debug/profile?seconds=N serves
 // on-demand CPU profiles as collapsed stacks, and GET /debug/state
-// reports build hash + uptime + /proc gauges. Instrumentation never
-// changes response bytes.
+// reports build hash + uptime + /proc gauges. A model-quality monitor is
+// on by default (--quality off disables): live request inputs are scored
+// for drift against the checkpoint's training reference profile
+// (GET /debug/quality, /healthz "quality" rung vs --drift-threshold) and
+// every --selfscore-every full predicts a few observed cells are hidden
+// on a side mask, re-imputed, and scored (MAE/RMSE at /metrics).
+// Instrumentation never changes response bytes.
 //
 // --impute-csv PATH sends the dataset's own base mask through the service
 // once and writes the completed matrix; for a checkpoint from dmvi_train
@@ -90,6 +95,9 @@ int Run(int argc, char** argv) {
   int http_workers = 4;
   int flight_records = obs::FlightRecorder::kDefaultCapacity;
   double slow_ms = obs::FlightRecorder::kDefaultSlowThresholdSeconds * 1e3;
+  bool quality_on = true;
+  double drift_threshold = 0.2;
+  serve::QualityMonitorOptions quality_options;
   tools::DatasetSpec dataset_spec;
   uint64_t workload_seed = 11;
   int synth = 0;
@@ -143,6 +151,21 @@ int Run(int argc, char** argv) {
       flight_records = std::atoi(value);
     } else if ((value = next("--slow-ms"))) {
       slow_ms = std::atof(value);
+    } else if ((value = next("--quality"))) {
+      if (std::strcmp(value, "on") == 0) {
+        quality_on = true;
+      } else if (std::strcmp(value, "off") == 0) {
+        quality_on = false;
+      } else {
+        std::fprintf(stderr, "--quality must be on or off\n");
+        return 2;
+      }
+    } else if ((value = next("--drift-threshold"))) {
+      drift_threshold = std::atof(value);
+    } else if ((value = next("--selfscore-every"))) {
+      quality_options.selfscore_every = std::atoi(value);
+    } else if ((value = next("--selfscore-fraction"))) {
+      quality_options.selfscore_fraction = std::atof(value);
     } else if ((value = next("--trace-out"))) {
       trace_out = value;
     } else if ((value = next("--trace-level"))) {
@@ -184,6 +207,8 @@ int Run(int argc, char** argv) {
           "                  [--listen HOST:PORT [--http-workers N]\n"
           "                   [--port-file PATH] [--reload-on-sighup]]\n"
           "                  [--flight-records N] [--slow-ms X]\n"
+          "                  [--quality on|off] [--drift-threshold X]\n"
+          "                  [--selfscore-every N] [--selfscore-fraction F]\n"
           "                  [--trace-out trace.json\n"
           "                   [--trace-level request|kernel]]\n"
           "                  [--log-level debug|info|warning|error]\n"
@@ -233,6 +258,18 @@ int Run(int argc, char** argv) {
   // slow-ring threshold. /debug/requests and /debug/slow read it live.
   obs::FlightRecorder recorder(flight_records, slow_ms / 1e3);
   service_config.recorder = &recorder;
+
+  // Model-quality monitor: on by default (--quality off for the
+  // byte-identity comparisons; responses are cmp-equal either way).
+  // Tracks live-input drift against the checkpoint's training reference
+  // profile and runs masked self-scoring every --selfscore-every full
+  // predicts; GET /debug/quality and the /healthz quality rung read it.
+  std::unique_ptr<serve::QualityMonitor> quality;
+  if (quality_on) {
+    quality_options.metrics = &metrics;
+    quality = std::make_unique<serve::QualityMonitor>(quality_options);
+    service_config.quality = quality.get();
+  }
 
   // ---- Bring the service up with the checkpoint. -------------------------
   serve::ImputationService service(service_config);
@@ -333,6 +370,8 @@ int Run(int argc, char** argv) {
     context.tracer = tracer.get();
     context.recorder = &recorder;
     context.trace_sink = trace_sink.get();
+    context.quality = quality.get();
+    context.drift_threshold = drift_threshold;
     context.build_commit = DMVI_GIT_COMMIT;
     context.reload = [&service, model_path](const std::string& model,
                                             const std::string& path) {
